@@ -1,0 +1,59 @@
+//! Workload generator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmlp_gen::apps::{sensor_grid, SensorGridConfig};
+use mmlp_gen::lower_bound::regular_gadget;
+use mmlp_gen::random::{random_general, RandomConfig};
+use mmlp_gen::special::{random_special_form, SpecialFormConfig};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(20);
+    group.bench_function("random_general-200", |b| {
+        let cfg = RandomConfig {
+            n_agents: 200,
+            n_constraints: 150,
+            n_objectives: 125,
+            ..RandomConfig::default()
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(random_general(&cfg, seed))
+        });
+    });
+    group.bench_function("special_form-100", |b| {
+        let cfg = SpecialFormConfig {
+            n_objectives: 100,
+            ..SpecialFormConfig::default()
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(random_special_form(&cfg, seed))
+        });
+    });
+    group.bench_function("sensor_grid-10x10", |b| {
+        let cfg = SensorGridConfig {
+            width: 10,
+            height: 10,
+            cost_range: (1.0, 2.0),
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(sensor_grid(&cfg, seed))
+        });
+    });
+    group.bench_function("regular_gadget-d3-g6", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(regular_gadget(30, 3, 2, 6, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! The baseline comparison: cost of the 1-round safe algorithm vs the
+//! Θ(R)-round local algorithm on the same instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmlp_core::safe::safe_solution;
+use mmlp_core::solver::LocalSolver;
+use mmlp_gen::apps::{bandwidth_ladder, BandwidthConfig};
+
+fn bench_safe_vs_local(c: &mut Criterion) {
+    let inst = bandwidth_ladder(
+        &BandwidthConfig {
+            n_customers: 100,
+            window: 3,
+            coef_range: (0.8, 1.25),
+        },
+        5,
+    );
+    let mut group = c.benchmark_group("safe-vs-local");
+    group.sample_size(20);
+    group.bench_function("safe", |b| {
+        b.iter(|| std::hint::black_box(safe_solution(&inst)))
+    });
+    for big_r in [2usize, 3, 4] {
+        group.bench_function(format!("local-R{big_r}"), |b| {
+            let solver = LocalSolver::new(big_r);
+            b.iter(|| std::hint::black_box(solver.solve(&inst)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_safe_vs_local);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! The from-scratch simplex on max-min LPs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmlp_gen::random::{random_general, RandomConfig};
+use mmlp_lp::solve_maxmin;
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex-maxmin");
+    group.sample_size(10);
+    for n in [40usize, 120, 360] {
+        let inst = random_general(
+            &RandomConfig {
+                n_agents: n,
+                n_constraints: n * 3 / 4,
+                n_objectives: n * 5 / 8,
+                ..RandomConfig::default()
+            },
+            3,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(solve_maxmin(inst).unwrap().omega));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, exact_bench::bench_exact);
+criterion_main!(benches);
+
+// Appended: the exact rational simplex on micro gadgets (validation path).
+mod exact_bench {
+    use criterion::Criterion;
+    use mmlp_gen::lower_bound::regular_gadget;
+    use mmlp_lp::exact_maxmin;
+
+    pub fn bench_exact(c: &mut Criterion) {
+        let mut group = c.benchmark_group("exact-rational-simplex");
+        group.sample_size(10);
+        for n in [6usize, 10] {
+            let (inst, _) = regular_gadget(n, 3, 2, 4, 1);
+            group.bench_function(format!("gadget-{n}"), |b| {
+                b.iter(|| std::hint::black_box(exact_maxmin(&inst, 1)))
+            });
+        }
+        group.finish();
+    }
+}

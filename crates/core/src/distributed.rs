@@ -1,0 +1,578 @@
+//! The §5 algorithm as an actual message-passing protocol on `mmlp-net`
+//! — anonymous nodes, port numbering, Θ(R) synchronous rounds.
+//!
+//! Three phases, each `4r + 2` send rounds (`r = R − 2`):
+//!
+//! 1. **View gathering** (§5.1/§4.1): every node assembles its
+//!    radius-`(4r+2)` view of the unfolding; each agent then computes its
+//!    tree bound `t_u` locally from the view, by the same `f±` bisection
+//!    as the centralized evaluator. (The paper's alternating tree `A_u`
+//!    has radius `4r+3`, but its deepest leaf constraints carry only the
+//!    coefficients `a_iv` of their level-`4r+1` agents — which those
+//!    agents already know — so radius `4r+2` views suffice.)
+//! 2. **Smoothing flood** (§5.3): `4r+2` rounds of min-flooding give
+//!    every agent `s_v = min { t_u : dist(u, v) ≤ 4r+2 }`.
+//! 3. **`g±` exchanges** (§5.3): per level `d`, two rounds via the
+//!    objective (to sum the neighbours' `g⁺_{w,d}`) and two rounds via
+//!    the constraints (to ship the partner products
+//!    `a_{i,n} · g⁻_{n,d}`); the last level needs no constraint
+//!    exchange. Each agent then outputs eq. (18).
+//!
+//! The protocol's outputs are **bit-identical** to the centralized
+//! engine's: every minimum, sum and bisection is evaluated over the same
+//! operands in the same order (asserted in tests).
+
+use crate::special::SpecialForm;
+use mmlp_instance::{NodeKind, Solution};
+use mmlp_net::{engine, Network, NodeInfo, Payload, Protocol, RunResult, RunStats, ViewChild, ViewTree};
+
+/// Message alphabet of the protocol.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Phase 1: a (sender-port-tagged) partial view.
+    View(u32, ViewTree),
+    /// Phases 2–3: a scalar (`t` minima, `g±` aggregates).
+    Val(f64),
+}
+
+impl Payload for Msg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            Msg::View(_, t) => 4 + t.size_bytes(),
+            Msg::Val(_) => 8,
+        }
+    }
+}
+
+/// Per-node state.
+#[derive(Clone, Debug)]
+pub struct DistState {
+    view: ViewTree,
+    /// Agents: the tree bound `t_u` once phase 1 ends.
+    pub t: Option<f64>,
+    /// Running minimum during phase 2; ends as `s_v` on agents.
+    flood: f64,
+    /// `g⁺_{v,d}` per level (agents).
+    g_plus: Vec<f64>,
+    /// `g⁻_{v,d}` per level (agents).
+    g_minus: Vec<f64>,
+    /// The output (18), set in `finish` (agents only).
+    pub x: Option<f64>,
+}
+
+/// The protocol object.
+pub struct DistMaxMin {
+    big_r: usize,
+}
+
+impl DistMaxMin {
+    /// Creates the protocol with locality parameter `R ≥ 2`.
+    pub fn new(big_r: usize) -> Self {
+        assert!(big_r >= 2);
+        DistMaxMin { big_r }
+    }
+
+    fn r(&self) -> usize {
+        self.big_r - 2
+    }
+
+    /// Length of one phase in send rounds.
+    fn phase_len(&self) -> usize {
+        4 * self.r() + 2
+    }
+}
+
+/// Total synchronous rounds used: `3·(4r+2) = 12R − 18`.
+pub fn rounds_needed(big_r: usize) -> usize {
+    3 * (4 * (big_r - 2) + 2)
+}
+
+// ---- local computation on views -------------------------------------
+
+/// Index of the (unique, in special form) objective port of an agent.
+fn objective_port(node: &NodeInfo) -> usize {
+    node.ports
+        .iter()
+        .position(|p| p.neighbor_kind == NodeKind::Objective)
+        .expect("special form: every agent touches an objective")
+}
+
+/// `min_i 1/a_iv` from an agent's own view node.
+fn cap_of(view: &ViewTree) -> f64 {
+    view.port_kinds
+        .iter()
+        .zip(&view.coefs)
+        .filter(|(k, _)| **k == NodeKind::Constraint)
+        .map(|(_, a)| 1.0 / a)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The objective subtree of an agent's view node (unique Sub child with
+/// kind Objective).
+fn objective_child(view: &ViewTree) -> &ViewTree {
+    for (p, kind) in view.port_kinds.iter().enumerate() {
+        if *kind == NodeKind::Objective {
+            if let ViewChild::Sub(t) = &view.children[p] {
+                return t;
+            }
+        }
+    }
+    panic!("objective child missing — view gathered too shallow");
+}
+
+/// `f⁺` on a view subtree: `w` is a down-type agent at level `4(r−d)+1`,
+/// entered from its objective. `None` when condition (8) fails.
+fn f_plus_view(w: &ViewTree, d: usize, omega: f64) -> Option<f64> {
+    let val = if d == 0 {
+        cap_of(w)
+    } else {
+        let mut m = f64::INFINITY;
+        for (p, kind) in w.port_kinds.iter().enumerate() {
+            if *kind != NodeKind::Constraint {
+                continue;
+            }
+            let a_own = w.coefs[p];
+            let cons = match &w.children[p] {
+                ViewChild::Sub(t) => t,
+                _ => panic!("constraint child missing — view gathered too shallow"),
+            };
+            // The constraint's unique other Sub child is the partner.
+            let partner = cons
+                .children
+                .iter()
+                .find_map(|c| match c {
+                    ViewChild::Sub(t) => Some(t),
+                    _ => None,
+                })
+                .expect("special form: constraints have a partner agent");
+            // The partner's coefficient towards this constraint is on its
+            // Back port.
+            let back = partner
+                .children
+                .iter()
+                .position(|c| matches!(c, ViewChild::Back))
+                .expect("non-root subtree has a back edge");
+            let a_partner = partner.coefs[back];
+            let fm = f_minus_view(partner, d - 1, omega)?;
+            m = m.min((1.0 - a_partner * fm) / a_own);
+        }
+        m
+    };
+    (val >= 0.0).then_some(val)
+}
+
+/// `f⁻` on a view subtree: `n` is an up-type agent at level `4(r−d)−1`,
+/// entered from a constraint.
+fn f_minus_view(n: &ViewTree, d: usize, omega: f64) -> Option<f64> {
+    let k = objective_child(n);
+    let mut sum = 0.0;
+    for c in &k.children {
+        if let ViewChild::Sub(w) = c {
+            sum += f_plus_view(w, d, omega)?;
+        }
+    }
+    Some((omega - sum).max(0.0))
+}
+
+/// Computes `t_u` from the agent's radius-`(4r+2)` view — the same
+/// bisection as `tree_bound::TreeBound::t`, evaluated on the view.
+pub fn t_from_view(view: &ViewTree, big_r: usize) -> f64 {
+    let r = big_r - 2;
+    let cap_u = cap_of(view);
+    let k = objective_child(view);
+    let others: Vec<&ViewTree> = k
+        .children
+        .iter()
+        .filter_map(|c| match c {
+            ViewChild::Sub(t) => Some(t.as_ref()),
+            _ => None,
+        })
+        .collect();
+    let hi0 = cap_u + others.iter().map(|w| cap_of(w)).sum::<f64>();
+    let feasible = |omega: f64| -> bool {
+        let mut sum = 0.0;
+        for w in &others {
+            match f_plus_view(w, r, omega) {
+                Some(fp) => sum += fp,
+                None => return false,
+            }
+        }
+        (omega - sum).max(0.0) <= cap_u
+    };
+    if hi0 == 0.0 || feasible(hi0) {
+        return hi0;
+    }
+    let (mut lo, mut hi) = (0.0f64, hi0);
+    let tol = crate::tree_bound::BISECT_REL_TOL * hi0.max(1.0);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+// ---- the protocol ----------------------------------------------------
+
+impl Protocol for DistMaxMin {
+    type State = DistState;
+    type Message = Msg;
+
+    fn rounds(&self) -> usize {
+        rounds_needed(self.big_r)
+    }
+
+    fn init(&self, node: &NodeInfo) -> DistState {
+        DistState {
+            view: ViewTree::depth_zero(node),
+            t: None,
+            flood: f64::INFINITY,
+            g_plus: Vec::new(),
+            g_minus: Vec::new(),
+            x: None,
+        }
+    }
+
+    fn round(
+        &self,
+        st: &mut DistState,
+        node: &NodeInfo,
+        round: usize,
+        inbox: &[Option<Msg>],
+        outbox: &mut [Option<Msg>],
+    ) {
+        let a = self.phase_len(); // phase-1 sends: rounds [0, a)
+        let b = 2 * a; // phase-2 sends: rounds [a, 2a); phase 3: [2a, 3a)
+        let is_agent = node.kind == NodeKind::Agent;
+        let r = self.r();
+
+        if round < a {
+            // ---- phase 1: view gathering ----
+            if round > 0 {
+                let views: Vec<Option<(u32, ViewTree)>> = inbox
+                    .iter()
+                    .map(|m| match m {
+                        Some(Msg::View(p, t)) => Some((*p, t.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                st.view = ViewTree::from_inbox(&st.view, &views);
+            }
+            for (p, slot) in outbox.iter_mut().enumerate() {
+                *slot = Some(Msg::View(p as u32, st.view.clone()));
+            }
+            return;
+        }
+
+        if round == a {
+            // Final view absorb; agents compute t and seed the flood.
+            let views: Vec<Option<(u32, ViewTree)>> = inbox
+                .iter()
+                .map(|m| match m {
+                    Some(Msg::View(p, t)) => Some((*p, t.clone())),
+                    _ => None,
+                })
+                .collect();
+            st.view = ViewTree::from_inbox(&st.view, &views);
+            if is_agent {
+                let t = t_from_view(&st.view, self.big_r);
+                st.t = Some(t);
+                st.flood = t;
+            }
+        }
+
+        if round < b {
+            // ---- phase 2: min-flooding of t ----
+            if round > a {
+                for m in inbox.iter().flatten() {
+                    if let Msg::Val(v) = m {
+                        st.flood = st.flood.min(*v);
+                    }
+                }
+            }
+            if st.flood.is_finite() {
+                for slot in outbox.iter_mut() {
+                    *slot = Some(Msg::Val(st.flood));
+                }
+            }
+            return;
+        }
+
+        // ---- phase 3: g± exchanges ----
+        let step = round - b; // 0-based within phase 3
+        let d = step / 4;
+        match step % 4 {
+            0 => {
+                if is_agent {
+                    if d == 0 {
+                        // Final flood absorb: s_v.
+                        for m in inbox.iter().flatten() {
+                            if let Msg::Val(v) = m {
+                                st.flood = st.flood.min(*v);
+                            }
+                        }
+                        // (12): g⁺_{v,0} is local.
+                        st.g_plus.push(cap_of(&st.view));
+                    } else {
+                        // (14): g⁺_{v,d} from the partner products
+                        // a_{i,n}·g⁻_{n,d−1} relayed by the constraints.
+                        let mut m = f64::INFINITY;
+                        for (p, kind) in node.ports.iter().enumerate() {
+                            if kind.neighbor_kind != NodeKind::Constraint {
+                                continue;
+                            }
+                            let recv = match &inbox[p] {
+                                Some(Msg::Val(v)) => *v,
+                                _ => panic!("missing constraint relay"),
+                            };
+                            let a_own = kind.coef.expect("agents know coefficients");
+                            m = m.min((1.0 - recv) / a_own);
+                        }
+                        st.g_plus.push(m);
+                    }
+                    // Send g⁺_{v,d} to the objective.
+                    let kp = objective_port(node);
+                    outbox[kp] = Some(Msg::Val(st.g_plus[d]));
+                }
+            }
+            1 => {
+                if node.kind == NodeKind::Objective {
+                    // Reply to each member the sum of the *others*.
+                    let vals: Vec<f64> = inbox
+                        .iter()
+                        .map(|m| match m {
+                            Some(Msg::Val(v)) => *v,
+                            _ => panic!("objective missing a member's g⁺"),
+                        })
+                        .collect();
+                    for (p, slot) in outbox.iter_mut().enumerate() {
+                        let sum: f64 = vals
+                            .iter()
+                            .enumerate()
+                            .filter(|(q, _)| *q != p)
+                            .map(|(_, v)| v)
+                            .sum();
+                        *slot = Some(Msg::Val(sum));
+                    }
+                }
+            }
+            2 => {
+                if is_agent {
+                    // (13): g⁻_{v,d} from the objective's reply.
+                    let kp = objective_port(node);
+                    let sum = match &inbox[kp] {
+                        Some(Msg::Val(v)) => *v,
+                        _ => panic!("missing objective reply"),
+                    };
+                    st.g_minus.push((st.flood - sum).max(0.0));
+                    // Ship partner products through the constraints
+                    // (not needed after the last level).
+                    if d < r {
+                        for (p, kind) in node.ports.iter().enumerate() {
+                            if kind.neighbor_kind != NodeKind::Constraint {
+                                continue;
+                            }
+                            let a_own = kind.coef.expect("agents know coefficients");
+                            outbox[p] = Some(Msg::Val(a_own * st.g_minus[d]));
+                        }
+                    }
+                }
+            }
+            3 => {
+                if node.kind == NodeKind::Constraint {
+                    // Relay each side's product to the other side.
+                    debug_assert_eq!(node.degree(), 2);
+                    for p in 0..2 {
+                        if let Some(Msg::Val(v)) = &inbox[1 - p] {
+                            outbox[p] = Some(Msg::Val(*v));
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn finish(&self, st: &mut DistState, node: &NodeInfo, inbox: &[Option<Msg>]) {
+        if node.kind != NodeKind::Agent {
+            return;
+        }
+        let r = self.r();
+        // The last objective reply (level r) arrives here.
+        let kp = objective_port(node);
+        let sum = match &inbox[kp] {
+            Some(Msg::Val(v)) => *v,
+            _ => panic!("missing final objective reply"),
+        };
+        st.g_minus.push((st.flood - sum).max(0.0));
+        debug_assert_eq!(st.g_plus.len(), r + 1);
+        debug_assert_eq!(st.g_minus.len(), r + 1);
+        // (18) — written exactly as the centralized `smoothing::output`
+        // (multiply by the reciprocal) so results are bit-identical.
+        let total: f64 = (0..=r).map(|d| st.g_plus[d] + st.g_minus[d]).sum();
+        st.x = Some(total * (1.0 / (2.0 * self.big_r as f64)));
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistributedOutcome {
+    /// The output assignment (18).
+    pub solution: Solution,
+    /// Per-agent `t_u`.
+    pub t: Vec<f64>,
+    /// Per-agent smoothed bound `s_v`.
+    pub s: Vec<f64>,
+    /// Round/message/byte accounting.
+    pub stats: RunStats,
+}
+
+/// Runs the protocol on a special-form instance.
+pub fn solve_distributed(sf: &SpecialForm, big_r: usize) -> DistributedOutcome {
+    let net = Network::new(sf.instance());
+    let RunResult { states, stats } = engine::run(&net, &DistMaxMin::new(big_r));
+    let n = sf.n_agents();
+    let mut x = Vec::with_capacity(n);
+    let mut t = Vec::with_capacity(n);
+    let mut s = Vec::with_capacity(n);
+    for st in &states[..n] {
+        x.push(st.x.expect("agent produced output"));
+        t.push(st.t.expect("agent computed t"));
+        s.push(st.flood);
+    }
+    DistributedOutcome {
+        solution: Solution::from_vec(x),
+        t,
+        s,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smoothing::solve_special;
+    use mmlp_gen::special::{cycle_special, random_special_form, SpecialFormConfig};
+
+    fn sf(seed: u64) -> SpecialForm {
+        SpecialForm::new(random_special_form(&SpecialFormConfig::default(), seed)).unwrap()
+    }
+
+    #[test]
+    fn distributed_matches_centralized_bitwise() {
+        for seed in 0..4 {
+            let s = sf(seed);
+            for big_r in [2, 3, 4] {
+                let central = solve_special(&s, big_r, 1);
+                let dist = solve_distributed(&s, big_r);
+                for v in 0..s.n_agents() {
+                    assert_eq!(
+                        dist.t[v].to_bits(),
+                        central.t[v].to_bits(),
+                        "t: seed {seed} R {big_r} agent {v}"
+                    );
+                    assert_eq!(
+                        dist.s[v].to_bits(),
+                        central.s[v].to_bits(),
+                        "s: seed {seed} R {big_r} agent {v}"
+                    );
+                    assert_eq!(
+                        dist.solution.as_slice()[v].to_bits(),
+                        central.x.as_slice()[v].to_bits(),
+                        "x: seed {seed} R {big_r} agent {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_count_is_constant_in_network_size() {
+        for big_r in [2, 3] {
+            let mut rounds = Vec::new();
+            for n_obj in [10, 40] {
+                let s = SpecialForm::new(random_special_form(
+                    &SpecialFormConfig {
+                        n_objectives: n_obj,
+                        ..SpecialFormConfig::default()
+                    },
+                    0,
+                ))
+                .unwrap();
+                let out = solve_distributed(&s, big_r);
+                rounds.push(out.stats.rounds);
+            }
+            assert_eq!(rounds[0], rounds[1], "locality: rounds independent of n");
+            assert_eq!(rounds[0], rounds_needed(big_r));
+        }
+    }
+
+    #[test]
+    fn messages_scale_linearly_with_size() {
+        let small = solve_distributed(
+            &SpecialForm::new(random_special_form(
+                &SpecialFormConfig {
+                    n_objectives: 10,
+                    extra_constraints: 5,
+                    ..SpecialFormConfig::default()
+                },
+                1,
+            ))
+            .unwrap(),
+            3,
+        );
+        let large = solve_distributed(
+            &SpecialForm::new(random_special_form(
+                &SpecialFormConfig {
+                    n_objectives: 40,
+                    extra_constraints: 20,
+                    ..SpecialFormConfig::default()
+                },
+                1,
+            ))
+            .unwrap(),
+            3,
+        );
+        let ratio = large.stats.messages as f64 / small.stats.messages as f64;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "4x nodes → ~4x messages, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn cycle_distributed_is_optimal() {
+        let s = SpecialForm::new(cycle_special(8, 1.0)).unwrap();
+        let out = solve_distributed(&s, 4);
+        for v in out.solution.as_slice() {
+            assert!((v - 0.5).abs() < 1e-9);
+        }
+        assert!(out.solution.is_feasible(s.instance(), 1e-9));
+    }
+
+    #[test]
+    fn t_from_view_matches_tree_bound() {
+        use crate::tree_bound::{Scratch, TreeBound};
+        use mmlp_net::gather_views;
+        let s = sf(9);
+        for big_r in [2, 3] {
+            let r = big_r - 2;
+            let net = Network::new(s.instance());
+            let (views, _) = gather_views(&net, 4 * r + 2);
+            let tb = TreeBound::new(&s, big_r);
+            let mut sc = Scratch::default();
+            for v in s.instance().agents() {
+                let direct = tb.t(v, &mut sc);
+                let via_view = t_from_view(&views[v.idx()], big_r);
+                assert_eq!(
+                    direct.to_bits(),
+                    via_view.to_bits(),
+                    "agent {v} R {big_r}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Theorem 1's quantities: the unconditional local approximability
+//! threshold, the algorithm's guarantee as a function of `R`, and the
+//! inverse map `ε → R`.
+
+/// The threshold `ΔI (1 − 1/ΔK)`: no local algorithm achieves a better
+/// approximation ratio (the matching lower bound of Theorem 1), and this
+/// algorithm achieves `threshold + ε` for every `ε > 0`.
+///
+/// Requires the non-trivial regime `ΔI ≥ 2`, `ΔK ≥ 2` (the other cases
+/// are exactly solvable by local algorithms; see §1).
+pub fn threshold(delta_i: usize, delta_k: usize) -> f64 {
+    assert!(delta_i >= 2 && delta_k >= 2, "thresholds need ΔI, ΔK ≥ 2");
+    delta_i as f64 * (1.0 - 1.0 / delta_k as f64)
+}
+
+/// The proved guarantee of the algorithm at locality parameter `R ≥ 2`
+/// (§6.3): `ΔI (1 − 1/ΔK)(1 + 1/(R−1))`. For `R = 2` this reads
+/// `2·threshold`; as `R → ∞` it tends to the threshold.
+pub fn guarantee(delta_i: usize, delta_k: usize, big_r: usize) -> f64 {
+    assert!(big_r >= 2, "the paper requires R ≥ 2");
+    threshold(delta_i, delta_k) * (1.0 + 1.0 / (big_r as f64 - 1.0))
+}
+
+/// The special-form guarantee `2 (1 − 1/ΔK)(1 + 1/(R−1))` proved in §6
+/// before the §4.3 accounting multiplies it by `ΔI/2`.
+pub fn special_guarantee(delta_k: usize, big_r: usize) -> f64 {
+    guarantee(2, delta_k, big_r)
+}
+
+/// The smallest `R` for which [`guarantee`] is within `ε` of the
+/// threshold — the constructive content of Theorem 1:
+/// `threshold / (R−1) ≤ ε  ⇔  R ≥ threshold/ε + 1`.
+pub fn r_for_epsilon(delta_i: usize, delta_k: usize, epsilon: f64) -> usize {
+    assert!(epsilon > 0.0, "Theorem 1 needs ε > 0");
+    let needed = threshold(delta_i, delta_k) / epsilon + 1.0;
+    (needed.ceil() as usize).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_values() {
+        assert_eq!(threshold(2, 2), 1.0);
+        assert!((threshold(2, 3) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((threshold(3, 3) - 2.0).abs() < 1e-12);
+        assert_eq!(threshold(4, 2), 2.0);
+    }
+
+    #[test]
+    fn guarantee_tends_to_threshold() {
+        let th = threshold(3, 4);
+        assert!((guarantee(3, 4, 2) - 2.0 * th).abs() < 1e-12);
+        assert!(guarantee(3, 4, 100) < th + 0.03);
+        let mut prev = f64::INFINITY;
+        for big_r in 2..20 {
+            let g = guarantee(3, 4, big_r);
+            assert!(g < prev, "guarantee strictly improves with R");
+            assert!(g > th, "but never beats the threshold");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn special_guarantee_is_delta_i_2() {
+        assert_eq!(special_guarantee(3, 4), guarantee(2, 3, 4));
+    }
+
+    #[test]
+    fn r_for_epsilon_inverts_guarantee() {
+        for (di, dk) in [(2, 2), (2, 3), (3, 3), (5, 4)] {
+            for eps in [0.5, 0.1, 0.01] {
+                let big_r = r_for_epsilon(di, dk, eps);
+                assert!(
+                    guarantee(di, dk, big_r) <= threshold(di, dk) + eps + 1e-12,
+                    "ΔI={di} ΔK={dk} ε={eps}: R={big_r} misses"
+                );
+                if big_r > 2 {
+                    assert!(
+                        guarantee(di, dk, big_r - 1) > threshold(di, dk) + eps - 1e-12,
+                        "R is minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ΔI, ΔK ≥ 2")]
+    fn trivial_degrees_rejected() {
+        threshold(1, 3);
+    }
+}

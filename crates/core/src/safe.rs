@@ -1,0 +1,178 @@
+//! The *safe algorithm* — the best previously known local algorithm for
+//! general max-min LPs (factor `ΔI`; Papadimitriou–Yannakakis STOC'93,
+//! Floréen et al. IPDPS'08) — used as the baseline in every comparison
+//! experiment.
+//!
+//! Each agent plays it safe: `x_v = min_{i∈Iv} 1 / (a_iv · |Vi|)`. Every
+//! constraint then carries at most `Σ_{v∈Vi} 1/|Vi| = 1`, and since any
+//! feasible `y` has `y_v ≤ min_i 1/a_iv ≤ ΔI · x_v`, the utility is
+//! within factor `ΔI` of the optimum. One communication round suffices:
+//! each constraint tells its agents its degree.
+
+use mmlp_instance::{Instance, NodeKind, Solution};
+use mmlp_net::{Network, NodeInfo, Protocol, RunResult};
+
+/// The safe solution in closed form.
+pub fn safe_solution(inst: &Instance) -> Solution {
+    let mut x = vec![0.0f64; inst.n_agents()];
+    for v in inst.agents() {
+        x[v.idx()] = inst
+            .agent_constraints(v)
+            .iter()
+            .map(|e| 1.0 / (e.coef * inst.constraint_row(e.cons).len() as f64))
+            .fold(f64::INFINITY, f64::min);
+        if x[v.idx()].is_infinite() {
+            // Unconstrained agents (degenerate instances) contribute 0 in
+            // the baseline rather than ∞.
+            x[v.idx()] = 0.0;
+        }
+    }
+    Solution::from_vec(x)
+}
+
+/// The a-priori guarantee of the safe algorithm.
+pub fn safe_guarantee(delta_i: usize) -> f64 {
+    delta_i as f64
+}
+
+/// The safe algorithm as a 1-round protocol (constraints announce their
+/// degrees; agents take minima) — the distributed form used by the
+/// round-count comparison experiment.
+pub struct SafeProtocol;
+
+/// Per-node state of [`SafeProtocol`]: agents end with `Some(x_v)`.
+#[derive(Clone, Debug, Default)]
+pub struct SafeState {
+    /// The output, for agent nodes.
+    pub x: Option<f64>,
+}
+
+impl Protocol for SafeProtocol {
+    type State = SafeState;
+    type Message = f64;
+
+    fn rounds(&self) -> usize {
+        1
+    }
+
+    fn init(&self, _node: &NodeInfo) -> SafeState {
+        SafeState::default()
+    }
+
+    fn round(
+        &self,
+        _state: &mut SafeState,
+        node: &NodeInfo,
+        _round: usize,
+        _inbox: &[Option<f64>],
+        outbox: &mut [Option<f64>],
+    ) {
+        if node.kind == NodeKind::Constraint {
+            let degree = node.degree() as f64;
+            for slot in outbox.iter_mut() {
+                *slot = Some(degree);
+            }
+        }
+    }
+
+    fn finish(&self, state: &mut SafeState, node: &NodeInfo, inbox: &[Option<f64>]) {
+        if node.kind != NodeKind::Agent {
+            return;
+        }
+        let mut x = f64::INFINITY;
+        for (port, msg) in inbox.iter().enumerate() {
+            if let Some(degree) = msg {
+                let a = node.ports[port]
+                    .coef
+                    .expect("agents know their coefficients");
+                x = x.min(1.0 / (a * degree));
+            }
+        }
+        state.x = Some(if x.is_finite() { x } else { 0.0 });
+    }
+}
+
+/// Runs [`SafeProtocol`] and extracts the solution.
+pub fn safe_distributed(inst: &Instance) -> (Solution, mmlp_net::RunStats) {
+    let net = Network::new(inst);
+    let RunResult { states, stats } = mmlp_net::engine::run(&net, &SafeProtocol);
+    let x: Vec<f64> = states[..inst.n_agents()]
+        .iter()
+        .map(|s| s.x.expect("agent produced output"))
+        .collect();
+    (Solution::from_vec(x), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_gen::random::{random_general, RandomConfig};
+    use mmlp_gen::special::cycle_special;
+    use mmlp_instance::DegreeStats;
+
+    #[test]
+    fn safe_is_feasible_on_random_instances() {
+        for seed in 0..10 {
+            let inst = random_general(&RandomConfig::default(), seed);
+            let x = safe_solution(&inst);
+            assert!(x.is_feasible(&inst, 1e-9), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn safe_achieves_factor_delta_i() {
+        for seed in 0..5 {
+            let inst = random_general(
+                &RandomConfig {
+                    n_agents: 20,
+                    n_constraints: 14,
+                    n_objectives: 12,
+                    ..RandomConfig::default()
+                },
+                seed,
+            );
+            let x = safe_solution(&inst);
+            let opt = mmlp_lp::solve_maxmin(&inst).expect("bounded").omega;
+            let delta_i = DegreeStats::of(&inst).delta_i as f64;
+            assert!(
+                x.utility(&inst) >= opt / delta_i - 1e-9,
+                "seed {seed}: {} < {} / {delta_i}",
+                x.utility(&inst),
+                opt
+            );
+        }
+    }
+
+    #[test]
+    fn safe_on_cycle_is_half() {
+        let inst = cycle_special(6, 1.0);
+        let x = safe_solution(&inst);
+        // All constraints have degree 2 and unit coefficients: x = 1/2 —
+        // on the cycle the safe algorithm happens to be optimal.
+        for v in inst.agents() {
+            assert_eq!(x.value(v), 0.5);
+        }
+    }
+
+    #[test]
+    fn distributed_matches_closed_form() {
+        for seed in 0..5 {
+            let inst = random_general(&RandomConfig::default(), seed);
+            let reference = safe_solution(&inst);
+            let (dist, stats) = safe_distributed(&inst);
+            assert_eq!(stats.rounds, 1);
+            for v in inst.agents() {
+                assert_eq!(
+                    dist.value(v).to_bits(),
+                    reference.value(v).to_bits(),
+                    "seed {seed} agent {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guarantee_value() {
+        assert_eq!(safe_guarantee(3), 3.0);
+    }
+}

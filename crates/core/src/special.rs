@@ -1,0 +1,346 @@
+//! The *special form* of §5: a validated wrapper exposing the paper's
+//! accessors.
+//!
+//! After the §4 transformations, the instance satisfies
+//!
+//! * `|Kv| = 1` — each agent `v` has a unique objective `k(v)`,
+//! * `c_kv = 1` — objective coefficients are normalised away,
+//! * `|Vi| = 2` — each constraint couples exactly two agents, so
+//!   `n(v, i)` (the *partner* of `v` at constraint `i`) is well defined,
+//! * `|Vk| ≥ 2` — so `N(v) = V_{k(v)} \ {v}` is nonempty,
+//! * `|Iv| ≥ 1` — so the cap `min_{i∈Iv} 1/a_iv` is finite.
+//!
+//! [`SpecialForm`] verifies all of this once and pre-computes the
+//! partner tables that the `f±`/`g±` recursions hit in their inner loops.
+
+use mmlp_instance::{AgentId, ConstraintId, Instance, ObjectiveId};
+
+/// One constraint incident to an agent, with everything the recursions
+/// need: own coefficient, partner agent, partner coefficient.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConsView {
+    /// The constraint id.
+    pub cons: ConstraintId,
+    /// `a_iv` — this agent's coefficient.
+    pub a_own: f64,
+    /// `n(v, i)` — the unique other agent of the constraint.
+    pub partner: AgentId,
+    /// `a_{i, n(v,i)}` — the partner's coefficient.
+    pub a_partner: f64,
+}
+
+/// Why an instance is not in special form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecialFormError {
+    /// A constraint has `|Vi| ≠ 2`.
+    ConstraintDegree {
+        /// Offending constraint.
+        cons: ConstraintId,
+        /// Its degree.
+        degree: usize,
+    },
+    /// An agent has `|Kv| ≠ 1`.
+    AgentObjectives {
+        /// Offending agent.
+        agent: AgentId,
+        /// Its objective count.
+        count: usize,
+    },
+    /// An objective has `|Vk| < 2`.
+    ObjectiveDegree {
+        /// Offending objective.
+        obj: ObjectiveId,
+        /// Its degree.
+        degree: usize,
+    },
+    /// An agent has no constraint (`|Iv| = 0`).
+    UnconstrainedAgent(AgentId),
+    /// An objective coefficient differs from 1.
+    ObjectiveCoefficient {
+        /// Offending agent.
+        agent: AgentId,
+        /// The non-unit coefficient found.
+        coef: f64,
+    },
+}
+
+impl std::fmt::Display for SpecialFormError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecialFormError::ConstraintDegree { cons, degree } => {
+                write!(f, "constraint {cons} has degree {degree}, expected 2")
+            }
+            SpecialFormError::AgentObjectives { agent, count } => {
+                write!(f, "agent {agent} is in {count} objectives, expected 1")
+            }
+            SpecialFormError::ObjectiveDegree { obj, degree } => {
+                write!(f, "objective {obj} has degree {degree}, expected ≥ 2")
+            }
+            SpecialFormError::UnconstrainedAgent(v) => {
+                write!(f, "agent {v} is in no constraint")
+            }
+            SpecialFormError::ObjectiveCoefficient { agent, coef } => {
+                write!(f, "agent {agent} has objective coefficient {coef}, expected 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecialFormError {}
+
+/// A validated special-form instance with pre-computed partner tables.
+#[derive(Clone, Debug)]
+pub struct SpecialForm {
+    inst: Instance,
+    /// `k(v)` per agent.
+    k_of: Vec<ObjectiveId>,
+    /// CSR of [`ConsView`] per agent.
+    cons_off: Vec<u32>,
+    cons: Vec<ConsView>,
+    /// `min_{i∈Iv} 1/a_iv` per agent (eq. (5)/(12)).
+    cap: Vec<f64>,
+}
+
+impl SpecialForm {
+    /// Validates and wraps an instance.
+    pub fn new(inst: Instance) -> Result<Self, SpecialFormError> {
+        for i in inst.constraints() {
+            let d = inst.constraint_row(i).len();
+            if d != 2 {
+                return Err(SpecialFormError::ConstraintDegree { cons: i, degree: d });
+            }
+        }
+        for k in inst.objectives() {
+            let d = inst.objective_row(k).len();
+            if d < 2 {
+                return Err(SpecialFormError::ObjectiveDegree { obj: k, degree: d });
+            }
+        }
+        let mut k_of = Vec::with_capacity(inst.n_agents());
+        for v in inst.agents() {
+            let objs = inst.agent_objectives(v);
+            if objs.len() != 1 {
+                return Err(SpecialFormError::AgentObjectives {
+                    agent: v,
+                    count: objs.len(),
+                });
+            }
+            if objs[0].coef != 1.0 {
+                return Err(SpecialFormError::ObjectiveCoefficient {
+                    agent: v,
+                    coef: objs[0].coef,
+                });
+            }
+            if inst.agent_constraints(v).is_empty() {
+                return Err(SpecialFormError::UnconstrainedAgent(v));
+            }
+            k_of.push(objs[0].obj);
+        }
+
+        let mut cons_off = Vec::with_capacity(inst.n_agents() + 1);
+        cons_off.push(0u32);
+        let mut cons = Vec::with_capacity(inst.n_constraint_edges());
+        let mut cap = Vec::with_capacity(inst.n_agents());
+        for v in inst.agents() {
+            let mut c = f64::INFINITY;
+            for ac in inst.agent_constraints(v) {
+                let row = inst.constraint_row(ac.cons);
+                let (own, other) = if row[0].agent == v {
+                    (row[0], row[1])
+                } else {
+                    (row[1], row[0])
+                };
+                debug_assert_eq!(own.agent, v);
+                cons.push(ConsView {
+                    cons: ac.cons,
+                    a_own: own.coef,
+                    partner: other.agent,
+                    a_partner: other.coef,
+                });
+                c = c.min(1.0 / own.coef);
+            }
+            cons_off.push(cons.len() as u32);
+            cap.push(c);
+        }
+
+        Ok(SpecialForm {
+            inst,
+            k_of,
+            cons_off,
+            cons,
+            cap,
+        })
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance {
+        &self.inst
+    }
+
+    /// Number of agents.
+    pub fn n_agents(&self) -> usize {
+        self.inst.n_agents()
+    }
+
+    /// `k(v)` — the unique objective adjacent to `v`.
+    #[inline]
+    pub fn k_of(&self, v: AgentId) -> ObjectiveId {
+        self.k_of[v.idx()]
+    }
+
+    /// `N(v) = V_{k(v)} \ {v}` — the other agents sharing `v`'s objective.
+    #[inline]
+    pub fn others(&self, v: AgentId) -> impl Iterator<Item = AgentId> + '_ {
+        self.inst
+            .objective_row(self.k_of(v))
+            .iter()
+            .map(|e| e.agent)
+            .filter(move |&w| w != v)
+    }
+
+    /// The constraints of `v` with partner information, in port order.
+    #[inline]
+    pub fn cons(&self, v: AgentId) -> &[ConsView] {
+        &self.cons[self.cons_off[v.idx()] as usize..self.cons_off[v.idx() + 1] as usize]
+    }
+
+    /// `min_{i∈Iv} 1/a_iv` (eq. (5)/(12)).
+    #[inline]
+    pub fn cap(&self, v: AgentId) -> f64 {
+        self.cap[v.idx()]
+    }
+
+    /// `max_k |Vk|` of this instance (the ΔK entering the ratio).
+    pub fn delta_k(&self) -> usize {
+        self.inst
+            .objectives()
+            .map(|k| self.inst.objective_row(k).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_gen::special::{cycle_special, random_special_form, SpecialFormConfig};
+    use mmlp_instance::InstanceBuilder;
+
+    #[test]
+    fn wraps_generated_special_instances() {
+        for seed in 0..5 {
+            let inst = random_special_form(&SpecialFormConfig::default(), seed);
+            let sf = SpecialForm::new(inst).expect("generator output is special");
+            assert!(sf.delta_k() <= 3);
+        }
+    }
+
+    #[test]
+    fn partner_tables_are_correct() {
+        let inst = cycle_special(4, 2.0);
+        let sf = SpecialForm::new(inst).expect("cycle is special");
+        for v in sf.instance().agents() {
+            for cv in sf.cons(v) {
+                assert_ne!(cv.partner, v);
+                // Cross-check against the raw row.
+                let row = sf.instance().constraint_row(cv.cons);
+                assert!(row.iter().any(|e| e.agent == v && e.coef == cv.a_own));
+                assert!(row
+                    .iter()
+                    .any(|e| e.agent == cv.partner && e.coef == cv.a_partner));
+                assert_eq!(cv.a_own, 2.0);
+            }
+            assert_eq!(sf.cap(v), 0.5);
+            // On the 2-regular cycle, |N(v)| = 1.
+            assert_eq!(sf.others(v).count(), 1);
+        }
+    }
+
+    #[test]
+    fn k_of_matches_objective_rows() {
+        let inst = random_special_form(&SpecialFormConfig::default(), 3);
+        let sf = SpecialForm::new(inst).expect("special");
+        for v in sf.instance().agents() {
+            let k = sf.k_of(v);
+            assert!(sf
+                .instance()
+                .objective_row(k)
+                .iter()
+                .any(|e| e.agent == v));
+        }
+    }
+
+    #[test]
+    fn rejects_constraint_degree() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let w = b.add_agent();
+        let z = b.add_agent();
+        b.add_constraint(&[(v, 1.0), (w, 1.0), (z, 1.0)]).unwrap();
+        b.add_objective(&[(v, 1.0), (w, 1.0), (z, 1.0)]).unwrap();
+        let err = SpecialForm::new(b.build().unwrap()).unwrap_err();
+        assert!(matches!(err, SpecialFormError::ConstraintDegree { degree: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_multi_objective_agents() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let w = b.add_agent();
+        b.add_constraint(&[(v, 1.0), (w, 1.0)]).unwrap();
+        b.add_objective(&[(v, 1.0), (w, 1.0)]).unwrap();
+        b.add_objective(&[(v, 1.0), (w, 1.0)]).unwrap();
+        let err = SpecialForm::new(b.build().unwrap()).unwrap_err();
+        assert!(matches!(err, SpecialFormError::AgentObjectives { count: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_singleton_objectives() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let w = b.add_agent();
+        b.add_constraint(&[(v, 1.0), (w, 1.0)]).unwrap();
+        b.add_objective(&[(v, 1.0)]).unwrap();
+        b.add_objective(&[(w, 1.0)]).unwrap();
+        let err = SpecialForm::new(b.build().unwrap()).unwrap_err();
+        assert!(matches!(err, SpecialFormError::ObjectiveDegree { degree: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_non_unit_objective_coefficients() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let w = b.add_agent();
+        b.add_constraint(&[(v, 1.0), (w, 1.0)]).unwrap();
+        b.add_objective(&[(v, 2.0), (w, 1.0)]).unwrap();
+        let err = SpecialForm::new(b.build().unwrap()).unwrap_err();
+        assert!(matches!(err, SpecialFormError::ObjectiveCoefficient { coef, .. } if coef == 2.0));
+    }
+
+    #[test]
+    fn rejects_unconstrained_agents() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let w = b.add_agent();
+        let z = b.add_agent();
+        b.add_constraint(&[(v, 1.0), (w, 1.0)]).unwrap();
+        b.add_objective(&[(v, 1.0), (z, 1.0)]).unwrap();
+        b.add_objective(&[(w, 1.0), (z, 1.0)]).unwrap();
+        let err = SpecialForm::new(b.build().unwrap()).unwrap_err();
+        // z has |Kv| = 2, caught first — rebuild with z in one objective.
+        assert!(matches!(err, SpecialFormError::AgentObjectives { .. }));
+
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let w = b.add_agent();
+        let z = b.add_agent();
+        b.add_constraint(&[(v, 1.0), (w, 1.0)]).unwrap();
+        b.add_objective(&[(v, 1.0), (z, 1.0)]).unwrap();
+        b.add_objective(&[(w, 1.0), (v, 1.0)]).unwrap();
+        let err = SpecialForm::new(b.build().unwrap()).unwrap_err();
+        assert!(
+            matches!(err, SpecialFormError::AgentObjectives { .. })
+                || matches!(err, SpecialFormError::UnconstrainedAgent(_))
+        );
+    }
+}

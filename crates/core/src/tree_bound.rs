@@ -1,0 +1,465 @@
+//! §5.1–§5.2: alternating trees `A_u` and the per-agent optimum `t_u`.
+//!
+//! For an agent `u`, the alternating tree `A_u` is the subgraph of the
+//! *unfolding* of `G` induced by alternating paths from `u` through
+//! `k(u)` of length ≤ `4r + 3` (plus `u`'s own constraints as leaves at
+//! level −2). Its levels alternate
+//!
+//! ```text
+//! level:  -2        -1     0      1        2      3      4    …  4r+2
+//! node:   leaf cons u      k(u)   agents   cons   agents obj  …  leaf cons
+//! ```
+//!
+//! The optimum `t_u` of the max-min LP restricted to `A_u` is an upper
+//! bound on the utility of *any* feasible solution of `G` (Lemma 2), and
+//! is characterised by the monotone recursions (5)–(7):
+//!
+//! * `f⁺` values are the **largest** the down-agents can take without
+//!   violating the constraints below them,
+//! * `f⁻` values are the **smallest** the up-agents can take so the
+//!   objectives below them still reach `ω`,
+//!
+//! and `t_u` is the largest `ω ≥ 0` keeping all `f⁺ ≥ 0` (8) and
+//! `f⁻_{u,u,r}(ω) ≤ min_i 1/a_iu` (9). Every `f±` is monotone in `ω`, so
+//! the feasible set is an interval `[0, t_u]` and — as §5.2 remarks — a
+//! **binary search** suffices; we bisect and return the certified
+//! feasible lower end.
+//!
+//! Key implementation point: although `A_u` lives in the unfolding (an
+//! infinite tree when `G` has cycles), the value `f±_{u,v,d}` depends
+//! only on `(v, d)` and the recursion direction — a node's children in
+//! `A_u` are determined by its agent and role, never by the walk history.
+//! The evaluation therefore memoises on `(v, d)` and runs on the folded
+//! graph `G` directly.
+
+use crate::special::SpecialForm;
+use mmlp_instance::{AgentId, Instance, InstanceBuilder};
+use std::collections::HashMap;
+
+/// Relative bisection tolerance for `t_u` (the returned value is the
+/// feasible lower end, so `t_u` is never overestimated).
+pub const BISECT_REL_TOL: f64 = 1e-12;
+
+/// Evaluator of the `f±` recursions and the bound `t_u` for a fixed
+/// locality parameter `R` (the paper's `R ≥ 2`; `r = R − 2`).
+pub struct TreeBound<'a> {
+    sf: &'a SpecialForm,
+    r: u32,
+}
+
+/// Reusable memo tables for one `(u, ω)` evaluation.
+#[derive(Default)]
+pub struct Scratch {
+    fp: HashMap<(u32, u32), f64>,
+    fm: HashMap<(u32, u32), f64>,
+}
+
+impl Scratch {
+    fn clear(&mut self) {
+        self.fp.clear();
+        self.fm.clear();
+    }
+}
+
+impl<'a> TreeBound<'a> {
+    /// Creates the evaluator; `big_r` is the paper's `R ≥ 2`.
+    pub fn new(sf: &'a SpecialForm, big_r: usize) -> Self {
+        assert!(big_r >= 2, "the paper requires R ≥ 2");
+        TreeBound {
+            sf,
+            r: (big_r - 2) as u32,
+        }
+    }
+
+    /// The depth parameter `r = R − 2`.
+    pub fn r(&self) -> usize {
+        self.r as usize
+    }
+
+    /// `f⁺_{u,v,d}(ω)` for a down-type agent `v` (level `4(r−d)+1`).
+    /// `None` when a negative `f⁺` was encountered (condition (8) fails).
+    fn f_plus(&self, v: u32, d: u32, omega: f64, sc: &mut Scratch) -> Option<f64> {
+        if let Some(&val) = sc.fp.get(&(v, d)) {
+            return Some(val);
+        }
+        let agent = AgentId::new(v);
+        let val = if d == 0 {
+            // (5): the deepest agents take the largest single-constraint-
+            // feasible value.
+            self.sf.cap(agent)
+        } else {
+            // (7): largest value not violating any constraint below,
+            // given the partners' minimal needs.
+            let mut m = f64::INFINITY;
+            for cv in self.sf.cons(agent) {
+                let fm = self.f_minus(cv.partner.raw(), d - 1, omega, sc)?;
+                m = m.min((1.0 - cv.a_partner * fm) / cv.a_own);
+            }
+            m
+        };
+        if val < 0.0 {
+            return None;
+        }
+        sc.fp.insert((v, d), val);
+        Some(val)
+    }
+
+    /// `f⁻_{u,v,d}(ω)` for an up-type agent `v` (level `4(r−d)−1`).
+    fn f_minus(&self, v: u32, d: u32, omega: f64, sc: &mut Scratch) -> Option<f64> {
+        if let Some(&val) = sc.fm.get(&(v, d)) {
+            return Some(val);
+        }
+        // (6): the smallest value for which the objective below still
+        // reaches ω given the down-agents' maxima.
+        let mut sum = 0.0;
+        for w in self.sf.others(AgentId::new(v)) {
+            sum += self.f_plus(w.raw(), d, omega, sc)?;
+        }
+        let val = (omega - sum).max(0.0);
+        sc.fm.insert((v, d), val);
+        Some(val)
+    }
+
+    /// Conditions (8) and (9) at `ω` for root `u`.
+    pub fn feasible(&self, u: AgentId, omega: f64, sc: &mut Scratch) -> bool {
+        sc.clear();
+        match self.f_minus(u.raw(), self.r, omega, sc) {
+            None => false,
+            Some(fm) => fm <= self.sf.cap(u),
+        }
+    }
+
+    /// A trivial upper bound on `t_u`: every agent of `k(u)` is capped by
+    /// its own constraints, so `t_u ≤ Σ_{w∈Vk(u)} cap(w)`.
+    pub fn upper_hint(&self, u: AgentId) -> f64 {
+        self.sf.cap(u) + self.sf.others(u).map(|w| self.sf.cap(w)).sum::<f64>()
+    }
+
+    /// `t_u` by bisection (the paper's suggested implementation).
+    pub fn t(&self, u: AgentId, sc: &mut Scratch) -> f64 {
+        let hi0 = self.upper_hint(u);
+        if hi0 == 0.0 || self.feasible(u, hi0, sc) {
+            return hi0;
+        }
+        let mut lo = 0.0f64;
+        let mut hi = hi0;
+        let tol = BISECT_REL_TOL * hi0.max(1.0);
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            if self.feasible(u, mid, sc) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// `t_u` for every agent, sequentially.
+    pub fn all(&self) -> Vec<f64> {
+        let mut sc = Scratch::default();
+        self.sf
+            .instance()
+            .agents()
+            .map(|u| self.t(u, &mut sc))
+            .collect()
+    }
+
+    /// `t_u` for every agent using `threads` crossbeam workers; identical
+    /// output to [`TreeBound::all`] (each `t_u` is independent).
+    pub fn all_parallel(&self, threads: usize) -> Vec<f64> {
+        let n = self.sf.n_agents();
+        let threads = threads.max(1);
+        if threads == 1 || n < 64 {
+            return self.all();
+        }
+        let mut out = vec![0.0f64; n];
+        let chunk = n.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (shard, slot) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    let mut sc = Scratch::default();
+                    for (off, val) in slot.iter_mut().enumerate() {
+                        *val = self.t(AgentId::new((shard * chunk + off) as u32), &mut sc);
+                    }
+                });
+            }
+        })
+        .expect("t_u workers");
+        out
+    }
+
+    /// Number of nodes of `A_u` (agents + constraints + objectives) —
+    /// the per-node work the local algorithm performs.
+    pub fn tree_size(&self, u: AgentId) -> usize {
+        // Count via the same traversal as materialize, without building.
+        let mut count = 1 + self.sf.cons(u).len() + 1; // u, leaf cons, k(u)
+        for w in self.sf.others(u) {
+            count += self.count_down(w, self.r);
+        }
+        count
+    }
+
+    fn count_down(&self, v: AgentId, d: u32) -> usize {
+        let mut c = 1; // the agent itself
+        for cv in self.sf.cons(v) {
+            c += 1; // the constraint
+            if d > 0 {
+                c += self.count_up(cv.partner, d - 1);
+            }
+        }
+        c
+    }
+
+    fn count_up(&self, v: AgentId, d: u32) -> usize {
+        let mut c = 2; // the agent and its objective
+        for w in self.sf.others(v) {
+            c += self.count_down(w, d);
+        }
+        c
+    }
+
+    /// Materialises `A_u` as an explicit (tree) max-min LP instance,
+    /// returning it together with the map *tree agent → original agent*.
+    ///
+    /// Leaf constraints (levels −2 and `4r+2`) keep only the one agent
+    /// inside the tree — the "relaxed" constraints of Lemma 2. By
+    /// Lemma 3, the LP optimum of the returned instance equals `t_u`;
+    /// tests verify this against the independent simplex solver.
+    pub fn materialize(&self, u: AgentId) -> (Instance, Vec<AgentId>) {
+        let mut m = Materializer {
+            tb: self,
+            b: InstanceBuilder::new(),
+            origin: Vec::new(),
+        };
+        let root = m.add_agent(u);
+        for cv in self.sf.cons(u) {
+            m.b.add_constraint(&[(root, cv.a_own)])
+                .expect("leaf constraint");
+        }
+        let mut krow = vec![(root, 1.0)];
+        for w in self.sf.others(u) {
+            krow.push((m.down(w, self.r), 1.0));
+        }
+        m.b.add_objective(&krow).expect("root objective");
+        (m.b.build().expect("materialized tree builds"), m.origin)
+    }
+}
+
+struct Materializer<'a, 'b> {
+    tb: &'b TreeBound<'a>,
+    b: InstanceBuilder,
+    origin: Vec<AgentId>,
+}
+
+impl Materializer<'_, '_> {
+    fn add_agent(&mut self, original: AgentId) -> AgentId {
+        let id = self.b.add_agent();
+        self.origin.push(original);
+        id
+    }
+
+    /// Expands a down-type agent at level `4(r−d)+1` and its subtree.
+    fn down(&mut self, v: AgentId, d: u32) -> AgentId {
+        let copy = self.add_agent(v);
+        for cv in self.tb.sf.cons(v) {
+            if d == 0 {
+                self.b
+                    .add_constraint(&[(copy, cv.a_own)])
+                    .expect("leaf constraint");
+            } else {
+                let partner = self.up(cv.partner, d - 1);
+                self.b
+                    .add_constraint(&[(copy, cv.a_own), (partner, cv.a_partner)])
+                    .expect("inner constraint");
+            }
+        }
+        copy
+    }
+
+    /// Expands an up-type agent at level `4(r−d)−1`, its objective and
+    /// the subtree below.
+    fn up(&mut self, v: AgentId, d: u32) -> AgentId {
+        let copy = self.add_agent(v);
+        let mut krow = vec![(copy, 1.0)];
+        for w in self.tb.sf.others(v) {
+            krow.push((self.down(w, d), 1.0));
+        }
+        self.b.add_objective(&krow).expect("inner objective");
+        copy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_gen::special::{cycle_special, random_special_form, SpecialFormConfig};
+    use mmlp_instance::CommGraph;
+
+    fn sf(inst: mmlp_instance::Instance) -> SpecialForm {
+        SpecialForm::new(inst).expect("special form")
+    }
+
+    #[test]
+    fn cycle_t_values_match_closed_form() {
+        // On the unit-coefficient cycle, A_u is a path and
+        // t_u = 1 + 1/(R−1) (hand-computed from the recursions).
+        let s = sf(cycle_special(20, 1.0));
+        for big_r in 2..=5 {
+            let tb = TreeBound::new(&s, big_r);
+            let expect = 1.0 + 1.0 / (big_r as f64 - 1.0);
+            let mut sc = Scratch::default();
+            for u in s.instance().agents().take(4) {
+                let t = tb.t(u, &mut sc);
+                assert!(
+                    (t - expect).abs() < 1e-9,
+                    "R={big_r}: t = {t}, expected {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn r2_equals_upper_hint() {
+        // r = 0 makes conditions (8)/(9) trivial: t_u = Σ_{w∈Vk(u)} cap(w).
+        let s = sf(random_special_form(&SpecialFormConfig::default(), 1));
+        let tb = TreeBound::new(&s, 2);
+        let mut sc = Scratch::default();
+        for u in s.instance().agents() {
+            assert!((tb.t(u, &mut sc) - tb.upper_hint(u)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn t_is_monotone_decreasing_in_big_r() {
+        // Larger R = deeper A_u = more (and stricter) constraints.
+        let s = sf(random_special_form(&SpecialFormConfig::default(), 7));
+        let mut prev: Option<Vec<f64>> = None;
+        for big_r in 2..=5 {
+            let t = TreeBound::new(&s, big_r).all();
+            if let Some(p) = &prev {
+                for (a, b) in t.iter().zip(p) {
+                    assert!(a <= &(b + 1e-9), "t must not increase with R");
+                }
+            }
+            prev = Some(t);
+        }
+    }
+
+    #[test]
+    fn t_upper_bounds_the_global_optimum() {
+        // Lemma 2: every feasible solution of G has utility ≤ t_u.
+        for seed in 0..4 {
+            let s = sf(random_special_form(
+                &SpecialFormConfig {
+                    n_objectives: 8,
+                    extra_constraints: 4,
+                    ..SpecialFormConfig::default()
+                },
+                seed,
+            ));
+            let opt = mmlp_lp::solve_maxmin(s.instance()).expect("bounded").omega;
+            for big_r in [2, 3, 4] {
+                let t = TreeBound::new(&s, big_r).all();
+                for (u, tu) in t.iter().enumerate() {
+                    assert!(
+                        *tu >= opt - 1e-7,
+                        "seed {seed} R {big_r} agent {u}: t = {tu} < opt = {opt}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_equals_lp_optimum_of_materialized_tree() {
+        // Lemma 3: t_u is the optimum of the max-min LP of A_u.
+        for seed in 0..3 {
+            let s = sf(random_special_form(
+                &SpecialFormConfig {
+                    n_objectives: 6,
+                    extra_constraints: 3,
+                    ..SpecialFormConfig::default()
+                },
+                seed,
+            ));
+            let tb = TreeBound::new(&s, 3);
+            let mut sc = Scratch::default();
+            for u in s.instance().agents().step_by(3) {
+                let (tree, _) = tb.materialize(u);
+                let lp_opt = mmlp_lp::solve_maxmin(&tree).expect("tree LP bounded").omega;
+                let t = tb.t(u, &mut sc);
+                assert!(
+                    (t - lp_opt).abs() < 1e-6,
+                    "seed {seed} {u}: t = {t} vs LP = {lp_opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_tree_is_a_tree_with_lemma1_structure() {
+        let s = sf(random_special_form(&SpecialFormConfig::default(), 5));
+        let tb = TreeBound::new(&s, 3);
+        let u = AgentId::new(0);
+        let (tree, origin) = tb.materialize(u);
+        assert_eq!(origin.len(), tree.n_agents());
+        assert_eq!(origin[0], u, "first tree agent is the root");
+        let g = CommGraph::new(&tree);
+        assert_eq!(g.girth(), None, "A_u is a tree (Lemma 1)");
+        let (_, comps) = g.components();
+        assert_eq!(comps, 1);
+        // Lemma 1: leaves are constraints (degree-1 nodes are constraints).
+        for i in tree.constraints() {
+            let d = tree.constraint_row(i).len();
+            assert!(d == 1 || d == 2);
+        }
+        for k in tree.objectives() {
+            assert!(tree.objective_row(k).len() >= 2, "objectives keep all agents");
+        }
+        assert_eq!(tb.tree_size(u), g.n_nodes(), "size counter matches");
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_omega() {
+        let s = sf(random_special_form(&SpecialFormConfig::default(), 11));
+        let tb = TreeBound::new(&s, 4);
+        let mut sc = Scratch::default();
+        let u = AgentId::new(0);
+        let t = tb.t(u, &mut sc);
+        for frac in [0.0, 0.25, 0.5, 0.9, 0.999] {
+            assert!(tb.feasible(u, frac * t, &mut sc), "below t is feasible");
+        }
+        assert!(!tb.feasible(u, t * 1.001 + 1e-6, &mut sc), "above t fails");
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let s = sf(random_special_form(
+            &SpecialFormConfig {
+                n_objectives: 40,
+                ..SpecialFormConfig::default()
+            },
+            2,
+        ));
+        let tb = TreeBound::new(&s, 3);
+        let seq = tb.all();
+        for threads in [2, 4] {
+            let par = tb.all_parallel(threads);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bit-identical results");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_feasible_always() {
+        let s = sf(random_special_form(&SpecialFormConfig::default(), 13));
+        let tb = TreeBound::new(&s, 3);
+        let mut sc = Scratch::default();
+        for u in s.instance().agents() {
+            assert!(tb.feasible(u, 0.0, &mut sc));
+        }
+    }
+}

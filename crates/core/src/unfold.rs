@@ -1,0 +1,482 @@
+//! §3: unfolding (universal covers) and port-numbering
+//! indistinguishability.
+//!
+//! The unfolding of `G` rooted at `r` has the non-backtracking walks from
+//! `r` as nodes. Two facts drive the paper:
+//!
+//! 1. A deterministic local algorithm in the port-numbering model must
+//!    produce the same output at any two nodes whose radius-`D` views
+//!    (balls in the unfolding, with port labels and coefficients) are
+//!    equal — it *cannot distinguish them* ([`views_equal`]).
+//! 2. Feasible solutions transfer both ways between `G` and its
+//!    unfolding (remarks 6–8 of §3), so proving a guarantee on trees
+//!    suffices.
+//!
+//! This module provides the direct (no message passing) view comparison
+//! used by the lower-bound experiment T5, plus helpers for building the
+//! explicit truncated unfolding of an instance.
+
+use mmlp_instance::{Adj, CommGraph, Instance, InstanceBuilder, Node};
+
+/// Coefficient on an edge as known by its agent endpoint, or `None` when
+/// the flat node is not an agent.
+fn edge_coefs(inst: &Instance, g: &CommGraph, flat: u32) -> Option<Vec<f64>> {
+    match g.node(flat) {
+        Node::Agent(v) => {
+            let mut coefs: Vec<f64> = inst
+                .agent_constraints(v)
+                .iter()
+                .map(|e| e.coef)
+                .collect();
+            coefs.extend(inst.agent_objectives(v).iter().map(|e| e.coef));
+            Some(coefs)
+        }
+        _ => None,
+    }
+}
+
+/// Are the radius-`depth` views of `a` in `inst_a` and `b` in `inst_b`
+/// equal (same kinds, same degrees, same port structure, same
+/// agent-known coefficients)?
+///
+/// Equal views make the two nodes indistinguishable to every
+/// deterministic local algorithm with horizon ≤ `depth` in the
+/// port-numbering model — the engine of the Theorem 1 lower bound.
+pub fn views_equal(
+    inst_a: &Instance,
+    a: Node,
+    inst_b: &Instance,
+    b: Node,
+    depth: usize,
+) -> bool {
+    let ga = CommGraph::new(inst_a);
+    let gb = CommGraph::new(inst_b);
+    views_equal_graphs(inst_a, &ga, ga.index(a), inst_b, &gb, gb.index(b), depth)
+}
+
+/// [`views_equal`] with pre-built graphs (for bulk comparisons).
+pub fn views_equal_graphs(
+    inst_a: &Instance,
+    ga: &CommGraph,
+    a: u32,
+    inst_b: &Instance,
+    gb: &CommGraph,
+    b: u32,
+    depth: usize,
+) -> bool {
+    rec_equal(inst_a, ga, a, None, inst_b, gb, b, None, depth)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec_equal(
+    inst_a: &Instance,
+    ga: &CommGraph,
+    a: u32,
+    back_a: Option<u32>, // port index at `a` of the edge towards the parent
+    inst_b: &Instance,
+    gb: &CommGraph,
+    b: u32,
+    back_b: Option<u32>,
+    depth: usize,
+) -> bool {
+    if ga.node(a).kind() != gb.node(b).kind() {
+        return false;
+    }
+    let na = ga.neighbors(a);
+    let nb = gb.neighbors(b);
+    if na.len() != nb.len() {
+        return false;
+    }
+    if back_a != back_b {
+        return false;
+    }
+    if edge_coefs(inst_a, ga, a) != edge_coefs(inst_b, gb, b) {
+        return false;
+    }
+    if depth == 0 {
+        return true;
+    }
+    for (port, (adj_a, adj_b)) in na.iter().zip(nb.iter()).enumerate() {
+        if Some(port as u32) == back_a {
+            continue; // non-backtracking
+        }
+        if !rec_equal(
+            inst_a,
+            ga,
+            adj_a.to,
+            Some(adj_a.port_at_to),
+            inst_b,
+            gb,
+            adj_b.to,
+            Some(adj_b.port_at_to),
+            depth - 1,
+        ) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Builds the radius-`depth` chunk of the unfolding of `inst` rooted at
+/// `root` as an explicit instance, together with the map *new node →
+/// parent node of `G`* for agents.
+///
+/// Rows that are only partially inside the ball are kept with the agents
+/// that made it into the ball (their other agents are beyond the
+/// horizon), matching how local views truncate. The result is always a
+/// forest-shaped instance (girth `None`).
+pub fn unfolding_chunk(inst: &Instance, root: Node, depth: usize) -> (Instance, Vec<Node>) {
+    let g = CommGraph::new(inst);
+
+    // Walk states: (flat node, incoming port or none, remaining depth).
+    // We materialise agents immediately; rows are materialised when
+    // visited, collecting their member agent copies.
+    struct Walker<'a> {
+        inst: &'a Instance,
+        g: &'a CommGraph,
+        b: InstanceBuilder,
+        parents: Vec<Node>,
+        cons_rows: Vec<Vec<(mmlp_instance::AgentId, f64)>>,
+        obj_rows: Vec<Vec<(mmlp_instance::AgentId, f64)>>,
+    }
+
+    impl Walker<'_> {
+        /// Visits `flat` arriving through `back` (port at `flat`), with
+        /// `depth` edges of budget left. For agents, returns the new id;
+        /// the copy's rows are expanded recursively.
+        fn visit_agent(
+            &mut self,
+            flat: u32,
+            back: Option<u32>,
+            depth: usize,
+        ) -> mmlp_instance::AgentId {
+            let id = self.b.add_agent();
+            self.parents.push(self.g.node(flat));
+            if depth == 0 {
+                return id;
+            }
+            for (port, adj) in self.g.neighbors(flat).iter().enumerate() {
+                if Some(port as u32) == back {
+                    continue;
+                }
+                self.visit_row(adj, id, depth - 1);
+            }
+            id
+        }
+
+        /// Visits a row node reached from agent copy `from_id` (parent
+        /// `from_flat`), creating the row with the traversing agent and
+        /// all further agents within budget.
+        fn visit_row(&mut self, adj: &Adj, from_id: mmlp_instance::AgentId, depth: usize) {
+            let row_flat = adj.to;
+            let back = adj.port_at_to;
+            let mut members: Vec<(mmlp_instance::AgentId, f64)> = Vec::new();
+            // Coefficient at a given port of this row.
+            let coef_of = |port_at_row: u32| -> f64 {
+                match self.g.node(row_flat) {
+                    Node::Constraint(i) => self.inst.constraint_row(i)[port_at_row as usize].coef,
+                    Node::Objective(k) => self.inst.objective_row(k)[port_at_row as usize].coef,
+                    Node::Agent(_) => unreachable!("rows only"),
+                }
+            };
+            members.push((from_id, coef_of(back)));
+            if depth > 0 {
+                for (port, nxt) in self.g.neighbors(row_flat).iter().enumerate() {
+                    if port as u32 == back {
+                        continue;
+                    }
+                    let agent_copy = self.visit_agent(nxt.to, Some(nxt.port_at_to), depth - 1);
+                    members.push((agent_copy, coef_of(port as u32)));
+                }
+            }
+            match self.g.node(row_flat) {
+                Node::Constraint(_) => self.cons_rows.push(members),
+                Node::Objective(_) => self.obj_rows.push(members),
+                Node::Agent(_) => unreachable!(),
+            }
+        }
+    }
+
+    let mut w = Walker {
+        inst,
+        g: &g,
+        b: InstanceBuilder::new(),
+        parents: Vec::new(),
+        cons_rows: Vec::new(),
+        obj_rows: Vec::new(),
+    };
+
+    match root {
+        Node::Agent(_) => {
+            w.visit_agent(g.index(root), None, depth);
+        }
+        _ => {
+            // Root at a row: materialise the row with all its agents.
+            let row_flat = g.index(root);
+            let mut members = Vec::new();
+            if depth > 0 {
+                for (port, nxt) in g.neighbors(row_flat).iter().enumerate() {
+                    let agent_copy = w.visit_agent(nxt.to, Some(nxt.port_at_to), depth - 1);
+                    let coef = match root {
+                        Node::Constraint(i) => inst.constraint_row(i)[port].coef,
+                        Node::Objective(k) => inst.objective_row(k)[port].coef,
+                        Node::Agent(_) => unreachable!(),
+                    };
+                    members.push((agent_copy, coef));
+                }
+            }
+            if !members.is_empty() {
+                match root {
+                    Node::Constraint(_) => w.cons_rows.push(members),
+                    Node::Objective(_) => w.obj_rows.push(members),
+                    Node::Agent(_) => unreachable!(),
+                }
+            }
+        }
+    }
+
+    let mut b = w.b;
+    let parents = w.parents;
+    for row in &w.cons_rows {
+        b.add_constraint(row).expect("chunk constraint");
+    }
+    for row in &w.obj_rows {
+        b.add_objective(row).expect("chunk objective");
+    }
+    (b.build().expect("chunk builds"), parents)
+}
+
+/// A canonical, **port-order-independent** encoding of the radius-`depth`
+/// view of a node: children are encoded recursively and sorted, so two
+/// nodes get the same code iff their views are isomorphic as unordered
+/// coefficient-labelled trees.
+///
+/// Port-permutation-invariant local algorithms — this paper's algorithm
+/// is one, since it only takes sums and minima over port sets — must
+/// produce (numerically) identical outputs on nodes with equal codes.
+/// The lower-bound experiment T5 uses this to match interior agents of
+/// the tree gadget with agents of the regular gadget even though the two
+/// generators order their ports differently. (The paper's impossibility
+/// argument uses the stronger port-exact [`views_equal`].)
+pub fn canonical_view_code(inst: &Instance, node: Node, depth: usize) -> String {
+    let g = CommGraph::new(inst);
+    canonical_rec(inst, &g, g.index(node), None, depth)
+}
+
+fn canonical_rec(
+    inst: &Instance,
+    g: &CommGraph,
+    x: u32,
+    back_port: Option<u32>,
+    depth: usize,
+) -> String {
+    let kind = match g.node(x) {
+        Node::Agent(_) => 'a',
+        Node::Constraint(_) => 'c',
+        Node::Objective(_) => 'o',
+    };
+    // Edge coefficient towards each port, as known at this node (agents
+    // know them; rows contribute the agent-side value via recursion, so
+    // encoding only agent-side coefficients loses nothing).
+    let coefs: Option<Vec<f64>> = match g.node(x) {
+        Node::Agent(v) => {
+            let mut c: Vec<f64> = inst.agent_constraints(v).iter().map(|e| e.coef).collect();
+            c.extend(inst.agent_objectives(v).iter().map(|e| e.coef));
+            Some(c)
+        }
+        _ => None,
+    };
+    let mut parts: Vec<String> = Vec::new();
+    for (port, adj) in g.neighbors(x).iter().enumerate() {
+        let coef = coefs.as_ref().map(|c| c[port]);
+        let tag = |body: String| match coef {
+            Some(c) => format!("{c:.17e}:{body}"),
+            None => body,
+        };
+        if Some(port as u32) == back_port {
+            parts.push(tag("^".to_string()));
+        } else if depth == 0 {
+            parts.push(tag("?".to_string()));
+        } else {
+            parts.push(tag(canonical_rec(
+                inst,
+                g,
+                adj.to,
+                Some(adj.port_at_to),
+                depth - 1,
+            )));
+        }
+    }
+    parts.sort_unstable();
+    let mut out = String::new();
+    out.push(kind);
+    out.push('(');
+    out.push_str(&parts.join(","));
+    out.push(')');
+    out
+}
+
+/// Girth of the communication graph (`None` for forests) — re-exported
+/// convenience for experiments that need to check the indistinguishability
+/// radius.
+pub fn girth(inst: &Instance) -> Option<u32> {
+    CommGraph::new(inst).girth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_gen::special::{cycle_special, path_special};
+    use mmlp_instance::AgentId;
+
+    #[test]
+    fn a_node_is_always_self_equal() {
+        let inst = cycle_special(5, 1.0);
+        for depth in [0, 2, 7] {
+            assert!(views_equal(
+                &inst,
+                Node::Agent(AgentId::new(0)),
+                &inst,
+                Node::Agent(AgentId::new(0)),
+                depth
+            ));
+        }
+    }
+
+    #[test]
+    fn cycles_of_different_lengths_are_indistinguishable() {
+        let a = cycle_special(6, 1.0);
+        let b = cycle_special(11, 1.0);
+        // Even-type agents match even-type agents at any depth.
+        assert!(views_equal(
+            &a,
+            Node::Agent(AgentId::new(0)),
+            &b,
+            Node::Agent(AgentId::new(0)),
+            9
+        ));
+        // Even-type vs odd-type differ (mirrored ports) already at the
+        // constraint structure.
+        assert!(!views_equal(
+            &a,
+            Node::Agent(AgentId::new(0)),
+            &b,
+            Node::Agent(AgentId::new(1)),
+            2
+        ));
+    }
+
+    #[test]
+    fn path_interior_matches_cycle_but_ends_do_not() {
+        let cycle = cycle_special(8, 1.0);
+        let path = path_special(8, 1.0);
+        // Interior agent far from both ends.
+        assert!(views_equal(
+            &path,
+            Node::Agent(AgentId::new(8)),
+            &cycle,
+            Node::Agent(AgentId::new(0)),
+            4
+        ));
+        // The tied end has a different radius-2 structure.
+        assert!(!views_equal(
+            &path,
+            Node::Agent(AgentId::new(0)),
+            &cycle,
+            Node::Agent(AgentId::new(0)),
+            4
+        ));
+    }
+
+    #[test]
+    fn coefficients_break_view_equality() {
+        // The agent's local input includes its coefficients, so views
+        // with different a_iv differ already at depth 0.
+        let a = cycle_special(6, 1.0);
+        let b = cycle_special(6, 0.5);
+        assert!(!views_equal(
+            &a,
+            Node::Agent(AgentId::new(0)),
+            &b,
+            Node::Agent(AgentId::new(0)),
+            0
+        ));
+        // But a row node's local input carries no coefficients: its
+        // depth-0 views agree.
+        assert!(views_equal(
+            &a,
+            Node::Constraint(mmlp_instance::ConstraintId::new(0)),
+            &b,
+            Node::Constraint(mmlp_instance::ConstraintId::new(0)),
+            0
+        ));
+    }
+
+    #[test]
+    fn unfolding_chunk_of_cycle_is_a_path() {
+        let inst = cycle_special(3, 1.0); // total cycle length 12
+        let (chunk, parents) = unfolding_chunk(&inst, Node::Agent(AgentId::new(0)), 5);
+        // Radius-5 ball in the unfolded line: 11 nodes.
+        let g = CommGraph::new(&chunk);
+        assert_eq!(g.girth(), None, "chunks are forests");
+        assert_eq!(g.n_nodes(), 11);
+        assert_eq!(parents.len(), chunk.n_agents());
+        assert_eq!(parents[0], Node::Agent(AgentId::new(0)));
+    }
+
+    #[test]
+    fn unfolding_chunk_from_row_roots() {
+        let inst = cycle_special(4, 1.0);
+        let (chunk, _) = unfolding_chunk(&inst, Node::Objective(mmlp_instance::ObjectiveId::new(0)), 3);
+        assert!(chunk.n_objectives() >= 1);
+        assert_eq!(CommGraph::new(&chunk).girth(), None);
+    }
+
+    #[test]
+    fn canonical_codes_identify_mirrored_views() {
+        // Even- and odd-type cycle agents have mirrored port orders:
+        // views_equal says no, the unordered canonical code says yes.
+        let inst = cycle_special(6, 1.0);
+        let a = canonical_view_code(&inst, Node::Agent(AgentId::new(0)), 4);
+        let b = canonical_view_code(&inst, Node::Agent(AgentId::new(1)), 4);
+        assert_eq!(a, b, "mirrored agents are isomorphic");
+        assert!(!views_equal(
+            &inst,
+            Node::Agent(AgentId::new(0)),
+            &inst,
+            Node::Agent(AgentId::new(1)),
+            4
+        ));
+    }
+
+    #[test]
+    fn canonical_codes_distinguish_coefficients_and_depth() {
+        let a = cycle_special(6, 1.0);
+        let b = cycle_special(6, 0.5);
+        assert_ne!(
+            canonical_view_code(&a, Node::Agent(AgentId::new(0)), 1),
+            canonical_view_code(&b, Node::Agent(AgentId::new(0)), 1)
+        );
+        assert_ne!(
+            canonical_view_code(&a, Node::Agent(AgentId::new(0)), 1),
+            canonical_view_code(&a, Node::Agent(AgentId::new(0)), 2),
+            "horizon markers differ by depth"
+        );
+    }
+
+    #[test]
+    fn canonical_codes_match_across_cycle_lengths() {
+        let a = cycle_special(6, 1.0);
+        let b = cycle_special(9, 1.0);
+        assert_eq!(
+            canonical_view_code(&a, Node::Agent(AgentId::new(0)), 5),
+            canonical_view_code(&b, Node::Agent(AgentId::new(3)), 5)
+        );
+    }
+
+    #[test]
+    fn girth_helper_matches_commgraph() {
+        let inst = cycle_special(5, 1.0);
+        assert_eq!(girth(&inst), Some(20));
+    }
+}

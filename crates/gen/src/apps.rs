@@ -1,0 +1,260 @@
+//! The intro's motivating applications as instance generators.
+//!
+//! * [`sensor_grid`] — *balanced data gathering* in a wireless sensor
+//!   network: every cell of a toroidal grid hosts a sensor whose data can
+//!   be relayed through itself or a nearby cell; relays have unit energy
+//!   budgets; the objective is to maximise the minimum amount of data
+//!   gathered per sensor.
+//! * [`bandwidth_ladder`] — *fair bandwidth allocation*: customers on a
+//!   ring send along one of two parallel rails of shared links; links
+//!   have unit capacity; the objective is to maximise the minimum
+//!   bandwidth delivered to any customer.
+//!
+//! Both produce bounded-degree instances whose ΔI/ΔK are controlled by
+//! the topology parameters, matching the paper's setting where a network
+//! node is responsible for each variable/constraint/objective.
+
+use mmlp_instance::{AgentId, Instance, InstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`sensor_grid`].
+#[derive(Clone, Copy, Debug)]
+pub struct SensorGridConfig {
+    /// Grid width (torus).
+    pub width: usize,
+    /// Grid height (torus).
+    pub height: usize,
+    /// Relay energy cost per unit of data is drawn from this range
+    /// (self-relay always costs the lower bound).
+    pub cost_range: (f64, f64),
+}
+
+impl Default for SensorGridConfig {
+    fn default() -> Self {
+        Self {
+            width: 6,
+            height: 6,
+            cost_range: (1.0, 2.0),
+        }
+    }
+}
+
+/// Balanced data gathering on a `width × height` torus.
+///
+/// One agent per (sensor, relay) pair with relay ∈ {self, N, S, E, W};
+/// one energy constraint per relay cell (`ΔI = 5`); one objective per
+/// sensor (`ΔK = 5`, unit coefficients). Deterministic in `seed`.
+pub fn sensor_grid(cfg: &SensorGridConfig, seed: u64) -> Instance {
+    assert!(cfg.width >= 3 && cfg.height >= 3, "torus needs ≥ 3 cells per side");
+    let (w, h) = (cfg.width, cfg.height);
+    let cells = w * h;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new();
+
+    // Agent (s, d) for direction d in {self, N, S, E, W}.
+    let dirs: [(isize, isize); 5] = [(0, 0), (0, -1), (0, 1), (1, 0), (-1, 0)];
+    let agent = |s: usize, d: usize| AgentId::new((s * 5 + d) as u32);
+    for _ in 0..cells * 5 {
+        b.add_agent();
+    }
+
+    let cell = |x: isize, y: isize| -> usize {
+        let xm = x.rem_euclid(w as isize) as usize;
+        let ym = y.rem_euclid(h as isize) as usize;
+        ym * w + xm
+    };
+
+    // Energy constraint per relay r: every (s, d) with relay(s, d) = r.
+    // Deterministic cost per (s, d) pair.
+    let mut costs = vec![0.0f64; cells * 5];
+    for s in 0..cells {
+        for d in 0..5 {
+            costs[s * 5 + d] = if d == 0 {
+                cfg.cost_range.0
+            } else {
+                let (lo, hi) = cfg.cost_range;
+                if lo == hi {
+                    lo
+                } else {
+                    (rng.gen::<f64>() * (hi.ln() - lo.ln()) + lo.ln()).exp()
+                }
+            };
+        }
+    }
+    for r in 0..cells {
+        let (rx, ry) = ((r % w) as isize, (r / w) as isize);
+        let mut row = Vec::with_capacity(5);
+        // The sensor s relaying through r in direction d satisfies
+        // s + dir(d) = r, i.e. s = r − dir(d).
+        for (d, (dx, dy)) in dirs.iter().enumerate() {
+            let s = cell(rx - dx, ry - dy);
+            row.push((agent(s, d), costs[s * 5 + d]));
+        }
+        b.add_constraint(&row).expect("five distinct agents");
+    }
+
+    // Objective per sensor: total data shipped, unit coefficients.
+    for s in 0..cells {
+        let row: Vec<(AgentId, f64)> = (0..5).map(|d| (agent(s, d), 1.0)).collect();
+        b.add_objective(&row).expect("five distinct agents");
+    }
+
+    b.build().expect("sensor grid builds")
+}
+
+/// Parameters for [`bandwidth_ladder`].
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthConfig {
+    /// Number of customers (and of link positions on the ring).
+    pub n_customers: usize,
+    /// Window of consecutive links each path occupies; equals the
+    /// resulting `ΔI`.
+    pub window: usize,
+    /// Per-link usage coefficients drawn from this range.
+    pub coef_range: (f64, f64),
+}
+
+impl Default for BandwidthConfig {
+    fn default() -> Self {
+        Self {
+            n_customers: 24,
+            window: 3,
+            coef_range: (0.8, 1.25),
+        }
+    }
+}
+
+/// Fair bandwidth allocation on a two-rail ring.
+///
+/// Customer `j` ships flow `x_{j,upper}` or `x_{j,lower}` along `window`
+/// consecutive link positions starting at `j` on the chosen rail; each
+/// of the `2·n_customers` links has unit capacity shared by the `window`
+/// customers crossing it (`ΔI = window`); each customer's objective sums
+/// its two path variables (`ΔK = 2`). Deterministic in `seed`.
+pub fn bandwidth_ladder(cfg: &BandwidthConfig, seed: u64) -> Instance {
+    let c = cfg.n_customers;
+    let w = cfg.window;
+    assert!(c >= 3, "ring needs ≥ 3 customers");
+    assert!((2..=c).contains(&w), "window must be in [2, n_customers]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new();
+    let agent = |j: usize, rail: usize| AgentId::new((j * 2 + rail) as u32);
+    for _ in 0..2 * c {
+        b.add_agent();
+    }
+
+    let coef = |rng: &mut StdRng| {
+        let (lo, hi) = cfg.coef_range;
+        if lo == hi {
+            lo
+        } else {
+            (rng.gen::<f64>() * (hi.ln() - lo.ln()) + lo.ln()).exp()
+        }
+    };
+
+    // Link constraint at (rail, position p): customers j with
+    // p ∈ {j, …, j+w−1 (mod c)}.
+    for rail in 0..2 {
+        for p in 0..c {
+            let mut row = Vec::with_capacity(w);
+            for back in 0..w {
+                let j = (p + c - back) % c;
+                row.push((agent(j, rail), coef(&mut rng)));
+            }
+            b.add_constraint(&row).expect("distinct customers in window");
+        }
+    }
+
+    // Customer objectives.
+    for j in 0..c {
+        b.add_objective(&[(agent(j, 0), 1.0), (agent(j, 1), 1.0)])
+            .expect("two rails");
+    }
+
+    b.build().expect("bandwidth ladder builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_instance::{validate, DegreeStats, Solution};
+
+    #[test]
+    fn sensor_grid_shape() {
+        let inst = sensor_grid(&SensorGridConfig::default(), 0);
+        validate::check(&inst).expect("clean");
+        assert_eq!(inst.n_agents(), 36 * 5);
+        assert_eq!(inst.n_constraints(), 36);
+        assert_eq!(inst.n_objectives(), 36);
+        let s = DegreeStats::of(&inst);
+        assert_eq!(s.delta_i, 5);
+        assert_eq!(s.delta_k, 5);
+        assert_eq!(s.min_vi, 5);
+        assert_eq!(s.max_kv, 1, "each agent serves one sensor");
+        assert_eq!(s.max_iv, 1, "each agent loads one relay");
+    }
+
+    #[test]
+    fn sensor_grid_uniform_routing_is_feasible() {
+        let cfg = SensorGridConfig {
+            cost_range: (1.0, 1.0),
+            ..SensorGridConfig::default()
+        };
+        let inst = sensor_grid(&cfg, 1);
+        // Each relay serves 5 unit-cost agents; x = 1/5 saturates exactly.
+        let x = Solution::from_vec(vec![0.2; inst.n_agents()]);
+        assert!(x.is_feasible(&inst, 1e-12));
+        assert!((x.utility(&inst) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensor_grid_deterministic() {
+        let a = sensor_grid(&SensorGridConfig::default(), 3);
+        let b = sensor_grid(&SensorGridConfig::default(), 3);
+        assert_eq!(
+            mmlp_instance::textfmt::write_instance(&a),
+            mmlp_instance::textfmt::write_instance(&b)
+        );
+    }
+
+    #[test]
+    fn bandwidth_shape() {
+        let inst = bandwidth_ladder(&BandwidthConfig::default(), 0);
+        validate::check(&inst).expect("clean");
+        assert_eq!(inst.n_agents(), 48);
+        assert_eq!(inst.n_constraints(), 48);
+        assert_eq!(inst.n_objectives(), 24);
+        let s = DegreeStats::of(&inst);
+        assert_eq!(s.delta_i, 3, "window");
+        assert_eq!(s.delta_k, 2, "two rails");
+    }
+
+    #[test]
+    fn bandwidth_balanced_split_is_feasible() {
+        let cfg = BandwidthConfig {
+            n_customers: 10,
+            window: 2,
+            coef_range: (1.0, 1.0),
+        };
+        let inst = bandwidth_ladder(&cfg, 0);
+        // Each link carries `window` = 2 customers: x = 1/2 saturates;
+        // every customer then receives 1/2 + 1/2 = 1.
+        let x = Solution::from_vec(vec![0.5; inst.n_agents()]);
+        assert!(x.is_feasible(&inst, 1e-12));
+        assert!((x.utility(&inst) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_equals_delta_i() {
+        for w in 2..=4 {
+            let cfg = BandwidthConfig {
+                n_customers: 12,
+                window: w,
+                coef_range: (1.0, 1.0),
+            };
+            let inst = bandwidth_ladder(&cfg, 0);
+            assert_eq!(DegreeStats::of(&inst).delta_i, w);
+        }
+    }
+}

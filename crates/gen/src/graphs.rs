@@ -1,0 +1,449 @@
+//! Plain-graph substrate: random regular graphs (with girth improvement),
+//! bipartite double covers, connectivity/bipartiteness/girth checks.
+//!
+//! These simple graphs are the *objective graphs* from which the
+//! lower-bound gadget instances are built, and provide covering-space
+//! fixtures for the unfolding machinery tests (§3 of the paper).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// An undirected simple graph on `n` vertices.
+#[derive(Clone, Debug)]
+pub struct SimpleGraph {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl SimpleGraph {
+    /// Builds from an edge list; panics on loops, duplicate edges or
+    /// out-of-range endpoints (generator bugs should be loud).
+    pub fn new(n: usize, mut edges: Vec<(u32, u32)>) -> Self {
+        for e in &mut edges {
+            assert!((e.0 as usize) < n && (e.1 as usize) < n, "endpoint out of range");
+            assert_ne!(e.0, e.1, "loops are not allowed");
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        assert!(
+            sorted.windows(2).all(|w| w[0] != w[1]),
+            "duplicate edges are not allowed"
+        );
+        Self { n, edges }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The edge list (normalised to `u < v`).
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Adjacency lists.
+    pub fn adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        adj
+    }
+
+    /// Degree sequence.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Whether the graph is connected (the empty graph counts as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(x) = stack.pop() {
+            for &y in &adj[x as usize] {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    count += 1;
+                    stack.push(y);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// Whether the graph is bipartite.
+    pub fn is_bipartite(&self) -> bool {
+        let adj = self.adjacency();
+        let mut color = vec![u8::MAX; self.n];
+        for s in 0..self.n {
+            if color[s] != u8::MAX {
+                continue;
+            }
+            color[s] = 0;
+            let mut stack = vec![s as u32];
+            while let Some(x) = stack.pop() {
+                for &y in &adj[x as usize] {
+                    if color[y as usize] == u8::MAX {
+                        color[y as usize] = 1 - color[x as usize];
+                        stack.push(y);
+                    } else if color[y as usize] == color[x as usize] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Girth (length of a shortest cycle), or `None` for a forest.
+    pub fn girth(&self) -> Option<u32> {
+        let adj = self.adjacency();
+        let mut best = u32::MAX;
+        let mut dist = vec![u32::MAX; self.n];
+        let mut parent = vec![u32::MAX; self.n];
+        let mut queue: Vec<u32> = Vec::new();
+        for s in 0..self.n as u32 {
+            for &x in &queue {
+                dist[x as usize] = u32::MAX;
+                parent[x as usize] = u32::MAX;
+            }
+            queue.clear();
+            dist[s as usize] = 0;
+            queue.push(s);
+            let mut head = 0;
+            while head < queue.len() {
+                let x = queue[head];
+                head += 1;
+                if 2 * dist[x as usize] + 1 >= best {
+                    break;
+                }
+                for &y in &adj[x as usize] {
+                    if y == parent[x as usize] {
+                        continue;
+                    }
+                    if dist[y as usize] == u32::MAX {
+                        dist[y as usize] = dist[x as usize] + 1;
+                        parent[y as usize] = x;
+                        queue.push(y);
+                    } else {
+                        best = best.min(dist[x as usize] + dist[y as usize] + 1);
+                    }
+                }
+            }
+            if best == 3 {
+                break;
+            }
+        }
+        (best != u32::MAX).then_some(best)
+    }
+
+    /// The bipartite double cover: vertices `(v, 0)` and `(v, 1)`; each
+    /// edge `{u,v}` lifts to `{(u,0),(v,1)}` and `{(u,1),(v,0)}`.
+    ///
+    /// The double cover is always bipartite, covers the base 2-to-1 (so
+    /// local views coincide with the base's), and is connected iff the
+    /// base is connected and non-bipartite.
+    pub fn double_cover(&self) -> SimpleGraph {
+        let mut edges = Vec::with_capacity(2 * self.edges.len());
+        let n = self.n as u32;
+        for &(u, v) in &self.edges {
+            edges.push((u, v + n));
+            edges.push((v, u + n));
+        }
+        SimpleGraph::new(2 * self.n, edges)
+    }
+
+    /// The cycle `C_n`.
+    pub fn cycle(n: usize) -> SimpleGraph {
+        assert!(n >= 3, "cycles need at least 3 vertices");
+        let edges = (0..n as u32)
+            .map(|i| (i, (i + 1) % n as u32))
+            .collect();
+        SimpleGraph::new(n, edges)
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> SimpleGraph {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        SimpleGraph::new(n, edges)
+    }
+
+    /// The Petersen graph (3-regular, girth 5, non-bipartite) — a useful
+    /// fixed high-girth fixture.
+    pub fn petersen() -> SimpleGraph {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            edges.push((i, (i + 1) % 5)); // outer C5
+            edges.push((5 + i, 5 + (i + 2) % 5)); // inner pentagram
+            edges.push((i, 5 + i)); // spokes
+        }
+        SimpleGraph::new(10, edges)
+    }
+}
+
+/// A random `k`-fold **permutation lift** of this graph: vertices
+/// `(v, j)` for `j < k`; each base edge `{u, v}` lifts to the matching
+/// `{(u, j), (v, π_e(j))}` for a uniformly random permutation `π_e`.
+///
+/// Every lift covers the base graph, so corresponding vertices have
+/// identical local views up to (at least) the lift's girth — the
+/// classic way to manufacture larger locally-indistinguishable graphs
+/// (§3 of the paper). Girth never decreases under lifts; connectivity
+/// is not guaranteed, so sample with retries if needed.
+pub fn permutation_lift(base: &SimpleGraph, k: usize, seed: u64) -> SimpleGraph {
+    assert!(k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = base.n();
+    let mut edges = Vec::with_capacity(base.edges().len() * k);
+    for &(u, v) in base.edges() {
+        let mut perm: Vec<u32> = (0..k as u32).collect();
+        perm.shuffle(&mut rng);
+        for (j, &pj) in perm.iter().enumerate() {
+            edges.push((u + (j as u32) * n as u32, v + pj * n as u32));
+        }
+    }
+    SimpleGraph::new(n * k, edges)
+}
+
+/// Random `d`-regular simple connected graph on `n` vertices via the
+/// configuration model with restarts, followed by girth-improving edge
+/// swaps towards `min_girth` (best effort; the achieved girth is
+/// returned alongside).
+///
+/// Requires `n·d` even and `n > d`.
+pub fn random_regular(n: usize, d: usize, min_girth: u32, seed: u64) -> (SimpleGraph, u32) {
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
+    assert!(n > d, "need n > d for a simple d-regular graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'restart: for _attempt in 0..1000 {
+        // Pair stubs uniformly.
+        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut edges = Vec::with_capacity(n * d / 2);
+        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            if u == v || !seen.insert((u, v)) {
+                continue 'restart; // loop or multi-edge: resample
+            }
+            edges.push((u, v));
+        }
+        let g = SimpleGraph::new(n, edges);
+        if !g.is_connected() {
+            continue 'restart;
+        }
+        let (g, girth) = improve_girth(g, min_girth, &mut rng);
+        return (g, girth);
+    }
+    panic!("failed to sample a connected {d}-regular graph on {n} vertices");
+}
+
+/// Degree-preserving edge swaps that lengthen the shortest cycle:
+/// repeatedly pick an edge on a shortest cycle and 2-swap it with a
+/// random other edge when doing so increases (or preserves, with a
+/// budget) the girth. Returns the improved graph and its girth.
+///
+/// Best effort: regular graphs of very large girth are rare objects and
+/// cannot generally be reached by local search; callers must check the
+/// achieved girth.
+fn improve_girth(g: SimpleGraph, min_girth: u32, rng: &mut StdRng) -> (SimpleGraph, u32) {
+    let mut edges = g.edges().to_vec();
+    let n = g.n();
+    let mut girth = g.girth().unwrap_or(u32::MAX);
+    let budget = 200 * edges.len().max(1);
+    let mut tries = 0;
+    while girth < min_girth && tries < budget {
+        tries += 1;
+        let a = rng.gen_range(0..edges.len());
+        let b = rng.gen_range(0..edges.len());
+        if a == b {
+            continue;
+        }
+        let (u1, v1) = edges[a];
+        let (u2, v2) = edges[b];
+        // Swap to (u1,u2),(v1,v2) or (u1,v2),(v1,u2), chosen at random.
+        let (n1, n2) = if rng.gen_bool(0.5) {
+            ((u1, u2), (v1, v2))
+        } else {
+            ((u1, v2), (v1, u2))
+        };
+        if n1.0 == n1.1 || n2.0 == n2.1 {
+            continue;
+        }
+        let norm = |(x, y): (u32, u32)| if x < y { (x, y) } else { (y, x) };
+        let (n1, n2) = (norm(n1), norm(n2));
+        if n1 == n2 || edges.iter().any(|&e| e == n1 || e == n2) {
+            continue;
+        }
+        let mut candidate = edges.clone();
+        candidate[a] = n1;
+        candidate[b] = n2;
+        let cg = SimpleGraph::new(n, candidate.clone());
+        if !cg.is_connected() {
+            continue;
+        }
+        let new_girth = cg.girth().unwrap_or(u32::MAX);
+        if new_girth > girth {
+            edges = candidate;
+            girth = new_girth;
+        }
+    }
+    (SimpleGraph::new(n, edges), girth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_properties() {
+        let c5 = SimpleGraph::cycle(5);
+        assert!(c5.is_connected());
+        assert!(!c5.is_bipartite());
+        assert_eq!(c5.girth(), Some(5));
+        let c6 = SimpleGraph::cycle(6);
+        assert!(c6.is_bipartite());
+        assert_eq!(c6.girth(), Some(6));
+    }
+
+    #[test]
+    fn complete_graph_properties() {
+        let k4 = SimpleGraph::complete(4);
+        assert_eq!(k4.edges().len(), 6);
+        assert_eq!(k4.girth(), Some(3));
+        assert_eq!(k4.degrees(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn petersen_is_3_regular_girth_5() {
+        let p = SimpleGraph::petersen();
+        assert_eq!(p.n(), 10);
+        assert!(p.degrees().iter().all(|&d| d == 3));
+        assert_eq!(p.girth(), Some(5));
+        assert!(p.is_connected());
+        assert!(!p.is_bipartite());
+    }
+
+    #[test]
+    fn double_cover_of_odd_cycle_is_even_cycle() {
+        let c5 = SimpleGraph::cycle(5);
+        let dc = c5.double_cover();
+        assert_eq!(dc.n(), 10);
+        assert!(dc.is_bipartite());
+        assert!(dc.is_connected(), "double cover of non-bipartite is connected");
+        assert_eq!(dc.girth(), Some(10), "C5 double cover is C10");
+    }
+
+    #[test]
+    fn double_cover_of_bipartite_disconnects() {
+        let c6 = SimpleGraph::cycle(6);
+        let dc = c6.double_cover();
+        assert!(!dc.is_connected(), "bipartite base gives two copies");
+        assert!(dc.is_bipartite());
+    }
+
+    #[test]
+    fn double_cover_preserves_degrees() {
+        let p = SimpleGraph::petersen();
+        let dc = p.double_cover();
+        assert!(dc.degrees().iter().all(|&d| d == 3));
+        assert!(dc.is_connected());
+        assert!(dc.girth().unwrap() >= p.girth().unwrap());
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected() {
+        for seed in 0..3 {
+            let (g, girth) = random_regular(24, 3, 4, seed);
+            assert!(g.degrees().iter().all(|&d| d == 3));
+            assert!(g.is_connected());
+            assert_eq!(g.girth(), Some(girth));
+        }
+    }
+
+    #[test]
+    fn random_regular_reaches_modest_girth() {
+        let (g, girth) = random_regular(60, 3, 6, 7);
+        assert!(girth >= 5, "girth improvement should clear short cycles, got {girth}");
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn random_regular_deterministic_in_seed() {
+        let (g1, _) = random_regular(20, 3, 4, 99);
+        let (g2, _) = random_regular(20, 3, 4, 99);
+        assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edges")]
+    fn constructor_rejects_duplicates() {
+        SimpleGraph::new(3, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loops")]
+    fn constructor_rejects_loops() {
+        SimpleGraph::new(3, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn permutation_lift_preserves_degrees_and_covers() {
+        let base = SimpleGraph::petersen();
+        let lift = permutation_lift(&base, 3, 11);
+        assert_eq!(lift.n(), 30);
+        assert!(lift.degrees().iter().all(|&d| d == 3));
+        // Girth never decreases under covers.
+        assert!(lift.girth().unwrap() >= base.girth().unwrap());
+        // The projection (v, j) → v maps lift edges onto base edges.
+        for &(x, y) in lift.edges() {
+            let (bx, by) = (x % 10, y % 10);
+            let e = if bx < by { (bx, by) } else { (by, bx) };
+            assert!(base.edges().contains(&e), "edge {x}-{y} projects to {e:?}");
+        }
+    }
+
+    #[test]
+    fn trivial_lift_is_the_base() {
+        let base = SimpleGraph::cycle(5);
+        let lift = permutation_lift(&base, 1, 0);
+        assert_eq!(lift.n(), base.n());
+        let mut a = lift.edges().to_vec();
+        let mut b = base.edges().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lift_of_cycle_is_union_of_cycles() {
+        // Lifts of C_n are disjoint cycles with total length n·k.
+        let base = SimpleGraph::cycle(4);
+        let lift = permutation_lift(&base, 4, 3);
+        assert_eq!(lift.n(), 16);
+        assert!(lift.degrees().iter().all(|&d| d == 2));
+    }
+}

@@ -1,0 +1,38 @@
+//! # `mmlp-gen`
+//!
+//! Seeded workload generators for the max-min LP reproduction.
+//!
+//! Families:
+//!
+//! * [`random`] — random bounded-degree general instances (arbitrary
+//!   positive coefficients, {0,1} coefficients, bipartite variants).
+//! * [`special`] — instances already in the *special form* of §5 of the
+//!   paper (`|Vi| = 2`, `|Kv| = 1`, `c_kv = 1`): random trees and the
+//!   4-periodic agent/constraint/objective cycles.
+//! * [`apps`] — the intro's motivating applications: *balanced data
+//!   gathering* on a toroidal sensor grid and *fair bandwidth allocation*
+//!   on a ladder of shared links.
+//! * [`graphs`] — plain-graph substrate (random regular graphs with girth
+//!   improvement, bipartite double covers) used by the lower-bound family
+//!   and by the unfolding tests.
+//! * [`lower_bound`] — the tight instance family behind the
+//!   inapproximability side of Theorem 1: (d, ΔI)-biregular incidence
+//!   instances (optimum `d/ΔI` by a global averaging argument) versus
+//!   their tree-shaped unfoldings (optimum → `d − 1`); the optimum ratio
+//!   approaches `ΔI (1 − 1/ΔK)` while local views coincide.
+//!
+//! All generators are deterministic in their `seed` and produce instances
+//! satisfying the standing assumptions of §4 (validated in tests).
+
+pub mod apps;
+pub mod catalog;
+pub mod graphs;
+pub mod lower_bound;
+pub mod random;
+pub mod special;
+
+pub use apps::{bandwidth_ladder, sensor_grid, BandwidthConfig, SensorGridConfig};
+pub use catalog::{catalog, Family};
+pub use lower_bound::{regular_gadget, tree_gadget};
+pub use random::{random_bipartite, random_general, random_zero_one, RandomConfig};
+pub use special::{cycle_special, random_special_form, SpecialFormConfig};

@@ -1,0 +1,418 @@
+//! Random bounded-degree max-min LP instances.
+//!
+//! The generator samples constraint and objective rows with degrees in
+//! `[2, ΔI]` / `[2, ΔK]`, then repairs the standing assumptions of §4:
+//! agents missing a constraint or an objective get a fresh degree-2 row,
+//! and connected components are stitched together with degree-2 objective
+//! rows (row repairs never violate the row-degree bounds ΔI/ΔK ≥ 2).
+
+use mmlp_instance::{AgentId, DegreeStats, Instance, InstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_general`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomConfig {
+    /// Number of agents (variables).
+    pub n_agents: usize,
+    /// Number of sampled constraint rows (before repairs).
+    pub n_constraints: usize,
+    /// Number of sampled objective rows (before repairs).
+    pub n_objectives: usize,
+    /// Maximum agents per constraint, `ΔI ≥ 2`.
+    pub delta_i: usize,
+    /// Maximum agents per objective, `ΔK ≥ 2`.
+    pub delta_k: usize,
+    /// Coefficients are drawn log-uniformly from this range; use
+    /// `(1.0, 1.0)` for {0,1} matrices.
+    pub coef_range: (f64, f64),
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        Self {
+            n_agents: 40,
+            n_constraints: 30,
+            n_objectives: 25,
+            delta_i: 3,
+            delta_k: 3,
+            coef_range: (0.5, 2.0),
+        }
+    }
+}
+
+fn draw_coef(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "coefficient range must be positive");
+    if lo == hi {
+        lo
+    } else {
+        (rng.gen::<f64>() * (hi.ln() - lo.ln()) + lo.ln()).exp()
+    }
+}
+
+/// Samples `count` distinct agents from `0..n`.
+fn sample_agents(rng: &mut StdRng, n: usize, count: usize) -> Vec<AgentId> {
+    debug_assert!(count <= n);
+    // Floyd's algorithm: O(count) expected, no allocation of 0..n.
+    let mut picked = Vec::with_capacity(count);
+    for j in n - count..n {
+        let t = rng.gen_range(0..=j);
+        let t = t as u32;
+        if picked.contains(&AgentId::new(t)) {
+            picked.push(AgentId::new(j as u32));
+        } else {
+            picked.push(AgentId::new(t));
+        }
+    }
+    picked
+}
+
+/// Generates a random general max-min LP satisfying the standing
+/// assumptions (connected, every agent in ≥1 constraint and ≥1
+/// objective). Deterministic in `seed`.
+pub fn random_general(cfg: &RandomConfig, seed: u64) -> Instance {
+    assert!(cfg.delta_i >= 2 && cfg.delta_k >= 2, "need ΔI, ΔK ≥ 2");
+    assert!(cfg.n_agents >= 2, "need at least two agents");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.n_agents;
+    let mut b = InstanceBuilder::with_agents(n);
+
+    let mut in_constraint = vec![false; n];
+    let mut in_objective = vec![false; n];
+
+    // Union-find for connectivity over agents (rows connect their agents).
+    let mut uf: Vec<u32> = (0..n as u32).collect();
+    fn find(uf: &mut [u32], x: u32) -> u32 {
+        let mut r = x;
+        while uf[r as usize] != r {
+            r = uf[r as usize];
+        }
+        let mut c = x;
+        while uf[c as usize] != r {
+            let next = uf[c as usize];
+            uf[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+    fn union(uf: &mut [u32], a: u32, c: u32) {
+        let (ra, rc) = (find(uf, a), find(uf, c));
+        if ra != rc {
+            uf[ra as usize] = rc;
+        }
+    }
+    enum RowKind {
+        Constraint,
+        Objective,
+    }
+    fn add_row(
+        kind: RowKind,
+        b: &mut InstanceBuilder,
+        rng: &mut StdRng,
+        coef_range: (f64, f64),
+        agents: &[AgentId],
+        membership: &mut [bool],
+        uf: &mut [u32],
+    ) {
+        let row: Vec<(AgentId, f64)> = agents
+            .iter()
+            .map(|&v| (v, draw_coef(rng, coef_range)))
+            .collect();
+        match kind {
+            RowKind::Constraint => {
+                b.add_constraint(&row).expect("valid sampled row");
+            }
+            RowKind::Objective => {
+                b.add_objective(&row).expect("valid sampled row");
+            }
+        }
+        for &v in agents {
+            membership[v.idx()] = true;
+        }
+        for w in agents.windows(2) {
+            union(uf, w[0].raw(), w[1].raw());
+        }
+    }
+
+    for _ in 0..cfg.n_constraints {
+        let deg = rng.gen_range(2..=cfg.delta_i.min(n));
+        let agents = sample_agents(&mut rng, n, deg);
+        add_row(
+            RowKind::Constraint,
+            &mut b,
+            &mut rng,
+            cfg.coef_range,
+            &agents,
+            &mut in_constraint,
+            &mut uf,
+        );
+    }
+    for _ in 0..cfg.n_objectives {
+        let deg = rng.gen_range(2..=cfg.delta_k.min(n));
+        let agents = sample_agents(&mut rng, n, deg);
+        add_row(
+            RowKind::Objective,
+            &mut b,
+            &mut rng,
+            cfg.coef_range,
+            &agents,
+            &mut in_objective,
+            &mut uf,
+        );
+    }
+
+    // Repair: every agent needs a constraint (otherwise unbounded) and an
+    // objective (otherwise non-contributing).
+    for v in 0..n as u32 {
+        if !in_constraint[v as usize] {
+            let agents = [AgentId::new(v), AgentId::new((v + 1) % n as u32)];
+            add_row(
+                RowKind::Constraint,
+                &mut b,
+                &mut rng,
+                cfg.coef_range,
+                &agents,
+                &mut in_constraint,
+                &mut uf,
+            );
+        }
+        if !in_objective[v as usize] {
+            let agents = [AgentId::new(v), AgentId::new((v + 1) % n as u32)];
+            add_row(
+                RowKind::Objective,
+                &mut b,
+                &mut rng,
+                cfg.coef_range,
+                &agents,
+                &mut in_objective,
+                &mut uf,
+            );
+        }
+    }
+
+    // Repair: stitch components with degree-2 objective rows.
+    let mut reps: Vec<u32> = Vec::new();
+    for v in 0..n as u32 {
+        if find(&mut uf, v) == v {
+            reps.push(v);
+        }
+    }
+    for w in reps.windows(2) {
+        let agents = [AgentId::new(w[0]), AgentId::new(w[1])];
+        add_row(
+            RowKind::Objective,
+            &mut b,
+            &mut rng,
+            cfg.coef_range,
+            &agents,
+            &mut in_objective,
+            &mut uf,
+        );
+    }
+
+    b.build().expect("random instance builds")
+}
+
+/// Random instance with all coefficients equal to 1 ({0,1} matrices) —
+/// the class for which the paper's inapproximability bound already holds.
+pub fn random_zero_one(cfg: &RandomConfig, seed: u64) -> Instance {
+    let cfg = RandomConfig {
+        coef_range: (1.0, 1.0),
+        ..*cfg
+    };
+    random_general(&cfg, seed)
+}
+
+/// Random *bipartite* max-min LP: every agent is adjacent to exactly one
+/// constraint and exactly one objective (each column of `A` and of `C`
+/// has a single nonzero — the special case studied in prior work \[6,7\]).
+///
+/// Built as a random (ΔI, ΔK)-"incidence" structure: constraints of
+/// degree exactly `delta_i`, objectives of degree ≥ 2, connected.
+pub fn random_bipartite(
+    n_constraints: usize,
+    delta_i: usize,
+    delta_k: usize,
+    coef_range: (f64, f64),
+    seed: u64,
+) -> Instance {
+    assert!(delta_i >= 2 && delta_k >= 2);
+    if (n_constraints * delta_i) % delta_k == 1 {
+        assert!(
+            bipartite_sizes_ok(n_constraints, delta_i, delta_k),
+            "n_constraints·delta_i ≡ 1 (mod delta_k) with delta_k = 2 cannot \
+             be partitioned into objectives of size in [2, delta_k]"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Agents: delta_i per constraint; objectives partition the agents
+    // into groups of size in [2, delta_k]. Agents are dealt column-major
+    // over the (constraint, slot) grid with a random rotation per column,
+    // so that objective groups span several constraints and group
+    // boundaries in different columns interleave. Boundary alignment
+    // across columns can still disconnect the incidence for unlucky
+    // rotations, so retry with fresh rotations until connected.
+    let n_agents = n_constraints * delta_i;
+    let m = n_constraints;
+    for _attempt in 0..1000 {
+        let rotations: Vec<usize> = (0..delta_i).map(|_| rng.gen_range(0..m)).collect();
+        let mut b = InstanceBuilder::with_agents(n_agents);
+        for i in 0..n_constraints {
+            let row: Vec<(AgentId, f64)> = (0..delta_i)
+                .map(|j| {
+                    (
+                        AgentId::new((i * delta_i + j) as u32),
+                        draw_coef(&mut rng, coef_range),
+                    )
+                })
+                .collect();
+            b.add_constraint(&row).expect("valid row");
+        }
+        let mut order: Vec<u32> = (0..n_agents as u32).collect();
+        order.sort_by_key(|&a| {
+            let i = a as usize / delta_i;
+            let j = a as usize % delta_i;
+            j * m + (i + rotations[j]) % m
+        });
+        // Chunk sizes: all delta_k, except that a trailing remainder of 1
+        // is avoided by shrinking the penultimate chunk (objectives need
+        // ≥ 2 agents; delta_k ≥ 3 is guaranteed by the assert above).
+        let mut pos = 0usize;
+        while pos < n_agents {
+            let remaining = n_agents - pos;
+            let size = if remaining == delta_k + 1 && delta_k >= 3 {
+                delta_k - 1 // leave 2 for the final objective
+            } else {
+                remaining.min(delta_k)
+            };
+            let chunk = &order[pos..pos + size];
+            pos += size;
+            let row: Vec<(AgentId, f64)> = chunk
+                .iter()
+                .map(|&a| (AgentId::new(a), draw_coef(&mut rng, coef_range)))
+                .collect();
+            b.add_objective(&row).expect("valid row");
+        }
+        let inst = b.build().expect("bipartite instance builds");
+        if mmlp_instance::CommGraph::new(&inst).components().1 == 1 {
+            return inst;
+        }
+    }
+    panic!(
+        "failed to generate a connected bipartite instance \
+         ({n_constraints} constraints, ΔI={delta_i}, ΔK={delta_k})"
+    )
+}
+
+/// Checks that `random_bipartite`'s parameters admit a partition of the
+/// agents into objectives of size in `[2, delta_k]`.
+pub fn bipartite_sizes_ok(n_constraints: usize, delta_i: usize, delta_k: usize) -> bool {
+    (n_constraints * delta_i) % delta_k != 1 || delta_k >= 3
+}
+
+/// Degree statistics helper re-exported for workload reporting.
+pub fn stats(inst: &Instance) -> DegreeStats {
+    DegreeStats::of(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_instance::validate;
+
+    #[test]
+    fn random_general_satisfies_standing_assumptions() {
+        for seed in 0..10 {
+            let inst = random_general(&RandomConfig::default(), seed);
+            validate::check(&inst).expect("generated instance is clean");
+            let s = DegreeStats::of(&inst);
+            assert!(s.delta_i <= 3 && s.delta_k <= 3);
+            assert!(s.min_vi >= 2 && s.min_vk >= 2);
+        }
+    }
+
+    #[test]
+    fn random_general_is_deterministic() {
+        let a = random_general(&RandomConfig::default(), 5);
+        let b = random_general(&RandomConfig::default(), 5);
+        assert_eq!(
+            mmlp_instance::textfmt::write_instance(&a),
+            mmlp_instance::textfmt::write_instance(&b)
+        );
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = random_general(&RandomConfig::default(), 1);
+        let b = random_general(&RandomConfig::default(), 2);
+        assert_ne!(
+            mmlp_instance::textfmt::write_instance(&a),
+            mmlp_instance::textfmt::write_instance(&b)
+        );
+    }
+
+    #[test]
+    fn zero_one_coefficients_are_all_one() {
+        let inst = random_zero_one(&RandomConfig::default(), 3);
+        for i in inst.constraints() {
+            assert!(inst.constraint_row(i).iter().all(|e| e.coef == 1.0));
+        }
+        for k in inst.objectives() {
+            assert!(inst.objective_row(k).iter().all(|e| e.coef == 1.0));
+        }
+        validate::check(&inst).expect("clean");
+    }
+
+    #[test]
+    fn bipartite_each_agent_in_one_constraint_one_objective() {
+        let inst = random_bipartite(12, 2, 3, (0.5, 2.0), 11);
+        validate::check(&inst).expect("clean");
+        for v in inst.agents() {
+            assert_eq!(inst.agent_constraints(v).len(), 1);
+            assert_eq!(inst.agent_objectives(v).len(), 1);
+        }
+        let s = DegreeStats::of(&inst);
+        assert_eq!(s.delta_i, 2);
+        assert!(s.delta_k <= 3 && s.min_vk >= 2);
+    }
+
+    #[test]
+    fn bipartite_with_delta_i_3() {
+        let inst = random_bipartite(10, 3, 3, (1.0, 1.0), 4);
+        validate::check(&inst).expect("clean");
+        let s = DegreeStats::of(&inst);
+        assert_eq!(s.delta_i, 3);
+        assert_eq!(s.min_vi, 3);
+    }
+
+    #[test]
+    fn coef_range_respected() {
+        let inst = random_general(
+            &RandomConfig {
+                coef_range: (0.25, 4.0),
+                ..RandomConfig::default()
+            },
+            9,
+        );
+        for i in inst.constraints() {
+            for e in inst.constraint_row(i) {
+                assert!(e.coef >= 0.25 - 1e-12 && e.coef <= 4.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_instances_work() {
+        let cfg = RandomConfig {
+            n_agents: 2,
+            n_constraints: 1,
+            n_objectives: 1,
+            delta_i: 2,
+            delta_k: 2,
+            coef_range: (1.0, 1.0),
+        };
+        let inst = random_general(&cfg, 0);
+        validate::check(&inst).expect("clean");
+        assert_eq!(inst.n_agents(), 2);
+    }
+}

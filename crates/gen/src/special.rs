@@ -1,0 +1,383 @@
+//! Instances already in the *special form* of §5 of the paper:
+//! `|Vi| = 2`, `|Vk| ≥ 2`, `|Kv| = 1`, `|Iv| ≥ 1`, `c_kv = 1`.
+//!
+//! The local algorithm's core (`mmlp-core::tree_bound`/`smoothing`)
+//! operates on this form; generating it directly lets tests and
+//! benchmarks exercise the core without going through the §4
+//! transformation pipeline.
+
+use mmlp_instance::{AgentId, Instance, InstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_special_form`].
+#[derive(Clone, Copy, Debug)]
+pub struct SpecialFormConfig {
+    /// Number of objectives; each gets its own fresh agents.
+    pub n_objectives: usize,
+    /// Objective sizes are drawn uniformly from `[2, delta_k]`.
+    pub delta_k: usize,
+    /// Extra random pairwise constraints beyond the connectivity chain
+    /// and the per-agent repairs.
+    pub extra_constraints: usize,
+    /// `a_iv` drawn log-uniformly from this range (objective
+    /// coefficients are fixed at 1 by the special form).
+    pub coef_range: (f64, f64),
+}
+
+impl Default for SpecialFormConfig {
+    fn default() -> Self {
+        Self {
+            n_objectives: 20,
+            delta_k: 3,
+            extra_constraints: 10,
+            coef_range: (0.5, 2.0),
+        }
+    }
+}
+
+fn draw_coef(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    assert!(lo > 0.0 && hi >= lo);
+    if lo == hi {
+        lo
+    } else {
+        (rng.gen::<f64>() * (hi.ln() - lo.ln()) + lo.ln()).exp()
+    }
+}
+
+/// Generates a random special-form instance. Deterministic in `seed`.
+///
+/// Construction: objective `k` owns `size_k ∈ [2, ΔK]` fresh agents
+/// (so `|Kv| = 1` and `c_kv = 1` hold by construction); a chain of
+/// degree-2 constraints links consecutive objectives (connectivity);
+/// every agent not yet in a constraint is paired with a random agent of
+/// the next objective; `extra_constraints` random pairs are added on top.
+pub fn random_special_form(cfg: &SpecialFormConfig, seed: u64) -> Instance {
+    assert!(cfg.n_objectives >= 2, "need at least two objectives");
+    assert!(cfg.delta_k >= 2, "need ΔK ≥ 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new();
+
+    // Create the objectives and their agents.
+    let mut members: Vec<Vec<AgentId>> = Vec::with_capacity(cfg.n_objectives);
+    for _ in 0..cfg.n_objectives {
+        let size = rng.gen_range(2..=cfg.delta_k);
+        let agents: Vec<AgentId> = (0..size).map(|_| b.add_agent()).collect();
+        let row: Vec<(AgentId, f64)> = agents.iter().map(|&v| (v, 1.0)).collect();
+        b.add_objective(&row).expect("fresh agents");
+        members.push(agents);
+    }
+    let n_agents = b.n_agents();
+    let mut in_constraint = vec![false; n_agents];
+
+    let pair = |b: &mut InstanceBuilder,
+                    rng: &mut StdRng,
+                    u: AgentId,
+                    v: AgentId,
+                    in_constraint: &mut [bool]| {
+        let cu = draw_coef(rng, cfg.coef_range);
+        let cv = draw_coef(rng, cfg.coef_range);
+        b.add_constraint(&[(u, cu), (v, cv)]).expect("two agents");
+        in_constraint[u.idx()] = true;
+        in_constraint[v.idx()] = true;
+    };
+
+    // Connectivity chain.
+    for k in 1..cfg.n_objectives {
+        let u = members[k - 1][rng.gen_range(0..members[k - 1].len())];
+        let v = members[k][rng.gen_range(0..members[k].len())];
+        pair(&mut b, &mut rng, u, v, &mut in_constraint);
+    }
+
+    // Repair |Iv| ≥ 1.
+    for k in 0..cfg.n_objectives {
+        for idx in 0..members[k].len() {
+            let u = members[k][idx];
+            if !in_constraint[u.idx()] {
+                let other_k = (k + 1) % cfg.n_objectives;
+                let v = members[other_k][rng.gen_range(0..members[other_k].len())];
+                pair(&mut b, &mut rng, u, v, &mut in_constraint);
+            }
+        }
+    }
+
+    // Extra density.
+    for _ in 0..cfg.extra_constraints {
+        let u = AgentId::new(rng.gen_range(0..n_agents as u32));
+        let mut v = AgentId::new(rng.gen_range(0..n_agents as u32));
+        while v == u {
+            v = AgentId::new(rng.gen_range(0..n_agents as u32));
+        }
+        pair(&mut b, &mut rng, u, v, &mut in_constraint);
+    }
+
+    b.build().expect("special-form instance builds")
+}
+
+/// The 4-periodic cycle instance with `n_objectives` objectives of degree
+/// exactly 2 (`ΔK = 2`): around the cycle,
+/// `… agent — objective — agent — constraint — agent — objective — …`.
+///
+/// With unit coefficients the optimum is 1 (every value `1/2`); the
+/// communication graph is a single cycle of length `4·n_objectives`,
+/// which makes this the canonical fixture for unfolding and
+/// view-indistinguishability tests.
+pub fn cycle_special(n_objectives: usize, coef: f64) -> Instance {
+    assert!(n_objectives >= 2, "need at least two objectives");
+    let mut b = InstanceBuilder::new();
+    let agents: Vec<AgentId> = (0..2 * n_objectives).map(|_| b.add_agent()).collect();
+    for j in 0..n_objectives {
+        b.add_objective(&[(agents[2 * j], 1.0), (agents[2 * j + 1], 1.0)])
+            .expect("two agents");
+    }
+    for j in 0..n_objectives {
+        let u = agents[2 * j + 1];
+        let v = agents[(2 * j + 2) % (2 * n_objectives)];
+        b.add_constraint(&[(u, coef), (v, coef)]).expect("two agents");
+    }
+    b.build().expect("cycle builds")
+}
+
+/// The open-path variant of [`cycle_special`]: the chain is cut and both
+/// end agents are tied by an extra intra-objective constraint so that
+/// `|Iv| ≥ 1` holds everywhere. Interior views match the cycle's views —
+/// the pair (long cycle, long path) is locally indistinguishable.
+pub fn path_special(n_objectives: usize, coef: f64) -> Instance {
+    assert!(n_objectives >= 2, "need at least two objectives");
+    let mut b = InstanceBuilder::new();
+    let agents: Vec<AgentId> = (0..2 * n_objectives).map(|_| b.add_agent()).collect();
+    for j in 0..n_objectives {
+        b.add_objective(&[(agents[2 * j], 1.0), (agents[2 * j + 1], 1.0)])
+            .expect("two agents");
+    }
+    for j in 0..n_objectives - 1 {
+        let u = agents[2 * j + 1];
+        let v = agents[2 * j + 2];
+        b.add_constraint(&[(u, coef), (v, coef)]).expect("two agents");
+    }
+    // Tie the loose ends inside their own objectives.
+    let first = agents[0];
+    let second = agents[1];
+    b.add_constraint(&[(first, coef), (second, coef)])
+        .expect("two agents");
+    let last = agents[2 * n_objectives - 1];
+    let before = agents[2 * n_objectives - 2];
+    b.add_constraint(&[(last, coef), (before, coef)])
+        .expect("two agents");
+    b.build().expect("path builds")
+}
+
+/// Checks the special-form invariants; used by tests and by
+/// `mmlp-core::special` as ground truth.
+pub fn is_special_form(inst: &Instance) -> bool {
+    inst.constraints()
+        .all(|i| inst.constraint_row(i).len() == 2)
+        && inst.objectives().all(|k| inst.objective_row(k).len() >= 2)
+        && inst.agents().all(|v| {
+            inst.agent_objectives(v).len() == 1
+                && !inst.agent_constraints(v).is_empty()
+                && inst.agent_objectives(v)[0].coef == 1.0
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_instance::{validate, CommGraph, DegreeStats};
+
+    #[test]
+    fn random_special_form_has_the_special_shape() {
+        for seed in 0..10 {
+            let inst = random_special_form(&SpecialFormConfig::default(), seed);
+            assert!(is_special_form(&inst), "seed {seed}");
+            validate::check(&inst).expect("clean");
+            let s = DegreeStats::of(&inst);
+            assert_eq!(s.delta_i, 2);
+            assert!(s.delta_k <= 3);
+        }
+    }
+
+    #[test]
+    fn random_special_form_deterministic() {
+        let a = random_special_form(&SpecialFormConfig::default(), 7);
+        let b = random_special_form(&SpecialFormConfig::default(), 7);
+        assert_eq!(
+            mmlp_instance::textfmt::write_instance(&a),
+            mmlp_instance::textfmt::write_instance(&b)
+        );
+    }
+
+    #[test]
+    fn cycle_is_one_big_cycle() {
+        let inst = cycle_special(5, 1.0);
+        assert!(is_special_form(&inst));
+        validate::check(&inst).expect("clean");
+        let g = CommGraph::new(&inst);
+        assert_eq!(g.girth(), Some(20), "4 · n_objectives");
+        // Every node has degree exactly 2.
+        for x in 0..g.n_nodes() as u32 {
+            assert_eq!(g.degree(x), 2);
+        }
+    }
+
+    #[test]
+    fn cycle_optimum_witness() {
+        let inst = cycle_special(4, 1.0);
+        let x = mmlp_instance::Solution::from_vec(vec![0.5; inst.n_agents()]);
+        assert!(x.is_feasible(&inst, 1e-12));
+        assert!((x.utility(&inst) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_is_special_and_clean() {
+        let inst = path_special(5, 1.0);
+        assert!(is_special_form(&inst));
+        validate::check(&inst).expect("clean");
+        let g = CommGraph::new(&inst);
+        assert_eq!(g.girth(), Some(4), "the end ties create 4-cycles");
+    }
+
+    #[test]
+    fn non_special_instance_detected() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        let v2 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0), (v1, 1.0), (v2, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        b.add_objective(&[(v2, 1.0), (v1, 1.0)]).unwrap();
+        let inst = b.build().unwrap();
+        assert!(!is_special_form(&inst), "|Vi| = 3 and |Kv1| = 2");
+    }
+}
+
+/// A *layered cyclic* special-form instance with a known up/down agent
+/// partition — the fixture for machine-checking the §6 analysis
+/// (layers, shifting strategy, Lemmas 8–10).
+///
+/// Structure (one **period** `t` of the vertical cycle, `m` objectives
+/// wide):
+///
+/// ```text
+/// layer 4t−1 : m up-agents          (one per objective of period t)
+/// layer 4t   : m objectives         (1 up-agent + (ΔK−1) down-agents)
+/// layer 4t+1 : m·(ΔK−1) down-agents
+/// layer 4t+2 : m·(ΔK−1) constraints (down-agent + next period's up-agent)
+/// ```
+///
+/// Every constraint pairs one down-agent of period `t` with one up-agent
+/// of period `t+1 (mod periods)` (up-agents absorb `ΔK−1` constraints
+/// each), so every constraint has exactly one up- and one down-agent and
+/// every objective exactly one up-agent — the partition of §6. Because
+/// the layer direction wraps after `periods` periods, a **consistent
+/// layer assignment modulo `4R` exists iff `R` divides `periods`**.
+///
+/// Returns the instance and `is_up` per agent.
+pub fn layered_special(
+    periods: usize,
+    m: usize,
+    delta_k: usize,
+    coef_range: (f64, f64),
+    seed: u64,
+) -> (Instance, Vec<bool>) {
+    assert!(periods >= 2, "need at least two periods");
+    assert!(m >= 1 && delta_k >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new();
+    let down_per = delta_k - 1;
+
+    // Create all agents period by period: per period, m up-agents then
+    // m·(ΔK−1) down-agents.
+    let mut ups: Vec<Vec<AgentId>> = Vec::with_capacity(periods);
+    let mut downs: Vec<Vec<AgentId>> = Vec::with_capacity(periods);
+    let mut is_up = Vec::new();
+    for _ in 0..periods {
+        let u: Vec<AgentId> = (0..m)
+            .map(|_| {
+                is_up.push(true);
+                b.add_agent()
+            })
+            .collect();
+        let d: Vec<AgentId> = (0..m * down_per)
+            .map(|_| {
+                is_up.push(false);
+                b.add_agent()
+            })
+            .collect();
+        ups.push(u);
+        downs.push(d);
+    }
+
+    // Objectives of period t: up-agent o + its ΔK−1 down-agents.
+    for t in 0..periods {
+        for o in 0..m {
+            let mut row = vec![(ups[t][o], 1.0)];
+            for s in 0..down_per {
+                row.push((downs[t][o * down_per + s], 1.0));
+            }
+            b.add_objective(&row).expect("layered objective");
+        }
+    }
+
+    // Constraints: down-agent `q` of period t pairs with up-agent
+    // `q mod m` of period t+1 (each next-period up-agent takes ΔK−1
+    // constraints; a small rotation keeps the graph connected for m>1).
+    for t in 0..periods {
+        let next = (t + 1) % periods;
+        for (q, &w) in downs[t].iter().enumerate() {
+            let u = ups[next][(q + t) % m];
+            let cw = draw_coef(&mut rng, coef_range);
+            let cu = draw_coef(&mut rng, coef_range);
+            b.add_constraint(&[(w, cw), (u, cu)]).expect("layered constraint");
+        }
+    }
+
+    (b.build().expect("layered instance builds"), is_up)
+}
+
+#[cfg(test)]
+mod layered_tests {
+    use super::*;
+    use mmlp_instance::validate;
+
+    #[test]
+    fn layered_is_special_and_clean() {
+        for (periods, m, dk) in [(4, 1, 2), (4, 2, 3), (6, 3, 4)] {
+            let (inst, is_up) = layered_special(periods, m, dk, (0.5, 2.0), 0);
+            assert!(is_special_form(&inst), "p={periods} m={m} dk={dk}");
+            validate::check(&inst).expect("clean");
+            assert_eq!(is_up.len(), inst.n_agents());
+        }
+    }
+
+    #[test]
+    fn layered_partition_is_valid() {
+        let (inst, is_up) = layered_special(4, 2, 3, (1.0, 1.0), 1);
+        // Every objective: exactly one up-agent.
+        for k in inst.objectives() {
+            let ups = inst
+                .objective_row(k)
+                .iter()
+                .filter(|e| is_up[e.agent.idx()])
+                .count();
+            assert_eq!(ups, 1, "objective {k}");
+        }
+        // Every constraint: exactly one up- and one down-agent.
+        for i in inst.constraints() {
+            let row = inst.constraint_row(i);
+            assert_eq!(row.len(), 2);
+            let ups = row.iter().filter(|e| is_up[e.agent.idx()]).count();
+            assert_eq!(ups, 1, "constraint {i}");
+        }
+    }
+
+    #[test]
+    fn layered_deterministic() {
+        let (a, _) = layered_special(4, 2, 3, (0.5, 2.0), 9);
+        let (b, _) = layered_special(4, 2, 3, (0.5, 2.0), 9);
+        assert_eq!(
+            mmlp_instance::textfmt::write_instance(&a),
+            mmlp_instance::textfmt::write_instance(&b)
+        );
+    }
+}

@@ -1,0 +1,481 @@
+//! Flat unified-index view of the communication graph `G = (V ∪ I ∪ K, E)`.
+//!
+//! Many parts of the system (the distributed runtime, the unfolding
+//! machinery of §3, the smoothing radius of §5.3) need to treat agents,
+//! constraints and objectives uniformly as graph nodes. [`CommGraph`]
+//! assigns every node a dense index (`agents`, then `constraints`, then
+//! `objectives`), every undirected edge a global id, and every incidence a
+//! *port*: the position of the edge in the node's adjacency list, matching
+//! the port numbering defined by the [`crate::Instance`] row order.
+
+use crate::ids::{AgentId, ConstraintId, ObjectiveId};
+use crate::instance::Instance;
+
+/// Which of the three classes a node belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Agent (variable) node.
+    Agent,
+    /// Constraint (packing row) node.
+    Constraint,
+    /// Objective (covering row) node.
+    Objective,
+}
+
+/// A typed node of the communication graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Agent node.
+    Agent(AgentId),
+    /// Constraint node.
+    Constraint(ConstraintId),
+    /// Objective node.
+    Objective(ObjectiveId),
+}
+
+impl Node {
+    /// The class of this node.
+    pub fn kind(self) -> NodeKind {
+        match self {
+            Node::Agent(_) => NodeKind::Agent,
+            Node::Constraint(_) => NodeKind::Constraint,
+            Node::Objective(_) => NodeKind::Objective,
+        }
+    }
+}
+
+/// One adjacency record: the neighbour, the port this edge occupies at the
+/// neighbour's end, and the global edge id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Adj {
+    /// Flat index of the neighbour node.
+    pub to: u32,
+    /// Port number of this edge *at the neighbour* (needed when a message
+    /// arrives: the receiver knows on which of its own ports it came in).
+    pub port_at_to: u32,
+    /// Global undirected edge id (agent–constraint edges first, then
+    /// agent–objective edges, in instance row order).
+    pub edge: u32,
+}
+
+/// The communication graph in flat adjacency (CSR) form.
+///
+/// Node indexing: `0..n_agents` are agents, the next `n_constraints` are
+/// constraints, the last `n_objectives` are objectives.
+#[derive(Clone, Debug)]
+pub struct CommGraph {
+    n_agents: u32,
+    n_constraints: u32,
+    n_objectives: u32,
+    n_edges: u32,
+    off: Vec<u32>,
+    adj: Vec<Adj>,
+}
+
+impl CommGraph {
+    /// Builds the communication graph of an instance, with reciprocal port
+    /// labels on every half-edge.
+    pub fn new(inst: &Instance) -> Self {
+        let n = inst.n_agents();
+        let m = inst.n_constraints();
+        let p = inst.n_objectives();
+        let total = n + m + p;
+
+        let mut deg = vec![0u32; total];
+        for v in inst.agents() {
+            deg[v.idx()] =
+                (inst.agent_constraints(v).len() + inst.agent_objectives(v).len()) as u32;
+        }
+        for i in inst.constraints() {
+            deg[n + i.idx()] = inst.constraint_row(i).len() as u32;
+        }
+        for k in inst.objectives() {
+            deg[n + m + k.idx()] = inst.objective_row(k).len() as u32;
+        }
+
+        let mut off = vec![0u32; total + 1];
+        for x in 0..total {
+            off[x + 1] = off[x] + deg[x];
+        }
+        let mut adj = vec![
+            Adj {
+                to: 0,
+                port_at_to: 0,
+                edge: 0
+            };
+            off[total] as usize
+        ];
+
+        // Agent ports: constraints first (in agent_constraints order, i.e.
+        // ascending constraint id), then objectives. We need, for each
+        // (constraint row position) the port at the agent and vice versa.
+        //
+        // Pass 1: fill constraint- and objective-side adjacency, recording
+        // for each row entry the agent port it corresponds to.
+        //
+        // Agent port of constraint i at agent v = position of i in
+        // agent_constraints(v). Since that list is ascending in i and we
+        // scan constraints in ascending order, a per-agent cursor works.
+        let mut agent_cursor = vec![0u32; n];
+        let mut edge_id = 0u32;
+        for i in inst.constraints() {
+            let inode = (n + i.idx()) as u32;
+            for (port_at_cons, e) in inst.constraint_row(i).iter().enumerate() {
+                let v = e.agent;
+                let port_at_agent = agent_cursor[v.idx()];
+                agent_cursor[v.idx()] += 1;
+                // Constraint-side record.
+                adj[(off[inode as usize] + port_at_cons as u32) as usize] = Adj {
+                    to: v.raw(),
+                    port_at_to: port_at_agent,
+                    edge: edge_id,
+                };
+                // Agent-side record.
+                adj[(off[v.idx()] + port_at_agent) as usize] = Adj {
+                    to: inode,
+                    port_at_to: port_at_cons as u32,
+                    edge: edge_id,
+                };
+                edge_id += 1;
+            }
+        }
+        // Objective ports continue after the constraint ports of each agent.
+        for k in inst.objectives() {
+            let knode = (n + m + k.idx()) as u32;
+            for (port_at_obj, e) in inst.objective_row(k).iter().enumerate() {
+                let v = e.agent;
+                let port_at_agent = agent_cursor[v.idx()];
+                agent_cursor[v.idx()] += 1;
+                adj[(off[knode as usize] + port_at_obj as u32) as usize] = Adj {
+                    to: v.raw(),
+                    port_at_to: port_at_agent,
+                    edge: edge_id,
+                };
+                adj[(off[v.idx()] + port_at_agent) as usize] = Adj {
+                    to: knode,
+                    port_at_to: port_at_obj as u32,
+                    edge: edge_id,
+                };
+                edge_id += 1;
+            }
+        }
+
+        CommGraph {
+            n_agents: n as u32,
+            n_constraints: m as u32,
+            n_objectives: p as u32,
+            n_edges: edge_id,
+            off,
+            adj,
+        }
+    }
+
+    /// Total number of nodes `|V| + |I| + |K|`.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        (self.n_agents + self.n_constraints + self.n_objectives) as usize
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.n_edges as usize
+    }
+
+    /// Number of agent nodes.
+    #[inline]
+    pub fn n_agents(&self) -> usize {
+        self.n_agents as usize
+    }
+
+    /// Flat index of an agent node.
+    #[inline]
+    pub fn agent_index(&self, v: AgentId) -> u32 {
+        v.raw()
+    }
+
+    /// Flat index of a constraint node.
+    #[inline]
+    pub fn constraint_index(&self, i: ConstraintId) -> u32 {
+        self.n_agents + i.raw()
+    }
+
+    /// Flat index of an objective node.
+    #[inline]
+    pub fn objective_index(&self, k: ObjectiveId) -> u32 {
+        self.n_agents + self.n_constraints + k.raw()
+    }
+
+    /// Typed node for a flat index.
+    pub fn node(&self, flat: u32) -> Node {
+        if flat < self.n_agents {
+            Node::Agent(AgentId::new(flat))
+        } else if flat < self.n_agents + self.n_constraints {
+            Node::Constraint(ConstraintId::new(flat - self.n_agents))
+        } else {
+            debug_assert!(flat < self.n_nodes() as u32);
+            Node::Objective(ObjectiveId::new(flat - self.n_agents - self.n_constraints))
+        }
+    }
+
+    /// Flat index for a typed node.
+    pub fn index(&self, node: Node) -> u32 {
+        match node {
+            Node::Agent(v) => self.agent_index(v),
+            Node::Constraint(i) => self.constraint_index(i),
+            Node::Objective(k) => self.objective_index(k),
+        }
+    }
+
+    /// Adjacency list of a node, in port order.
+    #[inline]
+    pub fn neighbors(&self, flat: u32) -> &[Adj] {
+        &self.adj[self.off[flat as usize] as usize..self.off[flat as usize + 1] as usize]
+    }
+
+    /// Degree of a node.
+    #[inline]
+    pub fn degree(&self, flat: u32) -> usize {
+        (self.off[flat as usize + 1] - self.off[flat as usize]) as usize
+    }
+
+    /// BFS distances (in edges) from `source`, truncated to `max_dist`
+    /// (`u32::MAX` entries mean "further than `max_dist`" / unreachable).
+    ///
+    /// Allocates its own buffers; for repeated calls use
+    /// [`CommGraph::bfs_into`].
+    pub fn bfs(&self, source: u32, max_dist: u32) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n_nodes()];
+        let mut queue = Vec::new();
+        self.bfs_into(source, max_dist, &mut dist, &mut queue);
+        dist
+    }
+
+    /// BFS distances using caller-provided buffers.
+    ///
+    /// `dist` must have length [`CommGraph::n_nodes`]; it is reset lazily:
+    /// only entries touched by the previous call are cleared (via the
+    /// returned visited list `queue`).
+    pub fn bfs_into(&self, source: u32, max_dist: u32, dist: &mut [u32], queue: &mut Vec<u32>) {
+        for &x in queue.iter() {
+            dist[x as usize] = u32::MAX;
+        }
+        queue.clear();
+        dist[source as usize] = 0;
+        queue.push(source);
+        let mut head = 0;
+        while head < queue.len() {
+            let x = queue[head];
+            head += 1;
+            let dx = dist[x as usize];
+            if dx == max_dist {
+                continue;
+            }
+            for a in self.neighbors(x) {
+                if dist[a.to as usize] == u32::MAX {
+                    dist[a.to as usize] = dx + 1;
+                    queue.push(a.to);
+                }
+            }
+        }
+    }
+
+    /// Connected components; returns `(component_id_per_node, count)`.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let mut comp = vec![u32::MAX; self.n_nodes()];
+        let mut count = 0u32;
+        let mut stack = Vec::new();
+        for s in 0..self.n_nodes() as u32 {
+            if comp[s as usize] != u32::MAX {
+                continue;
+            }
+            comp[s as usize] = count;
+            stack.push(s);
+            while let Some(x) = stack.pop() {
+                for a in self.neighbors(x) {
+                    if comp[a.to as usize] == u32::MAX {
+                        comp[a.to as usize] = count;
+                        stack.push(a.to);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count as usize)
+    }
+
+    /// Girth of the graph (length of a shortest cycle), or `None` for a
+    /// forest. Runs a BFS per node — O(V·E) — fine for test/bench sizes.
+    pub fn girth(&self) -> Option<u32> {
+        let mut best = u32::MAX;
+        let mut dist = vec![u32::MAX; self.n_nodes()];
+        let mut parent_edge = vec![u32::MAX; self.n_nodes()];
+        let mut queue: Vec<u32> = Vec::new();
+        for s in 0..self.n_nodes() as u32 {
+            for &x in queue.iter() {
+                dist[x as usize] = u32::MAX;
+                parent_edge[x as usize] = u32::MAX;
+            }
+            queue.clear();
+            dist[s as usize] = 0;
+            queue.push(s);
+            let mut head = 0;
+            'bfs: while head < queue.len() {
+                let x = queue[head];
+                head += 1;
+                let dx = dist[x as usize];
+                if 2 * dx + 1 >= best {
+                    break;
+                }
+                for a in self.neighbors(x) {
+                    if a.edge == parent_edge[x as usize] {
+                        continue;
+                    }
+                    let dy = dist[a.to as usize];
+                    if dy == u32::MAX {
+                        dist[a.to as usize] = dx + 1;
+                        parent_edge[a.to as usize] = a.edge;
+                        queue.push(a.to);
+                    } else {
+                        // Cycle through s of length dx + dy + 1 (may
+                        // overcount for cycles not through s; the min over
+                        // all sources is exact).
+                        best = best.min(dx + dy + 1);
+                        if best <= 3 {
+                            break 'bfs;
+                        }
+                    }
+                }
+            }
+        }
+        (best != u32::MAX).then_some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    /// Two agents, one shared constraint, one objective each.
+    fn path_instance() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0)]).unwrap();
+        b.add_objective(&[(v1, 1.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A 4-cycle of agents/constraints: v0-i0-v1-i1-v0 plus objectives.
+    fn cycle_instance() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        b.add_constraint(&[(v1, 1.0), (v0, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn flat_indexing_round_trips() {
+        let inst = path_instance();
+        let g = CommGraph::new(&inst);
+        assert_eq!(g.n_nodes(), 2 + 1 + 2);
+        for flat in 0..g.n_nodes() as u32 {
+            assert_eq!(g.index(g.node(flat)), flat);
+        }
+        assert_eq!(g.node(0), Node::Agent(AgentId::new(0)));
+        assert_eq!(g.node(2), Node::Constraint(ConstraintId::new(0)));
+        assert_eq!(g.node(3), Node::Objective(ObjectiveId::new(0)));
+    }
+
+    #[test]
+    fn reciprocal_ports_agree() {
+        let inst = cycle_instance();
+        let g = CommGraph::new(&inst);
+        for x in 0..g.n_nodes() as u32 {
+            for (port, a) in g.neighbors(x).iter().enumerate() {
+                // Walk the edge to the other side and back.
+                let back = g.neighbors(a.to)[a.port_at_to as usize];
+                assert_eq!(back.to, x, "reciprocal neighbour mismatch");
+                assert_eq!(back.port_at_to as usize, port, "reciprocal port mismatch");
+                assert_eq!(back.edge, a.edge, "edge id mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn agent_ports_list_constraints_before_objectives() {
+        let inst = path_instance();
+        let g = CommGraph::new(&inst);
+        // Agent 0: one constraint then one objective.
+        let nb = g.neighbors(0);
+        assert_eq!(nb.len(), 2);
+        assert!(matches!(g.node(nb[0].to), Node::Constraint(_)));
+        assert!(matches!(g.node(nb[1].to), Node::Objective(_)));
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let inst = path_instance();
+        let g = CommGraph::new(&inst);
+        // v0 (0) - i0 (2) - v1 (1); objectives k0 (3) at v0, k1 (4) at v1.
+        let d = g.bfs(0, 10);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[2], 1);
+        assert_eq!(d[1], 2);
+        assert_eq!(d[3], 1);
+        assert_eq!(d[4], 3);
+    }
+
+    #[test]
+    fn bfs_truncates_at_max_dist() {
+        let inst = path_instance();
+        let g = CommGraph::new(&inst);
+        let d = g.bfs(0, 1);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[2], 1);
+        assert_eq!(d[1], u32::MAX);
+    }
+
+    #[test]
+    fn components_and_girth() {
+        let inst = path_instance();
+        let g = CommGraph::new(&inst);
+        let (_, n) = g.components();
+        assert_eq!(n, 1);
+        assert_eq!(g.girth(), None, "tree instance has no cycle");
+
+        let inst = cycle_instance();
+        let g = CommGraph::new(&inst);
+        // v0-i0-v1-i1 cycle has length 4.
+        assert_eq!(g.girth(), Some(4));
+    }
+
+    #[test]
+    fn girth_ignores_parallel_walk_back() {
+        // Single edge graph: v - i. No cycle despite the back-and-forth walk.
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        b.add_constraint(&[(v, 1.0)]).unwrap();
+        b.add_objective(&[(v, 1.0)]).unwrap();
+        let g = CommGraph::new(&b.build().unwrap());
+        assert_eq!(g.girth(), None);
+    }
+
+    #[test]
+    fn bfs_into_reuses_buffers() {
+        let inst = cycle_instance();
+        let g = CommGraph::new(&inst);
+        let mut dist = vec![u32::MAX; g.n_nodes()];
+        let mut queue = Vec::new();
+        g.bfs_into(0, 10, &mut dist, &mut queue);
+        let first: Vec<u32> = dist.clone();
+        g.bfs_into(1, 10, &mut dist, &mut queue);
+        g.bfs_into(0, 10, &mut dist, &mut queue);
+        assert_eq!(dist, first, "buffer reuse must not leak state");
+    }
+}

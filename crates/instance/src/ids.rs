@@ -1,0 +1,98 @@
+//! Typed identifiers for the three node classes of the communication graph.
+//!
+//! Agents, constraints and objectives are each numbered densely from zero.
+//! The newtypes prevent the classic off-by-one-kind bug (indexing the
+//! constraint table with an objective id) at zero runtime cost.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $short:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Constructs an id from a raw dense index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw dense index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw dense index widened for slice indexing.
+            #[inline]
+            pub const fn idx(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.idx()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An agent `v ∈ V`: owns the variable `x_v` and, in the distributed
+    /// model, is the only node class that produces output.
+    AgentId,
+    "v"
+);
+id_type!(
+    /// A constraint `i ∈ I`: the packing row `Σ_{v∈Vi} a_iv x_v ≤ 1`.
+    ConstraintId,
+    "i"
+);
+id_type!(
+    /// An objective `k ∈ K`: the covering row `Σ_{v∈Vk} c_kv x_v` whose
+    /// minimum over `k` is being maximised.
+    ObjectiveId,
+    "k"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_paper_letters() {
+        assert_eq!(format!("{}", AgentId::new(3)), "v3");
+        assert_eq!(format!("{}", ConstraintId::new(0)), "i0");
+        assert_eq!(format!("{:?}", ObjectiveId::new(7)), "k7");
+    }
+
+    #[test]
+    fn ids_round_trip_raw() {
+        let a = AgentId::new(42);
+        assert_eq!(a.raw(), 42);
+        assert_eq!(a.idx(), 42usize);
+        assert_eq!(usize::from(a), 42usize);
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(AgentId::new(1) < AgentId::new(2));
+        assert_eq!(ConstraintId::new(5), ConstraintId::new(5));
+    }
+}

@@ -1,0 +1,252 @@
+//! Solutions `x : V → ℝ≥0` and their evaluation.
+
+use crate::ids::{AgentId, ConstraintId, ObjectiveId};
+use crate::instance::Instance;
+
+/// A dense assignment of values to agents.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    values: Vec<f64>,
+}
+
+/// Outcome of checking a solution against every constraint and the
+/// nonnegativity bounds.
+#[derive(Clone, Debug)]
+pub struct FeasibilityReport {
+    /// Largest violation of a packing constraint: `max_i (Σ a_iv x_v − 1)`,
+    /// clamped below at 0. Zero means all constraints hold.
+    pub max_constraint_violation: f64,
+    /// The constraint attaining the maximum, if any violation is positive.
+    pub worst_constraint: Option<ConstraintId>,
+    /// Most negative agent value (0 when all are nonnegative).
+    pub max_negativity: f64,
+    /// The agent attaining the most negative value, if any.
+    pub worst_agent: Option<AgentId>,
+}
+
+impl FeasibilityReport {
+    /// Whether the solution is feasible within `tol` (violations and
+    /// negativity both below `tol`).
+    pub fn is_feasible(&self, tol: f64) -> bool {
+        self.max_constraint_violation <= tol && self.max_negativity <= tol
+    }
+}
+
+impl Solution {
+    /// Wraps a dense value vector (index = agent id).
+    pub fn from_vec(values: Vec<f64>) -> Self {
+        Self { values }
+    }
+
+    /// The all-zeros solution for `n` agents (always feasible; utility 0
+    /// whenever objectives exist).
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            values: vec![0.0; n],
+        }
+    }
+
+    /// Number of agents covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the solution covers zero agents.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of agent `v`.
+    #[inline]
+    pub fn value(&self, v: AgentId) -> f64 {
+        self.values[v.idx()]
+    }
+
+    /// Mutable value of agent `v`.
+    #[inline]
+    pub fn value_mut(&mut self, v: AgentId) -> &mut f64 {
+        &mut self.values[v.idx()]
+    }
+
+    /// Borrow of the raw dense vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes into the raw dense vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// The load `Σ_{v∈Vi} a_iv x_v` of constraint `i`.
+    pub fn constraint_load(&self, inst: &Instance, i: ConstraintId) -> f64 {
+        inst.constraint_row(i)
+            .iter()
+            .map(|e| e.coef * self.values[e.agent.idx()])
+            .sum()
+    }
+
+    /// The value `ω_k(x) = Σ_{v∈Vk} c_kv x_v` of objective `k`.
+    pub fn objective_value(&self, inst: &Instance, k: ObjectiveId) -> f64 {
+        inst.objective_row(k)
+            .iter()
+            .map(|e| e.coef * self.values[e.agent.idx()])
+            .sum()
+    }
+
+    /// The utility `ω(x) = min_k ω_k(x)`.
+    ///
+    /// Returns `f64::INFINITY` when the instance has no objectives (the
+    /// minimum over an empty set), matching the LP convention.
+    pub fn utility(&self, inst: &Instance) -> f64 {
+        inst.objectives()
+            .map(|k| self.objective_value(inst, k))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The objective attaining the minimum, if any.
+    pub fn argmin_objective(&self, inst: &Instance) -> Option<ObjectiveId> {
+        inst.objectives()
+            .map(|k| (k, self.objective_value(inst, k)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(k, _)| k)
+    }
+
+    /// Full feasibility report (worst violation, worst negativity).
+    pub fn feasibility(&self, inst: &Instance) -> FeasibilityReport {
+        let mut max_v = 0.0f64;
+        let mut worst_constraint = None;
+        for i in inst.constraints() {
+            let excess = self.constraint_load(inst, i) - 1.0;
+            if excess > max_v {
+                max_v = excess;
+                worst_constraint = Some(i);
+            }
+        }
+        let mut max_neg = 0.0f64;
+        let mut worst_agent = None;
+        for v in inst.agents() {
+            let neg = -self.values[v.idx()];
+            if neg > max_neg {
+                max_neg = neg;
+                worst_agent = Some(v);
+            }
+        }
+        FeasibilityReport {
+            max_constraint_violation: max_v,
+            worst_constraint,
+            max_negativity: max_neg,
+            worst_agent,
+        }
+    }
+
+    /// Shorthand: feasible within `tol`?
+    pub fn is_feasible(&self, inst: &Instance, tol: f64) -> bool {
+        self.feasibility(inst).is_feasible(tol)
+    }
+
+    /// Scales every value by `factor` (used by transformation back-maps).
+    pub fn scale(&mut self, factor: f64) {
+        for x in &mut self.values {
+            *x *= factor;
+        }
+    }
+
+    /// Pointwise convex combination `(1−t)·self + t·other`.
+    ///
+    /// Feasible solutions of an LP are convex, so the result is feasible
+    /// whenever both inputs are; used by tests of the §6 averaging step.
+    pub fn lerp(&self, other: &Solution, t: f64) -> Solution {
+        assert_eq!(self.len(), other.len());
+        Solution {
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| (1.0 - t) * a + t * b)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn inst() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, 2.0), (v1, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v1, 4.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn loads_and_values() {
+        let inst = inst();
+        let x = Solution::from_vec(vec![0.25, 0.5]);
+        assert!((x.constraint_load(&inst, ConstraintId::new(0)) - 1.0).abs() < 1e-12);
+        assert!((x.objective_value(&inst, ObjectiveId::new(0)) - 0.25).abs() < 1e-12);
+        assert!((x.objective_value(&inst, ObjectiveId::new(1)) - 2.25).abs() < 1e-12);
+        assert!((x.utility(&inst) - 0.25).abs() < 1e-12);
+        assert_eq!(x.argmin_objective(&inst), Some(ObjectiveId::new(0)));
+    }
+
+    #[test]
+    fn feasibility_detects_violation() {
+        let inst = inst();
+        let x = Solution::from_vec(vec![1.0, 0.0]);
+        let rep = x.feasibility(&inst);
+        assert!((rep.max_constraint_violation - 1.0).abs() < 1e-12);
+        assert_eq!(rep.worst_constraint, Some(ConstraintId::new(0)));
+        assert!(!rep.is_feasible(1e-9));
+    }
+
+    #[test]
+    fn feasibility_detects_negativity() {
+        let inst = inst();
+        let x = Solution::from_vec(vec![-0.1, 0.0]);
+        let rep = x.feasibility(&inst);
+        assert!((rep.max_negativity - 0.1).abs() < 1e-12);
+        assert_eq!(rep.worst_agent, Some(AgentId::new(0)));
+        assert!(!rep.is_feasible(1e-9));
+        assert!(rep.is_feasible(0.2));
+    }
+
+    #[test]
+    fn zeros_is_feasible_with_zero_utility() {
+        let inst = inst();
+        let x = Solution::zeros(2);
+        assert!(x.is_feasible(&inst, 0.0));
+        assert_eq!(x.utility(&inst), 0.0);
+    }
+
+    #[test]
+    fn utility_of_no_objectives_is_infinite() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        b.add_constraint(&[(v, 1.0)]).unwrap();
+        let inst = b.build().unwrap();
+        let x = Solution::zeros(1);
+        assert_eq!(x.utility(&inst), f64::INFINITY);
+        assert_eq!(x.argmin_objective(&inst), None);
+    }
+
+    #[test]
+    fn lerp_interpolates() {
+        let a = Solution::from_vec(vec![0.0, 1.0]);
+        let b = Solution::from_vec(vec![1.0, 0.0]);
+        let m = a.lerp(&b, 0.5);
+        assert_eq!(m.as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn scale_multiplies_all() {
+        let mut x = Solution::from_vec(vec![1.0, 2.0]);
+        x.scale(0.5);
+        assert_eq!(x.as_slice(), &[0.5, 1.0]);
+    }
+}

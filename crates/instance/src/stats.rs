@@ -1,0 +1,145 @@
+//! Degree statistics: the parameters ΔI, ΔK and friends.
+//!
+//! The paper's approximation threshold `ΔI (1 − 1/ΔK)` is stated in terms
+//! of the maximum constraint degree `ΔI = max_i |V_i|` and maximum
+//! objective degree `ΔK = max_k |V_k|`. Agent-side degrees (`|I_v|`,
+//! `|K_v|`) do not enter the ratio but do control the size of the local
+//! views, so they are reported too.
+
+use crate::instance::Instance;
+
+/// Summary of the degree structure of an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegreeStats {
+    /// `ΔI = max_i |V_i|` — maximum number of agents per constraint.
+    pub delta_i: usize,
+    /// `ΔK = max_k |V_k|` — maximum number of agents per objective.
+    pub delta_k: usize,
+    /// `min_i |V_i|` (0 when there are no constraints).
+    pub min_vi: usize,
+    /// `min_k |V_k|` (0 when there are no objectives).
+    pub min_vk: usize,
+    /// `max_v |I_v|` — maximum number of constraints per agent.
+    pub max_iv: usize,
+    /// `max_v |K_v|` — maximum number of objectives per agent.
+    pub max_kv: usize,
+    /// `min_v |I_v|` (0 when there are no agents).
+    pub min_iv: usize,
+    /// `min_v |K_v|` (0 when there are no agents).
+    pub min_kv: usize,
+}
+
+impl DegreeStats {
+    /// Computes the statistics in one pass over the instance.
+    pub fn of(inst: &Instance) -> Self {
+        let mut s = DegreeStats {
+            delta_i: 0,
+            delta_k: 0,
+            min_vi: usize::MAX,
+            min_vk: usize::MAX,
+            max_iv: 0,
+            max_kv: 0,
+            min_iv: usize::MAX,
+            min_kv: usize::MAX,
+        };
+        for i in inst.constraints() {
+            let d = inst.constraint_row(i).len();
+            s.delta_i = s.delta_i.max(d);
+            s.min_vi = s.min_vi.min(d);
+        }
+        for k in inst.objectives() {
+            let d = inst.objective_row(k).len();
+            s.delta_k = s.delta_k.max(d);
+            s.min_vk = s.min_vk.min(d);
+        }
+        for v in inst.agents() {
+            let di = inst.agent_constraints(v).len();
+            let dk = inst.agent_objectives(v).len();
+            s.max_iv = s.max_iv.max(di);
+            s.max_kv = s.max_kv.max(dk);
+            s.min_iv = s.min_iv.min(di);
+            s.min_kv = s.min_kv.min(dk);
+        }
+        if inst.n_constraints() == 0 {
+            s.min_vi = 0;
+        }
+        if inst.n_objectives() == 0 {
+            s.min_vk = 0;
+        }
+        if inst.n_agents() == 0 {
+            s.min_iv = 0;
+            s.min_kv = 0;
+        }
+        s
+    }
+
+    /// The paper's unconditional local approximability threshold
+    /// `ΔI (1 − 1/ΔK)` for this instance's degree bounds.
+    ///
+    /// Only meaningful for non-trivial instances (`ΔI ≥ 2`, `ΔK ≥ 2`);
+    /// returns `None` otherwise (those cases are solvable exactly by local
+    /// algorithms, see §1 of the paper).
+    pub fn approximability_threshold(&self) -> Option<f64> {
+        if self.delta_i >= 2 && self.delta_k >= 2 {
+            Some(self.delta_i as f64 * (1.0 - 1.0 / self.delta_k as f64))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn stats_of_mixed_instance() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        let v2 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0), (v1, 1.0), (v2, 1.0)]).unwrap();
+        b.add_constraint(&[(v0, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        b.add_objective(&[(v2, 1.0)]).unwrap();
+        let s = DegreeStats::of(&b.build().unwrap());
+        assert_eq!(s.delta_i, 3);
+        assert_eq!(s.min_vi, 1);
+        assert_eq!(s.delta_k, 2);
+        assert_eq!(s.min_vk, 1);
+        assert_eq!(s.max_iv, 2); // v0 in both constraints
+        assert_eq!(s.min_iv, 1);
+        assert_eq!(s.max_kv, 1);
+        assert_eq!(s.min_kv, 1);
+        assert_eq!(s.approximability_threshold(), Some(3.0 * 0.5));
+    }
+
+    #[test]
+    fn threshold_requires_nontrivial_degrees() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        b.add_constraint(&[(v, 1.0)]).unwrap();
+        b.add_objective(&[(v, 1.0)]).unwrap();
+        let s = DegreeStats::of(&b.build().unwrap());
+        assert_eq!(s.approximability_threshold(), None);
+    }
+
+    #[test]
+    fn empty_instance_stats_are_zero() {
+        let s = DegreeStats::of(&InstanceBuilder::new().build().unwrap());
+        assert_eq!(
+            s,
+            DegreeStats {
+                delta_i: 0,
+                delta_k: 0,
+                min_vi: 0,
+                min_vk: 0,
+                max_iv: 0,
+                max_kv: 0,
+                min_iv: 0,
+                min_kv: 0,
+            }
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! A small line-oriented text format for instances.
+//!
+//! ```text
+//! # optional comments
+//! maxminlp 1
+//! agents 3
+//! c 0:1.0 1:2.0      # constraint row: agent:coef pairs
+//! o 0:1.0 2:0.5      # objective row
+//! ```
+//!
+//! The format preserves row order and within-row order, hence port
+//! numbering, so a round trip is structurally exact. Floats are written
+//! with full precision (Rust's shortest-round-trip formatting).
+
+use crate::ids::AgentId;
+use crate::instance::{Instance, InstanceBuilder};
+use std::fmt::Write as _;
+
+/// Parse error with 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialises an instance to the text format.
+pub fn write_instance(inst: &Instance) -> String {
+    let mut out = String::new();
+    out.push_str("maxminlp 1\n");
+    let _ = writeln!(out, "agents {}", inst.n_agents());
+    for i in inst.constraints() {
+        out.push('c');
+        for e in inst.constraint_row(i) {
+            let _ = write!(out, " {}:{}", e.agent.raw(), e.coef);
+        }
+        out.push('\n');
+    }
+    for k in inst.objectives() {
+        out.push('o');
+        for e in inst.objective_row(k) {
+            let _ = write!(out, " {}:{}", e.agent.raw(), e.coef);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text format back into an instance.
+pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
+    let mut builder: Option<InstanceBuilder> = None;
+    let mut saw_header = false;
+    let mut row: Vec<(AgentId, f64)> = Vec::new();
+
+    let err = |line: usize, message: String| ParseError { line, message };
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line
+            .split('#')
+            .next()
+            .unwrap_or("")
+            .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_ascii_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+        match head {
+            "maxminlp" => {
+                let version = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing format version".into()))?;
+                if version != "1" {
+                    return Err(err(lineno, format!("unsupported version {version}")));
+                }
+                saw_header = true;
+            }
+            "agents" => {
+                if !saw_header {
+                    return Err(err(lineno, "missing 'maxminlp 1' header".into()));
+                }
+                let n: usize = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing agent count".into()))?
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad agent count: {e}")))?;
+                builder = Some(InstanceBuilder::with_agents(n));
+            }
+            "c" | "o" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "row before 'agents' declaration".into()))?;
+                row.clear();
+                for tok in tokens {
+                    let (a, c) = tok
+                        .split_once(':')
+                        .ok_or_else(|| err(lineno, format!("expected agent:coef, got '{tok}'")))?;
+                    let agent: u32 = a
+                        .parse()
+                        .map_err(|e| err(lineno, format!("bad agent index '{a}': {e}")))?;
+                    let coef: f64 = c
+                        .parse()
+                        .map_err(|e| err(lineno, format!("bad coefficient '{c}': {e}")))?;
+                    row.push((AgentId::new(agent), coef));
+                }
+                let result = if head == "c" {
+                    b.add_constraint(&row).map(|_| ())
+                } else {
+                    b.add_objective(&row).map(|_| ())
+                };
+                result.map_err(|e| err(lineno, e.to_string()))?;
+            }
+            other => {
+                return Err(err(lineno, format!("unknown directive '{other}'")));
+            }
+        }
+    }
+
+    builder
+        .ok_or_else(|| err(0, "no 'agents' declaration found".into()))?
+        .build()
+        .map_err(|e| err(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ConstraintId, ObjectiveId};
+
+    fn sample() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        let v2 = b.add_agent();
+        b.add_constraint(&[(v1, 0.125), (v0, 3.5)]).unwrap();
+        b.add_constraint(&[(v2, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v2, 0.3333333333333333)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_ports() {
+        let inst = sample();
+        let text = write_instance(&inst);
+        let back = parse_instance(&text).unwrap();
+        assert_eq!(back.n_agents(), inst.n_agents());
+        assert_eq!(back.n_constraints(), inst.n_constraints());
+        assert_eq!(back.n_objectives(), inst.n_objectives());
+        for i in inst.constraints() {
+            assert_eq!(back.constraint_row(i), inst.constraint_row(i));
+        }
+        for k in inst.objectives() {
+            assert_eq!(back.objective_row(k), inst.objective_row(k));
+        }
+        // Port order must survive: the first row lists v1 before v0.
+        assert_eq!(
+            back.constraint_row(ConstraintId::new(0))[0].agent.raw(),
+            1
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_float_bits() {
+        let inst = sample();
+        let back = parse_instance(&write_instance(&inst)).unwrap();
+        let orig = inst.objective_row(ObjectiveId::new(0))[1].coef;
+        let rt = back.objective_row(ObjectiveId::new(0))[1].coef;
+        assert_eq!(orig.to_bits(), rt.to_bits());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\nmaxminlp 1\n\nagents 1\nc 0:1.0 # trailing\no 0:2.0\n";
+        let inst = parse_instance(text).unwrap();
+        assert_eq!(inst.n_agents(), 1);
+        assert_eq!(inst.n_constraints(), 1);
+        assert_eq!(inst.n_objectives(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_instance("").is_err());
+        assert!(parse_instance("maxminlp 2\nagents 0\n").is_err());
+        assert!(parse_instance("maxminlp 1\nc 0:1\n").is_err(), "row before agents");
+        assert!(parse_instance("maxminlp 1\nagents 1\nc 5:1\n").is_err(), "unknown agent");
+        assert!(parse_instance("maxminlp 1\nagents 1\nc 0:0\n").is_err(), "zero coef");
+        assert!(parse_instance("maxminlp 1\nagents 1\nx 0:1\n").is_err(), "bad directive");
+        assert!(parse_instance("maxminlp 1\nagents 1\nc 0-1\n").is_err(), "bad pair");
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_instance("maxminlp 1\nagents 1\nc 0:bad\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Semantic validation: the standing assumptions of §4 of the paper.
+//!
+//! The algorithm (and the transformations feeding it) assume a
+//! *non-degenerate* instance:
+//!
+//! * every constraint is adjacent to at least one agent (true by
+//!   construction here — rows are non-empty),
+//! * every objective is adjacent to at least one agent (ditto),
+//! * every agent is adjacent to at least one constraint — otherwise the
+//!   agent is *unconstrained* and could be set to `+∞`,
+//! * every agent is adjacent to at least one objective — otherwise the
+//!   agent is *non-contributing* and can be fixed to `0`,
+//! * the communication graph is connected — otherwise each component is an
+//!   independent sub-instance.
+//!
+//! [`check`] reports which assumptions fail; [`normalize_degeneracies`]
+//! removes non-contributing agents (the only removal that is always safe
+//! and lossless) so generators can produce clean instances.
+
+use crate::graph::CommGraph;
+use crate::ids::AgentId;
+use crate::instance::{Instance, InstanceBuilder};
+
+/// A degeneracy found by [`check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Degeneracy {
+    /// Agent adjacent to no constraint: the LP is unbounded in this
+    /// variable (it can be pushed to `+∞`).
+    UnconstrainedAgent(AgentId),
+    /// Agent adjacent to no objective: its value never helps the utility;
+    /// it can be fixed to zero and removed.
+    NonContributingAgent(AgentId),
+    /// The communication graph has more than one connected component.
+    Disconnected {
+        /// Number of components found.
+        components: usize,
+    },
+}
+
+/// Validation failure wrapper (currently identical to a degeneracy list;
+/// structural errors are impossible for built instances).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError {
+    /// All degeneracies found, in deterministic order.
+    pub degeneracies: Vec<Degeneracy>,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instance violates the standing assumptions: ")?;
+        for (n, d) in self.degeneracies.iter().enumerate() {
+            if n > 0 {
+                write!(f, "; ")?;
+            }
+            match d {
+                Degeneracy::UnconstrainedAgent(v) => write!(f, "agent {v} is unconstrained")?,
+                Degeneracy::NonContributingAgent(v) => {
+                    write!(f, "agent {v} contributes to no objective")?
+                }
+                Degeneracy::Disconnected { components } => {
+                    write!(f, "graph has {components} connected components")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks the standing assumptions of §4; `Ok(())` means the instance is
+/// ready for the transformation pipeline.
+pub fn check(inst: &Instance) -> Result<(), ValidationError> {
+    let mut degeneracies = Vec::new();
+    for v in inst.agents() {
+        if inst.agent_constraints(v).is_empty() {
+            degeneracies.push(Degeneracy::UnconstrainedAgent(v));
+        }
+        if inst.agent_objectives(v).is_empty() {
+            degeneracies.push(Degeneracy::NonContributingAgent(v));
+        }
+    }
+    if inst.n_agents() > 0 {
+        let g = CommGraph::new(inst);
+        let (_, components) = g.components();
+        if components > 1 {
+            degeneracies.push(Degeneracy::Disconnected { components });
+        }
+    }
+    if degeneracies.is_empty() {
+        Ok(())
+    } else {
+        Err(ValidationError { degeneracies })
+    }
+}
+
+/// Removes non-contributing agents (those in no objective row), fixing
+/// them to zero — the lossless normalisation mentioned in §4.
+///
+/// Constraints that become empty are dropped. Returns the cleaned
+/// instance and the mapping `new agent id → old agent id`.
+pub fn normalize_degeneracies(inst: &Instance) -> (Instance, Vec<AgentId>) {
+    let keep: Vec<AgentId> = inst
+        .agents()
+        .filter(|&v| !inst.agent_objectives(v).is_empty())
+        .collect();
+    let mut old_to_new = vec![None; inst.n_agents()];
+    let mut b = InstanceBuilder::new();
+    for &v in &keep {
+        old_to_new[v.idx()] = Some(b.add_agent());
+    }
+    let mut row = Vec::new();
+    for i in inst.constraints() {
+        row.clear();
+        for e in inst.constraint_row(i) {
+            if let Some(nv) = old_to_new[e.agent.idx()] {
+                row.push((nv, e.coef));
+            }
+        }
+        if !row.is_empty() {
+            b.add_constraint(&row).expect("filtered row is valid");
+        }
+    }
+    for k in inst.objectives() {
+        row.clear();
+        for e in inst.objective_row(k) {
+            // Objective rows only mention contributing agents by definition.
+            let nv = old_to_new[e.agent.idx()].expect("objective agent contributes");
+            row.push((nv, e.coef));
+        }
+        b.add_objective(&row).expect("objective row is valid");
+    }
+    (b.build().expect("normalised instance builds"), keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_instance_passes() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        assert!(check(&b.build().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn detects_unconstrained_agent() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        let err = check(&b.build().unwrap()).unwrap_err();
+        assert!(err
+            .degeneracies
+            .contains(&Degeneracy::UnconstrainedAgent(v1)));
+    }
+
+    #[test]
+    fn detects_non_contributing_agent_and_disconnection() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        // v1 shares no row with v0 => disconnected; v1 also has no objective.
+        b.add_constraint(&[(v0, 1.0)]).unwrap();
+        b.add_constraint(&[(v1, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0)]).unwrap();
+        let err = check(&b.build().unwrap()).unwrap_err();
+        assert!(err
+            .degeneracies
+            .contains(&Degeneracy::NonContributingAgent(v1)));
+        assert!(err
+            .degeneracies
+            .iter()
+            .any(|d| matches!(d, Degeneracy::Disconnected { components: 2 })));
+        let msg = err.to_string();
+        assert!(msg.contains("v1"), "message should name the agent: {msg}");
+    }
+
+    #[test]
+    fn normalize_removes_non_contributing_agents() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent(); // non-contributing
+        let v2 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0), (v1, 2.0)]).unwrap();
+        b.add_constraint(&[(v1, 1.0)]).unwrap(); // becomes empty, dropped
+        b.add_constraint(&[(v2, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v2, 1.0)]).unwrap();
+        let (clean, mapping) = normalize_degeneracies(&b.build().unwrap());
+        assert_eq!(clean.n_agents(), 2);
+        assert_eq!(clean.n_constraints(), 2);
+        assert_eq!(mapping, vec![v0, v2]);
+        assert!(check(&clean).is_ok());
+    }
+
+    #[test]
+    fn normalize_keeps_clean_instance_identical_in_shape() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        let inst = b.build().unwrap();
+        let (clean, mapping) = normalize_degeneracies(&inst);
+        assert_eq!(clean.n_agents(), inst.n_agents());
+        assert_eq!(clean.n_constraints(), inst.n_constraints());
+        assert_eq!(mapping.len(), 2);
+    }
+}

@@ -1,0 +1,477 @@
+//! Exact simplex over rationals — the validation oracle for the f64
+//! solver.
+//!
+//! Pure Bland's rule (smallest-index entering, smallest-basis-index
+//! leaving among exact minimum ratios), which terminates on every input
+//! with **no tolerances anywhere**: optimality, feasibility and
+//! unboundedness verdicts are exact. Intended for micro-instances with
+//! small integer/rational data (see `rational` for the overflow
+//! contract); the {0,1}-coefficient gadget families of the lower-bound
+//! experiment are exactly representable, so their optima can be
+//! certified exactly.
+
+use crate::model::Cmp;
+use crate::rational::Rat;
+use mmlp_instance::Instance;
+
+/// One sparse rational row: coefficients, comparison, right-hand side.
+pub type RatRow = (Vec<(usize, Rat)>, Cmp, Rat);
+
+/// An LP with rational data: maximise `c·x` s.t. rows, `x ≥ 0`.
+#[derive(Clone, Debug, Default)]
+pub struct RatModel {
+    n_vars: usize,
+    objective: Vec<Rat>,
+    rows: Vec<RatRow>,
+}
+
+/// Exact solver outcome.
+#[derive(Clone, Debug)]
+pub enum ExactOutcome {
+    /// Optimal value and point, exactly.
+    Optimal {
+        /// The exact objective value.
+        objective: Rat,
+        /// The exact optimal assignment.
+        x: Vec<Rat>,
+    },
+    /// The feasible region is empty (exact verdict).
+    Infeasible,
+    /// The objective is unbounded above (exact verdict).
+    Unbounded,
+}
+
+impl RatModel {
+    /// Creates a model with `n_vars` nonnegative variables.
+    pub fn new(n_vars: usize) -> Self {
+        RatModel {
+            n_vars,
+            objective: vec![Rat::ZERO; n_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets an objective coefficient.
+    pub fn set_objective(&mut self, j: usize, c: Rat) {
+        assert!(j < self.n_vars);
+        self.objective[j] = c;
+    }
+
+    /// Adds a row.
+    pub fn add_row(&mut self, coefs: Vec<(usize, Rat)>, cmp: Cmp, rhs: Rat) {
+        assert!(coefs.iter().all(|&(j, _)| j < self.n_vars));
+        self.rows.push((coefs, cmp, rhs));
+    }
+}
+
+struct ExactTableau {
+    m: usize,
+    ncols: usize,
+    art_start: usize,
+    t: Vec<Rat>,
+    basis: Vec<usize>,
+    n_structural: usize,
+}
+
+impl ExactTableau {
+    fn at(&self, r: usize, c: usize) -> Rat {
+        self.t[r * (self.ncols + 1) + c]
+    }
+
+    fn build(model: &RatModel) -> ExactTableau {
+        let n = model.n_vars;
+        let m = model.rows.len();
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        let mut kinds = Vec::with_capacity(m);
+        for (_, cmp, rhs) in &model.rows {
+            let flip = rhs.is_negative();
+            let cmp = match (cmp, flip) {
+                (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+                (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+                (Cmp::Eq, _) => Cmp::Eq,
+            };
+            match cmp {
+                Cmp::Le => n_slack += 1,
+                Cmp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Cmp::Eq => n_art += 1,
+            }
+            kinds.push((flip, cmp));
+        }
+        let art_start = n + n_slack;
+        let ncols = art_start + n_art;
+        let width = ncols + 1;
+        let mut t = vec![Rat::ZERO; (m + 1) * width];
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = n;
+        let mut next_art = art_start;
+        for (r, (coefs, _, rhs)) in model.rows.iter().enumerate() {
+            let (flip, cmp) = kinds[r];
+            let sign = if flip { -Rat::ONE } else { Rat::ONE };
+            for &(j, a) in coefs {
+                t[r * width + j] = t[r * width + j] + sign * a;
+            }
+            t[r * width + ncols] = sign * *rhs;
+            match cmp {
+                Cmp::Le => {
+                    t[r * width + next_slack] = Rat::ONE;
+                    basis[r] = next_slack;
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    t[r * width + next_slack] = -Rat::ONE;
+                    next_slack += 1;
+                    t[r * width + next_art] = Rat::ONE;
+                    basis[r] = next_art;
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    t[r * width + next_art] = Rat::ONE;
+                    basis[r] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+        ExactTableau {
+            m,
+            ncols,
+            art_start,
+            t,
+            basis,
+            n_structural: n,
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.ncols + 1;
+        let inv = self.at(row, col).recip();
+        for c in 0..width {
+            self.t[row * width + c] = self.t[row * width + c] * inv;
+        }
+        for r in 0..=self.m {
+            if r == row {
+                continue;
+            }
+            let factor = self.at(r, col);
+            if factor.is_zero() {
+                continue;
+            }
+            for c in 0..width {
+                let delta = factor * self.t[row * width + c];
+                self.t[r * width + c] = self.t[r * width + c] - delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn set_objective_row(&mut self, c: &[Rat]) {
+        let width = self.ncols + 1;
+        for (j, cj) in c.iter().enumerate() {
+            self.t[self.m * width + j] = -*cj;
+        }
+        self.t[self.m * width + self.ncols] = Rat::ZERO;
+        for r in 0..self.m {
+            let cb = c[self.basis[r]];
+            if cb.is_zero() {
+                continue;
+            }
+            for cidx in 0..width {
+                let add = cb * self.t[r * width + cidx];
+                self.t[self.m * width + cidx] = self.t[self.m * width + cidx] + add;
+            }
+        }
+    }
+
+    /// Bland's rule until exact optimality; `true` = optimal, `false` =
+    /// unbounded.
+    fn optimize(&mut self, banned_from: usize) -> bool {
+        loop {
+            let width = self.ncols + 1;
+            let enter = (0..banned_from)
+                .find(|&j| self.t[self.m * width + j].is_negative());
+            let Some(col) = enter else {
+                return true;
+            };
+            let mut leave: Option<(usize, Rat)> = None;
+            for r in 0..self.m {
+                let a = self.at(r, col);
+                if a.is_positive() {
+                    let ratio = self.at(r, self.ncols) / a;
+                    let better = match &leave {
+                        None => true,
+                        Some((lr, best)) => {
+                            ratio < *best
+                                || (ratio == *best && self.basis[r] < self.basis[*lr])
+                        }
+                    };
+                    if better {
+                        leave = Some((r, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return false;
+            };
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solves exactly. Terminates on every input (Bland's rule, exact
+/// arithmetic); panics only on `i128` overflow for oversized data.
+pub fn solve_exact(model: &RatModel) -> ExactOutcome {
+    let mut t = ExactTableau::build(model);
+    if t.art_start < t.ncols {
+        let mut c1 = vec![Rat::ZERO; t.ncols];
+        for c in c1.iter_mut().skip(t.art_start) {
+            *c = -Rat::ONE;
+        }
+        t.set_objective_row(&c1);
+        let optimal = t.optimize(t.ncols);
+        debug_assert!(optimal, "phase 1 is bounded");
+        if t.at(t.m, t.ncols).is_negative() {
+            return ExactOutcome::Infeasible;
+        }
+        for r in 0..t.m {
+            if t.basis[r] >= t.art_start {
+                if let Some(col) = (0..t.art_start).find(|&j| !t.at(r, j).is_zero()) {
+                    t.pivot(r, col);
+                }
+            }
+        }
+    }
+    let mut c2 = vec![Rat::ZERO; t.ncols];
+    c2[..t.n_structural].copy_from_slice(&model.objective);
+    t.set_objective_row(&c2);
+    if !t.optimize(t.art_start) {
+        return ExactOutcome::Unbounded;
+    }
+    let mut x = vec![Rat::ZERO; t.n_structural];
+    for r in 0..t.m {
+        if t.basis[r] < t.n_structural {
+            x[t.basis[r]] = t.at(r, t.ncols);
+        }
+    }
+    ExactOutcome::Optimal {
+        objective: t.at(t.m, t.ncols),
+        x,
+    }
+}
+
+/// Builds the exact max-min LP of an instance whose coefficients are all
+/// exactly representable as small rationals `p/q` with `q | scale`
+/// (e.g. {0,1} instances with `scale = 1`). Coefficients are read as
+/// `round(coef · scale) / scale`; panics if that is not exact.
+pub fn exact_maxmin(inst: &Instance, scale: i128) -> ExactOutcome {
+    let n = inst.n_agents();
+    let mut m = RatModel::new(n + 1);
+    m.set_objective(n, Rat::ONE);
+    let to_rat = |c: f64| -> Rat {
+        let scaled = c * scale as f64;
+        let rounded = scaled.round();
+        assert!(
+            (scaled - rounded).abs() < 1e-12 && rounded.abs() < 1e15,
+            "coefficient {c} is not exactly p/{scale}"
+        );
+        Rat::new(rounded as i128, scale)
+    };
+    for i in inst.constraints() {
+        let coefs: Vec<(usize, Rat)> = inst
+            .constraint_row(i)
+            .iter()
+            .map(|e| (e.agent.idx(), to_rat(e.coef)))
+            .collect();
+        m.add_row(coefs, Cmp::Le, Rat::ONE);
+    }
+    for k in inst.objectives() {
+        let mut coefs: Vec<(usize, Rat)> = inst
+            .objective_row(k)
+            .iter()
+            .map(|e| (e.agent.idx(), -to_rat(e.coef)))
+            .collect();
+        coefs.push((n, Rat::ONE));
+        m.add_row(coefs, Cmp::Le, Rat::ZERO);
+    }
+    solve_exact(&m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex;
+    use crate::model::{LpOutcome, Model};
+
+    #[test]
+    fn exact_wyndor() {
+        let mut m = RatModel::new(2);
+        m.set_objective(0, Rat::from_int(3));
+        m.set_objective(1, Rat::from_int(5));
+        m.add_row(vec![(0, Rat::ONE)], Cmp::Le, Rat::from_int(4));
+        m.add_row(vec![(1, Rat::from_int(2))], Cmp::Le, Rat::from_int(12));
+        m.add_row(
+            vec![(0, Rat::from_int(3)), (1, Rat::from_int(2))],
+            Cmp::Le,
+            Rat::from_int(18),
+        );
+        match solve_exact(&m) {
+            ExactOutcome::Optimal { objective, x } => {
+                assert_eq!(objective, Rat::from_int(36));
+                assert_eq!(x, vec![Rat::from_int(2), Rat::from_int(6)]);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_phase_one_and_verdicts() {
+        // min x+y s.t. x+2y ≥ 3, 2x+y ≥ 3 → exact optimum −2 at (1,1).
+        let mut m = RatModel::new(2);
+        m.set_objective(0, -Rat::ONE);
+        m.set_objective(1, -Rat::ONE);
+        m.add_row(
+            vec![(0, Rat::ONE), (1, Rat::from_int(2))],
+            Cmp::Ge,
+            Rat::from_int(3),
+        );
+        m.add_row(
+            vec![(0, Rat::from_int(2)), (1, Rat::ONE)],
+            Cmp::Ge,
+            Rat::from_int(3),
+        );
+        match solve_exact(&m) {
+            ExactOutcome::Optimal { objective, x } => {
+                assert_eq!(objective, Rat::from_int(-2));
+                assert_eq!(x, vec![Rat::ONE, Rat::ONE]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Infeasible.
+        let mut m = RatModel::new(1);
+        m.add_row(vec![(0, Rat::ONE)], Cmp::Le, Rat::ONE);
+        m.add_row(vec![(0, Rat::ONE)], Cmp::Ge, Rat::from_int(2));
+        assert!(matches!(solve_exact(&m), ExactOutcome::Infeasible));
+        // Unbounded.
+        let mut m = RatModel::new(1);
+        m.set_objective(0, Rat::ONE);
+        assert!(matches!(solve_exact(&m), ExactOutcome::Unbounded));
+    }
+
+    #[test]
+    fn exact_beale_is_one_twentieth() {
+        // Beale's cycling LP has optimum exactly 1/20; Bland + exact
+        // arithmetic nails it with no anti-cycling machinery.
+        let mut m = RatModel::new(4);
+        m.set_objective(0, Rat::new(3, 4));
+        m.set_objective(1, Rat::from_int(-150));
+        m.set_objective(2, Rat::new(1, 50));
+        m.set_objective(3, Rat::from_int(-6));
+        m.add_row(
+            vec![
+                (0, Rat::new(1, 4)),
+                (1, Rat::from_int(-60)),
+                (2, Rat::new(-1, 25)),
+                (3, Rat::from_int(9)),
+            ],
+            Cmp::Le,
+            Rat::ZERO,
+        );
+        m.add_row(
+            vec![
+                (0, Rat::new(1, 2)),
+                (1, Rat::from_int(-90)),
+                (2, Rat::new(-1, 50)),
+                (3, Rat::from_int(3)),
+            ],
+            Cmp::Le,
+            Rat::ZERO,
+        );
+        m.add_row(vec![(2, Rat::ONE)], Cmp::Le, Rat::ONE);
+        match solve_exact(&m) {
+            ExactOutcome::Optimal { objective, .. } => {
+                assert_eq!(objective, Rat::new(1, 20));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_matches_f64_on_random_integer_lps() {
+        let mut state = 0xDEADBEEFu64;
+        let mut rng = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _ in 0..10 {
+            let n = 3 + (rng(3) as usize);
+            let mut em = RatModel::new(n);
+            let mut fm = Model::new(n);
+            for j in 0..n {
+                let c = 1 + rng(5) as i128;
+                em.set_objective(j, Rat::from_int(c));
+                fm.set_objective(j, c as f64);
+            }
+            for _ in 0..n + 1 {
+                let mut ecoefs = Vec::new();
+                let mut fcoefs = Vec::new();
+                for j in 0..n {
+                    let a = 1 + rng(4) as i128;
+                    ecoefs.push((j, Rat::from_int(a)));
+                    fcoefs.push((j, a as f64));
+                }
+                let rhs = 2 + rng(7) as i128;
+                em.add_row(ecoefs, Cmp::Le, Rat::from_int(rhs));
+                fm.add_row(fcoefs, Cmp::Le, rhs as f64);
+            }
+            let exact = match solve_exact(&em) {
+                ExactOutcome::Optimal { objective, .. } => objective.to_f64(),
+                other => panic!("bounded packing LP: {other:?}"),
+            };
+            let float = match simplex::solve(&fm) {
+                LpOutcome::Optimal { objective, .. } => objective,
+                other => panic!("{other:?}"),
+            };
+            assert!(
+                (exact - float).abs() <= 1e-6 * exact.abs().max(1.0),
+                "exact {exact} vs f64 {float}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_maxmin_certifies_gadget_optima() {
+        use mmlp_gen::lower_bound::{regular_gadget, tree_gadget};
+        // The averaging argument says exactly 3/2 for d = 3, ΔI = 2.
+        let (inst, _) = regular_gadget(8, 3, 2, 4, 0);
+        match exact_maxmin(&inst, 1) {
+            ExactOutcome::Optimal { objective, .. } => {
+                assert_eq!(objective, Rat::new(3, 2), "exactly d/ΔI");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Small tree gadget: exact optimum is a ratio of small integers ≥ 2.
+        let (tree, _) = tree_gadget(3, 2, 1);
+        match exact_maxmin(&tree, 1) {
+            ExactOutcome::Optimal { objective, .. } => {
+                assert!(objective >= Rat::from_int(2), "tree optimum {objective}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not exactly")]
+    fn exact_maxmin_rejects_irrational_coefficients() {
+        let mut b = mmlp_instance::InstanceBuilder::new();
+        let v = b.add_agent();
+        let w = b.add_agent();
+        b.add_constraint(&[(v, 0.30000001), (w, 1.0)]).unwrap();
+        b.add_objective(&[(v, 1.0), (w, 1.0)]).unwrap();
+        let inst = b.build().unwrap();
+        let _ = exact_maxmin(&inst, 10);
+    }
+}

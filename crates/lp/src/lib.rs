@@ -1,0 +1,38 @@
+//! # `mmlp-lp`
+//!
+//! From-scratch linear-programming substrate for the max-min LP
+//! reproduction. No external solver is used anywhere in the workspace.
+//!
+//! * [`model`] — a small LP model builder (maximise `c·x` subject to
+//!   sparse `≤ / ≥ / =` rows and `x ≥ 0`).
+//! * [`simplex`] — dense two-phase primal simplex. Entering rule is
+//!   Dantzig (most negative reduced cost) with an automatic permanent
+//!   switch to Bland's rule when the objective stalls, which guarantees
+//!   termination on degenerate programs.
+//! * [`maxmin`] — the reduction from a max-min LP instance to a plain LP
+//!   (`max ω` s.t. `Ax ≤ 1`, `Cx ≥ ω·1`, `x ≥ 0`), an exact optimum
+//!   solver, a fixed-`ω` feasibility oracle and a bisection solver used to
+//!   cross-validate the simplex.
+//! * [`rational`] / [`exact`] — `i128` rationals and an exact Bland-rule
+//!   simplex: a tolerance-free validation oracle for micro-instances and
+//!   for the {0,1}-coefficient gadget families, whose optima it
+//!   certifies exactly.
+//!
+//! The paper needs LP optima in two places: each node of the local
+//! algorithm computes the optimum `t_u` of the LP restricted to its
+//! alternating tree (done in `mmlp-core` by the paper's own recursion +
+//! bisection — §5.2 notes a binary search suffices), and the *evaluation*
+//! compares the local output against the global optimum, which this crate
+//! provides.
+
+pub mod exact;
+pub mod maxmin;
+pub mod model;
+pub mod rational;
+pub mod simplex;
+
+pub use exact::{exact_maxmin, solve_exact, ExactOutcome, RatModel};
+pub use maxmin::{solve_maxmin, MaxMinError, MaxMinOptimum};
+pub use rational::Rat;
+pub use model::{Cmp, LpOutcome, Model};
+pub use simplex::{solve, solve_with, SimplexOptions};

@@ -1,0 +1,404 @@
+//! Reduction from a max-min LP instance to a plain LP, exact optimum
+//! solver, fixed-`ω` feasibility oracle and bisection cross-check.
+//!
+//! The max-min LP
+//!
+//! ```text
+//! maximise  min_k Σ_v c_kv x_v   s.t.  Σ_v a_iv x_v ≤ 1,  x ≥ 0
+//! ```
+//!
+//! is the LP `max ω  s.t.  Ax ≤ 1, Cx − ω·1 ≥ 0, x ≥ 0` (eq. (1) of the
+//! paper). Writing the covering rows as `−Cx + ω ≤ 0` makes every row a
+//! `≤` with nonnegative RHS, so the slack basis is feasible and the
+//! simplex needs no phase 1.
+
+use crate::model::{Cmp, LpOutcome, Model};
+use crate::simplex::{solve_with, solve_with_duals, SimplexOptions};
+use mmlp_instance::{Instance, Solution};
+
+/// The exact optimum of a max-min LP.
+#[derive(Clone, Debug)]
+pub struct MaxMinOptimum {
+    /// The optimal utility `ω*`.
+    pub omega: f64,
+    /// An optimal assignment.
+    pub solution: Solution,
+}
+
+/// Why an optimum could not be produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaxMinError {
+    /// `ω` can grow without bound: some objective is not limited by any
+    /// constraint (a degeneracy — see `mmlp_instance::validate`).
+    Unbounded,
+    /// The solver hit its iteration limit (numerical pathology).
+    IterationLimit,
+    /// The instance has no objectives, so `min_k` is vacuous (+∞).
+    NoObjectives,
+}
+
+impl std::fmt::Display for MaxMinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaxMinError::Unbounded => write!(f, "max-min LP is unbounded"),
+            MaxMinError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            MaxMinError::NoObjectives => write!(f, "instance has no objectives"),
+        }
+    }
+}
+
+impl std::error::Error for MaxMinError {}
+
+/// Builds the LP `max ω  s.t.  Ax ≤ 1, −Cx + ω ≤ 0, x ≥ 0`.
+///
+/// Variable `j < n_agents` is `x_j`; variable `n_agents` is `ω`.
+pub fn build_lp(inst: &Instance) -> Model {
+    let n = inst.n_agents();
+    let mut m = Model::new(n + 1);
+    m.set_objective(n, 1.0);
+    for i in inst.constraints() {
+        let coefs = inst
+            .constraint_row(i)
+            .iter()
+            .map(|e| (e.agent.idx(), e.coef))
+            .collect();
+        m.add_row(coefs, Cmp::Le, 1.0);
+    }
+    for k in inst.objectives() {
+        let mut coefs: Vec<(usize, f64)> = inst
+            .objective_row(k)
+            .iter()
+            .map(|e| (e.agent.idx(), -e.coef))
+            .collect();
+        coefs.push((n, 1.0));
+        m.add_row(coefs, Cmp::Le, 0.0);
+    }
+    m
+}
+
+/// Solves the max-min LP exactly (simplex on [`build_lp`]).
+pub fn solve_maxmin(inst: &Instance) -> Result<MaxMinOptimum, MaxMinError> {
+    solve_maxmin_with(inst, &SimplexOptions::default())
+}
+
+/// [`solve_maxmin`] with explicit simplex options.
+pub fn solve_maxmin_with(
+    inst: &Instance,
+    opts: &SimplexOptions,
+) -> Result<MaxMinOptimum, MaxMinError> {
+    if inst.n_objectives() == 0 {
+        return Err(MaxMinError::NoObjectives);
+    }
+    let model = build_lp(inst);
+    match solve_with(&model, opts) {
+        LpOutcome::Optimal { objective, mut x } => {
+            x.truncate(inst.n_agents());
+            Ok(MaxMinOptimum {
+                omega: objective,
+                solution: Solution::from_vec(x),
+            })
+        }
+        LpOutcome::Unbounded => Err(MaxMinError::Unbounded),
+        LpOutcome::IterationLimit => Err(MaxMinError::IterationLimit),
+        LpOutcome::Infeasible => {
+            unreachable!("x = 0, ω = 0 is always feasible for a max-min LP")
+        }
+    }
+}
+
+/// Is there a feasible `x` with `Ax ≤ 1`, `Cx ≥ ω·1`, `x ≥ 0`?
+///
+/// Uses a phase-1 simplex on the fixed-`ω` system — an independent code
+/// path from [`solve_maxmin`], used to cross-validate it.
+pub fn feasible_for(inst: &Instance, omega: f64) -> bool {
+    let n = inst.n_agents();
+    let mut m = Model::new(n);
+    for i in inst.constraints() {
+        let coefs = inst
+            .constraint_row(i)
+            .iter()
+            .map(|e| (e.agent.idx(), e.coef))
+            .collect();
+        m.add_row(coefs, Cmp::Le, 1.0);
+    }
+    for k in inst.objectives() {
+        let coefs = inst
+            .objective_row(k)
+            .iter()
+            .map(|e| (e.agent.idx(), e.coef))
+            .collect();
+        m.add_row(coefs, Cmp::Ge, omega);
+    }
+    !matches!(
+        solve_with(&m, &SimplexOptions::default()),
+        LpOutcome::Infeasible
+    )
+}
+
+/// A dual certificate for the optimum of a max-min LP.
+///
+/// In the LP `max ω s.t. Ax ≤ 1, ω·1 − Cx ≤ 0`, a dual solution assigns
+/// `y_i ≥ 0` to each packing row and `z_k ≥ 0` to each objective row
+/// with `Σ_k z_k ≥ 1` and `Aᵀy ≥ Cᵀz`; any such pair proves
+/// `ω* ≤ Σ_i y_i`. [`certify_optimum`] extracts one from the final
+/// simplex tableau and re-verifies the inequalities *independently*, so
+/// a successful certificate does not rely on the solver's internals.
+#[derive(Clone, Debug)]
+pub struct DualCertificate {
+    /// Multipliers on the packing rows.
+    pub y: Vec<f64>,
+    /// Multipliers on the objective rows (a convex-ish weighting of the
+    /// objectives that witnesses the bottleneck).
+    pub z: Vec<f64>,
+    /// The certified upper bound `Σ_i y_i ≥ ω*`.
+    pub bound: f64,
+    /// Worst violation of the re-verified dual constraints (≤ tolerance
+    /// for a valid certificate).
+    pub residual: f64,
+}
+
+/// Solves the max-min LP and returns a dual certificate alongside.
+///
+/// The certificate's `bound` matches `omega` to within the solver's
+/// perturbation error (strong duality), and its feasibility is
+/// re-checked from the raw instance data.
+pub fn certify_optimum(
+    inst: &Instance,
+    opts: &SimplexOptions,
+) -> Result<(MaxMinOptimum, DualCertificate), MaxMinError> {
+    if inst.n_objectives() == 0 {
+        return Err(MaxMinError::NoObjectives);
+    }
+    let model = build_lp(inst);
+    let (outcome, duals) = solve_with_duals(&model, opts);
+    match outcome {
+        LpOutcome::Optimal { objective, mut x } => {
+            x.truncate(inst.n_agents());
+            let duals = duals.expect("optimal ⇒ duals");
+            let (y, z) = duals.split_at(inst.n_constraints());
+            // Independent re-verification.
+            let mut residual = 0.0f64;
+            for &v in y.iter().chain(z.iter()) {
+                residual = residual.max(-v); // nonnegativity
+            }
+            // Σ z_k ≥ 1 (dual row of the ω column).
+            residual = residual.max(1.0 - z.iter().sum::<f64>());
+            // Aᵀy ≥ Cᵀz per agent.
+            for v in inst.agents() {
+                let lhs: f64 = inst
+                    .agent_constraints(v)
+                    .iter()
+                    .map(|e| e.coef * y[e.cons.idx()])
+                    .sum();
+                let rhs: f64 = inst
+                    .agent_objectives(v)
+                    .iter()
+                    .map(|e| e.coef * z[e.obj.idx()])
+                    .sum();
+                residual = residual.max(rhs - lhs);
+            }
+            let bound: f64 = y.iter().sum();
+            Ok((
+                MaxMinOptimum {
+                    omega: objective,
+                    solution: Solution::from_vec(x),
+                },
+                DualCertificate {
+                    y: y.to_vec(),
+                    z: z.to_vec(),
+                    bound,
+                    residual,
+                },
+            ))
+        }
+        LpOutcome::Unbounded => Err(MaxMinError::Unbounded),
+        LpOutcome::IterationLimit => Err(MaxMinError::IterationLimit),
+        LpOutcome::Infeasible => unreachable!("x = 0, ω = 0 is feasible"),
+    }
+}
+
+/// A trivial upper bound on the optimum: every agent is capped at
+/// `min_{i∈Iv} 1/a_iv`, so
+/// `ω* ≤ min_k Σ_{v∈Vk} c_kv · cap_v`.
+///
+/// Infinite when some objective contains only unconstrained agents.
+pub fn utility_upper_bound(inst: &Instance) -> f64 {
+    inst.objectives()
+        .map(|k| {
+            inst.objective_row(k)
+                .iter()
+                .map(|e| e.coef * inst.agent_cap(e.agent))
+                .sum::<f64>()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Bisection solver: brackets `ω*` between 0 and [`utility_upper_bound`]
+/// and bisects with the [`feasible_for`] oracle to relative precision
+/// `rel_tol`. Returns the certified-feasible lower end.
+///
+/// Independent of [`solve_maxmin`]'s phase-2 pivoting; used in tests to
+/// cross-validate the simplex.
+pub fn bisect_maxmin(inst: &Instance, rel_tol: f64) -> Result<f64, MaxMinError> {
+    if inst.n_objectives() == 0 {
+        return Err(MaxMinError::NoObjectives);
+    }
+    let mut hi = utility_upper_bound(inst);
+    if !hi.is_finite() {
+        return Err(MaxMinError::Unbounded);
+    }
+    if hi == 0.0 || feasible_for(inst, hi) {
+        return Ok(hi);
+    }
+    let mut lo = 0.0f64;
+    while hi - lo > rel_tol * hi.max(1.0) {
+        let mid = 0.5 * (lo + hi);
+        if feasible_for(inst, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_instance::InstanceBuilder;
+
+    /// Two agents sharing one constraint, one objective each:
+    /// optimum x = (1/2, 1/2), ω* = 1/2.
+    fn shared_constraint() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0)]).unwrap();
+        b.add_objective(&[(v1, 1.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn solves_shared_constraint() {
+        let inst = shared_constraint();
+        let opt = solve_maxmin(&inst).unwrap();
+        assert!((opt.omega - 0.5).abs() < 1e-9);
+        assert!(opt.solution.is_feasible(&inst, 1e-9));
+        assert!((opt.solution.utility(&inst) - opt.omega).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_coefficients() {
+        // x0 ≤ 1/2 (coef 2); objectives x0 and x1 with weight 3.
+        // Constraint x0·2 + x1 ≤ 1. ω* solves 2ω + ω/3 = 1 → ω = 3/7.
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, 2.0), (v1, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0)]).unwrap();
+        b.add_objective(&[(v1, 3.0)]).unwrap();
+        let inst = b.build().unwrap();
+        let opt = solve_maxmin(&inst).unwrap();
+        assert!((opt.omega - 3.0 / 7.0).abs() < 1e-9, "got {}", opt.omega);
+    }
+
+    #[test]
+    fn unbounded_when_objective_has_unconstrained_agent() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v1, 1.0)]).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(solve_maxmin(&inst).unwrap_err(), MaxMinError::Unbounded);
+        assert_eq!(utility_upper_bound(&inst), f64::INFINITY);
+    }
+
+    #[test]
+    fn no_objectives_is_an_error() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0)]).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(
+            solve_maxmin(&inst).unwrap_err(),
+            MaxMinError::NoObjectives
+        );
+    }
+
+    #[test]
+    fn isolated_objective_forces_zero() {
+        // An objective whose agents are all shared with a tight
+        // constraint system: ω* = 1/3 when three agents share one
+        // constraint and one objective each... here instead: one
+        // objective, three agents in one constraint: ω* = 1 (put all
+        // mass on one agent? no – all three contribute to the same k).
+        let mut b = InstanceBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_agent()).collect();
+        b.add_constraint(&[(v[0], 1.0), (v[1], 1.0), (v[2], 1.0)])
+            .unwrap();
+        b.add_objective(&[(v[0], 1.0), (v[1], 1.0), (v[2], 1.0)])
+            .unwrap();
+        let inst = b.build().unwrap();
+        let opt = solve_maxmin(&inst).unwrap();
+        assert!((opt.omega - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasibility_oracle_brackets_optimum() {
+        let inst = shared_constraint();
+        assert!(feasible_for(&inst, 0.0));
+        assert!(feasible_for(&inst, 0.5 - 1e-9));
+        assert!(!feasible_for(&inst, 0.5 + 1e-6));
+    }
+
+    #[test]
+    fn bisection_matches_simplex() {
+        let inst = shared_constraint();
+        let opt = solve_maxmin(&inst).unwrap();
+        let bis = bisect_maxmin(&inst, 1e-10).unwrap();
+        assert!((opt.omega - bis).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upper_bound_bounds_the_optimum() {
+        let inst = shared_constraint();
+        let opt = solve_maxmin(&inst).unwrap();
+        assert!(utility_upper_bound(&inst) >= opt.omega - 1e-12);
+    }
+
+    #[test]
+    fn lp_model_shape() {
+        let inst = shared_constraint();
+        let m = build_lp(&inst);
+        assert_eq!(m.n_vars(), 3); // two agents + ω
+        assert_eq!(m.n_rows(), 3); // one constraint + two objectives
+    }
+
+    #[test]
+    fn dual_certificate_is_tight_and_valid() {
+        let inst = shared_constraint();
+        let (opt, cert) =
+            certify_optimum(&inst, &crate::simplex::SimplexOptions::default()).unwrap();
+        assert!(cert.residual <= 1e-7, "certificate re-verifies: {}", cert.residual);
+        assert!((cert.bound - opt.omega).abs() < 1e-6, "strong duality");
+        assert!(cert.y.len() == 1 && cert.z.len() == 2);
+    }
+
+    #[test]
+    fn dual_certificate_on_asymmetric_instance() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, 2.0), (v1, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0)]).unwrap();
+        b.add_objective(&[(v1, 3.0)]).unwrap();
+        let inst = b.build().unwrap();
+        let (opt, cert) =
+            certify_optimum(&inst, &crate::simplex::SimplexOptions::default()).unwrap();
+        assert!((opt.omega - 3.0 / 7.0).abs() < 1e-6);
+        assert!(cert.residual <= 1e-7);
+        assert!((cert.bound - opt.omega).abs() < 1e-6);
+    }
+}

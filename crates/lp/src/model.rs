@@ -1,0 +1,192 @@
+//! A minimal LP model: maximise `c·x` subject to sparse rows and `x ≥ 0`.
+
+/// Row comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ a_j x_j ≤ b`
+    Le,
+    /// `Σ a_j x_j ≥ b`
+    Ge,
+    /// `Σ a_j x_j = b`
+    Eq,
+}
+
+/// One sparse constraint row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Sparse coefficients `(variable, value)`; variables may repeat (they
+    /// are summed) but generators avoid that for clarity.
+    pub coefs: Vec<(usize, f64)>,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Result of solving a [`Model`].
+#[derive(Clone, Debug)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Objective value `c·x` at the optimum.
+        objective: f64,
+        /// Optimal assignment (length = number of variables).
+        x: Vec<f64>,
+    },
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// Iteration limit exceeded (indicates a numerical pathology; never
+    /// expected with the Bland fallback — treated as a hard error by
+    /// callers in this workspace).
+    IterationLimit,
+}
+
+impl LpOutcome {
+    /// The optimal objective value, if optimal.
+    pub fn objective(&self) -> Option<f64> {
+        match self {
+            LpOutcome::Optimal { objective, .. } => Some(*objective),
+            _ => None,
+        }
+    }
+
+    /// The optimal assignment, if optimal.
+    pub fn solution(&self) -> Option<&[f64]> {
+        match self {
+            LpOutcome::Optimal { x, .. } => Some(x),
+            _ => None,
+        }
+    }
+}
+
+/// An LP in the form `max c·x  s.t.  rows, x ≥ 0`.
+#[derive(Clone, Debug)]
+pub struct Model {
+    n_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<Row>,
+}
+
+impl Model {
+    /// Creates a model with `n_vars` nonnegative variables and an all-zero
+    /// objective.
+    pub fn new(n_vars: usize) -> Self {
+        Self {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective coefficient of variable `j` (maximisation).
+    pub fn set_objective(&mut self, j: usize, c: f64) {
+        assert!(j < self.n_vars, "variable {j} out of range");
+        self.objective[j] = c;
+    }
+
+    /// The objective vector.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Adds a sparse row; returns its index.
+    pub fn add_row(&mut self, coefs: Vec<(usize, f64)>, cmp: Cmp, rhs: f64) -> usize {
+        for &(j, a) in &coefs {
+            assert!(j < self.n_vars, "variable {j} out of range");
+            assert!(a.is_finite(), "coefficient must be finite");
+        }
+        assert!(rhs.is_finite(), "rhs must be finite");
+        self.rows.push(Row { coefs, cmp, rhs });
+        self.rows.len() - 1
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Evaluates `c·x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Largest violation of any row / nonnegativity bound by `x`
+    /// (0 when feasible).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for xv in x {
+            worst = worst.max(-xv);
+        }
+        for row in &self.rows {
+            let lhs: f64 = row.coefs.iter().map(|&(j, a)| a * x[j]).sum();
+            let viol = match row.cmp {
+                Cmp::Le => lhs - row.rhs,
+                Cmp::Ge => row.rhs - lhs,
+                Cmp::Eq => (lhs - row.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut m = Model::new(2);
+        m.set_objective(0, 3.0);
+        m.set_objective(1, 5.0);
+        m.add_row(vec![(0, 1.0)], Cmp::Le, 4.0);
+        m.add_row(vec![(1, 2.0)], Cmp::Le, 12.0);
+        m.add_row(vec![(0, 3.0), (1, 2.0)], Cmp::Le, 18.0);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.objective_value(&[2.0, 6.0]), 36.0);
+        assert_eq!(m.max_violation(&[2.0, 6.0]), 0.0);
+        assert!(m.max_violation(&[5.0, 6.0]) > 0.0);
+    }
+
+    #[test]
+    fn violation_covers_all_row_kinds() {
+        let mut m = Model::new(1);
+        m.add_row(vec![(0, 1.0)], Cmp::Ge, 2.0);
+        m.add_row(vec![(0, 1.0)], Cmp::Eq, 3.0);
+        // x = 1: Ge violated by 1, Eq violated by 2.
+        assert_eq!(m.max_violation(&[1.0]), 2.0);
+        // Negativity dominates.
+        assert_eq!(m.max_violation(&[-5.0]), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_row_checks_indices() {
+        let mut m = Model::new(1);
+        m.add_row(vec![(1, 1.0)], Cmp::Le, 0.0);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = LpOutcome::Optimal {
+            objective: 7.0,
+            x: vec![1.0],
+        };
+        assert_eq!(o.objective(), Some(7.0));
+        assert_eq!(o.solution(), Some(&[1.0][..]));
+        assert_eq!(LpOutcome::Infeasible.objective(), None);
+        assert_eq!(LpOutcome::Unbounded.solution(), None);
+    }
+}

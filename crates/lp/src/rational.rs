@@ -1,0 +1,265 @@
+//! Exact rational arithmetic over `i128` for the validation simplex.
+//!
+//! Numbers are kept normalised (`den > 0`, `gcd(num, den) = 1`).
+//! Arithmetic **panics on overflow** with a clear message: the exact
+//! solver is a validation tool for micro-instances (tens of variables,
+//! small integer coefficients), where tableau entries are quotients of
+//! minor determinants and stay far below the ~1.7e38 range of `i128`.
+//! Production solving uses the f64 simplex.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A normalised rational number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// `num / den`; panics when `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// An integer.
+    pub fn from_int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Numerator (after normalisation).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Conversion for reporting (may round).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Strictly negative?
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Strictly positive?
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Zero?
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Rat {
+        assert!(self.num != 0, "division by zero rational");
+        Rat::new(self.den, self.num)
+    }
+
+    fn checked(num: Option<i128>, den: Option<i128>, op: &str) -> Rat {
+        match (num, den) {
+            (Some(n), Some(d)) => Rat::new(n, d),
+            _ => panic!("rational overflow in {op} — instance too large for exact validation"),
+        }
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, o: Rat) -> Rat {
+        // Reduce by gcd of denominators first to delay overflow.
+        let g = gcd(self.den, o.den).max(1);
+        let (da, db) = (self.den / g, o.den / g);
+        Rat::checked(
+            self.num
+                .checked_mul(db)
+                .and_then(|a| o.num.checked_mul(da).and_then(|b| a.checked_add(b))),
+            self.den.checked_mul(db),
+            "add",
+        )
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // subtraction = add the negation
+    fn sub(self, o: Rat) -> Rat {
+        self + (-o)
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, o: Rat) -> Rat {
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num, o.den).max(1);
+        let g2 = gcd(o.num, self.den).max(1);
+        Rat::checked(
+            (self.num / g1).checked_mul(o.num / g2),
+            (self.den / g2).checked_mul(o.den / g1),
+            "mul",
+        )
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division = multiply by reciprocal
+    fn div(self, o: Rat) -> Rat {
+        self * o.recip()
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // a/b vs c/d  ⇔  a·d vs c·b  (b, d > 0). Reduce first.
+        let g = gcd(self.den, other.den).max(1);
+        let (db, dd) = (self.den / g, other.den / g);
+        let lhs = self
+            .num
+            .checked_mul(dd)
+            .expect("rational overflow in cmp");
+        let rhs = other
+            .num
+            .checked_mul(db)
+            .expect("rational overflow in cmp");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+        assert_eq!(format!("{}", Rat::new(3, 6)), "1/2");
+        assert_eq!(format!("{}", Rat::from_int(7)), "7");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+        assert_eq!(a.recip(), Rat::from_int(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert_eq!(Rat::new(2, 6).cmp(&Rat::new(1, 3)), Ordering::Equal);
+        let mut v = vec![Rat::new(3, 4), Rat::new(1, 4), Rat::new(1, 2)];
+        v.sort();
+        assert_eq!(v, vec![Rat::new(1, 4), Rat::new(1, 2), Rat::new(3, 4)]);
+    }
+
+    #[test]
+    fn predicates_and_conversion() {
+        assert!(Rat::new(-1, 7).is_negative());
+        assert!(Rat::new(1, 7).is_positive());
+        assert!(Rat::ZERO.is_zero());
+        assert!((Rat::new(1, 4).to_f64() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        Rat::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_reciprocal_panics() {
+        Rat::ZERO.recip();
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_is_loud() {
+        let big = Rat::new(i128::MAX / 2, 1);
+        let _ = big * big;
+    }
+
+    #[test]
+    fn gcd_reduction_delays_overflow() {
+        // Sums of fractions with a common denominator factor stay small.
+        let mut acc = Rat::ZERO;
+        for _ in 0..1000 {
+            acc = acc + Rat::new(1, 1 << 20);
+        }
+        assert_eq!(acc, Rat::new(1000, 1 << 20));
+    }
+}

@@ -1,0 +1,710 @@
+//! Dense two-phase primal simplex.
+//!
+//! Layout: the tableau has one row per constraint plus an objective row,
+//! and one column per structural variable, slack/surplus variable and
+//! artificial variable, plus the right-hand side. The objective row stores
+//! reduced costs `z_j − c_j` (optimality: all ≥ −tol for maximisation) and
+//! the current objective value in the RHS cell.
+//!
+//! Degeneracy: max-min LPs start with every covering row at RHS 0, which
+//! makes the initial basis massively degenerate. The solver therefore
+//! **perturbs** inequality right-hand sides by tiny row-specific amounts
+//! (the classic anti-cycling perturbation; direction chosen to relax each
+//! row, so feasibility is preserved), which keeps the plain Dantzig rule
+//! moving. The induced objective error is O(perturbation · ‖duals‖₁) ≈
+//! 1e-9 — well below the tolerances used throughout this workspace.
+//!
+//! Entering rule: Dantzig (most negative reduced cost) until the
+//! objective stalls for [`SimplexOptions::stall_limit`] consecutive
+//! pivots, then **Bland's rule** as a backstop. Leaving rule: minimum
+//! ratio; near-ties are resolved towards the largest pivot element for
+//! numerical stability (or the smallest basis index under Bland).
+
+use crate::model::{Cmp, LpOutcome, Model};
+
+/// Numerical knobs for the solver. The defaults suit the well-scaled
+/// programs in this workspace (coefficients within a few orders of
+/// magnitude of 1).
+#[derive(Clone, Copy, Debug)]
+pub struct SimplexOptions {
+    /// A reduced cost above `-cost_tol` counts as optimal.
+    pub cost_tol: f64,
+    /// Pivot elements smaller than this in magnitude are not eligible.
+    pub pivot_tol: f64,
+    /// Consecutive non-improving pivots before switching to Bland's rule.
+    pub stall_limit: usize,
+    /// Hard cap on pivots per phase; `None` means `1000 + 50·(m + n)`.
+    pub max_iters: Option<usize>,
+    /// Phase-1 residual above this is reported as infeasible.
+    pub feas_tol: f64,
+    /// Relative RHS perturbation for degeneracy breaking (0 disables).
+    /// Inequality rows are relaxed by `perturbation · max(1, |b|) · u_r`
+    /// with a deterministic per-row factor `u_r ∈ (0.5, 1.5)`; equality
+    /// rows are never perturbed.
+    pub perturbation: f64,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self {
+            cost_tol: 1e-9,
+            pivot_tol: 1e-9,
+            stall_limit: 256,
+            max_iters: None,
+            feas_tol: 1e-7,
+            perturbation: 1e-10,
+        }
+    }
+}
+
+/// Solves with default options.
+pub fn solve(model: &Model) -> LpOutcome {
+    solve_with(model, &SimplexOptions::default())
+}
+
+/// Solves with explicit options.
+pub fn solve_with(model: &Model, opts: &SimplexOptions) -> LpOutcome {
+    Tableau::build(model, opts).solve(model, opts).0
+}
+
+/// Like [`solve_with`], additionally returning the **dual solution**
+/// (one multiplier per row) when the primal is optimal.
+///
+/// Duals are read from the final reduced costs of each row's
+/// slack/surplus (or artificial, for equalities) column, sign-adjusted
+/// for rows that were flipped during normalisation. For a maximisation
+/// `max c·x` they satisfy, up to the solver's perturbation error:
+/// complementary slackness and strong duality `Σ_i y_i b_i = c·x`.
+pub fn solve_with_duals(model: &Model, opts: &SimplexOptions) -> (LpOutcome, Option<Vec<f64>>) {
+    Tableau::build(model, opts).solve(model, opts)
+}
+
+/// Deterministic per-row perturbation factor in (0.5, 1.5) (splitmix64).
+fn noise(r: usize) -> f64 {
+    let mut z = (r as u64).wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    0.5 + (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+struct Tableau {
+    m: usize,
+    /// Total columns excluding RHS.
+    ncols: usize,
+    /// First artificial column (== ncols when no artificials).
+    art_start: usize,
+    /// Row-major (m+1) × (ncols+1); last row is the objective row.
+    t: Vec<f64>,
+    basis: Vec<usize>,
+    n_structural: usize,
+    /// Per original row: the slack/surplus column and the sign flip
+    /// applied during normalisation — used to read dual values out of
+    /// the final reduced costs.
+    row_slack: Vec<(usize, f64)>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.t[r * (self.ncols + 1) + c]
+    }
+
+    fn build(model: &Model, opts: &SimplexOptions) -> Tableau {
+        let n = model.n_vars();
+        let m = model.n_rows();
+
+        // Normalise rows to nonnegative RHS, counting extra columns.
+        // For each row (after sign-normalisation):
+        //   Le  -> slack (+1), basis
+        //   Ge  -> surplus (−1) + artificial (+1, basis)
+        //   Eq  -> artificial (+1, basis)
+        let mut n_slack = 0usize;
+        let mut n_art = 0usize;
+        let mut row_kind = Vec::with_capacity(m); // (flip, cmp)
+        for row in model.rows() {
+            let flip = row.rhs < 0.0;
+            let cmp = match (row.cmp, flip) {
+                (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+                (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+                (Cmp::Eq, _) => Cmp::Eq,
+            };
+            match cmp {
+                Cmp::Le => n_slack += 1,
+                Cmp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Cmp::Eq => n_art += 1,
+            }
+            row_kind.push((flip, cmp));
+        }
+
+        let slack_start = n;
+        let art_start = n + n_slack;
+        let ncols = art_start + n_art;
+        let width = ncols + 1;
+        let mut t = vec![0.0f64; (m + 1) * width];
+        let mut basis = vec![usize::MAX; m];
+
+        let mut next_slack = slack_start;
+        let mut next_art = art_start;
+        let mut row_slack = vec![(usize::MAX, 1.0); m];
+        for (r, row) in model.rows().iter().enumerate() {
+            let (flip, cmp) = row_kind[r];
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(j, a) in &row.coefs {
+                t[r * width + j] += sign * a;
+            }
+            // Anti-cycling perturbation: relax inequality rows by a tiny
+            // row-specific amount (after sign normalisation every row is
+            // compared downwards from a nonnegative RHS, so adding to Le
+            // rows and to the normalised-Ge RHS... — concretely: Le rows
+            // gain slack, Ge rows lose demand; both relax).
+            let eps = match cmp {
+                Cmp::Eq => 0.0,
+                Cmp::Le => opts.perturbation * row.rhs.abs().max(1.0) * noise(r),
+                Cmp::Ge => -opts.perturbation * row.rhs.abs().max(1.0) * noise(r),
+            };
+            t[r * width + ncols] = sign * row.rhs + eps;
+            match cmp {
+                Cmp::Le => {
+                    t[r * width + next_slack] = 1.0;
+                    basis[r] = next_slack;
+                    row_slack[r] = (next_slack, sign);
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    t[r * width + next_slack] = -1.0;
+                    row_slack[r] = (next_slack, -sign);
+                    next_slack += 1;
+                    t[r * width + next_art] = 1.0;
+                    basis[r] = next_art;
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    t[r * width + next_art] = 1.0;
+                    basis[r] = next_art;
+                    // Equality rows have no slack; the dual is read from
+                    // the artificial column's reduced cost instead.
+                    row_slack[r] = (next_art, sign);
+                    next_art += 1;
+                }
+            }
+        }
+
+        Tableau {
+            m,
+            ncols,
+            art_start,
+            t,
+            basis,
+            n_structural: n,
+            row_slack,
+        }
+    }
+
+    /// Gaussian pivot on (`row`, `col`), updating all rows including the
+    /// objective row.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.ncols + 1;
+        let piv = self.at(row, col);
+        debug_assert!(piv.abs() > 0.0);
+        let inv = 1.0 / piv;
+        let (row_lo, row_hi) = (row * width, (row + 1) * width);
+        for c in row_lo..row_hi {
+            self.t[c] *= inv;
+        }
+        // Exact unit pivot to curb drift.
+        self.t[row_lo + col] = 1.0;
+        for r in 0..=self.m {
+            if r == row {
+                continue;
+            }
+            let factor = self.at(r, col);
+            if factor == 0.0 {
+                continue;
+            }
+            let r_lo = r * width;
+            // Manual split borrows: subtract factor * pivot row.
+            let (a, b) = if r < row {
+                let (lo, hi) = self.t.split_at_mut(row_lo);
+                (&mut lo[r_lo..r_lo + width], &hi[0..width])
+            } else {
+                let (lo, hi) = self.t.split_at_mut(r_lo);
+                (&mut hi[0..width], &lo[row_lo..row_lo + width])
+            };
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x -= factor * y;
+            }
+            // Exact zero in the pivot column.
+            self.t[r_lo + col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Rebuilds the objective row for coefficient vector `c` (length
+    /// ncols; artificials get 0 in phase 2, −1 in phase 1).
+    fn set_objective_row(&mut self, c: &[f64]) {
+        let width = self.ncols + 1;
+        let obj_lo = self.m * width;
+        for (j, cj) in c.iter().enumerate() {
+            self.t[obj_lo + j] = -*cj;
+        }
+        self.t[obj_lo + self.ncols] = 0.0;
+        for r in 0..self.m {
+            let cb = c[self.basis[r]];
+            if cb == 0.0 {
+                continue;
+            }
+            let r_lo = r * width;
+            let (lo, hi) = self.t.split_at_mut(obj_lo);
+            let src = &lo[r_lo..r_lo + width];
+            for (x, y) in hi[0..width].iter_mut().zip(src) {
+                *x += cb * y;
+            }
+        }
+    }
+
+    /// Runs simplex pivots until optimality/unboundedness for the current
+    /// objective row. `banned` columns never enter.
+    fn optimize(&mut self, banned_from: usize, opts: &SimplexOptions) -> PhaseResult {
+        let width = self.ncols + 1;
+        let max_iters = opts
+            .max_iters
+            .unwrap_or(1000 + 50 * (self.m + self.ncols));
+        let mut bland = false;
+        let mut stall = 0usize;
+        let mut last_obj = self.at(self.m, self.ncols);
+
+        for _ in 0..max_iters {
+            // Entering column.
+            let obj_lo = self.m * width;
+            let mut enter = None;
+            if bland {
+                for j in 0..banned_from {
+                    if self.t[obj_lo + j] < -opts.cost_tol {
+                        enter = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -opts.cost_tol;
+                for j in 0..banned_from {
+                    let d = self.t[obj_lo + j];
+                    if d < best {
+                        best = d;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(col) = enter else {
+                return PhaseResult::Optimal;
+            };
+
+            // Leaving row: minimum ratio (negative RHS drift clamped to
+            // zero). Among near-ties, prefer the largest pivot element
+            // for numerical stability — except under Bland, where the
+            // smallest basis index preserves the termination guarantee.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_piv = 0.0f64;
+            for r in 0..self.m {
+                let a = self.at(r, col);
+                if a > opts.pivot_tol {
+                    let ratio = self.at(r, self.ncols).max(0.0) / a;
+                    let tie = (ratio - best_ratio).abs() <= 1e-9 * best_ratio.max(1e-30);
+                    let better = match leave {
+                        None => true,
+                        Some(lr) => {
+                            if tie {
+                                if bland {
+                                    self.basis[r] < self.basis[lr]
+                                } else {
+                                    a > best_piv
+                                }
+                            } else {
+                                ratio < best_ratio
+                            }
+                        }
+                    };
+                    if better {
+                        best_ratio = ratio;
+                        best_piv = a;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(row) = leave else {
+                return PhaseResult::Unbounded;
+            };
+
+            self.pivot(row, col);
+
+            if !bland {
+                let obj = self.at(self.m, self.ncols);
+                if obj > last_obj + 1e-12 {
+                    stall = 0;
+                } else {
+                    stall += 1;
+                    if stall >= opts.stall_limit {
+                        bland = true;
+                    }
+                }
+                last_obj = obj;
+            }
+        }
+        PhaseResult::IterationLimit
+    }
+
+    fn solve(mut self, model: &Model, opts: &SimplexOptions) -> (LpOutcome, Option<Vec<f64>>) {
+        // Phase 1: drive artificials to zero (skip when none exist — the
+        // slack basis is already feasible, e.g. for max-min LPs).
+        if self.art_start < self.ncols {
+            let mut c1 = vec![0.0; self.ncols];
+            for c in c1.iter_mut().skip(self.art_start) {
+                *c = -1.0;
+            }
+            self.set_objective_row(&c1);
+            match self.optimize(self.ncols, opts) {
+                PhaseResult::Optimal => {}
+                PhaseResult::Unbounded => {
+                    unreachable!("phase-1 objective is bounded above by zero")
+                }
+                PhaseResult::IterationLimit => return (LpOutcome::IterationLimit, None),
+            }
+            // Objective row RHS holds −Σ artificials.
+            if self.at(self.m, self.ncols) < -opts.feas_tol {
+                return (LpOutcome::Infeasible, None);
+            }
+            // Pivot basic artificials (at value 0) out where possible so
+            // they cannot re-enter trouble; rows that cannot pivot are
+            // redundant and harmless with artificials banned in phase 2.
+            for r in 0..self.m {
+                if self.basis[r] >= self.art_start {
+                    if let Some(col) = (0..self.art_start)
+                        .find(|&j| self.at(r, j).abs() > opts.pivot_tol)
+                    {
+                        self.pivot(r, col);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: real objective (artificial columns banned).
+        let mut c2 = vec![0.0; self.ncols];
+        c2[..self.n_structural].copy_from_slice(model.objective());
+        self.set_objective_row(&c2);
+        match self.optimize(self.art_start, opts) {
+            PhaseResult::Optimal => {
+                let mut x = vec![0.0; self.n_structural];
+                for r in 0..self.m {
+                    let b = self.basis[r];
+                    if b < self.n_structural {
+                        x[b] = self.at(r, self.ncols);
+                    }
+                }
+                // Dual value of row r = reduced cost of its slack column
+                // (z_j − c_j with c_j = 0), adjusted for the
+                // normalisation sign; for a surplus column the sign is
+                // already folded into row_slack.
+                let width = self.ncols + 1;
+                let duals: Vec<f64> = self
+                    .row_slack
+                    .iter()
+                    .map(|&(col, sign)| sign * self.t[self.m * width + col])
+                    .collect();
+                (
+                    LpOutcome::Optimal {
+                        objective: self.at(self.m, self.ncols),
+                        x,
+                    },
+                    Some(duals),
+                )
+            }
+            PhaseResult::Unbounded => (LpOutcome::Unbounded, None),
+            PhaseResult::IterationLimit => (LpOutcome::IterationLimit, None),
+        }
+    }
+}
+
+enum PhaseResult {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(out: &LpOutcome, expect_obj: f64, tol: f64) {
+        match out {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!(
+                    (objective - expect_obj).abs() <= tol,
+                    "objective {objective} != expected {expect_obj}"
+                );
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    /// Classic textbook LP: max 3x + 5y, x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+    #[test]
+    fn wyndor_glass() {
+        let mut m = Model::new(2);
+        m.set_objective(0, 3.0);
+        m.set_objective(1, 5.0);
+        m.add_row(vec![(0, 1.0)], Cmp::Le, 4.0);
+        m.add_row(vec![(1, 2.0)], Cmp::Le, 12.0);
+        m.add_row(vec![(0, 3.0), (1, 2.0)], Cmp::Le, 18.0);
+        let out = solve(&m);
+        assert_optimal(&out, 36.0, 1e-6);
+        let x = out.solution().unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-6 && (x[1] - 6.0).abs() < 1e-6);
+        assert!(m.max_violation(x) < 1e-6);
+    }
+
+    /// Ge rows force phase 1. min x+y s.t. x+2y ≥ 3, 2x+y ≥ 3 — as max of
+    /// the negation; optimum at x=y=1.
+    #[test]
+    fn phase_one_ge_rows() {
+        let mut m = Model::new(2);
+        m.set_objective(0, -1.0);
+        m.set_objective(1, -1.0);
+        m.add_row(vec![(0, 1.0), (1, 2.0)], Cmp::Ge, 3.0);
+        m.add_row(vec![(0, 2.0), (1, 1.0)], Cmp::Ge, 3.0);
+        let out = solve(&m);
+        assert_optimal(&out, -2.0, 1e-6);
+        let x = out.solution().unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6 && (x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_rows() {
+        // max x + 2y s.t. x + y = 1, y ≤ 0.4 → x=0.6, y=0.4, obj 1.4.
+        let mut m = Model::new(2);
+        m.set_objective(0, 1.0);
+        m.set_objective(1, 2.0);
+        m.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 1.0);
+        m.add_row(vec![(1, 1.0)], Cmp::Le, 0.4);
+        assert_optimal(&solve(&m), 1.4, 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(1);
+        m.add_row(vec![(0, 1.0)], Cmp::Le, 1.0);
+        m.add_row(vec![(0, 1.0)], Cmp::Ge, 2.0);
+        assert!(matches!(solve(&m), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_infeasible_empty_row() {
+        // 0 ≥ 1 encoded as an empty Ge row.
+        let mut m = Model::new(1);
+        m.add_row(vec![], Cmp::Ge, 1.0);
+        assert!(matches!(solve(&m), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(2);
+        m.set_objective(0, 1.0);
+        m.add_row(vec![(1, 1.0)], Cmp::Le, 1.0);
+        assert!(matches!(solve(&m), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn no_rows_zero_objective_is_optimal() {
+        let m = Model::new(3);
+        assert_optimal(&solve(&m), 0.0, 0.0);
+    }
+
+    #[test]
+    fn no_rows_positive_objective_is_unbounded() {
+        let mut m = Model::new(1);
+        m.set_objective(0, 2.0);
+        assert!(matches!(solve(&m), LpOutcome::Unbounded));
+    }
+
+    /// Beale's classic cycling example; Dantzig's rule cycles forever on
+    /// it without anti-cycling. Optimum objective is 1/20.
+    #[test]
+    fn beale_cycling_terminates() {
+        let mut m = Model::new(4);
+        m.set_objective(0, 0.75);
+        m.set_objective(1, -150.0);
+        m.set_objective(2, 0.02);
+        m.set_objective(3, -6.0);
+        m.add_row(
+            vec![(0, 0.25), (1, -60.0), (2, -1.0 / 25.0), (3, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        m.add_row(
+            vec![(0, 0.5), (1, -90.0), (2, -1.0 / 50.0), (3, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
+        m.add_row(vec![(2, 1.0)], Cmp::Le, 1.0);
+        assert_optimal(&solve(&m), 0.05, 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalised() {
+        // x ≥ 2 written as −x ≤ −2; max −x → optimum −2.
+        let mut m = Model::new(1);
+        m.set_objective(0, -1.0);
+        m.add_row(vec![(0, -1.0)], Cmp::Le, -2.0);
+        let out = solve(&m);
+        assert_optimal(&out, -2.0, 1e-6);
+        assert!((out.solution().unwrap()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_solves() {
+        // Multiple redundant constraints through the same vertex.
+        let mut m = Model::new(2);
+        m.set_objective(0, 1.0);
+        m.set_objective(1, 1.0);
+        for _ in 0..6 {
+            m.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Le, 1.0);
+        }
+        m.add_row(vec![(0, 1.0)], Cmp::Le, 1.0);
+        m.add_row(vec![(1, 1.0)], Cmp::Le, 1.0);
+        assert_optimal(&solve(&m), 1.0, 1e-6);
+    }
+
+    #[test]
+    fn redundant_equalities_phase1_exits_cleanly() {
+        // x + y = 1 twice (second is redundant: artificial cannot pivot
+        // out on a fresh column after phase 1 in some pivot orders).
+        let mut m = Model::new(2);
+        m.set_objective(0, 1.0);
+        m.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 1.0);
+        m.add_row(vec![(0, 1.0), (1, 1.0)], Cmp::Eq, 1.0);
+        assert_optimal(&solve(&m), 1.0, 1e-6);
+    }
+
+    #[test]
+    fn duplicate_variable_entries_are_summed() {
+        // (x + x) ≤ 2 means x ≤ 1.
+        let mut m = Model::new(1);
+        m.set_objective(0, 1.0);
+        m.add_row(vec![(0, 1.0), (0, 1.0)], Cmp::Le, 2.0);
+        assert_optimal(&solve(&m), 1.0, 1e-6);
+    }
+
+    /// Randomised cross-check: maximise Σx over Σ a_i x_i ≤ 1 rows; the
+    /// optimum is attained and feasible, and weak duality holds against
+    /// hand-built feasible points.
+    #[test]
+    fn random_packing_solutions_are_feasible_and_dominant() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..20 {
+            let n = 3 + trial % 5;
+            let mut m = Model::new(n);
+            for j in 0..n {
+                m.set_objective(j, 1.0);
+            }
+            for _ in 0..n + 2 {
+                let coefs: Vec<(usize, f64)> =
+                    (0..n).map(|j| (j, 0.1 + rng())).collect();
+                m.add_row(coefs, Cmp::Le, 1.0);
+            }
+            let out = solve(&m);
+            let x = out.solution().expect("bounded packing LP");
+            assert!(m.max_violation(x) < 1e-7);
+            // A scaled uniform point is feasible; optimum must dominate it.
+            let worst_row: f64 = m
+                .rows()
+                .iter()
+                .map(|r| r.coefs.iter().map(|&(_, a)| a).sum::<f64>())
+                .fold(0.0, f64::max);
+            let uniform = 1.0 / worst_row;
+            let feas_obj = uniform * n as f64;
+            assert!(out.objective().unwrap() >= feas_obj - 1e-6);
+        }
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_wyndor() {
+        let mut m = Model::new(2);
+        m.set_objective(0, 3.0);
+        m.set_objective(1, 5.0);
+        m.add_row(vec![(0, 1.0)], Cmp::Le, 4.0);
+        m.add_row(vec![(1, 2.0)], Cmp::Le, 12.0);
+        m.add_row(vec![(0, 3.0), (1, 2.0)], Cmp::Le, 18.0);
+        let (out, duals) = solve_with_duals(&m, &SimplexOptions::default());
+        let obj = out.objective().unwrap();
+        let y = duals.unwrap();
+        // Known optimal duals: (0, 3/2, 1).
+        assert!(y[0].abs() < 1e-6);
+        assert!((y[1] - 1.5).abs() < 1e-6);
+        assert!((y[2] - 1.0).abs() < 1e-6);
+        // Strong duality: y·b = objective.
+        let yb = y[0] * 4.0 + y[1] * 12.0 + y[2] * 18.0;
+        assert!((yb - obj).abs() < 1e-6);
+        // Dual feasibility: Aᵀy ≥ c.
+        assert!(y[0] + 3.0 * y[2] >= 3.0 - 1e-6);
+        assert!(2.0 * y[1] + 2.0 * y[2] >= 5.0 - 1e-6);
+    }
+
+    #[test]
+    fn duals_nonnegative_and_tight_on_random_packing() {
+        let mut state = 0xABCDu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..10 {
+            let n = 4;
+            let mut m = Model::new(n);
+            for j in 0..n {
+                m.set_objective(j, 0.5 + rng());
+            }
+            let mut rhs = Vec::new();
+            for _ in 0..n + 2 {
+                let coefs: Vec<(usize, f64)> = (0..n).map(|j| (j, 0.1 + rng())).collect();
+                let b = 1.0 + rng();
+                m.add_row(coefs, Cmp::Le, b);
+                rhs.push(b);
+            }
+            let (out, duals) = solve_with_duals(&m, &SimplexOptions::default());
+            let obj = out.objective().expect("bounded packing LP");
+            let y = duals.unwrap();
+            assert!(y.iter().all(|&v| v >= -1e-7), "duals of Le rows are ≥ 0");
+            let yb: f64 = y.iter().zip(&rhs).map(|(a, b)| a * b).sum();
+            assert!(
+                (yb - obj).abs() <= 1e-6 * obj.abs().max(1.0),
+                "strong duality: {yb} vs {obj}"
+            );
+        }
+    }
+
+    #[test]
+    fn duals_with_ge_and_eq_rows() {
+        // min x + y s.t. x + 2y ≥ 3, x = 1 → y = 1, objective −2 (as max).
+        let mut m = Model::new(2);
+        m.set_objective(0, -1.0);
+        m.set_objective(1, -1.0);
+        m.add_row(vec![(0, 1.0), (1, 2.0)], Cmp::Ge, 3.0);
+        m.add_row(vec![(0, 1.0)], Cmp::Eq, 1.0);
+        let (out, duals) = solve_with_duals(&m, &SimplexOptions::default());
+        let obj = out.objective().unwrap();
+        assert!((obj + 2.0).abs() < 1e-6);
+        let y = duals.unwrap();
+        let yb = y[0] * 3.0 + y[1] * 1.0;
+        assert!((yb - obj).abs() < 1e-6, "strong duality with Ge/Eq rows");
+    }
+}

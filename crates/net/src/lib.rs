@@ -1,0 +1,36 @@
+//! # `mmlp-net`
+//!
+//! A synchronous, port-numbered, **anonymous** message-passing simulator —
+//! the model of distributed computation of §1.2 of the paper:
+//!
+//! * one computational node per agent / constraint / objective,
+//! * synchronous rounds: local computation, then one message per incident
+//!   edge out, then one message per incident edge in,
+//! * **no node identifiers** — a node can refer to its neighbours only by
+//!   its own port numbers (port numbering model), and its local input is
+//!   exactly the paper's: agents know their incident coefficients;
+//!   constraints and objectives know only their degree,
+//! * after a constant number `D` of rounds, agents produce output.
+//!
+//! Contents:
+//!
+//! * [`topology::Network`] — the communication graph of an instance plus
+//!   each node's (anonymous) local input.
+//! * [`engine`] — sequential and crossbeam-parallel round executors for
+//!   any [`engine::Protocol`]; both produce bit-identical results.
+//! * [`view`] — full-information *view-tree gathering*: after `D` rounds
+//!   every node holds its radius-`D` view of the **unfolding** (universal
+//!   cover) of the network, which is the canonical way to implement any
+//!   local algorithm (§4.1). Message sizes are accounted, exposing the
+//!   exponential cost of full-information gathering.
+//! * [`stats::RunStats`] — rounds, message and byte accounting.
+
+pub mod engine;
+pub mod stats;
+pub mod topology;
+pub mod view;
+
+pub use engine::{Payload, Protocol, RunResult};
+pub use stats::RunStats;
+pub use topology::{Network, NodeInfo, PortInfo};
+pub use view::{gather_views, ViewChild, ViewTree};

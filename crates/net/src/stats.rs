@@ -1,0 +1,60 @@
+//! Message and byte accounting for protocol runs.
+
+/// Totals for one protocol execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// Number of synchronous rounds executed.
+    pub rounds: usize,
+    /// Total messages delivered (a `None` in an outbox slot is silence
+    /// and is not counted).
+    pub messages: u64,
+    /// Total payload bytes delivered, per [`crate::engine::Payload`]
+    /// accounting.
+    pub bytes: u64,
+    /// Messages delivered per round.
+    pub messages_per_round: Vec<u64>,
+    /// Payload bytes delivered per round.
+    pub bytes_per_round: Vec<u64>,
+}
+
+impl RunStats {
+    /// Largest per-round byte volume (the peak bandwidth a real network
+    /// would need).
+    pub fn peak_round_bytes(&self) -> u64 {
+        self.bytes_per_round.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean messages per round.
+    pub fn mean_messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let s = RunStats {
+            rounds: 2,
+            messages: 10,
+            bytes: 100,
+            messages_per_round: vec![4, 6],
+            bytes_per_round: vec![30, 70],
+        };
+        assert_eq!(s.peak_round_bytes(), 70);
+        assert_eq!(s.mean_messages_per_round(), 5.0);
+    }
+
+    #[test]
+    fn empty_run() {
+        let s = RunStats::default();
+        assert_eq!(s.peak_round_bytes(), 0);
+        assert_eq!(s.mean_messages_per_round(), 0.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Full-information *view-tree* gathering.
+//!
+//! The radius-`D` **view** of a node `x` is the ball of radius `D` around
+//! (a copy of) `x` in the *unfolding* (universal cover) of the network —
+//! equivalently, the tree of non-backtracking walks of length ≤ `D`
+//! starting at `x`, labelled with node kinds, port numbers and the
+//! agent-known coefficients. §4.1 of the paper notes that *any* local
+//! algorithm with horizon `D` can be implemented as: gather the radius-`D`
+//! view, then compute the output from it — so this module is the
+//! foundation of the faithful distributed implementation in `mmlp-core`.
+//!
+//! In the port-numbering model two nodes with equal views are
+//! indistinguishable to every deterministic local algorithm; view
+//! equality (`ViewTree: PartialEq`) is therefore the mechanical test used
+//! by the lower-bound experiment (T5).
+//!
+//! Gathering costs one round per unit of radius; message sizes grow with
+//! the ball size (exponentially in `D` for expander-ish networks), which
+//! the byte accounting makes visible — this is the price of the generic
+//! full-information approach.
+
+use crate::engine::{self, Payload, Protocol, RunResult};
+use crate::stats::RunStats;
+use crate::topology::{Network, NodeInfo};
+use mmlp_instance::NodeKind;
+
+/// What a node sees through one of its ports in its view tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ViewChild {
+    /// The edge through which this subtree was entered (towards the view
+    /// root). Non-backtracking walks do not continue through it.
+    Back,
+    /// Beyond the gathering horizon.
+    Cut,
+    /// The neighbour's subtree.
+    Sub(Box<ViewTree>),
+}
+
+/// The (truncated) unfolded neighbourhood of a node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViewTree {
+    /// Kind of this node.
+    pub kind: NodeKind,
+    /// For agent nodes: the coefficient on each port (`a_iv` / `c_kv`),
+    /// parallel to `children`. Empty for constraints/objectives, whose
+    /// local input has no coefficients.
+    pub coefs: Vec<f64>,
+    /// The class of the neighbour behind each port — part of the local
+    /// input (an agent can tell its constraints from its objectives even
+    /// before any communication).
+    pub port_kinds: Vec<NodeKind>,
+    /// One entry per port, in port order.
+    pub children: Vec<ViewChild>,
+}
+
+impl ViewTree {
+    /// Number of tree nodes (this node plus all `Sub` descendants).
+    pub fn size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|c| match c {
+                ViewChild::Sub(t) => t.size(),
+                _ => 0,
+            })
+            .sum::<usize>()
+    }
+
+    /// Depth of the deepest `Sub` chain.
+    pub fn depth(&self) -> usize {
+        self.children
+            .iter()
+            .map(|c| match c {
+                ViewChild::Sub(t) => 1 + t.depth(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The subtree reached through `port`, if within horizon.
+    pub fn child(&self, port: usize) -> Option<&ViewTree> {
+        match &self.children[port] {
+            ViewChild::Sub(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The depth-0 view: exactly the node's local input (own kind,
+    /// per-port neighbour kinds, agent-known coefficients), nothing else.
+    pub fn depth_zero(node: &NodeInfo) -> ViewTree {
+        ViewTree {
+            kind: node.kind,
+            coefs: node.ports.iter().filter_map(|p| p.coef).collect(),
+            port_kinds: node.ports.iter().map(|p| p.neighbor_kind).collect(),
+            children: vec![ViewChild::Cut; node.degree()],
+        }
+    }
+
+    /// Builds the depth-`t+1` view of a node from the depth-`t` views
+    /// received on each port (tagged with the sender's port, whose slot
+    /// becomes [`ViewChild::Back`]). Ports with no message become
+    /// [`ViewChild::Cut`]. Shared by the generic gathering protocol and
+    /// the paper's algorithm's phase A.
+    pub fn from_inbox(own: &ViewTree, inbox: &[Option<(u32, ViewTree)>]) -> ViewTree {
+        let children: Vec<ViewChild> = inbox
+            .iter()
+            .map(|slot| match slot {
+                Some((sender_port, tree)) => {
+                    let mut sub = tree.clone();
+                    sub.children[*sender_port as usize] = ViewChild::Back;
+                    ViewChild::Sub(Box::new(sub))
+                }
+                None => ViewChild::Cut,
+            })
+            .collect();
+        ViewTree {
+            kind: own.kind,
+            coefs: own.coefs.clone(),
+            port_kinds: own.port_kinds.clone(),
+            children,
+        }
+    }
+}
+
+impl Payload for ViewTree {
+    fn size_bytes(&self) -> usize {
+        // kind tag + per-port child tag + coefficients + recursion.
+        1 + 2 * self.children.len()
+            + 8 * self.coefs.len()
+            + self
+                .children
+                .iter()
+                .map(|c| match c {
+                    ViewChild::Sub(t) => t.size_bytes(),
+                    _ => 0,
+                })
+                .sum::<usize>()
+    }
+}
+
+/// The gathering protocol: in round `t` every node sends its depth-`t`
+/// view (tagged with the sending port so the receiver can mark the back
+/// edge); after `D` rounds every node holds its depth-`D` view.
+struct GatherViews {
+    depth: usize,
+}
+
+struct GatherState {
+    view: ViewTree,
+}
+
+impl GatherViews {
+    fn absorb(state: &mut GatherState, _node: &NodeInfo, inbox: &[Option<(u32, ViewTree)>]) {
+        state.view = ViewTree::from_inbox(&state.view, inbox);
+    }
+}
+
+impl Protocol for GatherViews {
+    type State = GatherState;
+    type Message = (u32, ViewTree);
+
+    fn rounds(&self) -> usize {
+        self.depth
+    }
+
+    fn init(&self, node: &NodeInfo) -> GatherState {
+        GatherState {
+            view: ViewTree::depth_zero(node),
+        }
+    }
+
+    fn round(
+        &self,
+        state: &mut GatherState,
+        node: &NodeInfo,
+        round: usize,
+        inbox: &[Option<(u32, ViewTree)>],
+        outbox: &mut [Option<(u32, ViewTree)>],
+    ) {
+        if round > 0 {
+            Self::absorb(state, node, inbox);
+        }
+        for (p, slot) in outbox.iter_mut().enumerate() {
+            *slot = Some((p as u32, state.view.clone()));
+        }
+    }
+
+    fn finish(&self, state: &mut GatherState, node: &NodeInfo, inbox: &[Option<(u32, ViewTree)>]) {
+        if self.depth > 0 {
+            Self::absorb(state, node, inbox);
+        }
+    }
+}
+
+/// Gathers every node's radius-`depth` view; returns the views (indexed
+/// by flat node index, agents first) and the run accounting.
+pub fn gather_views(net: &Network, depth: usize) -> (Vec<ViewTree>, RunStats) {
+    let RunResult { states, stats } = engine::run(net, &GatherViews { depth });
+    (states.into_iter().map(|s| s.view).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_gen::special::{cycle_special, path_special};
+    use mmlp_instance::InstanceBuilder;
+
+    #[test]
+    fn depth_zero_views_are_local_inputs() {
+        let mut b = InstanceBuilder::new();
+        let v = b.add_agent();
+        let w = b.add_agent();
+        b.add_constraint(&[(v, 2.0), (w, 1.0)]).unwrap();
+        b.add_objective(&[(v, 3.0)]).unwrap();
+        b.add_objective(&[(w, 1.0)]).unwrap();
+        let net = Network::new(&b.build().unwrap());
+        let (views, stats) = gather_views(&net, 0);
+        assert_eq!(stats.messages, 0);
+        assert_eq!(views[0].kind, NodeKind::Agent);
+        assert_eq!(views[0].coefs, vec![2.0, 3.0]);
+        assert_eq!(views[0].children, vec![ViewChild::Cut, ViewChild::Cut]);
+        assert_eq!(views[2].kind, NodeKind::Constraint);
+        assert!(views[2].coefs.is_empty(), "constraints know no coefficients");
+    }
+
+    #[test]
+    fn full_depth_view_of_a_tree_reconstructs_it() {
+        // Star: one constraint with 3 agents, objectives on each agent.
+        let mut b = InstanceBuilder::new();
+        let agents: Vec<_> = (0..3).map(|_| b.add_agent()).collect();
+        b.add_constraint(&[(agents[0], 1.0), (agents[1], 1.0), (agents[2], 1.0)])
+            .unwrap();
+        for &a in &agents {
+            b.add_objective(&[(a, 1.0)]).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let net = Network::new(&inst);
+        // Diameter = 4 (objective — agent — constraint — agent — objective).
+        let (views, _) = gather_views(&net, 4);
+        let total = inst.n_agents() + inst.n_constraints() + inst.n_objectives();
+        for view in views.iter().take(net.n_nodes()) {
+            assert_eq!(
+                view.size(),
+                total,
+                "a tree's full-radius view contains every node exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn view_depth_matches_request() {
+        let inst = cycle_special(6, 1.0);
+        let net = Network::new(&inst);
+        for d in [0, 1, 3, 5] {
+            let (views, stats) = gather_views(&net, d);
+            assert!(views.iter().all(|v| v.depth() == d));
+            assert_eq!(stats.rounds, d);
+        }
+    }
+
+    #[test]
+    fn cycle_views_unfold_past_the_cycle_length() {
+        // Views are balls in the unfolding: on a cycle of total length 8
+        // (2 objectives), a depth-9 view is a path of 19 nodes even
+        // though the graph has only 8 — the walk wraps around.
+        let inst = cycle_special(2, 1.0);
+        let net = Network::new(&inst);
+        let (views, _) = gather_views(&net, 9);
+        for v in &views {
+            assert_eq!(v.size(), 19, "2·9 + 1 nodes in the unfolded path");
+        }
+    }
+
+    #[test]
+    fn even_cycle_agents_share_views_with_long_cycle() {
+        // All even-index agents of any two long-enough cycles have equal
+        // views: the cycle length is invisible below the horizon.
+        let d = 6;
+        let net_a = Network::new(&cycle_special(5, 1.0));
+        let net_b = Network::new(&cycle_special(9, 1.0));
+        let (va, _) = gather_views(&net_a, d);
+        let (vb, _) = gather_views(&net_b, d);
+        assert_eq!(va[0], vb[0], "agent 0 views match across cycle lengths");
+        assert_eq!(va[2], vb[2], "agent 2 is also even-type");
+        assert_eq!(va[0], va[2], "all even-type agents look alike");
+        assert_ne!(
+            va[0], va[1],
+            "odd-type agents have mirrored port orientation"
+        );
+    }
+
+    #[test]
+    fn path_interior_views_match_cycle_views() {
+        // The classic §3 indistinguishability: a long path's interior
+        // agent cannot tell it is not on a cycle.
+        let d = 4;
+        let cycle = Network::new(&cycle_special(8, 1.0));
+        let path = Network::new(&path_special(8, 1.0));
+        let (vc, _) = gather_views(&cycle, d);
+        let (vp, _) = gather_views(&path, d);
+        // Path agent 8 (objective 4, first slot) is ≥ d hops from both
+        // ends; cycle agent 0 is the same even-type agent.
+        assert_eq!(vp[8], vc[0]);
+    }
+
+    #[test]
+    fn message_bytes_grow_with_depth() {
+        let inst = cycle_special(8, 1.0);
+        let net = Network::new(&inst);
+        let (_, s1) = gather_views(&net, 2);
+        let (_, s2) = gather_views(&net, 6);
+        assert!(s2.bytes > s1.bytes);
+        assert!(s2.bytes_per_round.last().unwrap() > s2.bytes_per_round.first().unwrap());
+    }
+
+    #[test]
+    fn views_expose_coefficients_along_the_walk() {
+        let inst = cycle_special(3, 0.25);
+        let net = Network::new(&inst);
+        let (views, _) = gather_views(&net, 2);
+        // Agent view: port 0 leads to the constraint; its subtree leads
+        // to the partner agent whose coefs include 0.25.
+        let through_cons = views[0].child(0).expect("within horizon");
+        assert_eq!(through_cons.kind, NodeKind::Constraint);
+        let partner = through_cons
+            .children
+            .iter()
+            .find_map(|c| match c {
+                ViewChild::Sub(t) => Some(t),
+                _ => None,
+            })
+            .expect("partner agent in view");
+        assert_eq!(partner.kind, NodeKind::Agent);
+        assert!(partner.coefs.contains(&0.25));
+    }
+
+    #[test]
+    fn view_tree_size_bytes_is_monotone_in_size() {
+        let inst = cycle_special(4, 1.0);
+        let net = Network::new(&inst);
+        let (v1, _) = gather_views(&net, 1);
+        let (v3, _) = gather_views(&net, 3);
+        assert!(v3[0].size_bytes() > v1[0].size_bytes());
+    }
+}

@@ -1,0 +1,71 @@
+//! Fair bandwidth allocation — the paper's second motivating application
+//! (§1): customers share ring links and the network must maximise the
+//! minimum bandwidth any customer receives.
+//!
+//! Demonstrates the ε-vs-R trade-off of Theorem 1: the guarantee
+//! `ΔI(1 − 1/ΔK)(1 + 1/(R−1))` tightens towards the unconditional
+//! threshold `ΔI(1 − 1/ΔK)` as the local horizon grows.
+//!
+//! Run with `cargo run --release --example bandwidth_allocation`.
+
+use maxmin_lp::core::ratio;
+use maxmin_lp::gen::apps::{bandwidth_ladder, BandwidthConfig};
+use maxmin_lp::prelude::*;
+
+fn main() {
+    let cfg = BandwidthConfig {
+        n_customers: 36,
+        window: 3,
+        coef_range: (0.8, 1.25),
+    };
+    let inst = bandwidth_ladder(&cfg, 21);
+    let stats = DegreeStats::of(&inst);
+    println!(
+        "fair bandwidth: {} customers, {} links, ΔI = {}, ΔK = {}",
+        cfg.n_customers,
+        inst.n_constraints(),
+        stats.delta_i,
+        stats.delta_k
+    );
+
+    let opt = solve_maxmin(&inst).expect("bounded");
+    println!("exact optimum ω* = {:.6}\n", opt.omega);
+    println!(
+        "{:>3} {:>12} {:>10} {:>12} {:>12}",
+        "R", "ω(local)", "ratio", "guarantee", "threshold"
+    );
+    let threshold = ratio::threshold(stats.delta_i, stats.delta_k);
+    for big_r in [2, 3, 4, 6, 10] {
+        let solver = LocalSolver::new(big_r);
+        let out = solver.solve(&inst);
+        let u = out.solution.utility(&inst);
+        println!(
+            "{:>3} {:>12.6} {:>10.4} {:>12.4} {:>12.4}",
+            big_r,
+            u,
+            opt.omega / u,
+            solver.guarantee(stats.delta_i, stats.delta_k),
+            threshold
+        );
+    }
+
+    // Show one concrete allocation: how customer 0 splits its demand
+    // over the two rails, and that every link stays within capacity.
+    let out = LocalSolver::new(4).solve(&inst);
+    let x = &out.solution;
+    println!("\nR = 4 allocation for the first four customers (upper/lower rail):");
+    for j in 0..4 {
+        println!(
+            "  customer {j}: {:.4} + {:.4} = {:.4}",
+            x.value(AgentId::new(2 * j)),
+            x.value(AgentId::new(2 * j + 1)),
+            x.value(AgentId::new(2 * j)) + x.value(AgentId::new(2 * j + 1)),
+        );
+    }
+    let report = x.feasibility(&inst);
+    println!(
+        "worst link overload: {:.2e} (feasible: {})",
+        report.max_constraint_violation,
+        report.is_feasible(1e-9)
+    );
+}

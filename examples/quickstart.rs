@@ -1,0 +1,76 @@
+//! Quickstart: build a max-min LP, solve it locally, and certify the
+//! result against the exact LP optimum.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use maxmin_lp::core::{ratio, safe::safe_solution};
+use maxmin_lp::prelude::*;
+
+fn main() {
+    // A tiny fair-sharing program: three flows, two capacity constraints,
+    // two customers.
+    //
+    //   maximise min( x0 + x1 , x1 + 3·x2 )
+    //   s.t.     x0 + 2·x1      ≤ 1
+    //                 x1 +  x2  ≤ 1
+    //            x ≥ 0
+    let mut b = InstanceBuilder::new();
+    let x0 = b.add_agent();
+    let x1 = b.add_agent();
+    let x2 = b.add_agent();
+    b.add_constraint(&[(x0, 1.0), (x1, 2.0)]).unwrap();
+    b.add_constraint(&[(x1, 1.0), (x2, 1.0)]).unwrap();
+    b.add_objective(&[(x0, 1.0), (x1, 1.0)]).unwrap();
+    b.add_objective(&[(x1, 1.0), (x2, 3.0)]).unwrap();
+    let inst = b.build().unwrap();
+
+    let stats = DegreeStats::of(&inst);
+    println!(
+        "instance: {} agents, {} constraints, {} objectives (ΔI = {}, ΔK = {})",
+        inst.n_agents(),
+        inst.n_constraints(),
+        inst.n_objectives(),
+        stats.delta_i,
+        stats.delta_k
+    );
+
+    // The paper's local algorithm at a few locality parameters. Each
+    // agent decides its value after Θ(R) communication rounds, no matter
+    // how large the network is.
+    let opt = solve_maxmin(&inst).expect("bounded instance");
+    println!("\nexact LP optimum      ω* = {:.6}", opt.omega);
+
+    for big_r in [2, 3, 5, 8] {
+        let solver = LocalSolver::new(big_r);
+        let out = solver.solve(&inst);
+        let utility = out.solution.utility(&inst);
+        println!(
+            "local solver R = {big_r}: ω = {:.6}  (ratio {:.4}, guaranteed ≤ {:.4})",
+            utility,
+            opt.omega / utility,
+            solver.guarantee(stats.delta_i, stats.delta_k),
+        );
+        assert!(out.solution.is_feasible(&inst, 1e-9));
+    }
+
+    // The prior-art baseline: the safe algorithm (factor ΔI).
+    let safe = safe_solution(&inst);
+    println!(
+        "safe baseline:       ω = {:.6}  (ratio {:.4}, guaranteed ≤ {:.4})",
+        safe.utility(&inst),
+        opt.omega / safe.utility(&inst),
+        stats.delta_i as f64
+    );
+
+    // Theorem 1's threshold: no local algorithm can do better than this
+    // ratio, and R can be chosen to get arbitrarily close to it.
+    println!(
+        "\nlocal approximability threshold ΔI(1 − 1/ΔK) = {:.4}",
+        ratio::threshold(stats.delta_i, stats.delta_k)
+    );
+    let eps = 0.05;
+    println!(
+        "to get within ε = {eps} of it, Theorem 1 picks R = {}",
+        ratio::r_for_epsilon(stats.delta_i, stats.delta_k, eps)
+    );
+}

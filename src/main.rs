@@ -1,0 +1,171 @@
+//! `maxmin-lp` — command-line interface to the local max-min LP solver.
+//!
+//! ```text
+//! maxmin-lp solve <instance.mmlp> [-R <R>] [--certify]   local algorithm
+//! maxmin-lp optimum <instance.mmlp>                      exact simplex
+//! maxmin-lp safe <instance.mmlp>                         factor-ΔI baseline
+//! maxmin-lp generate <family> <size> <seed>              emit an instance
+//! maxmin-lp info <instance.mmlp>                         sizes and degrees
+//! ```
+//!
+//! Instances use the line-oriented text format of
+//! `mmlp_instance::textfmt` (see `maxmin-lp generate`). All output goes
+//! to stdout; exit code 0 on success, 2 on usage errors.
+
+use maxmin_lp::core::safe::safe_solution;
+use maxmin_lp::core::solver::LocalSolver;
+use maxmin_lp::gen::catalog;
+use maxmin_lp::instance::{textfmt, DegreeStats, Instance};
+use maxmin_lp::lp::solve_maxmin;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  maxmin-lp solve <file> [-R <R>] [--certify]\n  \
+         maxmin-lp optimum <file>\n  maxmin-lp safe <file>\n  \
+         maxmin-lp generate <family> <size> <seed>\n  maxmin-lp info <file>\n\n\
+         families: {}",
+        catalog()
+            .iter()
+            .map(|f| f.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Instance, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    textfmt::parse_instance(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match run(cmd, &args[1..]) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(UsageError::Usage) => usage(),
+        Err(UsageError::Message(m)) => {
+            eprintln!("error: {m}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum UsageError {
+    Usage,
+    Message(String),
+}
+
+impl From<String> for UsageError {
+    fn from(m: String) -> Self {
+        UsageError::Message(m)
+    }
+}
+
+fn run(cmd: &str, rest: &[String]) -> Result<(), UsageError> {
+    match cmd {
+        "solve" => {
+            let path = rest.first().ok_or(UsageError::Usage)?;
+            let mut big_r = 3usize;
+            let mut certify = false;
+            let mut it = rest[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "-R" => {
+                        big_r = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|r| *r >= 2)
+                            .ok_or(UsageError::Usage)?;
+                    }
+                    "--certify" => certify = true,
+                    _ => return Err(UsageError::Usage),
+                }
+            }
+            let inst = load(path)?;
+            let stats = DegreeStats::of(&inst);
+            let solver = LocalSolver::new(big_r).with_threads(4);
+            let out = solver.solve(&inst);
+            let utility = out.solution.utility(&inst);
+            println!("# local solve R={big_r}");
+            println!("utility {utility}");
+            println!(
+                "guarantee {}",
+                solver.guarantee(stats.delta_i.max(2), stats.delta_k.max(2))
+            );
+            println!("optimum_upper_bound {}", out.optimum_upper_bound());
+            for v in inst.agents() {
+                println!("x {} {}", v.raw(), out.solution.value(v));
+            }
+            if certify {
+                let opt = solve_maxmin(&inst).map_err(|e| e.to_string())?;
+                println!("# certification");
+                println!("optimum {}", opt.omega);
+                println!("ratio {}", opt.omega / utility);
+            }
+            Ok(())
+        }
+        "optimum" => {
+            let path = rest.first().ok_or(UsageError::Usage)?;
+            let inst = load(path)?;
+            let opt = solve_maxmin(&inst).map_err(|e| e.to_string())?;
+            println!("optimum {}", opt.omega);
+            for v in inst.agents() {
+                println!("x {} {}", v.raw(), opt.solution.value(v));
+            }
+            Ok(())
+        }
+        "safe" => {
+            let path = rest.first().ok_or(UsageError::Usage)?;
+            let inst = load(path)?;
+            let x = safe_solution(&inst);
+            println!("utility {}", x.utility(&inst));
+            for v in inst.agents() {
+                println!("x {} {}", v.raw(), x.value(v));
+            }
+            Ok(())
+        }
+        "generate" => {
+            let (name, size, seed) = match rest {
+                [n, s, d] => (
+                    n.as_str(),
+                    s.parse::<usize>().map_err(|e| e.to_string())?,
+                    d.parse::<u64>().map_err(|e| e.to_string())?,
+                ),
+                _ => return Err(UsageError::Usage),
+            };
+            let fams = catalog();
+            let fam = fams
+                .iter()
+                .find(|f| f.name == name)
+                .ok_or_else(|| format!("unknown family '{name}'"))?;
+            print!("{}", textfmt::write_instance(&fam.instance(size, seed)));
+            Ok(())
+        }
+        "info" => {
+            let path = rest.first().ok_or(UsageError::Usage)?;
+            let inst = load(path)?;
+            let s = DegreeStats::of(&inst);
+            println!("agents {}", inst.n_agents());
+            println!("constraints {}", inst.n_constraints());
+            println!("objectives {}", inst.n_objectives());
+            println!("delta_i {}", s.delta_i);
+            println!("delta_k {}", s.delta_k);
+            match maxmin_lp::instance::validate::check(&inst) {
+                Ok(()) => println!("valid true"),
+                Err(e) => println!("valid false  # {e}"),
+            }
+            if s.delta_i >= 2 && s.delta_k >= 2 {
+                println!(
+                    "threshold {}",
+                    maxmin_lp::core::ratio::threshold(s.delta_i, s.delta_k)
+                );
+            }
+            Ok(())
+        }
+        _ => Err(UsageError::Usage),
+    }
+}

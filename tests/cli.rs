@@ -1,0 +1,94 @@
+//! End-to-end tests of the `maxmin-lp` CLI binary (spawned as a real
+//! process via the path Cargo exports for integration tests).
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_maxmin-lp"))
+}
+
+fn run_ok(args: &[&str], stdin_file: Option<&std::path::Path>) -> String {
+    let mut cmd = bin();
+    cmd.args(args);
+    if let Some(f) = stdin_file {
+        cmd.current_dir(f.parent().unwrap());
+    }
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn generate_info_solve_optimum_pipeline() {
+    let dir = std::env::temp_dir().join(format!("mmlp-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("bandwidth.mmlp");
+
+    // generate
+    let text = run_ok(&["generate", "bandwidth", "24", "7"], None);
+    assert!(text.starts_with("maxminlp 1"));
+    std::fs::write(&file, &text).unwrap();
+
+    // info
+    let info = run_ok(&["info", file.to_str().unwrap()], None);
+    assert!(info.contains("valid true"), "{info}");
+    assert!(info.contains("delta_i 3"));
+    assert!(info.contains("delta_k 2"));
+
+    // solve with certification
+    let solved = run_ok(&["solve", file.to_str().unwrap(), "-R", "4", "--certify"], None);
+    let get = |key: &str| -> f64 {
+        solved
+            .lines()
+            .find_map(|l| l.strip_prefix(key))
+            .unwrap_or_else(|| panic!("missing '{key}' in output:\n{solved}"))
+            .trim()
+            .parse()
+            .unwrap()
+    };
+    let utility = get("utility ");
+    let ratio = get("ratio ");
+    let guarantee = get("guarantee ");
+    assert!(utility > 0.0);
+    assert!(ratio >= 1.0 - 1e-9 && ratio <= guarantee + 1e-9);
+
+    // optimum agrees with the certification block
+    let opt_out = run_ok(&["optimum", file.to_str().unwrap()], None);
+    let opt: f64 = opt_out
+        .lines()
+        .find_map(|l| l.strip_prefix("optimum "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((opt - get("optimum ")).abs() < 1e-9);
+
+    // safe baseline runs
+    let safe = run_ok(&["safe", file.to_str().unwrap()], None);
+    assert!(safe.contains("utility "));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_nonzero() {
+    let out = bin().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "no args → usage");
+    let out = bin().args(["generate", "no-such-family", "10", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "unknown family → error");
+    let out = bin().args(["solve", "/nonexistent/file.mmlp"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "missing file → error");
+}
+
+#[test]
+fn every_catalog_family_generates_via_cli() {
+    for fam in maxmin_lp::gen::catalog() {
+        let text = run_ok(&["generate", fam.name, "30", "1"], None);
+        let inst = maxmin_lp::instance::textfmt::parse_instance(&text)
+            .unwrap_or_else(|e| panic!("family {}: {e}", fam.name));
+        assert!(inst.n_agents() > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Locality guarantees: the output of an agent depends only on its
+//! radius-O(R) neighbourhood — editing the instance far away changes
+//! nothing, and agents with isomorphic views produce identical outputs.
+
+use maxmin_lp::core::solver::LocalSolver;
+use maxmin_lp::core::unfold;
+use maxmin_lp::gen::special::{cycle_special, path_special};
+use maxmin_lp::instance::{AgentId, CommGraph, InstanceBuilder, Node};
+
+/// Rebuilds a cycle instance with one constraint's coefficients scaled.
+fn cycle_with_edit(n_objectives: usize, edited: usize, factor: f64) -> maxmin_lp::instance::Instance {
+    let base = cycle_special(n_objectives, 1.0);
+    let mut b = InstanceBuilder::with_agents(base.n_agents());
+    for (idx, i) in base.constraints().enumerate() {
+        let row: Vec<(AgentId, f64)> = base
+            .constraint_row(i)
+            .iter()
+            .map(|e| (e.agent, if idx == edited { e.coef * factor } else { e.coef }))
+            .collect();
+        b.add_constraint(&row).unwrap();
+    }
+    for k in base.objectives() {
+        let row: Vec<(AgentId, f64)> =
+            base.objective_row(k).iter().map(|e| (e.agent, e.coef)).collect();
+        b.add_objective(&row).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn far_away_edits_do_not_change_outputs() {
+    let n = 48;
+    let base = cycle_special(n, 1.0);
+    let edited = cycle_with_edit(n, 0, 2.5);
+    let g = CommGraph::new(&base);
+    let src = g.constraint_index(maxmin_lp::instance::ConstraintId::new(0));
+    let dist = g.bfs(src, u32::MAX);
+
+    for big_r in [2, 3] {
+        let solver = LocalSolver::new(big_r);
+        let x0 = solver.solve(&base).solution;
+        let x1 = solver.solve(&edited).solution;
+        // Dependence radius: view gathering (4r+2) + smoothing flood
+        // (4r+2) + g-recursion relays (≤ 4r+2) = 12r+6 = 12R−18.
+        let horizon = (12 * big_r - 18) as u32;
+        let mut changed_radius = 0u32;
+        for v in base.agents() {
+            if (x0.value(v) - x1.value(v)).abs() > 1e-12 {
+                changed_radius = changed_radius.max(dist[v.idx()]);
+            }
+        }
+        assert!(
+            changed_radius <= horizon,
+            "R {big_r}: output changed at distance {changed_radius} > horizon {horizon}"
+        );
+        // And far agents are bit-identical, not merely close.
+        for v in base.agents() {
+            if dist[v.idx()] > horizon {
+                assert_eq!(
+                    x0.value(v).to_bits(),
+                    x1.value(v).to_bits(),
+                    "agent {v} beyond the horizon must be unaffected"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn view_isomorphic_agents_get_identical_outputs() {
+    // Long path vs long cycle: interior path agents cannot tell the
+    // difference, so the algorithm must treat them identically.
+    let big_r = 2;
+    let cycle = cycle_special(16, 1.0);
+    let path = path_special(16, 1.0);
+    let depth = 8; // > dependence radius 12R−18 = 6 at R = 2
+    let xc = LocalSolver::new(big_r).solve(&cycle).solution;
+    let xp = LocalSolver::new(big_r).solve(&path).solution;
+    let mut matched = 0;
+    for w in path.agents() {
+        // Compare with the same-parity cycle agent (ports align).
+        let v = AgentId::new(w.raw() % 2);
+        if unfold::views_equal(&path, Node::Agent(w), &cycle, Node::Agent(v), depth) {
+            matched += 1;
+            assert!(
+                (xp.value(w) - xc.value(v)).abs() < 1e-12,
+                "indistinguishable agents {w}/{v} diverged"
+            );
+        }
+    }
+    assert!(matched > 8, "interior agents must match (got {matched})");
+}
+
+#[test]
+fn canonical_codes_predict_output_equality_within_one_instance() {
+    // All agents of the unit cycle share one canonical code and one
+    // output value.
+    let inst = cycle_special(10, 1.0);
+    let code0 = unfold::canonical_view_code(&inst, Node::Agent(AgentId::new(0)), 6);
+    let x = LocalSolver::new(2).solve(&inst).solution;
+    for v in inst.agents() {
+        assert_eq!(
+            unfold::canonical_view_code(&inst, Node::Agent(v), 6),
+            code0
+        );
+        assert!((x.value(v) - x.value(AgentId::new(0))).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration check of the Theorem 1 lower-bound reproduction: the
+//! optimum gap between locally indistinguishable instances approaches
+//! `ΔI (1 − 1/ΔK)`, and the algorithm's outputs agree on
+//! view-isomorphic agents across the two instances.
+
+use maxmin_lp::core::solver::LocalSolver;
+use maxmin_lp::core::{ratio, unfold};
+use maxmin_lp::gen::lower_bound::{regular_gadget, regular_gadget_optimum, tree_gadget};
+use maxmin_lp::instance::Node;
+use maxmin_lp::lp::solve_maxmin;
+
+#[test]
+fn regular_gadget_optimum_is_d_over_delta_i() {
+    for (d, di) in [(3, 2), (4, 2), (3, 3)] {
+        let n = if (8 * d) % di == 0 { 8 } else { di * 4 };
+        let (inst, _) = regular_gadget(n, d, di, 4, 5);
+        let opt = solve_maxmin(&inst).unwrap().omega;
+        assert!(
+            (opt - regular_gadget_optimum(d, di)).abs() < 1e-6,
+            "d={d} ΔI={di}: opt {opt}"
+        );
+    }
+}
+
+#[test]
+fn optimum_gap_approaches_the_threshold() {
+    // ΔI = 2, d = ΔK = 3: threshold 4/3. The tree optimum ≥ 2, the
+    // regular optimum = 3/2, so the gap is ≥ 4/3 already at depth 3.
+    let (tree, witness) = tree_gadget(3, 2, 3);
+    let (regular, _) = regular_gadget(24, 3, 2, 5, 2);
+    let opt_tree = solve_maxmin(&tree).unwrap().omega;
+    let opt_reg = solve_maxmin(&regular).unwrap().omega;
+    assert!(witness.utility(&tree) >= 2.0 - 1e-9);
+    let gap = opt_tree / opt_reg;
+    let threshold = ratio::threshold(2, 3);
+    assert!(
+        gap >= threshold - 1e-9,
+        "gap {gap} below threshold {threshold}"
+    );
+    assert!(gap < threshold + 0.1, "gap should approach the threshold from above");
+}
+
+#[test]
+fn outputs_agree_on_view_isomorphic_pairs_across_instances() {
+    let (regular, girth) = regular_gadget(60, 3, 2, 8, 7);
+    assert!(girth >= 7, "need girth beyond the R=2 dependence radius");
+    let (tree, _) = tree_gadget(3, 2, 5);
+    let big_r = 2;
+    let depth = 6;
+    let x_reg = LocalSolver::new(big_r).solve(&regular).solution;
+    let x_tree = LocalSolver::new(big_r).solve(&tree).solution;
+
+    let codes_reg: Vec<String> = regular
+        .agents()
+        .map(|v| unfold::canonical_view_code(&regular, Node::Agent(v), depth))
+        .collect();
+    let mut matched = 0;
+    for w in tree.agents() {
+        let cw = unfold::canonical_view_code(&tree, Node::Agent(w), depth);
+        if let Some(v) = regular.agents().find(|v| codes_reg[v.idx()] == cw) {
+            matched += 1;
+            assert!(
+                (x_reg.value(v) - x_tree.value(w)).abs() < 1e-9,
+                "isomorphic agents {v}/{w} diverged"
+            );
+        }
+    }
+    assert!(matched > 0, "interior tree agents must match gadget agents");
+}
+
+#[test]
+fn algorithm_ratio_stays_between_threshold_and_guarantee_on_gadgets() {
+    let threshold = ratio::threshold(2, 3);
+    let (regular, _) = regular_gadget(30, 3, 2, 6, 1);
+    let (tree, _) = tree_gadget(3, 2, 3);
+    for big_r in [2, 3] {
+        let solver = LocalSolver::new(big_r);
+        let guarantee = ratio::guarantee(2, 3, big_r);
+        let mut worst: f64 = 0.0;
+        for inst in [&regular, &tree] {
+            let opt = solve_maxmin(inst).unwrap().omega;
+            let got = solver.solve(inst).solution.utility(inst);
+            worst = worst.max(opt / got);
+        }
+        assert!(
+            worst <= guarantee + 1e-6,
+            "R {big_r}: worst ratio {worst} beats guarantee {guarantee}"
+        );
+        // The family is adversarial: the worst of the two ratios should
+        // already be in the threshold's neighbourhood.
+        assert!(
+            worst >= threshold - 0.05,
+            "R {big_r}: family not adversarial enough ({worst} vs {threshold})"
+        );
+    }
+}

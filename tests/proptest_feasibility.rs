@@ -1,0 +1,134 @@
+//! Property-based tests (proptest) over randomly parameterised
+//! workloads: the invariants that must hold for *every* instance.
+
+use maxmin_lp::core::safe::safe_solution;
+use maxmin_lp::core::solver::LocalSolver;
+use maxmin_lp::core::transform::to_special_form;
+use maxmin_lp::core::tree_bound::TreeBound;
+use maxmin_lp::core::SpecialForm;
+use maxmin_lp::gen::random::{random_general, RandomConfig};
+use maxmin_lp::gen::special::{is_special_form, random_special_form, SpecialFormConfig};
+use maxmin_lp::instance::textfmt;
+use maxmin_lp::lp::maxmin::{bisect_maxmin, solve_maxmin};
+use proptest::prelude::*;
+
+fn arb_random_config() -> impl Strategy<Value = (RandomConfig, u64)> {
+    (
+        4usize..24,
+        2usize..16,
+        2usize..12,
+        2usize..5,
+        2usize..5,
+        0u64..1_000,
+    )
+        .prop_map(|(n, m, p, di, dk, seed)| {
+            (
+                RandomConfig {
+                    n_agents: n,
+                    n_constraints: m,
+                    n_objectives: p,
+                    delta_i: di,
+                    delta_k: dk,
+                    coef_range: (0.25, 4.0),
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The local solver's output is feasible and nontrivial on every
+    /// generated instance, at every small R.
+    #[test]
+    fn solver_output_is_always_feasible((cfg, seed) in arb_random_config(), big_r in 2usize..5) {
+        let inst = random_general(&cfg, seed);
+        let out = LocalSolver::new(big_r).solve(&inst);
+        let rep = out.solution.feasibility(&inst);
+        prop_assert!(rep.is_feasible(1e-7), "violation {:?}", rep.max_constraint_violation);
+        prop_assert!(out.solution.utility(&inst) >= 0.0);
+    }
+
+    /// The safe baseline is feasible, and the local solver never loses
+    /// to it by more than the ratio of their guarantees.
+    #[test]
+    fn safe_baseline_is_always_feasible((cfg, seed) in arb_random_config()) {
+        let inst = random_general(&cfg, seed);
+        let safe = safe_solution(&inst);
+        prop_assert!(safe.is_feasible(&inst, 1e-7));
+    }
+
+    /// The §4 pipeline always lands in special form and its back-map
+    /// preserves feasibility of arbitrary feasible points (not just
+    /// optima): map the scaled-safe solution of the special instance.
+    #[test]
+    fn pipeline_backmap_preserves_feasibility((cfg, seed) in arb_random_config()) {
+        let inst = random_general(&cfg, seed);
+        let t = to_special_form(&inst);
+        prop_assert!(is_special_form(&t.instance));
+        let x_special = safe_solution(&t.instance);
+        prop_assert!(x_special.is_feasible(&t.instance, 1e-9));
+        let mapped = t.map_back(&x_special);
+        prop_assert!(mapped.is_feasible(&inst, 1e-7));
+    }
+
+    /// t_u is monotone non-increasing in R and always upper-bounds the
+    /// LP optimum (Lemma 2).
+    #[test]
+    fn tree_bounds_shrink_with_r(seed in 0u64..500) {
+        let inst = random_special_form(&SpecialFormConfig {
+            n_objectives: 6,
+            delta_k: 3,
+            extra_constraints: 3,
+            coef_range: (0.5, 2.0),
+        }, seed);
+        let opt = solve_maxmin(&inst).unwrap().omega;
+        let sf = SpecialForm::new(inst).unwrap();
+        let mut prev: Option<Vec<f64>> = None;
+        for big_r in [2usize, 3, 4] {
+            let t = TreeBound::new(&sf, big_r).all();
+            for &tu in &t {
+                prop_assert!(tu >= opt - 1e-6, "t_u {tu} < opt {opt}");
+            }
+            if let Some(p) = &prev {
+                for (a, b) in t.iter().zip(p) {
+                    prop_assert!(a <= &(b + 1e-9));
+                }
+            }
+            prev = Some(t);
+        }
+    }
+
+    /// The simplex agrees with the independent bisection+phase-1 oracle.
+    #[test]
+    fn simplex_matches_bisection((cfg, seed) in arb_random_config()) {
+        let inst = random_general(&cfg, seed);
+        let a = solve_maxmin(&inst).unwrap().omega;
+        let b = bisect_maxmin(&inst, 1e-9).unwrap();
+        prop_assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0), "simplex {a} vs bisection {b}");
+    }
+
+    /// The text format round-trips every generated instance exactly.
+    #[test]
+    fn textfmt_roundtrip((cfg, seed) in arb_random_config()) {
+        let inst = random_general(&cfg, seed);
+        let text = textfmt::write_instance(&inst);
+        let back = textfmt::parse_instance(&text).unwrap();
+        prop_assert_eq!(textfmt::write_instance(&back), text);
+    }
+
+    /// Utility of the solver output is within the Theorem 1 guarantee of
+    /// the optimum (the headline property, fuzzed).
+    #[test]
+    fn theorem1_guarantee_fuzzed((cfg, seed) in arb_random_config(), big_r in 2usize..4) {
+        let inst = random_general(&cfg, seed);
+        let stats = maxmin_lp::instance::DegreeStats::of(&inst);
+        let opt = solve_maxmin(&inst).unwrap().omega;
+        let solver = LocalSolver::new(big_r);
+        let got = solver.solve(&inst).solution.utility(&inst);
+        let guarantee = solver.guarantee(stats.delta_i, stats.delta_k);
+        prop_assert!(got * guarantee >= opt - 1e-6,
+            "ratio {} exceeds guarantee {guarantee}", opt / got);
+    }
+}

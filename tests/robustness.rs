@@ -1,0 +1,79 @@
+//! Robustness properties: parsers never panic, generators are
+//! deterministic and valid at every size, and the communication graph's
+//! port structure is self-consistent on arbitrary instances.
+
+use maxmin_lp::gen::catalog;
+use maxmin_lp::gen::random::{random_general, RandomConfig};
+use maxmin_lp::instance::{textfmt, CommGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The text parser returns errors (never panics) on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = textfmt::parse_instance(&input);
+    }
+
+    /// Structured-but-corrupt input: random token streams after a valid
+    /// header must error or parse — never panic, never build an invalid
+    /// instance.
+    #[test]
+    fn parser_handles_corrupt_rows(
+        n in 1usize..5,
+        rows in proptest::collection::vec((0u32..8, -2.0f64..4.0), 0..6)
+    ) {
+        let mut text = format!("maxminlp 1\nagents {n}\n");
+        for (a, c) in rows {
+            text.push_str(&format!("c {a}:{c}\no {a}:{c}\n"));
+        }
+        if let Ok(inst) = textfmt::parse_instance(&text) {
+            // Anything that parses satisfies the structural invariants.
+            for i in inst.constraints() {
+                for e in inst.constraint_row(i) {
+                    prop_assert!(e.coef > 0.0 && e.coef.is_finite());
+                    prop_assert!(e.agent.idx() < inst.n_agents());
+                }
+            }
+        }
+    }
+
+    /// Reciprocal port labels are consistent on arbitrary random
+    /// instances (walking any edge out and back returns to the start).
+    #[test]
+    fn comm_graph_ports_are_reciprocal(seed in 0u64..300) {
+        let inst = random_general(&RandomConfig::default(), seed);
+        let g = CommGraph::new(&inst);
+        for x in 0..g.n_nodes() as u32 {
+            for (port, adj) in g.neighbors(x).iter().enumerate() {
+                let back = g.neighbors(adj.to)[adj.port_at_to as usize];
+                prop_assert_eq!(back.to, x);
+                prop_assert_eq!(back.port_at_to as usize, port);
+                prop_assert_eq!(back.edge, adj.edge);
+            }
+        }
+    }
+}
+
+#[test]
+fn all_families_deterministic_at_all_sizes() {
+    for fam in catalog() {
+        for size in [20, 50, 90] {
+            let a = textfmt::write_instance(&fam.instance(size, 3));
+            let b = textfmt::write_instance(&fam.instance(size, 3));
+            assert_eq!(a, b, "family {} size {size} must be deterministic", fam.name);
+        }
+    }
+}
+
+#[test]
+fn round_trip_through_text_preserves_all_families() {
+    for fam in catalog() {
+        let inst = fam.instance(40, 9);
+        let text = textfmt::write_instance(&inst);
+        let back = textfmt::parse_instance(&text)
+            .unwrap_or_else(|e| panic!("family {}: {e}", fam.name));
+        assert_eq!(textfmt::write_instance(&back), text, "family {}", fam.name);
+    }
+}
