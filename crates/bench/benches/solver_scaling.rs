@@ -43,30 +43,20 @@ mod dynamic_bench {
         group.sample_size(10);
         for n_obj in [64usize, 256] {
             let sf = SpecialForm::new(cycle_special(n_obj, 1.0)).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new("repair", n_obj),
-                &sf,
-                |b, sf| {
-                    let mut solver = DynamicSolver::new(sf.clone(), 3);
-                    let mut flip = false;
-                    b.iter(|| {
-                        flip = !flip;
-                        let coef = if flip { 2.0 } else { 1.0 };
-                        std::hint::black_box(
-                            solver.update_constraint_coefs(ConstraintId::new(0), [coef, coef]),
-                        )
-                    });
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new("full-solve", n_obj),
-                &sf,
-                |b, sf| {
-                    b.iter(|| {
-                        std::hint::black_box(mmlp_core::smoothing::solve_special(sf, 3, 1))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("repair", n_obj), &sf, |b, sf| {
+                let mut solver = DynamicSolver::new(sf.clone(), 3);
+                let mut flip = false;
+                b.iter(|| {
+                    flip = !flip;
+                    let coef = if flip { 2.0 } else { 1.0 };
+                    std::hint::black_box(
+                        solver.update_constraint_coefs(ConstraintId::new(0), [coef, coef]),
+                    )
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("full-solve", n_obj), &sf, |b, sf| {
+                b.iter(|| std::hint::black_box(mmlp_core::smoothing::solve_special(sf, 3, 1)))
+            });
         }
         group.finish();
     }

@@ -84,7 +84,14 @@ fn main() {
 fn t1_theorem1_upper_bound() {
     println!("--- T1: Theorem 1 upper bound across families ---");
     let mut table = Table::new(&[
-        "family", "ΔI", "ΔK", "R", "worst ratio", "mean ratio", "guarantee", "threshold",
+        "family",
+        "ΔI",
+        "ΔK",
+        "R",
+        "worst ratio",
+        "mean ratio",
+        "guarantee",
+        "threshold",
     ]);
     for fam in catalog() {
         for big_r in [2, 3, 4] {
@@ -226,8 +233,11 @@ fn t4_locality() {
     let base = mmlp_gen::special::cycle_special(n_obj, 1.0);
     let mut b = mmlp_instance::InstanceBuilder::with_agents(2 * n_obj);
     for k in base.objectives() {
-        let row: Vec<(AgentId, f64)> =
-            base.objective_row(k).iter().map(|e| (e.agent, e.coef)).collect();
+        let row: Vec<(AgentId, f64)> = base
+            .objective_row(k)
+            .iter()
+            .map(|e| (e.agent, e.coef))
+            .collect();
         b.add_objective(&row).unwrap();
     }
     for (idx, i) in base.constraints().enumerate() {
@@ -309,9 +319,7 @@ fn t5_lower_bound() {
     let (tree, _) = tree_gadget(d, 2, 5);
     let big_r = 2;
     let depth = 6; // dependence radius at R = 2
-    println!(
-        "mechanism check (d = {d}, ΔI = 2, structure girth {girth}, R = {big_r}):"
-    );
+    println!("mechanism check (d = {d}, ΔI = 2, structure girth {girth}, R = {big_r}):");
     let x_reg = LocalSolver::new(big_r).solve(&regular).solution;
     let x_tree = LocalSolver::new(big_r).solve(&tree).solution;
     let mut matched = 0usize;
@@ -605,8 +613,11 @@ fn t11_exact_validation() {
     let (reg3, _) = regular_gadget(8, 3, 2, 4, 0);
     let (reg4, _) = regular_gadget(8, 4, 2, 4, 1);
     let (tree, _) = tree_gadget(3, 2, 2);
-    for (name, inst) in [("gadget d=3", &reg3), ("gadget d=4", &reg4), ("tree d=3 depth 2", &tree)]
-    {
+    for (name, inst) in [
+        ("gadget d=3", &reg3),
+        ("gadget d=4", &reg4),
+        ("tree d=3 depth 2", &tree),
+    ] {
         let exact = match exact_maxmin(inst, 1) {
             ExactOutcome::Optimal { objective, .. } => objective,
             other => panic!("{other:?}"),
@@ -709,8 +720,18 @@ fn f2_figure2() {
     let (out, _) = transform::augment_singleton_constraints(&inst);
     table.row(vec![
         "4.2".into(),
-        format!("({},{},{})", inst.n_agents(), inst.n_constraints(), inst.n_objectives()),
-        format!("({},{},{})", out.n_agents(), out.n_constraints(), out.n_objectives()),
+        format!(
+            "({},{},{})",
+            inst.n_agents(),
+            inst.n_constraints(),
+            inst.n_objectives()
+        ),
+        format!(
+            "({},{},{})",
+            out.n_agents(),
+            out.n_constraints(),
+            out.n_objectives()
+        ),
         "+3 agents {s,t,u}, +1 constraint j, +2 objectives {h,ℓ}".into(),
     ]);
 
@@ -726,8 +747,18 @@ fn f2_figure2() {
     let (out, _) = transform::reduce_constraint_degree(&inst);
     table.row(vec![
         "4.3".into(),
-        format!("({},{},{})", inst.n_agents(), inst.n_constraints(), inst.n_objectives()),
-        format!("({},{},{})", out.n_agents(), out.n_constraints(), out.n_objectives()),
+        format!(
+            "({},{},{})",
+            inst.n_agents(),
+            inst.n_constraints(),
+            inst.n_objectives()
+        ),
+        format!(
+            "({},{},{})",
+            out.n_agents(),
+            out.n_constraints(),
+            out.n_objectives()
+        ),
         "1 constraint of degree 3 → C(3,2) = 3 pairs".into(),
     ]);
 
@@ -742,8 +773,18 @@ fn f2_figure2() {
     let (out, _) = transform::split_multi_objective_agents(&inst);
     table.row(vec![
         "4.4".into(),
-        format!("({},{},{})", inst.n_agents(), inst.n_constraints(), inst.n_objectives()),
-        format!("({},{},{})", out.n_agents(), out.n_constraints(), out.n_objectives()),
+        format!(
+            "({},{},{})",
+            inst.n_agents(),
+            inst.n_constraints(),
+            inst.n_objectives()
+        ),
+        format!(
+            "({},{},{})",
+            out.n_agents(),
+            out.n_constraints(),
+            out.n_objectives()
+        ),
         "both agents copied per objective; constraints replicated".into(),
     ]);
 
@@ -759,8 +800,18 @@ fn f2_figure2() {
     let (out, _) = transform::augment_singleton_objectives(&i4);
     table.row(vec![
         "4.5".into(),
-        format!("({},{},{})", i4.n_agents(), i4.n_constraints(), i4.n_objectives()),
-        format!("({},{},{})", out.n_agents(), out.n_constraints(), out.n_objectives()),
+        format!(
+            "({},{},{})",
+            i4.n_agents(),
+            i4.n_constraints(),
+            i4.n_objectives()
+        ),
+        format!(
+            "({},{},{})",
+            out.n_agents(),
+            out.n_constraints(),
+            out.n_objectives()
+        ),
         "singleton objective's agent → two half-weight copies".into(),
     ]);
     println!("{}", table.render());

@@ -24,7 +24,9 @@
 
 use crate::special::SpecialForm;
 use mmlp_instance::{NodeKind, Solution};
-use mmlp_net::{engine, Network, NodeInfo, Payload, Protocol, RunResult, RunStats, ViewChild, ViewTree};
+use mmlp_net::{
+    engine, Network, NodeInfo, Payload, Protocol, RunResult, RunStats, ViewChild, ViewTree,
+};
 
 /// Message alphabet of the protocol.
 #[derive(Clone, Debug)]
@@ -567,11 +569,7 @@ mod tests {
             for v in s.instance().agents() {
                 let direct = tb.t(v, &mut sc);
                 let via_view = t_from_view(&views[v.idx()], big_r);
-                assert_eq!(
-                    direct.to_bits(),
-                    via_view.to_bits(),
-                    "agent {v} R {big_r}"
-                );
+                assert_eq!(direct.to_bits(), via_view.to_bits(), "agent {v} R {big_r}");
             }
         }
     }

@@ -102,8 +102,11 @@ impl DynamicSolver {
             b.add_constraint(&row).expect("edited row stays valid");
         }
         for k in old.objectives() {
-            let row: Vec<(AgentId, f64)> =
-                old.objective_row(k).iter().map(|e| (e.agent, e.coef)).collect();
+            let row: Vec<(AgentId, f64)> = old
+                .objective_row(k)
+                .iter()
+                .map(|e| (e.agent, e.coef))
+                .collect();
             b.add_objective(&row).expect("copied objective");
         }
         let new_sf =
@@ -249,8 +252,7 @@ mod tests {
         for n_obj in [32, 128] {
             let sf = SpecialForm::new(cycle_special(n_obj, 1.0)).unwrap();
             let mut dynamic = DynamicSolver::new(sf, 3);
-            let rep =
-                dynamic.update_constraint_coefs(ConstraintId::new(0), [2.0, 2.0]);
+            let rep = dynamic.update_constraint_coefs(ConstraintId::new(0), [2.0, 2.0]);
             reports.push(rep);
         }
         assert_eq!(

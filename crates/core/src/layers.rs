@@ -50,7 +50,10 @@ impl std::fmt::Display for LayerError {
                 write!(f, "objective {k} does not have exactly one up-agent")
             }
             LayerError::ConstraintPartition(i) => {
-                write!(f, "constraint {i} does not pair one up- with one down-agent")
+                write!(
+                    f,
+                    "constraint {i} does not pair one up- with one down-agent"
+                )
             }
             LayerError::Inconsistent { node } => {
                 write!(f, "layer residues conflict at flat node {node}")
@@ -340,8 +343,7 @@ mod tests {
         for (periods, m, dk, big_r) in [(4, 1, 2, 2), (6, 2, 3, 3), (8, 2, 3, 4)] {
             let (inst, is_up) = layered_special(periods, m, dk, (0.5, 2.0), 42);
             let sf = SpecialForm::new(inst).unwrap();
-            let layers =
-                assign_layers_mod(&sf, &is_up, 4 * big_r, ObjectiveId::new(0)).unwrap();
+            let layers = assign_layers_mod(&sf, &is_up, 4 * big_r, ObjectiveId::new(0)).unwrap();
             let run = solve_special(&sf, big_r, 1);
             let g = CommGraph::new(sf.instance());
             for j in 0..big_r {
@@ -352,8 +354,7 @@ mod tests {
                 );
                 for k in sf.instance().objectives() {
                     let lk = layers.layer[g.objective_index(k) as usize] as i64;
-                    let passive =
-                        (lk - (4 * j as i64 - 4)).rem_euclid(4 * big_r as i64) == 0;
+                    let passive = (lk - (4 * j as i64 - 4)).rem_euclid(4 * big_r as i64) == 0;
                     let val = y.objective_value(sf.instance(), k);
                     if passive {
                         assert!(val.abs() < 1e-9, "passive objective must read 0, got {val}");
@@ -403,8 +404,7 @@ mod tests {
                 .map(|e| run.s[e.agent.idx()])
                 .fold(f64::INFINITY, f64::min);
             assert!(
-                y.objective_value(sf.instance(), k)
-                    >= (1.0 - 1.0 / big_r as f64) * min_s - 1e-9,
+                y.objective_value(sf.instance(), k) >= (1.0 - 1.0 / big_r as f64) * min_s - 1e-9,
                 "Lemma 10 bound"
             );
         }

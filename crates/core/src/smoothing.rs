@@ -277,8 +277,7 @@ mod tests {
                         .iter()
                         .map(|e| run.s[e.agent.idx()])
                         .fold(f64::INFINITY, f64::min);
-                    let bound =
-                        0.5 * (1.0 - 1.0 / big_r as f64) * (vk / (vk - 1.0)) * min_s;
+                    let bound = 0.5 * (1.0 - 1.0 / big_r as f64) * (vk / (vk - 1.0)) * min_s;
                     let got = run.x.objective_value(s.instance(), k);
                     assert!(
                         got >= bound - 1e-9,
@@ -317,7 +316,10 @@ mod tests {
         for big_r in 2..=6 {
             let run = solve_special(&s, big_r, 1);
             let u = run.x.utility(s.instance());
-            assert!(u >= last - 1e-9, "R={big_r}: utility regressed {last} → {u}");
+            assert!(
+                u >= last - 1e-9,
+                "R={big_r}: utility regressed {last} → {u}"
+            );
             last = u;
         }
     }
@@ -454,7 +456,10 @@ mod ablation_tests {
                 down_breaks.max(down.x.feasibility(s.instance()).max_constraint_violation);
         }
         assert!(up_hurts, "up-only should starve some objective");
-        assert!(down_breaks > 1e-6, "down-only should overload some constraint");
+        assert!(
+            down_breaks > 1e-6,
+            "down-only should overload some constraint"
+        );
     }
 
     #[test]

@@ -208,10 +208,7 @@ mod tests {
         let a = LocalSolver::new(3).solve(&inst);
         let b = LocalSolver::new(3).with_threads(4).solve(&inst);
         for v in inst.agents() {
-            assert_eq!(
-                a.solution.value(v).to_bits(),
-                b.solution.value(v).to_bits()
-            );
+            assert_eq!(a.solution.value(v).to_bits(), b.solution.value(v).to_bits());
         }
     }
 

@@ -80,7 +80,10 @@ impl std::fmt::Display for SpecialFormError {
                 write!(f, "agent {v} is in no constraint")
             }
             SpecialFormError::ObjectiveCoefficient { agent, coef } => {
-                write!(f, "agent {agent} has objective coefficient {coef}, expected 1")
+                write!(
+                    f,
+                    "agent {agent} has objective coefficient {coef}, expected 1"
+                )
             }
         }
     }
@@ -262,11 +265,7 @@ mod tests {
         let sf = SpecialForm::new(inst).expect("special");
         for v in sf.instance().agents() {
             let k = sf.k_of(v);
-            assert!(sf
-                .instance()
-                .objective_row(k)
-                .iter()
-                .any(|e| e.agent == v));
+            assert!(sf.instance().objective_row(k).iter().any(|e| e.agent == v));
         }
     }
 
@@ -279,7 +278,10 @@ mod tests {
         b.add_constraint(&[(v, 1.0), (w, 1.0), (z, 1.0)]).unwrap();
         b.add_objective(&[(v, 1.0), (w, 1.0), (z, 1.0)]).unwrap();
         let err = SpecialForm::new(b.build().unwrap()).unwrap_err();
-        assert!(matches!(err, SpecialFormError::ConstraintDegree { degree: 3, .. }));
+        assert!(matches!(
+            err,
+            SpecialFormError::ConstraintDegree { degree: 3, .. }
+        ));
     }
 
     #[test]
@@ -291,7 +293,10 @@ mod tests {
         b.add_objective(&[(v, 1.0), (w, 1.0)]).unwrap();
         b.add_objective(&[(v, 1.0), (w, 1.0)]).unwrap();
         let err = SpecialForm::new(b.build().unwrap()).unwrap_err();
-        assert!(matches!(err, SpecialFormError::AgentObjectives { count: 2, .. }));
+        assert!(matches!(
+            err,
+            SpecialFormError::AgentObjectives { count: 2, .. }
+        ));
     }
 
     #[test]
@@ -303,7 +308,10 @@ mod tests {
         b.add_objective(&[(v, 1.0)]).unwrap();
         b.add_objective(&[(w, 1.0)]).unwrap();
         let err = SpecialForm::new(b.build().unwrap()).unwrap_err();
-        assert!(matches!(err, SpecialFormError::ObjectiveDegree { degree: 1, .. }));
+        assert!(matches!(
+            err,
+            SpecialFormError::ObjectiveDegree { degree: 1, .. }
+        ));
     }
 
     #[test]

@@ -141,8 +141,7 @@ pub fn augment_singleton_constraints(inst: &Instance) -> (Instance, BackStep) {
     let mut patched: Vec<Vec<(AgentId, f64)>> = Vec::new();
     for i in inst.constraints() {
         let row = inst.constraint_row(i);
-        let mut new_row: Vec<(AgentId, f64)> =
-            row.iter().map(|e| (e.agent, e.coef)).collect();
+        let mut new_row: Vec<(AgentId, f64)> = row.iter().map(|e| (e.agent, e.coef)).collect();
         if row.len() == 1 {
             let v = row[0].agent;
             // The objective k ∈ Kv used to size the padding coefficient.
@@ -212,11 +211,8 @@ pub fn reduce_constraint_degree(inst: &Instance) -> (Instance, BackStep) {
         } else {
             for p in 0..row.len() {
                 for q in p + 1..row.len() {
-                    b.add_constraint(&[
-                        (row[p].agent, row[p].coef),
-                        (row[q].agent, row[q].coef),
-                    ])
-                    .expect("pair constraint");
+                    b.add_constraint(&[(row[p].agent, row[p].coef), (row[q].agent, row[q].coef)])
+                        .expect("pair constraint");
                 }
             }
         }
@@ -357,10 +353,7 @@ pub fn augment_singleton_objectives(inst: &Instance) -> (Instance, BackStep) {
         let new_row: Vec<(AgentId, f64)> = if row.len() == 1 {
             let v = row[0].agent;
             let c = row[0].coef;
-            vec![
-                (copies[v.idx()][0], c / 2.0),
-                (copies[v.idx()][1], c / 2.0),
-            ]
+            vec![(copies[v.idx()][0], c / 2.0), (copies[v.idx()][1], c / 2.0)]
         } else {
             row.iter()
                 .map(|e| (copies[e.agent.idx()][0], e.coef))
@@ -472,7 +465,8 @@ mod tests {
         let v1 = b.add_agent();
         let v2 = b.add_agent();
         b.add_constraint(&[(v0, 2.0)]).unwrap(); // singleton
-        b.add_constraint(&[(v0, 1.0), (v1, 1.0), (v2, 0.5)]).unwrap(); // degree 3
+        b.add_constraint(&[(v0, 1.0), (v1, 1.0), (v2, 0.5)])
+            .unwrap(); // degree 3
         b.add_objective(&[(v0, 1.0), (v1, 3.0)]).unwrap();
         b.add_objective(&[(v1, 1.0), (v2, 1.0)]).unwrap();
         b.add_objective(&[(v2, 2.0)]).unwrap(); // singleton objective
@@ -522,7 +516,10 @@ mod tests {
         );
         // And the optimum cannot drop through 4.3.
         let opt_in = solve_maxmin(&ge2).unwrap().omega;
-        assert!(opt_out.omega >= opt_in - 1e-7, "original opt stays feasible");
+        assert!(
+            opt_out.omega >= opt_in - 1e-7,
+            "original opt stays feasible"
+        );
     }
 
     #[test]
@@ -534,7 +531,10 @@ mod tests {
         assert!(out.agents().all(|v| out.agent_objectives(v).len() == 1));
         let opt_in = solve_maxmin(&eq2).unwrap().omega;
         let opt_out = solve_maxmin(&out).unwrap();
-        assert!((opt_in - opt_out.omega).abs() < 1e-6, "4.4 preserves optimum");
+        assert!(
+            (opt_in - opt_out.omega).abs() < 1e-6,
+            "4.4 preserves optimum"
+        );
         let mapped = back.apply(&opt_out.solution);
         assert!(mapped.is_feasible(&eq2, 1e-7));
         assert!(mapped.utility(&eq2) >= opt_out.omega - 1e-6);
@@ -568,7 +568,10 @@ mod tests {
         assert!(DegreeStats::of(&out).min_vk >= 2);
         let opt_in = solve_maxmin(&c).unwrap().omega;
         let opt_out = solve_maxmin(&out).unwrap();
-        assert!((opt_in - opt_out.omega).abs() < 1e-6, "4.5 preserves optimum");
+        assert!(
+            (opt_in - opt_out.omega).abs() < 1e-6,
+            "4.5 preserves optimum"
+        );
         let mapped = back.apply(&opt_out.solution);
         assert!(mapped.is_feasible(&c, 1e-7));
         assert!(mapped.utility(&c) >= opt_out.omega - 1e-6);
@@ -587,7 +590,10 @@ mod tests {
         }
         let opt_in = solve_maxmin(&d).unwrap().omega;
         let opt_out = solve_maxmin(&out).unwrap();
-        assert!((opt_in - opt_out.omega).abs() < 1e-6, "4.6 preserves optimum");
+        assert!(
+            (opt_in - opt_out.omega).abs() < 1e-6,
+            "4.6 preserves optimum"
+        );
         let mapped = back.apply(&opt_out.solution);
         assert!(mapped.is_feasible(&d, 1e-7));
         assert!((mapped.utility(&d) - opt_in).abs() < 1e-6);

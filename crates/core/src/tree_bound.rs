@@ -415,7 +415,10 @@ mod tests {
             assert!(d == 1 || d == 2);
         }
         for k in tree.objectives() {
-            assert!(tree.objective_row(k).len() >= 2, "objectives keep all agents");
+            assert!(
+                tree.objective_row(k).len() >= 2,
+                "objectives keep all agents"
+            );
         }
         assert_eq!(tb.tree_size(u), g.n_nodes(), "size counter matches");
     }

@@ -23,11 +23,7 @@ use mmlp_instance::{Adj, CommGraph, Instance, InstanceBuilder, Node};
 fn edge_coefs(inst: &Instance, g: &CommGraph, flat: u32) -> Option<Vec<f64>> {
     match g.node(flat) {
         Node::Agent(v) => {
-            let mut coefs: Vec<f64> = inst
-                .agent_constraints(v)
-                .iter()
-                .map(|e| e.coef)
-                .collect();
+            let mut coefs: Vec<f64> = inst.agent_constraints(v).iter().map(|e| e.coef).collect();
             coefs.extend(inst.agent_objectives(v).iter().map(|e| e.coef));
             Some(coefs)
         }
@@ -42,13 +38,7 @@ fn edge_coefs(inst: &Instance, g: &CommGraph, flat: u32) -> Option<Vec<f64>> {
 /// Equal views make the two nodes indistinguishable to every
 /// deterministic local algorithm with horizon ≤ `depth` in the
 /// port-numbering model — the engine of the Theorem 1 lower bound.
-pub fn views_equal(
-    inst_a: &Instance,
-    a: Node,
-    inst_b: &Instance,
-    b: Node,
-    depth: usize,
-) -> bool {
+pub fn views_equal(inst_a: &Instance, a: Node, inst_b: &Instance, b: Node, depth: usize) -> bool {
     let ga = CommGraph::new(inst_a);
     let gb = CommGraph::new(inst_b);
     views_equal_graphs(inst_a, &ga, ga.index(a), inst_b, &gb, gb.index(b), depth)
@@ -427,7 +417,11 @@ mod tests {
     #[test]
     fn unfolding_chunk_from_row_roots() {
         let inst = cycle_special(4, 1.0);
-        let (chunk, _) = unfolding_chunk(&inst, Node::Objective(mmlp_instance::ObjectiveId::new(0)), 3);
+        let (chunk, _) = unfolding_chunk(
+            &inst,
+            Node::Objective(mmlp_instance::ObjectiveId::new(0)),
+            3,
+        );
         assert!(chunk.n_objectives() >= 1);
         assert_eq!(CommGraph::new(&chunk).girth(), None);
     }

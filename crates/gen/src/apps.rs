@@ -46,7 +46,10 @@ impl Default for SensorGridConfig {
 /// one energy constraint per relay cell (`ΔI = 5`); one objective per
 /// sensor (`ΔK = 5`, unit coefficients). Deterministic in `seed`.
 pub fn sensor_grid(cfg: &SensorGridConfig, seed: u64) -> Instance {
-    assert!(cfg.width >= 3 && cfg.height >= 3, "torus needs ≥ 3 cells per side");
+    assert!(
+        cfg.width >= 3 && cfg.height >= 3,
+        "torus needs ≥ 3 cells per side"
+    );
     let (w, h) = (cfg.width, cfg.height);
     let cells = w * h;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -162,7 +165,8 @@ pub fn bandwidth_ladder(cfg: &BandwidthConfig, seed: u64) -> Instance {
                 let j = (p + c - back) % c;
                 row.push((agent(j, rail), coef(&mut rng)));
             }
-            b.add_constraint(&row).expect("distinct customers in window");
+            b.add_constraint(&row)
+                .expect("distinct customers in window");
         }
     }
 

@@ -21,7 +21,10 @@ impl SimpleGraph {
     /// out-of-range endpoints (generator bugs should be loud).
     pub fn new(n: usize, mut edges: Vec<(u32, u32)>) -> Self {
         for e in &mut edges {
-            assert!((e.0 as usize) < n && (e.1 as usize) < n, "endpoint out of range");
+            assert!(
+                (e.0 as usize) < n && (e.1 as usize) < n,
+                "endpoint out of range"
+            );
             assert_ne!(e.0, e.1, "loops are not allowed");
             if e.0 > e.1 {
                 *e = (e.1, e.0);
@@ -174,9 +177,7 @@ impl SimpleGraph {
     /// The cycle `C_n`.
     pub fn cycle(n: usize) -> SimpleGraph {
         assert!(n >= 3, "cycles need at least 3 vertices");
-        let edges = (0..n as u32)
-            .map(|i| (i, (i + 1) % n as u32))
-            .collect();
+        let edges = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         SimpleGraph::new(n, edges)
     }
 
@@ -240,7 +241,9 @@ pub fn random_regular(n: usize, d: usize, min_girth: u32, seed: u64) -> (SimpleG
     let mut rng = StdRng::seed_from_u64(seed);
     'restart: for _attempt in 0..1000 {
         // Pair stubs uniformly.
-        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(&mut rng);
         let mut edges = Vec::with_capacity(n * d / 2);
         let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
@@ -306,7 +309,11 @@ fn improve_girth(g: SimpleGraph, min_girth: u32, rng: &mut StdRng) -> (SimpleGra
             continue;
         }
         let new_girth = cg.girth().unwrap_or(u32::MAX);
-        if new_girth > girth {
+        // Strict improvements are always taken; equal-girth swaps are
+        // taken occasionally (a plateau random walk), which lets the
+        // search escape local optima where no single swap lengthens the
+        // shortest cycle.
+        if new_girth > girth || (new_girth == girth && rng.gen_bool(0.25)) {
             edges = candidate;
             girth = new_girth;
         }
@@ -353,7 +360,10 @@ mod tests {
         let dc = c5.double_cover();
         assert_eq!(dc.n(), 10);
         assert!(dc.is_bipartite());
-        assert!(dc.is_connected(), "double cover of non-bipartite is connected");
+        assert!(
+            dc.is_connected(),
+            "double cover of non-bipartite is connected"
+        );
         assert_eq!(dc.girth(), Some(10), "C5 double cover is C10");
     }
 
@@ -387,7 +397,10 @@ mod tests {
     #[test]
     fn random_regular_reaches_modest_girth() {
         let (g, girth) = random_regular(60, 3, 6, 7);
-        assert!(girth >= 5, "girth improvement should clear short cycles, got {girth}");
+        assert!(
+            girth >= 5,
+            "girth improvement should clear short cycles, got {girth}"
+        );
         assert!(g.is_connected());
     }
 

@@ -71,10 +71,10 @@ pub fn random_special_form(cfg: &SpecialFormConfig, seed: u64) -> Instance {
     let mut in_constraint = vec![false; n_agents];
 
     let pair = |b: &mut InstanceBuilder,
-                    rng: &mut StdRng,
-                    u: AgentId,
-                    v: AgentId,
-                    in_constraint: &mut [bool]| {
+                rng: &mut StdRng,
+                u: AgentId,
+                v: AgentId,
+                in_constraint: &mut [bool]| {
         let cu = draw_coef(rng, cfg.coef_range);
         let cv = draw_coef(rng, cfg.coef_range);
         b.add_constraint(&[(u, cu), (v, cv)]).expect("two agents");
@@ -133,7 +133,8 @@ pub fn cycle_special(n_objectives: usize, coef: f64) -> Instance {
     for j in 0..n_objectives {
         let u = agents[2 * j + 1];
         let v = agents[(2 * j + 2) % (2 * n_objectives)];
-        b.add_constraint(&[(u, coef), (v, coef)]).expect("two agents");
+        b.add_constraint(&[(u, coef), (v, coef)])
+            .expect("two agents");
     }
     b.build().expect("cycle builds")
 }
@@ -153,7 +154,8 @@ pub fn path_special(n_objectives: usize, coef: f64) -> Instance {
     for j in 0..n_objectives - 1 {
         let u = agents[2 * j + 1];
         let v = agents[2 * j + 2];
-        b.add_constraint(&[(u, coef), (v, coef)]).expect("two agents");
+        b.add_constraint(&[(u, coef), (v, coef)])
+            .expect("two agents");
     }
     // Tie the loose ends inside their own objectives.
     let first = agents[0];
@@ -243,7 +245,8 @@ mod tests {
         let v0 = b.add_agent();
         let v1 = b.add_agent();
         let v2 = b.add_agent();
-        b.add_constraint(&[(v0, 1.0), (v1, 1.0), (v2, 1.0)]).unwrap();
+        b.add_constraint(&[(v0, 1.0), (v1, 1.0), (v2, 1.0)])
+            .unwrap();
         b.add_objective(&[(v0, 1.0), (v1, 1.0)]).unwrap();
         b.add_objective(&[(v2, 1.0), (v1, 1.0)]).unwrap();
         let inst = b.build().unwrap();
@@ -328,7 +331,8 @@ pub fn layered_special(
             let u = ups[next][(q + t) % m];
             let cw = draw_coef(&mut rng, coef_range);
             let cu = draw_coef(&mut rng, coef_range);
-            b.add_constraint(&[(w, cw), (u, cu)]).expect("layered constraint");
+            b.add_constraint(&[(w, cw), (u, cu)])
+                .expect("layered constraint");
         }
     }
 

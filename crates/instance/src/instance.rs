@@ -195,7 +195,10 @@ impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::UnknownAgent { agent, n_agents } => {
-                write!(f, "row references agent v{agent} but only {n_agents} agents exist")
+                write!(
+                    f,
+                    "row references agent v{agent} but only {n_agents} agents exist"
+                )
             }
             BuildError::BadCoefficient { value } => {
                 write!(f, "coefficient {value} is not strictly positive and finite")

@@ -99,7 +99,8 @@ mod tests {
         let v0 = b.add_agent();
         let v1 = b.add_agent();
         let v2 = b.add_agent();
-        b.add_constraint(&[(v0, 1.0), (v1, 1.0), (v2, 1.0)]).unwrap();
+        b.add_constraint(&[(v0, 1.0), (v1, 1.0), (v2, 1.0)])
+            .unwrap();
         b.add_constraint(&[(v0, 1.0)]).unwrap();
         b.add_objective(&[(v0, 1.0), (v1, 1.0)]).unwrap();
         b.add_objective(&[(v2, 1.0)]).unwrap();

@@ -65,11 +65,7 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
 
     for (idx, raw_line) in text.lines().enumerate() {
         let lineno = idx + 1;
-        let line = raw_line
-            .split('#')
-            .next()
-            .unwrap_or("")
-            .trim();
+        let line = raw_line.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
@@ -144,7 +140,8 @@ mod tests {
         let v2 = b.add_agent();
         b.add_constraint(&[(v1, 0.125), (v0, 3.5)]).unwrap();
         b.add_constraint(&[(v2, 1.0)]).unwrap();
-        b.add_objective(&[(v0, 1.0), (v2, 0.3333333333333333)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v2, 0.3333333333333333)])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -163,10 +160,7 @@ mod tests {
             assert_eq!(back.objective_row(k), inst.objective_row(k));
         }
         // Port order must survive: the first row lists v1 before v0.
-        assert_eq!(
-            back.constraint_row(ConstraintId::new(0))[0].agent.raw(),
-            1
-        );
+        assert_eq!(back.constraint_row(ConstraintId::new(0))[0].agent.raw(), 1);
     }
 
     #[test]
@@ -191,11 +185,26 @@ mod tests {
     fn rejects_bad_input() {
         assert!(parse_instance("").is_err());
         assert!(parse_instance("maxminlp 2\nagents 0\n").is_err());
-        assert!(parse_instance("maxminlp 1\nc 0:1\n").is_err(), "row before agents");
-        assert!(parse_instance("maxminlp 1\nagents 1\nc 5:1\n").is_err(), "unknown agent");
-        assert!(parse_instance("maxminlp 1\nagents 1\nc 0:0\n").is_err(), "zero coef");
-        assert!(parse_instance("maxminlp 1\nagents 1\nx 0:1\n").is_err(), "bad directive");
-        assert!(parse_instance("maxminlp 1\nagents 1\nc 0-1\n").is_err(), "bad pair");
+        assert!(
+            parse_instance("maxminlp 1\nc 0:1\n").is_err(),
+            "row before agents"
+        );
+        assert!(
+            parse_instance("maxminlp 1\nagents 1\nc 5:1\n").is_err(),
+            "unknown agent"
+        );
+        assert!(
+            parse_instance("maxminlp 1\nagents 1\nc 0:0\n").is_err(),
+            "zero coef"
+        );
+        assert!(
+            parse_instance("maxminlp 1\nagents 1\nx 0:1\n").is_err(),
+            "bad directive"
+        );
+        assert!(
+            parse_instance("maxminlp 1\nagents 1\nc 0-1\n").is_err(),
+            "bad pair"
+        );
     }
 
     #[test]

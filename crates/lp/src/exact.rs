@@ -190,8 +190,7 @@ impl ExactTableau {
     fn optimize(&mut self, banned_from: usize) -> bool {
         loop {
             let width = self.ncols + 1;
-            let enter = (0..banned_from)
-                .find(|&j| self.t[self.m * width + j].is_negative());
+            let enter = (0..banned_from).find(|&j| self.t[self.m * width + j].is_negative());
             let Some(col) = enter else {
                 return true;
             };
@@ -203,8 +202,7 @@ impl ExactTableau {
                     let better = match &leave {
                         None => true,
                         Some((lr, best)) => {
-                            ratio < *best
-                                || (ratio == *best && self.basis[r] < self.basis[*lr])
+                            ratio < *best || (ratio == *best && self.basis[r] < self.basis[*lr])
                         }
                     };
                     if better {
@@ -301,8 +299,8 @@ pub fn exact_maxmin(inst: &Instance, scale: i128) -> ExactOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simplex;
     use crate::model::{LpOutcome, Model};
+    use crate::simplex;
 
     #[test]
     fn exact_wyndor() {

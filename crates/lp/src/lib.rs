@@ -33,6 +33,6 @@ pub mod simplex;
 
 pub use exact::{exact_maxmin, solve_exact, ExactOutcome, RatModel};
 pub use maxmin::{solve_maxmin, MaxMinError, MaxMinOptimum};
-pub use rational::Rat;
 pub use model::{Cmp, LpOutcome, Model};
+pub use rational::Rat;
 pub use simplex::{solve, solve_with, SimplexOptions};

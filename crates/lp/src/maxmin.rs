@@ -321,10 +321,7 @@ mod tests {
         let v0 = b.add_agent();
         b.add_constraint(&[(v0, 1.0)]).unwrap();
         let inst = b.build().unwrap();
-        assert_eq!(
-            solve_maxmin(&inst).unwrap_err(),
-            MaxMinError::NoObjectives
-        );
+        assert_eq!(solve_maxmin(&inst).unwrap_err(), MaxMinError::NoObjectives);
     }
 
     #[test]
@@ -381,7 +378,11 @@ mod tests {
         let inst = shared_constraint();
         let (opt, cert) =
             certify_optimum(&inst, &crate::simplex::SimplexOptions::default()).unwrap();
-        assert!(cert.residual <= 1e-7, "certificate re-verifies: {}", cert.residual);
+        assert!(
+            cert.residual <= 1e-7,
+            "certificate re-verifies: {}",
+            cert.residual
+        );
         assert!((cert.bound - opt.omega).abs() < 1e-6, "strong duality");
         assert!(cert.y.len() == 1 && cert.z.len() == 2);
     }

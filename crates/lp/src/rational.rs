@@ -162,14 +162,8 @@ impl Ord for Rat {
         // a/b vs c/d  ⇔  a·d vs c·b  (b, d > 0). Reduce first.
         let g = gcd(self.den, other.den).max(1);
         let (db, dd) = (self.den / g, other.den / g);
-        let lhs = self
-            .num
-            .checked_mul(dd)
-            .expect("rational overflow in cmp");
-        let rhs = other
-            .num
-            .checked_mul(db)
-            .expect("rational overflow in cmp");
+        let lhs = self.num.checked_mul(dd).expect("rational overflow in cmp");
+        let rhs = other.num.checked_mul(db).expect("rational overflow in cmp");
         lhs.cmp(&rhs)
     }
 }

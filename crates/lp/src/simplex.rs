@@ -270,9 +270,7 @@ impl Tableau {
     /// objective row. `banned` columns never enter.
     fn optimize(&mut self, banned_from: usize, opts: &SimplexOptions) -> PhaseResult {
         let width = self.ncols + 1;
-        let max_iters = opts
-            .max_iters
-            .unwrap_or(1000 + 50 * (self.m + self.ncols));
+        let max_iters = opts.max_iters.unwrap_or(1000 + 50 * (self.m + self.ncols));
         let mut bland = false;
         let mut stall = 0usize;
         let mut last_obj = self.at(self.m, self.ncols);
@@ -382,8 +380,8 @@ impl Tableau {
             // redundant and harmless with artificials banned in phase 2.
             for r in 0..self.m {
                 if self.basis[r] >= self.art_start {
-                    if let Some(col) = (0..self.art_start)
-                        .find(|&j| self.at(r, j).abs() > opts.pivot_tol)
+                    if let Some(col) =
+                        (0..self.art_start).find(|&j| self.at(r, j).abs() > opts.pivot_tol)
                     {
                         self.pivot(r, col);
                     }
@@ -616,8 +614,7 @@ mod tests {
                 m.set_objective(j, 1.0);
             }
             for _ in 0..n + 2 {
-                let coefs: Vec<(usize, f64)> =
-                    (0..n).map(|j| (j, 0.1 + rng())).collect();
+                let coefs: Vec<(usize, f64)> = (0..n).map(|j| (j, 0.1 + rng())).collect();
                 m.add_row(coefs, Cmp::Le, 1.0);
             }
             let out = solve(&m);

@@ -105,7 +105,11 @@ pub fn run<P: Protocol>(net: &Network, protocol: &P) -> RunResult<P::State> {
 
 /// Runs a protocol with `threads` worker threads (crossbeam scoped).
 /// Produces results identical to [`run`].
-pub fn run_parallel<P: Protocol>(net: &Network, protocol: &P, threads: usize) -> RunResult<P::State> {
+pub fn run_parallel<P: Protocol>(
+    net: &Network,
+    protocol: &P,
+    threads: usize,
+) -> RunResult<P::State> {
     run_inner(net, protocol, threads.max(1))
 }
 
@@ -162,13 +166,7 @@ fn run_inner<P: Protocol>(net: &Network, protocol: &P, threads: usize) -> RunRes
                             for slot in outbox.iter_mut() {
                                 *slot = None;
                             }
-                            protocol.round(
-                                state,
-                                net.info(x as u32),
-                                t,
-                                &inboxes_ref[x],
-                                outbox,
-                            );
+                            protocol.round(state, net.info(x as u32), t, &inboxes_ref[x], outbox);
                         }
                     });
                 }
@@ -205,7 +203,10 @@ fn run_inner<P: Protocol>(net: &Network, protocol: &P, threads: usize) -> RunRes
                     .enumerate()
                     .map(|(shard, ib)| scope.spawn(move |_| deliver_chunk(shard * chunk, ib)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("deliver")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("deliver"))
+                    .collect()
             })
             .expect("deliver phase");
             results
@@ -328,10 +329,7 @@ mod tests {
                     ((j - (rounds / 2)) + 1) as f64
                 };
                 let got = result.states[j].min.min(10.0);
-                assert_eq!(
-                    got, expected_min,
-                    "agent {j} after {rounds} rounds"
-                );
+                assert_eq!(got, expected_min, "agent {j} after {rounds} rounds");
             }
         }
     }

@@ -221,7 +221,10 @@ mod tests {
         assert_eq!(views[0].coefs, vec![2.0, 3.0]);
         assert_eq!(views[0].children, vec![ViewChild::Cut, ViewChild::Cut]);
         assert_eq!(views[2].kind, NodeKind::Constraint);
-        assert!(views[2].coefs.is_empty(), "constraints know no coefficients");
+        assert!(
+            views[2].coefs.is_empty(),
+            "constraints know no coefficients"
+        );
     }
 
     #[test]

@@ -73,9 +73,7 @@ fn main() {
         .zip(reference.x.as_slice())
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    println!(
-        "\nafter 8 edits: max |x_dynamic − x_fresh| = {max_dev:.1e} (bit-identical)"
-    );
+    println!("\nafter 8 edits: max |x_dynamic − x_fresh| = {max_dev:.1e} (bit-identical)");
     println!(
         "total repair time {total_repair:?} vs one full solve {full_solve:?} — \
          the update ball is constant-size while the network is not."

@@ -73,7 +73,10 @@ fn main() {
     );
 
     // 3. What *this paper's* algorithm does on both instances.
-    println!("\n{:>3} {:>18} {:>18} {:>12}", "R", "ratio(regular)", "ratio(tree)", "max");
+    println!(
+        "\n{:>3} {:>18} {:>18} {:>12}",
+        "R", "ratio(regular)", "ratio(tree)", "max"
+    );
     for big_r in [2, 3, 4] {
         let solver = LocalSolver::new(big_r);
         let u_reg = solver.solve(&regular).solution.utility(&regular);

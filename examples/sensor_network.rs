@@ -73,9 +73,7 @@ fn main() {
             "{:>4}x{:<1} {:>8} {:>8} {:>12} {:>14}",
             side,
             side,
-            sf.instance().n_agents()
-                + sf.instance().n_constraints()
-                + sf.instance().n_objectives(),
+            sf.instance().n_agents() + sf.instance().n_constraints() + sf.instance().n_objectives(),
             run.stats.rounds,
             run.stats.messages,
             run.stats.peak_round_bytes()

@@ -40,7 +40,10 @@ fn generate_info_solve_optimum_pipeline() {
     assert!(info.contains("delta_k 2"));
 
     // solve with certification
-    let solved = run_ok(&["solve", file.to_str().unwrap(), "-R", "4", "--certify"], None);
+    let solved = run_ok(
+        &["solve", file.to_str().unwrap(), "-R", "4", "--certify"],
+        None,
+    );
     let get = |key: &str| -> f64 {
         solved
             .lines()
@@ -77,9 +80,15 @@ fn generate_info_solve_optimum_pipeline() {
 fn usage_errors_exit_nonzero() {
     let out = bin().output().expect("binary runs");
     assert_eq!(out.status.code(), Some(2), "no args → usage");
-    let out = bin().args(["generate", "no-such-family", "10", "0"]).output().unwrap();
+    let out = bin()
+        .args(["generate", "no-such-family", "10", "0"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1), "unknown family → error");
-    let out = bin().args(["solve", "/nonexistent/file.mmlp"]).output().unwrap();
+    let out = bin()
+        .args(["solve", "/nonexistent/file.mmlp"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1), "missing file → error");
 }
 

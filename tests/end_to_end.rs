@@ -12,8 +12,7 @@ fn every_family_is_solved_within_the_guarantee() {
     for fam in catalog() {
         for seed in 0..3 {
             let inst = fam.instance(36, seed);
-            validate::check(&inst)
-                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", fam.name));
+            validate::check(&inst).unwrap_or_else(|e| panic!("{} seed {seed}: {e}", fam.name));
             let stats = DegreeStats::of(&inst);
             let opt = solve_maxmin(&inst)
                 .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", fam.name))

@@ -55,7 +55,10 @@ fn dual_certificates_match_exact_optima() {
     let exact = exact_omega(&inst);
     let (opt, cert) = certify_optimum(&inst, &SimplexOptions::default()).unwrap();
     assert!(cert.residual < 1e-7, "certificate re-verifies");
-    assert!((cert.bound - exact).abs() < 1e-8, "dual bound = exact optimum");
+    assert!(
+        (cert.bound - exact).abs() < 1e-8,
+        "dual bound = exact optimum"
+    );
     assert!((opt.omega - exact).abs() < 1e-8);
 }
 

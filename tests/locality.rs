@@ -8,20 +8,36 @@ use maxmin_lp::gen::special::{cycle_special, path_special};
 use maxmin_lp::instance::{AgentId, CommGraph, InstanceBuilder, Node};
 
 /// Rebuilds a cycle instance with one constraint's coefficients scaled.
-fn cycle_with_edit(n_objectives: usize, edited: usize, factor: f64) -> maxmin_lp::instance::Instance {
+fn cycle_with_edit(
+    n_objectives: usize,
+    edited: usize,
+    factor: f64,
+) -> maxmin_lp::instance::Instance {
     let base = cycle_special(n_objectives, 1.0);
     let mut b = InstanceBuilder::with_agents(base.n_agents());
     for (idx, i) in base.constraints().enumerate() {
         let row: Vec<(AgentId, f64)> = base
             .constraint_row(i)
             .iter()
-            .map(|e| (e.agent, if idx == edited { e.coef * factor } else { e.coef }))
+            .map(|e| {
+                (
+                    e.agent,
+                    if idx == edited {
+                        e.coef * factor
+                    } else {
+                        e.coef
+                    },
+                )
+            })
             .collect();
         b.add_constraint(&row).unwrap();
     }
     for k in base.objectives() {
-        let row: Vec<(AgentId, f64)> =
-            base.objective_row(k).iter().map(|e| (e.agent, e.coef)).collect();
+        let row: Vec<(AgentId, f64)> = base
+            .objective_row(k)
+            .iter()
+            .map(|e| (e.agent, e.coef))
+            .collect();
         b.add_objective(&row).unwrap();
     }
     b.build().unwrap()
@@ -99,10 +115,7 @@ fn canonical_codes_predict_output_equality_within_one_instance() {
     let code0 = unfold::canonical_view_code(&inst, Node::Agent(AgentId::new(0)), 6);
     let x = LocalSolver::new(2).solve(&inst).solution;
     for v in inst.agents() {
-        assert_eq!(
-            unfold::canonical_view_code(&inst, Node::Agent(v), 6),
-            code0
-        );
+        assert_eq!(unfold::canonical_view_code(&inst, Node::Agent(v), 6), code0);
         assert!((x.value(v) - x.value(AgentId::new(0))).abs() < 1e-12);
     }
 }

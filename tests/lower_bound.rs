@@ -37,7 +37,10 @@ fn optimum_gap_approaches_the_threshold() {
         gap >= threshold - 1e-9,
         "gap {gap} below threshold {threshold}"
     );
-    assert!(gap < threshold + 0.1, "gap should approach the threshold from above");
+    assert!(
+        gap < threshold + 0.1,
+        "gap should approach the threshold from above"
+    );
 }
 
 #[test]

@@ -62,7 +62,11 @@ fn all_families_deterministic_at_all_sizes() {
         for size in [20, 50, 90] {
             let a = textfmt::write_instance(&fam.instance(size, 3));
             let b = textfmt::write_instance(&fam.instance(size, 3));
-            assert_eq!(a, b, "family {} size {size} must be deterministic", fam.name);
+            assert_eq!(
+                a, b,
+                "family {} size {size} must be deterministic",
+                fam.name
+            );
         }
     }
 }
@@ -72,8 +76,8 @@ fn round_trip_through_text_preserves_all_families() {
     for fam in catalog() {
         let inst = fam.instance(40, 9);
         let text = textfmt::write_instance(&inst);
-        let back = textfmt::parse_instance(&text)
-            .unwrap_or_else(|e| panic!("family {}: {e}", fam.name));
+        let back =
+            textfmt::parse_instance(&text).unwrap_or_else(|e| panic!("family {}: {e}", fam.name));
         assert_eq!(textfmt::write_instance(&back), text, "family {}", fam.name);
     }
 }

@@ -1,0 +1,284 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use. The build environment has no access to
+//! crates.io, so this crate provides the same surface —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`criterion_group!`] / [`criterion_main!`] — backed by a simple
+//! calibrated timing loop instead of criterion's full statistics
+//! pipeline.
+//!
+//! Reported numbers are median / min / max per-iteration wall time over
+//! `sample_size` samples; with a [`Throughput`] set, elements per second
+//! are derived from the median.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measurement sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(10);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench`; anything else that
+        // is not a flag is a name filter, as with the real criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Benchmark identifier: a function name and/or a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id, for groups benching one function at many sizes.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work-per-iteration hint used to derive rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the throughput hint for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id, &mut |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measurements: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full, self.throughput);
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    samples: usize,
+    measurements: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, calibrating the batch size so one sample takes roughly
+    /// 10 ms of wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.measurements.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.measurements.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.measurements.is_empty() {
+            return;
+        }
+        let mut sorted = self.measurements.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if !median.is_zero() => {
+                format!("  {:.3e} elem/s", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if !median.is_zero() => {
+                format!("  {:.3e} B/s", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{id:<48} time: [{min:>10.2?} {median:>10.2?} {max:>10.2?}]{rate}");
+    }
+}
+
+/// Declares a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("touch", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("only-this".into()),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("other", |_| ran = true);
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_renderings() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(640).id, "640");
+        assert_eq!(BenchmarkId::from("s").id, "s");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let data = vec![1u64, 2, 3];
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            seen = d.len();
+            b.iter(|| d.iter().sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(seen, 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline stand-in for the slice of the `crossbeam` 0.8 API this
+//! workspace uses: [`thread::scope`] with spawn-closures that receive
+//! the scope (so nested spawns type-check), backed by
+//! [`std::thread::scope`].
+//!
+//! Semantic difference from upstream: a panic in a spawned thread whose
+//! handle is never joined propagates as a panic out of [`thread::scope`]
+//! (std behaviour) instead of surfacing as an `Err` — callers here
+//! `.expect()` the result either way.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Result of joining a scoped thread, as in `crossbeam::thread`.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to every spawn closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` if it
+        /// panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let counter = &counter;
+        let shards: Vec<usize> = (0..8).collect();
+        thread::scope(|scope| {
+            for &s in &shards {
+                scope.spawn(move |_| counter.fetch_add(s, Ordering::SeqCst));
+            }
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::SeqCst), 28);
+    }
+
+    #[test]
+    fn handles_return_values() {
+        let out = thread::scope(|scope| {
+            let handles: Vec<_> = (0..4).map(|i| scope.spawn(move |_| i * i)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope");
+        assert_eq!(out, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let v = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().map(|x| x * 2).expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn mutable_chunks_across_threads() {
+        let mut data = vec![0u64; 100];
+        thread::scope(|scope| {
+            for (shard, chunk) in data.chunks_mut(30).enumerate() {
+                scope.spawn(move |_| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (shard * 30 + i) as u64;
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+}

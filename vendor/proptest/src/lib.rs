@@ -1,0 +1,397 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses. The build environment has no access to crates.io, so
+//! this crate provides the same surface — the [`proptest!`] macro with
+//! `#![proptest_config(..)]`, range and tuple [`strategy::Strategy`]s,
+//! `prop_map`, `prop_assert!` / `prop_assert_eq!` and
+//! [`test_runner::ProptestConfig`] — backed by a deterministic seeded
+//! sampler.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case number and seed instead of a minimised input), and sampling is
+//! derandomised — the sequence of cases for a given test body is fixed
+//! across runs, which keeps CI reproducible.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::ops::{Range, RangeInclusive};
+
+    /// Deterministic sampler handed to strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a sampler from a case seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x5851_f42d_4c95_7f2d,
+            }
+        }
+
+        /// Next uniformly distributed `u64`.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`, as in proptest.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Pattern strategies: upstream proptest treats `&str` as a regex.
+    /// The shim understands the one shape this workspace uses —
+    /// `.{lo,hi}` (any characters, length in `[lo, hi]`) — and panics
+    /// on anything else, so an unsupported pattern fails loudly at
+    /// first use instead of silently sampling the wrong input space.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            // Characters chosen to stress line-oriented parsers: words,
+            // numbers, separators, newlines, some unicode.
+            const ALPHABET: &[char] = &[
+                'a', 'b', 'z', 'A', 'Z', '0', '1', '9', ' ', ' ', '\n', '\n', '\t', ':', '.', '-',
+                '+', 'e', '#', '_', '/', 'µ', '∞',
+            ];
+            let (lo, hi): (usize, usize) = self
+                .strip_prefix(".{")
+                .and_then(|rest| rest.strip_suffix('}'))
+                .and_then(|body| body.split_once(','))
+                .and_then(|(lo, hi)| Some((lo.parse().ok()?, hi.parse().ok()?)))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "proptest shim: unsupported string pattern {self:?}; \
+                         only `.{{lo,hi}}` is implemented"
+                    )
+                });
+            let len = if hi > lo {
+                lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize
+            } else {
+                lo
+            };
+            (0..len)
+                .map(|_| ALPHABET[(rng.next_u64() % ALPHABET.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident / $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(S0 / 0);
+    tuple_strategy!(S0 / 0, S1 / 1);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+    tuple_strategy!(
+        S0 / 0,
+        S1 / 1,
+        S2 / 2,
+        S3 / 3,
+        S4 / 4,
+        S5 / 5,
+        S6 / 6,
+        S7 / 7
+    );
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use crate::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of values from `element`, with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Mirror of `proptest::test_runner::Config` for the fields used here.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property is checked with.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Asserts a property inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` for every sampled case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                // Stable per-test stream: test name × case index.
+                let mut seed = 0xcbf2_9ce4_8422_2325u64;
+                for b in stringify!($name).bytes() {
+                    seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                let mut rng =
+                    $crate::strategy::TestRng::from_seed(seed.wrapping_add(case));
+                $(
+                    let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                )+
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{} of {} failed (seed {seed:#x})",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let x = (3usize..10).sample(&mut rng);
+            assert!((3..10).contains(&x));
+            let y = (2u64..=5).sample(&mut rng);
+            assert!((2..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let strat = (0usize..4, 10u64..20).prop_map(|(a, b)| a as u64 + b);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((10..24).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_pattern_samples_in_length_bounds() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..50 {
+            let s = ".{2,9}".sample(&mut rng);
+            assert!((2..=9).contains(&s.chars().count()), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string pattern")]
+    fn unsupported_string_pattern_panics() {
+        let mut rng = TestRng::from_seed(12);
+        let _ = "[a-z]{1,8}".sample(&mut rng);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a: Vec<usize> = {
+            let mut rng = TestRng::from_seed(7);
+            (0..10).map(|_| (0usize..1000).sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = TestRng::from_seed(7);
+            (0..10).map(|_| (0usize..1000).sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, tuple patterns and assertions.
+        #[test]
+        fn macro_binds_patterns((a, b) in (0usize..5, 5usize..9), c in 1u64..4) {
+            prop_assert!(a < 5 && (5..9).contains(&b));
+            prop_assert!((1..4).contains(&c));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(b, a);
+        }
+    }
+}
