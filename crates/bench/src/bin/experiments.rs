@@ -11,7 +11,7 @@
 //! below measures one of those claims; the mapping is recorded in
 //! DESIGN.md §5 and the narrative in EXPERIMENTS.md.
 
-use mmlp_bench::{aggregate, measure, Table};
+use mmlp_bench::Table;
 use mmlp_core::distributed::{rounds_needed, solve_distributed};
 use mmlp_core::layers::assign_layers_mod;
 use mmlp_core::smoothing::solve_special;
@@ -19,12 +19,35 @@ use mmlp_core::solver::LocalSolver;
 use mmlp_core::transform::{self, to_special_form};
 use mmlp_core::tree_bound::TreeBound;
 use mmlp_core::{ratio, unfold, SpecialForm};
-use mmlp_gen::apps::{bandwidth_ladder, sensor_grid, BandwidthConfig, SensorGridConfig};
 use mmlp_gen::lower_bound::{regular_gadget, regular_gadget_optimum, tree_gadget};
 use mmlp_gen::special::{layered_special, random_special_form, SpecialFormConfig};
 use mmlp_gen::{catalog, random::RandomConfig};
 use mmlp_instance::{AgentId, CommGraph, DegreeStats, Node, NodeKind, ObjectiveId};
+use mmlp_lab::prelude::{report, run_in_memory, CampaignSpec, SolverKind};
 use mmlp_lp::solve_maxmin;
+
+/// The campaign workers used by the grid experiments (T1–T3, T7).
+const WORKERS: usize = 4;
+
+/// A campaign spec over the full family catalogue with the given grid
+/// axes — the declarative replacement for the old hand-rolled
+/// family × seed × R loops.
+fn grid(name: &str, families: Vec<String>, sizes: Vec<usize>, rs: Vec<usize>) -> CampaignSpec {
+    CampaignSpec {
+        name: name.into(),
+        families,
+        sizes,
+        seeds: (0..5).collect(),
+        rs,
+        solvers: vec![SolverKind::Local],
+        timeout_ms: 0,
+        workers: WORKERS,
+    }
+}
+
+fn all_families() -> Vec<String> {
+    catalog().iter().map(|f| f.name.to_string()).collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,117 +103,38 @@ fn main() {
 
 /// T1 — Theorem 1 (upper bound): measured approximation ratio vs the
 /// proved guarantee `ΔI(1−1/ΔK)(1+1/(R−1))` across all workload
-/// families.
+/// families, as an `mmlp-lab` campaign (families × R × seeds).
 fn t1_theorem1_upper_bound() {
     println!("--- T1: Theorem 1 upper bound across families ---");
-    let mut table = Table::new(&[
-        "family",
-        "ΔI",
-        "ΔK",
-        "R",
-        "worst ratio",
-        "mean ratio",
-        "guarantee",
-        "threshold",
-    ]);
-    for fam in catalog() {
-        for big_r in [2, 3, 4] {
-            let mut ms = Vec::new();
-            let mut stats = None;
-            for seed in 0..5 {
-                let inst = fam.instance(60, seed);
-                stats.get_or_insert_with(|| DegreeStats::of(&inst));
-                ms.push(measure(&inst, big_r));
-            }
-            let s = stats.unwrap();
-            let (worst, mean) = aggregate(&ms);
-            assert!(
-                worst <= ms[0].guarantee + 1e-9,
-                "guarantee violated on {}",
-                fam.name
-            );
-            table.row(vec![
-                fam.name.into(),
-                s.delta_i.to_string(),
-                s.delta_k.to_string(),
-                big_r.to_string(),
-                format!("{worst:.4}"),
-                format!("{mean:.4}"),
-                format!("{:.4}", ms[0].guarantee),
-                format!("{:.4}", ms[0].threshold),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    println!("every measured ratio is below its guarantee (asserted). ✓\n");
+    let spec = grid("t1", all_families(), vec![60], vec![2, 3, 4]);
+    let records = run_in_memory(&spec, WORKERS);
+    let violations = report::violations(&records);
+    assert!(violations.is_empty(), "guarantee violated: {violations:?}");
+    println!("{}", report::ratio_vs_guarantee(&records).render());
+    println!("every measured ratio is below its guarantee (checked). ✓\n");
 }
 
 /// T2 — ε → 0: the measured ratio and the guarantee as R grows on a
-/// fixed family (the ε-R trade-off of Theorem 1).
+/// fixed family (the ε-R trade-off of Theorem 1), as a campaign over
+/// the R axis.
 fn t2_ratio_vs_r() {
     println!("--- T2: ratio vs locality parameter R ---");
-    let mut table = Table::new(&["R", "worst ratio", "mean ratio", "guarantee", "threshold"]);
-    for big_r in 2..=8 {
-        let mut ms = Vec::new();
-        for seed in 0..5 {
-            let inst = bandwidth_ladder(
-                &BandwidthConfig {
-                    n_customers: 30,
-                    window: 3,
-                    coef_range: (0.8, 1.25),
-                },
-                seed,
-            );
-            ms.push(measure(&inst, big_r));
-        }
-        let (worst, mean) = aggregate(&ms);
-        table.row(vec![
-            big_r.to_string(),
-            format!("{worst:.4}"),
-            format!("{mean:.4}"),
-            format!("{:.4}", ms[0].guarantee),
-            format!("{:.4}", ms[0].threshold),
-        ]);
-    }
-    println!("{}", table.render());
+    let spec = grid("t2", vec!["bandwidth".into()], vec![60], (2..=8).collect());
+    let records = run_in_memory(&spec, WORKERS);
+    assert!(report::violations(&records).is_empty());
+    println!("{}", report::ratio_vs_guarantee(&records).render());
     println!("guarantee column decreases as ΔI(1−1/ΔK)(1+1/(R−1)) → threshold. ✓\n");
 }
 
 /// T3 — comparison with the safe baseline (the best prior local
-/// algorithm, factor ΔI) and the exact optimum.
+/// algorithm, factor ΔI) and the exact optimum, as a multi-solver
+/// campaign at R = 3.
 fn t3_algorithm_comparison() {
     println!("--- T3: local algorithm vs safe baseline vs LP optimum (R = 3) ---");
-    let mut table = Table::new(&[
-        "family",
-        "ω* (mean)",
-        "ω local",
-        "ω safe",
-        "ratio local",
-        "ratio safe",
-        "improvement",
-    ]);
-    for fam in catalog() {
-        let mut opt = 0.0;
-        let mut local = 0.0;
-        let mut safe = 0.0;
-        let n = 5;
-        for seed in 0..n {
-            let m = measure(&fam.instance(60, seed), 3);
-            opt += m.optimum / n as f64;
-            local += m.local / n as f64;
-            safe += m.safe / n as f64;
-        }
-        table.row(vec![
-            fam.name.into(),
-            format!("{opt:.4}"),
-            format!("{local:.4}"),
-            format!("{safe:.4}"),
-            format!("{:.4}", opt / local),
-            format!("{:.4}", opt / safe),
-            format!("{:+.1}%", (local / safe - 1.0) * 100.0),
-        ]);
-    }
-    println!("{}", table.render());
+    let mut spec = grid("t3", all_families(), vec![60], vec![3]);
+    spec.solvers = vec![SolverKind::Local, SolverKind::Safe];
+    let records = run_in_memory(&spec, WORKERS);
+    println!("{}", report::solver_comparison(&records).render());
     println!("(the safe algorithm is already optimal on ΔI = 2 families such as cycles;");
     println!(" the local algorithm's edge grows with ΔI — see gadget-d3 and sensor-grid.)\n");
 }
@@ -412,59 +356,23 @@ fn t6_transformations() {
     println!();
 }
 
-/// T7 — the intro's applications at realistic sizes.
+/// T7 — the intro's applications at realistic sizes: a scaling
+/// campaign per application family (catalogue sizes chosen to hit the
+/// old 4/6/8-side grids and 16/32/64-customer ladders).
 fn t7_applications() {
     println!("--- T7: application workloads (R = 3) ---");
-    let mut table = Table::new(&[
-        "application",
-        "size",
-        "agents",
-        "ω local",
-        "ω*",
-        "ratio",
-        "guarantee",
-    ]);
-    for side in [4, 6, 8] {
-        let inst = sensor_grid(
-            &SensorGridConfig {
-                width: side,
-                height: side,
-                cost_range: (1.0, 2.0),
-            },
-            7,
-        );
-        let m = measure(&inst, 3);
-        table.row(vec![
-            "sensor-grid".into(),
-            format!("{side}x{side}"),
-            inst.n_agents().to_string(),
-            format!("{:.4}", m.local),
-            format!("{:.4}", m.optimum),
-            format!("{:.4}", m.local_ratio),
-            format!("{:.4}", m.guarantee),
-        ]);
+    let mut records = Vec::new();
+    for (family, sizes) in [
+        ("sensor-grid", vec![80, 180, 320]),
+        ("bandwidth", vec![32, 64, 128]),
+    ] {
+        let mut spec = grid("t7", vec![family.into()], sizes, vec![3]);
+        spec.seeds = vec![7];
+        records.extend(run_in_memory(&spec, WORKERS));
     }
-    for customers in [16, 32, 64] {
-        let inst = bandwidth_ladder(
-            &BandwidthConfig {
-                n_customers: customers,
-                window: 3,
-                coef_range: (0.8, 1.25),
-            },
-            7,
-        );
-        let m = measure(&inst, 3);
-        table.row(vec![
-            "bandwidth".into(),
-            format!("{customers}c"),
-            inst.n_agents().to_string(),
-            format!("{:.4}", m.local),
-            format!("{:.4}", m.optimum),
-            format!("{:.4}", m.local_ratio),
-            format!("{:.4}", m.guarantee),
-        ]);
-    }
-    println!("{}", table.render());
+    assert!(report::violations(&records).is_empty());
+    println!("{}", report::ratio_vs_guarantee(&records).render());
+    println!("{}", report::scaling(&records).render());
     println!();
 }
 

@@ -1,136 +1,20 @@
-//! Shared plumbing for the experiment harness and the criterion benches:
-//! aligned-table rendering and the standard measurement routines used by
-//! every table in EXPERIMENTS.md.
+//! Shared plumbing for the experiment harness and the criterion
+//! benches.
+//!
+//! The grid measurements that used to live here (family × seed × R
+//! loops over a `measure` routine) are now `mmlp-lab` campaigns — see
+//! `mmlp_lab::exec` for the per-job measurement and
+//! `mmlp_lab::report` for the aggregation. This crate re-exports the
+//! table renderer for the bespoke (non-grid) experiment tables.
 
-use mmlp_core::safe::safe_solution;
-use mmlp_core::solver::LocalSolver;
-use mmlp_instance::{DegreeStats, Instance};
-use mmlp_lp::solve_maxmin;
-
-/// A plain text table with aligned columns.
-#[derive(Clone, Debug, Default)]
-pub struct Table {
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given column headers.
-    pub fn new(headers: &[&str]) -> Self {
-        Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row (must match the header count).
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Renders with right-aligned columns.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.chars().count());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        out.push_str(&fmt_row(&self.headers, &widths));
-        out.push('\n');
-        out.push_str(
-            &widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>()
-                .join("  "),
-        );
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Renders as a GitHub-flavoured markdown table.
-    pub fn render_markdown(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            self.headers.iter().map(|_| "---|").collect::<String>()
-        ));
-        for row in &self.rows {
-            out.push_str(&format!("| {} |\n", row.join(" | ")));
-        }
-        out
-    }
-}
-
-/// One measurement of the local algorithm against the baseline and the
-/// exact optimum on a single instance.
-#[derive(Clone, Copy, Debug)]
-pub struct Measurement {
-    /// Exact LP optimum `ω*`.
-    pub optimum: f64,
-    /// Utility of the local algorithm's output.
-    pub local: f64,
-    /// Utility of the safe baseline.
-    pub safe: f64,
-    /// `ω*/ω(local)`.
-    pub local_ratio: f64,
-    /// `ω*/ω(safe)`.
-    pub safe_ratio: f64,
-    /// The proved guarantee `ΔI(1−1/ΔK)(1+1/(R−1))` for this instance.
-    pub guarantee: f64,
-    /// The unconditional threshold `ΔI(1−1/ΔK)`.
-    pub threshold: f64,
-}
-
-/// Runs the local solver (at `big_r`), the safe baseline and the exact
-/// simplex on one instance.
-pub fn measure(inst: &Instance, big_r: usize) -> Measurement {
-    let stats = DegreeStats::of(inst);
-    let solver = LocalSolver::new(big_r).with_threads(4);
-    let local = solver.solve(inst).solution.utility(inst);
-    let safe = safe_solution(inst).utility(inst);
-    let optimum = solve_maxmin(inst).expect("workloads are bounded").omega;
-    Measurement {
-        optimum,
-        local,
-        safe,
-        local_ratio: optimum / local,
-        safe_ratio: optimum / safe,
-        guarantee: solver.guarantee(stats.delta_i.max(2), stats.delta_k.max(2)),
-        threshold: mmlp_core::ratio::threshold(stats.delta_i.max(2), stats.delta_k.max(2)),
-    }
-}
-
-/// Aggregates measurements over seeds: worst and mean local ratio.
-pub fn aggregate(ms: &[Measurement]) -> (f64, f64) {
-    let worst = ms.iter().map(|m| m.local_ratio).fold(0.0f64, f64::max);
-    let mean = ms.iter().map(|m| m.local_ratio).sum::<f64>() / ms.len() as f64;
-    (worst, mean)
-}
+pub use mmlp_lab::report::Table;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmlp_gen::random::{random_general, RandomConfig};
 
     #[test]
-    fn table_renders_aligned_and_markdown() {
+    fn table_reexport_renders_all_formats() {
         let mut t = Table::new(&["name", "value"]);
         t.row(vec!["a".into(), "1.0".into()]);
         t.row(vec!["long-name".into(), "2".into()]);
@@ -139,23 +23,6 @@ mod tests {
         assert_eq!(r.lines().count(), 4);
         let md = t.render_markdown();
         assert!(md.starts_with("| name | value |"));
-    }
-
-    #[test]
-    #[should_panic(expected = "column count mismatch")]
-    fn table_checks_row_width() {
-        let mut t = Table::new(&["a", "b"]);
-        t.row(vec!["only-one".into()]);
-    }
-
-    #[test]
-    fn measure_respects_guarantee() {
-        let inst = random_general(&RandomConfig::default(), 3);
-        let m = measure(&inst, 3);
-        assert!(m.local_ratio <= m.guarantee + 1e-9);
-        assert!(m.local > 0.0 && m.safe > 0.0);
-        assert!(m.threshold < m.guarantee);
-        let (worst, mean) = aggregate(&[m]);
-        assert_eq!(worst, mean);
+        assert!(t.render_csv().starts_with("name,value"));
     }
 }

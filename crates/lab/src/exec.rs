@@ -1,0 +1,178 @@
+//! Executes one [`Job`]: generate the instance, run the chosen solver,
+//! certify against the exact LP optimum, and package a [`JobRecord`].
+
+use crate::job::{Job, SolverKind};
+use crate::record::{JobRecord, JobStatus};
+use mmlp_core::safe::safe_solution;
+use mmlp_core::solver::LocalSolver;
+use mmlp_core::transform::to_special_form;
+use mmlp_core::{distributed, ratio, SpecialForm};
+use mmlp_gen::catalog;
+use mmlp_instance::{DegreeStats, Instance};
+use mmlp_lp::solve_maxmin;
+use std::time::Instant;
+
+/// Generates the job's instance from the family catalogue.
+pub fn generate_instance(job: &Job) -> Result<Instance, String> {
+    let fams = catalog();
+    let fam = fams
+        .iter()
+        .find(|f| f.name == job.family)
+        .ok_or_else(|| format!("unknown family '{}'", job.family))?;
+    Ok(fam.instance(job.size, job.seed))
+}
+
+/// Runs one job to completion on the calling thread. Never panics on
+/// solver errors — they come back as [`JobStatus::Error`] records.
+/// (Panics inside the solvers themselves are the scheduler's problem,
+/// by design.)
+pub fn execute_job(job: &Job) -> JobRecord {
+    let inst = match generate_instance(job) {
+        Ok(i) => i,
+        Err(e) => return JobRecord::failed(job, JobStatus::Error, e),
+    };
+    let stats = DegreeStats::of(&inst);
+    let (di, dk) = (stats.delta_i.max(2), stats.delta_k.max(2));
+
+    // The certification baseline; timed separately so `wall_ms`
+    // measures the variant under study, not the simplex — except for
+    // the exact solver, whose cost *is* this solve.
+    let optimum_start = Instant::now();
+    let optimum = match solve_maxmin(&inst) {
+        Ok(o) => o.omega,
+        Err(e) => return JobRecord::failed(job, JobStatus::Error, format!("optimum: {e}")),
+    };
+    let optimum_ms = optimum_start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let (utility, guarantee, rounds, messages, bytes) = match job.solver {
+        SolverKind::Local => {
+            let solver = LocalSolver::new(job.big_r);
+            let out = solver.solve(&inst);
+            (
+                out.solution.utility(&inst),
+                solver.guarantee(di, dk),
+                0,
+                0,
+                0,
+            )
+        }
+        SolverKind::Safe => {
+            // The predecessor works' baseline achieves factor ΔI.
+            (safe_solution(&inst).utility(&inst), di as f64, 0, 0, 0)
+        }
+        SolverKind::Exact => (optimum, 1.0, 0, 0, 0),
+        SolverKind::Distributed => {
+            let transformed = to_special_form(&inst);
+            let sf = match SpecialForm::new(transformed.instance.clone()) {
+                Ok(sf) => sf,
+                Err(e) => {
+                    return JobRecord::failed(job, JobStatus::Error, format!("special form: {e:?}"))
+                }
+            };
+            let run = distributed::solve_distributed(&sf, job.big_r);
+            let x = transformed.map_back(&run.solution);
+            (
+                x.utility(&inst),
+                ratio::guarantee(di, dk, job.big_r),
+                run.stats.rounds as u64,
+                run.stats.messages,
+                run.stats.bytes,
+            )
+        }
+    };
+    let wall_ms = if job.solver == SolverKind::Exact {
+        optimum_ms
+    } else {
+        start.elapsed().as_secs_f64() * 1e3
+    };
+
+    let ratio = if utility > 0.0 {
+        optimum / utility
+    } else {
+        f64::INFINITY
+    };
+    JobRecord {
+        job_id: job.id(),
+        family: job.family.clone(),
+        size: job.size,
+        seed: job.seed,
+        big_r: job.big_r,
+        solver: job.solver,
+        status: JobStatus::Ok,
+        utility,
+        optimum,
+        ratio,
+        guarantee,
+        threshold: ratio::threshold(di, dk),
+        delta_i: stats.delta_i,
+        delta_k: stats.delta_k,
+        agents: inst.n_agents(),
+        wall_ms,
+        rounds,
+        messages,
+        bytes,
+        error: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(solver: SolverKind, big_r: usize) -> Job {
+        Job {
+            family: "random-3x3".into(),
+            size: 16,
+            seed: 1,
+            big_r,
+            solver,
+        }
+    }
+
+    #[test]
+    fn every_solver_variant_measures_within_its_guarantee() {
+        for solver in SolverKind::all() {
+            let r = execute_job(&job(solver, if solver.uses_r() { 3 } else { 0 }));
+            assert_eq!(r.status, JobStatus::Ok, "{solver:?}: {}", r.error);
+            assert!(r.utility > 0.0, "{solver:?}");
+            assert!(
+                r.ratio <= r.guarantee + 1e-6,
+                "{solver:?}: ratio {} vs guarantee {}",
+                r.ratio,
+                r.guarantee
+            );
+            assert!(r.ratio >= 1.0 - 1e-9, "the optimum is an upper bound");
+            assert!(r.agents > 0 && r.delta_i > 0 && r.delta_k > 0);
+        }
+    }
+
+    #[test]
+    fn distributed_is_bit_identical_to_local_and_accounts_messages() {
+        let local = execute_job(&job(SolverKind::Local, 3));
+        let dist = execute_job(&job(SolverKind::Distributed, 3));
+        assert_eq!(local.utility.to_bits(), dist.utility.to_bits());
+        assert!(dist.rounds > 0 && dist.messages > 0 && dist.bytes > 0);
+        assert_eq!(local.rounds, 0, "centralized run has no protocol stats");
+    }
+
+    #[test]
+    fn exact_solver_has_unit_ratio_and_real_wall_time() {
+        let r = execute_job(&job(SolverKind::Exact, 0));
+        assert!((r.ratio - 1.0).abs() < 1e-12);
+        assert_eq!(r.utility.to_bits(), r.optimum.to_bits());
+        assert!(
+            r.wall_ms > 0.0,
+            "exact jobs must report the simplex cost, not ~0"
+        );
+    }
+
+    #[test]
+    fn unknown_family_is_an_error_record_not_a_panic() {
+        let mut j = job(SolverKind::Local, 2);
+        j.family = "no-such-family".into();
+        let r = execute_job(&j);
+        assert_eq!(r.status, JobStatus::Error);
+        assert!(r.error.contains("unknown family"));
+    }
+}

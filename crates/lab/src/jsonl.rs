@@ -1,0 +1,342 @@
+//! Minimal flat-JSON encoding for the append-only record log.
+//!
+//! Each log line is one flat JSON object whose values are strings,
+//! finite numbers, booleans or `null` — exactly what a
+//! [`crate::record::JobRecord`] needs. serde is unavailable offline, so
+//! this module hand-rolls the subset: an [`ObjWriter`] builder and a
+//! [`parse_object`] scanner. Nested objects and arrays are rejected;
+//! non-finite numbers are written as `null`.
+
+/// A parsed JSON scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A number written with a fraction or exponent.
+    Num(f64),
+    /// A number written as a plain integer literal — kept exact, so
+    /// `u64` fields round-trip without passing through `f64` (which
+    /// would silently corrupt values ≥ 2⁵³).
+    Int(i128),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Value {
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload (`null` reads as NaN, matching the writer's
+    /// non-finite convention).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// An exact unsigned integer; `None` for anything else — including
+    /// `null` and fractional numbers, so integer record fields cannot
+    /// silently read as 0.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one flat JSON object, emitted as a single line.
+#[derive(Debug, Default)]
+pub struct ObjWriter {
+    buf: String,
+}
+
+impl ObjWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        ObjWriter { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds a numeric field (non-finite values become `null`).
+    pub fn num(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            // Rust's shortest-round-trip formatting: parses back bit-exactly.
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn int(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Finishes the object: `{"k":v,...}` with no trailing newline.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Parses one flat JSON object into key/value pairs (insertion order
+/// preserved). Rejects nesting, arrays and trailing garbage.
+pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut out = Vec::new();
+
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::CharIndices>| {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    };
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices>,
+    ) -> Result<String, String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            other => return Err(format!("expected '\"', got {other:?}")),
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(s),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => s.push('"'),
+                    Some((_, '\\')) => s.push('\\'),
+                    Some((_, '/')) => s.push('/'),
+                    Some((_, 'n')) => s.push('\n'),
+                    Some((_, 'r')) => s.push('\r'),
+                    Some((_, 't')) => s.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, c) = chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or_else(|| format!("bad hex '{c}'"))?;
+                        }
+                        s.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, c)) => s.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        other => return Err(format!("expected '{{', got {other:?}")),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ':')) => {}
+                other => return Err(format!("expected ':', got {other:?}")),
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek().copied() {
+                Some((_, '"')) => Value::Str(parse_string(&mut chars)?),
+                Some((start, c)) if c == '-' || c.is_ascii_digit() => {
+                    let mut end = start;
+                    while let Some(&(i, c)) = chars.peek() {
+                        if c == '-'
+                            || c == '+'
+                            || c == '.'
+                            || c == 'e'
+                            || c == 'E'
+                            || c.is_ascii_digit()
+                        {
+                            end = i + c.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &line[start..end];
+                    let is_integral = !text.contains(['.', 'e', 'E']);
+                    match text.parse::<i128>() {
+                        Ok(i) if is_integral => Value::Int(i),
+                        _ => Value::Num(
+                            text.parse()
+                                .map_err(|e| format!("bad number '{text}': {e}"))?,
+                        ),
+                    }
+                }
+                Some((start, c)) if c.is_ascii_alphabetic() => {
+                    let mut end = start;
+                    while let Some(&(i, c)) = chars.peek() {
+                        if c.is_ascii_alphabetic() {
+                            end = i + c.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    match &line[start..end] {
+                        "true" => Value::Bool(true),
+                        "false" => Value::Bool(false),
+                        "null" => Value::Null,
+                        w => return Err(format!("unexpected word '{w}'")),
+                    }
+                }
+                Some((_, '{')) | Some((_, '[')) => {
+                    return Err("nested objects/arrays are not supported".into())
+                }
+                other => return Err(format!("expected a value, got {other:?}")),
+            };
+            out.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((_, c)) = chars.next() {
+        return Err(format!("trailing garbage '{c}'"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let mut w = ObjWriter::new();
+        w.str("family", "random-3x3")
+            .int("size", 40)
+            .num("ratio", 1.2345678901234567)
+            .num("bad", f64::INFINITY)
+            .str("note", "a \"quoted\"\nline\\");
+        let line = w.finish();
+        let kv = parse_object(&line).unwrap();
+        assert_eq!(kv[0], ("family".into(), Value::Str("random-3x3".into())));
+        assert_eq!(kv[1], ("size".into(), Value::Int(40)));
+        let ratio = kv[2].1.as_f64().unwrap();
+        assert_eq!(ratio.to_bits(), 1.2345678901234567f64.to_bits());
+        assert_eq!(kv[3].1, Value::Null);
+        assert_eq!(kv[4].1.as_str(), Some("a \"quoted\"\nline\\"));
+    }
+
+    #[test]
+    fn parses_hand_written_json() {
+        let kv = parse_object(r#" { "a" : 1e-3 , "b" : true , "c" : null , "d" : "x" } "#).unwrap();
+        assert_eq!(kv.len(), 4);
+        assert_eq!(kv[0].1, Value::Num(1e-3));
+        assert_eq!(kv[1].1, Value::Bool(true));
+        assert_eq!(kv[2].1, Value::Null);
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn large_integers_round_trip_exactly() {
+        // 2^53 + 1 is not representable in f64: the Int variant must
+        // carry it through unchanged.
+        let mut w = ObjWriter::new();
+        w.int("seed", (1u64 << 53) + 1);
+        let kv = parse_object(&w.finish()).unwrap();
+        assert_eq!(kv[0].1.as_u64(), Some((1u64 << 53) + 1));
+    }
+
+    #[test]
+    fn as_u64_rejects_null_fractions_and_negatives() {
+        let kv = parse_object(r#"{"a":null,"b":1.5,"c":-3,"d":1e3,"e":7}"#).unwrap();
+        assert_eq!(kv[0].1.as_u64(), None, "null must not read as 0");
+        assert_eq!(kv[1].1.as_u64(), None);
+        assert_eq!(kv[2].1.as_u64(), None);
+        assert_eq!(kv[3].1.as_u64(), None, "exponent form is a float");
+        assert_eq!(kv[4].1.as_u64(), Some(7));
+        assert_eq!(kv[3].1.as_f64(), Some(1e3));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":{}}",
+            "{\"a\":[1]}",
+            "{\"a\":1} extra",
+            "{\"a\":wat}",
+            "{\"a\":\"unterminated}",
+        ] {
+            assert!(parse_object(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        let mut w = ObjWriter::new();
+        w.str("s", "ctrl\u{1}char — ΔI");
+        let kv = parse_object(&w.finish()).unwrap();
+        assert_eq!(kv[0].1.as_str(), Some("ctrl\u{1}char — ΔI"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # `mmlp-lab` — the experiment-campaign subsystem
+//!
+//! The paper's headline claim is a *tight* ratio `ΔI(1 − 1/ΔK) + ε`;
+//! checking tightness empirically means sweeping generator families ×
+//! sizes × seeds × locality parameters × solver variants. This crate
+//! turns that sweep into a first-class object:
+//!
+//! * [`spec`] — a **declarative campaign spec**: a line-oriented text
+//!   format (same idiom as `mmlp_instance::textfmt`) describing the
+//!   grid to run.
+//! * [`job`] — grid expansion into [`job::Job`]s, each with a **stable
+//!   content hash** that identifies it across runs.
+//! * [`pool`] — a multithreaded scheduler with per-job **timeouts** and
+//!   **panic isolation**.
+//! * [`exec`] — runs one job: generate the instance, run the chosen
+//!   solver, certify against the exact LP optimum.
+//! * [`record`] — the structured per-job result (utility, optimum,
+//!   approximation ratio vs. the Theorem 1 guarantee, wall time, and
+//!   the protocol's round/message/byte accounting).
+//! * [`jsonl`] — the minimal flat-JSON encoder/parser backing the
+//!   append-only record log (serde is unavailable offline).
+//! * [`campaign`] — orchestration: **resumable** runs (completed job
+//!   hashes found in `results.jsonl` are skipped), status inspection.
+//! * [`report`] — aggregation into ratio-vs-guarantee, solver
+//!   comparison and scaling tables, rendered as aligned text and CSV.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mmlp_lab::prelude::*;
+//!
+//! let text = "\
+//! mmlplab 1
+//! name demo
+//! families cycle
+//! sizes 8
+//! seeds 0 1
+//! R 2
+//! solvers local safe
+//! ";
+//! let spec = parse_spec(text).unwrap();
+//! let records = run_in_memory(&spec, 2);
+//! assert_eq!(records.len(), 4); // 2 seeds × (local@R2 + safe)
+//! assert!(report::violations(&records).is_empty());
+//! println!("{}", report::render_report(&records));
+//! ```
+
+pub mod campaign;
+pub mod exec;
+pub mod job;
+pub mod jsonl;
+pub mod pool;
+pub mod record;
+pub mod report;
+pub mod spec;
+
+/// One-stop imports for the CLI, the experiment harness and tests.
+pub mod prelude {
+    pub use crate::campaign::{
+        load_records, run_campaign, run_in_memory, status, RunOptions, RunSummary, StatusSummary,
+    };
+    pub use crate::job::{expand, Job, SolverKind};
+    pub use crate::record::{JobRecord, JobStatus};
+    pub use crate::report;
+    pub use crate::spec::{parse_spec, write_spec, CampaignSpec};
+}

@@ -1,0 +1,266 @@
+//! The multithreaded job scheduler: a shared-cursor worker pool with
+//! per-job timeouts and panic isolation.
+//!
+//! Workers pull the next item index from a shared atomic cursor, so
+//! load balances itself the way a work-stealing deque would for this
+//! shape (independent jobs, no spawning). Two execution modes per job:
+//!
+//! * **inline** (no timeout): the worker runs the job under
+//!   `catch_unwind`, so one panicking job cannot take down the run;
+//! * **isolated** (timeout set): the job runs on its own thread and the
+//!   worker waits with `recv_timeout`. On timeout the job thread is
+//!   abandoned (it cannot be killed safely) and the scheduler moves on;
+//!   a panic surfaces as a disconnected channel.
+//!
+//! Results stream back to the caller's sink on the calling thread, in
+//! completion order, so the campaign layer can append each record to
+//! the log the moment it exists — which is what makes a killed run
+//! resumable.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Scheduler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Worker-thread count (clamped to ≥ 1).
+    pub workers: usize,
+    /// Per-job timeout; `None` runs jobs inline (no isolation thread).
+    pub timeout: Option<Duration>,
+}
+
+/// How one job terminated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome<T> {
+    /// The job returned a value.
+    Done(T),
+    /// The job panicked (payload rendered when it was a string).
+    Panicked(String),
+    /// The job exceeded the configured timeout.
+    TimedOut,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` over every item on a worker pool; `sink(index, outcome)` is
+/// called on the **calling thread** once per item, in completion order.
+///
+/// Item and closure bounds are `'static` because timed-out jobs outlive
+/// the call on their abandoned isolation threads.
+pub fn run_pool<I, T, F, S>(items: Vec<I>, cfg: &PoolConfig, f: F, mut sink: S)
+where
+    I: Clone + Send + Sync + 'static,
+    T: Send + 'static,
+    F: Fn(I) -> T + Send + Sync + 'static,
+    S: FnMut(usize, Outcome<T>),
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let items = Arc::new(items);
+    let f = Arc::new(f);
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let workers = cfg.workers.max(1).min(n);
+    let timeout = cfg.timeout;
+    let (tx, rx) = mpsc::channel::<(usize, Outcome<T>)>();
+
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let items = Arc::clone(&items);
+        let f = Arc::clone(&f);
+        let cursor = Arc::clone(&cursor);
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || loop {
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= items.len() {
+                break;
+            }
+            let outcome = run_one(&f, items[idx].clone(), timeout);
+            if tx.send((idx, outcome)).is_err() {
+                break; // receiver gone: the caller is shutting down
+            }
+        }));
+    }
+    drop(tx);
+
+    for (idx, outcome) in rx {
+        sink(idx, outcome);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn run_one<I, T, F>(f: &Arc<F>, item: I, timeout: Option<Duration>) -> Outcome<T>
+where
+    I: Send + 'static,
+    T: Send + 'static,
+    F: Fn(I) -> T + Send + Sync + 'static,
+{
+    match timeout {
+        None => match std::panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+            Ok(v) => Outcome::Done(v),
+            Err(payload) => Outcome::Panicked(panic_message(payload)),
+        },
+        Some(d) => {
+            let (jtx, jrx) = mpsc::channel();
+            let f = Arc::clone(f);
+            std::thread::spawn(move || {
+                // A panic here drops `jtx`, which the waiter observes as
+                // a disconnect; distinguishing it from a clean exit is
+                // done by sending the value on success only.
+                let v = match std::panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(v) => v,
+                    Err(payload) => {
+                        let _ = jtx.send(Err(panic_message(payload)));
+                        return;
+                    }
+                };
+                let _ = jtx.send(Ok(v));
+            });
+            match jrx.recv_timeout(d) {
+                Ok(Ok(v)) => Outcome::Done(v),
+                Ok(Err(msg)) => Outcome::Panicked(msg),
+                Err(RecvTimeoutError::Timeout) => Outcome::TimedOut,
+                Err(RecvTimeoutError::Disconnected) => Outcome::Panicked("job thread died".into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn collect<T>(
+        items: Vec<u64>,
+        cfg: &PoolConfig,
+        f: impl Fn(u64) -> T + Send + Sync + 'static,
+    ) -> Vec<(usize, Outcome<T>)>
+    where
+        T: Send + 'static,
+    {
+        let mut out = Vec::new();
+        run_pool(items, cfg, f, |i, o| out.push((i, o)));
+        out
+    }
+
+    #[test]
+    fn all_items_complete_once() {
+        let cfg = PoolConfig {
+            workers: 4,
+            timeout: None,
+        };
+        let out = collect((0..100).collect(), &cfg, |x| x * 2);
+        assert_eq!(out.len(), 100);
+        let indices: HashSet<usize> = out.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices.len(), 100);
+        for (i, o) in &out {
+            assert_eq!(*o, Outcome::Done((*i as u64) * 2));
+        }
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let cfg = PoolConfig {
+            workers: 32,
+            timeout: None,
+        };
+        assert_eq!(collect(vec![7], &cfg, |x| x).len(), 1);
+        run_pool(
+            Vec::<u64>::new(),
+            &cfg,
+            |x: u64| x,
+            |_, _| panic!("sink must not run on empty input"),
+        );
+    }
+
+    #[test]
+    fn panics_are_isolated_inline() {
+        let cfg = PoolConfig {
+            workers: 3,
+            timeout: None,
+        };
+        let out = collect((0..10).collect(), &cfg, |x| {
+            if x == 4 {
+                panic!("job {x} exploded");
+            }
+            x
+        });
+        assert_eq!(out.len(), 10);
+        let panicked: Vec<_> = out
+            .iter()
+            .filter(|(_, o)| matches!(o, Outcome::Panicked(_)))
+            .collect();
+        assert_eq!(panicked.len(), 1);
+        assert_eq!(panicked[0].0, 4);
+        if let Outcome::Panicked(msg) = &panicked[0].1 {
+            assert!(msg.contains("exploded"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_on_the_timeout_path() {
+        let cfg = PoolConfig {
+            workers: 2,
+            timeout: Some(Duration::from_secs(5)),
+        };
+        let out = collect((0..6).collect(), &cfg, |x| {
+            if x % 3 == 0 {
+                panic!("boom");
+            }
+            x
+        });
+        let panicked = out
+            .iter()
+            .filter(|(_, o)| matches!(o, Outcome::Panicked(_)))
+            .count();
+        assert_eq!(panicked, 2);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn slow_jobs_time_out_and_the_rest_finish() {
+        let cfg = PoolConfig {
+            workers: 2,
+            timeout: Some(Duration::from_millis(30)),
+        };
+        let out = collect((0..8).collect(), &cfg, |x| {
+            if x == 1 {
+                std::thread::sleep(Duration::from_secs(10));
+            }
+            x
+        });
+        assert_eq!(out.len(), 8);
+        let timed_out: Vec<_> = out
+            .iter()
+            .filter(|(_, o)| matches!(o, Outcome::TimedOut))
+            .map(|(i, _)| *i)
+            .collect();
+        assert_eq!(timed_out, vec![1]);
+    }
+
+    #[test]
+    fn single_worker_preserves_item_order() {
+        let cfg = PoolConfig {
+            workers: 1,
+            timeout: None,
+        };
+        let out = collect((0..20).collect(), &cfg, |x| x);
+        let order: Vec<usize> = out.iter().map(|(i, _)| *i).collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,343 @@
+//! The declarative campaign spec and its line-oriented text format.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! mmlplab 1
+//! name smoke                  # optional campaign name
+//! families cycle bandwidth    # ≥ 1 generator families (gen::catalog names)
+//! sizes 12 24                 # ≥ 1 instance sizes
+//! seeds 0 1 2                 # ≥ 1 seeds
+//! R 2 3                       # ≥ 1 locality parameters (each ≥ 2)
+//! solvers local safe          # ≥ 1 of: local safe exact distributed
+//! timeout_ms 60000            # optional per-job timeout (0 = none)
+//! workers 4                   # optional scheduler thread count
+//! ```
+//!
+//! Directives may repeat; list directives append. The format follows
+//! the `mmlp_instance::textfmt` idiom (versioned header, `#` comments,
+//! whitespace-separated tokens) so specs stay hand-editable and
+//! diffable without serde.
+
+use crate::job::SolverKind;
+use std::fmt::Write as _;
+
+/// A declarative grid of experiments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Human-readable campaign name (used in reports; may be empty).
+    pub name: String,
+    /// Generator family names from `mmlp_gen::catalog`.
+    pub families: Vec<String>,
+    /// Instance sizes passed to `Family::instance`.
+    pub sizes: Vec<usize>,
+    /// Generator seeds.
+    pub seeds: Vec<u64>,
+    /// Locality parameters `R ≥ 2` (applied to R-sensitive solvers).
+    pub rs: Vec<usize>,
+    /// Solver variants to run on every grid point.
+    pub solvers: Vec<SolverKind>,
+    /// Per-job timeout in milliseconds (`0` disables the timeout).
+    pub timeout_ms: u64,
+    /// Default scheduler worker-thread count.
+    pub workers: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: String::new(),
+            families: Vec::new(),
+            sizes: Vec::new(),
+            seeds: Vec::new(),
+            rs: Vec::new(),
+            solvers: Vec::new(),
+            timeout_ms: 120_000,
+            workers: 4,
+        }
+    }
+}
+
+/// Spec parse/validation error with 1-based line number (0 = global).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line of the offending input, 0 for whole-spec errors.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl CampaignSpec {
+    /// Checks the spec is runnable: every list non-empty, `R ≥ 2`, a
+    /// positive worker count, and every family known to `known_families`
+    /// (pass the names from `mmlp_gen::catalog`).
+    pub fn validate(&self, known_families: &[&str]) -> Result<(), SpecError> {
+        let global = |message: String| SpecError { line: 0, message };
+        if self.families.is_empty() {
+            return Err(global("spec lists no families".into()));
+        }
+        if self.sizes.is_empty() {
+            return Err(global("spec lists no sizes".into()));
+        }
+        if self.seeds.is_empty() {
+            return Err(global("spec lists no seeds".into()));
+        }
+        if self.rs.is_empty() {
+            return Err(global("spec lists no R values".into()));
+        }
+        if self.solvers.is_empty() {
+            return Err(global("spec lists no solvers".into()));
+        }
+        if let Some(r) = self.rs.iter().find(|r| **r < 2) {
+            return Err(global(format!(
+                "R = {r} is below the paper's minimum R = 2"
+            )));
+        }
+        if self.workers == 0 {
+            return Err(global("workers must be ≥ 1".into()));
+        }
+        if let Some(s) = self.sizes.iter().find(|s| **s == 0) {
+            return Err(global(format!("size {s} must be positive")));
+        }
+        for fam in &self.families {
+            if !known_families.contains(&fam.as_str()) {
+                return Err(global(format!(
+                    "unknown family '{fam}' (known: {})",
+                    known_families.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serialises a spec to the text format (canonical directive order).
+pub fn write_spec(spec: &CampaignSpec) -> String {
+    let mut out = String::from("mmlplab 1\n");
+    if !spec.name.is_empty() {
+        let _ = writeln!(out, "name {}", spec.name);
+    }
+    let join = |xs: &[String]| xs.join(" ");
+    let _ = writeln!(out, "families {}", join(&spec.families));
+    let _ = writeln!(
+        out,
+        "sizes {}",
+        join(&spec.sizes.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    );
+    let _ = writeln!(
+        out,
+        "seeds {}",
+        join(&spec.seeds.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    );
+    let _ = writeln!(
+        out,
+        "R {}",
+        join(&spec.rs.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    );
+    let _ = writeln!(
+        out,
+        "solvers {}",
+        join(
+            &spec
+                .solvers
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect::<Vec<_>>()
+        )
+    );
+    let _ = writeln!(out, "timeout_ms {}", spec.timeout_ms);
+    let _ = writeln!(out, "workers {}", spec.workers);
+    out
+}
+
+/// Parses the text format back into a spec (structure only — call
+/// [`CampaignSpec::validate`] before running).
+pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
+    let mut spec = CampaignSpec::default();
+    let mut saw_header = false;
+    let err = |line: usize, message: String| SpecError { line, message };
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_ascii_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+        if head == "mmlplab" {
+            let version = tokens
+                .next()
+                .ok_or_else(|| err(lineno, "missing format version".into()))?;
+            if version != "1" {
+                return Err(err(lineno, format!("unsupported version {version}")));
+            }
+            saw_header = true;
+            continue;
+        }
+        if !saw_header {
+            return Err(err(lineno, "missing 'mmlplab 1' header".into()));
+        }
+        match head {
+            "name" => {
+                spec.name = tokens.collect::<Vec<_>>().join(" ");
+            }
+            "families" => {
+                spec.families.extend(tokens.map(str::to_string));
+            }
+            "sizes" => {
+                for t in tokens {
+                    spec.sizes.push(
+                        t.parse()
+                            .map_err(|e| err(lineno, format!("bad size '{t}': {e}")))?,
+                    );
+                }
+            }
+            "seeds" => {
+                for t in tokens {
+                    spec.seeds.push(
+                        t.parse()
+                            .map_err(|e| err(lineno, format!("bad seed '{t}': {e}")))?,
+                    );
+                }
+            }
+            "R" => {
+                for t in tokens {
+                    spec.rs.push(
+                        t.parse()
+                            .map_err(|e| err(lineno, format!("bad R '{t}': {e}")))?,
+                    );
+                }
+            }
+            "solvers" => {
+                for t in tokens {
+                    spec.solvers.push(
+                        SolverKind::from_name(t)
+                            .ok_or_else(|| err(lineno, format!("unknown solver '{t}'")))?,
+                    );
+                }
+            }
+            "timeout_ms" => {
+                let t = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing timeout value".into()))?;
+                spec.timeout_ms = t
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad timeout '{t}': {e}")))?;
+            }
+            "workers" => {
+                let t = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing worker count".into()))?;
+                spec.workers = t
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad worker count '{t}': {e}")))?;
+            }
+            other => {
+                return Err(err(lineno, format!("unknown directive '{other}'")));
+            }
+        }
+    }
+
+    if !saw_header {
+        return Err(err(0, "no 'mmlplab 1' header found".into()));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignSpec {
+        CampaignSpec {
+            name: "smoke".into(),
+            families: vec!["cycle".into(), "bandwidth".into()],
+            sizes: vec![12, 24],
+            seeds: vec![0, 1, 2],
+            rs: vec![2, 3],
+            solvers: vec![SolverKind::Local, SolverKind::Safe],
+            timeout_ms: 60_000,
+            workers: 4,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let spec = sample();
+        let text = write_spec(&spec);
+        let back = parse_spec(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(write_spec(&back), text);
+    }
+
+    #[test]
+    fn repeated_directives_append() {
+        let text = "mmlplab 1\nfamilies cycle\nfamilies bandwidth\nsizes 8\nsizes 16\n\
+                    seeds 0\nR 2\nsolvers local\n";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.families, vec!["cycle", "bandwidth"]);
+        assert_eq!(spec.sizes, vec![8, 16]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a campaign\nmmlplab 1\n\nfamilies cycle # inline\nsizes 8\nseeds 0\nR 2\nsolvers local\n";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.families, vec!["cycle"]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_spec("").is_err(), "no header");
+        assert!(parse_spec("mmlplab 2\n").is_err(), "bad version");
+        assert!(
+            parse_spec("families cycle\nmmlplab 1\n").is_err(),
+            "body before header"
+        );
+        assert!(parse_spec("mmlplab 1\nsizes nope\n").is_err(), "bad size");
+        assert!(
+            parse_spec("mmlplab 1\nsolvers quantum\n").is_err(),
+            "bad solver"
+        );
+        assert!(
+            parse_spec("mmlplab 1\nfrobnicate 1\n").is_err(),
+            "bad directive"
+        );
+        let e = parse_spec("mmlplab 1\nR two\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn validate_checks_grid_and_families() {
+        let known = ["cycle", "bandwidth"];
+        assert!(sample().validate(&known).is_ok());
+        let mut s = sample();
+        s.rs = vec![1];
+        assert!(s.validate(&known).is_err(), "R < 2");
+        let mut s = sample();
+        s.families = vec!["no-such".into()];
+        assert!(s.validate(&known).is_err(), "unknown family");
+        let mut s = sample();
+        s.solvers.clear();
+        assert!(s.validate(&known).is_err(), "no solvers");
+        let mut s = sample();
+        s.workers = 0;
+        assert!(s.validate(&known).is_err(), "zero workers");
+        let mut s = sample();
+        s.sizes = vec![0];
+        assert!(s.validate(&known).is_err(), "zero size");
+    }
+}

@@ -26,6 +26,9 @@
 //!   application.
 //! * [`gen`] — seeded workload generators (random families, sensor grids,
 //!   bandwidth allocation, regular graphs/lifts, lower-bound gadgets).
+//! * [`lab`] — the experiment-campaign subsystem: declarative grid
+//!   specs, a resumable parallel scheduler, structured JSONL results
+//!   and ratio/scaling reports (`maxmin-lp campaign …`).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +61,7 @@
 pub use mmlp_core as core;
 pub use mmlp_gen as gen;
 pub use mmlp_instance as instance;
+pub use mmlp_lab as lab;
 pub use mmlp_lp as lp;
 pub use mmlp_net as net;
 
@@ -70,6 +74,10 @@ pub mod prelude {
     pub use mmlp_instance::{
         AgentId, CommGraph, ConstraintId, DegreeStats, Instance, InstanceBuilder, ObjectiveId,
         Solution,
+    };
+    pub use mmlp_lab::prelude::{
+        expand, parse_spec, run_campaign, run_in_memory, write_spec, CampaignSpec, Job, JobRecord,
+        SolverKind,
     };
     pub use mmlp_lp::maxmin::{certify_optimum, solve_maxmin};
 }

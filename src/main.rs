@@ -1,29 +1,39 @@
 //! `maxmin-lp` — command-line interface to the local max-min LP solver.
 //!
 //! ```text
-//! maxmin-lp solve <instance.mmlp> [-R <R>] [--certify]   local algorithm
+//! maxmin-lp solve <instance.mmlp> [-R <R>] [--threads <n>] [--certify]
 //! maxmin-lp optimum <instance.mmlp>                      exact simplex
 //! maxmin-lp safe <instance.mmlp>                         factor-ΔI baseline
 //! maxmin-lp generate <family> <size> <seed>              emit an instance
-//! maxmin-lp info <instance.mmlp>                         sizes and degrees
+//! maxmin-lp info <instance.mmlp>                         sizes, degrees, paper bound
+//! maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet]
+//! maxmin-lp campaign report <dir> [--csv]
+//! maxmin-lp campaign status <dir>
 //! ```
 //!
 //! Instances use the line-oriented text format of
-//! `mmlp_instance::textfmt` (see `maxmin-lp generate`). All output goes
-//! to stdout; exit code 0 on success, 2 on usage errors.
+//! `mmlp_instance::textfmt` (see `maxmin-lp generate`); campaign specs
+//! use the `mmlp_lab::spec` format. All output goes to stdout; exit
+//! code 0 on success, 2 on usage errors.
 
 use maxmin_lp::core::safe::safe_solution;
 use maxmin_lp::core::solver::LocalSolver;
 use maxmin_lp::gen::catalog;
 use maxmin_lp::instance::{textfmt, DegreeStats, Instance};
+use maxmin_lp::lab::campaign::{self, RunOptions};
+use maxmin_lp::lab::{report, spec};
 use maxmin_lp::lp::solve_maxmin;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  maxmin-lp solve <file> [-R <R>] [--certify]\n  \
+        "usage:\n  maxmin-lp solve <file> [-R <R>] [--threads <n>] [--certify]\n  \
          maxmin-lp optimum <file>\n  maxmin-lp safe <file>\n  \
-         maxmin-lp generate <family> <size> <seed>\n  maxmin-lp info <file>\n\n\
+         maxmin-lp generate <family> <size> <seed>\n  maxmin-lp info <file>\n  \
+         maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet]\n  \
+         maxmin-lp campaign report <dir> [--csv]\n  \
+         maxmin-lp campaign status <dir>\n\n\
          families: {}",
         catalog()
             .iter()
@@ -70,6 +80,7 @@ fn run(cmd: &str, rest: &[String]) -> Result<(), UsageError> {
         "solve" => {
             let path = rest.first().ok_or(UsageError::Usage)?;
             let mut big_r = 3usize;
+            let mut threads = 4usize;
             let mut certify = false;
             let mut it = rest[1..].iter();
             while let Some(a) = it.next() {
@@ -81,16 +92,23 @@ fn run(cmd: &str, rest: &[String]) -> Result<(), UsageError> {
                             .filter(|r| *r >= 2)
                             .ok_or(UsageError::Usage)?;
                     }
+                    "--threads" => {
+                        threads = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|t| *t >= 1)
+                            .ok_or(UsageError::Usage)?;
+                    }
                     "--certify" => certify = true,
                     _ => return Err(UsageError::Usage),
                 }
             }
             let inst = load(path)?;
             let stats = DegreeStats::of(&inst);
-            let solver = LocalSolver::new(big_r).with_threads(4);
+            let solver = LocalSolver::new(big_r).with_threads(threads);
             let out = solver.solve(&inst);
             let utility = out.solution.utility(&inst);
-            println!("# local solve R={big_r}");
+            println!("# local solve R={big_r} threads={threads}");
             println!("utility {utility}");
             println!(
                 "guarantee {}",
@@ -154,16 +172,123 @@ fn run(cmd: &str, rest: &[String]) -> Result<(), UsageError> {
             println!("objectives {}", inst.n_objectives());
             println!("delta_i {}", s.delta_i);
             println!("delta_k {}", s.delta_k);
+            // The paper's optimal local approximation ratio for these
+            // degree bounds: any ratio headroom reads directly off
+            // `solve`'s ratio vs this line.
+            let (di, dk) = (s.delta_i.max(2), s.delta_k.max(2));
+            println!(
+                "paper_bound {}  # ΔI(1 − 1/ΔK) at ΔI={di}, ΔK={dk}",
+                maxmin_lp::core::ratio::threshold(di, dk)
+            );
             match maxmin_lp::instance::validate::check(&inst) {
                 Ok(()) => println!("valid true"),
                 Err(e) => println!("valid false  # {e}"),
             }
-            if s.delta_i >= 2 && s.delta_k >= 2 {
-                println!(
-                    "threshold {}",
-                    maxmin_lp::core::ratio::threshold(s.delta_i, s.delta_k)
-                );
+            Ok(())
+        }
+        "campaign" => {
+            let sub = rest.first().ok_or(UsageError::Usage)?;
+            campaign_cmd(sub, &rest[1..])
+        }
+        _ => Err(UsageError::Usage),
+    }
+}
+
+/// `maxmin-lp campaign run|report|status …`.
+fn campaign_cmd(sub: &str, rest: &[String]) -> Result<(), UsageError> {
+    match sub {
+        "run" => {
+            let spec_path = rest.first().ok_or(UsageError::Usage)?;
+            let mut out_dir: Option<PathBuf> = None;
+            let mut workers: Option<usize> = None;
+            let mut progress = true;
+            let mut it = rest[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => out_dir = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?)),
+                    "--workers" => {
+                        workers = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .filter(|w| *w >= 1)
+                                .ok_or(UsageError::Usage)?,
+                        );
+                    }
+                    "--quiet" => progress = false,
+                    _ => return Err(UsageError::Usage),
+                }
             }
+            let text =
+                std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+            let spec = spec::parse_spec(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+            let fams = catalog();
+            let known: Vec<&str> = fams.iter().map(|f| f.name).collect();
+            spec.validate(&known).map_err(|e| e.to_string())?;
+            let dir = out_dir
+                .unwrap_or_else(|| PathBuf::from(format!("{}.campaign", spec_path.as_str())));
+            let summary = campaign::run_campaign(&spec, &dir, &RunOptions { workers, progress })
+                .map_err(|e| e.to_string())?;
+            println!("# campaign run {}", dir.display());
+            println!("total {}", summary.total);
+            println!("skipped {}", summary.skipped);
+            println!("executed {}", summary.executed);
+            println!("ok {}", summary.ok);
+            println!("errors {}", summary.errors);
+            println!("panics {}", summary.panics);
+            println!("timeouts {}", summary.timeouts);
+            if summary.errors + summary.panics + summary.timeouts > 0 {
+                return Err(UsageError::Message(format!(
+                    "{} of {} executed jobs failed (see {})",
+                    summary.errors + summary.panics + summary.timeouts,
+                    summary.executed,
+                    dir.join(campaign::RESULTS_FILE).display()
+                )));
+            }
+            Ok(())
+        }
+        "report" => {
+            let dir = rest.first().ok_or(UsageError::Usage)?;
+            let mut csv = false;
+            for a in &rest[1..] {
+                match a.as_str() {
+                    "--csv" => csv = true,
+                    _ => return Err(UsageError::Usage),
+                }
+            }
+            let dir = Path::new(dir);
+            let records = campaign::load_records(dir).map_err(|e| e.to_string())?;
+            if records.is_empty() {
+                return Err(UsageError::Message(format!(
+                    "no records in {}",
+                    dir.join(campaign::RESULTS_FILE).display()
+                )));
+            }
+            print!("{}", report::render_report(&records));
+            if csv {
+                let written = report::write_csv_files(&records, dir).map_err(|e| e.to_string())?;
+                for p in written {
+                    println!("csv {}", p.display());
+                }
+            }
+            if !report::violations(&records).is_empty() {
+                return Err(UsageError::Message("guarantee violations found".into()));
+            }
+            Ok(())
+        }
+        "status" => {
+            let dir = rest.first().ok_or(UsageError::Usage)?;
+            let st = campaign::status(Path::new(dir)).map_err(|e| e.to_string())?;
+            if !st.name.is_empty() {
+                println!("name {}", st.name);
+            }
+            println!("total {}", st.total);
+            println!("completed {}", st.completed);
+            println!("failed {}", st.failed);
+            println!("pending {}", st.pending);
+            if st.stale_records > 0 {
+                println!("stale_records {}", st.stale_records);
+            }
+            println!("complete {}", st.is_complete());
             Ok(())
         }
         _ => Err(UsageError::Usage),
