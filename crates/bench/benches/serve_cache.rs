@@ -1,0 +1,48 @@
+//! The serve request path, cold vs. warm: how much does the
+//! content-addressed result cache actually buy per request?
+//!
+//! "Cold" is the pure compute the server runs on a pool worker
+//! (`engine::execute`); "warm" is the full cached path the connection
+//! thread takes on a hit (key build, LRU probe under the mutex, Arc
+//! clone). The gap between the two is the amortisation the service
+//! exists for; a regression in "warm" (e.g. an accidental O(n) scan in
+//! the LRU) shows up here long before it shows up in p99.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmlp_gen::catalog;
+use mmlp_instance::hash::instance_hash;
+use mmlp_serve::engine::{execute, CacheKey, Engine};
+use mmlp_serve::protocol::Op;
+use std::sync::Arc;
+
+fn bench_serve_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_cache");
+    group.sample_size(10);
+
+    let fams = catalog();
+    let fam = fams.iter().find(|f| f.name == "bandwidth").unwrap();
+
+    for &size in &[16usize, 64] {
+        let inst = fam.instance(size, 1);
+        let hash = instance_hash(&inst);
+
+        group.bench_with_input(BenchmarkId::new("cold_solve", size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(execute(Op::Solve, &inst, 3, 1).unwrap()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("warm_hit", size), &size, |b, _| {
+            let engine = Engine::new(64 << 20, 64 << 20);
+            let key = CacheKey::new(hash, Op::Solve, 3, 1);
+            engine.insert(key, Arc::new(execute(Op::Solve, &inst, 3, 1).unwrap()));
+            b.iter(|| {
+                let body = engine.cached(&key).expect("warm");
+                std::hint::black_box(body.len())
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_cache);
+criterion_main!(benches);

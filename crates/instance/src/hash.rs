@@ -1,0 +1,137 @@
+//! Stable content hashing for instances and derived artefacts.
+//!
+//! Everything that needs a *persistent* identity in this workspace —
+//! campaign job logs (`mmlp-lab`), the solver service's result cache
+//! and content-addressed instance store (`mmlp-serve`) — hashes with
+//! the same primitive: **FNV-1a, 64-bit**. Unlike `DefaultHasher` it is
+//! specified byte-for-byte, so hashes survive platform, process and
+//! Rust-version changes, which is exactly what resumable record logs
+//! and cross-process cache keys require.
+//!
+//! [`instance_hash`] is the single canonical instance identity: the
+//! FNV-1a hash of the instance's canonical [`textfmt`]
+//! serialisation. Two files that differ only in comments, blank lines
+//! or line endings therefore hash identically once parsed, while any
+//! structural difference — row order, port order, a single float bit —
+//! changes the hash.
+
+use crate::instance::Instance;
+use crate::textfmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, 64-bit.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a hasher, for hashing without materialising the
+/// full input (e.g. streaming a serialisation).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts from the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The canonical content hash of an instance: FNV-1a over its
+/// canonical text serialisation ([`textfmt::write_instance`]).
+pub fn instance_hash(inst: &Instance) -> u64 {
+    fnv1a64(textfmt::write_instance(inst).as_bytes())
+}
+
+/// Renders a content hash in the canonical 16-hex-digit form used in
+/// record logs and on the service wire protocol.
+pub fn hash_hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Inverse of [`hash_hex`]; rejects anything but exactly 16 hex digits.
+pub fn parse_hash_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn sample(coef: f64) -> Instance {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        b.add_constraint(&[(v0, coef), (v1, 1.0)]).unwrap();
+        b.add_objective(&[(v0, 1.0)]).unwrap();
+        b.add_objective(&[(v1, 1.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fnv_matches_the_published_test_vectors() {
+        // Standard FNV-1a 64-bit vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_hashing_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn instance_hash_is_content_based() {
+        assert_eq!(instance_hash(&sample(0.5)), instance_hash(&sample(0.5)));
+        assert_ne!(instance_hash(&sample(0.5)), instance_hash(&sample(0.25)));
+    }
+
+    #[test]
+    fn instance_hash_ignores_surface_syntax() {
+        // Re-parsing a noisy rendering (comments, CRLF) of the same
+        // instance must land on the same canonical hash.
+        let inst = sample(0.5);
+        let noisy = textfmt::write_instance(&inst).replace('\n', "  # c\r\n");
+        let back = textfmt::parse_instance(&noisy).unwrap();
+        assert_eq!(instance_hash(&inst), instance_hash(&back));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_junk() {
+        let h = fnv1a64(b"x");
+        assert_eq!(parse_hash_hex(&hash_hex(h)), Some(h));
+        assert_eq!(parse_hash_hex("abc"), None);
+        assert_eq!(parse_hash_hex("zzzzzzzzzzzzzzzz"), None);
+        assert_eq!(parse_hash_hex("00112233445566778"), None);
+    }
+}

@@ -34,11 +34,15 @@
 //! * [`validate`] — structural validation and the degeneracy report
 //!   corresponding to the standing assumptions of §4 of the paper.
 //! * [`textfmt`] — a small line-oriented serialisation format.
+//! * [`hash`] — stable FNV-1a content hashing and the canonical
+//!   [`instance_hash`] identity shared by the campaign log and the
+//!   solver service's content-addressed cache.
 //!
 //! Everything downstream (`mmlp-lp`, `mmlp-net`, `mmlp-core`, `mmlp-gen`)
 //! consumes these types.
 
 pub mod graph;
+pub mod hash;
 pub mod ids;
 pub mod instance;
 pub mod solution;
@@ -47,6 +51,7 @@ pub mod textfmt;
 pub mod validate;
 
 pub use graph::{Adj, CommGraph, Node, NodeKind};
+pub use hash::{fnv1a64, hash_hex, instance_hash, parse_hash_hex, Fnv1a};
 pub use ids::{AgentId, ConstraintId, ObjectiveId};
 pub use instance::{AgentConstraint, AgentObjective, Entry, Instance, InstanceBuilder};
 pub use solution::{FeasibilityReport, Solution};

@@ -56,7 +56,26 @@ pub fn write_instance(inst: &Instance) -> String {
 }
 
 /// Parses the text format back into an instance.
+///
+/// The parser is deliberately liberal about surface syntax so that
+/// files which crossed a Windows toolchain or an editor survive: `\r\n`
+/// and even lone-`\r` (classic Mac) line endings are accepted, and
+/// leading/trailing whitespace on any line — including trailing tabs
+/// after the last token — is ignored. None of this changes the
+/// canonical form: [`write_instance`] always emits bare `\n`, so
+/// content hashes (see `crate::hash`) are unaffected.
 pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
+    // `str::lines` already strips a trailing `\r` (CRLF files); a file
+    // using *lone* `\r` as its separator would otherwise arrive as one
+    // giant line, so normalise that rare shape up front.
+    let normalized;
+    let text = if text.contains('\r') && !text.contains('\n') {
+        normalized = text.replace('\r', "\n");
+        normalized.as_str()
+    } else {
+        text
+    };
+
     let mut builder: Option<InstanceBuilder> = None;
     let mut saw_header = false;
     let mut row: Vec<(AgentId, f64)> = Vec::new();
@@ -179,6 +198,32 @@ mod tests {
         assert_eq!(inst.n_agents(), 1);
         assert_eq!(inst.n_constraints(), 1);
         assert_eq!(inst.n_objectives(), 1);
+    }
+
+    #[test]
+    fn crlf_and_trailing_whitespace_are_tolerated() {
+        let inst = sample();
+        let canonical = write_instance(&inst);
+
+        // CRLF line endings, as a Windows checkout would produce.
+        let crlf = canonical.replace('\n', "\r\n");
+        let back = parse_instance(&crlf).unwrap();
+        assert_eq!(write_instance(&back), canonical);
+
+        // Lone-CR (classic Mac) line endings.
+        let cr = canonical.replace('\n', "\r");
+        let back = parse_instance(&cr).unwrap();
+        assert_eq!(write_instance(&back), canonical);
+
+        // Trailing spaces and tabs on every line.
+        let padded = canonical.replace('\n', " \t \n");
+        let back = parse_instance(&padded).unwrap();
+        assert_eq!(write_instance(&back), canonical);
+
+        // All of it at once, plus trailing comments.
+        let noisy = canonical.replace('\n', "\t # noise\r\n");
+        let back = parse_instance(&noisy).unwrap();
+        assert_eq!(write_instance(&back), canonical);
     }
 
     #[test]

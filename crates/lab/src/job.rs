@@ -8,6 +8,10 @@
 //! record log.
 
 use crate::spec::CampaignSpec;
+// The workspace-wide stable hash primitive lives in `mmlp-instance`
+// (`mmlp_instance::hash`); re-exported here because job ids predate the
+// extraction and downstream code links it via this path.
+pub use mmlp_instance::hash::fnv1a64;
 
 /// The solver variants a campaign can sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -98,17 +102,6 @@ impl Job {
     pub fn id(&self) -> String {
         format!("{:016x}", fnv1a64(self.canonical_key().as_bytes()))
     }
-}
-
-/// FNV-1a, 64-bit. Stable across platforms and Rust versions (unlike
-/// `DefaultHasher`), which is what resumability needs.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Expands a spec into its job list, in deterministic grid order.

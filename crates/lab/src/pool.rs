@@ -16,11 +16,21 @@
 //! completion order, so the campaign layer can append each record to
 //! the log the moment it exists — which is what makes a killed run
 //! resumable.
+//!
+//! Two consumption shapes share the same execution core
+//! ([`run_isolated`]):
+//!
+//! * [`run_pool`] — **batch**: a fixed item list, drained to completion
+//!   (campaigns).
+//! * [`TaskPool`] — **service**: a persistent pool behind a *bounded*
+//!   submission queue with explicit [`SubmitError::Busy`] backpressure
+//!   and graceful drain-on-shutdown (the `mmlp-serve` request path).
 
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Scheduler configuration.
@@ -109,19 +119,34 @@ where
     T: Send + 'static,
     F: Fn(I) -> T + Send + Sync + 'static,
 {
+    let f = Arc::clone(f);
+    run_isolated(move || f(item), timeout)
+}
+
+/// Runs one closure with panic isolation and an optional timeout —
+/// the execution core shared by [`run_pool`] and [`TaskPool`].
+///
+/// Without a timeout the closure runs inline under `catch_unwind`. With
+/// one, it runs on a dedicated thread and the caller waits at most `d`;
+/// on timeout the thread is abandoned (it cannot be killed safely) and
+/// [`Outcome::TimedOut`] is returned immediately.
+pub fn run_isolated<T, F>(f: F, timeout: Option<Duration>) -> Outcome<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
     match timeout {
-        None => match std::panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+        None => match std::panic::catch_unwind(AssertUnwindSafe(f)) {
             Ok(v) => Outcome::Done(v),
             Err(payload) => Outcome::Panicked(panic_message(payload)),
         },
         Some(d) => {
             let (jtx, jrx) = mpsc::channel();
-            let f = Arc::clone(f);
             std::thread::spawn(move || {
                 // A panic here drops `jtx`, which the waiter observes as
                 // a disconnect; distinguishing it from a clean exit is
                 // done by sending the value on success only.
-                let v = match std::panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                let v = match std::panic::catch_unwind(AssertUnwindSafe(f)) {
                     Ok(v) => v,
                     Err(payload) => {
                         let _ = jtx.send(Err(panic_message(payload)));
@@ -137,6 +162,183 @@ where
                 Err(RecvTimeoutError::Disconnected) => Outcome::Panicked("job thread died".into()),
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TaskPool: a persistent bounded-queue worker pool for request serving.
+// ---------------------------------------------------------------------------
+
+/// Configuration for a [`TaskPool`].
+#[derive(Clone, Copy, Debug)]
+pub struct TaskPoolConfig {
+    /// Worker-thread count (clamped to ≥ 1).
+    pub workers: usize,
+    /// Maximum number of *queued* (not yet running) tasks before
+    /// [`TaskPool::submit`] reports [`SubmitError::Busy`] (clamped to
+    /// ≥ 1). This is the backpressure bound: the pool never buffers
+    /// more than `queue_cap` tasks, so a traffic spike surfaces as
+    /// explicit `Busy` replies instead of unbounded memory growth.
+    pub queue_cap: usize,
+    /// Per-task timeout; `None` runs tasks inline on the worker.
+    pub timeout: Option<Duration>,
+}
+
+/// Why a submission was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry later.
+    Busy,
+    /// The pool is shutting down and accepts no new work.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy => write!(f, "queue full"),
+            SubmitError::Closed => write!(f, "pool closed"),
+        }
+    }
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Task>,
+    open: bool,
+    in_flight: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// A persistent worker pool with a bounded submission queue.
+///
+/// Tasks are arbitrary closures; each runs with the pool's panic
+/// isolation and optional timeout (see [`run_isolated`]) and delivers
+/// its [`Outcome`] through the [`TaskTicket`] returned at submission.
+/// Dropping the pool — or calling [`TaskPool::shutdown`] — closes the
+/// queue, *drains* every already-accepted task, and joins the workers,
+/// so accepted work is never silently discarded.
+pub struct TaskPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    timeout: Option<Duration>,
+    queue_cap: usize,
+}
+
+/// The caller's handle to one submitted task.
+pub struct TaskTicket<T> {
+    rx: mpsc::Receiver<Outcome<T>>,
+}
+
+impl<T> TaskTicket<T> {
+    /// Blocks until the task's outcome is available.
+    pub fn wait(self) -> Outcome<T> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Outcome::Panicked("task dropped by pool".into()))
+    }
+}
+
+impl TaskPool {
+    /// Spawns the worker threads and returns the pool.
+    pub fn new(cfg: TaskPoolConfig) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                open: true,
+                in_flight: 0,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = cfg.workers.max(1);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || loop {
+                let task = {
+                    let mut st = shared.state.lock().expect("pool lock");
+                    loop {
+                        if let Some(t) = st.queue.pop_front() {
+                            st.in_flight += 1;
+                            break t;
+                        }
+                        if !st.open {
+                            return;
+                        }
+                        st = shared.work_ready.wait(st).expect("pool lock");
+                    }
+                };
+                task();
+                shared.state.lock().expect("pool lock").in_flight -= 1;
+            }));
+        }
+        TaskPool {
+            shared,
+            handles,
+            timeout: cfg.timeout,
+            queue_cap: cfg.queue_cap.max(1),
+        }
+    }
+
+    /// Submits one task. Returns a ticket to wait on, or an error when
+    /// the queue is full ([`SubmitError::Busy`]) or the pool is closed.
+    pub fn submit<T, F>(&self, f: F) -> Result<TaskTicket<T>, SubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let timeout = self.timeout;
+        let task: Task = Box::new(move || {
+            let _ = tx.send(run_isolated(f, timeout));
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            if !st.open {
+                return Err(SubmitError::Closed);
+            }
+            if st.queue.len() >= self.queue_cap {
+                return Err(SubmitError::Busy);
+            }
+            st.queue.push_back(task);
+        }
+        self.shared.work_ready.notify_one();
+        Ok(TaskTicket { rx })
+    }
+
+    /// Number of tasks accepted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").queue.len()
+    }
+
+    /// Number of tasks currently executing on a worker.
+    pub fn in_flight(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").in_flight
+    }
+
+    /// Closes the queue, drains every accepted task, and joins the
+    /// workers. Equivalent to dropping the pool, but explicit.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.state.lock().expect("pool lock").open = false;
+        self.shared.work_ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.close_and_join();
     }
 }
 
@@ -262,5 +464,99 @@ mod tests {
         let out = collect((0..20).collect(), &cfg, |x| x);
         let order: Vec<usize> = out.iter().map(|(i, _)| *i).collect();
         assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    // -- TaskPool ----------------------------------------------------------
+
+    #[test]
+    fn task_pool_runs_submitted_tasks() {
+        let pool = TaskPool::new(TaskPoolConfig {
+            workers: 4,
+            queue_cap: 64,
+            timeout: None,
+        });
+        let tickets: Vec<_> = (0..32u64)
+            .map(|x| pool.submit(move || x * 3).unwrap())
+            .collect();
+        for (x, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), Outcome::Done(x as u64 * 3));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn task_pool_reports_busy_at_queue_capacity() {
+        let pool = TaskPool::new(TaskPoolConfig {
+            workers: 1,
+            queue_cap: 1,
+            timeout: None,
+        });
+        // Occupy the single worker, deterministically.
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let running = pool
+            .submit(move || {
+                block_rx.recv().ok();
+                1u32
+            })
+            .unwrap();
+        while pool.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        // One task fits in the queue; the next must bounce.
+        let queued = pool.submit(|| 2u32).unwrap();
+        let bounced = pool.submit(|| 3u32);
+        assert!(matches!(bounced, Err(SubmitError::Busy)));
+        assert_eq!(pool.queue_depth(), 1);
+
+        block_tx.send(()).unwrap();
+        assert_eq!(running.wait(), Outcome::Done(1));
+        assert_eq!(queued.wait(), Outcome::Done(2));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn task_pool_shutdown_drains_accepted_work() {
+        let pool = TaskPool::new(TaskPoolConfig {
+            workers: 2,
+            queue_cap: 64,
+            timeout: None,
+        });
+        let tickets: Vec<_> = (0..16u64)
+            .map(|x| {
+                pool.submit(move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    x
+                })
+                .unwrap()
+            })
+            .collect();
+        pool.shutdown(); // must block until every accepted task ran
+        for (x, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), Outcome::Done(x as u64));
+        }
+    }
+
+    #[test]
+    fn task_pool_isolates_panics_and_timeouts() {
+        let pool = TaskPool::new(TaskPoolConfig {
+            workers: 2,
+            queue_cap: 8,
+            timeout: Some(Duration::from_millis(40)),
+        });
+        let boom = pool.submit(|| -> u32 { panic!("kaboom") }).unwrap();
+        let slow = pool
+            .submit(|| {
+                std::thread::sleep(Duration::from_secs(10));
+                7u32
+            })
+            .unwrap();
+        let fine = pool.submit(|| 9u32).unwrap();
+        match boom.wait() {
+            Outcome::Panicked(msg) => assert!(msg.contains("kaboom"), "{msg}"),
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+        assert_eq!(slow.wait(), Outcome::TimedOut);
+        assert_eq!(fine.wait(), Outcome::Done(9));
+        pool.shutdown();
     }
 }

@@ -1,0 +1,272 @@
+//! A byte-budgeted LRU map, used twice by the server:
+//!
+//! * the **result cache** — `(instance-hash, op, R, threads)` → reply
+//!   body, budgeted by `--cache-mb`;
+//! * the **instance store** — content hash → parsed
+//!   [`Instance`](mmlp_instance::Instance), budgeted by serialised
+//!   size.
+//!
+//! Entries carry an explicit `cost`; inserting past the budget evicts
+//! from the least-recently-used end until the new entry fits. The
+//! recency list is an index-linked doubly-linked list over a slab, so
+//! `get`/`insert`/eviction are all O(1) (amortised, modulo the hash
+//! map) — no scan, no allocation churn on hits.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    cost: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// The byte-budgeted LRU map.
+pub struct Lru<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Option<Slot<K, V>>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    budget: u64,
+    used: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// An empty cache with the given total cost budget.
+    pub fn new(budget: u64) -> Self {
+        Lru {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            budget,
+            used: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Sum of the costs of live entries.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured cost budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Total number of entries evicted to make room so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let s = self.slots[idx].as_ref().expect("live slot");
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev].as_mut().expect("live slot").next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].as_mut().expect("live slot").prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        {
+            let s = self.slots[idx].as_mut().expect("live slot");
+            s.prev = NIL;
+            s.next = self.head;
+        }
+        if self.head != NIL {
+            self.slots[self.head].as_mut().expect("live slot").prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(&self.slots[idx].as_ref().expect("live slot").value)
+    }
+
+    /// Whether `key` is present, *without* touching recency.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key → value` with the given cost, evicting LRU entries
+    /// until it fits. An entry whose cost alone exceeds the whole
+    /// budget is refused (returns `false`) — the cache stays bounded no
+    /// matter what is thrown at it. Re-inserting an existing key
+    /// replaces its value and cost.
+    pub fn insert(&mut self, key: K, value: V, cost: u64) -> bool {
+        if cost > self.budget {
+            return false;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            let old = self.slots[idx].take().expect("live slot");
+            self.used -= old.cost;
+            self.free.push(idx);
+            self.map.remove(&key);
+        }
+        while self.used + cost > self.budget {
+            self.evict_one();
+        }
+        let slot = Slot {
+            key: key.clone(),
+            value,
+            cost,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        self.used += cost;
+        true
+    }
+
+    fn evict_one(&mut self) {
+        let idx = self.tail;
+        debug_assert_ne!(idx, NIL, "evict called on an empty cache");
+        self.unlink(idx);
+        let slot = self.slots[idx].take().expect("live slot");
+        self.map.remove(&slot.key);
+        self.used -= slot.cost;
+        self.free.push(idx);
+        self.evictions += 1;
+    }
+
+    /// Drops every entry (budget unchanged).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let mut c: Lru<u32, &'static str> = Lru::new(100);
+        assert!(c.insert(1, "one", 10));
+        assert!(c.insert(2, "two", 10));
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.used(), 20);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c: Lru<u32, u32> = Lru::new(30);
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        c.insert(3, 3, 10);
+        // Touch 1 so 2 becomes the LRU, then overflow.
+        assert!(c.get(&1).is_some());
+        c.insert(4, 4, 10);
+        assert!(c.contains(&1) && c.contains(&3) && c.contains(&4));
+        assert!(!c.contains(&2), "2 was least recently used");
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn one_insert_can_evict_many() {
+        let mut c: Lru<u32, u32> = Lru::new(30);
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        c.insert(3, 3, 10);
+        c.insert(9, 9, 25);
+        assert_eq!(c.len(), 1, "all three small entries had to go");
+        assert!(c.contains(&9));
+        assert_eq!(c.used(), 25);
+        assert_eq!(c.evictions(), 3);
+    }
+
+    #[test]
+    fn oversized_entries_are_refused() {
+        let mut c: Lru<u32, u32> = Lru::new(10);
+        assert!(!c.insert(1, 1, 11));
+        assert!(c.is_empty());
+        assert!(c.insert(2, 2, 10));
+    }
+
+    #[test]
+    fn reinsert_replaces_value_and_cost() {
+        let mut c: Lru<u32, &'static str> = Lru::new(20);
+        c.insert(1, "a", 10);
+        c.insert(1, "b", 15);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 15);
+        assert_eq!(c.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn slab_slots_are_reused_after_eviction() {
+        let mut c: Lru<u32, u32> = Lru::new(20);
+        for i in 0..1000 {
+            c.insert(i, i, 10);
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.slots.len() <= 3, "slab must recycle, not grow");
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c: Lru<u32, u32> = Lru::new(50);
+        for i in 0..5 {
+            c.insert(i, i, 10);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+        assert!(c.insert(1, 1, 50));
+    }
+}

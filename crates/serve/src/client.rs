@@ -1,0 +1,184 @@
+//! A small blocking client for the wire protocol, used by the load
+//! generator, the e2e suite and anyone scripting against the server.
+
+use crate::protocol::{ErrorCode, Op};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One framed server reply, as seen by a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientReply {
+    /// `OK` with the body.
+    Ok(String),
+    /// `ERR` with code and message.
+    Err(ErrorCode, String),
+}
+
+impl ClientReply {
+    /// The body of an `OK` reply, or an error string.
+    pub fn into_ok(self) -> Result<String, String> {
+        match self {
+            ClientReply::Ok(body) => Ok(body),
+            ClientReply::Err(code, msg) => Err(format!("{}: {msg}", code.as_str())),
+        }
+    }
+
+    /// Whether this is an `OK` reply.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ClientReply::Ok(_))
+    }
+}
+
+/// A persistent connection to the server (requests are pipelined one
+/// at a time: write command, read reply).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7979`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one command line (and optional body), reads one reply.
+    pub fn request(&mut self, line: &str, body: Option<&[u8]>) -> std::io::Result<ClientReply> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        if let Some(b) = body {
+            self.writer.write_all(b)?;
+        }
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> std::io::Result<ClientReply> {
+        let mut header = String::new();
+        let n = self.reader.read_line(&mut header)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let header = header.trim_end();
+        if let Some(rest) = header.strip_prefix("OK ") {
+            let nbytes: usize = rest.trim().parse().map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad OK length in '{header}'"),
+                )
+            })?;
+            let mut body = vec![0u8; nbytes];
+            self.reader.read_exact(&mut body)?;
+            let body = String::from_utf8(body).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body")
+            })?;
+            Ok(ClientReply::Ok(body))
+        } else if let Some(rest) = header.strip_prefix("ERR ") {
+            let (code, msg) = rest.split_once(' ').unwrap_or((rest, ""));
+            let code = ErrorCode::from_token(code).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unknown error code in '{header}'"),
+                )
+            })?;
+            Ok(ClientReply::Err(code, msg.to_string()))
+        } else {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable reply header '{header}'"),
+            ))
+        }
+    }
+
+    /// `PUT`s instance text; returns the server-assigned content hash
+    /// (16 hex digits).
+    pub fn put(&mut self, instance_text: &str) -> std::io::Result<Result<String, String>> {
+        let reply = self.request(
+            &format!("PUT {}", instance_text.len()),
+            Some(instance_text.as_bytes()),
+        )?;
+        Ok(reply.into_ok().map(|body| {
+            body.trim()
+                .strip_prefix("hash ")
+                .unwrap_or(body.trim())
+                .to_string()
+        }))
+    }
+
+    /// Runs `op` against a previously `PUT` instance.
+    pub fn run_hash(
+        &mut self,
+        op: Op,
+        hash: &str,
+        big_r: usize,
+        threads: usize,
+    ) -> std::io::Result<ClientReply> {
+        self.request(&run_line(op, &format!("hash:{hash}"), big_r, threads), None)
+    }
+
+    /// Runs `op` with the instance text sent inline.
+    pub fn run_inline(
+        &mut self,
+        op: Op,
+        instance_text: &str,
+        big_r: usize,
+        threads: usize,
+    ) -> std::io::Result<ClientReply> {
+        let src = format!("inline:{}", instance_text.len());
+        self.request(
+            &run_line(op, &src, big_r, threads),
+            Some(instance_text.as_bytes()),
+        )
+    }
+
+    /// Fetches `STATS` parsed into `(key, value)` pairs.
+    pub fn stats(&mut self) -> std::io::Result<Vec<(String, u64)>> {
+        let reply = self.request("STATS", None)?;
+        let body = reply
+            .into_ok()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(body
+            .lines()
+            .filter_map(|l| {
+                let (k, v) = l.split_once(' ')?;
+                Some((k.to_string(), v.trim().parse().ok()?))
+            })
+            .collect())
+    }
+
+    /// Sends `SHUTDOWN`; the server drains and exits.
+    pub fn shutdown(&mut self) -> std::io::Result<ClientReply> {
+        self.request("SHUTDOWN", None)
+    }
+}
+
+fn run_line(op: Op, src: &str, big_r: usize, threads: usize) -> String {
+    let verb = match op {
+        Op::Solve => "SOLVE",
+        Op::Optimum => "OPTIMUM",
+        Op::Safe => "SAFE",
+        Op::Info => "INFO",
+    };
+    match op {
+        Op::Solve => format!("{verb} {src} R={big_r} THREADS={threads}"),
+        _ => format!("{verb} {src}"),
+    }
+}
+
+/// Convenience: one `STATS` value by key.
+pub fn stat(stats: &[(String, u64)], key: &str) -> u64 {
+    stats
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("missing stat '{key}' in {stats:?}"))
+}

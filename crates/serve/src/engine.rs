@@ -1,0 +1,284 @@
+//! The sockets-free core of the service: resolve an instance source,
+//! execute a solver op, and cache the reply body under its
+//! content-addressed key.
+//!
+//! Splitting this from the TCP layer keeps the whole hot path — cache
+//! probe, solve, insert — directly benchmarkable (see the `serve_cache`
+//! criterion bench) and unit-testable without a listener.
+//!
+//! **Cache correctness.** Every solver in this workspace is
+//! deterministic for a fixed `(instance, R, threads)` — the local
+//! algorithm is a constant-radius per-node computation, the simplex is
+//! sequential, and the parallel bound computation is bit-identical by
+//! construction (`tree_bound::all_parallel`). Reply bodies render
+//! floats with Rust's shortest-round-trip formatting, so a cache hit is
+//! **bit-identical** to the cold solve it replaces; the e2e suite
+//! asserts exactly that over real sockets.
+
+use crate::cache::Lru;
+use crate::protocol::{ErrorCode, Op};
+use mmlp_core::safe::safe_solution;
+use mmlp_core::solver::LocalSolver;
+use mmlp_instance::hash::{hash_hex, instance_hash};
+use mmlp_instance::{textfmt, DegreeStats, Instance};
+use mmlp_lp::solve_maxmin;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// The result-cache key: everything that determines a reply body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical instance content hash.
+    pub instance: u64,
+    /// The operation.
+    pub op: Op,
+    /// Locality parameter (0 for R-insensitive ops).
+    pub big_r: usize,
+    /// Solver thread count (results are bit-identical across thread
+    /// counts, but the key keeps the service honest rather than
+    /// assuming it).
+    pub threads: usize,
+}
+
+impl CacheKey {
+    /// Builds the key, normalising R away for ops that ignore it so
+    /// equivalent requests share one entry.
+    pub fn new(instance: u64, op: Op, big_r: usize, threads: usize) -> Self {
+        let (big_r, threads) = match op {
+            Op::Solve => (big_r, threads),
+            // OPTIMUM/SAFE/INFO ignore both parameters.
+            _ => (0, 1),
+        };
+        CacheKey {
+            instance,
+            op,
+            big_r,
+            threads,
+        }
+    }
+}
+
+/// A request failure, mapped onto a wire error code.
+pub type EngineError = (ErrorCode, String);
+
+/// The cache + store pair behind the server (and the bench).
+pub struct Engine {
+    results: Mutex<Lru<CacheKey, Arc<String>>>,
+    store: Mutex<Lru<u64, Arc<Instance>>>,
+}
+
+impl Engine {
+    /// Creates an engine with the given result-cache and instance-store
+    /// budgets, both in bytes.
+    pub fn new(cache_bytes: u64, store_bytes: u64) -> Self {
+        Engine {
+            results: Mutex::new(Lru::new(cache_bytes)),
+            store: Mutex::new(Lru::new(store_bytes)),
+        }
+    }
+
+    /// Parses and stores an instance; returns its canonical content
+    /// hash. Semantically identical uploads (modulo comments,
+    /// whitespace, line endings) dedupe onto one entry.
+    pub fn put(&self, text: &str) -> Result<u64, EngineError> {
+        let inst = textfmt::parse_instance(text)
+            .map_err(|e| (ErrorCode::BadReq, format!("parse: {e}")))?;
+        let canonical = textfmt::write_instance(&inst);
+        let h = mmlp_instance::hash::fnv1a64(canonical.as_bytes());
+        let cost = canonical.len() as u64;
+        let mut store = self.store.lock().expect("store lock");
+        if store.get(&h).is_none() && !store.insert(h, Arc::new(inst), cost) {
+            return Err((
+                ErrorCode::BadReq,
+                format!("instance ({cost} bytes) exceeds the store budget"),
+            ));
+        }
+        Ok(h)
+    }
+
+    /// Fetches a previously stored instance by content hash.
+    pub fn fetch(&self, hash: u64) -> Result<Arc<Instance>, EngineError> {
+        self.store
+            .lock()
+            .expect("store lock")
+            .get(&hash)
+            .cloned()
+            .ok_or_else(|| {
+                (
+                    ErrorCode::NotFound,
+                    format!("no instance {} (PUT it first)", hash_hex(hash)),
+                )
+            })
+    }
+
+    /// Probes the result cache.
+    pub fn cached(&self, key: &CacheKey) -> Option<Arc<String>> {
+        self.results.lock().expect("cache lock").get(key).cloned()
+    }
+
+    /// Inserts a computed reply body.
+    pub fn insert(&self, key: CacheKey, body: Arc<String>) {
+        let cost = body.len() as u64;
+        self.results
+            .lock()
+            .expect("cache lock")
+            .insert(key, body, cost);
+    }
+
+    /// `(entries, used bytes, evictions)` of the result cache.
+    pub fn cache_stats(&self) -> (usize, u64, u64) {
+        let c = self.results.lock().expect("cache lock");
+        (c.len(), c.used(), c.evictions())
+    }
+
+    /// `(entries, used bytes)` of the instance store.
+    pub fn store_stats(&self) -> (usize, u64) {
+        let s = self.store.lock().expect("store lock");
+        (s.len(), s.used())
+    }
+}
+
+/// Executes one solver op against an instance and renders the reply
+/// body. Pure compute: no cache, no locks — this is what the server
+/// submits to the worker pool, and what the bench calls "cold".
+/// `Err` is a one-line reason (e.g. an unbounded instance under
+/// `OPTIMUM`), mapped to `ERR INTERNAL` on the wire and never cached.
+pub fn execute(op: Op, inst: &Instance, big_r: usize, threads: usize) -> Result<String, String> {
+    let mut out = String::new();
+    match op {
+        Op::Solve => {
+            let stats = DegreeStats::of(inst);
+            let solver = LocalSolver::new(big_r.max(2)).with_threads(threads.max(1));
+            let run = solver.solve(inst);
+            let utility = run.solution.utility(inst);
+            let _ = writeln!(out, "utility {utility}");
+            let _ = writeln!(
+                out,
+                "guarantee {}",
+                solver.guarantee(stats.delta_i.max(2), stats.delta_k.max(2))
+            );
+            let _ = writeln!(out, "optimum_upper_bound {}", run.optimum_upper_bound());
+            for v in inst.agents() {
+                let _ = writeln!(out, "x {} {}", v.raw(), run.solution.value(v));
+            }
+        }
+        Op::Optimum => {
+            let opt = solve_maxmin(inst).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "optimum {}", opt.omega);
+            for v in inst.agents() {
+                let _ = writeln!(out, "x {} {}", v.raw(), opt.solution.value(v));
+            }
+        }
+        Op::Safe => {
+            let x = safe_solution(inst);
+            let _ = writeln!(out, "utility {}", x.utility(inst));
+            for v in inst.agents() {
+                let _ = writeln!(out, "x {} {}", v.raw(), x.value(v));
+            }
+        }
+        Op::Info => {
+            let s = DegreeStats::of(inst);
+            let _ = writeln!(out, "agents {}", inst.n_agents());
+            let _ = writeln!(out, "constraints {}", inst.n_constraints());
+            let _ = writeln!(out, "objectives {}", inst.n_objectives());
+            let _ = writeln!(out, "delta_i {}", s.delta_i);
+            let _ = writeln!(out, "delta_k {}", s.delta_k);
+            let (di, dk) = (s.delta_i.max(2), s.delta_k.max(2));
+            let _ = writeln!(out, "paper_bound {}", mmlp_core::ratio::threshold(di, dk));
+            let _ = writeln!(out, "hash {}", hash_hex(instance_hash(inst)));
+            match mmlp_instance::validate::check(inst) {
+                Ok(()) => {
+                    let _ = writeln!(out, "valid true");
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "valid false  # {e}");
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlp_gen::catalog;
+
+    fn inst() -> Instance {
+        catalog()
+            .iter()
+            .find(|f| f.name == "bandwidth")
+            .unwrap()
+            .instance(16, 1)
+    }
+
+    #[test]
+    fn put_then_fetch_round_trips_by_content_hash() {
+        let e = Engine::new(1 << 20, 1 << 20);
+        let text = textfmt::write_instance(&inst());
+        let h = e.put(&text).unwrap();
+        assert_eq!(h, instance_hash(&inst()));
+        let got = e.fetch(h).unwrap();
+        assert_eq!(textfmt::write_instance(&got), text);
+
+        // A noisy but equivalent upload dedupes to the same hash.
+        let noisy = text.replace('\n', "  # c\r\n");
+        assert_eq!(e.put(&noisy).unwrap(), h);
+        assert_eq!(e.store_stats().0, 1);
+    }
+
+    #[test]
+    fn fetch_of_unknown_hash_is_notfound() {
+        let e = Engine::new(1024, 1024);
+        let err = e.fetch(0xdead_beef).unwrap_err();
+        assert_eq!(err.0, ErrorCode::NotFound);
+    }
+
+    #[test]
+    fn put_rejects_garbage_and_oversize() {
+        let e = Engine::new(1024, 64);
+        assert_eq!(e.put("not an instance").unwrap_err().0, ErrorCode::BadReq);
+        let text = textfmt::write_instance(&inst());
+        assert!(text.len() > 64);
+        assert_eq!(e.put(&text).unwrap_err().0, ErrorCode::BadReq);
+    }
+
+    #[test]
+    fn execute_is_deterministic_per_op() {
+        let i = inst();
+        for op in [Op::Solve, Op::Optimum, Op::Safe, Op::Info] {
+            let a = execute(op, &i, 3, 1).unwrap();
+            let b = execute(op, &i, 3, 1).unwrap();
+            assert_eq!(a, b, "{op:?} must be deterministic");
+            assert!(!a.is_empty());
+        }
+        // Thread count must not change the solve body (bit-identity).
+        assert_eq!(
+            execute(Op::Solve, &i, 3, 1).unwrap(),
+            execute(Op::Solve, &i, 3, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_key_normalises_r_for_insensitive_ops() {
+        let k1 = CacheKey::new(7, Op::Optimum, 3, 4);
+        let k2 = CacheKey::new(7, Op::Optimum, 9, 1);
+        assert_eq!(k1, k2);
+        let s1 = CacheKey::new(7, Op::Solve, 3, 1);
+        let s2 = CacheKey::new(7, Op::Solve, 4, 1);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn cached_bodies_come_back_bit_identical() {
+        let e = Engine::new(1 << 20, 1 << 20);
+        let i = inst();
+        let key = CacheKey::new(instance_hash(&i), Op::Solve, 3, 1);
+        assert!(e.cached(&key).is_none());
+        let cold = Arc::new(execute(Op::Solve, &i, 3, 1).unwrap());
+        e.insert(key, Arc::clone(&cold));
+        let warm = e.cached(&key).expect("hit");
+        assert_eq!(warm.as_bytes(), cold.as_bytes());
+        assert_eq!(e.cache_stats().0, 1);
+    }
+}

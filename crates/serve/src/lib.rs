@@ -1,0 +1,80 @@
+//! # `mmlp-serve` — the concurrent solver service
+//!
+//! The ROADMAP's north star is a system that serves heavy traffic, not
+//! a one-shot CLI. This crate turns the workspace's solvers into a
+//! **long-running multi-threaded TCP service** with a small
+//! line-oriented protocol (`specs/PROTOCOL.md`) and a built-in load
+//! generator.
+//!
+//! Why this is a natural fit for *this* paper: the local algorithm of
+//! Floréen–Kaasinen–Kaski–Suomela is a deterministic constant-radius
+//! computation, so for a fixed `(instance, R)` every solve is
+//! bit-identical — which makes results **perfectly cacheable**. The
+//! service exploits that with a content-addressed design:
+//!
+//! * [`protocol`] — the wire format: `PUT` / `SOLVE` / `OPTIMUM` /
+//!   `SAFE` / `INFO` / `STATS` / `SHUTDOWN` (plus `PING` and the
+//!   `SLEEP` diagnostic), length-prefixed bodies, typed error codes.
+//! * [`cache`] — a byte-budgeted O(1) LRU used for both the result
+//!   cache (keyed by `(instance-hash, op, R, threads)`) and the
+//!   content-addressed instance store fed by `PUT`.
+//! * [`engine`] — the sockets-free core: resolve source → probe cache
+//!   → execute solver → insert; directly benchmarked by `serve_cache`.
+//! * [`server`] — accept loop, per-connection threads, dispatch onto a
+//!   bounded `mmlp_lab::pool::TaskPool` (full queue ⇒ `ERR BUSY`
+//!   backpressure, never unbounded growth), per-request timeouts with
+//!   panic isolation, and graceful drain on `SHUTDOWN`.
+//! * [`stats`] — lock-free counters plus an HDR-style latency
+//!   histogram behind the `STATS` endpoint (p50/p95/p99).
+//! * [`client`] — a small blocking protocol client.
+//! * [`loadgen`] — a closed-loop multi-client load generator
+//!   (`maxmin-lp loadgen`) printing a latency histogram and verifying
+//!   that all replies for one request shape are byte-identical.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mmlp_serve::prelude::*;
+//! use mmlp_instance::textfmt;
+//!
+//! // Bind on an ephemeral port and serve in the background.
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     workers: 2,
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! let addr = server.local_addr().to_string();
+//! let handle = std::thread::spawn(move || server.run().unwrap());
+//!
+//! // Upload an instance by content, then solve it by hash — twice.
+//! // The second reply is a cache hit, bit-identical to the first.
+//! let inst = mmlp_gen::catalog()[0].instance(8, 0);
+//! let mut c = Client::connect(&addr).unwrap();
+//! let hash = c.put(&textfmt::write_instance(&inst)).unwrap().unwrap();
+//! let cold = c.run_hash(Op::Solve, &hash, 3, 1).unwrap().into_ok().unwrap();
+//! let warm = c.run_hash(Op::Solve, &hash, 3, 1).unwrap().into_ok().unwrap();
+//! assert_eq!(cold, warm);
+//!
+//! c.shutdown().unwrap();
+//! let summary = handle.join().unwrap();
+//! assert!(summary.cache_hits >= 1);
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+/// One-stop imports for the CLI, tests and downstream users.
+pub mod prelude {
+    pub use crate::client::{Client, ClientReply};
+    pub use crate::engine::{execute, CacheKey, Engine};
+    pub use crate::loadgen::{render_report, run_loadgen, LoadConfig, LoadReport};
+    pub use crate::protocol::{Command, ErrorCode, Op, Reply};
+    pub use crate::server::{ServeConfig, Server, ServerSummary};
+    pub use crate::stats::Histogram;
+}

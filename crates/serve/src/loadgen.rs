@@ -1,0 +1,270 @@
+//! A closed-loop load generator driving a running server over real
+//! sockets: `--clients` persistent connections, each issuing its share
+//! of `--requests` back-to-back, with per-request latency recorded
+//! into a merged [`Histogram`].
+//!
+//! Closed-loop means each client waits for its reply before sending
+//! the next request, so offered load adapts to server throughput — the
+//! standard shape for latency benchmarking without coordinated
+//! omission on saturated servers.
+//!
+//! The generator also doubles as a correctness probe: every `OK` body
+//! for the same `(op, R)` must be byte-identical (cache hits included),
+//! so a cache-corruption bug shows up as `distinct_bodies > 1` rather
+//! than silently skewing an experiment.
+
+use crate::client::{Client, ClientReply};
+use crate::protocol::{ErrorCode, Op};
+use crate::stats::Histogram;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Operation to issue.
+    pub op: Op,
+    /// Locality parameter for `SOLVE`.
+    pub big_r: usize,
+    /// `true`: `PUT` once per client, then request by hash (the cache
+    /// amortisation path). `false`: ship the instance inline each time.
+    pub by_hash: bool,
+    /// The instance text to drive with.
+    pub instance_text: String,
+    /// Send `SHUTDOWN` after the run (CI smoke uses this).
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7979".into(),
+            clients: 4,
+            requests: 200,
+            op: Op::Solve,
+            big_r: 3,
+            by_hash: true,
+            instance_text: String::new(),
+            shutdown_after: false,
+        }
+    }
+}
+
+/// Aggregated result of one load run.
+pub struct LoadReport {
+    /// Requests attempted.
+    pub sent: u64,
+    /// `OK` replies.
+    pub ok: u64,
+    /// `BUSY` rejections (retried up to a small bound, then counted).
+    pub busy: u64,
+    /// Any other `ERR` reply or transport failure.
+    pub errors: u64,
+    /// Distinct `OK` body contents observed (must be 1 for a
+    /// deterministic op against one instance).
+    pub distinct_bodies: usize,
+    /// Merged per-request latency histogram.
+    pub histogram: Histogram,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// First error message seen, for diagnostics.
+    pub first_error: Option<String>,
+}
+
+impl LoadReport {
+    /// Closed-loop throughput in requests per second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.ok as f64 / self.wall.as_secs_f64()
+    }
+}
+
+struct ClientTally {
+    histogram: Histogram,
+    ok: u64,
+    busy: u64,
+    errors: u64,
+    sent: u64,
+    bodies: BTreeSet<u64>,
+    first_error: Option<String>,
+}
+
+/// How many times a `BUSY` reply is retried (with backoff) before the
+/// request is abandoned and counted under `busy`.
+const BUSY_RETRIES: usize = 20;
+
+fn drive_one(
+    client: &mut Client,
+    cfg: &LoadConfig,
+    hash: Option<&str>,
+) -> std::io::Result<ClientReply> {
+    for attempt in 0..=BUSY_RETRIES {
+        let reply = match hash {
+            Some(h) => client.run_hash(cfg.op, h, cfg.big_r, 1)?,
+            None => client.run_inline(cfg.op, &cfg.instance_text, cfg.big_r, 1)?,
+        };
+        match &reply {
+            ClientReply::Err(ErrorCode::Busy, _) if attempt < BUSY_RETRIES => {
+                std::thread::sleep(Duration::from_millis(2 << attempt.min(5)));
+            }
+            _ => return Ok(reply),
+        }
+    }
+    unreachable!("loop returns on the last attempt")
+}
+
+fn client_loop(cfg: &LoadConfig, n_requests: usize) -> ClientTally {
+    let mut tally = ClientTally {
+        histogram: Histogram::new(),
+        ok: 0,
+        busy: 0,
+        errors: 0,
+        sent: 0,
+        bodies: BTreeSet::new(),
+        first_error: None,
+    };
+    let note_err = |tally: &mut ClientTally, msg: String| {
+        tally.errors += 1;
+        if tally.first_error.is_none() {
+            tally.first_error = Some(msg);
+        }
+    };
+    let mut client = match Client::connect(&cfg.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            tally.sent = n_requests as u64;
+            note_err(&mut tally, format!("connect {}: {e}", cfg.addr));
+            tally.errors = n_requests as u64;
+            return tally;
+        }
+    };
+    let hash = if cfg.by_hash {
+        match client.put(&cfg.instance_text) {
+            Ok(Ok(h)) => Some(h),
+            Ok(Err(e)) => {
+                note_err(&mut tally, format!("PUT: {e}"));
+                return tally;
+            }
+            Err(e) => {
+                note_err(&mut tally, format!("PUT transport: {e}"));
+                return tally;
+            }
+        }
+    } else {
+        None
+    };
+    for _ in 0..n_requests {
+        tally.sent += 1;
+        let started = Instant::now();
+        match drive_one(&mut client, cfg, hash.as_deref()) {
+            Ok(ClientReply::Ok(body)) => {
+                tally.histogram.record(started.elapsed().as_micros() as u64);
+                tally.ok += 1;
+                tally
+                    .bodies
+                    .insert(mmlp_instance::hash::fnv1a64(body.as_bytes()));
+            }
+            Ok(ClientReply::Err(ErrorCode::Busy, _)) => tally.busy += 1,
+            Ok(ClientReply::Err(code, msg)) => {
+                note_err(&mut tally, format!("{}: {msg}", code.as_str()));
+            }
+            Err(e) => note_err(&mut tally, format!("transport: {e}")),
+        }
+    }
+    tally
+}
+
+/// Runs the load, one thread per client, and aggregates.
+pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    if cfg.clients == 0 || cfg.requests == 0 {
+        return Err("need at least one client and one request".into());
+    }
+    if cfg.instance_text.is_empty() {
+        return Err("no instance text to drive with".into());
+    }
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..cfg.clients {
+            // Spread the total evenly; early clients absorb the remainder.
+            let share = cfg.requests / cfg.clients + usize::from(c < cfg.requests % cfg.clients);
+            joins.push(scope.spawn(move || client_loop(cfg, share)));
+        }
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut report = LoadReport {
+        sent: 0,
+        ok: 0,
+        busy: 0,
+        errors: 0,
+        distinct_bodies: 0,
+        histogram: Histogram::new(),
+        wall,
+        first_error: None,
+    };
+    let mut bodies = BTreeSet::new();
+    for t in tallies {
+        report.sent += t.sent;
+        report.ok += t.ok;
+        report.busy += t.busy;
+        report.errors += t.errors;
+        report.histogram.merge(&t.histogram);
+        bodies.extend(t.bodies);
+        if report.first_error.is_none() {
+            report.first_error = t.first_error;
+        }
+    }
+    report.distinct_bodies = bodies.len();
+
+    if cfg.shutdown_after {
+        let mut c = Client::connect(&cfg.addr).map_err(|e| format!("shutdown connect: {e}"))?;
+        c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    }
+    Ok(report)
+}
+
+/// Renders the human-readable latency report the CLI prints (and CI
+/// uploads as an artifact).
+pub fn render_report(cfg: &LoadConfig, r: &LoadReport) -> String {
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# loadgen {} against {}", cfg.op.tag(), cfg.addr);
+    let _ = writeln!(
+        out,
+        "clients {}  requests {}  mode {}",
+        cfg.clients,
+        cfg.requests,
+        if cfg.by_hash { "hash" } else { "inline" }
+    );
+    let _ = writeln!(out, "sent {}", r.sent);
+    let _ = writeln!(out, "ok {}", r.ok);
+    let _ = writeln!(out, "busy {}", r.busy);
+    let _ = writeln!(out, "errors {}", r.errors);
+    if let Some(e) = &r.first_error {
+        let _ = writeln!(out, "first_error {e}");
+    }
+    let _ = writeln!(out, "distinct_bodies {}", r.distinct_bodies);
+    let _ = writeln!(out, "wall_ms {}", r.wall.as_millis());
+    let _ = writeln!(out, "throughput_rps {:.1}", r.throughput());
+    let _ = writeln!(out, "p50_us {}", r.histogram.percentile(0.50));
+    let _ = writeln!(out, "p95_us {}", r.histogram.percentile(0.95));
+    let _ = writeln!(out, "p99_us {}", r.histogram.percentile(0.99));
+    let _ = writeln!(out, "max_us {}", r.histogram.max_us());
+    let _ = writeln!(out, "mean_us {}", r.histogram.mean_us());
+    out.push('\n');
+    out.push_str(&r.histogram.render());
+    out
+}

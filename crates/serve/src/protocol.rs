@@ -1,0 +1,328 @@
+//! The wire protocol: a small line-oriented request/response format
+//! over TCP, documented normatively in `specs/PROTOCOL.md`.
+//!
+//! ```text
+//! client → server   one command per line (LF; CRLF tolerated)
+//!   PUT <nbytes>                       upload instance (body follows)
+//!   SOLVE <src> [R=<n>] [THREADS=<n>]  the paper's local algorithm
+//!   OPTIMUM <src>                      exact simplex optimum
+//!   SAFE <src>                         factor-ΔI safe baseline
+//!   INFO <src>                         sizes, degrees, paper bound
+//!   STATS                              counters + latency percentiles
+//!   SLEEP <ms>                         diagnostic: occupy a worker
+//!   PING                               liveness probe
+//!   SHUTDOWN                           graceful drain, then exit
+//!   <src> = hash:<16 hex> | inline:<nbytes> (body follows the line)
+//!
+//! server → client
+//!   OK <nbytes>\n<body>                success (body: nbytes of UTF-8)
+//!   ERR <CODE> <message>\n             failure, single line
+//! ```
+//!
+//! Bodies are length-prefixed rather than sentinel-terminated so that
+//! instance text (which is itself line-oriented) never needs escaping,
+//! and a client can frame replies without lookahead.
+
+use mmlp_instance::hash::parse_hash_hex;
+
+/// The solver operation a cacheable request asks for. Part of the
+/// result-cache key, so each variant must map to a distinct stable tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `SOLVE` — the paper's local algorithm (`LocalSolver`).
+    Solve,
+    /// `OPTIMUM` — the exact LP optimum via the two-phase simplex.
+    Optimum,
+    /// `SAFE` — the factor-ΔI safe baseline.
+    Safe,
+    /// `INFO` — structural stats and the paper bound.
+    Info,
+}
+
+impl Op {
+    /// Stable lowercase tag used in cache keys and stats.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Op::Solve => "solve",
+            Op::Optimum => "optimum",
+            Op::Safe => "safe",
+            Op::Info => "info",
+        }
+    }
+}
+
+/// Where the request's instance comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// `hash:<16 hex>` — a previously `PUT` instance, by content hash.
+    Hash(u64),
+    /// `inline:<nbytes>` — the instance text follows the command line.
+    Inline(usize),
+}
+
+/// One parsed client command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Upload an instance; body of `nbytes` follows.
+    Put { nbytes: usize },
+    /// Run a solver [`Op`] against a [`Source`].
+    Run {
+        op: Op,
+        src: Source,
+        big_r: usize,
+        threads: usize,
+    },
+    /// Server counters and latency percentiles.
+    Stats,
+    /// Diagnostic: occupy one worker for `ms` milliseconds.
+    Sleep { ms: u64 },
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting, drain in-flight work, exit.
+    Shutdown,
+}
+
+/// Default locality parameter when `R=` is omitted.
+pub const DEFAULT_R: usize = 3;
+/// Default solver thread count when `THREADS=` is omitted.
+pub const DEFAULT_THREADS: usize = 1;
+
+/// Error codes on the wire. `BUSY` is the backpressure signal; clients
+/// are expected to back off and retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed command or body.
+    BadReq,
+    /// `hash:` source not present in the instance store.
+    NotFound,
+    /// Worker queue at capacity; retry later.
+    Busy,
+    /// The request exceeded the server's per-request timeout.
+    Timeout,
+    /// The request panicked inside the solver (isolated; server lives).
+    Panic,
+    /// The server is draining and accepts no new work.
+    Shutdown,
+    /// Anything else.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadReq => "BADREQ",
+            ErrorCode::NotFound => "NOTFOUND",
+            ErrorCode::Busy => "BUSY",
+            ErrorCode::Timeout => "TIMEOUT",
+            ErrorCode::Panic => "PANIC",
+            ErrorCode::Shutdown => "SHUTDOWN",
+            ErrorCode::Internal => "INTERNAL",
+        }
+    }
+
+    /// Inverse of [`ErrorCode::as_str`].
+    pub fn from_token(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "BADREQ" => ErrorCode::BadReq,
+            "NOTFOUND" => ErrorCode::NotFound,
+            "BUSY" => ErrorCode::Busy,
+            "TIMEOUT" => ErrorCode::Timeout,
+            "PANIC" => ErrorCode::Panic,
+            "SHUTDOWN" => ErrorCode::Shutdown,
+            "INTERNAL" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A server reply, before framing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Success with a UTF-8 body.
+    Ok(String),
+    /// Failure with a code and a one-line message.
+    Err(ErrorCode, String),
+}
+
+impl Reply {
+    /// Frames the reply for the wire.
+    pub fn to_wire(&self) -> String {
+        match self {
+            Reply::Ok(body) => format!("OK {}\n{}", body.len(), body),
+            Reply::Err(code, msg) => {
+                // The message must stay on one line to keep framing sane.
+                let msg = msg.replace(['\n', '\r'], " ");
+                format!("ERR {} {}\n", code.as_str(), msg.trim())
+            }
+        }
+    }
+}
+
+fn parse_source(tok: &str) -> Result<Source, String> {
+    if let Some(hex) = tok.strip_prefix("hash:") {
+        let h = parse_hash_hex(hex).ok_or_else(|| format!("bad hash '{hex}'"))?;
+        Ok(Source::Hash(h))
+    } else if let Some(n) = tok.strip_prefix("inline:") {
+        let n: usize = n.parse().map_err(|_| format!("bad inline length '{n}'"))?;
+        Ok(Source::Inline(n))
+    } else {
+        Err(format!(
+            "expected hash:<hex> or inline:<nbytes>, got '{tok}'"
+        ))
+    }
+}
+
+/// Parses one command line (without its body). Errors are the
+/// human-readable part of a `BADREQ` reply.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let mut tokens = line.split_ascii_whitespace();
+    let verb = tokens.next().ok_or("empty command")?;
+    let cmd = match verb {
+        "PUT" => {
+            let n: usize = tokens
+                .next()
+                .ok_or("PUT needs a byte count")?
+                .parse()
+                .map_err(|_| "bad PUT byte count".to_string())?;
+            Command::Put { nbytes: n }
+        }
+        "SOLVE" | "OPTIMUM" | "SAFE" | "INFO" => {
+            let op = match verb {
+                "SOLVE" => Op::Solve,
+                "OPTIMUM" => Op::Optimum,
+                "SAFE" => Op::Safe,
+                _ => Op::Info,
+            };
+            let src = parse_source(tokens.next().ok_or(format!("{verb} needs a source"))?)?;
+            let mut big_r = DEFAULT_R;
+            let mut threads = DEFAULT_THREADS;
+            for tok in tokens.by_ref() {
+                if let Some(v) = tok.strip_prefix("R=") {
+                    big_r = v
+                        .parse()
+                        .ok()
+                        .filter(|r| *r >= 2)
+                        .ok_or_else(|| format!("bad R '{v}' (need an integer ≥ 2)"))?;
+                } else if let Some(v) = tok.strip_prefix("THREADS=") {
+                    threads = v
+                        .parse()
+                        .ok()
+                        .filter(|t| *t >= 1)
+                        .ok_or_else(|| format!("bad THREADS '{v}'"))?;
+                } else {
+                    return Err(format!("unknown parameter '{tok}'"));
+                }
+            }
+            Command::Run {
+                op,
+                src,
+                big_r,
+                threads,
+            }
+        }
+        "STATS" => Command::Stats,
+        "SLEEP" => {
+            let ms: u64 = tokens
+                .next()
+                .ok_or("SLEEP needs a duration in ms")?
+                .parse()
+                .map_err(|_| "bad SLEEP duration".to_string())?;
+            Command::Sleep { ms }
+        }
+        "PING" => Command::Ping,
+        "SHUTDOWN" => Command::Shutdown,
+        other => return Err(format!("unknown command '{other}'")),
+    };
+    // Verbs above consume exactly their parameters; anything left over
+    // is a framing mistake worth rejecting loudly.
+    if let Some(extra) = tokens.next() {
+        return Err(format!("unexpected trailing token '{extra}'"));
+    }
+    Ok(cmd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_command_surface() {
+        assert_eq!(parse_command("PUT 120"), Ok(Command::Put { nbytes: 120 }));
+        assert_eq!(
+            parse_command("SOLVE hash:00deadbeef001122 R=4 THREADS=2"),
+            Ok(Command::Run {
+                op: Op::Solve,
+                src: Source::Hash(0x00de_adbe_ef00_1122),
+                big_r: 4,
+                threads: 2,
+            })
+        );
+        assert_eq!(
+            parse_command("OPTIMUM inline:64"),
+            Ok(Command::Run {
+                op: Op::Optimum,
+                src: Source::Inline(64),
+                big_r: DEFAULT_R,
+                threads: DEFAULT_THREADS,
+            })
+        );
+        assert!(matches!(
+            parse_command("SAFE hash:0000000000000000"),
+            Ok(Command::Run { op: Op::Safe, .. })
+        ));
+        assert!(matches!(
+            parse_command("INFO inline:10"),
+            Ok(Command::Run { op: Op::Info, .. })
+        ));
+        assert_eq!(parse_command("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command("SLEEP 250"), Ok(Command::Sleep { ms: 250 }));
+        assert_eq!(parse_command("PING"), Ok(Command::Ping));
+        assert_eq!(parse_command("SHUTDOWN"), Ok(Command::Shutdown));
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        for bad in [
+            "",
+            "FROBNICATE",
+            "PUT",
+            "PUT x",
+            "SOLVE",
+            "SOLVE nope",
+            "SOLVE hash:123",       // not 16 hex digits
+            "SOLVE inline:3 R=1",   // R < 2
+            "SOLVE inline:3 BAD=1", // unknown param
+            "STATS extra",          // trailing token
+            "SLEEP",
+            "SLEEP soon",
+        ] {
+            assert!(parse_command(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn reply_framing_round_trips_by_eye() {
+        assert_eq!(Reply::Ok("pong\n".into()).to_wire(), "OK 5\npong\n");
+        assert_eq!(
+            Reply::Err(ErrorCode::Busy, "queue full\nretry".into()).to_wire(),
+            "ERR BUSY queue full retry\n"
+        );
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for c in [
+            ErrorCode::BadReq,
+            ErrorCode::NotFound,
+            ErrorCode::Busy,
+            ErrorCode::Timeout,
+            ErrorCode::Panic,
+            ErrorCode::Shutdown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_token(c.as_str()), Some(c));
+        }
+        assert_eq!(ErrorCode::from_token("NOPE"), None);
+    }
+}

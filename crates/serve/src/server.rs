@@ -1,0 +1,542 @@
+//! The long-running TCP service: accept loop, per-connection handler
+//! threads, dispatch onto the bounded worker pool, and graceful drain.
+//!
+//! Threading model:
+//!
+//! * one **acceptor** (the thread that called [`Server::run`]);
+//! * one **connection thread** per live client, bounded by
+//!   `max_connections` (beyond it, connections get one `ERR BUSY` and
+//!   are closed);
+//! * `workers` **solver threads** behind a bounded queue
+//!   (`mmlp_lab::pool::TaskPool`). A full queue surfaces as `ERR BUSY`
+//!   on the wire — the 503 of this protocol — so load spikes degrade
+//!   into fast rejections instead of unbounded memory growth.
+//!
+//! Cache hits bypass the pool entirely and are served on the
+//! connection thread; only cold solves consume a worker slot.
+//!
+//! **Shutdown.** `SHUTDOWN` flips a flag and pokes the acceptor with a
+//! loopback connection. The acceptor stops accepting; connection
+//! threads notice the flag at their next read-poll tick (reads use a
+//! short `SO_RCVTIMEO`), finish the request in flight, and exit; the
+//! pool drains every accepted task; then [`Server::run`] returns a
+//! final [`ServerSummary`]. In-flight work is never dropped.
+
+use crate::engine::{self, CacheKey, Engine};
+use crate::protocol::{parse_command, Command, ErrorCode, Reply, Source};
+use crate::stats::{Counters, Histogram};
+use mmlp_instance::hash::hash_hex;
+use mmlp_lab::pool::{Outcome, SubmitError, TaskPool, TaskPoolConfig};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration (see `maxmin-lp serve --help` for the CLI
+/// surface over it).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Bounded request-queue capacity (backpressure bound).
+    pub queue_cap: usize,
+    /// Result-cache budget in bytes.
+    pub cache_bytes: u64,
+    /// Instance-store budget in bytes.
+    pub store_bytes: u64,
+    /// Per-request solver timeout; `None` disables it.
+    pub timeout: Option<Duration>,
+    /// Maximum simultaneous client connections.
+    pub max_connections: usize,
+    /// Largest accepted `PUT`/`inline:` body, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7979".into(),
+            workers: 4,
+            queue_cap: 256,
+            cache_bytes: 64 << 20,
+            store_bytes: 64 << 20,
+            timeout: Some(Duration::from_secs(30)),
+            max_connections: 256,
+            max_body_bytes: 16 << 20,
+        }
+    }
+}
+
+/// Final counters returned by [`Server::run`] after the drain.
+#[derive(Clone, Debug, Default)]
+pub struct ServerSummary {
+    /// Total commands served.
+    pub requests: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses (cold solves).
+    pub cache_misses: u64,
+    /// `BUSY` rejections.
+    pub busy: u64,
+    /// Non-`BUSY` error replies.
+    pub errors: u64,
+    /// Requests killed by the per-request timeout.
+    pub timeouts: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+}
+
+struct Shared {
+    engine: Engine,
+    pool: TaskPool,
+    counters: Counters,
+    latency: Mutex<Histogram>,
+    shutting_down: AtomicBool,
+    live_connections: AtomicUsize,
+    cfg: ServeConfig,
+    local_addr: SocketAddr,
+    started: Instant,
+}
+
+/// A bound, not-yet-running server. Binding is separate from running
+/// so callers (tests, the CLI) can learn the ephemeral port first.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// How often idle connection threads and the acceptor re-check the
+/// shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let pool = TaskPool::new(TaskPoolConfig {
+            workers: cfg.workers,
+            queue_cap: cfg.queue_cap,
+            timeout: cfg.timeout,
+        });
+        let shared = Arc::new(Shared {
+            engine: Engine::new(cfg.cache_bytes, cfg.store_bytes),
+            pool,
+            counters: Counters::default(),
+            latency: Mutex::new(Histogram::new()),
+            shutting_down: AtomicBool::new(false),
+            live_connections: AtomicUsize::new(0),
+            cfg,
+            local_addr,
+            started: Instant::now(),
+        });
+        Ok(Server {
+            listener,
+            local_addr,
+            shared,
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `SHUTDOWN` command arrives, then drains and
+    /// returns the lifetime counters.
+    pub fn run(self) -> std::io::Result<ServerSummary> {
+        let Server {
+            listener,
+            local_addr: _,
+            shared,
+        } = self;
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for conn in listener.incoming() {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Reap finished connection threads so the handle list stays
+            // proportional to *live* connections, not lifetime ones.
+            handles.retain(|h| !h.is_finished());
+            Counters::bump(&shared.counters.connections);
+            if shared.live_connections.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+                Counters::bump(&shared.counters.busy);
+                let mut stream = stream;
+                let _ = stream.write_all(
+                    Reply::Err(ErrorCode::Busy, "connection limit reached".into())
+                        .to_wire()
+                        .as_bytes(),
+                );
+                continue;
+            }
+            shared.live_connections.fetch_add(1, Ordering::SeqCst);
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                let _ = handle_connection(stream, &shared);
+                shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        drop(listener);
+        // Drain: connection threads first (they may still submit their
+        // request in flight), then the pool (runs everything accepted).
+        for h in handles {
+            let _ = h.join();
+        }
+        match Arc::try_unwrap(shared) {
+            Ok(s) => {
+                let summary = summary_of(&s.counters);
+                s.pool.shutdown(); // blocks until accepted work ran
+                Ok(summary)
+            }
+            Err(shared) => {
+                // A straggler still holds the Arc (should not happen
+                // after the joins); the pool drains when it drops.
+                Ok(summary_of(&shared.counters))
+            }
+        }
+    }
+}
+
+fn summary_of(c: &Counters) -> ServerSummary {
+    ServerSummary {
+        requests: Counters::read(&c.requests),
+        cache_hits: Counters::read(&c.cache_hits),
+        cache_misses: Counters::read(&c.cache_misses),
+        busy: Counters::read(&c.busy),
+        errors: Counters::read(&c.errors),
+        timeouts: Counters::read(&c.timeouts),
+        connections: Counters::read(&c.connections),
+    }
+}
+
+/// A stalled client may sit mid-command or mid-body forever; after
+/// this much wall time without completing the read, the connection is
+/// dropped so it cannot pin a connection slot indefinitely.
+const STALLED_READ_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Reads one command line, tolerating the read-timeout poll. Returns
+/// `Ok(None)` on clean EOF, when shutdown interrupts the wait (a
+/// half-received command is not in-flight work — dropping it keeps the
+/// drain bounded), or when a mid-line read stalls past the deadline.
+fn read_command_line(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    let mut stalled_since: Option<Instant> = None;
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {
+                let trimmed = line.trim_end_matches(['\n', '\r']).to_string();
+                return Ok(Some(trimmed));
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Mid-line bytes stay buffered in `line`.
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                if !line.is_empty() {
+                    let since = *stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > STALLED_READ_DEADLINE {
+                        return Ok(None); // half a command, then silence
+                    }
+                } else {
+                    stalled_since = None; // idle between requests is fine
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads exactly `n` body bytes, tolerating the read-timeout poll but
+/// bailing on shutdown or a stalled sender (see
+/// [`STALLED_READ_DEADLINE`]).
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    n: usize,
+    shared: &Shared,
+) -> std::io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    let mut filled = 0;
+    let started = Instant::now();
+    while filled < n {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "server draining during body read",
+                    ));
+                }
+                if started.elapsed() > STALLED_READ_DEADLINE {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "body read stalled",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(buf)
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        let Some(line) = read_command_line(&mut reader, shared)? else {
+            return Ok(()); // EOF or idle at shutdown
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        Counters::bump(&shared.counters.requests);
+        let parsed = parse_command(&line);
+        let is_shutdown = matches!(parsed, Ok(Command::Shutdown));
+        let (reply, close_after) = match parsed {
+            Err(msg) => (Reply::Err(ErrorCode::BadReq, msg), false),
+            Ok(cmd) => dispatch(cmd, &mut reader, shared),
+        };
+        match &reply {
+            Reply::Err(ErrorCode::Busy, _) => Counters::bump(&shared.counters.busy),
+            Reply::Err(ErrorCode::Timeout, _) => {
+                Counters::bump(&shared.counters.timeouts);
+                Counters::bump(&shared.counters.errors);
+            }
+            Reply::Err(..) => Counters::bump(&shared.counters.errors),
+            Reply::Ok(_) => {}
+        }
+        shared
+            .latency
+            .lock()
+            .expect("latency lock")
+            .record(started.elapsed().as_micros() as u64);
+        writer.write_all(reply.to_wire().as_bytes())?;
+        writer.flush()?;
+        // One reply per SHUTDOWN, then stop reading from this client;
+        // likewise when the request left the stream unsynchronised.
+        if is_shutdown || close_after {
+            return Ok(());
+        }
+    }
+}
+
+/// Executes one parsed command. Body reads happen here (they belong to
+/// the command), solver work goes through the pool. The second element
+/// is `true` when the connection must be closed afterwards because the
+/// stream can no longer be trusted to be request-aligned.
+fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) -> (Reply, bool) {
+    match cmd {
+        Command::Ping => (Reply::Ok("pong\n".into()), false),
+        Command::Stats => (Reply::Ok(render_stats(shared)), false),
+        Command::Shutdown => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            // Poke the acceptor out of `accept()`. A wildcard bind
+            // (0.0.0.0 / ::) is not connectable everywhere, so aim the
+            // poke at loopback on the bound port.
+            let mut poke = shared.local_addr;
+            if poke.ip().is_unspecified() {
+                poke.set_ip(match poke {
+                    SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            drop(TcpStream::connect(poke));
+            (Reply::Ok("bye\n".into()), false)
+        }
+        Command::Sleep { ms } => (
+            run_pooled(shared, move || {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(format!("slept {ms}\n"))
+            }),
+            false,
+        ),
+        Command::Put { nbytes } => {
+            let body = match checked_body(reader, nbytes, shared) {
+                Ok(b) => b,
+                Err(fatal) => return fatal,
+            };
+            match shared.engine.put(&body) {
+                Ok(h) => (Reply::Ok(format!("hash {}\n", hash_hex(h))), false),
+                Err((code, msg)) => (Reply::Err(code, msg), false),
+            }
+        }
+        Command::Run {
+            op,
+            src,
+            big_r,
+            threads,
+        } => {
+            // An untrusted client must not size the server's thread
+            // usage: clamp THREADS to the worker count (results are
+            // bit-identical across thread counts anyway).
+            let threads = threads.min(shared.cfg.workers.max(1));
+            let (hash, inst) = match src {
+                Source::Hash(h) => match shared.engine.fetch(h) {
+                    Ok(i) => (h, i),
+                    Err((code, msg)) => return (Reply::Err(code, msg), false),
+                },
+                Source::Inline(nbytes) => {
+                    let body = match checked_body(reader, nbytes, shared) {
+                        Ok(b) => b,
+                        Err(fatal) => return fatal,
+                    };
+                    // Inline uploads land in the store too, so the
+                    // result cache is shared across inline and hash
+                    // requests for the same content.
+                    match shared.engine.put(&body) {
+                        Ok(h) => match shared.engine.fetch(h) {
+                            Ok(i) => (h, i),
+                            Err((code, msg)) => return (Reply::Err(code, msg), false),
+                        },
+                        Err((code, msg)) => return (Reply::Err(code, msg), false),
+                    }
+                }
+            };
+            let key = CacheKey::new(hash, op, big_r, threads);
+            if let Some(body) = shared.engine.cached(&key) {
+                Counters::bump(&shared.counters.cache_hits);
+                return (Reply::Ok(body.as_ref().clone()), false);
+            }
+            let reply = run_pooled(shared, move || engine::execute(op, &inst, big_r, threads));
+            // A miss is a solve that actually ran (or tried to): BUSY
+            // and drain rejections never reached a worker, so they are
+            // neither hits nor misses.
+            if !matches!(reply, Reply::Err(ErrorCode::Busy | ErrorCode::Shutdown, _)) {
+                Counters::bump(&shared.counters.cache_misses);
+            }
+            if let Reply::Ok(body) = &reply {
+                shared.engine.insert(key, Arc::new(body.clone()));
+            }
+            (reply, false)
+        }
+    }
+}
+
+/// Submits a closure to the worker pool and maps its outcome onto the
+/// wire. This is where backpressure (`BUSY`), per-request timeouts and
+/// panic isolation all become protocol-visible.
+fn run_pooled<F>(shared: &Shared, f: F) -> Reply
+where
+    F: FnOnce() -> Result<String, String> + Send + 'static,
+{
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Reply::Err(ErrorCode::Shutdown, "server is draining".into());
+    }
+    match shared.pool.submit(f) {
+        Err(SubmitError::Busy) => Reply::Err(
+            ErrorCode::Busy,
+            format!("queue full ({} deep); retry", shared.cfg.queue_cap),
+        ),
+        Err(SubmitError::Closed) => Reply::Err(ErrorCode::Shutdown, "server is draining".into()),
+        Ok(ticket) => match ticket.wait() {
+            Outcome::Done(Ok(body)) => Reply::Ok(body),
+            Outcome::Done(Err(msg)) => Reply::Err(ErrorCode::Internal, msg),
+            Outcome::Panicked(msg) => Reply::Err(ErrorCode::Panic, msg),
+            Outcome::TimedOut => Reply::Err(
+                ErrorCode::Timeout,
+                format!(
+                    "request exceeded {} ms",
+                    shared.cfg.timeout.map_or(0, |d| d.as_millis())
+                ),
+            ),
+        },
+    }
+}
+
+/// Reads a declared body. `Err` carries the reply *and* whether the
+/// connection must close: an oversize declaration is rejected without
+/// consuming the body, and a failed read leaves an unknown amount
+/// consumed — in both cases the stream is no longer request-aligned,
+/// so the connection is closed after the error reply. A non-UTF-8 body
+/// was fully consumed and keeps the connection usable.
+fn checked_body(
+    reader: &mut BufReader<TcpStream>,
+    nbytes: usize,
+    shared: &Shared,
+) -> Result<String, (Reply, bool)> {
+    if nbytes > shared.cfg.max_body_bytes {
+        return Err((
+            Reply::Err(
+                ErrorCode::BadReq,
+                format!(
+                    "body of {nbytes} bytes exceeds the limit of {}",
+                    shared.cfg.max_body_bytes
+                ),
+            ),
+            true,
+        ));
+    }
+    let raw = read_body(reader, nbytes, shared).map_err(|e| {
+        (
+            Reply::Err(ErrorCode::BadReq, format!("body read: {e}")),
+            true,
+        )
+    })?;
+    String::from_utf8(raw).map_err(|_| {
+        (
+            Reply::Err(ErrorCode::BadReq, "body is not UTF-8".into()),
+            false,
+        )
+    })
+}
+
+fn render_stats(shared: &Shared) -> String {
+    let c = &shared.counters;
+    let lat = shared.latency.lock().expect("latency lock");
+    let (cache_entries, cache_bytes, cache_evictions) = shared.engine.cache_stats();
+    let (store_entries, store_bytes) = shared.engine.store_stats();
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "uptime_ms {}", shared.started.elapsed().as_millis());
+    let _ = writeln!(out, "workers {}", shared.cfg.workers);
+    let _ = writeln!(out, "queue_cap {}", shared.cfg.queue_cap);
+    let _ = writeln!(out, "queue_depth {}", shared.pool.queue_depth());
+    let _ = writeln!(out, "in_flight {}", shared.pool.in_flight());
+    let _ = writeln!(
+        out,
+        "connections_live {}",
+        shared.live_connections.load(Ordering::SeqCst)
+    );
+    let _ = writeln!(out, "connections_total {}", Counters::read(&c.connections));
+    let _ = writeln!(out, "requests {}", Counters::read(&c.requests));
+    let _ = writeln!(out, "cache_hits {}", Counters::read(&c.cache_hits));
+    let _ = writeln!(out, "cache_misses {}", Counters::read(&c.cache_misses));
+    let _ = writeln!(out, "busy {}", Counters::read(&c.busy));
+    let _ = writeln!(out, "errors {}", Counters::read(&c.errors));
+    let _ = writeln!(out, "timeouts {}", Counters::read(&c.timeouts));
+    let _ = writeln!(out, "cache_entries {cache_entries}");
+    let _ = writeln!(out, "cache_bytes {cache_bytes}");
+    let _ = writeln!(out, "cache_evictions {cache_evictions}");
+    let _ = writeln!(out, "store_entries {store_entries}");
+    let _ = writeln!(out, "store_bytes {store_bytes}");
+    let _ = writeln!(out, "latency_samples {}", lat.total());
+    let _ = writeln!(out, "latency_mean_us {}", lat.mean_us());
+    let _ = writeln!(out, "p50_us {}", lat.percentile(0.50));
+    let _ = writeln!(out, "p95_us {}", lat.percentile(0.95));
+    let _ = writeln!(out, "p99_us {}", lat.percentile(0.99));
+    let _ = writeln!(out, "max_us {}", lat.max_us());
+    out
+}

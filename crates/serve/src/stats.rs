@@ -1,0 +1,261 @@
+//! Latency accounting shared by the server's `STATS` endpoint and the
+//! load generator's report: a bounded log-linear histogram (HDR-style)
+//! plus monotonic request counters.
+//!
+//! The histogram buckets microsecond values with 8 linear sub-buckets
+//! per power of two, so any recorded value is off by at most 12.5%
+//! while the whole structure is a few hundred `u64`s — safe to keep
+//! hot forever in a long-running server.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power of two (8 → ≤ 12.5% relative error).
+const SUBS: usize = 8;
+/// Values 0..8 land in exact unit buckets; beyond that, log-linear.
+/// 34 octaves × 8 sub-buckets covers > 4 hours in microseconds.
+const OCTAVES: usize = 34;
+const BUCKETS: usize = SUBS + OCTAVES * SUBS;
+
+fn bucket_index(us: u64) -> usize {
+    if us < SUBS as u64 {
+        return us as usize;
+    }
+    let e = 63 - us.leading_zeros() as usize; // floor(log2), ≥ 3
+    let sub = ((us >> (e - 3)) & 7) as usize;
+    ((e - 2) * SUBS + sub).min(BUCKETS - 1)
+}
+
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let g = idx / SUBS;
+    let sub = (idx % SUBS) as u64;
+    let e = g + 2;
+    (SUBS as u64 + sub) << (e - 3)
+}
+
+/// A log-linear latency histogram over microseconds.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Records one latency sample, in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.counts[bucket_index(us)] += 1;
+        self.total += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.total).unwrap_or(0)
+    }
+
+    /// The latency at quantile `q ∈ (0, 1]`, as the lower bound of the
+    /// bucket containing that rank (0 when empty).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(idx);
+            }
+        }
+        self.max_us
+    }
+
+    /// Folds another histogram into this one (loadgen aggregates one
+    /// per client thread).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Renders the occupied buckets as an aligned text bar chart — the
+    /// loadgen's "latency histogram".
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("latency_us        count  share\n");
+        if self.total == 0 {
+            out.push_str("(no samples)\n");
+            return out;
+        }
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((c * 40).div_ceil(peak)) as usize);
+            let share = 100.0 * c as f64 / self.total as f64;
+            out.push_str(&format!(
+                "{:>12} {:>10} {:>5.1}% {}\n",
+                bucket_floor(idx),
+                c,
+                share,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Monotonic server-wide counters, updated lock-free from connection
+/// threads and snapshotted by `STATS`.
+#[derive(Default)]
+pub struct Counters {
+    /// Commands accepted and parsed (including `STATS` itself).
+    pub requests: AtomicU64,
+    /// Cacheable requests answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Cacheable requests that had to run a solver.
+    pub cache_misses: AtomicU64,
+    /// Requests bounced with `BUSY`.
+    pub busy: AtomicU64,
+    /// Requests ending in any `ERR` reply other than `BUSY`.
+    pub errors: AtomicU64,
+    /// Requests killed by the per-request timeout.
+    pub timeouts: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl Counters {
+    /// Relaxed increment — counters are statistics, not synchronisation.
+    pub fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read.
+    pub fn read(field: &AtomicU64) -> u64 {
+        field.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev = 0;
+        for idx in 1..BUCKETS {
+            let f = bucket_floor(idx);
+            assert!(f > prev, "floor({idx}) = {f} ≤ floor({}) = {prev}", idx - 1);
+            prev = f;
+        }
+        // Every value maps into the bucket whose floor is ≤ it.
+        for v in [0u64, 1, 7, 8, 9, 100, 1023, 1024, 1_000_000, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            assert!(bucket_floor(idx) <= v);
+            if idx + 1 < BUCKETS {
+                assert!(v < bucket_floor(idx + 1), "v={v} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        for q in [0.01, 0.5, 1.0] {
+            let p = h.percentile(q);
+            assert!(p < 8);
+        }
+        assert_eq!(h.percentile(1.0), 7);
+        assert_eq!(h.percentile(0.125), 0);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= 500 && p50 as f64 >= 500.0 * 0.875, "p50 = {p50}");
+        assert!(p95 <= 950 && p95 as f64 >= 950.0 * 0.875, "p95 = {p95}");
+        assert!(p99 <= 990 && p99 as f64 >= 990.0 * 0.875, "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.max_us(), 1000);
+        assert_eq!(h.mean_us(), 500);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..500 {
+            a.record(v * 3);
+            all.record(v * 3);
+        }
+        for v in 0..300 {
+            b.record(v * 7 + 1);
+            all.record(v * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), all.total());
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.percentile(q), all.percentile(q));
+        }
+        assert_eq!(a.max_us(), all.max_us());
+    }
+
+    #[test]
+    fn render_lists_occupied_buckets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(100);
+        let r = h.render();
+        assert!(r.contains("latency_us"), "{r}");
+        assert!(r.lines().count() >= 3, "{r}");
+        assert!(Histogram::new().render().contains("no samples"));
+    }
+}

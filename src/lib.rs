@@ -29,6 +29,10 @@
 //! * [`lab`] — the experiment-campaign subsystem: declarative grid
 //!   specs, a resumable parallel scheduler, structured JSONL results
 //!   and ratio/scaling reports (`maxmin-lp campaign …`).
+//! * [`serve`] — the concurrent solver service: a TCP line protocol
+//!   with a content-addressed result cache, bounded-queue backpressure
+//!   and a closed-loop load generator (`maxmin-lp serve` /
+//!   `maxmin-lp loadgen`).
 //!
 //! ## Quickstart
 //!
@@ -64,6 +68,7 @@ pub use mmlp_instance as instance;
 pub use mmlp_lab as lab;
 pub use mmlp_lp as lp;
 pub use mmlp_net as net;
+pub use mmlp_serve as serve;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -80,4 +85,7 @@ pub mod prelude {
         SolverKind,
     };
     pub use mmlp_lp::maxmin::{certify_optimum, solve_maxmin};
+    pub use mmlp_serve::prelude::{
+        run_loadgen, Client, LoadConfig, Op, ServeConfig, Server, ServerSummary,
+    };
 }

@@ -4,11 +4,16 @@
 //! maxmin-lp solve <instance.mmlp> [-R <R>] [--threads <n>] [--certify]
 //! maxmin-lp optimum <instance.mmlp>                      exact simplex
 //! maxmin-lp safe <instance.mmlp>                         factor-ΔI baseline
-//! maxmin-lp generate <family> <size> <seed>              emit an instance
+//! maxmin-lp generate <family> <size> <seed> [--out <f>]  emit an instance
 //! maxmin-lp info <instance.mmlp>                         sizes, degrees, paper bound
 //! maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet]
 //! maxmin-lp campaign report <dir> [--csv]
 //! maxmin-lp campaign status <dir>
+//! maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>]
+//!                 [--queue <n>] [--timeout-ms <t>]       solver service
+//! maxmin-lp loadgen --instance <f> [--addr <a>] [--clients <n>]
+//!                 [--requests <n>] [-R <R>] [--op <op>] [--inline]
+//!                 [--shutdown]                           drive the service
 //! ```
 //!
 //! Instances use the line-oriented text format of
@@ -23,17 +28,26 @@ use maxmin_lp::instance::{textfmt, DegreeStats, Instance};
 use maxmin_lp::lab::campaign::{self, RunOptions};
 use maxmin_lp::lab::{report, spec};
 use maxmin_lp::lp::solve_maxmin;
+use maxmin_lp::serve::loadgen::{self, LoadConfig};
+use maxmin_lp::serve::protocol::Op;
+use maxmin_lp::serve::server::{ServeConfig, Server};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  maxmin-lp solve <file> [-R <R>] [--threads <n>] [--certify]\n  \
          maxmin-lp optimum <file>\n  maxmin-lp safe <file>\n  \
-         maxmin-lp generate <family> <size> <seed>\n  maxmin-lp info <file>\n  \
+         maxmin-lp generate <family> <size> <seed> [--out <file>]\n  \
+         maxmin-lp info <file>\n  \
          maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet]\n  \
          maxmin-lp campaign report <dir> [--csv]\n  \
-         maxmin-lp campaign status <dir>\n\n\
+         maxmin-lp campaign status <dir>\n  \
+         maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>] \
+         [--queue <n>] [--timeout-ms <t>]\n  \
+         maxmin-lp loadgen --instance <file> [--addr <a>] [--clients <n>] \
+         [--requests <n>] [-R <R>] [--op solve|optimum|safe|info] [--inline] [--shutdown]\n\n\
          families: {}",
         catalog()
             .iter()
@@ -147,20 +161,36 @@ fn run(cmd: &str, rest: &[String]) -> Result<(), UsageError> {
             Ok(())
         }
         "generate" => {
-            let (name, size, seed) = match rest {
-                [n, s, d] => (
+            let (name, size, seed, flags) = match rest {
+                [n, s, d, flags @ ..] => (
                     n.as_str(),
                     s.parse::<usize>().map_err(|e| e.to_string())?,
                     d.parse::<u64>().map_err(|e| e.to_string())?,
+                    flags,
                 ),
                 _ => return Err(UsageError::Usage),
             };
+            let mut out_file: Option<PathBuf> = None;
+            let mut it = flags.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => out_file = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?)),
+                    _ => return Err(UsageError::Usage),
+                }
+            }
             let fams = catalog();
             let fam = fams
                 .iter()
                 .find(|f| f.name == name)
                 .ok_or_else(|| format!("unknown family '{name}'"))?;
-            print!("{}", textfmt::write_instance(&fam.instance(size, seed)));
+            let text = textfmt::write_instance(&fam.instance(size, seed));
+            match out_file {
+                None => print!("{text}"),
+                Some(path) => {
+                    write_atomically(&path, &text).map_err(|e| e.to_string())?;
+                    println!("wrote {}", path.display());
+                }
+            }
             Ok(())
         }
         "info" => {
@@ -190,8 +220,169 @@ fn run(cmd: &str, rest: &[String]) -> Result<(), UsageError> {
             let sub = rest.first().ok_or(UsageError::Usage)?;
             campaign_cmd(sub, &rest[1..])
         }
+        "serve" => serve_cmd(rest),
+        "loadgen" => loadgen_cmd(rest),
         _ => Err(UsageError::Usage),
     }
+}
+
+/// Writes `text` to `path` atomically: temp file in the same directory,
+/// then `rename`, so readers (and a crash mid-write) never observe a
+/// half-written instance.
+fn write_atomically(path: &Path, text: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// `maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>]
+/// [--queue <n>] [--timeout-ms <t>]`.
+fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
+    let mut cfg = ServeConfig::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = it.next().ok_or(UsageError::Usage)?.clone(),
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|w| *w >= 1)
+                    .ok_or(UsageError::Usage)?;
+            }
+            "--cache-mb" => {
+                let mb: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|m| *m >= 1)
+                    .ok_or(UsageError::Usage)?;
+                cfg.cache_bytes = mb << 20;
+            }
+            "--queue" => {
+                cfg.queue_cap = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|q| *q >= 1)
+                    .ok_or(UsageError::Usage)?;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(UsageError::Usage)?;
+                cfg.timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            _ => return Err(UsageError::Usage),
+        }
+    }
+    let server = Server::bind(cfg.clone()).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    println!("listening {}", server.local_addr());
+    println!(
+        "workers {}  queue {}  cache_mb {}  timeout_ms {}",
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.cache_bytes >> 20,
+        cfg.timeout.map_or(0, |d| d.as_millis())
+    );
+    // The CI smoke (and any supervisor) waits for the "listening" line.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let summary = server.run().map_err(|e| e.to_string())?;
+    println!("# shutdown");
+    println!("requests {}", summary.requests);
+    println!("cache_hits {}", summary.cache_hits);
+    println!("cache_misses {}", summary.cache_misses);
+    println!("busy {}", summary.busy);
+    println!("errors {}", summary.errors);
+    println!("timeouts {}", summary.timeouts);
+    println!("connections {}", summary.connections);
+    Ok(())
+}
+
+/// `maxmin-lp loadgen --instance <file> [--addr <a>] [--clients <n>]
+/// [--requests <n>] [-R <R>] [--op <op>] [--inline] [--shutdown]`.
+///
+/// Exit code 1 when any request failed (transport error or a non-BUSY
+/// `ERR` reply), so CI can assert a clean run.
+fn loadgen_cmd(rest: &[String]) -> Result<(), UsageError> {
+    let mut cfg = LoadConfig::default();
+    let mut instance_path: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--instance" => {
+                instance_path = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?))
+            }
+            "--addr" => cfg.addr = it.next().ok_or(UsageError::Usage)?.clone(),
+            "--clients" => {
+                cfg.clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|c| *c >= 1)
+                    .ok_or(UsageError::Usage)?;
+            }
+            "--requests" => {
+                cfg.requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r| *r >= 1)
+                    .ok_or(UsageError::Usage)?;
+            }
+            "-R" => {
+                cfg.big_r = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r| *r >= 2)
+                    .ok_or(UsageError::Usage)?;
+            }
+            "--op" => {
+                cfg.op = match it.next().ok_or(UsageError::Usage)?.as_str() {
+                    "solve" => Op::Solve,
+                    "optimum" => Op::Optimum,
+                    "safe" => Op::Safe,
+                    "info" => Op::Info,
+                    _ => return Err(UsageError::Usage),
+                };
+            }
+            "--inline" => cfg.by_hash = false,
+            "--shutdown" => cfg.shutdown_after = true,
+            _ => return Err(UsageError::Usage),
+        }
+    }
+    let path = instance_path.ok_or(UsageError::Usage)?;
+    cfg.instance_text =
+        std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let report = loadgen::run_loadgen(&cfg).map_err(UsageError::Message)?;
+    print!("{}", loadgen::render_report(&cfg, &report));
+    // Any unserved request fails the run: hard errors, but also
+    // requests dropped after exhausting their BUSY retries — CI's
+    // zero-error gate must not mistake a saturated run for a clean one.
+    if report.ok < report.sent {
+        return Err(UsageError::Message(format!(
+            "{} of {} requests not served ({} errors, {} busy-dropped){}",
+            report.sent - report.ok,
+            report.sent,
+            report.errors,
+            report.busy,
+            report
+                .first_error
+                .as_deref()
+                .map(|e| format!(" (first error: {e})"))
+                .unwrap_or_default()
+        )));
+    }
+    Ok(())
 }
 
 /// `maxmin-lp campaign run|report|status …`.

@@ -31,7 +31,25 @@ proptest! {
             for k in inst.objectives() {
                 prop_assert_eq!(back.objective_row(k), inst.objective_row(k));
             }
-            prop_assert_eq!(write_instance(&back), text, "family {}", fam.name);
+            prop_assert_eq!(write_instance(&back), text.clone(), "family {}", fam.name);
+
+            // Surface-syntax hardening: the same file with CRLF line
+            // endings and trailing whitespace must parse to the same
+            // canonical form (hence the same content hash).
+            let crlf = text.replace('\n', "\r\n");
+            let back = parse_instance(&crlf)
+                .unwrap_or_else(|e| panic!("family {} (crlf): {e}", fam.name));
+            prop_assert_eq!(write_instance(&back), text.clone(), "family {} crlf", fam.name);
+
+            let padded = text.replace('\n', " \t\r\n");
+            let back = parse_instance(&padded)
+                .unwrap_or_else(|e| panic!("family {} (padded): {e}", fam.name));
+            prop_assert_eq!(
+                write_instance(&back),
+                text.clone(),
+                "family {} trailing-whitespace",
+                fam.name
+            );
         }
     }
 }
