@@ -1,0 +1,89 @@
+//! `store_codec`: the persistence layer's two hot paths.
+//!
+//! * **Codec** — binary instance decode vs. `textfmt::parse_instance`
+//!   on small/medium/large catalog instances (plus encode, for the
+//!   write path). The acceptance bar for the binary format is decode
+//!   ≥ 5× faster than text parse on the large instance; both paths
+//!   share the `InstanceBuilder` finalisation cost, so the delta is
+//!   pure deserialisation.
+//! * **Store open** — index rebuild time vs. record count, the cost a
+//!   server restart pays before its warm start.
+//!
+//! Run with `MMLP_BENCH_JSON=BENCH_store.json cargo bench --bench
+//! store_codec` to refresh the perf-trajectory file.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmlp_gen::catalog;
+use mmlp_instance::textfmt;
+use mmlp_store::codec;
+use mmlp_store::{Store, StoreConfig};
+
+fn family(name: &str) -> mmlp_gen::Family {
+    catalog()
+        .into_iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("family {name}"))
+}
+
+/// (label, generator size): "large" is ~4k agents / ~19k nonzeros of
+/// random-3x3 — the sensor-network scale the paper motivates.
+const SIZES: [(&str, usize); 3] = [("small", 64), ("medium", 512), ("large", 4096)];
+
+fn bench_codec(c: &mut Criterion) {
+    let fam = family("random-3x3");
+    let mut group = c.benchmark_group("store_codec");
+    for (label, size) in SIZES {
+        let inst = fam.instance(size, 7);
+        let text = textfmt::write_instance(&inst);
+        let blob = codec::encode_instance(&inst);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_function(BenchmarkId::new("parse_text", label), |b| {
+            b.iter(|| textfmt::parse_instance(black_box(&text)).expect("parses"))
+        });
+        group.throughput(Throughput::Bytes(blob.len() as u64));
+        group.bench_function(BenchmarkId::new("decode_binary", label), |b| {
+            b.iter(|| codec::decode_instance(black_box(&blob)).expect("decodes"))
+        });
+        group.bench_function(BenchmarkId::new("encode_binary", label), |b| {
+            b.iter(|| codec::encode_instance(black_box(&inst)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_open(c: &mut Criterion) {
+    let fam = family("random-3x3");
+    let mut group = c.benchmark_group("store_open");
+    group.sample_size(10);
+    for records in [64usize, 256, 1024] {
+        let dir = std::env::temp_dir().join(format!(
+            "mmlp-bench-store-open-{records}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (store, _) =
+                Store::open_with(&dir, StoreConfig { fsync: false }).expect("build store");
+            for seed in 0..records as u64 {
+                store
+                    .put_instance(&fam.instance(16, seed))
+                    .expect("put instance");
+            }
+        }
+        group.throughput(Throughput::Elements(records as u64));
+        group.bench_function(BenchmarkId::new("open", records), |b| {
+            b.iter(|| {
+                let (store, report) =
+                    Store::open_with(black_box(&dir), StoreConfig { fsync: false })
+                        .expect("open store");
+                assert_eq!(report.instances, records);
+                store
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_store_open);
+criterion_main!(benches);

@@ -162,6 +162,151 @@ impl Instance {
             .iter()
             .fold(f64::INFINITY, |m, e| m.min(1.0 / e.coef))
     }
+
+    /// Bulk constructor from raw CSR rows, the fast path of the binary
+    /// codec (`mmlp-store`): validates everything the incremental
+    /// builder would — offset shape, agent range, strictly-positive
+    /// finite coefficients, no duplicate agent within a row — in one
+    /// pass, then computes both transposes. Semantically identical to
+    /// replaying the rows through [`InstanceBuilder`], without the
+    /// per-row call and copy overhead.
+    pub fn from_csr(
+        n_agents: u32,
+        a_off: Vec<u32>,
+        a_entries: Vec<Entry>,
+        c_off: Vec<u32>,
+        c_entries: Vec<Entry>,
+    ) -> Result<Instance, BuildError> {
+        check_csr(n_agents, &a_off, &a_entries)?;
+        check_csr(n_agents, &c_off, &c_entries)?;
+        let n = n_agents as usize;
+        let (va_off, va_entries) = transpose_a(n, &a_off, &a_entries);
+        let (vc_off, vc_entries) = transpose_c(n, &c_off, &c_entries);
+        Ok(Instance {
+            n_agents,
+            a_off,
+            a_entries,
+            c_off,
+            c_entries,
+            va_off,
+            va_entries,
+            vc_off,
+            vc_entries,
+        })
+    }
+}
+
+/// Validates one CSR half: offsets and entries.
+fn check_csr(n_agents: u32, off: &[u32], entries: &[Entry]) -> Result<(), BuildError> {
+    let total = u32::try_from(entries.len()).map_err(|_| BuildError::BadOffsets {
+        detail: "more than u32::MAX entries",
+    })?;
+    if off.first() != Some(&0) {
+        return Err(BuildError::BadOffsets {
+            detail: "offsets must start at 0",
+        });
+    }
+    if *off.last().expect("non-empty offsets") != total {
+        return Err(BuildError::BadOffsets {
+            detail: "last offset must equal the entry count",
+        });
+    }
+    // One row-wise pass does everything: shape (monotone offsets, no
+    // empty rows), agent range, coefficient positivity, and duplicate
+    // detection via a serial-stamped scratch array.
+    let mut stamp = vec![0u32; n_agents as usize];
+    for (serial, w) in off.windows(2).enumerate() {
+        let (lo, hi) = (w[0], w[1]);
+        if lo > hi || hi > total {
+            return Err(BuildError::BadOffsets {
+                detail: "offsets must be non-decreasing and within the entry count",
+            });
+        }
+        if lo == hi {
+            return Err(BuildError::EmptyRow);
+        }
+        let serial = serial as u32 + 1;
+        for e in &entries[lo as usize..hi as usize] {
+            if e.agent.raw() >= n_agents {
+                return Err(BuildError::UnknownAgent {
+                    agent: e.agent.raw(),
+                    n_agents,
+                });
+            }
+            if !(e.coef.is_finite() && e.coef > 0.0) {
+                return Err(BuildError::BadCoefficient { value: e.coef });
+            }
+            if std::mem::replace(&mut stamp[e.agent.idx()], serial) == serial {
+                return Err(BuildError::DuplicateAgentInRow { agent: e.agent });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Counting-sort transpose shared by both matrix halves: agent →
+/// incident rows, sorted by row id (ascending, since rows are visited
+/// in order). `make` builds the typed transpose entry from a row id
+/// and the shared-edge coefficient.
+fn transpose<T: Clone>(
+    n: usize,
+    off: &[u32],
+    entries: &[Entry],
+    zero: T,
+    make: impl Fn(u32, f64) -> T,
+) -> (Vec<u32>, Vec<T>) {
+    let mut t_off = vec![0u32; n + 1];
+    for e in entries {
+        t_off[e.agent.idx() + 1] += 1;
+    }
+    for a in 0..n {
+        t_off[a + 1] += t_off[a];
+    }
+    let mut t_entries = vec![zero; entries.len()];
+    let mut cursor = t_off.clone();
+    for row in 0..off.len() - 1 {
+        let (lo, hi) = (off[row] as usize, off[row + 1] as usize);
+        for e in &entries[lo..hi] {
+            let slot = cursor[e.agent.idx()] as usize;
+            t_entries[slot] = make(row as u32, e.coef);
+            cursor[e.agent.idx()] += 1;
+        }
+    }
+    (t_off, t_entries)
+}
+
+/// Agent → incident constraints.
+fn transpose_a(n: usize, a_off: &[u32], a_entries: &[Entry]) -> (Vec<u32>, Vec<AgentConstraint>) {
+    transpose(
+        n,
+        a_off,
+        a_entries,
+        AgentConstraint {
+            cons: ConstraintId::new(0),
+            coef: 0.0,
+        },
+        |i, coef| AgentConstraint {
+            cons: ConstraintId::new(i),
+            coef,
+        },
+    )
+}
+
+/// Agent → incident objectives.
+fn transpose_c(n: usize, c_off: &[u32], c_entries: &[Entry]) -> (Vec<u32>, Vec<AgentObjective>) {
+    transpose(
+        n,
+        c_off,
+        c_entries,
+        AgentObjective {
+            obj: ObjectiveId::new(0),
+            coef: 0.0,
+        },
+        |k, coef| AgentObjective {
+            obj: ObjectiveId::new(k),
+            coef,
+        },
+    )
 }
 
 /// Errors surfaced while *building* an instance (shape/coefficient errors
@@ -189,6 +334,11 @@ pub enum BuildError {
     },
     /// An empty row was supplied.
     EmptyRow,
+    /// A bulk CSR offset array was malformed ([`Instance::from_csr`]).
+    BadOffsets {
+        /// What was wrong with the offsets.
+        detail: &'static str,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -207,6 +357,9 @@ impl std::fmt::Display for BuildError {
                 write!(f, "agent {agent} appears twice in one row")
             }
             BuildError::EmptyRow => write!(f, "rows must contain at least one agent"),
+            BuildError::BadOffsets { detail } => {
+                write!(f, "malformed CSR offsets: {detail}")
+            }
         }
     }
 }
@@ -336,67 +489,8 @@ impl InstanceBuilder {
     /// is reserved for future cross-row invariants.
     pub fn build(self) -> Result<Instance, BuildError> {
         let n = self.n_agents as usize;
-
-        // Counting sort for the A-transpose.
-        let mut va_off = vec![0u32; n + 1];
-        for e in &self.a_entries {
-            va_off[e.agent.idx() + 1] += 1;
-        }
-        for a in 0..n {
-            va_off[a + 1] += va_off[a];
-        }
-        let mut va_entries = vec![
-            AgentConstraint {
-                cons: ConstraintId::new(0),
-                coef: 0.0,
-            };
-            self.a_entries.len()
-        ];
-        {
-            let mut cursor = va_off.clone();
-            for i in 0..self.a_off.len() - 1 {
-                let (lo, hi) = (self.a_off[i] as usize, self.a_off[i + 1] as usize);
-                for e in &self.a_entries[lo..hi] {
-                    let slot = cursor[e.agent.idx()] as usize;
-                    va_entries[slot] = AgentConstraint {
-                        cons: ConstraintId::new(i as u32),
-                        coef: e.coef,
-                    };
-                    cursor[e.agent.idx()] += 1;
-                }
-            }
-        }
-
-        // Counting sort for the C-transpose.
-        let mut vc_off = vec![0u32; n + 1];
-        for e in &self.c_entries {
-            vc_off[e.agent.idx() + 1] += 1;
-        }
-        for a in 0..n {
-            vc_off[a + 1] += vc_off[a];
-        }
-        let mut vc_entries = vec![
-            AgentObjective {
-                obj: ObjectiveId::new(0),
-                coef: 0.0,
-            };
-            self.c_entries.len()
-        ];
-        {
-            let mut cursor = vc_off.clone();
-            for k in 0..self.c_off.len() - 1 {
-                let (lo, hi) = (self.c_off[k] as usize, self.c_off[k + 1] as usize);
-                for e in &self.c_entries[lo..hi] {
-                    let slot = cursor[e.agent.idx()] as usize;
-                    vc_entries[slot] = AgentObjective {
-                        obj: ObjectiveId::new(k as u32),
-                        coef: e.coef,
-                    };
-                    cursor[e.agent.idx()] += 1;
-                }
-            }
-        }
-
+        let (va_off, va_entries) = transpose_a(n, &self.a_off, &self.a_entries);
+        let (vc_off, vc_entries) = transpose_c(n, &self.c_off, &self.c_entries);
         Ok(Instance {
             n_agents: self.n_agents,
             a_off: self.a_off,
@@ -562,6 +656,130 @@ mod tests {
         b.add_objective(&[(AgentId::new(0), 1.0)]).unwrap();
         let inst = b.build().unwrap();
         assert_eq!(inst.n_agents(), 4);
+    }
+
+    #[test]
+    fn from_csr_matches_the_incremental_builder() {
+        let inst = tiny();
+        let a_entries: Vec<Entry> = inst
+            .constraints()
+            .flat_map(|i| inst.constraint_row(i).iter().copied())
+            .collect();
+        let c_entries: Vec<Entry> = inst
+            .objectives()
+            .flat_map(|k| inst.objective_row(k).iter().copied())
+            .collect();
+        let bulk = Instance::from_csr(
+            inst.n_agents() as u32,
+            vec![0, 2, 4],
+            a_entries,
+            vec![0, 2, 3],
+            c_entries,
+        )
+        .unwrap();
+        for i in inst.constraints() {
+            assert_eq!(bulk.constraint_row(i), inst.constraint_row(i));
+        }
+        for k in inst.objectives() {
+            assert_eq!(bulk.objective_row(k), inst.objective_row(k));
+        }
+        for v in inst.agents() {
+            assert_eq!(bulk.agent_constraints(v), inst.agent_constraints(v));
+            assert_eq!(bulk.agent_objectives(v), inst.agent_objectives(v));
+        }
+    }
+
+    #[test]
+    fn from_csr_rejects_malformed_input() {
+        let e = |agent: u32, coef: f64| Entry {
+            agent: AgentId::new(agent),
+            coef,
+        };
+        let ok_c = vec![0u32, 1];
+        let ok_o = vec![0u32, 1];
+        // Baseline accepts.
+        assert!(Instance::from_csr(
+            2,
+            ok_c.clone(),
+            vec![e(0, 1.0)],
+            ok_o.clone(),
+            vec![e(1, 1.0)]
+        )
+        .is_ok());
+        // Offsets not starting at 0 / not covering the entries.
+        assert!(matches!(
+            Instance::from_csr(
+                2,
+                vec![1, 1],
+                vec![e(0, 1.0)],
+                ok_o.clone(),
+                vec![e(1, 1.0)]
+            ),
+            Err(BuildError::BadOffsets { .. })
+        ));
+        assert!(matches!(
+            Instance::from_csr(
+                2,
+                vec![0, 2],
+                vec![e(0, 1.0)],
+                ok_o.clone(),
+                vec![e(1, 1.0)]
+            ),
+            Err(BuildError::BadOffsets { .. })
+        ));
+        // Decreasing offsets.
+        assert!(matches!(
+            Instance::from_csr(
+                2,
+                vec![0, 1, 0, 1],
+                vec![e(0, 1.0)],
+                ok_o.clone(),
+                vec![e(1, 1.0)]
+            ),
+            Err(BuildError::BadOffsets { .. })
+        ));
+        // Empty row.
+        assert!(matches!(
+            Instance::from_csr(
+                2,
+                vec![0, 1, 1],
+                vec![e(0, 1.0)],
+                ok_o.clone(),
+                vec![e(1, 1.0)]
+            ),
+            Err(BuildError::EmptyRow)
+        ));
+        // Unknown agent, bad coefficient, duplicate in one row.
+        assert!(matches!(
+            Instance::from_csr(
+                2,
+                ok_c.clone(),
+                vec![e(7, 1.0)],
+                ok_o.clone(),
+                vec![e(1, 1.0)]
+            ),
+            Err(BuildError::UnknownAgent { .. })
+        ));
+        assert!(matches!(
+            Instance::from_csr(
+                2,
+                ok_c.clone(),
+                vec![e(0, -1.0)],
+                ok_o.clone(),
+                vec![e(1, 1.0)]
+            ),
+            Err(BuildError::BadCoefficient { .. })
+        ));
+        assert!(matches!(
+            Instance::from_csr(
+                2,
+                vec![0, 2],
+                vec![e(0, 1.0), e(0, 2.0)],
+                ok_o,
+                vec![e(1, 1.0)]
+            ),
+            Err(BuildError::DuplicateAgentInRow { .. })
+        ));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod textfmt;
 pub mod validate;
 
 pub use graph::{Adj, CommGraph, Node, NodeKind};
-pub use hash::{fnv1a64, hash_hex, instance_hash, parse_hash_hex, Fnv1a};
+pub use hash::{fnv1a64, fnv1a64_words, hash_hex, instance_hash, parse_hash_hex, Fnv1a};
 pub use ids::{AgentId, ConstraintId, ObjectiveId};
 pub use instance::{AgentConstraint, AgentObjective, Entry, Instance, InstanceBuilder};
 pub use solution::{FeasibilityReport, Solution};

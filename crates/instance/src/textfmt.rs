@@ -16,18 +16,29 @@ use crate::ids::AgentId;
 use crate::instance::{Instance, InstanceBuilder};
 use std::fmt::Write as _;
 
-/// Parse error with 1-based line number.
+/// Parse error with the 1-based line number and, when one exists, the
+/// exact offending token — a multi-thousand-line instance file is
+/// undebuggable from a line number alone when the line holds dozens of
+/// `agent:coef` pairs.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
-    /// 1-based line of the offending input.
+    /// 1-based line of the offending input (0 for whole-file errors,
+    /// e.g. a missing `agents` declaration).
     pub line: usize,
+    /// The token that triggered the error, verbatim, when the error is
+    /// attributable to one.
+    pub token: Option<String>,
     /// Human-readable description.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.message)?;
+        if let Some(tok) = &self.token {
+            write!(f, " (at token '{tok}')")?;
+        }
+        Ok(())
     }
 }
 
@@ -80,7 +91,16 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
     let mut saw_header = false;
     let mut row: Vec<(AgentId, f64)> = Vec::new();
 
-    let err = |line: usize, message: String| ParseError { line, message };
+    let err = |line: usize, message: String| ParseError {
+        line,
+        token: None,
+        message,
+    };
+    let err_tok = |line: usize, token: &str, message: String| ParseError {
+        line,
+        token: Some(token.to_string()),
+        message,
+    };
 
     for (idx, raw_line) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -96,36 +116,41 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
                     .next()
                     .ok_or_else(|| err(lineno, "missing format version".into()))?;
                 if version != "1" {
-                    return Err(err(lineno, format!("unsupported version {version}")));
+                    return Err(err_tok(
+                        lineno,
+                        version,
+                        format!("unsupported version {version}"),
+                    ));
                 }
                 saw_header = true;
             }
             "agents" => {
                 if !saw_header {
-                    return Err(err(lineno, "missing 'maxminlp 1' header".into()));
+                    return Err(err_tok(lineno, head, "missing 'maxminlp 1' header".into()));
                 }
-                let n: usize = tokens
+                let count_tok = tokens
                     .next()
-                    .ok_or_else(|| err(lineno, "missing agent count".into()))?
+                    .ok_or_else(|| err(lineno, "missing agent count".into()))?;
+                let n: usize = count_tok
                     .parse()
-                    .map_err(|e| err(lineno, format!("bad agent count: {e}")))?;
+                    .map_err(|e| err_tok(lineno, count_tok, format!("bad agent count: {e}")))?;
                 builder = Some(InstanceBuilder::with_agents(n));
             }
             "c" | "o" => {
-                let b = builder
-                    .as_mut()
-                    .ok_or_else(|| err(lineno, "row before 'agents' declaration".into()))?;
+                let b = builder.as_mut().ok_or_else(|| {
+                    err_tok(lineno, head, "row before 'agents' declaration".into())
+                })?;
                 row.clear();
                 for tok in tokens {
-                    let (a, c) = tok
-                        .split_once(':')
-                        .ok_or_else(|| err(lineno, format!("expected agent:coef, got '{tok}'")))?;
+                    let (a, c) = tok.split_once(':').ok_or_else(|| {
+                        err_tok(lineno, tok, format!("expected agent:coef, got '{tok}'"))
+                    })?;
                     let agent: u32 = a
                         .parse()
-                        .map_err(|e| err(lineno, format!("bad agent index '{a}': {e}")))?;
+                        .map_err(|e| err_tok(lineno, tok, format!("bad agent index '{a}': {e}")))?;
                     let coef: f64 = c
                         .parse()
-                        .map_err(|e| err(lineno, format!("bad coefficient '{c}': {e}")))?;
+                        .map_err(|e| err_tok(lineno, tok, format!("bad coefficient '{c}': {e}")))?;
                     row.push((AgentId::new(agent), coef));
                 }
                 let result = if head == "c" {
@@ -133,10 +158,14 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
                 } else {
                     b.add_objective(&row).map(|_| ())
                 };
-                result.map_err(|e| err(lineno, e.to_string()))?;
+                result.map_err(|e| err_tok(lineno, line, e.to_string()))?;
             }
             other => {
-                return Err(err(lineno, format!("unknown directive '{other}'")));
+                return Err(err_tok(
+                    lineno,
+                    other,
+                    format!("unknown directive '{other}'"),
+                ));
             }
         }
     }
@@ -257,5 +286,38 @@ mod tests {
         let e = parse_instance("maxminlp 1\nagents 1\nc 0:bad\n").unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_carries_the_offending_token() {
+        // A bad pair deep inside a long row: the token pins it down.
+        let e = parse_instance("maxminlp 1\nagents 9\nc 0:1 1:1 2:1 3:oops 4:1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.token.as_deref(), Some("3:oops"));
+        assert!(e.to_string().contains("(at token '3:oops')"), "{e}");
+
+        let e = parse_instance("maxminlp 1\nagents 9\nc 0:1 17\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("17"));
+
+        let e = parse_instance("maxminlp 1\nagents 9\nc x:1\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("x:1"));
+
+        let e = parse_instance("maxminlp 2\n").unwrap_err();
+        assert_eq!((e.line, e.token.as_deref()), (1, Some("2")));
+
+        let e = parse_instance("maxminlp 1\nagents nine\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("nine"));
+
+        let e = parse_instance("maxminlp 1\nagents 1\nx 0:1\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("x"));
+
+        // Builder-level row errors point at the whole (comment-stripped)
+        // row, since the failing check spans tokens.
+        let e = parse_instance("maxminlp 1\nagents 2\nc 0:1 0:2  # dup\n").unwrap_err();
+        assert_eq!(e.token.as_deref(), Some("c 0:1 0:2"));
+
+        // Whole-file errors carry no token.
+        let e = parse_instance("").unwrap_err();
+        assert_eq!((e.line, e.token), (0, None));
     }
 }

@@ -21,6 +21,9 @@
 //!   append-only record log (serde is unavailable offline).
 //! * [`campaign`] — orchestration: **resumable** runs (completed job
 //!   hashes found in `results.jsonl` are skipped), status inspection.
+//! * [`spill`] — re-keys completed measurements into a persistent
+//!   content-addressed `mmlp-store` (the same store the solver service
+//!   mounts), instance blobs and all.
 //! * [`report`] — aggregation into ratio-vs-guarantee, solver
 //!   comparison and scaling tables, rendered as aligned text and CSV.
 //!
@@ -53,6 +56,7 @@ pub mod pool;
 pub mod record;
 pub mod report;
 pub mod spec;
+pub mod spill;
 
 /// One-stop imports for the CLI, the experiment harness and tests.
 pub mod prelude {
@@ -63,4 +67,5 @@ pub mod prelude {
     pub use crate::record::{JobRecord, JobStatus};
     pub use crate::report;
     pub use crate::spec::{parse_spec, write_spec, CampaignSpec};
+    pub use crate::spill::{spill_records, SpillSummary};
 }

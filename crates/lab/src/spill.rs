@@ -1,0 +1,215 @@
+//! Spilling campaign results into a persistent `mmlp-store`.
+//!
+//! A campaign's record log already survives restarts, but it is keyed
+//! by *job* hash, not by *instance* content hash — so nothing else in
+//! the workspace can find those results. Spilling re-keys each
+//! completed measurement under the same content-addressed identity the
+//! solver service uses: the generated instance goes in as an instance
+//! record, and the job's JSONL record goes in as a result record under
+//! the lab's own `op` namespace (codes 16–19, one per
+//! [`SolverKind`] — disjoint from the service's 1–4, so a campaign and
+//! a server can share one store directory without colliding).
+
+use crate::exec::generate_instance;
+use crate::job::{Job, SolverKind};
+use crate::record::{JobRecord, JobStatus};
+use mmlp_store::{ResultKey, Store};
+use std::collections::HashMap;
+
+/// First `op` namespace byte used by the lab spiller.
+pub const LAB_OP_BASE: u8 = 16;
+
+/// The `op` namespace byte for one solver kind.
+pub fn op_code(solver: SolverKind) -> u8 {
+    LAB_OP_BASE
+        + match solver {
+            SolverKind::Local => 0,
+            SolverKind::Safe => 1,
+            SolverKind::Exact => 2,
+            SolverKind::Distributed => 3,
+        }
+}
+
+/// What one spill wrote.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillSummary {
+    /// Instance puts issued — one per distinct `(family, size, seed)`
+    /// triple; the store dedupes triples whose content coincides.
+    pub instances: usize,
+    /// Result records persisted.
+    pub results: usize,
+    /// Records skipped (not `ok`, or their family no longer exists).
+    pub skipped: usize,
+}
+
+/// Spills every `ok` record into `store`: the generated instance under
+/// its content hash, the record's JSONL line under a [`ResultKey`] in
+/// the lab namespace. Failed records are skipped (they carry no
+/// measurement worth keeping); re-spilling is idempotent because both
+/// record kinds dedupe on their keys.
+pub fn spill_records(records: &[JobRecord], store: &Store) -> std::io::Result<SpillSummary> {
+    let mut summary = SpillSummary::default();
+    // Campaigns sweep solvers × R over the same (family, size, seed)
+    // triples: generate (and hash) each instance once.
+    let mut hashes: HashMap<(String, usize, u64), Option<u64>> = HashMap::new();
+    for record in records {
+        if record.status != JobStatus::Ok {
+            summary.skipped += 1;
+            continue;
+        }
+        let triple = (record.family.clone(), record.size, record.seed);
+        let hash = match hashes.get(&triple) {
+            Some(h) => *h,
+            None => {
+                let job = Job {
+                    family: record.family.clone(),
+                    size: record.size,
+                    seed: record.seed,
+                    big_r: record.big_r,
+                    solver: record.solver,
+                };
+                let h = match generate_instance(&job) {
+                    Ok(inst) => {
+                        let h = store.put_instance(&inst)?;
+                        summary.instances += 1;
+                        Some(h)
+                    }
+                    Err(_) => None, // family vanished from the catalog
+                };
+                hashes.insert(triple, h);
+                h
+            }
+        };
+        let Some(instance) = hash else {
+            summary.skipped += 1;
+            continue;
+        };
+        store.put_result(
+            ResultKey {
+                instance,
+                op: op_code(record.solver),
+                big_r: record.big_r as u32,
+                threads: 0,
+            },
+            &record.to_json_line(),
+        )?;
+        summary.results += 1;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_in_memory;
+    use crate::spec::CampaignSpec;
+    use mmlp_instance::hash::instance_hash;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mmlp-spill-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "spill".into(),
+            families: vec!["cycle".into(), "bandwidth".into()],
+            sizes: vec![8],
+            seeds: vec![0, 1],
+            rs: vec![2, 3],
+            solvers: vec![SolverKind::Local, SolverKind::Safe],
+            timeout_ms: 0,
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn spill_persists_instances_and_rekeyed_results() {
+        let dir = temp_dir("basic");
+        let records = run_in_memory(&spec(), 2);
+        // 2 fam × 1 size × 2 seeds × (local × 2R + safe) = 12 jobs.
+        assert_eq!(records.len(), 12);
+
+        let (store, _) = Store::open(&dir).unwrap();
+        let summary = spill_records(&records, &store).unwrap();
+        assert_eq!(summary.results, 12);
+        assert_eq!(summary.skipped, 0);
+        // cycle ignores the seed, so its two seeds collapse onto one
+        // content hash — and with them their result keys: 2 bandwidth
+        // + 1 cycle instances, and 9 distinct (instance, op, R) keys
+        // (cycle's second seed re-keys onto the first's results).
+        let (n_inst, n_res) = store.counts();
+        assert_eq!(n_inst, 3, "content-addressed dedupe across seeds");
+        assert_eq!(n_res, 9);
+        assert_eq!(summary.instances, 4, "one put per (family,size,seed)");
+
+        // Each result is findable under its instance's content hash
+        // and carries the original JSONL line. (Pick a bandwidth
+        // record: its seeds generate distinct instances, so its key is
+        // unambiguous.)
+        let r = records
+            .iter()
+            .find(|r| r.family == "bandwidth")
+            .expect("bandwidth record");
+        let job = Job {
+            family: r.family.clone(),
+            size: r.size,
+            seed: r.seed,
+            big_r: r.big_r,
+            solver: r.solver,
+        };
+        let h = instance_hash(&generate_instance(&job).unwrap());
+        let body = store
+            .get_result(&ResultKey {
+                instance: h,
+                op: op_code(r.solver),
+                big_r: r.big_r as u32,
+                threads: 0,
+            })
+            .unwrap()
+            .expect("spilled result");
+        assert_eq!(body, r.to_json_line());
+
+        // Idempotent: spilling again adds nothing.
+        let again = spill_records(&records, &store).unwrap();
+        assert_eq!(again.results, 12);
+        assert_eq!(store.counts(), (3, 9));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_records_are_skipped() {
+        let dir = temp_dir("skip");
+        let job = Job {
+            family: "cycle".into(),
+            size: 8,
+            seed: 0,
+            big_r: 2,
+            solver: SolverKind::Local,
+        };
+        let records = vec![JobRecord::failed(&job, JobStatus::Panicked, "boom".into())];
+        let (store, _) = Store::open(&dir).unwrap();
+        let summary = spill_records(&records, &store).unwrap();
+        assert_eq!(
+            summary,
+            SpillSummary {
+                instances: 0,
+                results: 0,
+                skipped: 1
+            }
+        );
+        assert_eq!(store.counts(), (0, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn op_codes_are_disjoint_from_the_service_namespace() {
+        let codes: Vec<u8> = SolverKind::all().iter().map(|s| op_code(*s)).collect();
+        assert_eq!(codes, vec![16, 17, 18, 19]);
+    }
+}

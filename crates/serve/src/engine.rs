@@ -22,7 +22,9 @@ use mmlp_core::solver::LocalSolver;
 use mmlp_instance::hash::{hash_hex, instance_hash};
 use mmlp_instance::{textfmt, DegreeStats, Instance};
 use mmlp_lp::solve_maxmin;
+use mmlp_store::{ResultKey, Store};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The result-cache key: everything that determines a reply body.
@@ -61,19 +63,118 @@ impl CacheKey {
 /// A request failure, mapped onto a wire error code.
 pub type EngineError = (ErrorCode, String);
 
-/// The cache + store pair behind the server (and the bench).
+/// What a warm start loaded from the persistent store at boot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStart {
+    /// Instances loaded into the in-memory instance store.
+    pub instances: u64,
+    /// Result bodies loaded into the result cache.
+    pub results: u64,
+}
+
+/// The cache + store pair behind the server (and the bench), with an
+/// optional persistent [`Store`] underneath: when mounted, `PUT`
+/// instances and solved results are appended to disk as they arrive,
+/// and a fresh engine warm-starts its LRUs from the store at
+/// construction — so a restart turns previously-solved requests back
+/// into bit-identical cache hits.
 pub struct Engine {
     results: Mutex<Lru<CacheKey, Arc<String>>>,
     store: Mutex<Lru<u64, Arc<Instance>>>,
+    persist: Option<Store>,
+    persist_errors: AtomicU64,
+    warm: WarmStart,
 }
 
 impl Engine {
-    /// Creates an engine with the given result-cache and instance-store
-    /// budgets, both in bytes.
+    /// Creates a memory-only engine with the given result-cache and
+    /// instance-store budgets, both in bytes.
     pub fn new(cache_bytes: u64, store_bytes: u64) -> Self {
         Engine {
             results: Mutex::new(Lru::new(cache_bytes)),
             store: Mutex::new(Lru::new(store_bytes)),
+            persist: None,
+            persist_errors: AtomicU64::new(0),
+            warm: WarmStart::default(),
+        }
+    }
+
+    /// Creates an engine backed by a persistent store, warm-starting
+    /// both LRUs from it. Result records in foreign `op` namespaces
+    /// (e.g. lab spills sharing the store) are left on disk untouched.
+    pub fn with_store(cache_bytes: u64, store_bytes: u64, persist: Store) -> std::io::Result<Self> {
+        let engine = Engine::new(cache_bytes, store_bytes);
+        let mut warm = WarmStart::default();
+        {
+            // Loading stops once the LRU budget is reached: decoding a
+            // record only to evict an earlier one would make boot time
+            // O(store size) for a budget-bounded benefit, and would
+            // inflate the warm counters with entries that are already
+            // gone. What's loaded is therefore exactly what's resident.
+            let mut store = engine.store.lock().expect("store lock");
+            for (hash, disk_len) in persist.instance_records() {
+                // Cost proxy: the framed on-disk length (the binary
+                // blob is within ~2× of the canonical text `put` uses,
+                // and reading it off the index avoids re-rendering
+                // every instance at boot).
+                if store.used() + u64::from(disk_len) > store.budget() {
+                    break;
+                }
+                if let Some(inst) = persist.get_instance(hash)? {
+                    if store.insert(hash, Arc::new(inst), u64::from(disk_len)) {
+                        warm.instances += 1;
+                    }
+                }
+            }
+            let mut results = engine.results.lock().expect("cache lock");
+            for (rkey, disk_len) in persist.result_records() {
+                let Some(op) = Op::from_code(rkey.op) else {
+                    continue; // a foreign producer's namespace
+                };
+                if results.used() + u64::from(disk_len) > results.budget() {
+                    break;
+                }
+                if let Some(body) = persist.get_result(&rkey)? {
+                    let key = CacheKey {
+                        instance: rkey.instance,
+                        op,
+                        big_r: rkey.big_r as usize,
+                        threads: rkey.threads as usize,
+                    };
+                    let cost = body.len() as u64;
+                    if results.insert(key, Arc::new(body), cost) {
+                        warm.results += 1;
+                    }
+                }
+            }
+        }
+        Ok(Engine {
+            persist: Some(persist),
+            warm,
+            ..engine
+        })
+    }
+
+    /// What the warm start loaded (zeros for a memory-only engine).
+    pub fn warm_start(&self) -> WarmStart {
+        self.warm
+    }
+
+    /// Whether a persistent store is mounted.
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Failed disk appends so far (serving continued from memory).
+    pub fn persist_errors(&self) -> u64 {
+        self.persist_errors.load(Ordering::Relaxed)
+    }
+
+    /// A persistence failure must not fail the request — the reply is
+    /// already computed and correct; only its durability is degraded.
+    fn note_persist<T>(&self, r: std::io::Result<T>) {
+        if r.is_err() {
+            self.persist_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -86,12 +187,19 @@ impl Engine {
         let canonical = textfmt::write_instance(&inst);
         let h = mmlp_instance::hash::fnv1a64(canonical.as_bytes());
         let cost = canonical.len() as u64;
-        let mut store = self.store.lock().expect("store lock");
-        if store.get(&h).is_none() && !store.insert(h, Arc::new(inst), cost) {
-            return Err((
-                ErrorCode::BadReq,
-                format!("instance ({cost} bytes) exceeds the store budget"),
-            ));
+        let inst = Arc::new(inst);
+        {
+            let mut store = self.store.lock().expect("store lock");
+            if store.get(&h).is_none() && !store.insert(h, Arc::clone(&inst), cost) {
+                return Err((
+                    ErrorCode::BadReq,
+                    format!("instance ({cost} bytes) exceeds the store budget"),
+                ));
+            }
+        }
+        // Persist outside the LRU lock; `put_instance` dedupes on hash.
+        if let Some(p) = &self.persist {
+            self.note_persist(p.put_instance(&inst));
         }
         Ok(h)
     }
@@ -116,13 +224,23 @@ impl Engine {
         self.results.lock().expect("cache lock").get(key).cloned()
     }
 
-    /// Inserts a computed reply body.
+    /// Inserts a computed reply body (and appends it to the persistent
+    /// store when one is mounted).
     pub fn insert(&self, key: CacheKey, body: Arc<String>) {
         let cost = body.len() as u64;
         self.results
             .lock()
             .expect("cache lock")
-            .insert(key, body, cost);
+            .insert(key, Arc::clone(&body), cost);
+        if let Some(p) = &self.persist {
+            let rkey = ResultKey {
+                instance: key.instance,
+                op: key.op.code(),
+                big_r: key.big_r as u32,
+                threads: key.threads as u32,
+            };
+            self.note_persist(p.put_result(rkey, &body));
+        }
     }
 
     /// `(entries, used bytes, evictions)` of the result cache.
@@ -267,6 +385,84 @@ mod tests {
         let s1 = CacheKey::new(7, Op::Solve, 3, 1);
         let s2 = CacheKey::new(7, Op::Solve, 4, 1);
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn persistent_engine_warm_starts_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "mmlp-engine-warm-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = textfmt::write_instance(&inst());
+        let cold;
+        let key = CacheKey::new(instance_hash(&inst()), Op::Solve, 3, 1);
+        {
+            let (store, _) = Store::open(&dir).unwrap();
+            let e = Engine::with_store(1 << 20, 1 << 20, store).unwrap();
+            assert_eq!(e.warm_start(), WarmStart::default());
+            let h = e.put(&text).unwrap();
+            assert_eq!(h, key.instance);
+            cold = Arc::new(execute(Op::Solve, &inst(), 3, 1).unwrap());
+            e.insert(key, Arc::clone(&cold));
+            assert_eq!(e.persist_errors(), 0);
+        }
+        // A brand-new engine on the same directory: the instance is
+        // fetchable and the result is a warm hit, both bit-identical.
+        let (store, report) = Store::open(&dir).unwrap();
+        assert_eq!((report.instances, report.results), (1, 1));
+        let e = Engine::with_store(1 << 20, 1 << 20, store).unwrap();
+        assert_eq!(
+            e.warm_start(),
+            WarmStart {
+                instances: 1,
+                results: 1
+            }
+        );
+        let back = e.fetch(key.instance).unwrap();
+        assert_eq!(textfmt::write_instance(&back), text);
+        let warm = e.cached(&key).expect("warm hit after restart");
+        assert_eq!(warm.as_bytes(), cold.as_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_result_namespaces_are_skipped_at_warm_start() {
+        let dir = std::env::temp_dir().join(format!(
+            "mmlp-engine-foreign-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let h;
+        {
+            let (store, _) = Store::open(&dir).unwrap();
+            h = store.put_instance(&inst()).unwrap();
+            // A lab spill shares the store under op codes ≥ 16.
+            store
+                .put_result(
+                    ResultKey {
+                        instance: h,
+                        op: 16,
+                        big_r: 3,
+                        threads: 0,
+                    },
+                    "{\"job\":\"x\"}",
+                )
+                .unwrap();
+        }
+        let (store, _) = Store::open(&dir).unwrap();
+        let e = Engine::with_store(1 << 20, 1 << 20, store).unwrap();
+        assert_eq!(
+            e.warm_start(),
+            WarmStart {
+                instances: 1,
+                results: 0
+            }
+        );
+        assert_eq!(e.cache_stats().0, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   content-addressed instance store fed by `PUT`.
 //! * [`engine`] — the sockets-free core: resolve source → probe cache
 //!   → execute solver → insert; directly benchmarked by `serve_cache`.
+//!   With `ServeConfig::store_dir` set it mounts a persistent
+//!   `mmlp-store` underneath: `PUT` instances and solved results are
+//!   appended to disk, and a restart **warm-starts** both LRUs, so
+//!   previously-solved requests come back as bit-identical cache hits
+//!   across process restarts (`specs/STORAGE.md`).
 //! * [`server`] — accept loop, per-connection threads, dispatch onto a
 //!   bounded `mmlp_lab::pool::TaskPool` (full queue ⇒ `ERR BUSY`
 //!   backpressure, never unbounded growth), per-request timeouts with
@@ -72,7 +77,7 @@ pub mod stats;
 /// One-stop imports for the CLI, tests and downstream users.
 pub mod prelude {
     pub use crate::client::{Client, ClientReply};
-    pub use crate::engine::{execute, CacheKey, Engine};
+    pub use crate::engine::{execute, CacheKey, Engine, WarmStart};
     pub use crate::loadgen::{render_report, run_loadgen, LoadConfig, LoadReport};
     pub use crate::protocol::{Command, ErrorCode, Op, Reply};
     pub use crate::server::{ServeConfig, Server, ServerSummary};

@@ -69,6 +69,10 @@ pub struct LoadReport {
     /// Distinct `OK` body contents observed (must be 1 for a
     /// deterministic op against one instance).
     pub distinct_bodies: usize,
+    /// FNV-1a hash of the one body all replies agreed on, when
+    /// `distinct_bodies == 1` — lets two runs (e.g. before and after a
+    /// server restart) assert byte-identity without keeping bodies.
+    pub body_fnv: Option<u64>,
     /// Merged per-request latency histogram.
     pub histogram: Histogram,
     /// Wall-clock duration of the whole run.
@@ -211,6 +215,7 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
         busy: 0,
         errors: 0,
         distinct_bodies: 0,
+        body_fnv: None,
         histogram: Histogram::new(),
         wall,
         first_error: None,
@@ -228,6 +233,9 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
         }
     }
     report.distinct_bodies = bodies.len();
+    if bodies.len() == 1 {
+        report.body_fnv = bodies.first().copied();
+    }
 
     if cfg.shutdown_after {
         let mut c = Client::connect(&cfg.addr).map_err(|e| format!("shutdown connect: {e}"))?;
@@ -257,6 +265,9 @@ pub fn render_report(cfg: &LoadConfig, r: &LoadReport) -> String {
         let _ = writeln!(out, "first_error {e}");
     }
     let _ = writeln!(out, "distinct_bodies {}", r.distinct_bodies);
+    if let Some(h) = r.body_fnv {
+        let _ = writeln!(out, "body_fnv {}", mmlp_instance::hash::hash_hex(h));
+    }
     let _ = writeln!(out, "wall_ms {}", r.wall.as_millis());
     let _ = writeln!(out, "throughput_rps {:.1}", r.throughput());
     let _ = writeln!(out, "p50_us {}", r.histogram.percentile(0.50));

@@ -49,6 +49,29 @@ impl Op {
             Op::Info => "info",
         }
     }
+
+    /// Stable byte used as the `op` namespace of persisted result
+    /// records (`mmlp_store::ResultKey`). Codes 1–4 belong to the
+    /// service; other producers (the lab spiller) use disjoint ranges.
+    pub fn code(&self) -> u8 {
+        match self {
+            Op::Solve => 1,
+            Op::Optimum => 2,
+            Op::Safe => 3,
+            Op::Info => 4,
+        }
+    }
+
+    /// Inverse of [`Op::code`]; `None` for foreign namespace bytes.
+    pub fn from_code(code: u8) -> Option<Op> {
+        Some(match code {
+            1 => Op::Solve,
+            2 => Op::Optimum,
+            3 => Op::Safe,
+            4 => Op::Info,
+            _ => return None,
+        })
+    }
 }
 
 /// Where the request's instance comes from.
@@ -197,18 +220,21 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             let src = parse_source(tokens.next().ok_or(format!("{verb} needs a source"))?)?;
             let mut big_r = DEFAULT_R;
             let mut threads = DEFAULT_THREADS;
+            // Both parameters are bounded to u32 so the persisted
+            // result key (`mmlp_store::ResultKey`, u32 fields) can
+            // never truncate-collide two distinct requests.
             for tok in tokens.by_ref() {
                 if let Some(v) = tok.strip_prefix("R=") {
                     big_r = v
                         .parse()
                         .ok()
-                        .filter(|r| *r >= 2)
-                        .ok_or_else(|| format!("bad R '{v}' (need an integer ≥ 2)"))?;
+                        .filter(|r| *r >= 2 && *r <= u32::MAX as usize)
+                        .ok_or_else(|| format!("bad R '{v}' (need an integer ≥ 2, ≤ 2^32−1)"))?;
                 } else if let Some(v) = tok.strip_prefix("THREADS=") {
                     threads = v
                         .parse()
                         .ok()
-                        .filter(|t| *t >= 1)
+                        .filter(|t| *t >= 1 && *t <= u32::MAX as usize)
                         .ok_or_else(|| format!("bad THREADS '{v}'"))?;
                 } else {
                     return Err(format!("unknown parameter '{tok}'"));
@@ -290,8 +316,10 @@ mod tests {
             "PUT x",
             "SOLVE",
             "SOLVE nope",
-            "SOLVE hash:123",       // not 16 hex digits
-            "SOLVE inline:3 R=1",   // R < 2
+            "SOLVE hash:123",              // not 16 hex digits
+            "SOLVE inline:3 R=1",          // R < 2
+            "SOLVE inline:3 R=4294967296", // R > u32::MAX would truncate the persisted key
+            "SOLVE inline:3 THREADS=4294967296",
             "SOLVE inline:3 BAD=1", // unknown param
             "STATS extra",          // trailing token
             "SLEEP",

@@ -53,6 +53,10 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Largest accepted `PUT`/`inline:` body, in bytes.
     pub max_body_bytes: usize,
+    /// When set, mount a persistent `mmlp-store` at this directory:
+    /// `PUT` instances and solved results are appended to disk, and a
+    /// restart warm-starts the caches from it (`specs/STORAGE.md`).
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +70,7 @@ impl Default for ServeConfig {
             timeout: Some(Duration::from_secs(30)),
             max_connections: 256,
             max_body_bytes: 16 << 20,
+            store_dir: None,
         }
     }
 }
@@ -114,7 +119,10 @@ pub struct Server {
 const POLL_TICK: Duration = Duration::from_millis(100);
 
 impl Server {
-    /// Binds the listener and spawns the worker pool.
+    /// Binds the listener and spawns the worker pool. With a
+    /// `store_dir` configured, this is also where the persistent store
+    /// is opened (recovering any crash damage) and the caches are
+    /// warm-started from it.
     pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
@@ -123,8 +131,15 @@ impl Server {
             queue_cap: cfg.queue_cap,
             timeout: cfg.timeout,
         });
+        let engine = match &cfg.store_dir {
+            None => Engine::new(cfg.cache_bytes, cfg.store_bytes),
+            Some(dir) => {
+                let (store, _report) = mmlp_store::Store::open(dir)?;
+                Engine::with_store(cfg.cache_bytes, cfg.store_bytes, store)?
+            }
+        };
         let shared = Arc::new(Shared {
-            engine: Engine::new(cfg.cache_bytes, cfg.store_bytes),
+            engine,
             pool,
             counters: Counters::default(),
             latency: Mutex::new(Histogram::new()),
@@ -532,6 +547,15 @@ fn render_stats(shared: &Shared) -> String {
     let _ = writeln!(out, "cache_evictions {cache_evictions}");
     let _ = writeln!(out, "store_entries {store_entries}");
     let _ = writeln!(out, "store_bytes {store_bytes}");
+    let _ = writeln!(
+        out,
+        "persist_enabled {}",
+        u8::from(shared.engine.is_persistent())
+    );
+    let warm = shared.engine.warm_start();
+    let _ = writeln!(out, "warm_instances {}", warm.instances);
+    let _ = writeln!(out, "warm_results {}", warm.results);
+    let _ = writeln!(out, "persist_errors {}", shared.engine.persist_errors());
     let _ = writeln!(out, "latency_samples {}", lat.total());
     let _ = writeln!(out, "latency_mean_us {}", lat.mean_us());
     let _ = writeln!(out, "p50_us {}", lat.percentile(0.50));

@@ -33,6 +33,10 @@
 //!   with a content-addressed result cache, bounded-queue backpressure
 //!   and a closed-loop load generator (`maxmin-lp serve` /
 //!   `maxmin-lp loadgen`).
+//! * [`store`] — the persistence layer: a checksummed binary codec for
+//!   instances and solutions, and a sharded append-only
+//!   content-addressed store with crash recovery, `gc` and `verify`
+//!   (`maxmin-lp store …`; mounted by the server via `--store-dir`).
 //!
 //! ## Quickstart
 //!
@@ -69,6 +73,7 @@ pub use mmlp_lab as lab;
 pub use mmlp_lp as lp;
 pub use mmlp_net as net;
 pub use mmlp_serve as serve;
+pub use mmlp_store as store;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -88,4 +93,5 @@ pub mod prelude {
     pub use mmlp_serve::prelude::{
         run_loadgen, Client, LoadConfig, Op, ServeConfig, Server, ServerSummary,
     };
+    pub use mmlp_store::prelude::{ResultKey, Store, StoreConfig};
 }

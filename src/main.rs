@@ -9,11 +9,19 @@
 //! maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet]
 //! maxmin-lp campaign report <dir> [--csv]
 //! maxmin-lp campaign status <dir>
+//! maxmin-lp campaign spill <dir> --store <store-dir>     persist results
 //! maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>]
-//!                 [--queue <n>] [--timeout-ms <t>]       solver service
+//!                 [--queue <n>] [--timeout-ms <t>]
+//!                 [--store-dir <dir>]                    solver service
 //! maxmin-lp loadgen --instance <f> [--addr <a>] [--clients <n>]
 //!                 [--requests <n>] [-R <R>] [--op <op>] [--inline]
 //!                 [--shutdown]                           drive the service
+//! maxmin-lp store import <dir> <file>... | --catalog <size> <seed>
+//! maxmin-lp store export <dir> <hash> [--out <file>]
+//! maxmin-lp store convert <in> <out>                     text ↔ binary
+//! maxmin-lp store ls <dir>
+//! maxmin-lp store gc <dir>
+//! maxmin-lp store verify <dir>
 //! ```
 //!
 //! Instances use the line-oriented text format of
@@ -31,6 +39,7 @@ use maxmin_lp::lp::solve_maxmin;
 use maxmin_lp::serve::loadgen::{self, LoadConfig};
 use maxmin_lp::serve::protocol::Op;
 use maxmin_lp::serve::server::{ServeConfig, Server};
+use maxmin_lp::store::{codec, Store};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -44,10 +53,15 @@ fn usage() -> ExitCode {
          maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet]\n  \
          maxmin-lp campaign report <dir> [--csv]\n  \
          maxmin-lp campaign status <dir>\n  \
+         maxmin-lp campaign spill <dir> --store <store-dir>\n  \
          maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>] \
-         [--queue <n>] [--timeout-ms <t>]\n  \
+         [--queue <n>] [--timeout-ms <t>] [--store-dir <dir>]\n  \
          maxmin-lp loadgen --instance <file> [--addr <a>] [--clients <n>] \
-         [--requests <n>] [-R <R>] [--op solve|optimum|safe|info] [--inline] [--shutdown]\n\n\
+         [--requests <n>] [-R <R>] [--op solve|optimum|safe|info] [--inline] [--shutdown]\n  \
+         maxmin-lp store import <dir> <file>... | --catalog <size> <seed>\n  \
+         maxmin-lp store export <dir> <hash> [--out <file>]\n  \
+         maxmin-lp store convert <in> <out>\n  \
+         maxmin-lp store ls|gc|verify <dir>\n\n\
          families: {}",
         catalog()
             .iter()
@@ -187,7 +201,7 @@ fn run(cmd: &str, rest: &[String]) -> Result<(), UsageError> {
             match out_file {
                 None => print!("{text}"),
                 Some(path) => {
-                    write_atomically(&path, &text).map_err(|e| e.to_string())?;
+                    write_atomically(&path, text.as_bytes()).map_err(|e| e.to_string())?;
                     println!("wrote {}", path.display());
                 }
             }
@@ -222,14 +236,18 @@ fn run(cmd: &str, rest: &[String]) -> Result<(), UsageError> {
         }
         "serve" => serve_cmd(rest),
         "loadgen" => loadgen_cmd(rest),
+        "store" => {
+            let sub = rest.first().ok_or(UsageError::Usage)?;
+            store_cmd(sub, &rest[1..])
+        }
         _ => Err(UsageError::Usage),
     }
 }
 
-/// Writes `text` to `path` atomically: temp file in the same directory,
-/// then `rename`, so readers (and a crash mid-write) never observe a
-/// half-written instance.
-fn write_atomically(path: &Path, text: &str) -> std::io::Result<()> {
+/// Writes `bytes` to `path` atomically: temp file in the same
+/// directory, then `rename`, so readers (and a crash mid-write) never
+/// observe a half-written file.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path
         .file_name()
@@ -240,20 +258,23 @@ fn write_atomically(path: &Path, text: &str) -> std::io::Result<()> {
         Some(d) => d.join(&tmp_name),
         None => PathBuf::from(&tmp_name),
     };
-    std::fs::write(&tmp, text)?;
+    std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path).inspect_err(|_| {
         let _ = std::fs::remove_file(&tmp);
     })
 }
 
 /// `maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>]
-/// [--queue <n>] [--timeout-ms <t>]`.
+/// [--queue <n>] [--timeout-ms <t>] [--store-dir <dir>]`.
 fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
     let mut cfg = ServeConfig::default();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => cfg.addr = it.next().ok_or(UsageError::Usage)?.clone(),
+            "--store-dir" => {
+                cfg.store_dir = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?))
+            }
             "--workers" => {
                 cfg.workers = it
                     .next()
@@ -295,6 +316,9 @@ fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
         cfg.cache_bytes >> 20,
         cfg.timeout.map_or(0, |d| d.as_millis())
     );
+    if let Some(dir) = &cfg.store_dir {
+        println!("store_dir {}", dir.display());
+    }
     // The CI smoke (and any supervisor) waits for the "listening" line.
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -466,6 +490,45 @@ fn campaign_cmd(sub: &str, rest: &[String]) -> Result<(), UsageError> {
             }
             Ok(())
         }
+        "spill" => {
+            let dir = rest.first().ok_or(UsageError::Usage)?;
+            let mut store_dir: Option<PathBuf> = None;
+            let mut it = rest[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--store" => {
+                        store_dir = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?))
+                    }
+                    _ => return Err(UsageError::Usage),
+                }
+            }
+            let store_dir = store_dir.ok_or(UsageError::Usage)?;
+            let records = campaign::load_records(Path::new(dir)).map_err(|e| e.to_string())?;
+            if records.is_empty() {
+                return Err(UsageError::Message(format!(
+                    "no records in {}",
+                    Path::new(dir).join(campaign::RESULTS_FILE).display()
+                )));
+            }
+            let (store, open) = Store::open(&store_dir).map_err(|e| e.to_string())?;
+            let summary = maxmin_lp::lab::spill::spill_records(&records, &store)
+                .map_err(|e| e.to_string())?;
+            println!("# spill {} -> {}", dir, store_dir.display());
+            println!("records {}", records.len());
+            println!("instances_put {}", summary.instances);
+            println!("results_put {}", summary.results);
+            println!("skipped {}", summary.skipped);
+            let (live_inst, live_res) = store.counts();
+            println!("store_instances {live_inst}");
+            println!("store_results {live_res}");
+            if open.corrupt > 0 || open.torn_bytes > 0 {
+                println!(
+                    "# store open repaired: corrupt {} torn_bytes {}",
+                    open.corrupt, open.torn_bytes
+                );
+            }
+            Ok(())
+        }
         "status" => {
             let dir = rest.first().ok_or(UsageError::Usage)?;
             let st = campaign::status(Path::new(dir)).map_err(|e| e.to_string())?;
@@ -480,6 +543,200 @@ fn campaign_cmd(sub: &str, rest: &[String]) -> Result<(), UsageError> {
                 println!("stale_records {}", st.stale_records);
             }
             println!("complete {}", st.is_complete());
+            Ok(())
+        }
+        _ => Err(UsageError::Usage),
+    }
+}
+
+/// Reads an instance file in either format: binary-codec blobs are
+/// recognised by their magic, anything else parses as text.
+fn load_any(path: &str) -> Result<Instance, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(&codec::MAGIC) {
+        return codec::decode_instance(&bytes).map_err(|e| format!("{path}: {e}"));
+    }
+    let text = String::from_utf8(bytes).map_err(|_| format!("{path}: neither binary nor UTF-8"))?;
+    textfmt::parse_instance(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Human name of a result record's `op` namespace byte: the service
+/// codes resolve through `Op::from_code` (the single owner of that
+/// mapping), the lab codes through the spiller's `SolverKind` base.
+fn op_name(code: u8) -> String {
+    use maxmin_lp::lab::job::SolverKind;
+    use maxmin_lp::lab::spill::{op_code, LAB_OP_BASE};
+    if let Some(op) = Op::from_code(code) {
+        return op.tag().into();
+    }
+    if code >= LAB_OP_BASE {
+        if let Some(kind) = SolverKind::all().into_iter().find(|k| op_code(*k) == code) {
+            return format!("lab-{}", kind.name());
+        }
+    }
+    format!("op{code}")
+}
+
+/// `maxmin-lp store import|export|convert|ls|gc|verify …`.
+fn store_cmd(sub: &str, rest: &[String]) -> Result<(), UsageError> {
+    use maxmin_lp::instance::hash::{hash_hex, parse_hash_hex};
+    match sub {
+        // import <dir> <file>...  |  import <dir> --catalog <size> <seed>
+        "import" => {
+            let dir = rest.first().ok_or(UsageError::Usage)?;
+            let (store, _) = Store::open(dir).map_err(|e| e.to_string())?;
+            let mut imported = 0usize;
+            match rest.get(1).map(String::as_str) {
+                Some("--catalog") => {
+                    let size: usize = rest
+                        .get(2)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(UsageError::Usage)?;
+                    let seed: u64 = rest
+                        .get(3)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(UsageError::Usage)?;
+                    if rest.len() > 4 {
+                        return Err(UsageError::Usage);
+                    }
+                    for fam in catalog() {
+                        let h = store
+                            .put_instance(&fam.instance(size, seed))
+                            .map_err(|e| e.to_string())?;
+                        println!("imported {} {}", hash_hex(h), fam.name);
+                        imported += 1;
+                    }
+                }
+                Some(_) => {
+                    for path in &rest[1..] {
+                        let inst = load_any(path)?;
+                        let h = store.put_instance(&inst).map_err(|e| e.to_string())?;
+                        println!("imported {} {path}", hash_hex(h));
+                        imported += 1;
+                    }
+                }
+                None => return Err(UsageError::Usage),
+            }
+            let (instances, results) = store.counts();
+            println!("imported_total {imported}");
+            println!("store_instances {instances}");
+            println!("store_results {results}");
+            Ok(())
+        }
+        // export <dir> <hash> [--out <file>] — text to stdout, or to a
+        // file (binary when the file name ends in .mmlpb).
+        "export" => {
+            let dir = rest.first().ok_or(UsageError::Usage)?;
+            let hash = rest
+                .get(1)
+                .and_then(|h| parse_hash_hex(h))
+                .ok_or(UsageError::Usage)?;
+            let mut out_file: Option<PathBuf> = None;
+            let mut it = rest[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => out_file = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?)),
+                    _ => return Err(UsageError::Usage),
+                }
+            }
+            let (store, _) = Store::open(dir).map_err(|e| e.to_string())?;
+            let inst = store
+                .get_instance(hash)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("no instance {} in {dir}", hash_hex(hash)))?;
+            match out_file {
+                None => print!("{}", textfmt::write_instance(&inst)),
+                Some(path) => {
+                    let bytes = if path.extension().is_some_and(|e| e == "mmlpb") {
+                        codec::encode_instance(&inst)
+                    } else {
+                        textfmt::write_instance(&inst).into_bytes()
+                    };
+                    write_atomically(&path, &bytes).map_err(|e| e.to_string())?;
+                    println!("wrote {}", path.display());
+                }
+            }
+            Ok(())
+        }
+        // convert <in> <out> — output format chosen by the output
+        // extension (.mmlpb = binary, anything else = text).
+        "convert" => {
+            let (input, output) = match rest {
+                [i, o] => (i.as_str(), Path::new(o.as_str())),
+                _ => return Err(UsageError::Usage),
+            };
+            let inst = load_any(input)?;
+            let bytes = if output.extension().is_some_and(|e| e == "mmlpb") {
+                codec::encode_instance(&inst)
+            } else {
+                textfmt::write_instance(&inst).into_bytes()
+            };
+            write_atomically(output, &bytes).map_err(|e| e.to_string())?;
+            println!("wrote {} ({} bytes)", output.display(), bytes.len());
+            Ok(())
+        }
+        "ls" => {
+            let dir = rest.first().ok_or(UsageError::Usage)?;
+            if rest.len() > 1 {
+                return Err(UsageError::Usage);
+            }
+            let (store, _) = Store::open(dir).map_err(|e| e.to_string())?;
+            for h in store.instance_hashes() {
+                let inst = store
+                    .get_instance(h)
+                    .map_err(|e| e.to_string())?
+                    .ok_or_else(|| format!("index lied about {}", hash_hex(h)))?;
+                println!(
+                    "instance {} agents {} constraints {} objectives {}",
+                    hash_hex(h),
+                    inst.n_agents(),
+                    inst.n_constraints(),
+                    inst.n_objectives()
+                );
+            }
+            // Lengths come off the in-memory index (framed on-disk
+            // bytes): listing a large store does no record I/O.
+            for (k, disk_len) in store.result_records() {
+                println!(
+                    "result {} {} R={} threads={} bytes {}",
+                    hash_hex(k.instance),
+                    op_name(k.op),
+                    k.big_r,
+                    k.threads,
+                    disk_len
+                );
+            }
+            let (instances, results) = store.counts();
+            println!("total instances {instances} results {results}");
+            Ok(())
+        }
+        "gc" => {
+            let dir = rest.first().ok_or(UsageError::Usage)?;
+            if rest.len() > 1 {
+                return Err(UsageError::Usage);
+            }
+            let (store, _) = Store::open(dir).map_err(|e| e.to_string())?;
+            let gc = store.gc().map_err(|e| e.to_string())?;
+            println!("records_kept {}", gc.records_kept);
+            println!("bytes_reclaimed {}", gc.bytes_reclaimed);
+            Ok(())
+        }
+        // verify prints the sweep report and exits non-zero on any
+        // damage, so CI can gate on it.
+        "verify" => {
+            let dir = rest.first().ok_or(UsageError::Usage)?;
+            if rest.len() > 1 {
+                return Err(UsageError::Usage);
+            }
+            let (store, _) = Store::open(dir).map_err(|e| e.to_string())?;
+            let v = store.verify().map_err(|e| e.to_string())?;
+            print!("{}", v.render());
+            if !v.clean() {
+                return Err(UsageError::Message(format!(
+                    "store {dir} has damage: {} corrupt record(s), {} torn segment(s)",
+                    v.corrupt, v.torn_segments
+                )));
+            }
             Ok(())
         }
         _ => Err(UsageError::Usage),

@@ -1,0 +1,225 @@
+//! End-to-end tests of the persistence layer behind `--store-dir`:
+//! warm-started caches across clean restarts, and crash recovery —
+//! `kill -9` mid-load, torn segment tails, byte-identical warm replies
+//! after the restart.
+
+use maxmin_lp::gen::catalog;
+use maxmin_lp::instance::textfmt;
+use maxmin_lp::serve::client::{stat, Client};
+use maxmin_lp::serve::protocol::Op;
+use maxmin_lp::serve::server::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mmlp-store-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn instance_text() -> String {
+    let fams = catalog();
+    let fam = fams.iter().find(|f| f.name == "bandwidth").unwrap();
+    textfmt::write_instance(&fam.instance(32, 3))
+}
+
+#[test]
+fn clean_restart_warm_starts_bit_identically() {
+    let dir = temp_dir("clean");
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let text = instance_text();
+
+    // First life: PUT + solve two ops, remember the replies.
+    let server = Server::bind(cfg.clone()).expect("bind 1");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("run 1"));
+    let mut c = Client::connect(&addr).unwrap();
+    let hash = c.put(&text).unwrap().unwrap();
+    let solve1 = c
+        .run_hash(Op::Solve, &hash, 3, 1)
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    let opt1 = c
+        .run_hash(Op::Optimum, &hash, 3, 1)
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Second life on the same directory: no PUT — the instance must be
+    // fetchable by hash from the warm-started store, and both replies
+    // must be warm cache hits, byte-identical to the first life's.
+    let server = Server::bind(cfg).expect("bind 2");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("run 2"));
+    let mut c = Client::connect(&addr).unwrap();
+    let solve2 = c
+        .run_hash(Op::Solve, &hash, 3, 1)
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    let opt2 = c
+        .run_hash(Op::Optimum, &hash, 3, 1)
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    assert_eq!(solve1.as_bytes(), solve2.as_bytes());
+    assert_eq!(opt1.as_bytes(), opt2.as_bytes());
+    let stats = c.stats().unwrap();
+    assert_eq!(stat(&stats, "persist_enabled"), 1);
+    assert!(stat(&stats, "warm_instances") >= 1, "{stats:?}");
+    assert!(stat(&stats, "warm_results") >= 2, "{stats:?}");
+    assert_eq!(stat(&stats, "cache_misses"), 0, "everything was warm");
+    assert_eq!(stat(&stats, "cache_hits"), 2);
+    assert_eq!(stat(&stats, "persist_errors"), 0);
+    c.shutdown().unwrap();
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.cache_misses, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Spawns the real binary with `--store-dir` and waits for its
+/// "listening" line; returns the child and the bound address.
+fn spawn_server_process(dir: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_maxmin-lp"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--store-dir",
+            dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        assert!(Instant::now() < deadline, "server never reported listening");
+        let line = lines.next().expect("stdout open").expect("read line");
+        if let Some(a) = line.strip_prefix("listening ") {
+            break a.trim().to_string();
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+#[test]
+fn kill_nine_mid_load_then_restart_serves_warm_bit_identical_replies() {
+    let dir = temp_dir("kill9");
+
+    // First life (real process): PUT, capture two cold replies, then
+    // hammer it with writes and SIGKILL it mid-load.
+    let (mut child, addr) = spawn_server_process(&dir);
+    let text = instance_text();
+    let mut c = Client::connect(&addr).unwrap();
+    let hash = c.put(&text).unwrap().unwrap();
+    let cold_solve = c
+        .run_hash(Op::Solve, &hash, 3, 1)
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    let cold_opt = c
+        .run_hash(Op::Optimum, &hash, 3, 1)
+        .unwrap()
+        .into_ok()
+        .unwrap();
+
+    // Load thread: a stream of distinct cold solves (R sweep), each of
+    // which appends a result record — so the kill lands between, or
+    // inside, store appends.
+    let load_addr = addr.clone();
+    let load_hash = hash.clone();
+    let load = std::thread::spawn(move || {
+        let Ok(mut c) = Client::connect(&load_addr) else {
+            return;
+        };
+        for big_r in 2..2000usize {
+            if c.run_hash(Op::Solve, &load_hash, big_r, 1).is_err() {
+                return; // the kill landed
+            }
+        }
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+    load.join().unwrap();
+
+    // Belt and braces: guarantee at least one torn tail, as a crash
+    // mid-append would leave, on every non-empty shard.
+    let mut torn = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "seg")
+            && std::fs::metadata(&path).unwrap().len() > 16
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&[1u8, 0xff, 0xff, 0xff, 0x07]).unwrap();
+            torn += 1;
+        }
+    }
+    assert!(torn >= 1, "the load must have persisted something");
+
+    // Second life on the same directory: the store opens cleanly
+    // (tails repaired), the instance is fetchable by hash without a
+    // PUT, and the two known replies are warm hits, byte-identical.
+    let (mut child, addr) = spawn_server_process(&dir);
+    let mut c = Client::connect(&addr).unwrap();
+    let warm_solve = c
+        .run_hash(Op::Solve, &hash, 3, 1)
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    let warm_opt = c
+        .run_hash(Op::Optimum, &hash, 3, 1)
+        .unwrap()
+        .into_ok()
+        .unwrap();
+    assert_eq!(cold_solve.as_bytes(), warm_solve.as_bytes());
+    assert_eq!(cold_opt.as_bytes(), warm_opt.as_bytes());
+    let stats = c.stats().unwrap();
+    assert!(stat(&stats, "warm_instances") >= 1, "{stats:?}");
+    assert!(stat(&stats, "warm_results") >= 2, "{stats:?}");
+    assert!(stat(&stats, "cache_hits") >= 2, "{stats:?}");
+    assert_eq!(stat(&stats, "cache_misses"), 0, "{stats:?}");
+    c.shutdown().unwrap();
+    let status = child.wait().expect("clean exit");
+    assert!(status.success());
+
+    // After the restart repaired the tails, a full checksum sweep runs
+    // clean — through the CLI, as CI does.
+    let out = Command::new(env!("CARGO_BIN_EXE_maxmin-lp"))
+        .args(["store", "verify", dir.to_str().unwrap()])
+        .output()
+        .expect("store verify");
+    assert!(
+        out.status.success(),
+        "verify failed: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("clean true"), "{report}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -10,11 +10,60 @@
 //! Reported numbers are median / min / max per-iteration wall time over
 //! `sample_size` samples; with a [`Throughput`] set, elements per second
 //! are derived from the median.
+//!
+//! **Machine-readable output.** When the `MMLP_BENCH_JSON` environment
+//! variable names a file, every measurement is additionally collected
+//! and [`criterion_main!`] writes them there as one JSON document of
+//! named per-iteration nanosecond medians (`BENCH_*.json` in this
+//! repository's perf trajectory). The real criterion writes its own
+//! estimate files under `target/criterion`; this shim's JSON is the
+//! offline equivalent, stable across shim internals.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Measurements collected for the JSON report: `(id, median_ns,
+/// min_ns, max_ns)` per benchmark, in execution order.
+static COLLECTED: Mutex<Vec<(String, f64, f64, f64)>> = Mutex::new(Vec::new());
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes the collected measurements to the file named by
+/// `MMLP_BENCH_JSON`, if set. Called by [`criterion_main!`] after all
+/// groups ran; harmless no-op otherwise.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("MMLP_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let collected = COLLECTED.lock().expect("bench collector");
+    let mut out = String::from("{\n  \"schema\": \"mmlp-bench-json-v1\",\n  \"benchmarks\": [\n");
+    for (i, (name, median, min, max)) in collected.iter().enumerate() {
+        let comma = if i + 1 < collected.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {median}, \"min_ns\": {min}, \"max_ns\": {max}}}{comma}\n",
+            json_escape(name)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("MMLP_BENCH_JSON: cannot write {path}: {e}");
+    }
+}
 
 /// Target wall time per measurement sample.
 const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(10);
@@ -206,6 +255,12 @@ impl Bencher {
             _ => String::new(),
         };
         println!("{id:<48} time: [{min:>10.2?} {median:>10.2?} {max:>10.2?}]{rate}");
+        COLLECTED.lock().expect("bench collector").push((
+            id.to_string(),
+            median.as_nanos() as f64,
+            min.as_nanos() as f64,
+            max.as_nanos() as f64,
+        ));
     }
 }
 
@@ -220,12 +275,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main` running the given groups, as in criterion.
+/// Declares the bench `main` running the given groups, as in
+/// criterion, then emits the JSON report when `MMLP_BENCH_JSON` asks
+/// for one.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -265,6 +323,24 @@ mod tests {
         assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
         assert_eq!(BenchmarkId::from_parameter(640).id, "640");
         assert_eq!(BenchmarkId::from("s").id, "s");
+    }
+
+    #[test]
+    fn json_report_collects_measurements() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("jsontest");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        let collected = COLLECTED.lock().unwrap();
+        let entry = collected
+            .iter()
+            .find(|(name, ..)| name == "jsontest/noop")
+            .expect("measurement collected");
+        assert!(entry.1 >= 0.0);
+
+        // The escaper keeps names JSON-safe.
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
     }
 
     #[test]
