@@ -2,7 +2,7 @@
 //! and the sequential-vs-parallel executor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mmlp_core::distributed::solve_distributed;
+use mmlp_core::distributed::{solve_distributed, solve_distributed_flat};
 use mmlp_core::SpecialForm;
 use mmlp_gen::special::{random_special_form, SpecialFormConfig};
 
@@ -24,6 +24,11 @@ fn bench_distributed(c: &mut Criterion) {
                 BenchmarkId::new(format!("n{n_obj}"), big_r),
                 &big_r,
                 |b, &big_r| b.iter(|| std::hint::black_box(solve_distributed(&sf, big_r))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("flat-n{n_obj}"), big_r),
+                &big_r,
+                |b, &big_r| b.iter(|| std::hint::black_box(solve_distributed_flat(&sf, big_r, 1))),
             );
         }
     }

@@ -22,10 +22,12 @@
 //! engine's: every minimum, sum and bisection is evaluated over the same
 //! operands in the same order (asserted in tests).
 
+use crate::smoothing::{self, SpecialRun};
 use crate::special::SpecialForm;
 use mmlp_instance::{NodeKind, Solution};
 use mmlp_net::{
-    engine, Network, NodeInfo, Payload, Protocol, RunResult, RunStats, ViewChild, ViewTree,
+    engine, gather_views_flat, FlatViews, Network, NodeInfo, Payload, Protocol, RunResult,
+    RunStats, ViewArena, ViewChild, ViewId, ViewTree, CHILD_BACK,
 };
 
 /// Message alphabet of the protocol.
@@ -87,6 +89,18 @@ impl DistMaxMin {
 /// Total synchronous rounds used: `3·(4r+2) = 12R − 18`.
 pub fn rounds_needed(big_r: usize) -> usize {
     3 * (4 * (big_r - 2) + 2)
+}
+
+/// Moves the phase-1 view payloads out of an inbox (no tree is cloned;
+/// the engine overwrites the slots at the next delivery).
+fn take_views(inbox: &mut [Option<Msg>]) -> Vec<Option<(u32, ViewTree)>> {
+    inbox
+        .iter_mut()
+        .map(|m| match m.take() {
+            Some(Msg::View(p, t)) => Some((p, t)),
+            _ => None,
+        })
+        .collect()
 }
 
 // ---- local computation on views -------------------------------------
@@ -217,6 +231,212 @@ pub fn t_from_view(view: &ViewTree, big_r: usize) -> f64 {
     lo
 }
 
+// ---- local computation on flat (arena) views -------------------------
+//
+// The same `f±` recursions, evaluated iteratively over the arena's CSR
+// child ranges and **memoised per interned subtree**: hash-consing makes
+// "same subtree" an id compare, so shared subtrees — which is most of a
+// ball in the unfolding — are evaluated once per `(id, level)` instead
+// of once per occurrence. Every arithmetic operation runs on the same
+// operands in the same order as the recursive tree evaluators, so the
+// results are bit-identical (asserted in tests).
+
+/// Memo tables for one `(root, ω)` flat evaluation, indexed densely by
+/// interned subtree id × level. Reused across agents; "clearing" per ω
+/// probe is a generation bump, so the hot loop does no hashing and no
+/// table wipes.
+#[derive(Default)]
+pub struct FlatScratch {
+    /// Current probe generation; entries are live iff stamped with it.
+    gen: u64,
+    /// Levels per id (`r + 1`); fixes the flat indexing.
+    levels: usize,
+    fp: Vec<(u64, Option<f64>)>,
+    fm: Vec<(u64, Option<f64>)>,
+}
+
+impl FlatScratch {
+    /// Sizes the tables for `nodes × levels` slots (no-op when already
+    /// large enough with the same level stride).
+    fn prepare(&mut self, nodes: usize, levels: usize) {
+        let need = nodes * levels;
+        if self.levels != levels || self.fp.len() < need {
+            self.fp = vec![(0, None); need];
+            self.fm = vec![(0, None); need];
+            self.levels = levels;
+            self.gen = 0;
+        }
+    }
+
+    /// Starts a new ω probe: previous entries become stale in O(1).
+    fn clear(&mut self) {
+        self.gen += 1;
+    }
+
+    #[inline]
+    fn slot(&self, id: ViewId, d: u32) -> usize {
+        id as usize * self.levels + d as usize
+    }
+}
+
+/// `min_i 1/a_iv` from an agent's interned view node.
+fn cap_of_flat(arena: &ViewArena, v: ViewId) -> f64 {
+    arena
+        .port_kinds(v)
+        .iter()
+        .zip(arena.coefs(v))
+        .filter(|(k, _)| **k == NodeKind::Constraint)
+        .map(|(_, a)| 1.0 / a)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The objective subtree of an agent's interned view node.
+fn objective_child_flat(arena: &ViewArena, v: ViewId) -> ViewId {
+    for (p, kind) in arena.port_kinds(v).iter().enumerate() {
+        if *kind == NodeKind::Objective {
+            let c = arena.children(v)[p];
+            if c < CHILD_BACK {
+                return c;
+            }
+        }
+    }
+    panic!("objective child missing — view gathered too shallow");
+}
+
+/// `f⁺` on an interned subtree (cf. [`f_plus_view`]), memoised.
+fn f_plus_flat(
+    arena: &ViewArena,
+    w: ViewId,
+    d: u32,
+    omega: f64,
+    sc: &mut FlatScratch,
+) -> Option<f64> {
+    let slot = sc.slot(w, d);
+    let (stamp, memo) = sc.fp[slot];
+    if stamp == sc.gen {
+        return memo;
+    }
+    let val = if d == 0 {
+        Some(cap_of_flat(arena, w))
+    } else {
+        let mut m = f64::INFINITY;
+        let mut ok = true;
+        for (p, kind) in arena.port_kinds(w).iter().enumerate() {
+            if *kind != NodeKind::Constraint {
+                continue;
+            }
+            let a_own = arena.coefs(w)[p];
+            let cons = arena.children(w)[p];
+            assert!(
+                cons < CHILD_BACK,
+                "constraint child missing — view gathered too shallow"
+            );
+            // The constraint's unique other Sub child is the partner;
+            // its coefficient towards this constraint is on its Back
+            // port.
+            let partner = arena
+                .children(cons)
+                .iter()
+                .copied()
+                .find(|&c| c < CHILD_BACK)
+                .expect("special form: constraints have a partner agent");
+            let back = arena
+                .children(partner)
+                .iter()
+                .position(|&c| c == CHILD_BACK)
+                .expect("non-root subtree has a back edge");
+            let a_partner = arena.coefs(partner)[back];
+            match f_minus_flat(arena, partner, d - 1, omega, sc) {
+                Some(fm) => m = m.min((1.0 - a_partner * fm) / a_own),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        ok.then_some(m)
+    };
+    let result = match val {
+        Some(v) if v >= 0.0 => Some(v),
+        _ => None,
+    };
+    sc.fp[slot] = (sc.gen, result);
+    result
+}
+
+/// `f⁻` on an interned subtree (cf. [`f_minus_view`]), memoised.
+fn f_minus_flat(
+    arena: &ViewArena,
+    n: ViewId,
+    d: u32,
+    omega: f64,
+    sc: &mut FlatScratch,
+) -> Option<f64> {
+    let slot = sc.slot(n, d);
+    let (stamp, memo) = sc.fm[slot];
+    if stamp == sc.gen {
+        return memo;
+    }
+    let k = objective_child_flat(arena, n);
+    let mut sum = 0.0;
+    let mut ok = true;
+    for &w in arena.children(k) {
+        if w < CHILD_BACK {
+            match f_plus_flat(arena, w, d, omega, sc) {
+                Some(fp) => sum += fp,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+    }
+    let result = ok.then(|| (omega - sum).max(0.0));
+    sc.fm[slot] = (sc.gen, result);
+    result
+}
+
+/// [`t_from_view`] on an interned root: the same bisection, memoised
+/// per shared subtree — bit-identical results.
+pub fn t_from_arena(arena: &ViewArena, root: ViewId, big_r: usize, sc: &mut FlatScratch) -> f64 {
+    let r = (big_r - 2) as u32;
+    sc.prepare(arena.len(), r as usize + 1);
+    let cap_u = cap_of_flat(arena, root);
+    let k = objective_child_flat(arena, root);
+    let others: Vec<ViewId> = arena
+        .children(k)
+        .iter()
+        .copied()
+        .filter(|&c| c < CHILD_BACK)
+        .collect();
+    let hi0 = cap_u + others.iter().map(|&w| cap_of_flat(arena, w)).sum::<f64>();
+    let mut feasible = |omega: f64| -> bool {
+        sc.clear();
+        let mut sum = 0.0;
+        for &w in &others {
+            match f_plus_flat(arena, w, r, omega, sc) {
+                Some(fp) => sum += fp,
+                None => return false,
+            }
+        }
+        (omega - sum).max(0.0) <= cap_u
+    };
+    if hi0 == 0.0 || feasible(hi0) {
+        return hi0;
+    }
+    let (mut lo, mut hi) = (0.0f64, hi0);
+    let tol = crate::tree_bound::BISECT_REL_TOL * hi0.max(1.0);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
 // ---- the protocol ----------------------------------------------------
 
 impl Protocol for DistMaxMin {
@@ -243,7 +463,7 @@ impl Protocol for DistMaxMin {
         st: &mut DistState,
         node: &NodeInfo,
         round: usize,
-        inbox: &[Option<Msg>],
+        inbox: &mut [Option<Msg>],
         outbox: &mut [Option<Msg>],
     ) {
         let a = self.phase_len(); // phase-1 sends: rounds [0, a)
@@ -254,14 +474,8 @@ impl Protocol for DistMaxMin {
         if round < a {
             // ---- phase 1: view gathering ----
             if round > 0 {
-                let views: Vec<Option<(u32, ViewTree)>> = inbox
-                    .iter()
-                    .map(|m| match m {
-                        Some(Msg::View(p, t)) => Some((*p, t.clone())),
-                        _ => None,
-                    })
-                    .collect();
-                st.view = ViewTree::from_inbox(&st.view, &views);
+                let mut views = take_views(inbox);
+                st.view = ViewTree::from_inbox(&st.view, &mut views);
             }
             for (p, slot) in outbox.iter_mut().enumerate() {
                 *slot = Some(Msg::View(p as u32, st.view.clone()));
@@ -271,14 +485,8 @@ impl Protocol for DistMaxMin {
 
         if round == a {
             // Final view absorb; agents compute t and seed the flood.
-            let views: Vec<Option<(u32, ViewTree)>> = inbox
-                .iter()
-                .map(|m| match m {
-                    Some(Msg::View(p, t)) => Some((*p, t.clone())),
-                    _ => None,
-                })
-                .collect();
-            st.view = ViewTree::from_inbox(&st.view, &views);
+            let mut views = take_views(inbox);
+            st.view = ViewTree::from_inbox(&st.view, &mut views);
             if is_agent {
                 let t = t_from_view(&st.view, self.big_r);
                 st.t = Some(t);
@@ -398,7 +606,7 @@ impl Protocol for DistMaxMin {
         }
     }
 
-    fn finish(&self, st: &mut DistState, node: &NodeInfo, inbox: &[Option<Msg>]) {
+    fn finish(&self, st: &mut DistState, node: &NodeInfo, inbox: &mut [Option<Msg>]) {
         if node.kind != NodeKind::Agent {
             return;
         }
@@ -449,6 +657,142 @@ pub fn solve_distributed(sf: &SpecialForm, big_r: usize) -> DistributedOutcome {
         solution: Solution::from_vec(x),
         t,
         s,
+        stats,
+    }
+}
+
+/// The §5 algorithm rebuilt on the **flat view arena** — the faithful
+/// distributed semantics at a fraction of the simulation cost:
+///
+/// 1. **Phase 1** uses [`gather_views_flat`]: payloads are interned ids,
+///    so per-round work is `O(Σ degree)` instead of the ball size, and
+///    the per-agent bounds `t_u` are then evaluated over the arena roots
+///    — in parallel batches of `threads` workers — with the `f±`
+///    recursions memoised per shared subtree ([`t_from_arena`]).
+/// 2. **Phases 2–3** are scalar recursions; they are evaluated directly
+///    (the same operations in the same order as the message protocol)
+///    while the protocol's exact per-round message/byte schedule is
+///    reproduced for the accounting.
+///
+/// Outputs (`x`, `t`, `s`) **and** the logical `RunStats` accounting are
+/// bit-identical to [`solve_distributed`]; on top of that the stats
+/// carry the arena's dedup counters (`interned_nodes`, `arena_bytes`,
+/// `peak_arena_bytes`). Asserted across the generator catalog in
+/// `tests/flat_views.rs`.
+pub fn solve_special_flat(
+    sf: &SpecialForm,
+    big_r: usize,
+    threads: usize,
+) -> (SpecialRun, RunStats) {
+    assert!(big_r >= 2, "the paper requires R ≥ 2");
+    let r = big_r - 2;
+    let a_len = 4 * r + 2;
+    let net = Network::new(sf.instance());
+    let n = sf.n_agents();
+
+    // ---- phase 1: flat gather + threaded t over the arena roots ----
+    let FlatViews {
+        arena,
+        roots,
+        mut stats,
+    } = gather_views_flat(&net, a_len);
+    let threads = threads.max(1);
+    let t: Vec<f64> = if threads == 1 || n < 64 {
+        let mut sc = FlatScratch::default();
+        roots[..n]
+            .iter()
+            .map(|&root| t_from_arena(&arena, root, big_r, &mut sc))
+            .collect()
+    } else {
+        let mut out = vec![0.0f64; n];
+        let chunk = n.div_ceil(threads);
+        let (arena_ref, roots_ref) = (&arena, &roots);
+        crossbeam::thread::scope(|scope| {
+            for (shard, slot) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    let mut sc = FlatScratch::default();
+                    for (off, val) in slot.iter_mut().enumerate() {
+                        *val =
+                            t_from_arena(arena_ref, roots_ref[shard * chunk + off], big_r, &mut sc);
+                    }
+                });
+            }
+        })
+        .expect("flat t workers");
+        out
+    };
+
+    // ---- phase 2: min-flood of t (same relaxation order as the
+    // protocol; senders are exactly the nodes holding a finite value) --
+    let graph = net.graph();
+    let n_nodes = graph.n_nodes();
+    let mut cur = vec![f64::INFINITY; n_nodes];
+    cur[..n].copy_from_slice(&t);
+    let mut next = vec![0.0f64; n_nodes];
+    for _ in 0..a_len {
+        let mut msgs = 0u64;
+        for (x, v) in cur.iter().enumerate() {
+            if v.is_finite() {
+                msgs += graph.neighbors(x as u32).len() as u64;
+            }
+        }
+        stats.messages += msgs;
+        stats.bytes += 8 * msgs;
+        stats.messages_per_round.push(msgs);
+        stats.bytes_per_round.push(8 * msgs);
+        for x in 0..n_nodes as u32 {
+            let mut m = cur[x as usize];
+            for adj in graph.neighbors(x) {
+                m = m.min(cur[adj.to as usize]);
+            }
+            next[x as usize] = m;
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    let s: Vec<f64> = cur[..n].to_vec();
+
+    // ---- phase 3: g± values via the centralized recursions (proven
+    // bit-identical to the message protocol), counts per its schedule --
+    let inst = sf.instance();
+    let obj_ports: u64 = inst
+        .objectives()
+        .map(|k| inst.objective_row(k).len() as u64)
+        .sum();
+    let cons_ports = 2 * inst.n_constraints() as u64;
+    for step in 0..a_len {
+        let d = step / 4;
+        let msgs = match step % 4 {
+            0 => n as u64,            // each agent → its objective
+            1 => obj_ports,           // each objective → every member
+            _ if d < r => cons_ports, // agents → constraints, then relays
+            _ => 0,
+        };
+        stats.messages += msgs;
+        stats.bytes += 8 * msgs;
+        stats.messages_per_round.push(msgs);
+        stats.bytes_per_round.push(8 * msgs);
+    }
+    stats.rounds = rounds_needed(big_r);
+
+    let g = smoothing::g_tables(sf, &s, r);
+    let x = smoothing::output(sf, &g, big_r);
+    (SpecialRun { x, t, s, g }, stats)
+}
+
+/// [`solve_distributed`] on the flat arena path: bit-identical outputs
+/// and accounting, plus dedup counters in `stats`. `threads` parallelises
+/// the per-agent `t_u` batch over the arena roots (bit-identical across
+/// thread counts).
+pub fn solve_distributed_flat(
+    sf: &SpecialForm,
+    big_r: usize,
+    threads: usize,
+) -> DistributedOutcome {
+    let (run, stats) = solve_special_flat(sf, big_r, threads);
+    DistributedOutcome {
+        solution: run.x,
+        t: run.t,
+        s: run.s,
         stats,
     }
 }
@@ -553,6 +897,58 @@ mod tests {
             assert!((v - 0.5).abs() < 1e-9);
         }
         assert!(out.solution.is_feasible(s.instance(), 1e-9));
+    }
+
+    #[test]
+    fn flat_path_is_bitwise_identical_to_legacy() {
+        for seed in 0..3 {
+            let s = sf(seed);
+            for big_r in [2, 3, 4] {
+                let legacy = solve_distributed(&s, big_r);
+                for threads in [1, 4] {
+                    let flat = solve_distributed_flat(&s, big_r, threads);
+                    for v in 0..s.n_agents() {
+                        assert_eq!(flat.t[v].to_bits(), legacy.t[v].to_bits());
+                        assert_eq!(flat.s[v].to_bits(), legacy.s[v].to_bits());
+                        assert_eq!(
+                            flat.solution.as_slice()[v].to_bits(),
+                            legacy.solution.as_slice()[v].to_bits(),
+                            "seed {seed} R {big_r} threads {threads} agent {v}"
+                        );
+                    }
+                    // The logical accounting is reproduced exactly; only
+                    // the dedup counters are new.
+                    assert_eq!(flat.stats.rounds, legacy.stats.rounds);
+                    assert_eq!(flat.stats.messages, legacy.stats.messages);
+                    assert_eq!(flat.stats.bytes, legacy.stats.bytes);
+                    assert_eq!(
+                        flat.stats.messages_per_round,
+                        legacy.stats.messages_per_round
+                    );
+                    assert_eq!(flat.stats.bytes_per_round, legacy.stats.bytes_per_round);
+                    assert!(flat.stats.interned_nodes > 0);
+                    assert!(flat.stats.dedup_ratio() > 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_from_arena_matches_t_from_view() {
+        use mmlp_net::{gather_views, gather_views_flat};
+        let s = sf(6);
+        let net = Network::new(s.instance());
+        for big_r in [2, 3] {
+            let depth = 4 * (big_r - 2) + 2;
+            let (views, _) = gather_views(&net, depth);
+            let flat = gather_views_flat(&net, depth);
+            let mut sc = FlatScratch::default();
+            for (v, view) in views.iter().enumerate().take(s.n_agents()) {
+                let legacy = t_from_view(view, big_r);
+                let arena = t_from_arena(&flat.arena, flat.roots[v], big_r, &mut sc);
+                assert_eq!(legacy.to_bits(), arena.to_bits(), "agent {v} R {big_r}");
+            }
+        }
     }
 
     #[test]

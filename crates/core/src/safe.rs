@@ -64,7 +64,7 @@ impl Protocol for SafeProtocol {
         _state: &mut SafeState,
         node: &NodeInfo,
         _round: usize,
-        _inbox: &[Option<f64>],
+        _inbox: &mut [Option<f64>],
         outbox: &mut [Option<f64>],
     ) {
         if node.kind == NodeKind::Constraint {
@@ -75,7 +75,7 @@ impl Protocol for SafeProtocol {
         }
     }
 
-    fn finish(&self, state: &mut SafeState, node: &NodeInfo, inbox: &[Option<f64>]) {
+    fn finish(&self, state: &mut SafeState, node: &NodeInfo, inbox: &mut [Option<f64>]) {
         if node.kind != NodeKind::Agent {
             return;
         }

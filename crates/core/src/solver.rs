@@ -10,11 +10,13 @@
 //! assert!(out.solution.is_feasible(&inst, 1e-9));
 //! ```
 
+use crate::distributed;
 use crate::ratio;
 use crate::smoothing::{self, SpecialRun};
 use crate::special::SpecialForm;
 use crate::transform::{to_special_form, StageInfo};
 use mmlp_instance::{DegreeStats, Instance, Solution};
+use mmlp_net::RunStats;
 
 /// The paper's local algorithm, configured by the locality parameter
 /// `R ≥ 2` (local horizon Θ(R); guarantee `ΔI(1−1/ΔK)(1+1/(R−1))`).
@@ -22,6 +24,7 @@ use mmlp_instance::{DegreeStats, Instance, Solution};
 pub struct LocalSolver {
     big_r: usize,
     threads: usize,
+    via_network: bool,
 }
 
 /// Everything one solve produces.
@@ -38,6 +41,12 @@ pub struct LocalSolverOutput {
     pub trace: Vec<StageInfo>,
     /// The locality parameter used.
     pub big_r: usize,
+    /// Protocol accounting when the solve ran over the flat network
+    /// path ([`LocalSolver::via_network`]): rounds, logical message
+    /// bytes, and the view arena's dedup counters (`interned_nodes`,
+    /// `arena_bytes`, `peak_arena_bytes`, [`RunStats::dedup_ratio`]).
+    /// `None` for the centralized path.
+    pub net_stats: Option<RunStats>,
 }
 
 impl LocalSolverOutput {
@@ -65,7 +74,11 @@ impl LocalSolver {
     /// Creates a solver with locality parameter `R ≥ 2`.
     pub fn new(big_r: usize) -> Self {
         assert!(big_r >= 2, "the paper requires R ≥ 2");
-        LocalSolver { big_r, threads: 1 }
+        LocalSolver {
+            big_r,
+            threads: 1,
+            via_network: false,
+        }
     }
 
     /// Chooses the smallest `R` achieving ratio `threshold + ε` for the
@@ -83,6 +96,17 @@ impl LocalSolver {
         self
     }
 
+    /// Runs the §5 phase over the **flat network path**
+    /// ([`distributed::solve_special_flat`]): the faithful distributed
+    /// semantics on the hash-consed view arena, with protocol round /
+    /// byte accounting and view-dedup counters attached to the output
+    /// (`net_stats`). Outputs are bit-identical to the centralized path
+    /// — only the accounting is extra.
+    pub fn via_network(mut self, on: bool) -> Self {
+        self.via_network = on;
+        self
+    }
+
     /// The locality parameter `R`.
     pub fn big_r(&self) -> usize {
         self.big_r
@@ -95,18 +119,28 @@ impl LocalSolver {
     }
 
     /// Solves a general max-min LP: transform (§4), run the special-form
-    /// algorithm (§5), map back.
+    /// algorithm (§5) — centralized, or over the flat network path when
+    /// [`LocalSolver::via_network`] is set — map back.
     pub fn solve(&self, inst: &Instance) -> LocalSolverOutput {
         let transformed = to_special_form(inst);
         let sf = SpecialForm::new(transformed.instance.clone())
             .expect("§4 pipeline produces special form");
-        let run = smoothing::solve_special(&sf, self.big_r, self.threads);
+        let (run, net_stats) = if self.via_network {
+            let (run, stats) = distributed::solve_special_flat(&sf, self.big_r, self.threads);
+            (run, Some(stats))
+        } else {
+            (
+                smoothing::solve_special(&sf, self.big_r, self.threads),
+                None,
+            )
+        };
         let solution = transformed.map_back(&run.x);
         LocalSolverOutput {
             solution,
             special_run: run,
             trace: transformed.trace,
             big_r: self.big_r,
+            net_stats,
         }
     }
 
@@ -209,6 +243,30 @@ mod tests {
         let b = LocalSolver::new(3).with_threads(4).solve(&inst);
         for v in inst.agents() {
             assert_eq!(a.solution.value(v).to_bits(), b.solution.value(v).to_bits());
+        }
+    }
+
+    #[test]
+    fn network_path_is_bit_identical_and_accounts() {
+        let inst = random_general(&cfg(), 7);
+        for big_r in [2, 3] {
+            let central = LocalSolver::new(big_r).solve(&inst);
+            let net = LocalSolver::new(big_r).via_network(true).solve(&inst);
+            for v in inst.agents() {
+                assert_eq!(
+                    central.solution.value(v).to_bits(),
+                    net.solution.value(v).to_bits(),
+                    "R {big_r} agent {v}"
+                );
+            }
+            assert_eq!(
+                central.optimum_upper_bound().to_bits(),
+                net.optimum_upper_bound().to_bits()
+            );
+            assert!(central.net_stats.is_none());
+            let stats = net.net_stats.expect("network path accounts");
+            assert!(stats.messages > 0 && stats.interned_nodes > 0);
+            assert!(stats.dedup_ratio() > 0.0);
         }
     }
 

@@ -13,98 +13,111 @@
 //!    suffices.
 //!
 //! This module provides the direct (no message passing) view comparison
-//! used by the lower-bound experiment T5, plus helpers for building the
-//! explicit truncated unfolding of an instance.
+//! used by the lower-bound experiment T5 — views are interned into a
+//! hash-consed [`ViewArena`] by the memoising [`ViewInterner`], so
+//! equality is a root-id compare instead of a walk of the (exponential)
+//! ball — plus helpers for building the explicit truncated unfolding of
+//! an instance.
 
 use mmlp_instance::{Adj, CommGraph, Instance, InstanceBuilder, Node};
+use mmlp_net::{Network, ViewArena, ViewId, CHILD_BACK, CHILD_CUT};
+use std::collections::HashMap;
 
-/// Coefficient on an edge as known by its agent endpoint, or `None` when
-/// the flat node is not an agent.
-fn edge_coefs(inst: &Instance, g: &CommGraph, flat: u32) -> Option<Vec<f64>> {
-    match g.node(flat) {
-        Node::Agent(v) => {
-            let mut coefs: Vec<f64> = inst.agent_constraints(v).iter().map(|e| e.coef).collect();
-            coefs.extend(inst.agent_objectives(v).iter().map(|e| e.coef));
-            Some(coefs)
+/// Builds interned flat views of one instance's nodes directly from the
+/// topology — no message passing, no per-call [`CommGraph`] rebuild.
+///
+/// The view of a node `(x, entered-through-port b, budget d)` in the
+/// unfolding depends only on that triple, never on the walk history, so
+/// the interner memoises on it: building the radius-`d` views of *all*
+/// nodes costs `O(n · Δ · d)` interned nodes, where the recursive
+/// comparison it replaces walked the (exponential) ball per query.
+///
+/// Views interned into the same [`ViewArena`] — from this instance or
+/// any other — are equal **iff their ids are equal**, which is what
+/// turns the lower-bound experiment's all-pairs view comparison into an
+/// integer compare per pair.
+pub struct ViewInterner {
+    net: Network,
+    /// (flat node, incoming port + 1 or 0, remaining depth) → id.
+    memo: HashMap<(u32, u32, u32), ViewId>,
+    /// Token of the arena the memoised ids belong to — ids are
+    /// meaningless in any other arena, so the memo is dropped when a
+    /// different one is handed in.
+    arena_token: Option<u64>,
+}
+
+impl ViewInterner {
+    /// Prepares the interner for an instance.
+    pub fn new(inst: &Instance) -> Self {
+        ViewInterner {
+            net: Network::new(inst),
+            memo: HashMap::new(),
+            arena_token: None,
         }
-        _ => None,
+    }
+
+    /// Interns the radius-`depth` view of `node` into `arena`.
+    ///
+    /// The memo is tied to one arena at a time: passing a different
+    /// arena than the previous call re-interns from scratch (cached ids
+    /// would index the old arena).
+    pub fn intern(&mut self, arena: &mut ViewArena, node: Node, depth: usize) -> ViewId {
+        if self.arena_token != Some(arena.token()) {
+            self.memo.clear();
+            self.arena_token = Some(arena.token());
+        }
+        let flat = self.net.graph().index(node);
+        self.rec(arena, flat, u32::MAX, depth as u32)
+    }
+
+    /// `back` is the port at `x` towards the parent (`u32::MAX` at the
+    /// root).
+    fn rec(&mut self, arena: &mut ViewArena, x: u32, back: u32, depth: u32) -> ViewId {
+        let key = (x, back.wrapping_add(1), depth);
+        if let Some(&id) = self.memo.get(&key) {
+            return id;
+        }
+        let adjs: Vec<Adj> = self.net.graph().neighbors(x).to_vec();
+        let children: Vec<u32> = adjs
+            .iter()
+            .enumerate()
+            .map(|(port, adj)| {
+                if port as u32 == back {
+                    CHILD_BACK
+                } else if depth == 0 {
+                    CHILD_CUT
+                } else {
+                    self.rec(arena, adj.to, adj.port_at_to, depth - 1)
+                }
+            })
+            .collect();
+        let info = self.net.info(x);
+        let port_kinds: Vec<_> = info.ports.iter().map(|p| p.neighbor_kind).collect();
+        let coefs: Vec<f64> = info.ports.iter().filter_map(|p| p.coef).collect();
+        let id = arena.intern(info.kind, &port_kinds, &coefs, &children);
+        self.memo.insert(key, id);
+        id
     }
 }
 
 /// Are the radius-`depth` views of `a` in `inst_a` and `b` in `inst_b`
-/// equal (same kinds, same degrees, same port structure, same
-/// agent-known coefficients)?
+/// equal (same kinds, same port structure — own and per-port neighbour
+/// classes — and same agent-known coefficients)?
 ///
 /// Equal views make the two nodes indistinguishable to every
 /// deterministic local algorithm with horizon ≤ `depth` in the
 /// port-numbering model — the engine of the Theorem 1 lower bound.
+///
+/// Both views are interned into one shared [`ViewArena`] and compared
+/// by root id. For bulk comparisons (the T5 experiment compares all
+/// pairs), keep the [`ViewInterner`]s and the arena across calls — each
+/// additional node costs amortised `O(Δ · depth)` instead of a ball
+/// walk.
 pub fn views_equal(inst_a: &Instance, a: Node, inst_b: &Instance, b: Node, depth: usize) -> bool {
-    let ga = CommGraph::new(inst_a);
-    let gb = CommGraph::new(inst_b);
-    views_equal_graphs(inst_a, &ga, ga.index(a), inst_b, &gb, gb.index(b), depth)
-}
-
-/// [`views_equal`] with pre-built graphs (for bulk comparisons).
-pub fn views_equal_graphs(
-    inst_a: &Instance,
-    ga: &CommGraph,
-    a: u32,
-    inst_b: &Instance,
-    gb: &CommGraph,
-    b: u32,
-    depth: usize,
-) -> bool {
-    rec_equal(inst_a, ga, a, None, inst_b, gb, b, None, depth)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn rec_equal(
-    inst_a: &Instance,
-    ga: &CommGraph,
-    a: u32,
-    back_a: Option<u32>, // port index at `a` of the edge towards the parent
-    inst_b: &Instance,
-    gb: &CommGraph,
-    b: u32,
-    back_b: Option<u32>,
-    depth: usize,
-) -> bool {
-    if ga.node(a).kind() != gb.node(b).kind() {
-        return false;
-    }
-    let na = ga.neighbors(a);
-    let nb = gb.neighbors(b);
-    if na.len() != nb.len() {
-        return false;
-    }
-    if back_a != back_b {
-        return false;
-    }
-    if edge_coefs(inst_a, ga, a) != edge_coefs(inst_b, gb, b) {
-        return false;
-    }
-    if depth == 0 {
-        return true;
-    }
-    for (port, (adj_a, adj_b)) in na.iter().zip(nb.iter()).enumerate() {
-        if Some(port as u32) == back_a {
-            continue; // non-backtracking
-        }
-        if !rec_equal(
-            inst_a,
-            ga,
-            adj_a.to,
-            Some(adj_a.port_at_to),
-            inst_b,
-            gb,
-            adj_b.to,
-            Some(adj_b.port_at_to),
-            depth - 1,
-        ) {
-            return false;
-        }
-    }
-    true
+    let mut arena = ViewArena::new();
+    let ia = ViewInterner::new(inst_a).intern(&mut arena, a, depth);
+    let ib = ViewInterner::new(inst_b).intern(&mut arena, b, depth);
+    ia == ib
 }
 
 /// Builds the radius-`depth` chunk of the unfolding of `inst` rooted at
@@ -472,5 +485,68 @@ mod tests {
     fn girth_helper_matches_commgraph() {
         let inst = cycle_special(5, 1.0);
         assert_eq!(girth(&inst), Some(20));
+    }
+
+    #[test]
+    fn interned_views_match_gathered_trees() {
+        // The direct (topology-walking) interner builds exactly the
+        // views the message protocol gathers.
+        let inst = cycle_special(4, 1.5);
+        let net = Network::new(&inst);
+        let (views, _) = mmlp_net::gather_views(&net, 5);
+        let mut arena = ViewArena::new();
+        let mut interner = ViewInterner::new(&inst);
+        let g = CommGraph::new(&inst);
+        for flat in 0..g.n_nodes() as u32 {
+            let id = interner.intern(&mut arena, g.node(flat), 5);
+            assert_eq!(arena.to_tree(id), views[flat as usize], "node {flat}");
+        }
+    }
+
+    #[test]
+    fn interner_re_interns_when_handed_a_fresh_arena() {
+        // Cached ids index the arena they were interned into; a new
+        // arena must be populated from scratch, not fed stale ids.
+        let inst = cycle_special(4, 1.0);
+        let mut interner = ViewInterner::new(&inst);
+        let mut arena_a = ViewArena::new();
+        let ia = interner.intern(&mut arena_a, Node::Agent(AgentId::new(0)), 3);
+        let mut arena_b = ViewArena::new();
+        let ib = interner.intern(&mut arena_b, Node::Agent(AgentId::new(0)), 3);
+        assert!(!arena_b.is_empty(), "second arena must be populated");
+        assert_eq!(arena_a.to_tree(ia), arena_b.to_tree(ib));
+    }
+
+    #[test]
+    fn bulk_comparison_shares_one_arena() {
+        // The T5 pattern: intern every agent of two instances once,
+        // compare all pairs by id — no ball is ever walked twice.
+        let a = cycle_special(6, 1.0);
+        let b = path_special(9, 1.0);
+        let mut arena = ViewArena::new();
+        let mut ia = ViewInterner::new(&a);
+        let mut ib = ViewInterner::new(&b);
+        let depth = 4;
+        let ids_a: Vec<_> = a
+            .agents()
+            .map(|v| ia.intern(&mut arena, Node::Agent(v), depth))
+            .collect();
+        let mut matched = 0;
+        for w in b.agents() {
+            let id = ib.intern(&mut arena, Node::Agent(w), depth);
+            for (v, &va) in ids_a.iter().enumerate() {
+                let eq_by_id = id == va;
+                let eq_by_walk = views_equal(
+                    &b,
+                    Node::Agent(w),
+                    &a,
+                    Node::Agent(AgentId::new(v as u32)),
+                    depth,
+                );
+                assert_eq!(eq_by_id, eq_by_walk, "pair ({w}, {v})");
+                matched += usize::from(eq_by_id);
+            }
+        }
+        assert!(matched > 0, "interior path agents must match cycle agents");
     }
 }

@@ -45,6 +45,7 @@ pub fn execute_job(job: &Job) -> JobRecord {
     let optimum_ms = optimum_start.elapsed().as_secs_f64() * 1e3;
 
     let start = Instant::now();
+    let (mut interned, mut arena_bytes) = (0u64, 0u64);
     let (utility, guarantee, rounds, messages, bytes) = match job.solver {
         SolverKind::Local => {
             let solver = LocalSolver::new(job.big_r);
@@ -70,8 +71,13 @@ pub fn execute_job(job: &Job) -> JobRecord {
                     return JobRecord::failed(job, JobStatus::Error, format!("special form: {e:?}"))
                 }
             };
-            let run = distributed::solve_distributed(&sf, job.big_r);
+            // The flat (hash-consed) path: bit-identical outputs and
+            // logical accounting, plus the dedup counters the reports
+            // surface.
+            let run = distributed::solve_distributed_flat(&sf, job.big_r, 1);
             let x = transformed.map_back(&run.solution);
+            interned = run.stats.interned_nodes;
+            arena_bytes = run.stats.arena_bytes;
             (
                 x.utility(&inst),
                 ratio::guarantee(di, dk, job.big_r),
@@ -112,6 +118,8 @@ pub fn execute_job(job: &Job) -> JobRecord {
         rounds,
         messages,
         bytes,
+        interned,
+        arena_bytes,
         error: String::new(),
     }
 }
@@ -154,6 +162,11 @@ mod tests {
         assert_eq!(local.utility.to_bits(), dist.utility.to_bits());
         assert!(dist.rounds > 0 && dist.messages > 0 && dist.bytes > 0);
         assert_eq!(local.rounds, 0, "centralized run has no protocol stats");
+        // The flat path reports its arena accounting; the dedup ratio
+        // exceeds 1 on the (non-tree) random family.
+        assert!(dist.interned > 0 && dist.arena_bytes > 0);
+        assert!(dist.bytes > dist.arena_bytes, "dedup ratio must exceed 1");
+        assert_eq!(local.interned, 0);
     }
 
     #[test]

@@ -80,6 +80,12 @@ pub struct JobRecord {
     pub messages: u64,
     /// Protocol payload bytes (distributed solver only; 0 otherwise).
     pub bytes: u64,
+    /// Unique view nodes interned by the flat distributed path
+    /// (0 for other solvers).
+    pub interned: u64,
+    /// Deduped view-arena bytes of the flat distributed path — `bytes /
+    /// arena_bytes` is the dedup ratio (0 for other solvers).
+    pub arena_bytes: u64,
     /// Error/panic description (empty when ok).
     pub error: String,
 }
@@ -107,6 +113,8 @@ impl JobRecord {
             rounds: 0,
             messages: 0,
             bytes: 0,
+            interned: 0,
+            arena_bytes: 0,
             error,
         }
     }
@@ -132,7 +140,9 @@ impl JobRecord {
             .num("wall_ms", self.wall_ms)
             .int("rounds", self.rounds)
             .int("messages", self.messages)
-            .int("bytes", self.bytes);
+            .int("bytes", self.bytes)
+            .int("interned", self.interned)
+            .int("arena_bytes", self.arena_bytes);
         if !self.error.is_empty() {
             w.str("error", &self.error);
         }
@@ -187,6 +197,10 @@ impl JobRecord {
             rounds: req_int("rounds")?,
             messages: req_int("messages")?,
             bytes: req_int("bytes")?,
+            // Added after the first record-log format: default to 0 so
+            // pre-arena logs keep resuming cleanly.
+            interned: get("interned").and_then(|v| v.as_u64()).unwrap_or(0),
+            arena_bytes: get("arena_bytes").and_then(|v| v.as_u64()).unwrap_or(0),
             error: get("error")
                 .and_then(|v| v.as_str())
                 .unwrap_or("")
@@ -220,6 +234,8 @@ mod tests {
             rounds: 18,
             messages: 1024,
             bytes: 65536,
+            interned: 96,
+            arena_bytes: 4096,
             error: String::new(),
         }
     }
@@ -267,6 +283,18 @@ mod tests {
             JobRecord::from_json_line(&line.replace("\"size\":40", "\"size\":40.5")).is_err(),
             "fractional size is rejected"
         );
+    }
+
+    #[test]
+    fn pre_arena_lines_decode_with_zero_dedup_fields() {
+        // Record logs written before the flat-view arena lack the
+        // dedup fields; resuming such a campaign must still work.
+        let line = sample().to_json_line();
+        let stripped = line.replace(",\"interned\":96,\"arena_bytes\":4096", "");
+        assert_ne!(line, stripped, "sample must carry the new fields");
+        let back = JobRecord::from_json_line(&stripped).unwrap();
+        assert_eq!(back.interned, 0);
+        assert_eq!(back.arena_bytes, 0);
     }
 
     #[test]

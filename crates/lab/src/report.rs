@@ -241,8 +241,24 @@ pub fn scaling(records: &[JobRecord]) -> Table {
         "mean rounds",
         "mean msgs",
         "mean KB",
+        "mean interned",
+        "mean dedup",
     ]);
     for ((family, solver, big_r, size), rs) in &groups {
+        // View-arena dedup of the flat distributed path: logical bytes
+        // per deduped arena byte (records without an arena show "-").
+        let flat: Vec<&&JobRecord> = rs.iter().filter(|r| r.arena_bytes > 0).collect();
+        let (interned, dedup) = if flat.is_empty() {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (
+                format!("{:.0}", mean(flat.iter().map(|r| r.interned as f64))),
+                format!(
+                    "{:.2}",
+                    mean(flat.iter().map(|r| r.bytes as f64 / r.arena_bytes as f64))
+                ),
+            )
+        };
         table.row(vec![
             family.clone(),
             solver.to_string(),
@@ -254,6 +270,8 @@ pub fn scaling(records: &[JobRecord]) -> Table {
             format!("{:.1}", mean(rs.iter().map(|r| r.rounds as f64))),
             format!("{:.0}", mean(rs.iter().map(|r| r.messages as f64))),
             format!("{:.2}", mean(rs.iter().map(|r| r.bytes as f64 / 1024.0))),
+            interned,
+            dedup,
         ]);
     }
     table
@@ -379,6 +397,16 @@ mod tests {
             },
             messages: 100,
             bytes: 2048,
+            interned: if solver == SolverKind::Distributed {
+                64
+            } else {
+                0
+            },
+            arena_bytes: if solver == SolverKind::Distributed {
+                1024
+            } else {
+                0
+            },
             status: JobStatus::Ok,
             error: String::new(),
             job_id: job.id(),

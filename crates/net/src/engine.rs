@@ -74,18 +74,21 @@ pub trait Protocol: Sync {
     /// One round: read `inbox` (message per port from the previous
     /// round; all `None` in round 0), update the state, write `outbox`
     /// (pre-cleared to `None`; `Some(m)` on port `p` sends `m` along
-    /// port `p`).
+    /// port `p`). The inbox is mutable so protocols can `take()` large
+    /// payloads instead of cloning them — the engine overwrites every
+    /// slot at the next delivery regardless.
     fn round(
         &self,
         state: &mut Self::State,
         node: &NodeInfo,
         round: usize,
-        inbox: &[Option<Self::Message>],
+        inbox: &mut [Option<Self::Message>],
         outbox: &mut [Option<Self::Message>],
     );
 
-    /// Consume the messages received in the final round.
-    fn finish(&self, state: &mut Self::State, node: &NodeInfo, inbox: &[Option<Self::Message>]);
+    /// Consume the messages received in the final round (the inbox may
+    /// be taken from, as in [`Protocol::round`]).
+    fn finish(&self, state: &mut Self::State, node: &NodeInfo, inbox: &mut [Option<Self::Message>]);
 }
 
 /// Final states plus accounting.
@@ -136,7 +139,8 @@ fn run_inner<P: Protocol>(net: &Network, protocol: &P, threads: usize) -> RunRes
     };
 
     for t in 0..rounds {
-        // Phase 1: compute. Writes states[x] and outboxes[x] only.
+        // Phase 1: compute. Writes states[x], inboxes[x] (protocols may
+        // take received payloads) and outboxes[x] only.
         if threads <= 1 || n < 256 {
             for x in 0..n {
                 for slot in outboxes[x].iter_mut() {
@@ -146,27 +150,32 @@ fn run_inner<P: Protocol>(net: &Network, protocol: &P, threads: usize) -> RunRes
                     &mut states[x],
                     net.info(x as u32),
                     t,
-                    &inboxes[x],
+                    &mut inboxes[x],
                     &mut outboxes[x],
                 );
             }
         } else {
             let chunk = n.div_ceil(threads);
-            let inboxes_ref = &inboxes;
             crossbeam::thread::scope(|scope| {
-                for (shard, (st, ob)) in states
+                for (shard, ((st, ib), ob)) in states
                     .chunks_mut(chunk)
+                    .zip(inboxes.chunks_mut(chunk))
                     .zip(outboxes.chunks_mut(chunk))
                     .enumerate()
                 {
                     let base = shard * chunk;
                     scope.spawn(move |_| {
-                        for (off, (state, outbox)) in st.iter_mut().zip(ob.iter_mut()).enumerate() {
+                        for (off, ((state, inbox), outbox)) in st
+                            .iter_mut()
+                            .zip(ib.iter_mut())
+                            .zip(ob.iter_mut())
+                            .enumerate()
+                        {
                             let x = base + off;
                             for slot in outbox.iter_mut() {
                                 *slot = None;
                             }
-                            protocol.round(state, net.info(x as u32), t, &inboxes_ref[x], outbox);
+                            protocol.round(state, net.info(x as u32), t, inbox, outbox);
                         }
                     });
                 }
@@ -175,33 +184,70 @@ fn run_inner<P: Protocol>(net: &Network, protocol: &P, threads: usize) -> RunRes
         }
 
         // Phase 2: deliver (pull model: my inbox slot p comes from the
-        // neighbour's outbox slot at the reciprocal port). Reads
-        // outboxes, writes inboxes[x] only.
+        // neighbour's outbox slot at the reciprocal port). Payloads are
+        // **moved**, never cloned: port numbering makes delivery a
+        // bijection between outbox and inbox slots — outbox slot (y, q)
+        // is read exactly once, by the unique neighbour x whose port p
+        // satisfies reciprocity — so every slot can be `take`n.
         let graph = net.graph();
-        let deliver_chunk = |base: usize, ib: &mut [Vec<Option<P::Message>>]| -> (u64, u64) {
+        let (msgs, bytes) = if threads <= 1 || n < 256 {
             let (mut msgs, mut bytes) = (0u64, 0u64);
-            for (off, inbox) in ib.iter_mut().enumerate() {
-                let x = (base + off) as u32;
-                for (p, adj) in graph.neighbors(x).iter().enumerate() {
-                    let incoming = outboxes[adj.to as usize][adj.port_at_to as usize].clone();
+            for (x, inbox) in inboxes.iter_mut().enumerate() {
+                for (slot, adj) in inbox.iter_mut().zip(graph.neighbors(x as u32)) {
+                    let incoming = outboxes[adj.to as usize][adj.port_at_to as usize].take();
                     if let Some(m) = &incoming {
                         msgs += 1;
                         bytes += m.size_bytes() as u64;
                     }
-                    inbox[p] = incoming;
+                    *slot = incoming;
                 }
             }
             (msgs, bytes)
-        };
-        let (msgs, bytes) = if threads <= 1 || n < 256 {
-            deliver_chunk(0, &mut inboxes)
         } else {
             let chunk = n.div_ceil(threads);
+            let taps = OutboxTaps {
+                bases: outboxes.iter_mut().map(|v| v.as_mut_ptr()).collect(),
+            };
+            let taps_ref = &taps;
             let results: Vec<(u64, u64)> = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = inboxes
                     .chunks_mut(chunk)
                     .enumerate()
-                    .map(|(shard, ib)| scope.spawn(move |_| deliver_chunk(shard * chunk, ib)))
+                    .map(|(shard, ib)| {
+                        scope.spawn(move |_| {
+                            let (mut msgs, mut bytes) = (0u64, 0u64);
+                            for (off, inbox) in ib.iter_mut().enumerate() {
+                                let x = (shard * chunk + off) as u32;
+                                for (p, adj) in graph.neighbors(x).iter().enumerate() {
+                                    // SAFETY: reciprocal ports pair each
+                                    // outbox slot with exactly one inbox
+                                    // slot, so no two threads touch the
+                                    // same (adj.to, adj.port_at_to). The
+                                    // assert turns a violated invariant
+                                    // into a deterministic panic under
+                                    // tests instead of a data race.
+                                    debug_assert_eq!(
+                                        {
+                                            let back =
+                                                graph.neighbors(adj.to)[adj.port_at_to as usize];
+                                            (back.to, back.port_at_to)
+                                        },
+                                        (x, p as u32),
+                                        "reciprocal port numbering violated"
+                                    );
+                                    let incoming = unsafe {
+                                        taps_ref.take(adj.to as usize, adj.port_at_to as usize)
+                                    };
+                                    if let Some(m) = &incoming {
+                                        msgs += 1;
+                                        bytes += m.size_bytes() as u64;
+                                    }
+                                    inbox[p] = incoming;
+                                }
+                            }
+                            (msgs, bytes)
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -220,10 +266,35 @@ fn run_inner<P: Protocol>(net: &Network, protocol: &P, threads: usize) -> RunRes
     }
 
     for x in 0..n {
-        protocol.finish(&mut states[x], net.info(x as u32), &inboxes[x]);
+        protocol.finish(&mut states[x], net.info(x as u32), &mut inboxes[x]);
     }
 
     RunResult { states, stats }
+}
+
+/// Shared mutable access to the outbox slots during parallel delivery.
+/// Holds one raw base pointer per node's outbox, collected while the
+/// outboxes were exclusively borrowed; `take` works purely in raw
+/// pointer arithmetic so no (potentially overlapping) `&mut` to a whole
+/// outbox is ever materialized. Sound only because delivery is a
+/// bijection: each (node, port) slot is taken by exactly one receiver
+/// thread (see the call site).
+struct OutboxTaps<M> {
+    bases: Vec<*mut Option<M>>,
+}
+
+unsafe impl<M: Send> Sync for OutboxTaps<M> {}
+
+impl<M> OutboxTaps<M> {
+    /// Takes the message at `(node, port)`.
+    ///
+    /// # Safety
+    /// `port` must be in bounds for `node`'s outbox (reciprocal port
+    /// numbering guarantees it), and no other thread may access the
+    /// same `(node, port)` slot for the lifetime of the delivery phase.
+    unsafe fn take(&self, node: usize, port: usize) -> Option<M> {
+        std::ptr::replace(self.bases[node].add(port), None)
+    }
 }
 
 #[cfg(test)]
@@ -265,7 +336,7 @@ mod tests {
             state: &mut FloodState,
             _node: &NodeInfo,
             _round: usize,
-            inbox: &[Option<f64>],
+            inbox: &mut [Option<f64>],
             outbox: &mut [Option<f64>],
         ) {
             for m in inbox.iter().flatten() {
@@ -276,7 +347,7 @@ mod tests {
             }
         }
 
-        fn finish(&self, state: &mut FloodState, _node: &NodeInfo, inbox: &[Option<f64>]) {
+        fn finish(&self, state: &mut FloodState, _node: &NodeInfo, inbox: &mut [Option<f64>]) {
             for m in inbox.iter().flatten() {
                 state.min = state.min.min(*m);
             }
@@ -376,11 +447,11 @@ mod tests {
                 _s: &mut (),
                 _n: &NodeInfo,
                 _r: usize,
-                _i: &[Option<u32>],
+                _i: &mut [Option<u32>],
                 _o: &mut [Option<u32>],
             ) {
             }
-            fn finish(&self, _s: &mut (), _n: &NodeInfo, _i: &[Option<u32>]) {}
+            fn finish(&self, _s: &mut (), _n: &NodeInfo, _i: &mut [Option<u32>]) {}
         }
         let net = chain(4);
         let result = run(&net, &Quiet);
@@ -424,12 +495,12 @@ mod tests {
                 _s: &mut u32,
                 _n: &NodeInfo,
                 _r: usize,
-                _i: &[Option<u32>],
+                _i: &mut [Option<u32>],
                 _o: &mut [Option<u32>],
             ) {
                 panic!("round must not run with rounds() == 0");
             }
-            fn finish(&self, s: &mut u32, _n: &NodeInfo, inbox: &[Option<u32>]) {
+            fn finish(&self, s: &mut u32, _n: &NodeInfo, inbox: &mut [Option<u32>]) {
                 assert!(inbox.iter().all(Option::is_none));
                 *s += 100;
             }
@@ -468,14 +539,14 @@ mod tests {
                 _s: &mut (),
                 _n: &NodeInfo,
                 _r: usize,
-                _i: &[Option<u32>],
+                _i: &mut [Option<u32>],
                 outbox: &mut [Option<u32>],
             ) {
                 if let Some(slot) = outbox.first_mut() {
                     *slot = Some(7);
                 }
             }
-            fn finish(&self, _s: &mut (), _n: &NodeInfo, _i: &[Option<u32>]) {}
+            fn finish(&self, _s: &mut (), _n: &NodeInfo, _i: &mut [Option<u32>]) {}
         }
         let net = chain(4);
         let result = run(&net, &FirstPortOnly);

@@ -23,14 +23,23 @@
 //!   cover) of the network, which is the canonical way to implement any
 //!   local algorithm (§4.1). Message sizes are accounted, exposing the
 //!   exponential cost of full-information gathering.
-//! * [`stats::RunStats`] — rounds, message and byte accounting.
+//! * [`arena`] — the hash-consed **flat view arena**: structurally equal
+//!   subtrees interned once, subtree equality as an integer compare,
+//!   payloads as arena ids. [`view::gather_views_flat`] gathers the same
+//!   views as the legacy protocol at a per-round cost of `O(Σ degree)`
+//!   instead of the ball size, with both logical and deduped byte
+//!   accounting.
+//! * [`stats::RunStats`] — rounds, message and byte accounting, plus the
+//!   interned-node / deduped-byte counters of flat runs.
 
+pub mod arena;
 pub mod engine;
 pub mod stats;
 pub mod topology;
 pub mod view;
 
+pub use arena::{ViewArena, ViewId, CHILD_BACK, CHILD_CUT};
 pub use engine::{Payload, Protocol, RunResult};
 pub use stats::RunStats;
 pub use topology::{Network, NodeInfo, PortInfo};
-pub use view::{gather_views, ViewChild, ViewTree};
+pub use view::{gather_views, gather_views_flat, FlatViews, ViewChild, ViewTree};

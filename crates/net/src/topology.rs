@@ -99,8 +99,11 @@ impl Network {
         &self.infos[flat as usize]
     }
 
-    /// Engine-internal: the underlying graph, for message delivery.
-    pub(crate) fn graph(&self) -> &CommGraph {
+    /// The underlying communication graph — engine-side bookkeeping for
+    /// message delivery and for building flat views directly from the
+    /// topology (`mmlp-core`'s view interner). Protocols never see it:
+    /// they are limited to [`NodeInfo`].
+    pub fn graph(&self) -> &CommGraph {
         &self.graph
     }
 }

@@ -19,6 +19,7 @@
 //! the byte accounting makes visible — this is the price of the generic
 //! full-information approach.
 
+use crate::arena::{ViewArena, ViewId};
 use crate::engine::{self, Payload, Protocol, RunResult};
 use crate::stats::RunStats;
 use crate::topology::{Network, NodeInfo};
@@ -102,13 +103,17 @@ impl ViewTree {
     /// becomes [`ViewChild::Back`]). Ports with no message become
     /// [`ViewChild::Cut`]. Shared by the generic gathering protocol and
     /// the paper's algorithm's phase A.
-    pub fn from_inbox(own: &ViewTree, inbox: &[Option<(u32, ViewTree)>]) -> ViewTree {
+    ///
+    /// **Consumes** the inbox: the received subtrees are moved into the
+    /// new view (their slots are left `None`) instead of being cloned
+    /// and then mutated — on deep views the clone used to dominate the
+    /// whole absorb.
+    pub fn from_inbox(own: &ViewTree, inbox: &mut [Option<(u32, ViewTree)>]) -> ViewTree {
         let children: Vec<ViewChild> = inbox
-            .iter()
-            .map(|slot| match slot {
-                Some((sender_port, tree)) => {
-                    let mut sub = tree.clone();
-                    sub.children[*sender_port as usize] = ViewChild::Back;
+            .iter_mut()
+            .map(|slot| match slot.take() {
+                Some((sender_port, mut sub)) => {
+                    sub.children[sender_port as usize] = ViewChild::Back;
                     ViewChild::Sub(Box::new(sub))
                 }
                 None => ViewChild::Cut,
@@ -151,7 +156,7 @@ struct GatherState {
 }
 
 impl GatherViews {
-    fn absorb(state: &mut GatherState, _node: &NodeInfo, inbox: &[Option<(u32, ViewTree)>]) {
+    fn absorb(state: &mut GatherState, _node: &NodeInfo, inbox: &mut [Option<(u32, ViewTree)>]) {
         state.view = ViewTree::from_inbox(&state.view, inbox);
     }
 }
@@ -175,7 +180,7 @@ impl Protocol for GatherViews {
         state: &mut GatherState,
         node: &NodeInfo,
         round: usize,
-        inbox: &[Option<(u32, ViewTree)>],
+        inbox: &mut [Option<(u32, ViewTree)>],
         outbox: &mut [Option<(u32, ViewTree)>],
     ) {
         if round > 0 {
@@ -186,7 +191,12 @@ impl Protocol for GatherViews {
         }
     }
 
-    fn finish(&self, state: &mut GatherState, node: &NodeInfo, inbox: &[Option<(u32, ViewTree)>]) {
+    fn finish(
+        &self,
+        state: &mut GatherState,
+        node: &NodeInfo,
+        inbox: &mut [Option<(u32, ViewTree)>],
+    ) {
         if self.depth > 0 {
             Self::absorb(state, node, inbox);
         }
@@ -198,6 +208,81 @@ impl Protocol for GatherViews {
 pub fn gather_views(net: &Network, depth: usize) -> (Vec<ViewTree>, RunStats) {
     let RunResult { states, stats } = engine::run(net, &GatherViews { depth });
     (states.into_iter().map(|s| s.view).collect(), stats)
+}
+
+/// Result of a flat (hash-consed) gather: one shared arena, the root id
+/// per flat node index, and the run accounting.
+pub struct FlatViews {
+    /// The arena holding every view node of the run, deduplicated.
+    pub arena: ViewArena,
+    /// Radius-`depth` view id of each node (flat index, agents first).
+    pub roots: Vec<ViewId>,
+    /// Accounting: `messages`/`bytes` report the **logical** protocol
+    /// cost (identical to [`gather_views`], as if full trees were
+    /// serialised), while `interned_nodes`/`arena_bytes` report the
+    /// deduped footprint actually materialised.
+    pub stats: RunStats,
+}
+
+/// [`gather_views`] on the flat arena: the same round structure — in
+/// round `t` every node sends its depth-`t` view on every port — but a
+/// message is an interned [`ViewId`] instead of a deep-cloned tree, and
+/// absorbing an inbox interns at most one new node per delivered
+/// subtree. Per-round work drops from the ball size (exponential in
+/// `depth` on expander-ish networks) to `O(Σ degree)`.
+///
+/// The returned roots satisfy `arena.to_tree(roots[x]) ==
+/// gather_views(net, depth).0[x]` exactly (asserted in tests), and the
+/// logical message/byte accounting is bit-identical to the legacy
+/// protocol's.
+pub fn gather_views_flat(net: &Network, depth: usize) -> FlatViews {
+    let n = net.n_nodes();
+    let graph = net.graph();
+    let mut arena = ViewArena::new();
+    let mut views: Vec<ViewId> = (0..n as u32)
+        .map(|x| arena.depth_zero(net.info(x)))
+        .collect();
+    let mut stats = RunStats {
+        rounds: depth,
+        ..RunStats::default()
+    };
+    let mut inbox: Vec<Option<(u32, ViewId)>> = Vec::new();
+    for _ in 0..depth {
+        // Send + deliver: every port carries the sender's current view,
+        // accounted at its logical serialized size (port tag + tree).
+        let (mut msgs, mut bytes) = (0u64, 0u64);
+        for (x, &v) in views.iter().enumerate() {
+            let deg = graph.neighbors(x as u32).len() as u64;
+            msgs += deg;
+            bytes += deg * (4 + arena.tree_bytes(v));
+        }
+        stats.messages += msgs;
+        stats.bytes += bytes;
+        stats.messages_per_round.push(msgs);
+        stats.bytes_per_round.push(bytes);
+        // Absorb: each node's next view references the neighbours'
+        // current views with the sender port marked as the back edge.
+        let mut next = Vec::with_capacity(n);
+        for x in 0..n as u32 {
+            inbox.clear();
+            inbox.extend(
+                graph
+                    .neighbors(x)
+                    .iter()
+                    .map(|adj| Some((adj.port_at_to, views[adj.to as usize]))),
+            );
+            next.push(arena.absorb(views[x as usize], &inbox));
+        }
+        views = next;
+    }
+    stats.interned_nodes = arena.len() as u64;
+    stats.arena_bytes = arena.unique_bytes();
+    stats.peak_arena_bytes = arena.unique_bytes();
+    FlatViews {
+        arena,
+        roots: views,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -345,5 +430,51 @@ mod tests {
         let (v1, _) = gather_views(&net, 1);
         let (v3, _) = gather_views(&net, 3);
         assert!(v3[0].size_bytes() > v1[0].size_bytes());
+    }
+
+    #[test]
+    fn flat_gather_matches_legacy_views_and_stats() {
+        for inst in [cycle_special(5, 0.75), path_special(6, 1.25)] {
+            let net = Network::new(&inst);
+            for depth in [0, 1, 4, 7] {
+                let (legacy, legacy_stats) = gather_views(&net, depth);
+                let flat = gather_views_flat(&net, depth);
+                assert_eq!(flat.stats.messages, legacy_stats.messages);
+                assert_eq!(flat.stats.bytes, legacy_stats.bytes);
+                assert_eq!(flat.stats.bytes_per_round, legacy_stats.bytes_per_round);
+                for (x, tree) in legacy.iter().enumerate() {
+                    assert_eq!(
+                        &flat.arena.to_tree(flat.roots[x]),
+                        tree,
+                        "node {x} at depth {depth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_gather_dedups_on_cycles() {
+        // Non-tree topology: logical bytes grow with the unfolding while
+        // the arena stays linear — the dedup ratio must exceed 1.
+        let net = Network::new(&cycle_special(6, 1.0));
+        let flat = gather_views_flat(&net, 8);
+        assert!(flat.stats.interned_nodes > 0);
+        assert!(
+            flat.stats.dedup_ratio() > 1.0,
+            "ratio {}",
+            flat.stats.dedup_ratio()
+        );
+        assert_eq!(flat.stats.peak_arena_bytes, flat.stats.arena_bytes);
+    }
+
+    #[test]
+    fn flat_roots_identify_indistinguishable_nodes() {
+        // The §3 indistinguishability, now an integer compare: equal
+        // views ⇔ equal interned roots.
+        let net = Network::new(&cycle_special(8, 1.0));
+        let flat = gather_views_flat(&net, 5);
+        assert_eq!(flat.roots[0], flat.roots[2], "even-type agents agree");
+        assert_ne!(flat.roots[0], flat.roots[1], "odd-type agents differ");
     }
 }

@@ -256,17 +256,40 @@ impl Engine {
     }
 }
 
-/// Executes one solver op against an instance and renders the reply
-/// body. Pure compute: no cache, no locks — this is what the server
-/// submits to the worker pool, and what the bench calls "cold".
-/// `Err` is a one-line reason (e.g. an unbounded instance under
-/// `OPTIMUM`), mapped to `ERR INTERNAL` on the wire and never cached.
-pub fn execute(op: Op, inst: &Instance, big_r: usize, threads: usize) -> Result<String, String> {
+/// Per-solve view-arena accounting, reported by the flat network path
+/// for `SOLVE` and aggregated into the `STATS` dedup counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveInfo {
+    /// Unique view nodes interned during the solve.
+    pub interned_nodes: u64,
+    /// Logical protocol payload bytes (tree accounting).
+    pub logical_bytes: u64,
+    /// Deduped arena bytes actually materialised.
+    pub arena_bytes: u64,
+    /// Peak arena footprint during the solve.
+    pub peak_arena_bytes: u64,
+}
+
+/// [`execute`] plus the view-arena accounting of `SOLVE` requests
+/// (`None` for ops that build no views). The reply body is unchanged —
+/// the accounting travels beside it so caching stays body-only.
+pub fn execute_traced(
+    op: Op,
+    inst: &Instance,
+    big_r: usize,
+    threads: usize,
+) -> Result<(String, Option<SolveInfo>), String> {
     let mut out = String::new();
+    let mut info = None;
     match op {
         Op::Solve => {
             let stats = DegreeStats::of(inst);
-            let solver = LocalSolver::new(big_r.max(2)).with_threads(threads.max(1));
+            // Cold solves run over the flat network path: bit-identical
+            // bodies to the centralized path (asserted in tests), plus
+            // the dedup accounting STATS surfaces.
+            let solver = LocalSolver::new(big_r.max(2))
+                .with_threads(threads.max(1))
+                .via_network(true);
             let run = solver.solve(inst);
             let utility = run.solution.utility(inst);
             let _ = writeln!(out, "utility {utility}");
@@ -279,6 +302,12 @@ pub fn execute(op: Op, inst: &Instance, big_r: usize, threads: usize) -> Result<
             for v in inst.agents() {
                 let _ = writeln!(out, "x {} {}", v.raw(), run.solution.value(v));
             }
+            info = run.net_stats.map(|s| SolveInfo {
+                interned_nodes: s.interned_nodes,
+                logical_bytes: s.bytes,
+                arena_bytes: s.arena_bytes,
+                peak_arena_bytes: s.peak_arena_bytes,
+            });
         }
         Op::Optimum => {
             let opt = solve_maxmin(inst).map_err(|e| e.to_string())?;
@@ -314,7 +343,16 @@ pub fn execute(op: Op, inst: &Instance, big_r: usize, threads: usize) -> Result<
             }
         }
     }
-    Ok(out)
+    Ok((out, info))
+}
+
+/// Executes one solver op against an instance and renders the reply
+/// body. Pure compute: no cache, no locks — this is what the server
+/// submits to the worker pool, and what the bench calls "cold".
+/// `Err` is a one-line reason (e.g. an unbounded instance under
+/// `OPTIMUM`), mapped to `ERR INTERNAL` on the wire and never cached.
+pub fn execute(op: Op, inst: &Instance, big_r: usize, threads: usize) -> Result<String, String> {
+    execute_traced(op, inst, big_r, threads).map(|(body, _)| body)
 }
 
 #[cfg(test)]
@@ -375,6 +413,22 @@ mod tests {
             execute(Op::Solve, &i, 3, 1).unwrap(),
             execute(Op::Solve, &i, 3, 4).unwrap()
         );
+    }
+
+    #[test]
+    fn solve_reports_view_dedup_info() {
+        let i = inst();
+        let (body, info) = execute_traced(Op::Solve, &i, 3, 1).unwrap();
+        let info = info.expect("SOLVE runs the flat network path");
+        assert!(info.interned_nodes > 0 && info.arena_bytes > 0);
+        assert!(
+            info.logical_bytes > info.arena_bytes,
+            "bandwidth ladders are non-tree: dedup ratio must exceed 1"
+        );
+        assert_eq!(body, execute(Op::Solve, &i, 3, 1).unwrap());
+        // Ops that build no views report no info.
+        let (_, none) = execute_traced(Op::Info, &i, 3, 1).unwrap();
+        assert_eq!(none, None);
     }
 
     #[test]

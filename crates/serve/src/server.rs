@@ -24,7 +24,7 @@
 
 use crate::engine::{self, CacheKey, Engine};
 use crate::protocol::{parse_command, Command, ErrorCode, Reply, Source};
-use crate::stats::{Counters, Histogram};
+use crate::stats::{Counters, Histogram, ViewCounters};
 use mmlp_instance::hash::hash_hex;
 use mmlp_lab::pool::{Outcome, SubmitError, TaskPool, TaskPoolConfig};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
@@ -98,6 +98,7 @@ struct Shared {
     engine: Engine,
     pool: TaskPool,
     counters: Counters,
+    views: Arc<ViewCounters>,
     latency: Mutex<Histogram>,
     shutting_down: AtomicBool,
     live_connections: AtomicUsize,
@@ -142,6 +143,7 @@ impl Server {
             engine,
             pool,
             counters: Counters::default(),
+            views: Arc::new(ViewCounters::default()),
             latency: Mutex::new(Histogram::new()),
             shutting_down: AtomicBool::new(false),
             live_connections: AtomicUsize::new(0),
@@ -435,7 +437,19 @@ fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) ->
                 Counters::bump(&shared.counters.cache_hits);
                 return (Reply::Ok(body.as_ref().clone()), false);
             }
-            let reply = run_pooled(shared, move || engine::execute(op, &inst, big_r, threads));
+            let views = Arc::clone(&shared.views);
+            let reply = run_pooled(shared, move || {
+                let (body, info) = engine::execute_traced(op, &inst, big_r, threads)?;
+                if let Some(i) = info {
+                    views.record(
+                        i.interned_nodes,
+                        i.logical_bytes,
+                        i.arena_bytes,
+                        i.peak_arena_bytes,
+                    );
+                }
+                Ok(body)
+            });
             // A miss is a solve that actually ran (or tried to): BUSY
             // and drain rejections never reached a worker, so they are
             // neither hits nor misses.
@@ -556,6 +570,26 @@ fn render_stats(shared: &Shared) -> String {
     let _ = writeln!(out, "warm_instances {}", warm.instances);
     let _ = writeln!(out, "warm_results {}", warm.results);
     let _ = writeln!(out, "persist_errors {}", shared.engine.persist_errors());
+    // View-arena dedup aggregates over the flat-path cold solves.
+    let v = &shared.views;
+    let _ = writeln!(out, "flat_solves {}", Counters::read(&v.flat_solves));
+    let _ = writeln!(
+        out,
+        "view_interned_nodes {}",
+        Counters::read(&v.interned_nodes)
+    );
+    let _ = writeln!(
+        out,
+        "view_logical_bytes {}",
+        Counters::read(&v.logical_bytes)
+    );
+    let _ = writeln!(out, "view_arena_bytes {}", Counters::read(&v.arena_bytes));
+    let _ = writeln!(
+        out,
+        "view_peak_arena_bytes {}",
+        Counters::read(&v.peak_arena_bytes)
+    );
+    let _ = writeln!(out, "view_dedup_ratio {:.3}", v.dedup_ratio());
     let _ = writeln!(out, "latency_samples {}", lat.total());
     let _ = writeln!(out, "latency_mean_us {}", lat.mean_us());
     let _ = writeln!(out, "p50_us {}", lat.percentile(0.50));

@@ -172,6 +172,49 @@ impl Counters {
     }
 }
 
+/// Aggregate view-arena accounting over the cold `SOLVE`s served so far
+/// (the flat network path reports per-solve dedup numbers; `STATS`
+/// surfaces their running totals). Updated lock-free from worker
+/// threads.
+#[derive(Default)]
+pub struct ViewCounters {
+    /// Cold solves that ran the flat network path.
+    pub flat_solves: AtomicU64,
+    /// Sum of unique interned view nodes across those solves.
+    pub interned_nodes: AtomicU64,
+    /// Sum of logical protocol payload bytes (what the trees would have
+    /// cost on the wire).
+    pub logical_bytes: AtomicU64,
+    /// Sum of deduped arena bytes actually materialised.
+    pub arena_bytes: AtomicU64,
+    /// Largest single-solve arena footprint seen.
+    pub peak_arena_bytes: AtomicU64,
+}
+
+impl ViewCounters {
+    /// Folds one solve's arena accounting into the aggregates.
+    pub fn record(&self, interned_nodes: u64, logical_bytes: u64, arena_bytes: u64, peak: u64) {
+        self.flat_solves.fetch_add(1, Ordering::Relaxed);
+        self.interned_nodes
+            .fetch_add(interned_nodes, Ordering::Relaxed);
+        self.logical_bytes
+            .fetch_add(logical_bytes, Ordering::Relaxed);
+        self.arena_bytes.fetch_add(arena_bytes, Ordering::Relaxed);
+        self.peak_arena_bytes.fetch_max(peak, Ordering::Relaxed);
+    }
+
+    /// Aggregate dedup ratio: logical bytes per arena byte (0 before
+    /// the first flat solve).
+    pub fn dedup_ratio(&self) -> f64 {
+        let arena = self.arena_bytes.load(Ordering::Relaxed);
+        if arena == 0 {
+            0.0
+        } else {
+            self.logical_bytes.load(Ordering::Relaxed) as f64 / arena as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,6 +43,13 @@ fn json_escape(s: &str) -> String {
 /// Writes the collected measurements to the file named by
 /// `MMLP_BENCH_JSON`, if set. Called by [`criterion_main!`] after all
 /// groups ran; harmless no-op otherwise.
+///
+/// **Merging.** When the file already exists (it was written by this
+/// function), entries from earlier bench binaries are preserved and
+/// re-run benchmark names are replaced — so one trajectory file (e.g.
+/// `BENCH_core.json`) can be assembled from several `cargo bench`
+/// invocations. Delete the file first for a from-scratch report (CI
+/// does).
 pub fn write_json_report() {
     let Ok(path) = std::env::var("MMLP_BENCH_JSON") else {
         return;
@@ -51,13 +58,32 @@ pub fn write_json_report() {
         return;
     }
     let collected = COLLECTED.lock().expect("bench collector");
+    // (escaped name, rendered entry), earlier binaries' entries first.
+    let mut entries: Vec<(String, String)> = Vec::new();
+    if let Ok(prev) = std::fs::read_to_string(&path) {
+        for line in prev.lines() {
+            let t = line.trim();
+            if let Some(rest) = t.strip_prefix("{\"name\": \"") {
+                if let Some(end) = rest.find("\", ") {
+                    entries.push((rest[..end].to_string(), t.trim_end_matches(',').to_string()));
+                }
+            }
+        }
+    }
+    for (name, median, min, max) in collected.iter() {
+        let esc = json_escape(name);
+        let body = format!(
+            "{{\"name\": \"{esc}\", \"median_ns\": {median}, \"min_ns\": {min}, \"max_ns\": {max}}}"
+        );
+        match entries.iter_mut().find(|(n, _)| *n == esc) {
+            Some(entry) => entry.1 = body,
+            None => entries.push((esc, body)),
+        }
+    }
     let mut out = String::from("{\n  \"schema\": \"mmlp-bench-json-v1\",\n  \"benchmarks\": [\n");
-    for (i, (name, median, min, max)) in collected.iter().enumerate() {
-        let comma = if i + 1 < collected.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ns\": {median}, \"min_ns\": {min}, \"max_ns\": {max}}}{comma}\n",
-            json_escape(name)
-        ));
+    for (i, (_, body)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!("    {body}{comma}\n"));
     }
     out.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(&path, out) {
