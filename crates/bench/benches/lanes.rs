@@ -1,0 +1,53 @@
+//! Lane-width sweep for the split-accumulator `min` folds of
+//! `mmlp_net::lanes`.
+//!
+//! Measures `min_lanes_w::<W>` for W ∈ {2, 4, 8} against the scalar
+//! left fold, over slice lengths spanning the hot callers: node-degree
+//! slices (the capacity folds run over an agent's ports, typically
+//! < 16) and long slices (the safe baseline over dense rows). The
+//! chosen production width (`LANES = 4`) is recorded with the rationale
+//! in the module docs and `specs/PERF.md`; this bench is the evidence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmlp_net::lanes::{min_lanes_w, LANES};
+
+fn values(len: usize) -> Vec<f64> {
+    // Deterministic strictly positive values (an LCG), like the folds see.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            1.0 + (state >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+fn scalar_min(v: &[f64]) -> f64 {
+    v.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn bench_lane_width(c: &mut Criterion) {
+    assert_eq!(LANES, 4, "update the sweep if the production width moves");
+    let mut group = c.benchmark_group("lane-width");
+    for len in [8usize, 64, 4096] {
+        let v = values(len);
+        group.bench_with_input(BenchmarkId::new("scalar", len), &len, |b, _| {
+            b.iter(|| std::hint::black_box(scalar_min(std::hint::black_box(&v))))
+        });
+        group.bench_with_input(BenchmarkId::new("w2", len), &len, |b, _| {
+            b.iter(|| std::hint::black_box(min_lanes_w::<2>(std::hint::black_box(&v))))
+        });
+        group.bench_with_input(BenchmarkId::new("w4", len), &len, |b, _| {
+            b.iter(|| std::hint::black_box(min_lanes_w::<4>(std::hint::black_box(&v))))
+        });
+        group.bench_with_input(BenchmarkId::new("w8", len), &len, |b, _| {
+            b.iter(|| std::hint::black_box(min_lanes_w::<8>(std::hint::black_box(&v))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lane_width);
+criterion_main!(benches);

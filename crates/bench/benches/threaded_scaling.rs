@@ -1,0 +1,75 @@
+//! Threaded `t`-batch scaling over the flat view arena.
+//!
+//! Benches [`mmlp_core::distributed::t_batch_flat`] — the size-weighted
+//! chunked partitioner — at worker counts 1, 2, 4 and 8 over three
+//! workload shapes:
+//!
+//! * **random** — a large random special-form instance (uniform balls),
+//! * **regular-gadget** — the §4-transformed lower-bound regular gadget
+//!   of the tight-bounds companion paper (high-girth, worst-case-shaped
+//!   views),
+//! * **tree-gadget** — its tree unfolding (skewed ball sizes: interior
+//!   agents carry far more subtree work than the leaves, which is
+//!   exactly what per-root and equal-count partitioning get wrong).
+//!
+//! Worker counts above the host's parallelism measure the overhead
+//! floor of the partitioner itself (the production entry point,
+//! `solve_special_flat`, caps workers at `available_parallelism` and
+//! only engages threading above `FLAT_T_PARALLEL_MIN_WORK` — this
+//! bench calls the uncapped helper on purpose). The printed `work=`
+//! line is the batch's `Σ arena.size(root)`, the unit the threshold is
+//! expressed in; see `specs/PERF.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmlp_core::distributed::t_batch_flat;
+use mmlp_core::transform::to_special_form;
+use mmlp_core::SpecialForm;
+use mmlp_gen::lower_bound::{regular_gadget, tree_gadget};
+use mmlp_gen::special::{random_special_form, SpecialFormConfig};
+use mmlp_net::{gather_views_flat, FlatViews, Network};
+
+/// Special-forms a general instance the way the solver pipeline does.
+fn special(inst: &mmlp_instance::Instance) -> SpecialForm {
+    SpecialForm::new(to_special_form(inst).instance).expect("§4 pipeline produces special form")
+}
+
+fn workloads() -> Vec<(&'static str, SpecialForm, usize)> {
+    let random = SpecialForm::new(random_special_form(
+        &SpecialFormConfig {
+            n_objectives: 240,
+            extra_constraints: 120,
+            ..SpecialFormConfig::default()
+        },
+        2,
+    ))
+    .unwrap();
+    let (regular, _girth) = regular_gadget(48, 3, 2, 6, 7);
+    let (tree, _witness) = tree_gadget(3, 2, 6);
+    vec![
+        ("random", random, 4),
+        ("regular-gadget", special(&regular), 4),
+        ("tree-gadget", special(&tree), 4),
+    ]
+}
+
+fn bench_threaded_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded-scaling");
+    group.sample_size(10);
+    for (name, sf, big_r) in workloads() {
+        let net = Network::new(sf.instance());
+        let depth = 4 * (big_r - 2) + 2;
+        let FlatViews { arena, roots, .. } = gather_views_flat(&net, depth);
+        let n = sf.n_agents();
+        let work: u64 = roots[..n].iter().map(|&r| arena.size(r)).sum();
+        println!("threaded-scaling/{name}: agents={n} work={work}");
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::new(name, workers), &workers, |b, &w| {
+                b.iter(|| std::hint::black_box(t_batch_flat(&arena, &roots[..n], big_r, w)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threaded_scaling);
+criterion_main!(benches);

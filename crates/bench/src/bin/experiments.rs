@@ -268,14 +268,19 @@ fn t5_lower_bound() {
     let x_tree = LocalSolver::new(big_r).solve(&tree).solution;
     let mut matched = 0usize;
     let mut max_dev = 0.0f64;
-    // Canonical codes of all regular agents (they are all interior).
-    let code_reg: Vec<String> = regular
+    // Canonical interned ids of all regular agents (they are all
+    // interior); matching is then an integer compare per pair instead
+    // of a string compare over serialized balls.
+    let mut arena = mmlp_net::ViewArena::new();
+    let mut it_reg = unfold::ViewInterner::new(&regular);
+    let mut it_tree = unfold::ViewInterner::new(&tree);
+    let id_reg: Vec<_> = regular
         .agents()
-        .map(|v| unfold::canonical_view_code(&regular, Node::Agent(v), depth))
+        .map(|v| it_reg.intern_canonical(&mut arena, Node::Agent(v), depth))
         .collect();
     for w in tree.agents() {
-        let cw = unfold::canonical_view_code(&tree, Node::Agent(w), depth);
-        if let Some(v) = regular.agents().find(|v| code_reg[v.idx()] == cw) {
+        let iw = it_tree.intern_canonical(&mut arena, Node::Agent(w), depth);
+        if let Some(v) = regular.agents().find(|v| id_reg[v.idx()] == iw) {
             matched += 1;
             max_dev = max_dev.max((x_reg.value(v) - x_tree.value(w)).abs());
         }

@@ -1,0 +1,122 @@
+//! Bench-trajectory sanity gate for `BENCH_core.json`.
+//!
+//! Reads one mmlp-bench-json-v1 file (path as the sole argument,
+//! default `BENCH_core.json`) and fails — non-zero exit, one line per
+//! violated invariant — unless the committed medians keep the orderings
+//! this repo's perf story rests on:
+//!
+//! 1. `distributed-solve/flat-threaded/4` < `distributed-solve/flat/4`
+//!    — threading the `t` batch must not cost (the PR-5 regression, now
+//!    gated);
+//! 2. `view-eval-t/memoized/R` ≤ `view-eval-t/recursive/R` at every
+//!    benchmarked `R` — the memo table must pay for itself;
+//! 3. `distributed-solve/flat/R` < `distributed-solve/legacy/R` at
+//!    every benchmarked `R` — the arena path must stay ahead of the
+//!    legacy tree protocol.
+//!
+//! CI runs this against the **committed** file (not a fresh run), so
+//! the gate is deterministic: it catches a PR committing numbers that
+//! lose an ordering, not machine noise. The procedure for regenerating
+//! the file honestly is the "how to claim a speedup" checklist in
+//! `specs/PERF.md`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts `"name" → median_ns` from an mmlp-bench-json-v1 document
+/// (the shim's line-per-entry layout; no JSON dependency needed).
+fn parse_medians(doc: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in doc.lines() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = &rest[..name_end];
+        let Some(median_at) = rest.find("\"median_ns\": ") else {
+            continue;
+        };
+        let digits: String = rest[median_at + "\"median_ns\": ".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(median) = digits.parse() {
+            out.insert(name.to_string(), median);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_core.json".into());
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trajectory-gate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let medians = parse_medians(&doc);
+    if medians.is_empty() {
+        eprintln!("trajectory-gate: no benchmark entries in {path}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = Vec::new();
+    // `fast` must be strictly faster than (or, with `strict` off, no
+    // slower than) `slow`; both entries must exist when `required`.
+    let mut check = |fast: &str, slow: &str, strict: bool, required: bool| match (
+        medians.get(fast),
+        medians.get(slow),
+    ) {
+        (Some(&f), Some(&s)) => {
+            let ok = if strict { f < s } else { f <= s };
+            if !ok {
+                failures.push(format!(
+                    "{fast} ({f} ns) must be {} {slow} ({s} ns)",
+                    if strict { "<" } else { "≤" }
+                ));
+            }
+        }
+        _ if required => {
+            failures.push(format!("missing entries: need both {fast} and {slow}"));
+        }
+        _ => {}
+    };
+
+    check(
+        "distributed-solve/flat-threaded/4",
+        "distributed-solve/flat/4",
+        true,
+        true,
+    );
+    for big_r in 2..=8 {
+        check(
+            &format!("view-eval-t/memoized/{big_r}"),
+            &format!("view-eval-t/recursive/{big_r}"),
+            false,
+            big_r == 3 || big_r == 4,
+        );
+        check(
+            &format!("distributed-solve/flat/{big_r}"),
+            &format!("distributed-solve/legacy/{big_r}"),
+            true,
+            big_r == 3 || big_r == 4,
+        );
+    }
+
+    if failures.is_empty() {
+        println!("trajectory-gate: {path} OK ({} entries)", medians.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("trajectory-gate: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

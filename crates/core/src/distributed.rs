@@ -238,56 +238,151 @@ pub fn t_from_view(view: &ViewTree, big_r: usize) -> f64 {
 // "same subtree" an id compare, so shared subtrees — which is most of a
 // ball in the unfolding — are evaluated once per `(id, level)` instead
 // of once per occurrence. Every arithmetic operation runs on the same
-// operands in the same order as the recursive tree evaluators, so the
-// results are bit-identical (asserted in tests).
+// operands in the same order as the recursive tree evaluators — except
+// the capacity folds `min_i 1/a_iv`, which run in chunked f64 lanes
+// (`mmlp_net::lanes`) and are order-independent at the bit level — so
+// the results are bit-identical (asserted in tests). Sums are never
+// reassociated; see `specs/PERF.md` for the boundary.
 
-/// Memo tables for one `(root, ω)` flat evaluation, indexed densely by
-/// interned subtree id × level. Reused across agents; "clearing" per ω
-/// probe is a generation bump, so the hot loop does no hashing and no
-/// table wipes.
+/// Logical subtree size below which the `f±` evaluators skip the memo
+/// table and recompute directly.
+///
+/// A memo probe costs a (usually cold) load into a table that is far
+/// bigger than L1; a tiny subtree costs a handful of arithmetic ops on
+/// arena columns that are already streaming through cache. Measured on
+/// the `view-eval-t` bench workload (120-objective special form,
+/// R ∈ {3, 4}), cutoffs in 16–64 are within noise of each other and
+/// all beat both "memoise everything" (the PR-5 regression) and "never
+/// memoise"; see `specs/PERF.md` for the sweep.
+pub const MEMO_MIN_SUBTREE: u64 = 32;
+
+/// `memo_base` sentinel: this subtree is below [`MEMO_MIN_SUBTREE`] and
+/// is never memoised.
+const MEMO_SKIP: u32 = u32::MAX;
+
+/// A NaN bit pattern no `f±` evaluation can produce (the evaluators
+/// only ever yield non-negative values or `None`), used to encode
+/// `None` in a memo slot without an `Option` discriminant.
+const MEMO_NONE_BITS: u64 = 0x7ff8_dead_beef_0001;
+
+/// One generation-stamped memo slot: 16 bytes instead of the 24-byte
+/// `(u64, Option<f64>)` it replaces, so the same table holds 1.5× more
+/// entries per cache line and the per-worker tables shrink accordingly.
+#[derive(Clone, Copy, Default)]
+struct MemoSlot {
+    gen: u32,
+    bits: u64,
+}
+
+#[inline]
+fn memo_encode(v: Option<f64>) -> u64 {
+    match v {
+        Some(x) => x.to_bits(),
+        None => MEMO_NONE_BITS,
+    }
+}
+
+#[inline]
+fn memo_decode(bits: u64) -> Option<f64> {
+    (bits != MEMO_NONE_BITS).then(|| f64::from_bits(bits))
+}
+
+/// Memo tables for one `(root, ω)` flat evaluation — private to one
+/// worker, so concurrent `t` batches never share (or false-share) memo
+/// cache lines. Reused across agents; "clearing" per ω probe is a
+/// generation bump, so the hot loop does no hashing and no table wipes.
+///
+/// The tables are **compact**: `FlatScratch::prepare` walks the arena
+/// once per `(arena, levels)` pair and assigns memo slots only to
+/// subtrees of logical size ≥ [`MEMO_MIN_SUBTREE`] (everything smaller
+/// recomputes), and precomputes every agent node's capacity
+/// `min_i 1/a_iv` — which is ω-independent — into a per-id table using
+/// the lane fold [`mmlp_net::lanes::min_recip_where`]. On the dedup-
+/// heavy arenas of deep gathers this shrinks the stamped region by an
+/// order of magnitude versus the old dense `ids × levels` layout, which
+/// is what made spinning up per-thread scratches cost more than the
+/// parallelism won back (the PR-5 `flat-threaded` regression).
 #[derive(Default)]
 pub struct FlatScratch {
-    /// Current probe generation; entries are live iff stamped with it.
-    gen: u64,
-    /// Levels per id (`r + 1`); fixes the flat indexing.
+    /// Identity of the arena the tables below are laid out for.
+    arena_token: u64,
+    /// Interned-node count at layout time (token + length pin the
+    /// layout even across clones that grew).
+    arena_len: usize,
+    /// Levels per memoised id (`r + 1`); fixes the slot stride.
     levels: usize,
-    fp: Vec<(u64, Option<f64>)>,
-    fm: Vec<(u64, Option<f64>)>,
+    /// Current probe generation; entries are live iff stamped with it.
+    gen: u32,
+    /// id → first slot of its `levels` memo slots, or [`MEMO_SKIP`].
+    memo_base: Vec<u32>,
+    /// id → `min_i 1/a_iv` for agent nodes (NaN filler for rows; never
+    /// read — rows have no capacity).
+    caps: Vec<f64>,
+    fp: Vec<MemoSlot>,
+    fm: Vec<MemoSlot>,
 }
 
 impl FlatScratch {
-    /// Sizes the tables for `nodes × levels` slots (no-op when already
-    /// large enough with the same level stride).
-    fn prepare(&mut self, nodes: usize, levels: usize) {
-        let need = nodes * levels;
-        if self.levels != levels || self.fp.len() < need {
-            self.fp = vec![(0, None); need];
-            self.fm = vec![(0, None); need];
-            self.levels = levels;
-            self.gen = 0;
+    /// Lays the tables out for `arena` with `levels` memo levels per
+    /// subtree (no-op when already laid out for exactly this arena and
+    /// stride).
+    fn prepare(&mut self, arena: &ViewArena, levels: usize) {
+        if self.arena_token == arena.token()
+            && self.arena_len == arena.len()
+            && self.levels == levels
+        {
+            return;
         }
+        let n = arena.len();
+        self.arena_token = arena.token();
+        self.arena_len = n;
+        self.levels = levels;
+        self.gen = 0;
+        self.memo_base.clear();
+        self.memo_base.reserve(n);
+        self.caps.clear();
+        self.caps.reserve(n);
+        let mut slots = 0u32;
+        for id in 0..n as ViewId {
+            self.caps.push(if arena.kind(id) == NodeKind::Agent {
+                mmlp_net::lanes::min_recip_where(
+                    arena.port_kinds(id),
+                    arena.coefs(id),
+                    NodeKind::Constraint,
+                )
+            } else {
+                f64::NAN
+            });
+            self.memo_base.push(if arena.size(id) >= MEMO_MIN_SUBTREE {
+                let base = slots;
+                slots += levels as u32;
+                base
+            } else {
+                MEMO_SKIP
+            });
+        }
+        self.fp = vec![MemoSlot::default(); slots as usize];
+        self.fm = vec![MemoSlot::default(); slots as usize];
     }
 
     /// Starts a new ω probe: previous entries become stale in O(1).
     fn clear(&mut self) {
+        if self.gen == u32::MAX {
+            // Generation wrap: re-zero the stamps so stale entries from
+            // 4 billion probes ago cannot alias the fresh generation.
+            self.fp.fill(MemoSlot::default());
+            self.fm.fill(MemoSlot::default());
+            self.gen = 0;
+        }
         self.gen += 1;
     }
 
+    /// Memo slot of `(id, d)`, or `None` below the memo cutoff.
     #[inline]
-    fn slot(&self, id: ViewId, d: u32) -> usize {
-        id as usize * self.levels + d as usize
+    fn slot(&self, id: ViewId, d: u32) -> Option<usize> {
+        let base = self.memo_base[id as usize];
+        (base != MEMO_SKIP).then(|| base as usize + d as usize)
     }
-}
-
-/// `min_i 1/a_iv` from an agent's interned view node.
-fn cap_of_flat(arena: &ViewArena, v: ViewId) -> f64 {
-    arena
-        .port_kinds(v)
-        .iter()
-        .zip(arena.coefs(v))
-        .filter(|(k, _)| **k == NodeKind::Constraint)
-        .map(|(_, a)| 1.0 / a)
-        .fold(f64::INFINITY, f64::min)
 }
 
 /// The objective subtree of an agent's interned view node.
@@ -303,7 +398,8 @@ fn objective_child_flat(arena: &ViewArena, v: ViewId) -> ViewId {
     panic!("objective child missing — view gathered too shallow");
 }
 
-/// `f⁺` on an interned subtree (cf. [`f_plus_view`]), memoised.
+/// `f⁺` on an interned subtree (cf. [`f_plus_view`]), memoised above the
+/// [`MEMO_MIN_SUBTREE`] cutoff.
 fn f_plus_flat(
     arena: &ViewArena,
     w: ViewId,
@@ -311,14 +407,19 @@ fn f_plus_flat(
     omega: f64,
     sc: &mut FlatScratch,
 ) -> Option<f64> {
-    let slot = sc.slot(w, d);
-    let (stamp, memo) = sc.fp[slot];
-    if stamp == sc.gen {
-        return memo;
+    if d == 0 {
+        // The level-0 value is the precomputed (ω-independent) capacity;
+        // no memo traffic at the recursion's widest level.
+        return Some(sc.caps[w as usize]);
     }
-    let val = if d == 0 {
-        Some(cap_of_flat(arena, w))
-    } else {
+    let slot = sc.slot(w, d);
+    if let Some(s) = slot {
+        let MemoSlot { gen, bits } = sc.fp[s];
+        if gen == sc.gen {
+            return memo_decode(bits);
+        }
+    }
+    let val = {
         let mut m = f64::INFINITY;
         let mut ok = true;
         for (p, kind) in arena.port_kinds(w).iter().enumerate() {
@@ -360,11 +461,17 @@ fn f_plus_flat(
         Some(v) if v >= 0.0 => Some(v),
         _ => None,
     };
-    sc.fp[slot] = (sc.gen, result);
+    if let Some(s) = slot {
+        sc.fp[s] = MemoSlot {
+            gen: sc.gen,
+            bits: memo_encode(result),
+        };
+    }
     result
 }
 
-/// `f⁻` on an interned subtree (cf. [`f_minus_view`]), memoised.
+/// `f⁻` on an interned subtree (cf. [`f_minus_view`]), memoised above
+/// the [`MEMO_MIN_SUBTREE`] cutoff.
 fn f_minus_flat(
     arena: &ViewArena,
     n: ViewId,
@@ -373,11 +480,16 @@ fn f_minus_flat(
     sc: &mut FlatScratch,
 ) -> Option<f64> {
     let slot = sc.slot(n, d);
-    let (stamp, memo) = sc.fm[slot];
-    if stamp == sc.gen {
-        return memo;
+    if let Some(s) = slot {
+        let MemoSlot { gen, bits } = sc.fm[s];
+        if gen == sc.gen {
+            return memo_decode(bits);
+        }
     }
     let k = objective_child_flat(arena, n);
+    // This sum feeds outputs asserted bit-identical to the recursive
+    // tree path, so it keeps its left-to-right order (see the
+    // reassociation boundary in `mmlp_net::lanes`).
     let mut sum = 0.0;
     let mut ok = true;
     for &w in arena.children(k) {
@@ -392,16 +504,26 @@ fn f_minus_flat(
         }
     }
     let result = ok.then(|| (omega - sum).max(0.0));
-    sc.fm[slot] = (sc.gen, result);
+    if let Some(s) = slot {
+        sc.fm[s] = MemoSlot {
+            gen: sc.gen,
+            bits: memo_encode(result),
+        };
+    }
     result
 }
 
 /// [`t_from_view`] on an interned root: the same bisection, memoised
 /// per shared subtree — bit-identical results.
+///
+/// `sc` is laid out for `(arena, R)` on first use and reused across
+/// roots and ω probes; capacities come from the precomputed per-id
+/// table, and every sum keeps the recursive path's operand order so the
+/// result is bit-for-bit equal to [`t_from_view`] (asserted in tests).
 pub fn t_from_arena(arena: &ViewArena, root: ViewId, big_r: usize, sc: &mut FlatScratch) -> f64 {
     let r = (big_r - 2) as u32;
-    sc.prepare(arena.len(), r as usize + 1);
-    let cap_u = cap_of_flat(arena, root);
+    sc.prepare(arena, r as usize + 1);
+    let cap_u = sc.caps[root as usize];
     let k = objective_child_flat(arena, root);
     let others: Vec<ViewId> = arena
         .children(k)
@@ -409,7 +531,7 @@ pub fn t_from_arena(arena: &ViewArena, root: ViewId, big_r: usize, sc: &mut Flat
         .copied()
         .filter(|&c| c < CHILD_BACK)
         .collect();
-    let hi0 = cap_u + others.iter().map(|&w| cap_of_flat(arena, w)).sum::<f64>();
+    let hi0 = cap_u + others.iter().map(|&w| sc.caps[w as usize]).sum::<f64>();
     let mut feasible = |omega: f64| -> bool {
         sc.clear();
         let mut sum = 0.0;
@@ -435,6 +557,96 @@ pub fn t_from_arena(arena: &ViewArena, root: ViewId, big_r: usize, sc: &mut Flat
         }
     }
     lo
+}
+
+/// Minimum total batch work — `Σ arena.size(root)` over the roots, the
+/// logical (pre-dedup) node count the `f±` probes walk per ω pass —
+/// below which [`solve_special_flat`] keeps the `t` batch scalar.
+///
+/// One work unit costs the batch roughly 50–100ns (memoised `f±` over
+/// an interned node across all bisection probes, measured on the
+/// `view-eval-t` workload), so this threshold is ~1.5ms of scalar batch
+/// time — the order of what spawning workers and laying out their
+/// per-thread [`FlatScratch`] tables costs end to end. Below it,
+/// threading can only lose. Measured on the `threaded-scaling` bench;
+/// see `specs/PERF.md`.
+pub const FLAT_T_PARALLEL_MIN_WORK: u64 = 20_000;
+
+/// Chunks handed out per worker in [`t_batch_flat`]: enough slack for
+/// work stealing to smooth out unevenly sized balls without shrinking
+/// chunks to per-root granularity (the PR-5 mistake in reverse).
+const PARALLEL_CHUNKS_PER_WORKER: usize = 4;
+
+/// Evaluates `t_u` for every root, with exactly `workers` threads
+/// pulling **size-weighted contiguous chunks** from a shared queue.
+///
+/// Chunk boundaries are chosen so each chunk carries roughly
+/// `Σ size / (workers × 4)` units of interned-subtree work (the arena's
+/// logical subtree size is the cost proxy for one ω probe), so a few
+/// giant balls no longer serialise a whole equal-*count* shard behind
+/// one worker. Each worker owns a private [`FlatScratch`] for its whole
+/// lifetime — workers share only the read-only arena and disjoint
+/// output slices, so there is no false sharing of memo lines.
+///
+/// Results are bit-identical for every `workers ≥ 1` (each `t_u` is a
+/// pure function of `(arena, root)`); `workers == 1` runs the plain
+/// scalar loop. [`solve_special_flat`] caps `workers` at the host's
+/// available parallelism and the [`FLAT_T_PARALLEL_MIN_WORK`] threshold;
+/// this helper deliberately does not, so tests and benches can exercise
+/// the parallel partitioning on any host.
+pub fn t_batch_flat(arena: &ViewArena, roots: &[ViewId], big_r: usize, workers: usize) -> Vec<f64> {
+    let n = roots.len();
+    if workers <= 1 || n <= 1 {
+        let mut sc = FlatScratch::default();
+        return roots
+            .iter()
+            .map(|&root| t_from_arena(arena, root, big_r, &mut sc))
+            .collect();
+    }
+
+    // Size-weighted contiguous chunk boundaries.
+    let total: u64 = roots.iter().map(|&root| arena.size(root)).sum();
+    let n_chunks = (workers * PARALLEL_CHUNKS_PER_WORKER).min(n).max(1);
+    let target = (total / n_chunks as u64).max(1);
+    let mut bounds = vec![0usize];
+    let mut acc = 0u64;
+    for (i, &root) in roots.iter().enumerate() {
+        acc += arena.size(root);
+        if acc >= target && i + 1 < n {
+            bounds.push(i + 1);
+            acc = 0;
+        }
+    }
+    bounds.push(n);
+
+    let mut out = vec![0.0f64; n];
+    {
+        // Queue of (first root index, disjoint output slice) tasks.
+        let mut tasks: Vec<(usize, &mut [f64])> = Vec::with_capacity(bounds.len() - 1);
+        let mut rest: &mut [f64] = &mut out;
+        for w in bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+            tasks.push((w[0], head));
+            rest = tail;
+        }
+        let queue = std::sync::Mutex::new(tasks);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    // One scratch per worker thread, laid out once and
+                    // reused across every chunk the worker pulls.
+                    let mut sc = FlatScratch::default();
+                    while let Some((start, slice)) = queue.lock().unwrap().pop() {
+                        for (off, slot) in slice.iter_mut().enumerate() {
+                            *slot = t_from_arena(arena, roots[start + off], big_r, &mut sc);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("flat t workers");
+    }
+    out
 }
 
 // ---- the protocol ----------------------------------------------------
@@ -667,8 +879,11 @@ pub fn solve_distributed(sf: &SpecialForm, big_r: usize) -> DistributedOutcome {
 /// 1. **Phase 1** uses [`gather_views_flat`]: payloads are interned ids,
 ///    so per-round work is `O(Σ degree)` instead of the ball size, and
 ///    the per-agent bounds `t_u` are then evaluated over the arena roots
-///    — in parallel batches of `threads` workers — with the `f±`
-///    recursions memoised per shared subtree ([`t_from_arena`]).
+///    by [`t_batch_flat`] — with up to `threads` workers pulling
+///    size-weighted chunks, engaged only above
+///    [`FLAT_T_PARALLEL_MIN_WORK`] and capped at the host's available
+///    parallelism — with the `f±` recursions memoised per shared
+///    subtree ([`t_from_arena`]).
 /// 2. **Phases 2–3** are scalar recursions; they are evaluated directly
 ///    (the same operations in the same order as the message protocol)
 ///    while the protocol's exact per-round message/byte schedule is
@@ -691,36 +906,25 @@ pub fn solve_special_flat(
     let n = sf.n_agents();
 
     // ---- phase 1: flat gather + threaded t over the arena roots ----
+    //
+    // `threads` is an upper bound: the batch only engages real workers
+    // when (a) the host has that much parallelism to give and (b) the
+    // batch carries at least FLAT_T_PARALLEL_MIN_WORK units of logical
+    // subtree work — below that, thread + scratch setup costs more than
+    // the parallelism wins back, and the batch stays scalar.
     let FlatViews {
         arena,
         roots,
         mut stats,
     } = gather_views_flat(&net, a_len);
-    let threads = threads.max(1);
-    let t: Vec<f64> = if threads == 1 || n < 64 {
-        let mut sc = FlatScratch::default();
-        roots[..n]
-            .iter()
-            .map(|&root| t_from_arena(&arena, root, big_r, &mut sc))
-            .collect()
+    let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let work: u64 = roots[..n].iter().map(|&root| arena.size(root)).sum();
+    let workers = if work < FLAT_T_PARALLEL_MIN_WORK {
+        1
     } else {
-        let mut out = vec![0.0f64; n];
-        let chunk = n.div_ceil(threads);
-        let (arena_ref, roots_ref) = (&arena, &roots);
-        crossbeam::thread::scope(|scope| {
-            for (shard, slot) in out.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
-                    let mut sc = FlatScratch::default();
-                    for (off, val) in slot.iter_mut().enumerate() {
-                        *val =
-                            t_from_arena(arena_ref, roots_ref[shard * chunk + off], big_r, &mut sc);
-                    }
-                });
-            }
-        })
-        .expect("flat t workers");
-        out
+        threads.max(1).min(avail)
     };
+    let t = t_batch_flat(&arena, &roots[..n], big_r, workers);
 
     // ---- phase 2: min-flood of t (same relaxation order as the
     // protocol; senders are exactly the nodes holding a finite value) --
@@ -780,9 +984,10 @@ pub fn solve_special_flat(
 }
 
 /// [`solve_distributed`] on the flat arena path: bit-identical outputs
-/// and accounting, plus dedup counters in `stats`. `threads` parallelises
-/// the per-agent `t_u` batch over the arena roots (bit-identical across
-/// thread counts).
+/// and accounting, plus dedup counters in `stats`. `threads` bounds the
+/// workers of the per-agent `t_u` batch over the arena roots (outputs
+/// are bit-identical across thread counts; see [`solve_special_flat`]
+/// for when threading actually engages).
 pub fn solve_distributed_flat(
     sf: &SpecialForm,
     big_r: usize,

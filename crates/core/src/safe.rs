@@ -13,14 +13,23 @@ use mmlp_instance::{Instance, NodeKind, Solution};
 use mmlp_net::{Network, NodeInfo, Protocol, RunResult};
 
 /// The safe solution in closed form.
+///
+/// The per-agent minimum runs through [`mmlp_net::lanes::min_lanes`]
+/// (split accumulators over strictly positive finite values — order-
+/// independent at the bit level, so still bit-identical to
+/// [`SafeProtocol`]'s scalar fold; asserted in
+/// `distributed_matches_closed_form`).
 pub fn safe_solution(inst: &Instance) -> Solution {
     let mut x = vec![0.0f64; inst.n_agents()];
+    let mut recips = Vec::new();
     for v in inst.agents() {
-        x[v.idx()] = inst
-            .agent_constraints(v)
-            .iter()
-            .map(|e| 1.0 / (e.coef * inst.constraint_row(e.cons).len() as f64))
-            .fold(f64::INFINITY, f64::min);
+        recips.clear();
+        recips.extend(
+            inst.agent_constraints(v)
+                .iter()
+                .map(|e| 1.0 / (e.coef * inst.constraint_row(e.cons).len() as f64)),
+        );
+        x[v.idx()] = mmlp_net::lanes::min_lanes(&recips);
         if x[v.idx()].is_infinite() {
             // Unconstrained agents (degenerate instances) contribute 0 in
             // the baseline rather than ∞.

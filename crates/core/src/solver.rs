@@ -89,8 +89,13 @@ impl LocalSolver {
         Self::new(ratio::r_for_epsilon(di, dk, epsilon))
     }
 
-    /// Enables multi-threaded computation of the per-agent bounds `t_u`
-    /// (bit-identical results; see `tree_bound::all_parallel`).
+    /// Sets the worker-thread **upper bound** for the per-agent `t_u`
+    /// batch (bit-identical results at every count; see
+    /// `tree_bound::all_parallel` for the centralized path). On the flat
+    /// network path the batch additionally caps workers at the host's
+    /// available parallelism and stays scalar below
+    /// [`distributed::FLAT_T_PARALLEL_MIN_WORK`] units of subtree work,
+    /// so asking for more threads than the work supports never costs.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self

@@ -40,6 +40,9 @@ pub struct ViewInterner {
     net: Network,
     /// (flat node, incoming port + 1 or 0, remaining depth) → id.
     memo: HashMap<(u32, u32, u32), ViewId>,
+    /// Same key → **canonical** (port-order-independent) id, kept
+    /// separate because the two forms intern different trees.
+    canon_memo: HashMap<(u32, u32, u32), ViewId>,
     /// Token of the arena the memoised ids belong to — ids are
     /// meaningless in any other arena, so the memo is dropped when a
     /// different one is handed in.
@@ -52,6 +55,7 @@ impl ViewInterner {
         ViewInterner {
             net: Network::new(inst),
             memo: HashMap::new(),
+            canon_memo: HashMap::new(),
             arena_token: None,
         }
     }
@@ -62,12 +66,49 @@ impl ViewInterner {
     /// arena than the previous call re-interns from scratch (cached ids
     /// would index the old arena).
     pub fn intern(&mut self, arena: &mut ViewArena, node: Node, depth: usize) -> ViewId {
-        if self.arena_token != Some(arena.token()) {
-            self.memo.clear();
-            self.arena_token = Some(arena.token());
-        }
+        self.bind(arena);
         let flat = self.net.graph().index(node);
         self.rec(arena, flat, u32::MAX, depth as u32)
+    }
+
+    /// Interns the **canonical, port-order-independent** form of the
+    /// radius-`depth` view of `node`: at every level the ports are
+    /// re-ordered by `(neighbour kind, coefficient bits, canonical child
+    /// id)` before interning, so two nodes receive the same id **iff**
+    /// their views are isomorphic as unordered coefficient-labelled
+    /// trees.
+    ///
+    /// Canonicality is inductive: children are interned (canonically)
+    /// first, so equal subtrees carry equal ids, and sorting a port
+    /// multiset by any total order over `(kind, coef, id)` yields the
+    /// same sequence for isomorphic multisets. Coefficients are compared
+    /// by bit pattern, which equals value equality here (validated
+    /// strictly positive — no `-0.0`/NaN aliases).
+    ///
+    /// Port-permutation-invariant local algorithms — this paper's is
+    /// one, since it only takes sums and minima over port sets — must
+    /// produce identical outputs on nodes with equal canonical ids. The
+    /// lower-bound experiment T5 uses this to match interior agents of
+    /// the tree gadget with agents of the regular gadget even though the
+    /// two generators order their ports differently. (The impossibility
+    /// argument itself uses the stronger port-exact [`views_equal`].)
+    ///
+    /// Canonical ids refine [`canonical_view_code`] equality: the ids
+    /// keep each port's neighbour kind at `Cut`/`Back` markers, which
+    /// the string code drops.
+    pub fn intern_canonical(&mut self, arena: &mut ViewArena, node: Node, depth: usize) -> ViewId {
+        self.bind(arena);
+        let flat = self.net.graph().index(node);
+        self.rec_canon(arena, flat, u32::MAX, depth as u32)
+    }
+
+    /// Ties both memos to `arena`, dropping them when it changed.
+    fn bind(&mut self, arena: &ViewArena) {
+        if self.arena_token != Some(arena.token()) {
+            self.memo.clear();
+            self.canon_memo.clear();
+            self.arena_token = Some(arena.token());
+        }
     }
 
     /// `back` is the port at `x` towards the parent (`u32::MAX` at the
@@ -96,6 +137,55 @@ impl ViewInterner {
         let coefs: Vec<f64> = info.ports.iter().filter_map(|p| p.coef).collect();
         let id = arena.intern(info.kind, &port_kinds, &coefs, &children);
         self.memo.insert(key, id);
+        id
+    }
+
+    /// [`ViewInterner::rec`] with the ports in canonical order.
+    fn rec_canon(&mut self, arena: &mut ViewArena, x: u32, back: u32, depth: u32) -> ViewId {
+        let key = (x, back.wrapping_add(1), depth);
+        if let Some(&id) = self.canon_memo.get(&key) {
+            return id;
+        }
+        let adjs: Vec<Adj> = self.net.graph().neighbors(x).to_vec();
+        let raw: Vec<u32> = adjs
+            .iter()
+            .enumerate()
+            .map(|(port, adj)| {
+                if port as u32 == back {
+                    CHILD_BACK
+                } else if depth == 0 {
+                    CHILD_CUT
+                } else {
+                    self.rec_canon(arena, adj.to, adj.port_at_to, depth - 1)
+                }
+            })
+            .collect();
+        let info = self.net.info(x);
+        // Canonical port order; the trailing original index only breaks
+        // ties between ports whose (kind, coef, child) are identical —
+        // interchangeable ports, so the result stays canonical.
+        let mut order: Vec<(u8, u64, u32, usize)> = (0..adjs.len())
+            .map(|p| {
+                (
+                    info.ports[p].neighbor_kind as u8,
+                    info.ports[p].coef.map_or(0, f64::to_bits),
+                    raw[p],
+                    p,
+                )
+            })
+            .collect();
+        order.sort_unstable();
+        let port_kinds: Vec<_> = order
+            .iter()
+            .map(|&(_, _, _, p)| info.ports[p].neighbor_kind)
+            .collect();
+        let coefs: Vec<f64> = order
+            .iter()
+            .filter_map(|&(_, _, _, p)| info.ports[p].coef)
+            .collect();
+        let children: Vec<u32> = order.iter().map(|&(_, _, c, _)| c).collect();
+        let id = arena.intern(info.kind, &port_kinds, &coefs, &children);
+        self.canon_memo.insert(key, id);
         id
     }
 }
@@ -479,6 +569,76 @@ mod tests {
             canonical_view_code(&a, Node::Agent(AgentId::new(0)), 5),
             canonical_view_code(&b, Node::Agent(AgentId::new(3)), 5)
         );
+    }
+
+    #[test]
+    fn canonical_ids_identify_mirrored_views() {
+        // Same property as the string codes, now as an id compare.
+        let inst = cycle_special(6, 1.0);
+        let mut arena = ViewArena::new();
+        let mut it = ViewInterner::new(&inst);
+        let a = it.intern_canonical(&mut arena, Node::Agent(AgentId::new(0)), 4);
+        let b = it.intern_canonical(&mut arena, Node::Agent(AgentId::new(1)), 4);
+        assert_eq!(a, b, "mirrored agents are isomorphic");
+        // The port-exact ids still tell them apart.
+        let ea = it.intern(&mut arena, Node::Agent(AgentId::new(0)), 4);
+        let eb = it.intern(&mut arena, Node::Agent(AgentId::new(1)), 4);
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn canonical_ids_distinguish_coefficients_and_depth() {
+        let a = cycle_special(6, 1.0);
+        let b = cycle_special(6, 0.5);
+        let mut arena = ViewArena::new();
+        let mut ia = ViewInterner::new(&a);
+        let mut ib = ViewInterner::new(&b);
+        let v = Node::Agent(AgentId::new(0));
+        assert_ne!(
+            ia.intern_canonical(&mut arena, v, 1),
+            ib.intern_canonical(&mut arena, v, 1)
+        );
+        assert_ne!(
+            ia.intern_canonical(&mut arena, v, 1),
+            ia.intern_canonical(&mut arena, v, 2),
+            "horizon markers differ by depth"
+        );
+    }
+
+    #[test]
+    fn canonical_ids_match_across_cycle_lengths() {
+        let a = cycle_special(6, 1.0);
+        let b = cycle_special(9, 1.0);
+        let mut arena = ViewArena::new();
+        assert_eq!(
+            ViewInterner::new(&a).intern_canonical(&mut arena, Node::Agent(AgentId::new(0)), 5),
+            ViewInterner::new(&b).intern_canonical(&mut arena, Node::Agent(AgentId::new(3)), 5),
+        );
+    }
+
+    #[test]
+    fn canonical_ids_refine_canonical_codes() {
+        // Equal canonical ids imply equal canonical string codes (the
+        // ids additionally keep port kinds at the view frontier, so the
+        // implication is one-way in general).
+        let insts = [cycle_special(6, 1.0), path_special(9, 1.0)];
+        let mut arena = ViewArena::new();
+        for depth in [0usize, 2, 4] {
+            let mut seen: Vec<(ViewId, String)> = Vec::new();
+            for inst in &insts {
+                let mut it = ViewInterner::new(inst);
+                for v in inst.agents() {
+                    let id = it.intern_canonical(&mut arena, Node::Agent(v), depth);
+                    let code = canonical_view_code(inst, Node::Agent(v), depth);
+                    for (oid, ocode) in &seen {
+                        if id == *oid {
+                            assert_eq!(&code, ocode, "id-equal views must be code-equal");
+                        }
+                    }
+                    seen.push((id, code));
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,17 +29,25 @@
 //!   views as the legacy protocol at a per-round cost of `O(Σ degree)`
 //!   instead of the ball size, with both logical and deduped byte
 //!   accounting.
+//! * [`lanes`] — chunked-`f64`-lane fold helpers over the arena's
+//!   struct-of-arrays coefficient slices, with the bit-identity /
+//!   reassociation contract documented per helper (and in
+//!   `specs/PERF.md`).
 //! * [`stats::RunStats`] — rounds, message and byte accounting, plus the
 //!   interned-node / deduped-byte counters of flat runs.
 
+#![deny(missing_docs)]
+
 pub mod arena;
 pub mod engine;
+pub mod lanes;
 pub mod stats;
 pub mod topology;
 pub mod view;
 
 pub use arena::{ViewArena, ViewId, CHILD_BACK, CHILD_CUT};
 pub use engine::{Payload, Protocol, RunResult};
+pub use lanes::{min_lanes, min_recip_where, LANES};
 pub use stats::RunStats;
 pub use topology::{Network, NodeInfo, PortInfo};
 pub use view::{gather_views, gather_views_flat, FlatViews, ViewChild, ViewTree};

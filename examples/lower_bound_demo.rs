@@ -54,15 +54,18 @@ fn main() {
         ratio::threshold(delta_i, d)
     );
 
-    // 2. Indistinguishability: canonical (port-order-independent) view
-    // codes match between interior tree agents and gadget agents; the
-    // port-exact `views_equal` is stricter and generally fails across
-    // generators with different port conventions.
+    // 2. Indistinguishability: canonical (port-order-independent)
+    // interned view ids match between interior tree agents and gadget
+    // agents; the port-exact `views_equal` is stricter and generally
+    // fails across generators with different port conventions.
     let depth = 4.min(girth as usize - 1);
-    let code_reg = unfold::canonical_view_code(&regular, Node::Agent(AgentId::new(0)), depth);
+    let mut arena = maxmin_lp::net::ViewArena::new();
+    let mut it_reg = unfold::ViewInterner::new(&regular);
+    let mut it_tree = unfold::ViewInterner::new(&tree);
+    let id_reg = it_reg.intern_canonical(&mut arena, Node::Agent(AgentId::new(0)), depth);
     let matching_tree_agent = tree
         .agents()
-        .find(|w| unfold::canonical_view_code(&tree, Node::Agent(*w), depth) == code_reg);
+        .find(|w| it_tree.intern_canonical(&mut arena, Node::Agent(*w), depth) == id_reg);
     println!(
         "a regular-gadget agent's depth-{depth} view is isomorphic to tree agent {:?}",
         matching_tree_agent

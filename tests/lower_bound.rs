@@ -53,14 +53,19 @@ fn outputs_agree_on_view_isomorphic_pairs_across_instances() {
     let x_reg = LocalSolver::new(big_r).solve(&regular).solution;
     let x_tree = LocalSolver::new(big_r).solve(&tree).solution;
 
-    let codes_reg: Vec<String> = regular
+    // Match view-isomorphic agents by canonical interned id (one shared
+    // arena; equality is an integer compare).
+    let mut arena = maxmin_lp::net::ViewArena::new();
+    let mut it_reg = unfold::ViewInterner::new(&regular);
+    let mut it_tree = unfold::ViewInterner::new(&tree);
+    let ids_reg: Vec<_> = regular
         .agents()
-        .map(|v| unfold::canonical_view_code(&regular, Node::Agent(v), depth))
+        .map(|v| it_reg.intern_canonical(&mut arena, Node::Agent(v), depth))
         .collect();
     let mut matched = 0;
     for w in tree.agents() {
-        let cw = unfold::canonical_view_code(&tree, Node::Agent(w), depth);
-        if let Some(v) = regular.agents().find(|v| codes_reg[v.idx()] == cw) {
+        let iw = it_tree.intern_canonical(&mut arena, Node::Agent(w), depth);
+        if let Some(v) = regular.agents().find(|v| ids_reg[v.idx()] == iw) {
             matched += 1;
             assert!(
                 (x_reg.value(v) - x_tree.value(w)).abs() < 1e-9,
