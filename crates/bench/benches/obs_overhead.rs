@@ -1,0 +1,48 @@
+//! Observability overhead: the traced flat solve against the untraced
+//! one, on the same workload as the `distributed-solve` suite.
+//!
+//! The traced path takes four monotonic timestamps per solve and
+//! aggregates the per-worker memo/chunk counters; the overhead contract
+//! (`specs/OBSERVABILITY.md`) says that costs ≤ 3% end to end, and the
+//! `trajectory_gate` enforces `obs-overhead/traced/R ≤ 1.03 ×
+//! obs-overhead/plain/R` over `BENCH_core.json`. Outputs are
+//! bit-identical either way (asserted catalog-wide in
+//! `tests/obs_e2e.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmlp_core::distributed::{solve_special_flat, solve_special_flat_traced};
+use mmlp_core::SpecialForm;
+use mmlp_gen::special::{random_special_form, SpecialFormConfig};
+
+fn workload(n_objectives: usize) -> SpecialForm {
+    SpecialForm::new(random_special_form(
+        &SpecialFormConfig {
+            n_objectives,
+            extra_constraints: n_objectives / 2,
+            ..SpecialFormConfig::default()
+        },
+        2,
+    ))
+    .unwrap()
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let sf = workload(120);
+    let mut group = c.benchmark_group("obs-overhead");
+    // The contract gated over these entries is tight (≤ 3%), so this
+    // suite samples harder than the other groups to keep the noise
+    // band well under the margin it certifies.
+    group.sample_size(40);
+    for big_r in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("plain", big_r), &big_r, |b, &r| {
+            b.iter(|| std::hint::black_box(solve_special_flat(&sf, r, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("traced", big_r), &big_r, |b, &r| {
+            b.iter(|| std::hint::black_box(solve_special_flat_traced(&sf, r, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

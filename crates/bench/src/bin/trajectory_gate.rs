@@ -12,7 +12,10 @@
 //!    benchmarked `R` — the memo table must pay for itself;
 //! 3. `distributed-solve/flat/R` < `distributed-solve/legacy/R` at
 //!    every benchmarked `R` — the arena path must stay ahead of the
-//!    legacy tree protocol.
+//!    legacy tree protocol;
+//! 4. `obs-overhead/traced/R` ≤ 1.03 × `obs-overhead/plain/R` at
+//!    R ∈ {3, 4} — instrumenting the flat hot path must cost at most
+//!    3% end to end (the `specs/OBSERVABILITY.md` overhead contract).
 //!
 //! CI runs this against the **committed** file (not a fresh run), so
 //! the gate is deterministic: it catches a PR committing numbers that
@@ -108,6 +111,23 @@ fn main() -> ExitCode {
             true,
             big_r == 3 || big_r == 4,
         );
+    }
+
+    // The 3% observability-overhead contract, in exact integer
+    // arithmetic: traced·100 ≤ plain·103.
+    for big_r in [3u32, 4] {
+        let traced = format!("obs-overhead/traced/{big_r}");
+        let plain = format!("obs-overhead/plain/{big_r}");
+        match (medians.get(&traced), medians.get(&plain)) {
+            (Some(&t), Some(&p)) => {
+                if t * 100 > p * 103 {
+                    failures.push(format!(
+                        "{traced} ({t} ns) must be ≤ 1.03 × {plain} ({p} ns)"
+                    ));
+                }
+            }
+            _ => failures.push(format!("missing entries: need both {traced} and {plain}")),
+        }
     }
 
     if failures.is_empty() {

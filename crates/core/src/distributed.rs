@@ -25,12 +25,12 @@
 use crate::smoothing::{self, SpecialRun};
 use crate::special::SpecialForm;
 use mmlp_instance::{NodeKind, Solution};
-use mmlp_net::{
-    engine, gather_views_flat, FlatViews, Network, NodeInfo, Payload, Protocol, RunResult,
-    RunStats, ViewArena, ViewChild, ViewId, ViewTree, CHILD_BACK,
-};
+#[cfg(any(test, feature = "legacy-tree"))]
+use mmlp_net::{engine, NodeInfo, Payload, Protocol, RunResult, ViewChild, ViewTree};
+use mmlp_net::{gather_views_flat, FlatViews, Network, RunStats, ViewArena, ViewId, CHILD_BACK};
 
 /// Message alphabet of the protocol.
+#[cfg(any(test, feature = "legacy-tree"))]
 #[derive(Clone, Debug)]
 pub enum Msg {
     /// Phase 1: a (sender-port-tagged) partial view.
@@ -39,6 +39,7 @@ pub enum Msg {
     Val(f64),
 }
 
+#[cfg(any(test, feature = "legacy-tree"))]
 impl Payload for Msg {
     fn size_bytes(&self) -> usize {
         match self {
@@ -49,6 +50,7 @@ impl Payload for Msg {
 }
 
 /// Per-node state.
+#[cfg(any(test, feature = "legacy-tree"))]
 #[derive(Clone, Debug)]
 pub struct DistState {
     view: ViewTree,
@@ -65,10 +67,12 @@ pub struct DistState {
 }
 
 /// The protocol object.
+#[cfg(any(test, feature = "legacy-tree"))]
 pub struct DistMaxMin {
     big_r: usize,
 }
 
+#[cfg(any(test, feature = "legacy-tree"))]
 impl DistMaxMin {
     /// Creates the protocol with locality parameter `R ≥ 2`.
     pub fn new(big_r: usize) -> Self {
@@ -93,6 +97,7 @@ pub fn rounds_needed(big_r: usize) -> usize {
 
 /// Moves the phase-1 view payloads out of an inbox (no tree is cloned;
 /// the engine overwrites the slots at the next delivery).
+#[cfg(any(test, feature = "legacy-tree"))]
 fn take_views(inbox: &mut [Option<Msg>]) -> Vec<Option<(u32, ViewTree)>> {
     inbox
         .iter_mut()
@@ -106,6 +111,7 @@ fn take_views(inbox: &mut [Option<Msg>]) -> Vec<Option<(u32, ViewTree)>> {
 // ---- local computation on views -------------------------------------
 
 /// Index of the (unique, in special form) objective port of an agent.
+#[cfg(any(test, feature = "legacy-tree"))]
 fn objective_port(node: &NodeInfo) -> usize {
     node.ports
         .iter()
@@ -114,6 +120,7 @@ fn objective_port(node: &NodeInfo) -> usize {
 }
 
 /// `min_i 1/a_iv` from an agent's own view node.
+#[cfg(any(test, feature = "legacy-tree"))]
 fn cap_of(view: &ViewTree) -> f64 {
     view.port_kinds
         .iter()
@@ -125,6 +132,7 @@ fn cap_of(view: &ViewTree) -> f64 {
 
 /// The objective subtree of an agent's view node (unique Sub child with
 /// kind Objective).
+#[cfg(any(test, feature = "legacy-tree"))]
 fn objective_child(view: &ViewTree) -> &ViewTree {
     for (p, kind) in view.port_kinds.iter().enumerate() {
         if *kind == NodeKind::Objective {
@@ -138,6 +146,7 @@ fn objective_child(view: &ViewTree) -> &ViewTree {
 
 /// `f⁺` on a view subtree: `w` is a down-type agent at level `4(r−d)+1`,
 /// entered from its objective. `None` when condition (8) fails.
+#[cfg(any(test, feature = "legacy-tree"))]
 fn f_plus_view(w: &ViewTree, d: usize, omega: f64) -> Option<f64> {
     let val = if d == 0 {
         cap_of(w)
@@ -179,6 +188,7 @@ fn f_plus_view(w: &ViewTree, d: usize, omega: f64) -> Option<f64> {
 
 /// `f⁻` on a view subtree: `n` is an up-type agent at level `4(r−d)−1`,
 /// entered from a constraint.
+#[cfg(any(test, feature = "legacy-tree"))]
 fn f_minus_view(n: &ViewTree, d: usize, omega: f64) -> Option<f64> {
     let k = objective_child(n);
     let mut sum = 0.0;
@@ -192,6 +202,10 @@ fn f_minus_view(n: &ViewTree, d: usize, omega: f64) -> Option<f64> {
 
 /// Computes `t_u` from the agent's radius-`(4r+2)` view — the same
 /// bisection as `tree_bound::TreeBound::t`, evaluated on the view.
+///
+/// Legacy tree path: available to tests and under the `legacy-tree`
+/// feature only (ViewTree deprecation step 2; see ROADMAP.md).
+#[cfg(any(test, feature = "legacy-tree"))]
 pub fn t_from_view(view: &ViewTree, big_r: usize) -> f64 {
     let r = big_r - 2;
     let cap_u = cap_of(view);
@@ -320,6 +334,13 @@ pub struct FlatScratch {
     caps: Vec<f64>,
     fp: Vec<MemoSlot>,
     fm: Vec<MemoSlot>,
+    /// Live memo probes answered from the table this layout's lifetime.
+    memo_hits: u64,
+    /// Probes that missed (stale or never-stamped slot) and recomputed.
+    memo_misses: u64,
+    /// Evaluations that bypassed the table — subtree below
+    /// [`MEMO_MIN_SUBTREE`], or the level-0 precomputed-capacity path.
+    memo_skips: u64,
 }
 
 impl FlatScratch {
@@ -398,8 +419,8 @@ fn objective_child_flat(arena: &ViewArena, v: ViewId) -> ViewId {
     panic!("objective child missing — view gathered too shallow");
 }
 
-/// `f⁺` on an interned subtree (cf. [`f_plus_view`]), memoised above the
-/// [`MEMO_MIN_SUBTREE`] cutoff.
+/// `f⁺` on an interned subtree (cf. the legacy `f_plus_view`), memoised
+/// above the [`MEMO_MIN_SUBTREE`] cutoff.
 fn f_plus_flat(
     arena: &ViewArena,
     w: ViewId,
@@ -410,12 +431,14 @@ fn f_plus_flat(
     if d == 0 {
         // The level-0 value is the precomputed (ω-independent) capacity;
         // no memo traffic at the recursion's widest level.
+        sc.memo_skips += 1;
         return Some(sc.caps[w as usize]);
     }
     let slot = sc.slot(w, d);
     if let Some(s) = slot {
         let MemoSlot { gen, bits } = sc.fp[s];
         if gen == sc.gen {
+            sc.memo_hits += 1;
             return memo_decode(bits);
         }
     }
@@ -462,16 +485,19 @@ fn f_plus_flat(
         _ => None,
     };
     if let Some(s) = slot {
+        sc.memo_misses += 1;
         sc.fp[s] = MemoSlot {
             gen: sc.gen,
             bits: memo_encode(result),
         };
+    } else {
+        sc.memo_skips += 1;
     }
     result
 }
 
-/// `f⁻` on an interned subtree (cf. [`f_minus_view`]), memoised above
-/// the [`MEMO_MIN_SUBTREE`] cutoff.
+/// `f⁻` on an interned subtree (cf. the legacy `f_minus_view`),
+/// memoised above the [`MEMO_MIN_SUBTREE`] cutoff.
 fn f_minus_flat(
     arena: &ViewArena,
     n: ViewId,
@@ -483,6 +509,7 @@ fn f_minus_flat(
     if let Some(s) = slot {
         let MemoSlot { gen, bits } = sc.fm[s];
         if gen == sc.gen {
+            sc.memo_hits += 1;
             return memo_decode(bits);
         }
     }
@@ -505,21 +532,24 @@ fn f_minus_flat(
     }
     let result = ok.then(|| (omega - sum).max(0.0));
     if let Some(s) = slot {
+        sc.memo_misses += 1;
         sc.fm[s] = MemoSlot {
             gen: sc.gen,
             bits: memo_encode(result),
         };
+    } else {
+        sc.memo_skips += 1;
     }
     result
 }
 
-/// [`t_from_view`] on an interned root: the same bisection, memoised
+/// The legacy `t_from_view` bisection on an interned root, memoised
 /// per shared subtree — bit-identical results.
 ///
 /// `sc` is laid out for `(arena, R)` on first use and reused across
 /// roots and ω probes; capacities come from the precomputed per-id
 /// table, and every sum keeps the recursive path's operand order so the
-/// result is bit-for-bit equal to [`t_from_view`] (asserted in tests).
+/// result is bit-for-bit equal to `t_from_view` (asserted in tests).
 pub fn t_from_arena(arena: &ViewArena, root: ViewId, big_r: usize, sc: &mut FlatScratch) -> f64 {
     let r = (big_r - 2) as u32;
     sc.prepare(arena, r as usize + 1);
@@ -595,13 +625,53 @@ const PARALLEL_CHUNKS_PER_WORKER: usize = 4;
 /// this helper deliberately does not, so tests and benches can exercise
 /// the parallel partitioning on any host.
 pub fn t_batch_flat(arena: &ViewArena, roots: &[ViewId], big_r: usize, workers: usize) -> Vec<f64> {
+    t_batch_flat_telemetry(arena, roots, big_r, workers).0
+}
+
+/// Memo and chunk-queue telemetry of one `t` batch, aggregated across
+/// its workers (part of [`FlatSolveTrace`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchTelemetry {
+    /// Memo probes answered from a worker's table.
+    pub memo_hits: u64,
+    /// Memo probes that recomputed and stamped a slot.
+    pub memo_misses: u64,
+    /// Evaluations that bypassed the table (tiny subtree or level 0).
+    pub memo_skips: u64,
+    /// Worker threads that ran (1 for the scalar path).
+    pub workers: u32,
+    /// Chunks queued (1 for the scalar path).
+    pub chunks: u32,
+    /// Chunks pulled by the busiest worker — `chunks / workers` when
+    /// the queue balanced perfectly, `chunks` when one worker ate
+    /// everything.
+    pub max_chunk_pulls: u32,
+}
+
+/// [`t_batch_flat`] plus the batch's [`BatchTelemetry`] — same
+/// partitioning, same bit-identical outputs.
+pub fn t_batch_flat_telemetry(
+    arena: &ViewArena,
+    roots: &[ViewId],
+    big_r: usize,
+    workers: usize,
+) -> (Vec<f64>, BatchTelemetry) {
     let n = roots.len();
     if workers <= 1 || n <= 1 {
         let mut sc = FlatScratch::default();
-        return roots
+        let out = roots
             .iter()
             .map(|&root| t_from_arena(arena, root, big_r, &mut sc))
             .collect();
+        let tel = BatchTelemetry {
+            memo_hits: sc.memo_hits,
+            memo_misses: sc.memo_misses,
+            memo_skips: sc.memo_skips,
+            workers: 1,
+            chunks: 1,
+            max_chunk_pulls: 1,
+        };
+        return (out, tel);
     }
 
     // Size-weighted contiguous chunk boundaries.
@@ -620,6 +690,8 @@ pub fn t_batch_flat(arena: &ViewArena, roots: &[ViewId], big_r: usize, workers: 
     bounds.push(n);
 
     let mut out = vec![0.0f64; n];
+    // (memo_hits, memo_misses, memo_skips, chunk pulls) per worker.
+    let worker_tel = std::sync::Mutex::new(Vec::<(u64, u64, u64, u32)>::new());
     {
         // Queue of (first root index, disjoint output slice) tasks.
         let mut tasks: Vec<(usize, &mut [f64])> = Vec::with_capacity(bounds.len() - 1);
@@ -636,21 +708,41 @@ pub fn t_batch_flat(arena: &ViewArena, roots: &[ViewId], big_r: usize, workers: 
                     // One scratch per worker thread, laid out once and
                     // reused across every chunk the worker pulls.
                     let mut sc = FlatScratch::default();
+                    let mut pulls = 0u32;
                     while let Some((start, slice)) = queue.lock().unwrap().pop() {
+                        pulls += 1;
                         for (off, slot) in slice.iter_mut().enumerate() {
                             *slot = t_from_arena(arena, roots[start + off], big_r, &mut sc);
                         }
                     }
+                    worker_tel.lock().unwrap().push((
+                        sc.memo_hits,
+                        sc.memo_misses,
+                        sc.memo_skips,
+                        pulls,
+                    ));
                 });
             }
         })
         .expect("flat t workers");
     }
-    out
+    let mut tel = BatchTelemetry {
+        workers: workers as u32,
+        chunks: (bounds.len() - 1) as u32,
+        ..BatchTelemetry::default()
+    };
+    for (h, m, s, pulls) in worker_tel.into_inner().unwrap() {
+        tel.memo_hits += h;
+        tel.memo_misses += m;
+        tel.memo_skips += s;
+        tel.max_chunk_pulls = tel.max_chunk_pulls.max(pulls);
+    }
+    (out, tel)
 }
 
 // ---- the protocol ----------------------------------------------------
 
+#[cfg(any(test, feature = "legacy-tree"))]
 impl Protocol for DistMaxMin {
     type State = DistState;
     type Message = Msg;
@@ -852,7 +944,14 @@ pub struct DistributedOutcome {
     pub stats: RunStats,
 }
 
-/// Runs the protocol on a special-form instance.
+/// Runs the protocol on a special-form instance over the legacy
+/// `ViewTree` message alphabet.
+///
+/// Legacy tree path: available to tests and under the `legacy-tree`
+/// feature only (ViewTree deprecation step 2; see ROADMAP.md). It
+/// remains the reference the flat arena path is cross-checked against
+/// bitwise in `tests/flat_views.rs`.
+#[cfg(any(test, feature = "legacy-tree"))]
 pub fn solve_distributed(sf: &SpecialForm, big_r: usize) -> DistributedOutcome {
     let net = Network::new(sf.instance());
     let RunResult { states, stats } = engine::run(&net, &DistMaxMin::new(big_r));
@@ -890,16 +989,71 @@ pub fn solve_distributed(sf: &SpecialForm, big_r: usize) -> DistributedOutcome {
 ///    reproduced for the accounting.
 ///
 /// Outputs (`x`, `t`, `s`) **and** the logical `RunStats` accounting are
-/// bit-identical to [`solve_distributed`]; on top of that the stats
-/// carry the arena's dedup counters (`interned_nodes`, `arena_bytes`,
-/// `peak_arena_bytes`). Asserted across the generator catalog in
-/// `tests/flat_views.rs`.
+/// bit-identical to the legacy `solve_distributed` (tests / the
+/// `legacy-tree` feature); on top of that the stats carry the arena's
+/// dedup counters (`interned_nodes`, `arena_bytes`, `peak_arena_bytes`).
+/// Asserted across the generator catalog in `tests/flat_views.rs`.
 pub fn solve_special_flat(
     sf: &SpecialForm,
     big_r: usize,
     threads: usize,
 ) -> (SpecialRun, RunStats) {
+    solve_special_flat_impl(sf, big_r, threads, None)
+}
+
+/// [`solve_special_flat`] plus its [`FlatSolveTrace`]: the same solve —
+/// bit-identical outputs, asserted catalog-wide — with per-phase wall
+/// times and the `t` batch's memo/chunk telemetry filled in.
+pub fn solve_special_flat_traced(
+    sf: &SpecialForm,
+    big_r: usize,
+    threads: usize,
+) -> (SpecialRun, RunStats, FlatSolveTrace) {
+    let mut trace = FlatSolveTrace::default();
+    let (run, stats) = solve_special_flat_impl(sf, big_r, threads, Some(&mut trace));
+    (run, stats, trace)
+}
+
+/// Per-phase wall times and hot-path counters of one flat solve.
+///
+/// Phase durations are measured with the monotonic clock and cover
+/// disjoint intervals, so `gather_ns + t_eval_ns + flood_ns + g_ns ≤
+/// total_ns` (the remainder is glue: network construction, output
+/// assembly). All fields are zero for untraced solves — tracing is
+/// opt-in per call, and the untraced path takes no timestamps at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlatSolveTrace {
+    /// Phase 1a: flat view gathering (`gather_views_flat`).
+    pub gather_ns: u64,
+    /// Phase 1b: the `t_u` batch over the arena roots.
+    pub t_eval_ns: u64,
+    /// Phase 2: the `s_v` min-flood.
+    pub flood_ns: u64,
+    /// Phase 3: `g±` tables and output assembly.
+    pub g_ns: u64,
+    /// Whole-solve wall time.
+    pub total_ns: u64,
+    /// Memo/chunk-queue telemetry of the `t` batch.
+    pub batch: BatchTelemetry,
+}
+
+fn solve_special_flat_impl(
+    sf: &SpecialForm,
+    big_r: usize,
+    threads: usize,
+    mut trace: Option<&mut FlatSolveTrace>,
+) -> (SpecialRun, RunStats) {
     assert!(big_r >= 2, "the paper requires R ≥ 2");
+    // One monotonic timestamp per phase boundary, taken only when the
+    // caller asked for a trace — the untraced hot path is unchanged.
+    let mut last_tick = trace.as_ref().map(|_| std::time::Instant::now());
+    let t0 = last_tick;
+    let mut lap = move || -> u64 {
+        let now = std::time::Instant::now();
+        let ns = now.duration_since(last_tick.unwrap()).as_nanos() as u64;
+        last_tick = Some(now);
+        ns
+    };
     let r = big_r - 2;
     let a_len = 4 * r + 2;
     let net = Network::new(sf.instance());
@@ -917,6 +1071,9 @@ pub fn solve_special_flat(
         roots,
         mut stats,
     } = gather_views_flat(&net, a_len);
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.gather_ns = lap();
+    }
     let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
     let work: u64 = roots[..n].iter().map(|&root| arena.size(root)).sum();
     let workers = if work < FLAT_T_PARALLEL_MIN_WORK {
@@ -924,7 +1081,11 @@ pub fn solve_special_flat(
     } else {
         threads.max(1).min(avail)
     };
-    let t = t_batch_flat(&arena, &roots[..n], big_r, workers);
+    let (t, batch_tel) = t_batch_flat_telemetry(&arena, &roots[..n], big_r, workers);
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.t_eval_ns = lap();
+        tr.batch = batch_tel;
+    }
 
     // ---- phase 2: min-flood of t (same relaxation order as the
     // protocol; senders are exactly the nodes holding a finite value) --
@@ -954,6 +1115,9 @@ pub fn solve_special_flat(
         std::mem::swap(&mut cur, &mut next);
     }
     let s: Vec<f64> = cur[..n].to_vec();
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.flood_ns = lap();
+    }
 
     // ---- phase 3: g± values via the centralized recursions (proven
     // bit-identical to the message protocol), counts per its schedule --
@@ -980,11 +1144,16 @@ pub fn solve_special_flat(
 
     let g = smoothing::g_tables(sf, &s, r);
     let x = smoothing::output(sf, &g, big_r);
+    if let Some(tr) = trace {
+        tr.g_ns = lap();
+        tr.total_ns = t0.unwrap().elapsed().as_nanos() as u64;
+    }
     (SpecialRun { x, t, s, g }, stats)
 }
 
-/// [`solve_distributed`] on the flat arena path: bit-identical outputs
-/// and accounting, plus dedup counters in `stats`. `threads` bounds the
+/// The distributed solve on the flat arena path: outputs and accounting
+/// bit-identical to the legacy `solve_distributed`, plus dedup counters
+/// in `stats`. `threads` bounds the
 /// workers of the per-agent `t_u` batch over the arena roots (outputs
 /// are bit-identical across thread counts; see [`solve_special_flat`]
 /// for when threading actually engages).
@@ -1000,6 +1169,25 @@ pub fn solve_distributed_flat(
         s: run.s,
         stats,
     }
+}
+
+/// [`solve_distributed_flat`] plus its [`FlatSolveTrace`] (bit-identical
+/// outputs; see [`solve_special_flat_traced`]).
+pub fn solve_distributed_flat_traced(
+    sf: &SpecialForm,
+    big_r: usize,
+    threads: usize,
+) -> (DistributedOutcome, FlatSolveTrace) {
+    let (run, stats, trace) = solve_special_flat_traced(sf, big_r, threads);
+    (
+        DistributedOutcome {
+            solution: run.x,
+            t: run.t,
+            s: run.s,
+            stats,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]
@@ -1134,6 +1322,38 @@ mod tests {
                     assert!(flat.stats.interned_nodes > 0);
                     assert!(flat.stats.dedup_ratio() > 1.0);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_solve_is_bit_identical_and_phases_are_coherent() {
+        let s = sf(2);
+        for big_r in [2, 3] {
+            for threads in [1, 4] {
+                let (plain, stats) = solve_special_flat(&s, big_r, threads);
+                let (traced, tstats, tr) = solve_special_flat_traced(&s, big_r, threads);
+                for v in 0..s.n_agents() {
+                    assert_eq!(traced.t[v].to_bits(), plain.t[v].to_bits());
+                    assert_eq!(traced.s[v].to_bits(), plain.s[v].to_bits());
+                    assert_eq!(
+                        traced.x.as_slice()[v].to_bits(),
+                        plain.x.as_slice()[v].to_bits(),
+                        "R {big_r} threads {threads} agent {v}"
+                    );
+                }
+                assert_eq!(stats, tstats, "accounting must not depend on tracing");
+                // Phases cover disjoint intervals of the span.
+                assert!(tr.total_ns > 0);
+                let phase_sum = tr.gather_ns + tr.t_eval_ns + tr.flood_ns + tr.g_ns;
+                assert!(
+                    phase_sum <= tr.total_ns,
+                    "phases {phase_sum} > total {}",
+                    tr.total_ns
+                );
+                // The batch ran and its memo counters saw traffic.
+                assert!(tr.batch.workers >= 1 && tr.batch.chunks >= 1);
+                assert!(tr.batch.memo_hits + tr.batch.memo_misses + tr.batch.memo_skips > 0);
             }
         }
     }

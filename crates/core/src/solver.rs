@@ -47,6 +47,11 @@ pub struct LocalSolverOutput {
     /// `arena_bytes`, `peak_arena_bytes`, [`RunStats::dedup_ratio`]).
     /// `None` for the centralized path.
     pub net_stats: Option<RunStats>,
+    /// Per-phase wall times and memo/chunk telemetry of the flat solve
+    /// ([`distributed::FlatSolveTrace`]). `Some` only on the network
+    /// path — the solve is then run through the traced entry point,
+    /// which is bit-identical to the untraced one.
+    pub flat_trace: Option<distributed::FlatSolveTrace>,
 }
 
 impl LocalSolverOutput {
@@ -130,12 +135,14 @@ impl LocalSolver {
         let transformed = to_special_form(inst);
         let sf = SpecialForm::new(transformed.instance.clone())
             .expect("§4 pipeline produces special form");
-        let (run, net_stats) = if self.via_network {
-            let (run, stats) = distributed::solve_special_flat(&sf, self.big_r, self.threads);
-            (run, Some(stats))
+        let (run, net_stats, flat_trace) = if self.via_network {
+            let (run, stats, trace) =
+                distributed::solve_special_flat_traced(&sf, self.big_r, self.threads);
+            (run, Some(stats), Some(trace))
         } else {
             (
                 smoothing::solve_special(&sf, self.big_r, self.threads),
+                None,
                 None,
             )
         };
@@ -146,6 +153,7 @@ impl LocalSolver {
             trace: transformed.trace,
             big_r: self.big_r,
             net_stats,
+            flat_trace,
         }
     }
 
@@ -269,9 +277,14 @@ mod tests {
                 net.optimum_upper_bound().to_bits()
             );
             assert!(central.net_stats.is_none());
+            assert!(central.flat_trace.is_none());
             let stats = net.net_stats.expect("network path accounts");
             assert!(stats.messages > 0 && stats.interned_nodes > 0);
             assert!(stats.dedup_ratio() > 0.0);
+            let trace = net.flat_trace.expect("network path is traced");
+            assert!(trace.total_ns > 0);
+            let phase_sum = trace.gather_ns + trace.t_eval_ns + trace.flood_ns + trace.g_ns;
+            assert!(phase_sum <= trace.total_ns);
         }
     }
 

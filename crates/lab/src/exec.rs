@@ -46,6 +46,7 @@ pub fn execute_job(job: &Job) -> JobRecord {
 
     let start = Instant::now();
     let (mut interned, mut arena_bytes) = (0u64, 0u64);
+    let mut trace = distributed::FlatSolveTrace::default();
     let (utility, guarantee, rounds, messages, bytes) = match job.solver {
         SolverKind::Local => {
             let solver = LocalSolver::new(job.big_r);
@@ -71,13 +72,15 @@ pub fn execute_job(job: &Job) -> JobRecord {
                     return JobRecord::failed(job, JobStatus::Error, format!("special form: {e:?}"))
                 }
             };
-            // The flat (hash-consed) path: bit-identical outputs and
-            // logical accounting, plus the dedup counters the reports
-            // surface.
-            let run = distributed::solve_distributed_flat(&sf, job.big_r, 1);
+            // The flat (hash-consed) path through the traced entry
+            // point (bit-identical to the untraced one): the record
+            // carries the dedup counters plus the per-phase/memo
+            // snapshot the reports and perf-trajectory pipeline use.
+            let (run, flat_trace) = distributed::solve_distributed_flat_traced(&sf, job.big_r, 1);
             let x = transformed.map_back(&run.solution);
             interned = run.stats.interned_nodes;
             arena_bytes = run.stats.arena_bytes;
+            trace = flat_trace;
             (
                 x.utility(&inst),
                 ratio::guarantee(di, dk, job.big_r),
@@ -120,6 +123,12 @@ pub fn execute_job(job: &Job) -> JobRecord {
         bytes,
         interned,
         arena_bytes,
+        gather_ns: trace.gather_ns,
+        t_eval_ns: trace.t_eval_ns,
+        flood_ns: trace.flood_ns,
+        g_ns: trace.g_ns,
+        memo_hits: trace.batch.memo_hits,
+        memo_misses: trace.batch.memo_misses,
         error: String::new(),
     }
 }
@@ -167,6 +176,11 @@ mod tests {
         assert!(dist.interned > 0 && dist.arena_bytes > 0);
         assert!(dist.bytes > dist.arena_bytes, "dedup ratio must exceed 1");
         assert_eq!(local.interned, 0);
+        // The phase snapshot rides along: real wall times, coherent sum.
+        let phase_sum = dist.gather_ns + dist.t_eval_ns + dist.flood_ns + dist.g_ns;
+        assert!(phase_sum > 0, "distributed jobs carry the phase snapshot");
+        assert!(dist.memo_hits + dist.memo_misses > 0);
+        assert_eq!(local.gather_ns, 0, "centralized runs are untraced");
     }
 
     #[test]

@@ -86,6 +86,20 @@ pub struct JobRecord {
     /// Deduped view-arena bytes of the flat distributed path — `bytes /
     /// arena_bytes` is the dedup ratio (0 for other solvers).
     pub arena_bytes: u64,
+    /// Wall time of the flat solve's view-gather phase, nanoseconds
+    /// (distributed solver only; 0 otherwise — likewise the rest of the
+    /// phase/memo snapshot below).
+    pub gather_ns: u64,
+    /// Wall time of the per-agent `t_u` batch phase, nanoseconds.
+    pub t_eval_ns: u64,
+    /// Wall time of the `min t` flood phase, nanoseconds.
+    pub flood_ns: u64,
+    /// Wall time of the smoothing/output phase, nanoseconds.
+    pub g_ns: u64,
+    /// Memo-table hits during the flat solve.
+    pub memo_hits: u64,
+    /// Memo-table misses during the flat solve.
+    pub memo_misses: u64,
     /// Error/panic description (empty when ok).
     pub error: String,
 }
@@ -115,6 +129,12 @@ impl JobRecord {
             bytes: 0,
             interned: 0,
             arena_bytes: 0,
+            gather_ns: 0,
+            t_eval_ns: 0,
+            flood_ns: 0,
+            g_ns: 0,
+            memo_hits: 0,
+            memo_misses: 0,
             error,
         }
     }
@@ -142,7 +162,13 @@ impl JobRecord {
             .int("messages", self.messages)
             .int("bytes", self.bytes)
             .int("interned", self.interned)
-            .int("arena_bytes", self.arena_bytes);
+            .int("arena_bytes", self.arena_bytes)
+            .int("gather_ns", self.gather_ns)
+            .int("t_eval_ns", self.t_eval_ns)
+            .int("flood_ns", self.flood_ns)
+            .int("g_ns", self.g_ns)
+            .int("memo_hits", self.memo_hits)
+            .int("memo_misses", self.memo_misses);
         if !self.error.is_empty() {
             w.str("error", &self.error);
         }
@@ -201,6 +227,14 @@ impl JobRecord {
             // pre-arena logs keep resuming cleanly.
             interned: get("interned").and_then(|v| v.as_u64()).unwrap_or(0),
             arena_bytes: get("arena_bytes").and_then(|v| v.as_u64()).unwrap_or(0),
+            // Added with the mmlp-obs phase snapshot: logs written
+            // before it decode with an all-zero breakdown.
+            gather_ns: get("gather_ns").and_then(|v| v.as_u64()).unwrap_or(0),
+            t_eval_ns: get("t_eval_ns").and_then(|v| v.as_u64()).unwrap_or(0),
+            flood_ns: get("flood_ns").and_then(|v| v.as_u64()).unwrap_or(0),
+            g_ns: get("g_ns").and_then(|v| v.as_u64()).unwrap_or(0),
+            memo_hits: get("memo_hits").and_then(|v| v.as_u64()).unwrap_or(0),
+            memo_misses: get("memo_misses").and_then(|v| v.as_u64()).unwrap_or(0),
             error: get("error")
                 .and_then(|v| v.as_str())
                 .unwrap_or("")
@@ -236,6 +270,12 @@ mod tests {
             bytes: 65536,
             interned: 96,
             arena_bytes: 4096,
+            gather_ns: 120_000,
+            t_eval_ns: 80_000,
+            flood_ns: 9_000,
+            g_ns: 4_000,
+            memo_hits: 512,
+            memo_misses: 64,
             error: String::new(),
         }
     }
@@ -295,6 +335,24 @@ mod tests {
         let back = JobRecord::from_json_line(&stripped).unwrap();
         assert_eq!(back.interned, 0);
         assert_eq!(back.arena_bytes, 0);
+    }
+
+    #[test]
+    fn pre_obs_lines_decode_with_zero_phase_snapshot() {
+        // Logs written before the mmlp-obs phase snapshot lack the
+        // phase/memo fields; they decode with an all-zero breakdown.
+        let line = sample().to_json_line();
+        let stripped = line.replace(
+            ",\"gather_ns\":120000,\"t_eval_ns\":80000,\"flood_ns\":9000,\
+             \"g_ns\":4000,\"memo_hits\":512,\"memo_misses\":64",
+            "",
+        );
+        assert_ne!(line, stripped, "sample must carry the phase fields");
+        let back = JobRecord::from_json_line(&stripped).unwrap();
+        assert_eq!(back.gather_ns, 0);
+        assert_eq!(back.t_eval_ns, 0);
+        assert_eq!(back.memo_hits, 0);
+        assert_eq!(back.memo_misses, 0);
     }
 
     #[test]

@@ -407,6 +407,12 @@ mod tests {
             } else {
                 0
             },
+            gather_ns: 0,
+            t_eval_ns: 0,
+            flood_ns: 0,
+            g_ns: 0,
+            memo_hits: 0,
+            memo_misses: 0,
             status: JobStatus::Ok,
             error: String::new(),
             job_id: job.id(),

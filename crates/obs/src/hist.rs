@@ -1,0 +1,415 @@
+//! Log-linear (HDR-style) histograms over microsecond values.
+//!
+//! The bucket layout buckets values with 8 linear sub-buckets per power
+//! of two, so any recorded value is off by at most 12.5% while the
+//! whole structure is a few hundred `u64`s — safe to keep hot forever
+//! in a long-running server. [`Histogram`] is the single-threaded
+//! value type (loadgen aggregates one per client thread);
+//! [`AtomicHistogram`] is its lock-free twin for registry-resident
+//! metrics, recorded from many threads and snapshotted on scrape.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power of two (8 → ≤ 12.5% relative error).
+const SUBS: usize = 8;
+/// Values 0..8 land in exact unit buckets; beyond that, log-linear.
+/// 34 octaves × 8 sub-buckets covers > 4 hours in microseconds.
+const OCTAVES: usize = 34;
+pub(crate) const BUCKETS: usize = SUBS + OCTAVES * SUBS;
+
+pub(crate) fn bucket_index(us: u64) -> usize {
+    if us < SUBS as u64 {
+        return us as usize;
+    }
+    let e = 63 - us.leading_zeros() as usize; // floor(log2), ≥ 3
+    let sub = ((us >> (e - 3)) & 7) as usize;
+    ((e - 2) * SUBS + sub).min(BUCKETS - 1)
+}
+
+pub(crate) fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let g = idx / SUBS;
+    let sub = (idx % SUBS) as u64;
+    let e = g + 2;
+    (SUBS as u64 + sub) << (e - 3)
+}
+
+/// A log-linear latency histogram over microseconds.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Records one latency sample, in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.counts[bucket_index(us)] += 1;
+        self.total += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Sum of all recorded samples, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.total).unwrap_or(0)
+    }
+
+    /// The latency at quantile `q`, as the lower bound of the bucket
+    /// containing that rank.
+    ///
+    /// Edge behaviour is fully defined (registry-wide contract):
+    ///
+    /// - an **empty** histogram returns 0 for every `q`;
+    /// - `q >= 1.0` returns the **exact** maximum recorded sample
+    ///   (`max_us`), not a bucket floor — the only quantile with zero
+    ///   bucketing error;
+    /// - `q <= 0.0` (and NaN) clamp to the rank-1 sample's bucket.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max_us;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.max(0.0) };
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(idx);
+            }
+        }
+        self.max_us
+    }
+
+    /// Folds another histogram into this one (loadgen aggregates one
+    /// per client thread).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Occupied buckets as `(bucket_floor, count)` pairs, in ascending
+    /// value order (the Prometheus renderer and the bar chart both walk
+    /// this).
+    pub fn occupied(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (bucket_floor(idx), c))
+    }
+
+    /// Cumulative `(exclusive_upper_edge, cumulative_count)` pairs for
+    /// the occupied buckets — the shape Prometheus `_bucket{le=...}`
+    /// samples want (every recorded value in the bucket is strictly
+    /// below the edge).
+    pub fn cumulative_edges(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            out.push((bucket_floor(idx + 1), cum));
+        }
+        out
+    }
+
+    /// Renders the occupied buckets as an aligned text bar chart — the
+    /// loadgen's "latency histogram".
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("latency_us        count  share\n");
+        if self.total == 0 {
+            out.push_str("(no samples)\n");
+            return out;
+        }
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((c * 40).div_ceil(peak)) as usize);
+            let share = 100.0 * c as f64 / self.total as f64;
+            out.push_str(&format!(
+                "{:>12} {:>10} {:>5.1}% {}\n",
+                bucket_floor(idx),
+                c,
+                share,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The lock-free twin of [`Histogram`]: recorded from any number of
+/// threads with relaxed atomics, snapshotted into a plain [`Histogram`]
+/// on scrape. Lives behind registry [`HistogramHandle`]s.
+///
+/// [`HistogramHandle`]: crate::registry::HistogramHandle
+pub struct AtomicHistogram {
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// An empty atomic histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample, in microseconds. Three relaxed adds plus a
+    /// relaxed `fetch_max`; no locks, no allocation.
+    pub fn record(&self, us: u64) {
+        self.counts[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy as a plain [`Histogram`]. Concurrent
+    /// recording may tear `total` against the buckets by a sample or
+    /// two — fine for statistics, which is all this is for.
+    pub fn snapshot(&self) -> Histogram {
+        Histogram {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            total: self.total.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev = 0;
+        for idx in 1..BUCKETS {
+            let f = bucket_floor(idx);
+            assert!(f > prev, "floor({idx}) = {f} ≤ floor({}) = {prev}", idx - 1);
+            prev = f;
+        }
+        // Every value maps into the bucket whose floor is ≤ it.
+        for v in [0u64, 1, 7, 8, 9, 100, 1023, 1024, 1_000_000, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            assert!(bucket_floor(idx) <= v);
+            if idx + 1 < BUCKETS {
+                assert!(v < bucket_floor(idx + 1), "v={v} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        for q in [0.01, 0.5, 1.0] {
+            let p = h.percentile(q);
+            assert!(p < 8);
+        }
+        assert_eq!(h.percentile(1.0), 7);
+        assert_eq!(h.percentile(0.125), 0);
+    }
+
+    #[test]
+    fn percentile_edges_are_well_defined() {
+        // Empty: every quantile is 0, including the weird ones.
+        let empty = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.percentile(q), 0, "empty at q={q}");
+        }
+        // q = 1.0 (and beyond) is the exact maximum, even when the max
+        // lands mid-bucket where the old floor answer under-reported.
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(1000); // bucket floor 960 ≠ exact max
+        assert_eq!(h.percentile(1.0), 1000);
+        assert_eq!(h.percentile(2.0), 1000);
+        assert_eq!(h.max_us(), 1000);
+        // q ≤ 0 and NaN clamp to rank 1.
+        assert_eq!(h.percentile(0.0), 3);
+        assert_eq!(h.percentile(-0.5), 3);
+        assert_eq!(h.percentile(f64::NAN), 3);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= 500 && p50 as f64 >= 500.0 * 0.875, "p50 = {p50}");
+        assert!(p95 <= 950 && p95 as f64 >= 950.0 * 0.875, "p95 = {p95}");
+        assert!(p99 <= 990 && p99 as f64 >= 990.0 * 0.875, "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.max_us(), 1000);
+        assert_eq!(h.mean_us(), 500);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..500 {
+            a.record(v * 3);
+            all.record(v * 3);
+        }
+        for v in 0..300 {
+            b.record(v * 7 + 1);
+            all.record(v * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), all.total());
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.percentile(q), all.percentile(q));
+        }
+        assert_eq!(a.max_us(), all.max_us());
+    }
+
+    #[test]
+    fn render_lists_occupied_buckets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(100);
+        let r = h.render();
+        assert!(r.contains("latency_us"), "{r}");
+        assert!(r.lines().count() >= 3, "{r}");
+        assert!(Histogram::new().render().contains("no samples"));
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain_recording() {
+        let a = AtomicHistogram::new();
+        let mut p = Histogram::new();
+        for v in [0u64, 1, 7, 9, 100, 1000, 123_456] {
+            a.record(v);
+            p.record(v);
+        }
+        let s = a.snapshot();
+        assert_eq!(s.total(), p.total());
+        assert_eq!(s.max_us(), p.max_us());
+        assert_eq!(s.mean_us(), p.mean_us());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), p.percentile(q));
+        }
+        assert_eq!(s.cumulative_edges(), p.cumulative_edges());
+    }
+
+    #[test]
+    fn cumulative_edges_are_monotone_and_cover_everything() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 9, 9, 9, 5000] {
+            h.record(v);
+        }
+        let edges = h.cumulative_edges();
+        assert_eq!(edges.last().unwrap().1, h.total());
+        let mut prev_edge = 0;
+        let mut prev_cum = 0;
+        for &(edge, cum) in &edges {
+            assert!(edge > prev_edge && cum >= prev_cum, "{edges:?}");
+            prev_edge = edge;
+            prev_cum = cum;
+        }
+        // Every recorded value is strictly below its bucket's edge.
+        assert!(edges.iter().any(|&(e, _)| e > 5000));
+    }
+
+    #[test]
+    fn atomic_recording_is_thread_safe() {
+        use std::sync::Arc;
+        let h = Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.total(), 4000);
+        assert_eq!(s.max_us(), 3999);
+    }
+}

@@ -1,0 +1,37 @@
+//! Unified observability for the max-min LP workspace.
+//!
+//! Three disconnected ad-hoc telemetry modules (serve counters, net run
+//! stats, free-form `STATS` text) grew alongside the solver; this crate
+//! replaces their shared machinery with one dependency-free layer:
+//!
+//! - [`registry`] — a lock-free metrics registry: named counters behind
+//!   sharded cache-padded atomics, gauges, and log-bucketed histograms,
+//!   handed out as typed handles so a hot path pays exactly one relaxed
+//!   atomic add per event. Registration happens once at startup; the
+//!   whole registry renders as Prometheus text exposition for the
+//!   `METRICS` wire op.
+//! - [`hist`] — the HDR-style log-linear [`Histogram`] (formerly in
+//!   `mmlp-serve`), with well-defined empty/`q = 1.0` percentile edges,
+//!   plus its lock-free [`AtomicHistogram`] twin.
+//! - [`trace`] — lightweight solve spans: monotonic-clock phase
+//!   breakdowns with process-unique trace ids, kept in a bounded
+//!   [`TraceRing`] that can always dump the N slowest recent solves.
+//! - [`report`] — renders ring contents as a flamegraph-style text
+//!   phase timeline (the `maxmin-lp obs` report).
+//!
+//! The overhead contract (enforced by `trajectory_gate` over
+//! `BENCH_core.json` and by the catalog-wide bit-identity tests): a
+//! traced solve stays within 3% of the untraced one and produces
+//! bit-identical outputs. See `specs/OBSERVABILITY.md`.
+
+#![deny(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod report;
+pub mod trace;
+
+pub use hist::{AtomicHistogram, Histogram};
+pub use registry::{Counter, Gauge, HistogramHandle, Registry};
+pub use report::render_timeline;
+pub use trace::{next_trace_id, SolveTrace, TraceRing};

@@ -1,0 +1,494 @@
+//! The lock-free metrics registry.
+//!
+//! Instruments are registered **once at startup** (registration takes a
+//! mutex and allocates); hot paths then hold typed handles — [`Counter`],
+//! [`Gauge`], [`HistogramHandle`] — whose update methods are a single
+//! relaxed atomic operation. Counters are sharded across cache-padded
+//! cells so concurrent bumpers on different cores do not ping-pong one
+//! line; reads sum the shards.
+//!
+//! Naming follows the Prometheus data model (`mmlp_<subsystem>_<what>`
+//! with `_total` on counters — see `specs/OBSERVABILITY.md`), and
+//! [`Registry::render_prometheus`] emits the whole registry in
+//! Prometheus text exposition format for the `METRICS` wire op.
+
+use crate::hist::{AtomicHistogram, Histogram};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counter shards. Eight padded cells absorb the realistic worker
+/// counts; beyond that, threads share shards without correctness loss.
+const SHARDS: usize = 8;
+
+/// One cache line per shard, so adjacent shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCell(AtomicU64);
+
+/// Round-robin shard assignment: each thread picks a home shard on its
+/// first bump and keeps it for life (`ThreadId::as_u64` is unstable, so
+/// a global ticket counter hands out the indices).
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HOME: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    HOME.with(|h| *h)
+}
+
+#[derive(Default)]
+struct CounterCell {
+    shards: [PaddedCell; SHARDS],
+}
+
+impl CounterCell {
+    fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A monotone counter handle. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter(Arc<CounterCell>);
+
+impl Counter {
+    /// A counter detached from any registry (useful as a placeholder in
+    /// tests; it still counts, it just never renders).
+    pub fn detached() -> Self {
+        Counter(Arc::new(CounterCell::default()))
+    }
+
+    /// Adds `n`. One relaxed `fetch_add` on the calling thread's shard.
+    pub fn add(&self, n: u64) {
+        self.0.add(n);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.add(1);
+    }
+
+    /// Current value (sums the shards; relaxed).
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A last-value-wins gauge handle. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge detached from any registry.
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water marks).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle. Cloning shares the underlying atomic histogram.
+#[derive(Clone)]
+pub struct HistogramHandle(Arc<AtomicHistogram>);
+
+impl HistogramHandle {
+    /// A histogram detached from any registry.
+    pub fn detached() -> Self {
+        HistogramHandle(Arc::new(AtomicHistogram::new()))
+    }
+
+    /// Records one sample (microseconds). Lock-free.
+    pub fn record(&self, us: u64) {
+        self.0.record(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.0.total()
+    }
+
+    /// Point-in-time copy as a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        self.0.snapshot()
+    }
+}
+
+enum Instrument {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<AtomicU64>),
+    Hist(Arc<AtomicHistogram>),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Hist(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    inst: Instrument,
+}
+
+/// A named collection of instruments, rendered wholesale as Prometheus
+/// text. One registry per server (or per CLI invocation); instruments
+/// registered twice under the same name + label set share their cell,
+/// so registration is idempotent.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// `true` for names the Prometheus data model accepts
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        reuse: impl Fn(&Instrument) -> Option<T>,
+        fresh: impl FnOnce() -> (Instrument, T),
+    ) -> T {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && label_eq(&e.labels, labels))
+        {
+            return reuse(&e.inst)
+                .unwrap_or_else(|| panic!("metric {name:?} re-registered with a different type"));
+        }
+        let (inst, handle) = fresh();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            help: help.to_string(),
+            inst,
+        });
+        handle
+    }
+
+    /// Registers (or re-fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers (or re-fetches) a counter with label pairs.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        self.register(
+            name,
+            labels,
+            help,
+            |inst| match inst {
+                Instrument::Counter(c) => Some(Counter(Arc::clone(c))),
+                _ => None,
+            },
+            || {
+                let cell = Arc::new(CounterCell::default());
+                (Instrument::Counter(Arc::clone(&cell)), Counter(cell))
+            },
+        )
+    }
+
+    /// Registers (or re-fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers (or re-fetches) a gauge with label pairs.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        self.register(
+            name,
+            labels,
+            help,
+            |inst| match inst {
+                Instrument::Gauge(g) => Some(Gauge(Arc::clone(g))),
+                _ => None,
+            },
+            || {
+                let cell = Arc::new(AtomicU64::new(0));
+                (Instrument::Gauge(Arc::clone(&cell)), Gauge(cell))
+            },
+        )
+    }
+
+    /// Registers (or re-fetches) an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> HistogramHandle {
+        self.histogram_with(name, &[], help)
+    }
+
+    /// Registers (or re-fetches) a histogram with label pairs.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> HistogramHandle {
+        self.register(
+            name,
+            labels,
+            help,
+            |inst| match inst {
+                Instrument::Hist(h) => Some(HistogramHandle(Arc::clone(h))),
+                _ => None,
+            },
+            || {
+                let cell = Arc::new(AtomicHistogram::new());
+                (Instrument::Hist(Arc::clone(&cell)), HistogramHandle(cell))
+            },
+        )
+    }
+
+    /// Renders every instrument in Prometheus text exposition format:
+    /// one `# HELP` / `# TYPE` pair per metric name (first registration
+    /// wins), then one sample line per label set — histograms expand to
+    /// cumulative `_bucket{le=...}` samples plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().unwrap();
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if seen.contains(&e.name.as_str()) {
+                continue;
+            }
+            seen.push(&e.name);
+            out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+            out.push_str(&format!("# TYPE {} {}\n", e.name, e.inst.type_name()));
+            for s in entries.iter().filter(|s| s.name == e.name) {
+                render_sample(&mut out, s);
+            }
+        }
+        out
+    }
+}
+
+fn label_eq(stored: &[(String, String)], query: &[(&str, &str)]) -> bool {
+    stored.len() == query.len()
+        && stored
+            .iter()
+            .zip(query)
+            .all(|((sk, sv), &(qk, qv))| sk == qk && sv == qv)
+}
+
+/// `{k="v",...}` (empty string for no labels), with an optional extra
+/// pair appended (histogram `le`).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn render_sample(out: &mut String, e: &Entry) {
+    match &e.inst {
+        Instrument::Counter(c) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                c.get()
+            ));
+        }
+        Instrument::Gauge(g) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                g.load(Ordering::Relaxed)
+            ));
+        }
+        Instrument::Hist(h) => {
+            let snap = h.snapshot();
+            for (edge, cum) in snap.cumulative_edges() {
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    e.name,
+                    label_block(&e.labels, Some(("le", &edge.to_string()))),
+                    cum
+                ));
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                e.name,
+                label_block(&e.labels, Some(("le", "+Inf"))),
+                snap.total()
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                snap.sum_us()
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                snap.total()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("mmlp_test_total", "test counter");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_name_and_labels() {
+        let reg = Registry::new();
+        let a = reg.counter_with("mmlp_ops_total", &[("op", "solve")], "ops");
+        let b = reg.counter_with("mmlp_ops_total", &[("op", "solve")], "ops");
+        let other = reg.counter_with("mmlp_ops_total", &[("op", "info")], "ops");
+        a.add(2);
+        b.add(3);
+        other.add(7);
+        assert_eq!(a.get(), 5, "same name+labels share the cell");
+        assert_eq!(other.get(), 7);
+        let text = reg.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE mmlp_ops_total counter").count(),
+            1,
+            "one TYPE line per metric name:\n{text}"
+        );
+        assert!(text.contains("mmlp_ops_total{op=\"solve\"} 5"), "{text}");
+        assert!(text.contains("mmlp_ops_total{op=\"info\"} 7"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflicts_panic_at_registration() {
+        let reg = Registry::new();
+        let _c = reg.counter("mmlp_conflict", "as counter");
+        let _g = reg.gauge("mmlp_conflict", "as gauge");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        let reg = Registry::new();
+        let _ = reg.counter("mmlp.bad-name", "dots and dashes");
+    }
+
+    #[test]
+    fn gauges_hold_last_value_and_high_water() {
+        let reg = Registry::new();
+        let g = reg.gauge("mmlp_depth", "queue depth");
+        g.set(5);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        g.set_max(10);
+        g.set_max(4);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_help_type_and_histogram_series() {
+        let reg = Registry::new();
+        reg.counter("mmlp_requests_total", "requests").add(3);
+        reg.gauge("mmlp_uptime_ms", "uptime").set(1234);
+        let h = reg.histogram("mmlp_latency_us", "latency");
+        h.record(5);
+        h.record(900);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# HELP mmlp_requests_total requests"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE mmlp_requests_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("mmlp_requests_total 3"), "{text}");
+        assert!(text.contains("# TYPE mmlp_uptime_ms gauge"), "{text}");
+        assert!(text.contains("mmlp_uptime_ms 1234"), "{text}");
+        assert!(text.contains("# TYPE mmlp_latency_us histogram"), "{text}");
+        assert!(
+            text.contains("mmlp_latency_us_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("mmlp_latency_us_sum 905"), "{text}");
+        assert!(text.contains("mmlp_latency_us_count 2"), "{text}");
+        // Cumulative bucket counts are monotone.
+        let mut prev = 0;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("mmlp_latency_us_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "{text}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Flamegraph-style text rendering of solve traces.
+//!
+//! One block per trace, slowest first: a header with the label, trace
+//! id and total, then one bar per phase scaled to its share of the
+//! span. This is what `maxmin-lp obs` prints.
+
+use crate::trace::SolveTrace;
+
+/// Bar width of a phase taking 100% of the span.
+const BAR: u64 = 32;
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Renders traces as a phase-timeline report (pass them slowest-first,
+/// e.g. straight from `TraceRing::slowest`). Returns a "(no traces)"
+/// placeholder when empty.
+pub fn render_timeline(traces: &[SolveTrace]) -> String {
+    if traces.is_empty() {
+        return "(no traces recorded)\n".to_string();
+    }
+    let mut out = String::new();
+    let name_w = traces
+        .iter()
+        .flat_map(|t| t.phases.iter())
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    for (rank, t) in traces.iter().enumerate() {
+        out.push_str(&format!(
+            "#{:<3} {}  trace={}  total {}\n",
+            rank + 1,
+            t.label,
+            t.trace_id,
+            fmt_ns(t.total_ns)
+        ));
+        let total = t.total_ns.max(1);
+        for (name, ns) in &t.phases {
+            let bar_len = ((ns * BAR) as f64 / total as f64).round() as usize;
+            let share = 100.0 * *ns as f64 / total as f64;
+            out.push_str(&format!(
+                "     {:<name_w$} {:<bar_w$} {:>5.1}%  {}\n",
+                name,
+                "#".repeat(bar_len),
+                share,
+                fmt_ns(*ns),
+                name_w = name_w,
+                bar_w = BAR as usize,
+            ));
+        }
+        let other = t.total_ns.saturating_sub(t.phase_sum_ns());
+        if other > 0 {
+            out.push_str(&format!(
+                "     {:<name_w$} {:<bar_w$} {:>5.1}%  {}\n",
+                "(other)",
+                "",
+                100.0 * other as f64 / total as f64,
+                fmt_ns(other),
+                name_w = name_w,
+                bar_w = BAR as usize,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_shows_every_phase_and_the_residual() {
+        let t = SolveTrace {
+            trace_id: 42,
+            label: "solve R=4 n=208".into(),
+            total_ns: 10_000_000,
+            phases: vec![
+                ("gather".into(), 6_000_000),
+                ("t_eval".into(), 3_000_000),
+                ("flood".into(), 500_000),
+            ],
+        };
+        let r = render_timeline(&[t]);
+        assert!(r.contains("trace=42"), "{r}");
+        assert!(r.contains("solve R=4 n=208"), "{r}");
+        assert!(r.contains("gather"), "{r}");
+        assert!(r.contains("60.0%"), "{r}");
+        assert!(r.contains("(other)"), "{r}");
+        assert!(r.contains("10.00 ms"), "{r}");
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        assert!(render_timeline(&[]).contains("no traces"));
+    }
+
+    #[test]
+    fn units_scale() {
+        assert_eq!(fmt_ns(17), "17 ns");
+        assert_eq!(fmt_ns(1_700), "1.7 µs");
+        assert_eq!(fmt_ns(1_700_000), "1.70 ms");
+        assert_eq!(fmt_ns(1_700_000_000), "1.70 s");
+    }
+}

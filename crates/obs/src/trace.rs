@@ -1,0 +1,159 @@
+//! Lightweight solve spans: per-solve trace ids, monotonic-clock phase
+//! breakdowns, and a bounded ring of recent traces.
+//!
+//! A [`SolveTrace`] is the closed form of a span — the solver measures
+//! its phases with `std::time::Instant` (monotonic by contract) and
+//! hands the finished breakdown here; nothing in this module sits on
+//! the hot path. The [`TraceRing`] keeps the last `cap` traces and can
+//! always answer "show me the N slowest recent solves" for the
+//! `maxmin-lp obs` report and the e2e tests.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hands out process-unique trace ids, starting at 1 (0 reads as
+/// "untraced").
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One completed solve span: a label, a total, and the per-phase
+/// breakdown in execution order.
+#[derive(Clone, Debug)]
+pub struct SolveTrace {
+    /// Process-unique id from [`next_trace_id`].
+    pub trace_id: u64,
+    /// Human label — op, instance, R ("solve R=4 n=208").
+    pub label: String,
+    /// Total wall time of the span, nanoseconds.
+    pub total_ns: u64,
+    /// `(phase name, nanoseconds)` in execution order. Phases measure
+    /// disjoint intervals, so their sum is ≤ `total_ns` (the remainder
+    /// is un-phased glue).
+    pub phases: Vec<(String, u64)>,
+}
+
+impl SolveTrace {
+    /// Sum of the phase durations (≤ `total_ns` by construction).
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.phases.iter().map(|&(_, ns)| ns).sum()
+    }
+}
+
+struct RingInner {
+    buf: VecDeque<SolveTrace>,
+    recorded: u64,
+}
+
+/// A bounded ring of recent [`SolveTrace`]s. Pushing past capacity
+/// evicts the oldest; the ring never blocks a solve for longer than one
+/// short mutex hold at span end.
+pub struct TraceRing {
+    cap: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl TraceRing {
+    /// A ring holding up to `cap` traces (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap: cap.max(1),
+            inner: Mutex::new(RingInner {
+                buf: VecDeque::new(),
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Records a finished trace, evicting the oldest when full.
+    pub fn push(&self, trace: SolveTrace) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.buf.len() == self.cap {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(trace);
+        inner.recorded += 1;
+    }
+
+    /// Total traces ever recorded (monotone; exceeds `len` once the
+    /// ring has wrapped).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().unwrap().recorded
+    }
+
+    /// Traces currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    /// `true` when no trace has been recorded yet (or all were evicted,
+    /// which cannot happen — eviction only makes room for a push).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `n` slowest traces currently in the ring, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<SolveTrace> {
+        let inner = self.inner.lock().unwrap();
+        let mut all: Vec<SolveTrace> = inner.buf.iter().cloned().collect();
+        all.sort_by(|a, b| {
+            b.total_ns
+                .cmp(&a.total_ns)
+                .then(a.trace_id.cmp(&b.trace_id))
+        });
+        all.truncate(n);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64, total_ns: u64) -> SolveTrace {
+        SolveTrace {
+            trace_id: id,
+            label: format!("solve #{id}"),
+            total_ns,
+            phases: vec![
+                ("gather".into(), total_ns / 2),
+                ("t_eval".into(), total_ns / 4),
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert!(a > 0 && b > a);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_ranks_slowest() {
+        let ring = TraceRing::new(3);
+        assert!(ring.is_empty());
+        for (id, total) in [(1, 50), (2, 900), (3, 10), (4, 200)] {
+            ring.push(t(id, total));
+        }
+        assert_eq!(ring.len(), 3, "capacity 3, oldest evicted");
+        assert_eq!(ring.recorded(), 4, "recorded counts evictions too");
+        let slow = ring.slowest(2);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].trace_id, 2);
+        assert_eq!(slow[1].trace_id, 4);
+        // Asking for more than held returns everything, still sorted.
+        let all = ring.slowest(10);
+        assert_eq!(all.len(), 3);
+        assert!(all[0].total_ns >= all[1].total_ns && all[1].total_ns >= all[2].total_ns);
+    }
+
+    #[test]
+    fn phase_sum_is_bounded_by_total() {
+        let tr = t(1, 1000);
+        assert!(tr.phase_sum_ns() <= tr.total_ns);
+        assert_eq!(tr.phase_sum_ns(), 750);
+    }
+}

@@ -155,6 +155,14 @@ impl Client {
             .collect())
     }
 
+    /// Fetches the `METRICS` body: the server's full registry in
+    /// Prometheus text exposition format.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.request("METRICS", None)?
+            .into_ok()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
     /// Sends `SHUTDOWN`; the server drains and exits.
     pub fn shutdown(&mut self) -> std::io::Result<ClientReply> {
         self.request("SHUTDOWN", None)

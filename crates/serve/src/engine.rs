@@ -268,6 +268,9 @@ pub struct SolveInfo {
     pub arena_bytes: u64,
     /// Peak arena footprint during the solve.
     pub peak_arena_bytes: u64,
+    /// Per-phase wall times and memo/chunk telemetry of the flat solve
+    /// (all-zero only if the network path ever stopped tracing).
+    pub trace: mmlp_core::distributed::FlatSolveTrace,
 }
 
 /// [`execute`] plus the view-arena accounting of `SOLVE` requests
@@ -307,6 +310,7 @@ pub fn execute_traced(
                 logical_bytes: s.bytes,
                 arena_bytes: s.arena_bytes,
                 peak_arena_bytes: s.peak_arena_bytes,
+                trace: run.flat_trace.unwrap_or_default(),
             });
         }
         Op::Optimum => {
@@ -424,6 +428,11 @@ mod tests {
         assert!(
             info.logical_bytes > info.arena_bytes,
             "bandwidth ladders are non-tree: dedup ratio must exceed 1"
+        );
+        assert!(info.trace.total_ns > 0, "the network path is traced");
+        assert!(
+            info.trace.batch.memo_hits + info.trace.batch.memo_misses + info.trace.batch.memo_skips
+                > 0
         );
         assert_eq!(body, execute(Op::Solve, &i, 3, 1).unwrap());
         // Ops that build no views report no info.

@@ -13,8 +13,9 @@
 //! service exploits that with a content-addressed design:
 //!
 //! * [`protocol`] — the wire format: `PUT` / `SOLVE` / `OPTIMUM` /
-//!   `SAFE` / `INFO` / `STATS` / `SHUTDOWN` (plus `PING` and the
-//!   `SLEEP` diagnostic), length-prefixed bodies, typed error codes.
+//!   `SAFE` / `INFO` / `STATS` / `METRICS` / `SHUTDOWN` (plus `PING`
+//!   and the `SLEEP` diagnostic), length-prefixed bodies, typed error
+//!   codes.
 //! * [`cache`] — a byte-budgeted O(1) LRU used for both the result
 //!   cache (keyed by `(instance-hash, op, R, threads)`) and the
 //!   content-addressed instance store fed by `PUT`.
@@ -29,8 +30,13 @@
 //!   bounded `mmlp_lab::pool::TaskPool` (full queue ⇒ `ERR BUSY`
 //!   backpressure, never unbounded growth), per-request timeouts with
 //!   panic isolation, and graceful drain on `SHUTDOWN`.
-//! * [`stats`] — lock-free counters plus an HDR-style latency
-//!   histogram behind the `STATS` endpoint (p50/p95/p99).
+//! * [`stats`] — the server's metric surface on the `mmlp-obs`
+//!   registry: sharded lock-free counters, HDR-style latency /
+//!   queue-wait / execute histograms, per-op cache series and
+//!   flat-solve phase timings. `STATS` keeps its historical key/value
+//!   body; `METRICS` exposes the same cells as Prometheus text, and a
+//!   bounded trace ring remembers the slowest recent solves
+//!   (`specs/OBSERVABILITY.md`).
 //! * [`client`] — a small blocking protocol client.
 //! * [`loadgen`] — a closed-loop multi-client load generator
 //!   (`maxmin-lp loadgen`) printing a latency histogram and verifying
@@ -81,5 +87,5 @@ pub mod prelude {
     pub use crate::loadgen::{render_report, run_loadgen, LoadConfig, LoadReport};
     pub use crate::protocol::{Command, ErrorCode, Op, Reply};
     pub use crate::server::{ServeConfig, Server, ServerSummary};
-    pub use crate::stats::Histogram;
+    pub use crate::stats::{Histogram, ServeMetrics};
 }

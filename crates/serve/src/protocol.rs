@@ -9,6 +9,7 @@
 //!   SAFE <src>                         factor-ΔI safe baseline
 //!   INFO <src>                         sizes, degrees, paper bound
 //!   STATS                              counters + latency percentiles
+//!   METRICS                            Prometheus text exposition
 //!   SLEEP <ms>                         diagnostic: occupy a worker
 //!   PING                               liveness probe
 //!   SHUTDOWN                           graceful drain, then exit
@@ -97,6 +98,8 @@ pub enum Command {
     },
     /// Server counters and latency percentiles.
     Stats,
+    /// The full metrics registry in Prometheus text exposition format.
+    Metrics,
     /// Diagnostic: occupy one worker for `ms` milliseconds.
     Sleep { ms: u64 },
     /// Liveness probe.
@@ -248,6 +251,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             }
         }
         "STATS" => Command::Stats,
+        "METRICS" => Command::Metrics,
         "SLEEP" => {
             let ms: u64 = tokens
                 .next()
@@ -302,6 +306,7 @@ mod tests {
             Ok(Command::Run { op: Op::Info, .. })
         ));
         assert_eq!(parse_command("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command("METRICS"), Ok(Command::Metrics));
         assert_eq!(parse_command("SLEEP 250"), Ok(Command::Sleep { ms: 250 }));
         assert_eq!(parse_command("PING"), Ok(Command::Ping));
         assert_eq!(parse_command("SHUTDOWN"), Ok(Command::Shutdown));
@@ -322,6 +327,7 @@ mod tests {
             "SOLVE inline:3 THREADS=4294967296",
             "SOLVE inline:3 BAD=1", // unknown param
             "STATS extra",          // trailing token
+            "METRICS now",
             "SLEEP",
             "SLEEP soon",
         ] {

@@ -24,13 +24,14 @@
 
 use crate::engine::{self, CacheKey, Engine};
 use crate::protocol::{parse_command, Command, ErrorCode, Reply, Source};
-use crate::stats::{Counters, Histogram, ViewCounters};
+use crate::stats::ServeMetrics;
 use mmlp_instance::hash::hash_hex;
 use mmlp_lab::pool::{Outcome, SubmitError, TaskPool, TaskPoolConfig};
+use mmlp_obs::{next_trace_id, SolveTrace, TraceRing};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Server configuration (see `maxmin-lp serve --help` for the CLI
@@ -92,14 +93,23 @@ pub struct ServerSummary {
     pub timeouts: u64,
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
+    /// The slowest recent cold solves still held in the trace ring at
+    /// shutdown, slowest first (render with
+    /// [`mmlp_obs::render_timeline`]).
+    pub slowest: Vec<SolveTrace>,
 }
+
+/// Cold solves the trace ring remembers (the `N` in "the N slowest
+/// recent solves").
+const TRACE_RING_CAP: usize = 64;
+/// How many of those the final [`ServerSummary`] carries.
+const SUMMARY_SLOWEST: usize = 8;
 
 struct Shared {
     engine: Engine,
     pool: TaskPool,
-    counters: Counters,
-    views: Arc<ViewCounters>,
-    latency: Mutex<Histogram>,
+    metrics: ServeMetrics,
+    ring: Arc<TraceRing>,
     shutting_down: AtomicBool,
     live_connections: AtomicUsize,
     cfg: ServeConfig,
@@ -142,9 +152,8 @@ impl Server {
         let shared = Arc::new(Shared {
             engine,
             pool,
-            counters: Counters::default(),
-            views: Arc::new(ViewCounters::default()),
-            latency: Mutex::new(Histogram::new()),
+            metrics: ServeMetrics::new(),
+            ring: Arc::new(TraceRing::new(TRACE_RING_CAP)),
             shutting_down: AtomicBool::new(false),
             live_connections: AtomicUsize::new(0),
             cfg,
@@ -183,9 +192,9 @@ impl Server {
             // Reap finished connection threads so the handle list stays
             // proportional to *live* connections, not lifetime ones.
             handles.retain(|h| !h.is_finished());
-            Counters::bump(&shared.counters.connections);
+            shared.metrics.connections.inc();
             if shared.live_connections.load(Ordering::SeqCst) >= shared.cfg.max_connections {
-                Counters::bump(&shared.counters.busy);
+                shared.metrics.busy.inc();
                 let mut stream = stream;
                 let _ = stream.write_all(
                     Reply::Err(ErrorCode::Busy, "connection limit reached".into())
@@ -209,28 +218,28 @@ impl Server {
         }
         match Arc::try_unwrap(shared) {
             Ok(s) => {
-                let summary = summary_of(&s.counters);
                 s.pool.shutdown(); // blocks until accepted work ran
-                Ok(summary)
+                Ok(summary_of(&s.metrics, &s.ring))
             }
             Err(shared) => {
                 // A straggler still holds the Arc (should not happen
                 // after the joins); the pool drains when it drops.
-                Ok(summary_of(&shared.counters))
+                Ok(summary_of(&shared.metrics, &shared.ring))
             }
         }
     }
 }
 
-fn summary_of(c: &Counters) -> ServerSummary {
+fn summary_of(m: &ServeMetrics, ring: &TraceRing) -> ServerSummary {
     ServerSummary {
-        requests: Counters::read(&c.requests),
-        cache_hits: Counters::read(&c.cache_hits),
-        cache_misses: Counters::read(&c.cache_misses),
-        busy: Counters::read(&c.busy),
-        errors: Counters::read(&c.errors),
-        timeouts: Counters::read(&c.timeouts),
-        connections: Counters::read(&c.connections),
+        requests: m.requests.get(),
+        cache_hits: m.cache_hits_total(),
+        cache_misses: m.cache_misses_total(),
+        busy: m.busy.get(),
+        errors: m.errors.get(),
+        timeouts: m.timeouts.get(),
+        connections: m.connections.get(),
+        slowest: ring.slowest(SUMMARY_SLOWEST),
     }
 }
 
@@ -329,7 +338,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
             continue;
         }
         let started = Instant::now();
-        Counters::bump(&shared.counters.requests);
+        shared.metrics.requests.inc();
         let parsed = parse_command(&line);
         let is_shutdown = matches!(parsed, Ok(Command::Shutdown));
         let (reply, close_after) = match parsed {
@@ -337,18 +346,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
             Ok(cmd) => dispatch(cmd, &mut reader, shared),
         };
         match &reply {
-            Reply::Err(ErrorCode::Busy, _) => Counters::bump(&shared.counters.busy),
+            Reply::Err(ErrorCode::Busy, _) => shared.metrics.busy.inc(),
             Reply::Err(ErrorCode::Timeout, _) => {
-                Counters::bump(&shared.counters.timeouts);
-                Counters::bump(&shared.counters.errors);
+                shared.metrics.timeouts.inc();
+                shared.metrics.errors.inc();
             }
-            Reply::Err(..) => Counters::bump(&shared.counters.errors),
+            Reply::Err(..) => shared.metrics.errors.inc(),
             Reply::Ok(_) => {}
         }
+        // The request span, parse → reply framed: one lock-free record.
         shared
+            .metrics
             .latency
-            .lock()
-            .expect("latency lock")
             .record(started.elapsed().as_micros() as u64);
         writer.write_all(reply.to_wire().as_bytes())?;
         writer.flush()?;
@@ -368,6 +377,10 @@ fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) ->
     match cmd {
         Command::Ping => (Reply::Ok("pong\n".into()), false),
         Command::Stats => (Reply::Ok(render_stats(shared)), false),
+        Command::Metrics => {
+            set_scrape_gauges(shared);
+            (Reply::Ok(shared.metrics.render_prometheus()), false)
+        }
         Command::Shutdown => {
             shared.shutting_down.store(true, Ordering::SeqCst);
             // Poke the acceptor out of `accept()`. A wildcard bind
@@ -434,19 +447,28 @@ fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) ->
             };
             let key = CacheKey::new(hash, op, big_r, threads);
             if let Some(body) = shared.engine.cached(&key) {
-                Counters::bump(&shared.counters.cache_hits);
+                shared.metrics.cache_hit(op);
                 return (Reply::Ok(body.as_ref().clone()), false);
             }
-            let views = Arc::clone(&shared.views);
+            let metrics = shared.metrics.clone();
+            let ring = Arc::clone(&shared.ring);
+            let label = format!("{} {} R={big_r}", op.tag(), hash_hex(hash));
             let reply = run_pooled(shared, move || {
                 let (body, info) = engine::execute_traced(op, &inst, big_r, threads)?;
                 if let Some(i) = info {
-                    views.record(
-                        i.interned_nodes,
-                        i.logical_bytes,
-                        i.arena_bytes,
-                        i.peak_arena_bytes,
-                    );
+                    metrics.observe_solve(&i);
+                    let t = i.trace;
+                    ring.push(SolveTrace {
+                        trace_id: next_trace_id(),
+                        label,
+                        total_ns: t.total_ns,
+                        phases: vec![
+                            ("gather".into(), t.gather_ns),
+                            ("t_eval".into(), t.t_eval_ns),
+                            ("flood".into(), t.flood_ns),
+                            ("g".into(), t.g_ns),
+                        ],
+                    });
                 }
                 Ok(body)
             });
@@ -454,7 +476,7 @@ fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) ->
             // and drain rejections never reached a worker, so they are
             // neither hits nor misses.
             if !matches!(reply, Reply::Err(ErrorCode::Busy | ErrorCode::Shutdown, _)) {
-                Counters::bump(&shared.counters.cache_misses);
+                shared.metrics.cache_miss(op);
             }
             if let Reply::Ok(body) = &reply {
                 shared.engine.insert(key, Arc::new(body.clone()));
@@ -466,7 +488,9 @@ fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) ->
 
 /// Submits a closure to the worker pool and maps its outcome onto the
 /// wire. This is where backpressure (`BUSY`), per-request timeouts and
-/// panic isolation all become protocol-visible.
+/// panic isolation all become protocol-visible — and where the
+/// queue-wait vs execute split is measured: the submit instant is
+/// captured here, the pickup instant inside the task on its worker.
 fn run_pooled<F>(shared: &Shared, f: F) -> Reply
 where
     F: FnOnce() -> Result<String, String> + Send + 'static,
@@ -474,7 +498,17 @@ where
     if shared.shutting_down.load(Ordering::SeqCst) {
         return Reply::Err(ErrorCode::Shutdown, "server is draining".into());
     }
-    match shared.pool.submit(f) {
+    let queue_wait = shared.metrics.queue_wait.clone();
+    let execute = shared.metrics.execute.clone();
+    let submitted = Instant::now();
+    let task = move || {
+        let picked_up = Instant::now();
+        queue_wait.record(picked_up.duration_since(submitted).as_micros() as u64);
+        let result = f();
+        execute.record(picked_up.elapsed().as_micros() as u64);
+        result
+    };
+    match shared.pool.submit(task) {
         Err(SubmitError::Busy) => Reply::Err(
             ErrorCode::Busy,
             format!("queue full ({} deep); retry", shared.cfg.queue_cap),
@@ -532,9 +566,31 @@ fn checked_body(
     })
 }
 
+/// Refreshes the point-in-time gauges before a `METRICS` scrape.
+/// Counters and histograms are live at all times; only these
+/// snapshot-style values need a read at exposition.
+fn set_scrape_gauges(shared: &Shared) {
+    let m = &shared.metrics;
+    m.uptime_ms.set(shared.started.elapsed().as_millis() as u64);
+    m.queue_depth.set(shared.pool.queue_depth() as u64);
+    m.in_flight.set(shared.pool.in_flight() as u64);
+    m.connections_live
+        .set(shared.live_connections.load(Ordering::SeqCst) as u64);
+    let (cache_entries, cache_bytes, cache_evictions) = shared.engine.cache_stats();
+    m.cache_entries.set(cache_entries as u64);
+    m.cache_bytes.set(cache_bytes);
+    m.cache_evictions.set(cache_evictions);
+    let (store_entries, store_bytes) = shared.engine.store_stats();
+    m.store_entries.set(store_entries as u64);
+    m.store_bytes.set(store_bytes);
+}
+
+/// The historical `STATS` key/value body, now read off the same
+/// registry cells `METRICS` exposes. Keys and their order are stable —
+/// scripts parse this.
 fn render_stats(shared: &Shared) -> String {
-    let c = &shared.counters;
-    let lat = shared.latency.lock().expect("latency lock");
+    let m = &shared.metrics;
+    let lat = m.latency.snapshot();
     let (cache_entries, cache_bytes, cache_evictions) = shared.engine.cache_stats();
     let (store_entries, store_bytes) = shared.engine.store_stats();
     let mut out = String::new();
@@ -549,13 +605,13 @@ fn render_stats(shared: &Shared) -> String {
         "connections_live {}",
         shared.live_connections.load(Ordering::SeqCst)
     );
-    let _ = writeln!(out, "connections_total {}", Counters::read(&c.connections));
-    let _ = writeln!(out, "requests {}", Counters::read(&c.requests));
-    let _ = writeln!(out, "cache_hits {}", Counters::read(&c.cache_hits));
-    let _ = writeln!(out, "cache_misses {}", Counters::read(&c.cache_misses));
-    let _ = writeln!(out, "busy {}", Counters::read(&c.busy));
-    let _ = writeln!(out, "errors {}", Counters::read(&c.errors));
-    let _ = writeln!(out, "timeouts {}", Counters::read(&c.timeouts));
+    let _ = writeln!(out, "connections_total {}", m.connections.get());
+    let _ = writeln!(out, "requests {}", m.requests.get());
+    let _ = writeln!(out, "cache_hits {}", m.cache_hits_total());
+    let _ = writeln!(out, "cache_misses {}", m.cache_misses_total());
+    let _ = writeln!(out, "busy {}", m.busy.get());
+    let _ = writeln!(out, "errors {}", m.errors.get());
+    let _ = writeln!(out, "timeouts {}", m.timeouts.get());
     let _ = writeln!(out, "cache_entries {cache_entries}");
     let _ = writeln!(out, "cache_bytes {cache_bytes}");
     let _ = writeln!(out, "cache_evictions {cache_evictions}");
@@ -571,30 +627,30 @@ fn render_stats(shared: &Shared) -> String {
     let _ = writeln!(out, "warm_results {}", warm.results);
     let _ = writeln!(out, "persist_errors {}", shared.engine.persist_errors());
     // View-arena dedup aggregates over the flat-path cold solves.
-    let v = &shared.views;
-    let _ = writeln!(out, "flat_solves {}", Counters::read(&v.flat_solves));
-    let _ = writeln!(
-        out,
-        "view_interned_nodes {}",
-        Counters::read(&v.interned_nodes)
-    );
-    let _ = writeln!(
-        out,
-        "view_logical_bytes {}",
-        Counters::read(&v.logical_bytes)
-    );
-    let _ = writeln!(out, "view_arena_bytes {}", Counters::read(&v.arena_bytes));
-    let _ = writeln!(
-        out,
-        "view_peak_arena_bytes {}",
-        Counters::read(&v.peak_arena_bytes)
-    );
-    let _ = writeln!(out, "view_dedup_ratio {:.3}", v.dedup_ratio());
+    let _ = writeln!(out, "flat_solves {}", m.flat_solves.get());
+    let _ = writeln!(out, "view_interned_nodes {}", m.interned_nodes.get());
+    let _ = writeln!(out, "view_logical_bytes {}", m.logical_bytes.get());
+    let _ = writeln!(out, "view_arena_bytes {}", m.arena_bytes.get());
+    let _ = writeln!(out, "view_peak_arena_bytes {}", m.peak_arena_bytes.get());
+    let _ = writeln!(out, "view_dedup_ratio {:.3}", m.dedup_ratio());
     let _ = writeln!(out, "latency_samples {}", lat.total());
     let _ = writeln!(out, "latency_mean_us {}", lat.mean_us());
     let _ = writeln!(out, "p50_us {}", lat.percentile(0.50));
     let _ = writeln!(out, "p95_us {}", lat.percentile(0.95));
     let _ = writeln!(out, "p99_us {}", lat.percentile(0.99));
     let _ = writeln!(out, "max_us {}", lat.max_us());
+    // Span accounting over pooled tasks (new keys; appended so older
+    // parsers keep working).
+    let _ = writeln!(
+        out,
+        "queue_wait_p95_us {}",
+        m.queue_wait.snapshot().percentile(0.95)
+    );
+    let _ = writeln!(
+        out,
+        "execute_p95_us {}",
+        m.execute.snapshot().percentile(0.95)
+    );
+    let _ = writeln!(out, "traces_recorded {}", shared.ring.recorded());
     out
 }

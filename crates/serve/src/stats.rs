@@ -1,304 +1,362 @@
-//! Latency accounting shared by the server's `STATS` endpoint and the
-//! load generator's report: a bounded log-linear histogram (HDR-style)
-//! plus monotonic request counters.
+//! The server's metric surface, built on the `mmlp-obs` registry.
 //!
-//! The histogram buckets microsecond values with 8 linear sub-buckets
-//! per power of two, so any recorded value is off by at most 12.5%
-//! while the whole structure is a few hundred `u64`s — safe to keep
-//! hot forever in a long-running server.
+//! Earlier versions kept hand-rolled `AtomicU64` bundles here
+//! (`Counters`, `ViewCounters`) plus a mutex-guarded latency histogram.
+//! All of that now lives behind typed [`mmlp_obs`] handles registered
+//! once at bind time: hot paths pay one relaxed atomic per update, and
+//! the whole registry renders as Prometheus text for the `METRICS` wire
+//! op while `STATS` keeps its historical key/value format on top of the
+//! same cells.
+//!
+//! The [`Histogram`] the load generator aggregates client-side is the
+//! same log-linear structure the registry's histograms snapshot into;
+//! it is re-exported from `mmlp_obs` so `loadgen` and downstream users
+//! keep their import path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+pub use mmlp_obs::Histogram;
 
-/// Sub-buckets per power of two (8 → ≤ 12.5% relative error).
-const SUBS: usize = 8;
-/// Values 0..8 land in exact unit buckets; beyond that, log-linear.
-/// 34 octaves × 8 sub-buckets covers > 4 hours in microseconds.
-const OCTAVES: usize = 34;
-const BUCKETS: usize = SUBS + OCTAVES * SUBS;
+use crate::engine::SolveInfo;
+use crate::protocol::Op;
+use mmlp_obs::{Counter, Gauge, HistogramHandle, Registry};
+use std::sync::Arc;
 
-fn bucket_index(us: u64) -> usize {
-    if us < SUBS as u64 {
-        return us as usize;
-    }
-    let e = 63 - us.leading_zeros() as usize; // floor(log2), ≥ 3
-    let sub = ((us >> (e - 3)) & 7) as usize;
-    ((e - 2) * SUBS + sub).min(BUCKETS - 1)
-}
-
-fn bucket_floor(idx: usize) -> u64 {
-    if idx < SUBS {
-        return idx as u64;
-    }
-    let g = idx / SUBS;
-    let sub = (idx % SUBS) as u64;
-    let e = g + 2;
-    (SUBS as u64 + sub) << (e - 3)
-}
-
-/// A log-linear latency histogram over microseconds.
+/// Every instrument the server updates, registered on one shared
+/// [`Registry`]. Cloning shares the cells (handles are `Arc`-backed),
+/// so worker closures can carry the metrics without touching the
+/// registry lock again.
 #[derive(Clone)]
-pub struct Histogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum_us: u64,
-    max_us: u64,
-}
+pub struct ServeMetrics {
+    registry: Arc<Registry>,
 
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            counts: vec![0; BUCKETS],
-            total: 0,
-            sum_us: 0,
-            max_us: 0,
-        }
-    }
-
-    /// Records one latency sample, in microseconds.
-    pub fn record(&mut self, us: u64) {
-        self.counts[bucket_index(us)] += 1;
-        self.total += 1;
-        self.sum_us += us;
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Number of recorded samples.
-    pub fn total(&self) -> u64 {
-        self.total
-    }
-
-    /// Largest recorded sample (exact, not bucketed).
-    pub fn max_us(&self) -> u64 {
-        self.max_us
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> u64 {
-        self.sum_us.checked_div(self.total).unwrap_or(0)
-    }
-
-    /// The latency at quantile `q ∈ (0, 1]`, as the lower bound of the
-    /// bucket containing that rank (0 when empty).
-    pub fn percentile(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_floor(idx);
-            }
-        }
-        self.max_us
-    }
-
-    /// Folds another histogram into this one (loadgen aggregates one
-    /// per client thread).
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_us += other.sum_us;
-        self.max_us = self.max_us.max(other.max_us);
-    }
-
-    /// Renders the occupied buckets as an aligned text bar chart — the
-    /// loadgen's "latency histogram".
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        out.push_str("latency_us        count  share\n");
-        if self.total == 0 {
-            out.push_str("(no samples)\n");
-            return out;
-        }
-        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
-        for (idx, &c) in self.counts.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            let bar = "#".repeat(((c * 40).div_ceil(peak)) as usize);
-            let share = 100.0 * c as f64 / self.total as f64;
-            out.push_str(&format!(
-                "{:>12} {:>10} {:>5.1}% {}\n",
-                bucket_floor(idx),
-                c,
-                share,
-                bar
-            ));
-        }
-        out
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Monotonic server-wide counters, updated lock-free from connection
-/// threads and snapshotted by `STATS`.
-#[derive(Default)]
-pub struct Counters {
     /// Commands accepted and parsed (including `STATS` itself).
-    pub requests: AtomicU64,
-    /// Cacheable requests answered from the result cache.
-    pub cache_hits: AtomicU64,
-    /// Cacheable requests that had to run a solver.
-    pub cache_misses: AtomicU64,
+    pub requests: Counter,
+    /// Connections accepted over the server's lifetime.
+    pub connections: Counter,
     /// Requests bounced with `BUSY`.
-    pub busy: AtomicU64,
+    pub busy: Counter,
     /// Requests ending in any `ERR` reply other than `BUSY`.
-    pub errors: AtomicU64,
+    pub errors: Counter,
     /// Requests killed by the per-request timeout.
-    pub timeouts: AtomicU64,
-    /// Connections accepted.
-    pub connections: AtomicU64,
-}
+    pub timeouts: Counter,
 
-impl Counters {
-    /// Relaxed increment — counters are statistics, not synchronisation.
-    pub fn bump(field: &AtomicU64) {
-        field.fetch_add(1, Ordering::Relaxed);
-    }
+    /// Result-cache hits, one counter per cacheable [`Op`].
+    cache_hits: [Counter; 4],
+    /// Result-cache misses (cold solves), one counter per [`Op`].
+    cache_misses: [Counter; 4],
 
-    /// Relaxed read.
-    pub fn read(field: &AtomicU64) -> u64 {
-        field.load(Ordering::Relaxed)
-    }
-}
+    /// End-to-end request latency (parse → reply written), µs.
+    pub latency: HistogramHandle,
+    /// Time a pooled task waited in the queue before a worker picked it
+    /// up, µs.
+    pub queue_wait: HistogramHandle,
+    /// Time a pooled task spent executing on a worker, µs.
+    pub execute: HistogramHandle,
 
-/// Aggregate view-arena accounting over the cold `SOLVE`s served so far
-/// (the flat network path reports per-solve dedup numbers; `STATS`
-/// surfaces their running totals). Updated lock-free from worker
-/// threads.
-#[derive(Default)]
-pub struct ViewCounters {
     /// Cold solves that ran the flat network path.
-    pub flat_solves: AtomicU64,
+    pub flat_solves: Counter,
     /// Sum of unique interned view nodes across those solves.
-    pub interned_nodes: AtomicU64,
-    /// Sum of logical protocol payload bytes (what the trees would have
-    /// cost on the wire).
-    pub logical_bytes: AtomicU64,
+    pub interned_nodes: Counter,
+    /// Sum of logical protocol payload bytes (tree accounting).
+    pub logical_bytes: Counter,
     /// Sum of deduped arena bytes actually materialised.
-    pub arena_bytes: AtomicU64,
+    pub arena_bytes: Counter,
     /// Largest single-solve arena footprint seen.
-    pub peak_arena_bytes: AtomicU64,
+    pub peak_arena_bytes: Gauge,
+
+    /// Cumulative flat-solve phase wall time, one counter per phase
+    /// (`gather`, `t_eval`, `flood`, `g`), nanoseconds.
+    phase_ns: [Counter; 4],
+    /// Memo-table lookups by outcome (`hit`, `miss`, `skip`).
+    memo: [Counter; 3],
+
+    /// Server uptime (set at scrape time), milliseconds.
+    pub uptime_ms: Gauge,
+    /// Tasks waiting in the pool queue (scrape-time).
+    pub queue_depth: Gauge,
+    /// Tasks executing on workers (scrape-time).
+    pub in_flight: Gauge,
+    /// Live client connections (scrape-time).
+    pub connections_live: Gauge,
+    /// Result-cache entries / bytes / evictions (scrape-time).
+    pub cache_entries: Gauge,
+    /// Result-cache resident bytes (scrape-time).
+    pub cache_bytes: Gauge,
+    /// Result-cache evictions so far (scrape-time).
+    pub cache_evictions: Gauge,
+    /// Instance-store entries (scrape-time).
+    pub store_entries: Gauge,
+    /// Instance-store resident bytes (scrape-time).
+    pub store_bytes: Gauge,
 }
 
-impl ViewCounters {
-    /// Folds one solve's arena accounting into the aggregates.
-    pub fn record(&self, interned_nodes: u64, logical_bytes: u64, arena_bytes: u64, peak: u64) {
-        self.flat_solves.fetch_add(1, Ordering::Relaxed);
-        self.interned_nodes
-            .fetch_add(interned_nodes, Ordering::Relaxed);
-        self.logical_bytes
-            .fetch_add(logical_bytes, Ordering::Relaxed);
-        self.arena_bytes.fetch_add(arena_bytes, Ordering::Relaxed);
-        self.peak_arena_bytes.fetch_max(peak, Ordering::Relaxed);
+/// Phase names, in [`mmlp_core::distributed::FlatSolveTrace`] order.
+pub const PHASES: [&str; 4] = ["gather", "t_eval", "flood", "g"];
+
+const OPS: [Op; 4] = [Op::Solve, Op::Optimum, Op::Safe, Op::Info];
+
+fn op_slot(op: Op) -> usize {
+    op.code() as usize - 1
+}
+
+impl ServeMetrics {
+    /// Registers the full instrument set on a fresh registry. Called
+    /// once per server (`Server::bind`); everything after that is
+    /// handle updates.
+    pub fn new() -> Self {
+        let reg = Arc::new(Registry::new());
+        let cache_hits = OPS.map(|op| {
+            reg.counter_with(
+                "mmlp_serve_cache_hits_total",
+                &[("op", op.tag())],
+                "Cacheable requests answered from the result cache",
+            )
+        });
+        let cache_misses = OPS.map(|op| {
+            reg.counter_with(
+                "mmlp_serve_cache_misses_total",
+                &[("op", op.tag())],
+                "Cacheable requests that had to run a solver",
+            )
+        });
+        let phase_ns = PHASES.map(|p| {
+            reg.counter_with(
+                "mmlp_solver_phase_ns_total",
+                &[("phase", p)],
+                "Cumulative flat-solve phase wall time in nanoseconds",
+            )
+        });
+        let memo = ["hit", "miss", "skip"].map(|r| {
+            reg.counter_with(
+                "mmlp_solver_memo_lookups_total",
+                &[("result", r)],
+                "Flat-solve memo-table lookups by outcome",
+            )
+        });
+        ServeMetrics {
+            requests: reg.counter("mmlp_serve_requests_total", "Commands accepted and parsed"),
+            connections: reg.counter("mmlp_serve_connections_total", "Connections accepted"),
+            busy: reg.counter("mmlp_serve_busy_total", "Requests bounced with BUSY"),
+            errors: reg.counter(
+                "mmlp_serve_errors_total",
+                "Requests ending in a non-BUSY ERR reply",
+            ),
+            timeouts: reg.counter(
+                "mmlp_serve_timeouts_total",
+                "Requests killed by the per-request timeout",
+            ),
+            cache_hits,
+            cache_misses,
+            latency: reg.histogram(
+                "mmlp_serve_request_latency_us",
+                "End-to-end request latency in microseconds",
+            ),
+            queue_wait: reg.histogram(
+                "mmlp_serve_queue_wait_us",
+                "Queue wait before a worker picked the task up, microseconds",
+            ),
+            execute: reg.histogram(
+                "mmlp_serve_execute_us",
+                "Worker execution time per pooled task, microseconds",
+            ),
+            flat_solves: reg.counter(
+                "mmlp_solver_flat_solves_total",
+                "Cold solves that ran the flat network path",
+            ),
+            interned_nodes: reg.counter(
+                "mmlp_solver_view_interned_nodes_total",
+                "Unique view nodes interned across flat solves",
+            ),
+            logical_bytes: reg.counter(
+                "mmlp_solver_view_logical_bytes_total",
+                "Logical protocol payload bytes (tree accounting)",
+            ),
+            arena_bytes: reg.counter(
+                "mmlp_solver_view_arena_bytes_total",
+                "Deduped arena bytes actually materialised",
+            ),
+            peak_arena_bytes: reg.gauge(
+                "mmlp_solver_view_peak_arena_bytes",
+                "Largest single-solve arena footprint seen",
+            ),
+            phase_ns,
+            memo,
+            uptime_ms: reg.gauge("mmlp_serve_uptime_ms", "Server uptime in milliseconds"),
+            queue_depth: reg.gauge("mmlp_serve_queue_depth", "Tasks waiting in the pool queue"),
+            in_flight: reg.gauge("mmlp_serve_in_flight", "Tasks executing on workers"),
+            connections_live: reg.gauge("mmlp_serve_connections_live", "Live client connections"),
+            cache_entries: reg.gauge("mmlp_serve_cache_entries", "Result-cache entries"),
+            cache_bytes: reg.gauge("mmlp_serve_cache_bytes", "Result-cache resident bytes"),
+            cache_evictions: reg.gauge("mmlp_serve_cache_evictions", "Result-cache evictions"),
+            store_entries: reg.gauge("mmlp_serve_store_entries", "Instance-store entries"),
+            store_bytes: reg.gauge("mmlp_serve_store_bytes", "Instance-store resident bytes"),
+            registry: reg,
+        }
+    }
+
+    /// The underlying registry (for `METRICS` rendering).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Renders every instrument as Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// One result-cache hit for `op`.
+    pub fn cache_hit(&self, op: Op) {
+        self.cache_hits[op_slot(op)].inc();
+    }
+
+    /// One result-cache miss (a solve actually ran) for `op`.
+    pub fn cache_miss(&self, op: Op) {
+        self.cache_misses[op_slot(op)].inc();
+    }
+
+    /// Cache hits summed over ops (the historical `STATS` aggregate).
+    pub fn cache_hits_total(&self) -> u64 {
+        self.cache_hits.iter().map(Counter::get).sum()
+    }
+
+    /// Cache misses summed over ops.
+    pub fn cache_misses_total(&self) -> u64 {
+        self.cache_misses.iter().map(Counter::get).sum()
+    }
+
+    /// Folds one flat solve's accounting — arena dedup counters, phase
+    /// wall times, memo outcomes — into the aggregates.
+    pub fn observe_solve(&self, info: &SolveInfo) {
+        self.flat_solves.inc();
+        self.interned_nodes.add(info.interned_nodes);
+        self.logical_bytes.add(info.logical_bytes);
+        self.arena_bytes.add(info.arena_bytes);
+        self.peak_arena_bytes.set_max(info.peak_arena_bytes);
+        let t = &info.trace;
+        for (c, ns) in self
+            .phase_ns
+            .iter()
+            .zip([t.gather_ns, t.t_eval_ns, t.flood_ns, t.g_ns])
+        {
+            c.add(ns);
+        }
+        for (c, n) in
+            self.memo
+                .iter()
+                .zip([t.batch.memo_hits, t.batch.memo_misses, t.batch.memo_skips])
+        {
+            c.add(n);
+        }
     }
 
     /// Aggregate dedup ratio: logical bytes per arena byte (0 before
     /// the first flat solve).
     pub fn dedup_ratio(&self) -> f64 {
-        let arena = self.arena_bytes.load(Ordering::Relaxed);
+        let arena = self.arena_bytes.get();
         if arena == 0 {
             0.0
         } else {
-            self.logical_bytes.load(Ordering::Relaxed) as f64 / arena as f64
+            self.logical_bytes.get() as f64 / arena as f64
         }
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmlp_core::distributed::{BatchTelemetry, FlatSolveTrace};
 
-    #[test]
-    fn buckets_are_contiguous_and_monotone() {
-        let mut prev = 0;
-        for idx in 1..BUCKETS {
-            let f = bucket_floor(idx);
-            assert!(f > prev, "floor({idx}) = {f} ≤ floor({}) = {prev}", idx - 1);
-            prev = f;
-        }
-        // Every value maps into the bucket whose floor is ≤ it.
-        for v in [0u64, 1, 7, 8, 9, 100, 1023, 1024, 1_000_000, u64::MAX / 2] {
-            let idx = bucket_index(v);
-            assert!(bucket_floor(idx) <= v);
-            if idx + 1 < BUCKETS {
-                assert!(v < bucket_floor(idx + 1), "v={v} idx={idx}");
-            }
+    fn sample_info() -> SolveInfo {
+        SolveInfo {
+            interned_nodes: 10,
+            logical_bytes: 300,
+            arena_bytes: 100,
+            peak_arena_bytes: 64,
+            trace: FlatSolveTrace {
+                gather_ns: 5,
+                t_eval_ns: 7,
+                flood_ns: 3,
+                g_ns: 2,
+                total_ns: 20,
+                batch: BatchTelemetry {
+                    memo_hits: 4,
+                    memo_misses: 2,
+                    memo_skips: 1,
+                    workers: 1,
+                    chunks: 1,
+                    max_chunk_pulls: 1,
+                },
+            },
         }
     }
 
     #[test]
-    fn small_values_are_exact() {
-        let mut h = Histogram::new();
-        for v in 0..8 {
-            h.record(v);
-        }
-        for q in [0.01, 0.5, 1.0] {
-            let p = h.percentile(q);
-            assert!(p < 8);
-        }
-        assert_eq!(h.percentile(1.0), 7);
-        assert_eq!(h.percentile(0.125), 0);
+    fn cache_counters_are_per_op_and_sum() {
+        let m = ServeMetrics::new();
+        m.cache_hit(Op::Solve);
+        m.cache_hit(Op::Solve);
+        m.cache_hit(Op::Info);
+        m.cache_miss(Op::Optimum);
+        assert_eq!(m.cache_hits_total(), 3);
+        assert_eq!(m.cache_misses_total(), 1);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("mmlp_serve_cache_hits_total{op=\"solve\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mmlp_serve_cache_hits_total{op=\"info\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mmlp_serve_cache_misses_total{op=\"optimum\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]
-    fn percentiles_are_order_statistics_within_bucket_error() {
-        let mut h = Histogram::new();
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        let p50 = h.percentile(0.50);
-        let p95 = h.percentile(0.95);
-        let p99 = h.percentile(0.99);
-        assert!(p50 <= 500 && p50 as f64 >= 500.0 * 0.875, "p50 = {p50}");
-        assert!(p95 <= 950 && p95 as f64 >= 950.0 * 0.875, "p95 = {p95}");
-        assert!(p99 <= 990 && p99 as f64 >= 990.0 * 0.875, "p99 = {p99}");
-        assert!(p50 <= p95 && p95 <= p99);
-        assert_eq!(h.total(), 1000);
-        assert_eq!(h.max_us(), 1000);
-        assert_eq!(h.mean_us(), 500);
+    fn observe_solve_feeds_arena_phase_and_memo_series() {
+        let m = ServeMetrics::new();
+        m.observe_solve(&sample_info());
+        m.observe_solve(&sample_info());
+        assert_eq!(m.flat_solves.get(), 2);
+        assert_eq!(m.interned_nodes.get(), 20);
+        assert!((m.dedup_ratio() - 3.0).abs() < 1e-12);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("mmlp_solver_phase_ns_total{phase=\"gather\"} 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mmlp_solver_memo_lookups_total{result=\"hit\"} 8"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mmlp_solver_view_peak_arena_bytes 64"),
+            "{text}"
+        );
     }
 
     #[test]
-    fn merge_equals_recording_everything_in_one() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        let mut all = Histogram::new();
-        for v in 0..500 {
-            a.record(v * 3);
-            all.record(v * 3);
-        }
-        for v in 0..300 {
-            b.record(v * 7 + 1);
-            all.record(v * 7 + 1);
-        }
-        a.merge(&b);
-        assert_eq!(a.total(), all.total());
-        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
-            assert_eq!(a.percentile(q), all.percentile(q));
-        }
-        assert_eq!(a.max_us(), all.max_us());
+    fn dedup_ratio_is_zero_before_any_solve() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.dedup_ratio(), 0.0);
     }
 
     #[test]
-    fn render_lists_occupied_buckets() {
-        let mut h = Histogram::new();
-        h.record(5);
-        h.record(5);
-        h.record(100);
-        let r = h.render();
-        assert!(r.contains("latency_us"), "{r}");
-        assert!(r.lines().count() >= 3, "{r}");
-        assert!(Histogram::new().render().contains("no samples"));
+    fn clones_share_the_cells() {
+        let m = ServeMetrics::new();
+        let m2 = m.clone();
+        m.requests.inc();
+        m2.requests.inc();
+        assert_eq!(m.requests.get(), 2);
+        assert!(m2
+            .render_prometheus()
+            .contains("mmlp_serve_requests_total 2"));
     }
 }

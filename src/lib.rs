@@ -29,6 +29,11 @@
 //! * [`lab`] — the experiment-campaign subsystem: declarative grid
 //!   specs, a resumable parallel scheduler, structured JSONL results
 //!   and ratio/scaling reports (`maxmin-lp campaign …`).
+//! * [`obs`] — the observability layer: a lock-free metrics registry
+//!   (counters, gauges, log-bucketed histograms) with Prometheus text
+//!   exposition, solve spans with per-phase breakdowns, a bounded
+//!   trace ring and the phase-timeline renderer (`maxmin-lp obs`,
+//!   the server's `METRICS` op; `specs/OBSERVABILITY.md`).
 //! * [`serve`] — the concurrent solver service: a TCP line protocol
 //!   with a content-addressed result cache, bounded-queue backpressure
 //!   and a closed-loop load generator (`maxmin-lp serve` /
@@ -72,6 +77,7 @@ pub use mmlp_instance as instance;
 pub use mmlp_lab as lab;
 pub use mmlp_lp as lp;
 pub use mmlp_net as net;
+pub use mmlp_obs as obs;
 pub use mmlp_serve as serve;
 pub use mmlp_store as store;
 

@@ -6,6 +6,9 @@
 //! maxmin-lp safe <instance.mmlp>                         factor-ΔI baseline
 //! maxmin-lp generate <family> <size> <seed> [--out <f>]  emit an instance
 //! maxmin-lp info <instance.mmlp>                         sizes, degrees, paper bound
+//! maxmin-lp obs [--file <f>] [--size <n>] [--seed <s>] [-R <R>]
+//!               [--threads <n>] [--slowest <n>]        phase timelines
+//! maxmin-lp obs --addr <a>                             scrape METRICS
 //! maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet]
 //! maxmin-lp campaign report <dir> [--csv]
 //! maxmin-lp campaign status <dir>
@@ -50,6 +53,8 @@ fn usage() -> ExitCode {
          maxmin-lp optimum <file>\n  maxmin-lp safe <file>\n  \
          maxmin-lp generate <family> <size> <seed> [--out <file>]\n  \
          maxmin-lp info <file>\n  \
+         maxmin-lp obs [--file <f>] [--size <n>] [--seed <s>] [-R <R>] [--threads <n>] \
+         [--slowest <n>] | --addr <a>\n  \
          maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet]\n  \
          maxmin-lp campaign report <dir> [--csv]\n  \
          maxmin-lp campaign status <dir>\n  \
@@ -230,6 +235,7 @@ fn run(cmd: &str, rest: &[String]) -> Result<(), UsageError> {
             }
             Ok(())
         }
+        "obs" => obs_cmd(rest),
         "campaign" => {
             let sub = rest.first().ok_or(UsageError::Usage)?;
             campaign_cmd(sub, &rest[1..])
@@ -262,6 +268,130 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     std::fs::rename(&tmp, path).inspect_err(|_| {
         let _ = std::fs::remove_file(&tmp);
     })
+}
+
+/// `maxmin-lp obs …` — the observability report.
+///
+/// With `--addr`, scrapes a running server's `METRICS` op and prints
+/// the Prometheus text body. Otherwise runs **traced** flat distributed
+/// solves locally — over one `--file`, or the whole generator catalogue
+/// at `--size`/`--seed` — and renders the phase timeline of the slowest
+/// solves plus the memo-table aggregate.
+fn obs_cmd(rest: &[String]) -> Result<(), UsageError> {
+    use maxmin_lp::core::distributed::solve_distributed_flat_traced;
+    use maxmin_lp::core::transform::to_special_form;
+    use maxmin_lp::core::SpecialForm;
+    use maxmin_lp::obs::{next_trace_id, render_timeline, SolveTrace, TraceRing};
+
+    let mut addr: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut size = 16usize;
+    let mut seed = 0u64;
+    let mut big_r = 3usize;
+    let mut threads = 1usize;
+    let mut slowest = 8usize;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().ok_or(UsageError::Usage)?.clone()),
+            "--file" => file = Some(it.next().ok_or(UsageError::Usage)?.clone()),
+            "--size" => {
+                size = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s| *s >= 1)
+                    .ok_or(UsageError::Usage)?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(UsageError::Usage)?;
+            }
+            "-R" => {
+                big_r = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r| *r >= 2)
+                    .ok_or(UsageError::Usage)?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t| *t >= 1)
+                    .ok_or(UsageError::Usage)?;
+            }
+            "--slowest" => {
+                slowest = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .ok_or(UsageError::Usage)?;
+            }
+            _ => return Err(UsageError::Usage),
+        }
+    }
+
+    if let Some(addr) = addr {
+        // Scrape mode: print the server's registry verbatim.
+        let mut client = maxmin_lp::serve::client::Client::connect(&addr)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        let body = client.metrics().map_err(|e| e.to_string())?;
+        print!("{body}");
+        return Ok(());
+    }
+
+    // Trace mode: one traced solve per workload, ring-buffered exactly
+    // like the server's, then the slowest-first timeline.
+    let workloads: Vec<(String, Instance)> = match file {
+        Some(path) => vec![(path.clone(), load(&path)?)],
+        None => catalog()
+            .iter()
+            .map(|f| (f.name.to_string(), f.instance(size, seed)))
+            .collect(),
+    };
+    let ring = TraceRing::new(workloads.len().max(1));
+    let (mut hits, mut misses, mut skips) = (0u64, 0u64, 0u64);
+    for (name, inst) in &workloads {
+        let transformed = to_special_form(inst);
+        let sf = SpecialForm::new(transformed.instance.clone())
+            .map_err(|e| format!("{name}: special form: {e:?}"))?;
+        let (run, trace) = solve_distributed_flat_traced(&sf, big_r, threads);
+        hits += trace.batch.memo_hits;
+        misses += trace.batch.memo_misses;
+        skips += trace.batch.memo_skips;
+        ring.push(SolveTrace {
+            trace_id: next_trace_id(),
+            label: format!(
+                "{name} n={} R={big_r} rounds={}",
+                inst.n_agents(),
+                run.stats.rounds
+            ),
+            total_ns: trace.total_ns,
+            phases: vec![
+                ("gather".into(), trace.gather_ns),
+                ("t_eval".into(), trace.t_eval_ns),
+                ("flood".into(), trace.flood_ns),
+                ("g".into(), trace.g_ns),
+            ],
+        });
+    }
+    println!(
+        "# obs timeline R={big_r} threads={threads} ({} solve(s), slowest {})",
+        workloads.len(),
+        slowest.min(workloads.len())
+    );
+    print!("{}", render_timeline(&ring.slowest(slowest)));
+    let lookups = hits + misses + skips;
+    println!("# memo: {hits} hits / {misses} misses / {skips} skips");
+    if lookups > 0 {
+        println!(
+            "# memo hit rate {:.1}%",
+            100.0 * hits as f64 / lookups as f64
+        );
+    }
+    Ok(())
 }
 
 /// `maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>]
@@ -331,6 +461,10 @@ fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
     println!("errors {}", summary.errors);
     println!("timeouts {}", summary.timeouts);
     println!("connections {}", summary.connections);
+    if !summary.slowest.is_empty() {
+        println!("# slowest solves");
+        print!("{}", maxmin_lp::obs::render_timeline(&summary.slowest));
+    }
     Ok(())
 }
 
