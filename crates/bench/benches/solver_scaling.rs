@@ -44,7 +44,7 @@ mod dynamic_bench {
         for n_obj in [64usize, 256] {
             let sf = SpecialForm::new(cycle_special(n_obj, 1.0)).unwrap();
             group.bench_with_input(BenchmarkId::new("repair", n_obj), &sf, |b, sf| {
-                let mut solver = DynamicSolver::new(sf.clone(), 3);
+                let mut solver = DynamicSolver::new(sf.clone(), 3, 1);
                 let mut flip = false;
                 b.iter(|| {
                     flip = !flip;

@@ -500,7 +500,7 @@ fn t10_dynamic_updates() {
             let inst = mmlp_gen::special::cycle_special(n_obj, 1.0);
             let sf = SpecialForm::new(inst).unwrap();
             let n = sf.n_agents();
-            let mut dynamic = DynamicSolver::new(sf, big_r);
+            let mut dynamic = DynamicSolver::new(sf, big_r, 1);
             let rep = dynamic.update_constraint_coefs(ConstraintId::new(0), [2.0, 0.75]);
             table.row(vec![
                 n_obj.to_string(),

@@ -1,9 +1,12 @@
-//! Bench-trajectory sanity gate for `BENCH_core.json`.
+//! Bench-trajectory sanity gate for the committed `BENCH_*.json` files.
 //!
-//! Reads one mmlp-bench-json-v1 file (path as the sole argument,
+//! Reads one or more mmlp-bench-json-v1 files (paths as arguments,
 //! default `BENCH_core.json`) and fails — non-zero exit, one line per
 //! violated invariant — unless the committed medians keep the orderings
-//! this repo's perf story rests on:
+//! this repo's perf story rests on. The rule set is picked per file
+//! from its name:
+//!
+//! `BENCH_core.json`:
 //!
 //! 1. `distributed-solve/flat-threaded/4` < `distributed-solve/flat/4`
 //!    — threading the `t` batch must not cost (the PR-5 regression, now
@@ -17,10 +20,27 @@
 //!    R ∈ {3, 4} — instrumenting the flat hot path must cost at most
 //!    3% end to end (the `specs/OBSERVABILITY.md` overhead contract).
 //!
-//! CI runs this against the **committed** file (not a fresh run), so
+//! `BENCH_serve.json`:
+//!
+//! 5. `serve_cache/warm_hit/n` < `serve_cache/cold_solve/n` at every
+//!    benchmarked size — the result cache must pay for itself;
+//! 6. `serve_cache/warm_hit/64` ≤ 4 × `serve_cache/warm_hit/16` — the
+//!    hit path is a key probe, O(1) in instance size.
+//!
+//! `BENCH_delta.json` (the §1.3 dynamic corollary, measured):
+//!
+//! 7. `delta-solve/edit-rR/n` < `delta-solve/scratch-rR/n` at every
+//!    grid point — an incremental repair must beat starting over;
+//! 8. `delta-solve/edit-r2/n` ≤ `delta-solve/edit-r3/n` — repair cost
+//!    grows with the edit ball;
+//! 9. edit cost grows strictly slower than scratch cost across the
+//!    size axis (`edit·256 / edit·64 < scratch·256 / scratch·64`,
+//!    cross-multiplied) — delta cost tracks the ball, not the instance.
+//!
+//! CI runs this against the **committed** files (not a fresh run), so
 //! the gate is deterministic: it catches a PR committing numbers that
 //! lose an ordering, not machine noise. The procedure for regenerating
-//! the file honestly is the "how to claim a speedup" checklist in
+//! a file honestly is the "how to claim a speedup" checklist in
 //! `specs/PERF.md`.
 
 use std::collections::BTreeMap;
@@ -53,85 +73,187 @@ fn parse_medians(doc: &str) -> BTreeMap<String, u64> {
     out
 }
 
-fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_core.json".into());
-    let doc = match std::fs::read_to_string(&path) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("trajectory-gate: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+/// Rule helpers over one file's medians, accumulating failures.
+struct Gate<'a> {
+    medians: &'a BTreeMap<String, u64>,
+    failures: &'a mut Vec<String>,
+}
+
+impl Gate<'_> {
+    /// `fast` must be strictly faster than (or, with `strict` off, no
+    /// slower than) `slow`; both entries must exist when `required`.
+    fn check(&mut self, fast: &str, slow: &str, strict: bool, required: bool) {
+        match (self.medians.get(fast), self.medians.get(slow)) {
+            (Some(&f), Some(&s)) => {
+                let ok = if strict { f < s } else { f <= s };
+                if !ok {
+                    self.failures.push(format!(
+                        "{fast} ({f} ns) must be {} {slow} ({s} ns)",
+                        if strict { "<" } else { "≤" }
+                    ));
+                }
+            }
+            _ if required => {
+                self.failures
+                    .push(format!("missing entries: need both {fast} and {slow}"));
+            }
+            _ => {}
         }
-    };
-    let medians = parse_medians(&doc);
-    if medians.is_empty() {
-        eprintln!("trajectory-gate: no benchmark entries in {path}");
-        return ExitCode::FAILURE;
     }
 
-    let mut failures = Vec::new();
-    // `fast` must be strictly faster than (or, with `strict` off, no
-    // slower than) `slow`; both entries must exist when `required`.
-    let mut check = |fast: &str, slow: &str, strict: bool, required: bool| match (
-        medians.get(fast),
-        medians.get(slow),
-    ) {
-        (Some(&f), Some(&s)) => {
-            let ok = if strict { f < s } else { f <= s };
-            if !ok {
-                failures.push(format!(
-                    "{fast} ({f} ns) must be {} {slow} ({s} ns)",
-                    if strict { "<" } else { "≤" }
-                ));
+    /// `name` ≤ (num/den) × `base`, in exact integer arithmetic; both
+    /// entries required.
+    fn check_ratio(&mut self, name: &str, base: &str, num: u64, den: u64) {
+        match (self.medians.get(name), self.medians.get(base)) {
+            (Some(&n), Some(&b)) => {
+                if n * den > b * num {
+                    self.failures.push(format!(
+                        "{name} ({n} ns) must be ≤ {num}/{den} × {base} ({b} ns)"
+                    ));
+                }
             }
+            _ => self
+                .failures
+                .push(format!("missing entries: need both {name} and {base}")),
         }
-        _ if required => {
-            failures.push(format!("missing entries: need both {fast} and {slow}"));
-        }
-        _ => {}
-    };
+    }
+}
 
-    check(
+fn gate_core(g: &mut Gate) {
+    g.check(
         "distributed-solve/flat-threaded/4",
         "distributed-solve/flat/4",
         true,
         true,
     );
     for big_r in 2..=8 {
-        check(
+        g.check(
             &format!("view-eval-t/memoized/{big_r}"),
             &format!("view-eval-t/recursive/{big_r}"),
             false,
             big_r == 3 || big_r == 4,
         );
-        check(
+        g.check(
             &format!("distributed-solve/flat/{big_r}"),
             &format!("distributed-solve/legacy/{big_r}"),
             true,
             big_r == 3 || big_r == 4,
         );
     }
-
-    // The 3% observability-overhead contract, in exact integer
-    // arithmetic: traced·100 ≤ plain·103.
+    // The 3% observability-overhead contract: traced·100 ≤ plain·103.
     for big_r in [3u32, 4] {
-        let traced = format!("obs-overhead/traced/{big_r}");
-        let plain = format!("obs-overhead/plain/{big_r}");
-        match (medians.get(&traced), medians.get(&plain)) {
-            (Some(&t), Some(&p)) => {
-                if t * 100 > p * 103 {
-                    failures.push(format!(
-                        "{traced} ({t} ns) must be ≤ 1.03 × {plain} ({p} ns)"
+        g.check_ratio(
+            &format!("obs-overhead/traced/{big_r}"),
+            &format!("obs-overhead/plain/{big_r}"),
+            103,
+            100,
+        );
+    }
+}
+
+fn gate_serve(g: &mut Gate) {
+    for size in [16u32, 64] {
+        g.check(
+            &format!("serve_cache/warm_hit/{size}"),
+            &format!("serve_cache/cold_solve/{size}"),
+            true,
+            true,
+        );
+    }
+    // The hit path is a key build + LRU probe: O(1) in instance size.
+    g.check_ratio("serve_cache/warm_hit/64", "serve_cache/warm_hit/16", 4, 1);
+}
+
+fn gate_delta(g: &mut Gate) {
+    for big_r in [2u32, 3] {
+        for size in [64u32, 256] {
+            g.check(
+                &format!("delta-solve/edit-r{big_r}/{size}"),
+                &format!("delta-solve/scratch-r{big_r}/{size}"),
+                true,
+                true,
+            );
+        }
+        // Flat in instance size: 4× the agents may cost the repair at
+        // most 3.5× (BFS bookkeeping), while scratch grows ~linearly.
+        g.check_ratio(
+            &format!("delta-solve/edit-r{big_r}/256"),
+            &format!("delta-solve/edit-r{big_r}/64"),
+            7,
+            2,
+        );
+        // And strictly slower growth than from-scratch, cross-multiplied:
+        // edit256 · scratch64 < scratch256 · edit64.
+        let name = |kind: &str, size: u32| format!("delta-solve/{kind}-r{big_r}/{size}");
+        match (
+            g.medians.get(&name("edit", 256)),
+            g.medians.get(&name("scratch", 64)),
+            g.medians.get(&name("scratch", 256)),
+            g.medians.get(&name("edit", 64)),
+        ) {
+            (Some(&e256), Some(&s64), Some(&s256), Some(&e64)) => {
+                if e256 * s64 >= s256 * e64 {
+                    g.failures.push(format!(
+                        "delta repair must scale slower than scratch at R={big_r}: \
+                         edit 64→256 grew {e64}→{e256} ns vs scratch {s64}→{s256} ns"
                     ));
                 }
             }
-            _ => failures.push(format!("missing entries: need both {traced} and {plain}")),
+            _ => g
+                .failures
+                .push(format!("missing delta-solve entries at R={big_r}")),
+        }
+    }
+    for size in [64u32, 256] {
+        g.check(
+            &format!("delta-solve/edit-r2/{size}"),
+            &format!("delta-solve/edit-r3/{size}"),
+            false,
+            true,
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        paths.push("BENCH_core.json".into());
+    }
+
+    let mut failures = Vec::new();
+    let mut entries = 0usize;
+    for path in &paths {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("trajectory-gate: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let medians = parse_medians(&doc);
+        if medians.is_empty() {
+            eprintln!("trajectory-gate: no benchmark entries in {path}");
+            return ExitCode::FAILURE;
+        }
+        entries += medians.len();
+        let mut g = Gate {
+            medians: &medians,
+            failures: &mut failures,
+        };
+        let stem = path.rsplit('/').next().unwrap_or(path);
+        match stem {
+            s if s.contains("core") => gate_core(&mut g),
+            s if s.contains("serve") => gate_serve(&mut g),
+            s if s.contains("delta") => gate_delta(&mut g),
+            _ => {} // e.g. BENCH_store.json: parse-only for now
         }
     }
 
     if failures.is_empty() {
-        println!("trajectory-gate: {path} OK ({} entries)", medians.len());
+        println!(
+            "trajectory-gate: {} OK ({entries} entries)",
+            paths.join(" ")
+        );
         ExitCode::SUCCESS
     } else {
         for f in &failures {

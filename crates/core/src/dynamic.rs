@@ -5,36 +5,72 @@
 //! outputs inside that ball.
 //!
 //! [`DynamicSolver`] keeps the full `t`/`s`/`g`/`x` state of a
-//! special-form run and, on a constraint-coefficient update, recomputes
+//! special-form run and, on a constraint-coefficient edit, recomputes
 //! exactly the invalidated region:
 //!
-//! * `t_u` for agents whose alternating tree can reach the edited
-//!   constraint (distance ≤ `4r+3`),
-//! * `s_v` for agents whose smoothing ball contains a changed `t`
-//!   (distance ≤ `(4r+3) + (4r+2)`),
-//! * `g±`/`x` for agents whose recursion reads a changed `s` or the
-//!   edited coefficients (another `2(r+1) + 2`).
+//! | state | dirty radius around the edited constraint | why |
+//! |-------|-------------------------------------------|-----|
+//! | `t_u` | `4r+3` | `t_u` reads the depth-`4r+2` view of `u` |
+//! | `s_v` | `(4r+3) + (4r+2)` | `s_v` mins `t` over a `4r+2` ball |
+//! | `g±`, `x_v` | `+ 2(r+1) + 2` more | the depth-`r` recursion reads `s` two hops per level |
+//!
+//! Everything is repaired **in place** — the instance CSR, the
+//! special-form partner tables, the interner's network and the solution
+//! state all mutate without O(n) rebuilds — so one update costs
+//! O(Δ^O(R)), *constant in the network size*, which is what the
+//! `delta_solve` bench gates on.
 //!
 //! The recomputed state is **bit-identical** to a from-scratch solve
-//! (asserted in tests) while touching O(Δ^O(R)) agents — constant in the
-//! network size.
+//! (asserted across the generator catalogue and thread counts in tests).
+//!
+//! Views of dirty agents are re-interned into a persistent hash-consed
+//! [`ViewArena`]: subtrees untouched by the edit re-intern to their
+//! existing ids (no allocation), the generation-stamped
+//! [`FlatScratch`] memo extends in O(new ids), and [`UpdateReport`]
+//! carries the arena-reuse counters so callers can observe the §1.3
+//! locality claim directly.
+//!
+//! Structural edits (edge/agent/row changes, from
+//! [`mmlp_instance::delta`]) are handled by [`DynamicSolver::apply_delta`]
+//! with a from-scratch re-solve — the paper's dynamic model covers
+//! coefficient changes; structure changes re-validate the special form
+//! and rebuild, still reusing the arena.
 
-use crate::smoothing::{g_tables, output, SpecialRun};
-use crate::special::SpecialForm;
-use crate::tree_bound::{Scratch, TreeBound};
-use mmlp_instance::{AgentId, CommGraph, ConstraintId, InstanceBuilder};
+use crate::distributed::{t_from_arena, FlatScratch};
+use crate::smoothing::{solve_special, SpecialRun};
+use crate::special::{SpecialForm, SpecialFormError};
+use crate::unfold::ViewInterner;
+use mmlp_instance::delta::{Delta, DeltaError, Edit, RowKind};
+use mmlp_instance::{instance_hash, AgentId, CommGraph, ConstraintId, Node};
+use mmlp_net::{ViewArena, ViewId};
 
-/// Incremental maintainer of a special-form solution under coefficient
-/// updates.
+/// Incremental maintainer of a special-form solution under edits.
 pub struct DynamicSolver {
     sf: SpecialForm,
     graph: CommGraph,
     big_r: usize,
+    threads: usize,
     run: SpecialRun,
+    /// Persistent hash-consed store of every view interned so far, across
+    /// all revisions — unchanged subtrees re-intern to existing ids.
+    arena: ViewArena,
+    /// Ball-local view builder bound to the *current* revision's network.
+    interner: ViewInterner,
+    /// Persistent flat evaluator tables; extended (not rebuilt) as the
+    /// arena grows.
+    scratch: FlatScratch,
+    /// Current interned root view per agent.
+    roots: Vec<ViewId>,
+    /// BFS buffers (dirty-ball marking / smoothing balls), reused across
+    /// updates so an update allocates nothing O(n).
+    dist: Vec<u32>,
+    dist_queue: Vec<u32>,
+    ball: Vec<u32>,
+    ball_queue: Vec<u32>,
 }
 
-/// What one update touched.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// What one update touched — the observable form of the §1.3 claim.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UpdateReport {
     /// Agents whose `t_u` was recomputed.
     pub recomputed_t: usize,
@@ -42,19 +78,79 @@ pub struct UpdateReport {
     pub recomputed_s: usize,
     /// Agents whose `g±`/output was recomputed.
     pub recomputed_x: usize,
+    /// Interned nodes in the persistent arena before the update.
+    pub arena_before: usize,
+    /// Interned nodes the update added — the subtrees actually changed
+    /// by the edit; everything else hash-consed to existing ids.
+    pub arena_added: usize,
+    /// Re-interned dirty roots that resolved to their previous id (the
+    /// agent's whole view was outside the edit's reach).
+    pub roots_reused: usize,
+}
+
+/// Why a delta could not be applied to a [`DynamicSolver`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DynamicError {
+    /// The delta itself was invalid (wrong base, unknown target, bad
+    /// coefficient, …).
+    Delta(DeltaError),
+    /// The edited instance left the special form, so the incremental
+    /// solver cannot represent it. Callers fall back to the general
+    /// pipeline (`LocalSolver`).
+    NotSpecialForm(SpecialFormError),
+}
+
+impl std::fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicError::Delta(e) => write!(f, "invalid delta: {e}"),
+            DynamicError::NotSpecialForm(e) => {
+                write!(f, "edited instance leaves the special form: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+impl From<DeltaError> for DynamicError {
+    fn from(e: DeltaError) -> Self {
+        DynamicError::Delta(e)
+    }
 }
 
 impl DynamicSolver {
-    /// Solves from scratch and retains the state.
-    pub fn new(sf: SpecialForm, big_r: usize) -> Self {
+    /// Solves from scratch with `threads` workers on the flat path and
+    /// retains the state (plus the interned views of every agent, so the
+    /// first update already reuses the arena).
+    pub fn new(sf: SpecialForm, big_r: usize, threads: usize) -> Self {
         assert!(big_r >= 2);
-        let run = crate::smoothing::solve_special(&sf, big_r, 1);
+        let threads = threads.max(1);
+        let run = solve_special(&sf, big_r, threads);
         let graph = CommGraph::new(sf.instance());
+        let mut arena = ViewArena::new();
+        let mut interner = ViewInterner::new(sf.instance());
+        let depth = 4 * (big_r - 2) + 2;
+        let roots: Vec<ViewId> = sf
+            .instance()
+            .agents()
+            .map(|v| interner.intern(&mut arena, Node::Agent(v), depth))
+            .collect();
+        let n_nodes = graph.n_nodes();
         DynamicSolver {
             sf,
             graph,
             big_r,
+            threads,
             run,
+            arena,
+            interner,
+            scratch: FlatScratch::default(),
+            roots,
+            dist: vec![u32::MAX; n_nodes],
+            dist_queue: Vec::new(),
+            ball: vec![u32::MAX; n_nodes],
+            ball_queue: Vec::new(),
         }
     }
 
@@ -68,6 +164,140 @@ impl DynamicSolver {
         &self.run
     }
 
+    /// The locality parameter `R`.
+    pub fn big_r(&self) -> usize {
+        self.big_r
+    }
+
+    /// Worker threads used by from-scratch (re)solves.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Interned nodes currently held by the persistent arena.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Flat-evaluator memo counters `(hits, misses, skips)` accumulated
+    /// by incremental `t` repairs since construction.
+    pub fn memo_stats(&self) -> (u64, u64, u64) {
+        (
+            self.scratch.memo_hits(),
+            self.scratch.memo_misses(),
+            self.scratch.memo_skips(),
+        )
+    }
+
+    /// Applies a content-addressed [`Delta`] to the maintained instance.
+    ///
+    /// Constraint-coefficient edits (`set c …`) repair the solution
+    /// ball-locally; any structural edit falls back to a from-scratch
+    /// re-solve of the edited instance (which must still be special
+    /// form). Either way the maintained state is bit-identical to a
+    /// from-scratch solve of the new revision, and the delta is
+    /// all-or-nothing: on `Err` the solver state is unchanged.
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<UpdateReport, DynamicError> {
+        let actual = instance_hash(self.sf.instance());
+        if delta.base != actual {
+            return Err(DeltaError::BaseMismatch {
+                expected: delta.base,
+                actual,
+            }
+            .into());
+        }
+        let coef_only = delta.edits.iter().all(|e| {
+            matches!(
+                e,
+                Edit::SetCoef {
+                    row: RowKind::Constraint,
+                    ..
+                }
+            )
+        });
+        if !coef_only {
+            // Structural (or objective-side) edits: apply on a copy —
+            // all-or-nothing by construction — and re-solve.
+            let new_inst = delta
+                .apply(self.sf.instance())
+                .map_err(DynamicError::Delta)?;
+            let sf = SpecialForm::new(new_inst).map_err(DynamicError::NotSpecialForm)?;
+            return Ok(self.rebuild(sf));
+        }
+        // Coefficient edits leave the structure alone, so validating the
+        // whole batch against the current rows up front is exact — the
+        // repairs below then cannot fail half-way.
+        for e in &delta.edits {
+            let Edit::SetCoef {
+                row_id,
+                agent,
+                coef,
+                ..
+            } = e
+            else {
+                unreachable!("checked coef_only");
+            };
+            if *row_id as usize >= self.sf.instance().n_constraints() {
+                return Err(DeltaError::UnknownRow {
+                    row: RowKind::Constraint,
+                    row_id: *row_id,
+                }
+                .into());
+            }
+            let row = self
+                .sf
+                .instance()
+                .constraint_row(ConstraintId::new(*row_id));
+            if !row.iter().any(|en| en.agent == *agent) {
+                return Err(DeltaError::NoSuchEdge {
+                    row: RowKind::Constraint,
+                    row_id: *row_id,
+                    agent: agent.raw(),
+                }
+                .into());
+            }
+            if !(coef.is_finite() && *coef > 0.0) {
+                return Err(DeltaError::BadCoefficient { value: *coef }.into());
+            }
+        }
+        let mut total: Option<UpdateReport> = None;
+        for e in &delta.edits {
+            let Edit::SetCoef {
+                row_id,
+                agent,
+                coef,
+                ..
+            } = e
+            else {
+                unreachable!("checked coef_only");
+            };
+            let i = ConstraintId::new(*row_id);
+            let row = self.sf.instance().constraint_row(i);
+            let mut new_coefs = [row[0].coef, row[1].coef];
+            let slot = row
+                .iter()
+                .position(|en| en.agent == *agent)
+                .expect("validated above");
+            new_coefs[slot] = *coef;
+            let rep = self.repair_coef_edit(i, new_coefs);
+            total = Some(match total {
+                None => rep,
+                Some(t) => UpdateReport {
+                    recomputed_t: t.recomputed_t + rep.recomputed_t,
+                    recomputed_s: t.recomputed_s + rep.recomputed_s,
+                    recomputed_x: t.recomputed_x + rep.recomputed_x,
+                    arena_before: t.arena_before,
+                    arena_added: t.arena_added + rep.arena_added,
+                    roots_reused: t.roots_reused + rep.roots_reused,
+                },
+            });
+        }
+        Ok(total.unwrap_or(UpdateReport {
+            arena_before: self.arena.len(),
+            ..UpdateReport::default()
+        }))
+    }
+
     /// Replaces the two coefficients of constraint `i` (the constraint
     /// keeps its agents — a capacity re-weighting, the most common form
     /// of dynamic change in the fair-allocation applications) and
@@ -78,68 +308,74 @@ impl DynamicSolver {
         new_coefs: [f64; 2],
     ) -> UpdateReport {
         assert!(new_coefs.iter().all(|c| c.is_finite() && *c > 0.0));
+        self.repair_coef_edit(i, new_coefs)
+    }
+
+    /// The ball-local repair for one constraint-coefficient edit. Inputs
+    /// are pre-validated: `i` exists and the coefficients are positive
+    /// and finite.
+    fn repair_coef_edit(&mut self, i: ConstraintId, new_coefs: [f64; 2]) -> UpdateReport {
         let r = self.big_r - 2;
-
-        // Rebuild the instance with the edited row. (Rebuilding the CSR
-        // is O(n) bookkeeping; the claim of §1.3 concerns the *solution*
-        // recomputation, which is the expensive part. A production
-        // deployment would mutate in place.)
-        let old = self.sf.instance();
-        let mut b = InstanceBuilder::with_agents(old.n_agents());
-        for j in old.constraints() {
-            let row: Vec<(AgentId, f64)> = old
-                .constraint_row(j)
-                .iter()
-                .enumerate()
-                .map(|(slot, e)| {
-                    if j == i {
-                        (e.agent, new_coefs[slot])
-                    } else {
-                        (e.agent, e.coef)
-                    }
-                })
-                .collect();
-            b.add_constraint(&row).expect("edited row stays valid");
-        }
-        for k in old.objectives() {
-            let row: Vec<(AgentId, f64)> = old
-                .objective_row(k)
-                .iter()
-                .map(|e| (e.agent, e.coef))
-                .collect();
-            b.add_objective(&row).expect("copied objective");
-        }
-        let new_sf =
-            SpecialForm::new(b.build().expect("edit builds")).expect("edit keeps special form");
-        let graph = CommGraph::new(new_sf.instance());
-
-        // Invalidation balls around the edited constraint node.
-        let src = graph.constraint_index(i);
+        let depth = 4 * r + 2;
+        // Invalidation radii around the edited constraint node (see the
+        // module table).
         let r_t = (4 * r + 3) as u32;
         let r_s = r_t + (4 * r + 2) as u32;
         let r_x = r_s + (2 * (r + 1) + 2) as u32;
-        let dist = graph.bfs(src, r_x);
+        let n_agents = self.sf.n_agents();
 
-        let tb = TreeBound::new(&new_sf, self.big_r);
-        let mut sc = Scratch::default();
+        // Mark the dirty ball (the topology is untouched by a
+        // coefficient edit, so the retained graph and BFS buffers apply).
+        let src = self.graph.constraint_index(i);
+        self.graph
+            .bfs_into(src, r_x, &mut self.dist, &mut self.dist_queue);
+
+        // Mutate the maintained inputs in place: instance CSR + partner
+        // tables (special form) and the interner's agent-known ports.
+        let edited = {
+            let row = self.sf.instance().constraint_row(i);
+            [row[0].agent, row[1].agent]
+        };
+        self.sf.set_constraint_coefs(i, new_coefs);
+        self.interner
+            .set_constraint_coef(i, edited[0], new_coefs[0]);
+        self.interner
+            .set_constraint_coef(i, edited[1], new_coefs[1]);
+
+        // t: re-intern each dirty agent's view — subtrees the edit cannot
+        // reach hash-cons straight back to their existing ids — and
+        // re-evaluate from the arena with the persistent memo tables.
+        let arena_before = self.arena.len();
         let mut recomputed_t = 0;
-        for v in new_sf.instance().agents() {
-            if dist[v.idx()] <= r_t {
-                self.run.t[v.idx()] = tb.t(v, &mut sc);
+        let mut roots_reused = 0;
+        for v in self.sf.instance().agents() {
+            if self.dist[v.idx()] <= r_t {
+                let root = self.interner.intern(&mut self.arena, Node::Agent(v), depth);
+                if root == self.roots[v.idx()] {
+                    roots_reused += 1;
+                } else {
+                    self.roots[v.idx()] = root;
+                }
+                self.run.t[v.idx()] =
+                    t_from_arena(&self.arena, root, self.big_r, &mut self.scratch);
                 recomputed_t += 1;
             }
         }
+        let arena_added = self.arena.len() - arena_before;
 
         // s_v = min t over the radius-(4r+2) ball, for v near the edit.
-        let mut ball = vec![u32::MAX; graph.n_nodes()];
-        let mut queue = Vec::new();
         let mut recomputed_s = 0;
-        for v in new_sf.instance().agents() {
-            if dist[v.idx()] <= r_s {
-                graph.bfs_into(v.raw(), (4 * r + 2) as u32, &mut ball, &mut queue);
+        for v in self.sf.instance().agents() {
+            if self.dist[v.idx()] <= r_s {
+                self.graph.bfs_into(
+                    v.raw(),
+                    (4 * r + 2) as u32,
+                    &mut self.ball,
+                    &mut self.ball_queue,
+                );
                 let mut m = f64::INFINITY;
-                for &x in &queue {
-                    if (x as usize) < new_sf.n_agents() && ball[x as usize] != u32::MAX {
+                for &x in &self.ball_queue {
+                    if (x as usize) < n_agents && self.ball[x as usize] != u32::MAX {
                         m = m.min(self.run.t[x as usize]);
                     }
                 }
@@ -148,37 +384,103 @@ impl DynamicSolver {
             }
         }
 
-        // g±/x: recompute the full tables only over the affected region;
-        // reads outside it come from the retained (unchanged) state.
-        //
-        // The tables are small (r+1 levels × n agents), so recompute the
-        // recursion level by level but only write affected slots — the
-        // unaffected slots' dependencies are themselves unaffected, so
-        // the merged state equals a full recomputation.
-        let fresh_g = g_tables(&new_sf, &self.run.s, r);
-        let mut recomputed_x = 0;
-        for v in new_sf.instance().agents() {
-            if dist[v.idx()] <= r_x {
-                for d in 0..=r {
-                    self.run.g.g_plus[d][v.idx()] = fresh_g.g_plus[d][v.idx()];
-                    self.run.g.g_minus[d][v.idx()] = fresh_g.g_minus[d][v.idx()];
+        // g±/x: run the (12)–(14) recursion level by level **in place**
+        // over the affected agents only. Reads that land outside the
+        // write-set return retained values, which equal what a full
+        // recomputation would produce there — any slot the edit can
+        // influence at level d is within r_s + 2d < r_x — so the merged
+        // tables equal a from-scratch `g_tables` bit for bit.
+        let dirty: Vec<AgentId> = self
+            .sf
+            .instance()
+            .agents()
+            .filter(|v| self.dist[v.idx()] <= r_x)
+            .collect();
+        for d in 0..=r {
+            if d == 0 {
+                for &v in &dirty {
+                    self.run.g.g_plus[0][v.idx()] = self.sf.cap(v);
                 }
-                recomputed_x += 1;
+            } else {
+                for &v in &dirty {
+                    let val = self
+                        .sf
+                        .cons(v)
+                        .iter()
+                        .map(|cv| {
+                            (1.0 - cv.a_partner * self.run.g.g_minus[d - 1][cv.partner.idx()])
+                                / cv.a_own
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    self.run.g.g_plus[d][v.idx()] = val;
+                }
+            }
+            // (13) at level d reads g⁺ at the same level, so it runs
+            // after every dirty g⁺ slot of this level is written.
+            for &v in &dirty {
+                let sum: f64 = self
+                    .sf
+                    .others(v)
+                    .map(|w| self.run.g.g_plus[d][w.idx()])
+                    .sum();
+                self.run.g.g_minus[d][v.idx()] = (self.run.s[v.idx()] - sum).max(0.0);
             }
         }
-        let fresh_x = output(&new_sf, &self.run.g, self.big_r);
-        for v in new_sf.instance().agents() {
-            if dist[v.idx()] <= r_x {
-                *self.run.x.value_mut(v) = fresh_x.value(v);
+        let scale = 1.0 / (2.0 * self.big_r as f64);
+        for &v in &dirty {
+            let mut acc = 0.0;
+            for d in 0..=r {
+                acc += self.run.g.g_plus[d][v.idx()] + self.run.g.g_minus[d][v.idx()];
             }
+            *self.run.x.value_mut(v) = acc * scale;
         }
 
-        self.sf = new_sf;
-        self.graph = graph;
         UpdateReport {
             recomputed_t,
             recomputed_s,
-            recomputed_x,
+            recomputed_x: dirty.len(),
+            arena_before,
+            arena_added,
+            roots_reused,
+        }
+    }
+
+    /// Structural fallback: adopt `sf` as the new revision, re-solve from
+    /// scratch, and re-intern every agent view into the persistent arena
+    /// (unchanged regions still hash-cons to their old ids).
+    fn rebuild(&mut self, sf: SpecialForm) -> UpdateReport {
+        let run = solve_special(&sf, self.big_r, self.threads);
+        let graph = CommGraph::new(sf.instance());
+        let mut interner = ViewInterner::new(sf.instance());
+        let depth = 4 * (self.big_r - 2) + 2;
+        let arena_before = self.arena.len();
+        let n = sf.n_agents();
+        let mut roots = Vec::with_capacity(n);
+        let mut roots_reused = 0;
+        for v in sf.instance().agents() {
+            let root = interner.intern(&mut self.arena, Node::Agent(v), depth);
+            if self.roots.get(v.idx()) == Some(&root) {
+                roots_reused += 1;
+            }
+            roots.push(root);
+        }
+        let n_nodes = graph.n_nodes();
+        self.sf = sf;
+        self.graph = graph;
+        self.run = run;
+        self.interner = interner;
+        self.roots = roots;
+        self.dist = vec![u32::MAX; n_nodes];
+        self.dist_queue = Vec::new();
+        self.ball = vec![u32::MAX; n_nodes];
+        self.ball_queue = Vec::new();
+        UpdateReport {
+            recomputed_t: n,
+            recomputed_s: n,
+            recomputed_x: n,
+            arena_before,
+            arena_added: self.arena.len() - arena_before,
+            roots_reused,
         }
     }
 
@@ -194,6 +496,7 @@ mod tests {
     use super::*;
     use crate::smoothing::solve_special;
     use mmlp_gen::special::{cycle_special, random_special_form, SpecialFormConfig};
+    use mmlp_instance::InstanceBuilder;
 
     fn fixture(n_obj: usize, seed: u64) -> SpecialForm {
         SpecialForm::new(random_special_form(
@@ -208,12 +511,32 @@ mod tests {
         .unwrap()
     }
 
+    fn assert_bitwise_eq(dynamic: &DynamicSolver, reference: &SpecialRun, label: &str) {
+        for v in 0..dynamic.special_form().n_agents() {
+            assert_eq!(
+                dynamic.run().x.as_slice()[v].to_bits(),
+                reference.x.as_slice()[v].to_bits(),
+                "{label}: x mismatch at agent {v}"
+            );
+            assert_eq!(
+                dynamic.run().t[v].to_bits(),
+                reference.t[v].to_bits(),
+                "{label}: t mismatch at agent {v}"
+            );
+            assert_eq!(
+                dynamic.run().s[v].to_bits(),
+                reference.s[v].to_bits(),
+                "{label}: s mismatch at agent {v}"
+            );
+        }
+    }
+
     #[test]
     fn update_matches_full_recompute_bitwise() {
         for seed in 0..3 {
             let sf = fixture(30, seed);
             for big_r in [2, 3] {
-                let mut dynamic = DynamicSolver::new(sf.clone(), big_r);
+                let mut dynamic = DynamicSolver::new(sf.clone(), big_r, 1);
                 // Edit a few constraints in sequence.
                 for (step, cons) in [0u32, 7, 13].into_iter().enumerate() {
                     let i = ConstraintId::new(cons);
@@ -222,36 +545,43 @@ mod tests {
                     let new = [row[0].coef * factor, row[1].coef / factor];
                     dynamic.update_constraint_coefs(i, new);
                     let reference = solve_special(dynamic.special_form(), big_r, 1);
-                    for v in 0..dynamic.special_form().n_agents() {
-                        assert_eq!(
-                            dynamic.run().x.as_slice()[v].to_bits(),
-                            reference.x.as_slice()[v].to_bits(),
-                            "seed {seed} R {big_r} step {step} agent {v}"
-                        );
-                        assert_eq!(
-                            dynamic.run().t[v].to_bits(),
-                            reference.t[v].to_bits(),
-                            "t mismatch"
-                        );
-                        assert_eq!(
-                            dynamic.run().s[v].to_bits(),
-                            reference.s[v].to_bits(),
-                            "s mismatch"
-                        );
-                    }
+                    assert_bitwise_eq(
+                        &dynamic,
+                        &reference,
+                        &format!("seed {seed} R {big_r} step {step}"),
+                    );
                 }
             }
         }
     }
 
     #[test]
+    fn threaded_scratch_solve_is_bit_identical() {
+        // Satellite: `new` accepts a thread count, and the threaded flat
+        // path must agree with the scalar one bit for bit — both at
+        // construction and after an update.
+        let sf = fixture(40, 11);
+        let scalar = DynamicSolver::new(sf.clone(), 3, 1);
+        let mut threaded = DynamicSolver::new(sf, 3, 4);
+        assert_eq!(threaded.threads(), 4);
+        assert_bitwise_eq(&threaded, scalar.run(), "construction");
+        let i = ConstraintId::new(3);
+        let row = threaded.special_form().instance().constraint_row(i);
+        let new = [row[0].coef * 1.5, row[1].coef * 0.5];
+        threaded.update_constraint_coefs(i, new);
+        let reference = solve_special(threaded.special_form(), 3, 4);
+        assert_bitwise_eq(&threaded, &reference, "after update");
+    }
+
+    #[test]
     fn update_work_is_constant_in_network_size() {
         // On a cycle the horizon ball has constant size, so the work per
-        // update must not grow with the cycle length.
+        // update — including what the arena had to grow by — must not
+        // grow with the cycle length.
         let mut reports = Vec::new();
         for n_obj in [32, 128] {
             let sf = SpecialForm::new(cycle_special(n_obj, 1.0)).unwrap();
-            let mut dynamic = DynamicSolver::new(sf, 3);
+            let mut dynamic = DynamicSolver::new(sf, 3, 1);
             let rep = dynamic.update_constraint_coefs(ConstraintId::new(0), [2.0, 2.0]);
             reports.push(rep);
         }
@@ -260,12 +590,32 @@ mod tests {
             "update work must be independent of n on the cycle"
         );
         assert!(reports[0].recomputed_x < 64, "a constant-size ball");
+        assert!(
+            reports[0].arena_added > 0,
+            "an edit must intern some changed subtree"
+        );
+    }
+
+    #[test]
+    fn arena_reuse_shows_up_in_reports() {
+        let sf = fixture(40, 2);
+        let mut dynamic = DynamicSolver::new(sf, 3, 1);
+        let first = dynamic.update_constraint_coefs(ConstraintId::new(5), [1.5, 1.5]);
+        assert!(first.arena_before > 0, "construction interned all views");
+        // Re-apply the identical coefficients: every dirty subtree was
+        // already interned by the previous update, so the arena must not
+        // grow at all.
+        let again = dynamic.update_constraint_coefs(ConstraintId::new(5), [1.5, 1.5]);
+        assert_eq!(again.arena_added, 0, "identical revision re-interns fully");
+        assert_eq!(again.arena_before, first.arena_before + first.arena_added);
+        let (hits, misses, _) = dynamic.memo_stats();
+        assert!(hits + misses > 0, "t repairs went through the flat memo");
     }
 
     #[test]
     fn update_keeps_feasibility() {
         let sf = fixture(24, 5);
-        let mut dynamic = DynamicSolver::new(sf, 3);
+        let mut dynamic = DynamicSolver::new(sf, 3, 1);
         for cons in 0..6u32 {
             dynamic.update_constraint_coefs(ConstraintId::new(cons), [1.7, 0.9]);
             assert!(dynamic
@@ -279,7 +629,219 @@ mod tests {
     #[should_panic(expected = "> 0")]
     fn update_rejects_nonpositive_coefficients() {
         let sf = fixture(10, 0);
-        let mut dynamic = DynamicSolver::new(sf, 2);
+        let mut dynamic = DynamicSolver::new(sf, 2, 1);
         dynamic.update_constraint_coefs(ConstraintId::new(0), [0.0, 1.0]);
+    }
+
+    #[test]
+    fn zeroing_edit_is_rejected_and_state_survives() {
+        // "Zero this coefficient" is not a coefficient set — the edit
+        // model spells it `rmedge` (which leaves the special form, since
+        // |Vi| would drop to 1). Both spellings must fail cleanly and
+        // leave the solver exactly where it was.
+        let sf = fixture(20, 7);
+        let mut dynamic = DynamicSolver::new(sf, 3, 1);
+        let before: Vec<u64> = dynamic
+            .run()
+            .x
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let base = instance_hash(dynamic.special_form().instance());
+        let i = ConstraintId::new(1);
+        let agent = dynamic.special_form().instance().constraint_row(i)[0].agent;
+
+        let zero_set = Delta::single(
+            base,
+            Edit::SetCoef {
+                row: RowKind::Constraint,
+                row_id: 1,
+                agent,
+                coef: 0.0,
+            },
+        );
+        assert!(matches!(
+            dynamic.apply_delta(&zero_set),
+            Err(DynamicError::Delta(DeltaError::BadCoefficient { .. }))
+        ));
+
+        let remove = Delta::single(
+            base,
+            Edit::RemoveEdge {
+                row: RowKind::Constraint,
+                row_id: 1,
+                agent,
+            },
+        );
+        assert!(matches!(
+            dynamic.apply_delta(&remove),
+            Err(DynamicError::NotSpecialForm(
+                SpecialFormError::ConstraintDegree { .. }
+            ))
+        ));
+
+        let after: Vec<u64> = dynamic
+            .run()
+            .x
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(before, after, "failed deltas must not disturb the state");
+        assert_eq!(base, instance_hash(dynamic.special_form().instance()));
+    }
+
+    #[test]
+    fn structural_delta_rebuilds_bit_identically() {
+        // Adding a fresh constraint between two existing agents keeps
+        // the special form; apply_delta must take the rebuild path and
+        // land exactly on the from-scratch solve of the new revision.
+        let sf = fixture(16, 3);
+        let mut dynamic = DynamicSolver::new(sf, 3, 1);
+        let inst = dynamic.special_form().instance();
+        let (va, vb) = (AgentId::new(0), AgentId::new(1));
+        let d = Delta::single(
+            instance_hash(inst),
+            Edit::AddRow {
+                row: RowKind::Constraint,
+                entries: vec![(va, 0.8), (vb, 1.2)],
+            },
+        );
+        let rep = dynamic.apply_delta(&d).expect("structurally valid");
+        assert_eq!(rep.recomputed_x, dynamic.special_form().n_agents());
+        let reference = solve_special(dynamic.special_form(), 3, 1);
+        assert_bitwise_eq(&dynamic, &reference, "structural rebuild");
+        assert!(dynamic.special_form().instance().n_constraints() > 0);
+    }
+
+    #[test]
+    fn degree_one_frontier_agents_update_bitwise() {
+        // A chain whose endpoint agents sit in exactly one constraint:
+        //   objectives pair (v0,v1) (v2,v3) (v4,v5);
+        //   constraints chain (v0,v1) (v1,v2) (v2,v3) (v3,v4) (v4,v5).
+        // v0 and v5 have constraint-degree 1 and sit at the dirty-ball
+        // frontier for edits near the middle.
+        let mut b = InstanceBuilder::new();
+        let v: Vec<AgentId> = (0..6).map(|_| b.add_agent()).collect();
+        for pair in v.chunks(2) {
+            b.add_objective(&[(pair[0], 1.0), (pair[1], 1.0)]).unwrap();
+        }
+        for w in v.windows(2) {
+            b.add_constraint(&[(w[0], 1.0), (w[1], 1.3)]).unwrap();
+        }
+        let sf = SpecialForm::new(b.build().unwrap()).unwrap();
+        for big_r in [2, 3] {
+            let mut dynamic = DynamicSolver::new(sf.clone(), big_r, 1);
+            // Edit the middle constraint (v2,v3), then the endpoint ones.
+            for cons in [2u32, 0, 4] {
+                let i = ConstraintId::new(cons);
+                let row = dynamic.special_form().instance().constraint_row(i);
+                let new = [row[0].coef * 0.7, row[1].coef * 1.9];
+                dynamic.update_constraint_coefs(i, new);
+                let reference = solve_special(dynamic.special_form(), big_r, 1);
+                assert_bitwise_eq(&dynamic, &reference, &format!("R {big_r} cons {cons}"));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let sf = fixture(12, 1);
+        let mut dynamic = DynamicSolver::new(sf, 3, 1);
+        let base = instance_hash(dynamic.special_form().instance());
+        let rep = dynamic
+            .apply_delta(&Delta {
+                base,
+                edits: vec![],
+            })
+            .unwrap();
+        assert_eq!(rep.recomputed_x, 0);
+        assert_eq!(base, instance_hash(dynamic.special_form().instance()));
+    }
+
+    #[test]
+    fn wrong_base_hash_is_rejected() {
+        let sf = fixture(12, 1);
+        let mut dynamic = DynamicSolver::new(sf, 3, 1);
+        let d = Delta {
+            base: 0xbad,
+            edits: vec![],
+        };
+        assert!(matches!(
+            dynamic.apply_delta(&d),
+            Err(DynamicError::Delta(DeltaError::BaseMismatch { .. }))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::smoothing::solve_special;
+    use mmlp_gen::catalog::catalog;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Catalogue-wide §1.3 soundness: for every family that yields a
+        /// special-form instance, a random sequence of k coefficient
+        /// edits applied incrementally is bit-identical to a
+        /// from-scratch solve of the final revision — across thread
+        /// counts.
+        #[test]
+        fn k_incremental_edits_match_scratch_solve(
+            size in 16usize..40,
+            seed in 0u64..500,
+            k in 1usize..6,
+            threads in 1usize..4,
+        ) {
+            for fam in catalog() {
+                let inst = fam.instance(size, seed);
+                let Ok(sf) = SpecialForm::new(inst) else {
+                    continue; // general families go through the §4 transform instead
+                };
+                if sf.instance().n_constraints() == 0 {
+                    continue;
+                }
+                let mut dynamic = DynamicSolver::new(sf, 3, threads);
+                let mut mix = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ size as u64;
+                for step in 0..k {
+                    mix = mix
+                        .wrapping_add(0x2545_f491_4f6c_dd1d)
+                        .wrapping_mul(0x5851_f42d_4c95_7f2d);
+                    let n_cons = dynamic.special_form().instance().n_constraints() as u64;
+                    let i = ConstraintId::new((mix % n_cons) as u32);
+                    let factor = 0.5 + (mix >> 32) as f64 / u32::MAX as f64; // [0.5, 1.5)
+                    let row = dynamic.special_form().instance().constraint_row(i);
+                    let agent = row[(mix >> 16) as usize % 2].agent;
+                    let coef = row[(mix >> 16) as usize % 2].coef * factor;
+                    let base = instance_hash(dynamic.special_form().instance());
+                    let d = Delta::single(base, Edit::SetCoef {
+                        row: RowKind::Constraint,
+                        row_id: i.raw(),
+                        agent,
+                        coef,
+                    });
+                    dynamic.apply_delta(&d).expect("validated edit");
+                    prop_assert_ne!(
+                        base,
+                        instance_hash(dynamic.special_form().instance()),
+                        "family {} step {}: the edit must change the revision",
+                        fam.name, step
+                    );
+                }
+                let reference = solve_special(dynamic.special_form(), 3, 1);
+                for v in 0..dynamic.special_form().n_agents() {
+                    prop_assert_eq!(
+                        dynamic.run().x.as_slice()[v].to_bits(),
+                        reference.x.as_slice()[v].to_bits(),
+                        "family {} agent {}: x diverged from scratch solve",
+                        fam.name, v
+                    );
+                }
+            }
+        }
     }
 }

@@ -180,6 +180,41 @@ impl SpecialForm {
         &self.inst
     }
 
+    /// Replaces the two coefficients of constraint `i` in place (port
+    /// order), maintaining every derived table — the partner views of
+    /// both incident agents and their caps — in O(Δ).
+    ///
+    /// This is the special-form half of a §1.3 dynamic coefficient edit:
+    /// the structure is untouched, so no re-validation is needed, and
+    /// the result is exactly `SpecialForm::new` of the edited instance.
+    /// Panics on non-positive/non-finite coefficients (matching the
+    /// instance-level check).
+    pub fn set_constraint_coefs(&mut self, i: ConstraintId, new: [f64; 2]) {
+        self.inst
+            .set_constraint_coefs(i, &new)
+            .expect("coefficients must stay finite and > 0");
+        for e in self.inst.constraint_row(i) {
+            let v = e.agent;
+            let lo = self.cons_off[v.idx()] as usize;
+            let hi = self.cons_off[v.idx() + 1] as usize;
+            let mut c = f64::INFINITY;
+            for cv in &mut self.cons[lo..hi] {
+                if cv.cons == i {
+                    let row = self.inst.constraint_row(i);
+                    let (own, other) = if row[0].agent == v {
+                        (row[0], row[1])
+                    } else {
+                        (row[1], row[0])
+                    };
+                    cv.a_own = own.coef;
+                    cv.a_partner = other.coef;
+                }
+                c = c.min(1.0 / cv.a_own);
+            }
+            self.cap[v.idx()] = c;
+        }
+    }
+
     /// Number of agents.
     pub fn n_agents(&self) -> usize {
         self.inst.n_agents()
@@ -267,6 +302,30 @@ mod tests {
             let k = sf.k_of(v);
             assert!(sf.instance().objective_row(k).iter().any(|e| e.agent == v));
         }
+    }
+
+    #[test]
+    fn in_place_coef_set_matches_revalidation() {
+        let sf0 = SpecialForm::new(random_special_form(&SpecialFormConfig::default(), 9))
+            .expect("special");
+        let mut sf = sf0.clone();
+        let i = mmlp_instance::ConstraintId::new(2);
+        sf.set_constraint_coefs(i, [1.75, 0.4]);
+
+        // Reference: rebuild + re-validate the edited instance.
+        let mut inst = sf0.instance().clone();
+        inst.set_constraint_coefs(i, &[1.75, 0.4]).unwrap();
+        let fresh = SpecialForm::new(inst).expect("still special");
+
+        for v in sf.instance().agents() {
+            assert_eq!(sf.cons(v), fresh.cons(v), "partner views of {v}");
+            assert_eq!(sf.cap(v).to_bits(), fresh.cap(v).to_bits(), "cap of {v}");
+            assert_eq!(sf.k_of(v), fresh.k_of(v));
+        }
+        assert_eq!(
+            mmlp_instance::textfmt::write_instance(sf.instance()),
+            mmlp_instance::textfmt::write_instance(fresh.instance())
+        );
     }
 
     #[test]

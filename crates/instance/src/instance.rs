@@ -163,6 +163,43 @@ impl Instance {
             .fold(f64::INFINITY, |m, e| m.min(1.0 / e.coef))
     }
 
+    /// Replaces the coefficients of constraint `i`'s row **in place** —
+    /// row and agent-side transpose together, in O(|V_i| · Δ) with no
+    /// reallocation. `new` is in port order and must match the row
+    /// length.
+    ///
+    /// This is the delta fast path (`mmlp-core`'s dynamic solver repairs
+    /// a solution after a capacity re-weighting without rebuilding the
+    /// CSR); the instance stays exactly what [`InstanceBuilder`] would
+    /// have produced for the edited rows, so content hashing and port
+    /// numbering are unaffected beyond the new values.
+    pub fn set_constraint_coefs(&mut self, i: ConstraintId, new: &[f64]) -> Result<(), BuildError> {
+        let (lo, hi) = (
+            self.a_off[i.idx()] as usize,
+            self.a_off[i.idx() + 1] as usize,
+        );
+        assert_eq!(new.len(), hi - lo, "one coefficient per row entry");
+        for &c in new {
+            if !(c.is_finite() && c > 0.0) {
+                return Err(BuildError::BadCoefficient { value: c });
+            }
+        }
+        for (slot, &coef) in new.iter().enumerate() {
+            let agent = self.a_entries[lo + slot].agent;
+            self.a_entries[lo + slot].coef = coef;
+            let (alo, ahi) = (
+                self.va_off[agent.idx()] as usize,
+                self.va_off[agent.idx() + 1] as usize,
+            );
+            let t = self.va_entries[alo..ahi]
+                .iter_mut()
+                .find(|e| e.cons == i)
+                .expect("transpose mirrors the row");
+            t.coef = coef;
+        }
+        Ok(())
+    }
+
     /// Bulk constructor from raw CSR rows, the fast path of the binary
     /// codec (`mmlp-store`): validates everything the incremental
     /// builder would — offset shape, agent range, strictly-positive
@@ -788,5 +825,53 @@ mod tests {
         assert_eq!(inst.n_agents(), 0);
         assert_eq!(inst.n_constraints(), 0);
         assert_eq!(inst.n_objectives(), 0);
+    }
+
+    #[test]
+    fn in_place_coef_set_matches_rebuild() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        let v2 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0), (v1, 2.0)]).unwrap();
+        b.add_constraint(&[(v1, 0.5), (v2, 1.5)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v2, 1.0)]).unwrap();
+        let mut inst = b.build().unwrap();
+
+        inst.set_constraint_coefs(ConstraintId::new(1), &[3.25, 0.75])
+            .unwrap();
+        // Row and transpose agree and port order is untouched.
+        let e = |agent: u32, coef: f64| Entry {
+            agent: AgentId::new(agent),
+            coef,
+        };
+        let row = inst.constraint_row(ConstraintId::new(1));
+        assert_eq!(row[0], e(1, 3.25));
+        assert_eq!(row[1], e(2, 0.75));
+        assert_eq!(inst.a_coef(ConstraintId::new(1), v1), Some(3.25));
+        let t: Vec<f64> = inst.agent_constraints(v1).iter().map(|c| c.coef).collect();
+        assert_eq!(t, vec![2.0, 3.25]);
+        assert_eq!(inst.agent_cap(v1), 1.0 / 3.25);
+
+        // Identical to what the builder would have produced.
+        let mut b = InstanceBuilder::new();
+        let v0 = b.add_agent();
+        let v1 = b.add_agent();
+        let v2 = b.add_agent();
+        b.add_constraint(&[(v0, 1.0), (v1, 2.0)]).unwrap();
+        b.add_constraint(&[(v1, 3.25), (v2, 0.75)]).unwrap();
+        b.add_objective(&[(v0, 1.0), (v2, 1.0)]).unwrap();
+        let rebuilt = b.build().unwrap();
+        assert_eq!(
+            crate::textfmt::write_instance(&inst),
+            crate::textfmt::write_instance(&rebuilt)
+        );
+
+        // Invalid coefficients are refused without touching the row.
+        assert!(matches!(
+            inst.set_constraint_coefs(ConstraintId::new(0), &[0.0, 1.0]),
+            Err(BuildError::BadCoefficient { .. })
+        ));
+        assert_eq!(inst.a_coef(ConstraintId::new(0), v0), Some(1.0));
     }
 }

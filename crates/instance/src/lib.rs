@@ -34,6 +34,10 @@
 //! * [`validate`] — structural validation and the degeneracy report
 //!   corresponding to the standing assumptions of §4 of the paper.
 //! * [`textfmt`] — a small line-oriented serialisation format.
+//! * [`delta`] — the versioned edit model: content-addressed [`Delta`]
+//!   batches of [`Edit`]s with canonical text/binary encodings and the
+//!   revision [`Lineage`] `(base_hash, delta_hash) → new_hash` consumed
+//!   by the serve layer's `PUT_DELTA`/`SOLVE_DELTA` ops.
 //! * [`hash`] — stable FNV-1a content hashing and the canonical
 //!   [`instance_hash`] identity shared by the campaign log and the
 //!   solver service's content-addressed cache.
@@ -41,6 +45,7 @@
 //! Everything downstream (`mmlp-lp`, `mmlp-net`, `mmlp-core`, `mmlp-gen`)
 //! consumes these types.
 
+pub mod delta;
 pub mod graph;
 pub mod hash;
 pub mod ids;
@@ -50,6 +55,7 @@ pub mod stats;
 pub mod textfmt;
 pub mod validate;
 
+pub use delta::{Delta, DeltaError, Edit, Lineage, RowKind};
 pub use graph::{Adj, CommGraph, Node, NodeKind};
 pub use hash::{fnv1a64, fnv1a64_words, hash_hex, instance_hash, parse_hash_hex, Fnv1a};
 pub use ids::{AgentId, ConstraintId, ObjectiveId};

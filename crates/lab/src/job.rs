@@ -27,6 +27,13 @@ pub enum SolverKind {
     /// port-numbered simulator (bit-identical to `Local`, but with
     /// round/message/byte accounting).
     Distributed,
+    /// The §1.3 dynamic corollary: boot a [`DynamicSolver`] on the
+    /// instance, stream a chain of random coefficient edits through it,
+    /// and certify the repaired state bit-identical to a from-scratch
+    /// solve after every edit. Requires a special-form family.
+    ///
+    /// [`DynamicSolver`]: mmlp_core::dynamic::DynamicSolver
+    Mutating,
 }
 
 impl SolverKind {
@@ -37,6 +44,7 @@ impl SolverKind {
             SolverKind::Safe => "safe",
             SolverKind::Exact => "exact",
             SolverKind::Distributed => "distributed",
+            SolverKind::Mutating => "mutating",
         }
     }
 
@@ -47,6 +55,7 @@ impl SolverKind {
             "safe" => Some(SolverKind::Safe),
             "exact" => Some(SolverKind::Exact),
             "distributed" => Some(SolverKind::Distributed),
+            "mutating" => Some(SolverKind::Mutating),
             _ => None,
         }
     }
@@ -55,16 +64,20 @@ impl SolverKind {
     /// `R`. R-insensitive solvers get a single job per grid point
     /// instead of one per R value.
     pub fn uses_r(&self) -> bool {
-        matches!(self, SolverKind::Local | SolverKind::Distributed)
+        matches!(
+            self,
+            SolverKind::Local | SolverKind::Distributed | SolverKind::Mutating
+        )
     }
 
     /// All solver kinds, in spec order.
-    pub fn all() -> [SolverKind; 4] {
+    pub fn all() -> [SolverKind; 5] {
         [
             SolverKind::Local,
             SolverKind::Safe,
             SolverKind::Exact,
             SolverKind::Distributed,
+            SolverKind::Mutating,
         ]
     }
 }

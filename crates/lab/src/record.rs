@@ -100,6 +100,13 @@ pub struct JobRecord {
     pub memo_hits: u64,
     /// Memo-table misses during the flat solve.
     pub memo_misses: u64,
+    /// Edits streamed through the dynamic solver (mutating jobs;
+    /// 0 otherwise — likewise `recomputed_x` below).
+    pub edits: u64,
+    /// Agents whose output was recomputed across the whole edit chain —
+    /// `recomputed_x / edits` against `agents` is the measured dirty-ball
+    /// fraction of the §1.3 corollary.
+    pub recomputed_x: u64,
     /// Error/panic description (empty when ok).
     pub error: String,
 }
@@ -135,6 +142,8 @@ impl JobRecord {
             g_ns: 0,
             memo_hits: 0,
             memo_misses: 0,
+            edits: 0,
+            recomputed_x: 0,
             error,
         }
     }
@@ -168,7 +177,9 @@ impl JobRecord {
             .int("flood_ns", self.flood_ns)
             .int("g_ns", self.g_ns)
             .int("memo_hits", self.memo_hits)
-            .int("memo_misses", self.memo_misses);
+            .int("memo_misses", self.memo_misses)
+            .int("edits", self.edits)
+            .int("recomputed_x", self.recomputed_x);
         if !self.error.is_empty() {
             w.str("error", &self.error);
         }
@@ -235,6 +246,10 @@ impl JobRecord {
             g_ns: get("g_ns").and_then(|v| v.as_u64()).unwrap_or(0),
             memo_hits: get("memo_hits").and_then(|v| v.as_u64()).unwrap_or(0),
             memo_misses: get("memo_misses").and_then(|v| v.as_u64()).unwrap_or(0),
+            // Added with the delta workload: logs written before the
+            // mutating job kind decode with a zero edit chain.
+            edits: get("edits").and_then(|v| v.as_u64()).unwrap_or(0),
+            recomputed_x: get("recomputed_x").and_then(|v| v.as_u64()).unwrap_or(0),
             error: get("error")
                 .and_then(|v| v.as_str())
                 .unwrap_or("")
@@ -276,6 +291,8 @@ mod tests {
             g_ns: 4_000,
             memo_hits: 512,
             memo_misses: 64,
+            edits: 3,
+            recomputed_x: 17,
             error: String::new(),
         }
     }
@@ -353,6 +370,18 @@ mod tests {
         assert_eq!(back.t_eval_ns, 0);
         assert_eq!(back.memo_hits, 0);
         assert_eq!(back.memo_misses, 0);
+    }
+
+    #[test]
+    fn pre_delta_lines_decode_with_zero_edit_chain() {
+        // Logs written before the mutating job kind lack the edit-chain
+        // fields; they decode as an un-mutated measurement.
+        let line = sample().to_json_line();
+        let stripped = line.replace(",\"edits\":3,\"recomputed_x\":17", "");
+        assert_ne!(line, stripped, "sample must carry the delta fields");
+        let back = JobRecord::from_json_line(&stripped).unwrap();
+        assert_eq!(back.edits, 0);
+        assert_eq!(back.recomputed_x, 0);
     }
 
     #[test]

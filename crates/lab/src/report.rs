@@ -413,6 +413,8 @@ mod tests {
             g_ns: 0,
             memo_hits: 0,
             memo_misses: 0,
+            edits: 0,
+            recomputed_x: 0,
             status: JobStatus::Ok,
             error: String::new(),
             job_id: job.id(),

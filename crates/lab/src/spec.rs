@@ -8,7 +8,7 @@
 //! sizes 12 24                 # ≥ 1 instance sizes
 //! seeds 0 1 2                 # ≥ 1 seeds
 //! R 2 3                       # ≥ 1 locality parameters (each ≥ 2)
-//! solvers local safe          # ≥ 1 of: local safe exact distributed
+//! solvers local safe          # ≥ 1 of: local safe exact distributed mutating
 //! timeout_ms 60000            # optional per-job timeout (0 = none)
 //! workers 4                   # optional scheduler thread count
 //! ```

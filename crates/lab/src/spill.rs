@@ -6,8 +6,8 @@
 //! completed measurement under the same content-addressed identity the
 //! solver service uses: the generated instance goes in as an instance
 //! record, and the job's JSONL record goes in as a result record under
-//! the lab's own `op` namespace (codes 16–19, one per
-//! [`SolverKind`] — disjoint from the service's 1–4, so a campaign and
+//! the lab's own `op` namespace (codes 16–20, one per
+//! [`SolverKind`] — disjoint from the service's 1–6, so a campaign and
 //! a server can share one store directory without colliding).
 
 use crate::exec::generate_instance;
@@ -27,6 +27,7 @@ pub fn op_code(solver: SolverKind) -> u8 {
             SolverKind::Safe => 1,
             SolverKind::Exact => 2,
             SolverKind::Distributed => 3,
+            SolverKind::Mutating => 4,
         }
 }
 
@@ -210,6 +211,6 @@ mod tests {
     #[test]
     fn op_codes_are_disjoint_from_the_service_namespace() {
         let codes: Vec<u8> = SolverKind::all().iter().map(|s| op_code(*s)).collect();
-        assert_eq!(codes, vec![16, 17, 18, 19]);
+        assert_eq!(codes, vec![16, 17, 18, 19, 20]);
     }
 }

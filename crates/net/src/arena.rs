@@ -5,7 +5,8 @@
 //! observes that balls in the unfolding share almost all of their
 //! subtrees: two non-backtracking walks that end in the same node with
 //! the same remaining budget see *identical* futures. A recursive
-//! [`crate::view::ViewTree`] pays for that sharing with exponential
+//! `ViewTree` (the legacy representation, now behind the `legacy-tree`
+//! feature) pays for that sharing with exponential
 //! duplication — every message deep-clones the whole ball — whereas the
 //! natural representation is a hash-consed DAG:
 //!
@@ -20,12 +21,13 @@
 //!
 //! The arena tracks both accountings: the **logical** tree metrics
 //! (`size`, `depth`, `tree_bytes` — exactly what the recursive
-//! [`crate::view::ViewTree`] would report, used for faithful message-
+//! `ViewTree` would report, used for faithful message-
 //! byte accounting) and the **deduped** footprint (`unique_bytes`, the
 //! bytes the arena actually stores, each interned node counted once).
 //! Their quotient is the dedup ratio surfaced in [`crate::RunStats`].
 
 use crate::topology::NodeInfo;
+#[cfg(any(test, feature = "legacy-tree"))]
 use crate::view::{ViewChild, ViewTree};
 use mmlp_instance::NodeKind;
 use std::collections::HashMap;
@@ -351,7 +353,7 @@ impl ViewArena {
     }
 
     /// Builds the depth-`t+1` view from the depth-`t` views received on
-    /// each port — the arena form of [`ViewTree::from_inbox`]: the
+    /// each port — the arena form of the legacy `ViewTree::from_inbox`: the
     /// sender-port slot of each delivered subtree becomes the back edge,
     /// silent ports become cuts; kind, port kinds and coefficients come
     /// from `own`.
@@ -367,7 +369,9 @@ impl ViewArena {
     }
 
     /// Interns a legacy recursive tree (conversion layer for
-    /// cross-checks and the lower-bound experiment).
+    /// cross-checks and the lower-bound experiment; compiled only for
+    /// tests and under the `legacy-tree` feature — deprecation step 3).
+    #[cfg(any(test, feature = "legacy-tree"))]
     pub fn intern_tree(&mut self, tree: &ViewTree) -> ViewId {
         let children: Vec<u32> = tree
             .children
@@ -381,7 +385,10 @@ impl ViewArena {
         self.intern(tree.kind, &tree.port_kinds, &tree.coefs, &children)
     }
 
-    /// Expands an interned view back into the legacy recursive tree.
+    /// Expands an interned view back into the legacy recursive tree
+    /// (compiled only for tests and under the `legacy-tree` feature —
+    /// deprecation step 3).
+    #[cfg(any(test, feature = "legacy-tree"))]
     pub fn to_tree(&self, id: ViewId) -> ViewTree {
         ViewTree {
             kind: self.kind(id),

@@ -18,11 +18,14 @@
 //!   each node's (anonymous) local input.
 //! * [`engine`] — sequential and crossbeam-parallel round executors for
 //!   any [`engine::Protocol`]; both produce bit-identical results.
-//! * [`view`] — full-information *view-tree gathering*: after `D` rounds
+//! * [`view`] — full-information *view gathering*: after `D` rounds
 //!   every node holds its radius-`D` view of the **unfolding** (universal
 //!   cover) of the network, which is the canonical way to implement any
 //!   local algorithm (§4.1). Message sizes are accounted, exposing the
-//!   exponential cost of full-information gathering.
+//!   exponential cost of full-information gathering. The production
+//!   gather is [`view::gather_views_flat`] on the arena; the recursive
+//!   `ViewTree` path compiles only for tests and under the
+//!   `legacy-tree` feature (deprecation step 3).
 //! * [`arena`] — the hash-consed **flat view arena**: structurally equal
 //!   subtrees interned once, subtree equality as an integer compare,
 //!   payloads as arena ids. [`view::gather_views_flat`] gathers the same
@@ -50,4 +53,9 @@ pub use engine::{Payload, Protocol, RunResult};
 pub use lanes::{min_lanes, min_recip_where, LANES};
 pub use stats::RunStats;
 pub use topology::{Network, NodeInfo, PortInfo};
-pub use view::{gather_views, gather_views_flat, FlatViews, ViewChild, ViewTree};
+pub use view::{gather_views_flat, FlatViews};
+// ViewTree deprecation step 3: the recursive tree and its clone-based
+// gathering protocol are no longer part of the default public surface;
+// they remain the cross-check oracle for tests and `legacy-tree` users.
+#[cfg(any(test, feature = "legacy-tree"))]
+pub use view::{gather_views, ViewChild, ViewTree};

@@ -18,14 +18,28 @@
 //! the ball size (exponentially in `D` for expander-ish networks), which
 //! the byte accounting makes visible — this is the price of the generic
 //! full-information approach.
+//!
+//! **Deprecation status (step 3).** The production gather is
+//! [`gather_views_flat`] on the hash-consed [`ViewArena`]; the recursive
+//! `ViewTree`, its clone-based protocol and `gather_views` are the
+//! cross-check oracle only, compiled for this crate's tests and under
+//! the `legacy-tree` feature.
 
 use crate::arena::{ViewArena, ViewId};
+#[cfg(any(test, feature = "legacy-tree"))]
 use crate::engine::{self, Payload, Protocol, RunResult};
 use crate::stats::RunStats;
-use crate::topology::{Network, NodeInfo};
+use crate::topology::Network;
+#[cfg(any(test, feature = "legacy-tree"))]
+use crate::topology::NodeInfo;
+#[cfg(any(test, feature = "legacy-tree"))]
 use mmlp_instance::NodeKind;
 
 /// What a node sees through one of its ports in its view tree.
+///
+/// Legacy representation (ViewTree deprecation step 3): compiled only
+/// for this crate's tests and under the `legacy-tree` feature.
+#[cfg(any(test, feature = "legacy-tree"))]
 #[derive(Clone, Debug, PartialEq)]
 pub enum ViewChild {
     /// The edge through which this subtree was entered (towards the view
@@ -38,6 +52,12 @@ pub enum ViewChild {
 }
 
 /// The (truncated) unfolded neighbourhood of a node.
+///
+/// Legacy representation (ViewTree deprecation step 3): every in-tree
+/// consumer now runs on the hash-consed [`ViewArena`]; the recursive
+/// tree survives only as the cross-check oracle, compiled for this
+/// crate's tests and under the `legacy-tree` feature.
+#[cfg(any(test, feature = "legacy-tree"))]
 #[derive(Clone, Debug, PartialEq)]
 pub struct ViewTree {
     /// Kind of this node.
@@ -54,6 +74,7 @@ pub struct ViewTree {
     pub children: Vec<ViewChild>,
 }
 
+#[cfg(any(test, feature = "legacy-tree"))]
 impl ViewTree {
     /// Number of tree nodes (this node plus all `Sub` descendants).
     pub fn size(&self) -> usize {
@@ -128,6 +149,7 @@ impl ViewTree {
     }
 }
 
+#[cfg(any(test, feature = "legacy-tree"))]
 impl Payload for ViewTree {
     fn size_bytes(&self) -> usize {
         // kind tag + per-port child tag + coefficients + recursion.
@@ -147,20 +169,24 @@ impl Payload for ViewTree {
 /// The gathering protocol: in round `t` every node sends its depth-`t`
 /// view (tagged with the sending port so the receiver can mark the back
 /// edge); after `D` rounds every node holds its depth-`D` view.
+#[cfg(any(test, feature = "legacy-tree"))]
 struct GatherViews {
     depth: usize,
 }
 
+#[cfg(any(test, feature = "legacy-tree"))]
 struct GatherState {
     view: ViewTree,
 }
 
+#[cfg(any(test, feature = "legacy-tree"))]
 impl GatherViews {
     fn absorb(state: &mut GatherState, _node: &NodeInfo, inbox: &mut [Option<(u32, ViewTree)>]) {
         state.view = ViewTree::from_inbox(&state.view, inbox);
     }
 }
 
+#[cfg(any(test, feature = "legacy-tree"))]
 impl Protocol for GatherViews {
     type State = GatherState;
     type Message = (u32, ViewTree);
@@ -205,6 +231,11 @@ impl Protocol for GatherViews {
 
 /// Gathers every node's radius-`depth` view; returns the views (indexed
 /// by flat node index, agents first) and the run accounting.
+///
+/// Legacy protocol (ViewTree deprecation step 3): cross-check oracle
+/// for [`gather_views_flat`], compiled only for this crate's tests and
+/// under the `legacy-tree` feature.
+#[cfg(any(test, feature = "legacy-tree"))]
 pub fn gather_views(net: &Network, depth: usize) -> (Vec<ViewTree>, RunStats) {
     let RunResult { states, stats } = engine::run(net, &GatherViews { depth });
     (states.into_iter().map(|s| s.view).collect(), stats)
@@ -218,13 +249,13 @@ pub struct FlatViews {
     /// Radius-`depth` view id of each node (flat index, agents first).
     pub roots: Vec<ViewId>,
     /// Accounting: `messages`/`bytes` report the **logical** protocol
-    /// cost (identical to [`gather_views`], as if full trees were
-    /// serialised), while `interned_nodes`/`arena_bytes` report the
-    /// deduped footprint actually materialised.
+    /// cost (identical to the legacy `gather_views` protocol, as if full
+    /// trees were serialised), while `interned_nodes`/`arena_bytes`
+    /// report the deduped footprint actually materialised.
     pub stats: RunStats,
 }
 
-/// [`gather_views`] on the flat arena: the same round structure — in
+/// Legacy `gather_views` on the flat arena: the same round structure — in
 /// round `t` every node sends its depth-`t` view on every port — but a
 /// message is an interned [`ViewId`] instead of a deep-cloned tree, and
 /// absorbing an inbox interns at most one new node per delivered
@@ -232,9 +263,10 @@ pub struct FlatViews {
 /// `depth` on expander-ish networks) to `O(Σ degree)`.
 ///
 /// The returned roots satisfy `arena.to_tree(roots[x]) ==
-/// gather_views(net, depth).0[x]` exactly (asserted in tests), and the
-/// logical message/byte accounting is bit-identical to the legacy
-/// protocol's.
+/// gather_views(net, depth).0[x]` exactly (asserted in tests against
+/// the legacy protocol, which is compiled only for tests and under the
+/// `legacy-tree` feature), and the logical message/byte accounting is
+/// bit-identical to the legacy protocol's.
 pub fn gather_views_flat(net: &Network, depth: usize) -> FlatViews {
     let n = net.n_nodes();
     let graph = net.graph();

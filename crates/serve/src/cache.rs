@@ -177,6 +177,18 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         self.evictions += 1;
     }
 
+    /// Removes `key`, returning its value. Used by the delta
+    /// coordinator, which takes a solver out of the cache while it
+    /// advances revisions and re-inserts it under the new key.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        let slot = self.slots[idx].take().expect("live slot");
+        self.used -= slot.cost;
+        self.free.push(idx);
+        Some(slot.value)
+    }
+
     /// Drops every entry (budget unchanged).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -256,6 +268,20 @@ mod tests {
         }
         assert_eq!(c.len(), 2);
         assert!(c.slots.len() <= 3, "slab must recycle, not grow");
+    }
+
+    #[test]
+    fn remove_returns_the_value_and_frees_budget() {
+        let mut c: Lru<u32, &'static str> = Lru::new(30);
+        c.insert(1, "one", 10);
+        c.insert(2, "two", 10);
+        assert_eq!(c.remove(&1), Some("one"));
+        assert_eq!(c.remove(&1), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 10);
+        // The freed slot and budget are reusable.
+        assert!(c.insert(3, "three", 20));
+        assert!(c.contains(&2) && c.contains(&3));
     }
 
     #[test]

@@ -114,6 +114,54 @@ impl Client {
         }))
     }
 
+    /// `PUT_DELTA`s delta text; returns the reply's
+    /// `(base, delta, new)` hashes on success.
+    pub fn put_delta(
+        &mut self,
+        delta_text: &str,
+    ) -> std::io::Result<Result<(String, String, String), String>> {
+        let reply = self.request(
+            &format!("PUT_DELTA {}", delta_text.len()),
+            Some(delta_text.as_bytes()),
+        )?;
+        Ok(reply.into_ok().and_then(|body| {
+            let field = |key: &str| {
+                body.lines()
+                    .find_map(|l| l.strip_prefix(key).map(|v| v.trim().to_string()))
+                    .ok_or_else(|| format!("missing '{key}' in PUT_DELTA reply: {body:?}"))
+            };
+            Ok((field("base ")?, field("delta ")?, field("new ")?))
+        }))
+    }
+
+    /// `SOLVE_DELTA` of a registered revision hash.
+    pub fn solve_delta_hash(
+        &mut self,
+        revision: &str,
+        big_r: usize,
+        threads: usize,
+    ) -> std::io::Result<ClientReply> {
+        self.request(
+            &run_line(Op::SolveDelta, &format!("hash:{revision}"), big_r, threads),
+            None,
+        )
+    }
+
+    /// `SOLVE_DELTA` with the delta text sent inline: registers the
+    /// revision like `PUT_DELTA` and solves it in one round trip.
+    pub fn solve_delta_inline(
+        &mut self,
+        delta_text: &str,
+        big_r: usize,
+        threads: usize,
+    ) -> std::io::Result<ClientReply> {
+        let src = format!("inline:{}", delta_text.len());
+        self.request(
+            &run_line(Op::SolveDelta, &src, big_r, threads),
+            Some(delta_text.as_bytes()),
+        )
+    }
+
     /// Runs `op` against a previously `PUT` instance.
     pub fn run_hash(
         &mut self,
@@ -175,9 +223,10 @@ fn run_line(op: Op, src: &str, big_r: usize, threads: usize) -> String {
         Op::Optimum => "OPTIMUM",
         Op::Safe => "SAFE",
         Op::Info => "INFO",
+        Op::SolveDelta => "SOLVE_DELTA",
     };
     match op {
-        Op::Solve => format!("{verb} {src} R={big_r} THREADS={threads}"),
+        Op::Solve | Op::SolveDelta => format!("{verb} {src} R={big_r} THREADS={threads}"),
         _ => format!("{verb} {src}"),
     }
 }

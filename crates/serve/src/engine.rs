@@ -16,9 +16,11 @@
 //! asserts exactly that over real sockets.
 
 use crate::cache::Lru;
-use crate::protocol::{ErrorCode, Op};
+use crate::delta::{DeltaCoordinator, DeltaSolveInfo};
+use crate::protocol::{ErrorCode, Op, LINEAGE_OP_CODE};
 use mmlp_core::safe::safe_solution;
 use mmlp_core::solver::LocalSolver;
+use mmlp_instance::delta::{Delta, Lineage};
 use mmlp_instance::hash::{hash_hex, instance_hash};
 use mmlp_instance::{textfmt, DegreeStats, Instance};
 use mmlp_lp::solve_maxmin;
@@ -47,7 +49,7 @@ impl CacheKey {
     /// equivalent requests share one entry.
     pub fn new(instance: u64, op: Op, big_r: usize, threads: usize) -> Self {
         let (big_r, threads) = match op {
-            Op::Solve => (big_r, threads),
+            Op::Solve | Op::SolveDelta => (big_r, threads),
             // OPTIMUM/SAFE/INFO ignore both parameters.
             _ => (0, 1),
         };
@@ -70,6 +72,8 @@ pub struct WarmStart {
     pub instances: u64,
     /// Result bodies loaded into the result cache.
     pub results: u64,
+    /// Delta lineage edges replayed into the revision graph.
+    pub lineage: u64,
 }
 
 /// The cache + store pair behind the server (and the bench), with an
@@ -81,6 +85,7 @@ pub struct WarmStart {
 pub struct Engine {
     results: Mutex<Lru<CacheKey, Arc<String>>>,
     store: Mutex<Lru<u64, Arc<Instance>>>,
+    delta: DeltaCoordinator,
     persist: Option<Store>,
     persist_errors: AtomicU64,
     warm: WarmStart,
@@ -93,6 +98,9 @@ impl Engine {
         Engine {
             results: Mutex::new(Lru::new(cache_bytes)),
             store: Mutex::new(Lru::new(store_bytes)),
+            // Parked delta solvers share the instance-store budget: both
+            // hold O(instance) state, so one knob bounds both.
+            delta: DeltaCoordinator::new(store_bytes),
             persist: None,
             persist_errors: AtomicU64::new(0),
             warm: WarmStart::default(),
@@ -146,6 +154,23 @@ impl Engine {
                         warm.results += 1;
                     }
                 }
+            }
+            // Lineage records (op namespace 5) rebuild the revision
+            // graph in full — they are tiny (one delta text each) and
+            // not LRU-budgeted, so a restarted node can replay any
+            // registered chain from segments on demand.
+            for (rkey, _len) in persist.result_records() {
+                if rkey.op != LINEAGE_OP_CODE {
+                    continue;
+                }
+                let Some(text) = persist.get_result(&rkey)? else {
+                    continue;
+                };
+                let Ok(delta) = Delta::parse_text(&text) else {
+                    continue; // tolerate a damaged record; chains re-boot
+                };
+                engine.delta.record(rkey.instance, delta.base, text);
+                warm.lineage += 1;
             }
         }
         Ok(Engine {
@@ -254,6 +279,85 @@ impl Engine {
         let s = self.store.lock().expect("store lock");
         (s.len(), s.used())
     }
+
+    /// Registers an edit delta (canonical or liberal text) against its
+    /// base revision: validates and applies it, stores the new revision
+    /// instance, records the lineage edge, and persists both when a
+    /// store is mounted. Returns the content-hashed lineage triple.
+    pub fn put_delta(&self, text: &str) -> Result<Lineage, EngineError> {
+        let delta = Delta::parse_text(text)
+            .map_err(|e| (ErrorCode::BadDelta, format!("delta parse: {e}")))?;
+        let base = self
+            .store
+            .lock()
+            .expect("store lock")
+            .get(&delta.base)
+            .cloned();
+        let base = base.ok_or_else(|| {
+            (
+                ErrorCode::NoBase,
+                format!(
+                    "no base revision {} (PUT it or register its lineage first)",
+                    hash_hex(delta.base)
+                ),
+            )
+        })?;
+        let (new_inst, lineage) = delta
+            .apply_hashed(&base)
+            .map_err(|e| (ErrorCode::BadDelta, format!("delta apply: {e}")))?;
+        // Store the new revision exactly like a PUT of its text would,
+        // so SOLVE/INFO by the new hash work immediately.
+        let canonical = textfmt::write_instance(&new_inst);
+        let cost = canonical.len() as u64;
+        let new_inst = Arc::new(new_inst);
+        {
+            let mut store = self.store.lock().expect("store lock");
+            if store.get(&lineage.new).is_none()
+                && !store.insert(lineage.new, Arc::clone(&new_inst), cost)
+            {
+                return Err((
+                    ErrorCode::BadReq,
+                    format!("revision ({cost} bytes) exceeds the store budget"),
+                ));
+            }
+        }
+        let canonical_delta = delta.to_text();
+        self.delta
+            .record(lineage.new, lineage.base, canonical_delta.clone());
+        if let Some(p) = &self.persist {
+            self.note_persist(p.put_instance(&new_inst));
+            self.note_persist(p.put_result(
+                ResultKey {
+                    instance: lineage.new,
+                    op: LINEAGE_OP_CODE,
+                    big_r: 0,
+                    threads: 0,
+                },
+                &canonical_delta,
+            ));
+        }
+        Ok(lineage)
+    }
+
+    /// Incrementally solves a registered revision via the delta
+    /// coordinator (warm / advanced / booted — see [`crate::delta`]).
+    /// The body is bit-identical to `SOLVE` of the same revision.
+    pub fn solve_delta(
+        &self,
+        revision: u64,
+        big_r: usize,
+        threads: usize,
+    ) -> Result<(String, DeltaSolveInfo), EngineError> {
+        self.delta.solve(revision, big_r, threads, |h| {
+            self.store.lock().expect("store lock").get(&h).cloned()
+        })
+    }
+
+    /// `(lineage edges, parked solvers, parked solver bytes)`.
+    pub fn delta_stats(&self) -> (usize, usize, u64) {
+        let (solvers, bytes) = self.delta.solver_stats();
+        (self.delta.lineage_len(), solvers, bytes)
+    }
 }
 
 /// Per-solve view-arena accounting, reported by the flat network path
@@ -326,6 +430,12 @@ pub fn execute_traced(
             for v in inst.agents() {
                 let _ = writeln!(out, "x {} {}", v.raw(), x.value(v));
             }
+        }
+        // SOLVE_DELTA never reaches the stateless executor: the server
+        // routes it to the delta coordinator, which owns the parked
+        // solvers its bodies are rendered from.
+        Op::SolveDelta => {
+            return Err("SOLVE_DELTA is handled by the delta coordinator".into());
         }
         Op::Info => {
             let s = DegreeStats::of(inst);
@@ -480,7 +590,8 @@ mod tests {
             e.warm_start(),
             WarmStart {
                 instances: 1,
-                results: 1
+                results: 1,
+                lineage: 0
             }
         );
         let back = e.fetch(key.instance).unwrap();
@@ -521,10 +632,100 @@ mod tests {
             e.warm_start(),
             WarmStart {
                 instances: 1,
-                results: 0
+                results: 0,
+                lineage: 0
             }
         );
         assert_eq!(e.cache_stats().0, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn special_inst() -> Instance {
+        catalog()
+            .iter()
+            .find(|f| f.name == "special-form")
+            .unwrap()
+            .instance(16, 1)
+    }
+
+    /// A one-edit delta text bumping constraint 0's first coefficient.
+    fn bump_delta(inst: &Instance) -> String {
+        let e = inst.constraint_row(mmlp_instance::ids::ConstraintId::new(0))[0];
+        format!(
+            "mmlpdelta 1\nbase {}\nset c 0 {}:{}\n",
+            hash_hex(instance_hash(inst)),
+            e.agent.raw(),
+            e.coef * 1.5
+        )
+    }
+
+    #[test]
+    fn put_delta_registers_a_solvable_revision() {
+        let e = Engine::new(1 << 20, 1 << 20);
+        let base = special_inst();
+        e.put(&textfmt::write_instance(&base)).unwrap();
+        let delta_text = bump_delta(&base);
+        let lin = e.put_delta(&delta_text).unwrap();
+        assert_eq!(lin.base, instance_hash(&base));
+        assert_ne!(lin.new, lin.base);
+        // The new revision is fetchable and SOLVE_DELTA's body is
+        // bit-identical to a from-scratch SOLVE of it.
+        let new_inst = e.fetch(lin.new).unwrap();
+        let (body, info) = e.solve_delta(lin.new, 3, 1).unwrap();
+        assert_eq!(body, execute(Op::Solve, &new_inst, 3, 1).unwrap());
+        assert!(info.recomputed_x > 0);
+        let (edges, solvers, bytes) = e.delta_stats();
+        assert_eq!((edges, solvers), (1, 1));
+        assert!(bytes > 0);
+        // Re-registering the same delta is idempotent.
+        assert_eq!(e.put_delta(&delta_text).unwrap(), lin);
+        assert_eq!(e.delta_stats().0, 1);
+    }
+
+    #[test]
+    fn put_delta_maps_failures_to_typed_codes() {
+        let e = Engine::new(1 << 20, 1 << 20);
+        assert_eq!(e.put_delta("junk").unwrap_err().0, ErrorCode::BadDelta);
+        // Well-formed delta against a base this node never saw.
+        let orphan = "mmlpdelta 1\nbase 00000000deadbeef\nset c 0 0:1.5\n";
+        assert_eq!(e.put_delta(orphan).unwrap_err().0, ErrorCode::NoBase);
+        // Valid base, invalid edit target.
+        let base = special_inst();
+        let h = e.put(&textfmt::write_instance(&base)).unwrap();
+        let bad = format!("mmlpdelta 1\nbase {}\nset c 9999 0:1.5\n", hash_hex(h));
+        assert_eq!(e.put_delta(&bad).unwrap_err().0, ErrorCode::BadDelta);
+        // Unregistered revision under SOLVE_DELTA.
+        assert_eq!(e.solve_delta(0xbad, 3, 1).unwrap_err().0, ErrorCode::NoBase);
+    }
+
+    #[test]
+    fn restart_replays_lineage_and_solves_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "mmlp-engine-lineage-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = special_inst();
+        let (lin, before);
+        {
+            let (store, _) = Store::open(&dir).unwrap();
+            let e = Engine::with_store(1 << 20, 1 << 20, store).unwrap();
+            e.put(&textfmt::write_instance(&base)).unwrap();
+            lin = e.put_delta(&bump_delta(&base)).unwrap();
+            before = e.solve_delta(lin.new, 3, 1).unwrap().0;
+            assert_eq!(e.persist_errors(), 0);
+        }
+        // A fresh engine on the same segments: the lineage edge is
+        // replayed at warm start and the chain re-solves from the
+        // stored base, bit-identically.
+        let (store, _) = Store::open(&dir).unwrap();
+        let e = Engine::with_store(1 << 20, 1 << 20, store).unwrap();
+        assert_eq!(e.warm_start().lineage, 1);
+        assert_eq!(e.warm_start().instances, 2, "base + revision persisted");
+        let (after, info) = e.solve_delta(lin.new, 3, 1).unwrap();
+        assert_eq!(after, before);
+        assert_eq!(info.replayed, 1, "restart chain is re-derived, not warm");
         std::fs::remove_dir_all(&dir).ok();
     }
 

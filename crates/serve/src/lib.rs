@@ -37,6 +37,14 @@
 //!   body; `METRICS` exposes the same cells as Prometheus text, and a
 //!   bounded trace ring remembers the slowest recent solves
 //!   (`specs/OBSERVABILITY.md`).
+//! * [`delta`] — incremental re-solves as a first-class workload:
+//!   `PUT_DELTA` registers a content-hashed edit against a base
+//!   revision and `SOLVE_DELTA` answers from a pool of parked
+//!   [`mmlp_core::dynamic::DynamicSolver`]s, repairing only the edit's
+//!   dirty ball instead of re-solving the instance — bit-identical to
+//!   `SOLVE` of the same revision (`specs/DELTA.md`). Lineage edges
+//!   persist through `mmlp-store`, so a restarted node replays its
+//!   revision graph from segments.
 //! * [`client`] — a small blocking protocol client.
 //! * [`loadgen`] — a closed-loop multi-client load generator
 //!   (`maxmin-lp loadgen`) printing a latency histogram and verifying
@@ -74,6 +82,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod delta;
 pub mod engine;
 pub mod loadgen;
 pub mod protocol;
@@ -83,6 +92,7 @@ pub mod stats;
 /// One-stop imports for the CLI, tests and downstream users.
 pub mod prelude {
     pub use crate::client::{Client, ClientReply};
+    pub use crate::delta::{DeltaCoordinator, DeltaMode, DeltaSolveInfo};
     pub use crate::engine::{execute, CacheKey, Engine, WarmStart};
     pub use crate::loadgen::{render_report, run_loadgen, LoadConfig, LoadReport};
     pub use crate::protocol::{Command, ErrorCode, Op, Reply};

@@ -12,10 +12,22 @@
 //! for the same `(op, R)` must be byte-identical (cache hits included),
 //! so a cache-corruption bug shows up as `distinct_bodies > 1` rather
 //! than silently skewing an experiment.
+//!
+//! **Mutate mode** (`--mutate`) turns the probe incremental: each
+//! client walks its own chain of random single-coefficient edits,
+//! issuing `SOLVE_DELTA inline:` for every step and cross-checking the
+//! body bit-for-bit against a from-scratch `SOLVE` of the same
+//! revision — two independent server-side computations that must agree
+//! exactly. Requires a special-form instance (that is what the
+//! incremental solver repairs).
 
 use crate::client::{Client, ClientReply};
 use crate::protocol::{ErrorCode, Op};
 use crate::stats::Histogram;
+use mmlp_instance::delta::{Delta, Edit, RowKind};
+use mmlp_instance::hash::{hash_hex, instance_hash};
+use mmlp_instance::ids::ConstraintId;
+use mmlp_instance::{textfmt, Instance};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -39,6 +51,12 @@ pub struct LoadConfig {
     pub instance_text: String,
     /// Send `SHUTDOWN` after the run (CI smoke uses this).
     pub shutdown_after: bool,
+    /// Mutate mode: stream random single edits as `SOLVE_DELTA`,
+    /// probing bit-identity against from-scratch `SOLVE`s (ignores
+    /// `op` and `by_hash`).
+    pub mutate: bool,
+    /// PRNG seed for mutate mode (each client derives its own stream).
+    pub seed: u64,
 }
 
 impl Default for LoadConfig {
@@ -52,6 +70,8 @@ impl Default for LoadConfig {
             by_hash: true,
             instance_text: String::new(),
             shutdown_after: false,
+            mutate: false,
+            seed: 1,
         }
     }
 }
@@ -79,6 +99,10 @@ pub struct LoadReport {
     pub wall: Duration,
     /// First error message seen, for diagnostics.
     pub first_error: Option<String>,
+    /// Mutate mode: incremental-vs-scratch bit-identity probes run.
+    pub delta_checks: u64,
+    /// Mutate mode: probes where the bytes differed (must be 0).
+    pub delta_mismatches: u64,
 }
 
 impl LoadReport {
@@ -99,6 +123,31 @@ struct ClientTally {
     sent: u64,
     bodies: BTreeSet<u64>,
     first_error: Option<String>,
+    delta_checks: u64,
+    delta_mismatches: u64,
+}
+
+impl ClientTally {
+    fn new() -> ClientTally {
+        ClientTally {
+            histogram: Histogram::new(),
+            ok: 0,
+            busy: 0,
+            errors: 0,
+            sent: 0,
+            bodies: BTreeSet::new(),
+            first_error: None,
+            delta_checks: 0,
+            delta_mismatches: 0,
+        }
+    }
+
+    fn note_err(&mut self, msg: String) {
+        self.errors += 1;
+        if self.first_error.is_none() {
+            self.first_error = Some(msg);
+        }
+    }
 }
 
 /// How many times a `BUSY` reply is retried (with backoff) before the
@@ -126,26 +175,12 @@ fn drive_one(
 }
 
 fn client_loop(cfg: &LoadConfig, n_requests: usize) -> ClientTally {
-    let mut tally = ClientTally {
-        histogram: Histogram::new(),
-        ok: 0,
-        busy: 0,
-        errors: 0,
-        sent: 0,
-        bodies: BTreeSet::new(),
-        first_error: None,
-    };
-    let note_err = |tally: &mut ClientTally, msg: String| {
-        tally.errors += 1;
-        if tally.first_error.is_none() {
-            tally.first_error = Some(msg);
-        }
-    };
+    let mut tally = ClientTally::new();
     let mut client = match Client::connect(&cfg.addr) {
         Ok(c) => c,
         Err(e) => {
             tally.sent = n_requests as u64;
-            note_err(&mut tally, format!("connect {}: {e}", cfg.addr));
+            tally.note_err(format!("connect {}: {e}", cfg.addr));
             tally.errors = n_requests as u64;
             return tally;
         }
@@ -154,11 +189,11 @@ fn client_loop(cfg: &LoadConfig, n_requests: usize) -> ClientTally {
         match client.put(&cfg.instance_text) {
             Ok(Ok(h)) => Some(h),
             Ok(Err(e)) => {
-                note_err(&mut tally, format!("PUT: {e}"));
+                tally.note_err(format!("PUT: {e}"));
                 return tally;
             }
             Err(e) => {
-                note_err(&mut tally, format!("PUT transport: {e}"));
+                tally.note_err(format!("PUT transport: {e}"));
                 return tally;
             }
         }
@@ -178,12 +213,170 @@ fn client_loop(cfg: &LoadConfig, n_requests: usize) -> ClientTally {
             }
             Ok(ClientReply::Err(ErrorCode::Busy, _)) => tally.busy += 1,
             Ok(ClientReply::Err(code, msg)) => {
-                note_err(&mut tally, format!("{}: {msg}", code.as_str()));
+                tally.note_err(format!("{}: {msg}", code.as_str()));
             }
-            Err(e) => note_err(&mut tally, format!("transport: {e}")),
+            Err(e) => tally.note_err(format!("transport: {e}")),
         }
     }
     tally
+}
+
+/// A tiny xorshift64* stream — deterministic per `(seed, client)`, no
+/// dependency, good enough to scatter edits across constraints.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64, client_id: usize) -> Rng {
+        // SplitMix-style fold so nearby seeds/clients diverge at once.
+        let mut s =
+            seed.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(client_id as u64 + 1)) | 1;
+        s ^= s >> 30;
+        s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        Rng(s | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish in `[0, n)`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    /// A coefficient scale factor in `[0.6, 1.8]` — strictly positive,
+    /// bounded away from underflow so chains of hundreds of edits keep
+    /// well-conditioned coefficients.
+    fn factor(&mut self) -> f64 {
+        0.6 + (self.next() >> 11) as f64 / (1u64 << 53) as f64 * 1.2
+    }
+}
+
+/// One mutate-mode client: walk a private chain of random single
+/// coefficient edits off the shared base, and for every step check the
+/// incremental `SOLVE_DELTA` body against a from-scratch `SOLVE` of
+/// the same revision, byte for byte. A step counts `ok` only when both
+/// replies arrived and agreed.
+fn mutate_loop(cfg: &LoadConfig, n_requests: usize, client_id: usize) -> ClientTally {
+    let mut tally = ClientTally::new();
+    let fail_all = |tally: &mut ClientTally, n: usize, msg: String| {
+        tally.sent = n as u64;
+        tally.note_err(msg);
+        tally.errors = n as u64;
+    };
+    let mut cur: Instance = match textfmt::parse_instance(&cfg.instance_text) {
+        Ok(i) => i,
+        Err(e) => {
+            fail_all(&mut tally, n_requests, format!("parse instance: {e}"));
+            return tally;
+        }
+    };
+    let mut client = match Client::connect(&cfg.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            fail_all(&mut tally, n_requests, format!("connect {}: {e}", cfg.addr));
+            return tally;
+        }
+    };
+    match client.put(&cfg.instance_text) {
+        Ok(Ok(_)) => {}
+        Ok(Err(e)) => {
+            fail_all(&mut tally, n_requests, format!("PUT: {e}"));
+            return tally;
+        }
+        Err(e) => {
+            fail_all(&mut tally, n_requests, format!("PUT transport: {e}"));
+            return tally;
+        }
+    }
+    let mut rng = Rng::new(cfg.seed, client_id);
+    for _ in 0..n_requests {
+        tally.sent += 1;
+        // A random single edit: scale one existing constraint
+        // coefficient. This keeps the instance in special form, so the
+        // server repairs it in place instead of rebuilding.
+        let row_id = rng.below(cur.n_constraints()) as u32;
+        let row = cur.constraint_row(ConstraintId::new(row_id));
+        let entry = row[rng.below(row.len())];
+        let delta = Delta::single(
+            instance_hash(&cur),
+            Edit::SetCoef {
+                row: RowKind::Constraint,
+                row_id,
+                agent: entry.agent,
+                coef: entry.coef * rng.factor(),
+            },
+        );
+        let next = match delta.apply(&cur) {
+            Ok(i) => i,
+            Err(e) => {
+                tally.note_err(format!("local apply: {e}"));
+                continue;
+            }
+        };
+        let revision = hash_hex(instance_hash(&next));
+        let started = Instant::now();
+        let incr = retry_busy(|| client.solve_delta_inline(&delta.to_text(), cfg.big_r, 1));
+        let incr = match incr {
+            Ok(ClientReply::Ok(body)) => {
+                tally.histogram.record(started.elapsed().as_micros() as u64);
+                body
+            }
+            Ok(ClientReply::Err(ErrorCode::Busy, _)) => {
+                tally.busy += 1;
+                continue;
+            }
+            Ok(ClientReply::Err(code, msg)) => {
+                tally.note_err(format!("SOLVE_DELTA {}: {msg}", code.as_str()));
+                continue;
+            }
+            Err(e) => {
+                tally.note_err(format!("SOLVE_DELTA transport: {e}"));
+                continue;
+            }
+        };
+        // The oracle: an independent from-scratch solve of the same
+        // revision, cached (and computed) under SOLVE's own namespace.
+        let scratch = retry_busy(|| client.run_hash(Op::Solve, &revision, cfg.big_r, 1));
+        match scratch {
+            Ok(ClientReply::Ok(body)) => {
+                tally.delta_checks += 1;
+                if body.as_bytes() == incr.as_bytes() {
+                    tally.ok += 1;
+                } else {
+                    tally.delta_mismatches += 1;
+                    tally.note_err(format!(
+                        "bit-identity violated at revision {revision} (edit chain step {})",
+                        tally.sent
+                    ));
+                }
+            }
+            Ok(ClientReply::Err(ErrorCode::Busy, _)) => tally.busy += 1,
+            Ok(ClientReply::Err(code, msg)) => {
+                tally.note_err(format!("oracle SOLVE {}: {msg}", code.as_str()));
+            }
+            Err(e) => tally.note_err(format!("oracle transport: {e}")),
+        }
+        cur = next;
+    }
+    tally
+}
+
+/// Retries `f` on `BUSY` with the same backoff as [`drive_one`].
+fn retry_busy(mut f: impl FnMut() -> std::io::Result<ClientReply>) -> std::io::Result<ClientReply> {
+    for attempt in 0..=BUSY_RETRIES {
+        let reply = f()?;
+        match &reply {
+            ClientReply::Err(ErrorCode::Busy, _) if attempt < BUSY_RETRIES => {
+                std::thread::sleep(Duration::from_millis(2 << attempt.min(5)));
+            }
+            _ => return Ok(reply),
+        }
+    }
+    unreachable!("loop returns on the last attempt")
 }
 
 /// Runs the load, one thread per client, and aggregates.
@@ -200,7 +393,13 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
         for c in 0..cfg.clients {
             // Spread the total evenly; early clients absorb the remainder.
             let share = cfg.requests / cfg.clients + usize::from(c < cfg.requests % cfg.clients);
-            joins.push(scope.spawn(move || client_loop(cfg, share)));
+            joins.push(scope.spawn(move || {
+                if cfg.mutate {
+                    mutate_loop(cfg, share, c)
+                } else {
+                    client_loop(cfg, share)
+                }
+            }));
         }
         joins
             .into_iter()
@@ -219,6 +418,8 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
         histogram: Histogram::new(),
         wall,
         first_error: None,
+        delta_checks: 0,
+        delta_mismatches: 0,
     };
     let mut bodies = BTreeSet::new();
     for t in tallies {
@@ -226,6 +427,8 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
         report.ok += t.ok;
         report.busy += t.busy;
         report.errors += t.errors;
+        report.delta_checks += t.delta_checks;
+        report.delta_mismatches += t.delta_mismatches;
         report.histogram.merge(&t.histogram);
         bodies.extend(t.bodies);
         if report.first_error.is_none() {
@@ -249,13 +452,20 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
 pub fn render_report(cfg: &LoadConfig, r: &LoadReport) -> String {
     let mut out = String::new();
     use std::fmt::Write as _;
-    let _ = writeln!(out, "# loadgen {} against {}", cfg.op.tag(), cfg.addr);
+    let verb = if cfg.mutate { "mutate" } else { cfg.op.tag() };
+    let _ = writeln!(out, "# loadgen {verb} against {}", cfg.addr);
     let _ = writeln!(
         out,
         "clients {}  requests {}  mode {}",
         cfg.clients,
         cfg.requests,
-        if cfg.by_hash { "hash" } else { "inline" }
+        if cfg.mutate {
+            "mutate"
+        } else if cfg.by_hash {
+            "hash"
+        } else {
+            "inline"
+        }
     );
     let _ = writeln!(out, "sent {}", r.sent);
     let _ = writeln!(out, "ok {}", r.ok);
@@ -263,6 +473,10 @@ pub fn render_report(cfg: &LoadConfig, r: &LoadReport) -> String {
     let _ = writeln!(out, "errors {}", r.errors);
     if let Some(e) = &r.first_error {
         let _ = writeln!(out, "first_error {e}");
+    }
+    if cfg.mutate {
+        let _ = writeln!(out, "delta_checks {}", r.delta_checks);
+        let _ = writeln!(out, "delta_mismatches {}", r.delta_mismatches);
     }
     let _ = writeln!(out, "distinct_bodies {}", r.distinct_bodies);
     if let Some(h) = r.body_fnv {

@@ -4,7 +4,14 @@
 //! ```text
 //! client → server   one command per line (LF; CRLF tolerated)
 //!   PUT <nbytes>                       upload instance (body follows)
+//!   PUT_DELTA <nbytes>                 register an edit delta (body:
+//!                                      canonical delta text) against a
+//!                                      stored base revision
 //!   SOLVE <src> [R=<n>] [THREADS=<n>]  the paper's local algorithm
+//!   SOLVE_DELTA <src> [R=] [THREADS=]  incremental re-solve of a
+//!                                      revision (hash:<new rev>, or
+//!                                      inline:<n> with delta text —
+//!                                      PUT_DELTA + solve in one trip)
 //!   OPTIMUM <src>                      exact simplex optimum
 //!   SAFE <src>                         factor-ΔI safe baseline
 //!   INFO <src>                         sizes, degrees, paper bound
@@ -38,6 +45,11 @@ pub enum Op {
     Safe,
     /// `INFO` — structural stats and the paper bound.
     Info,
+    /// `SOLVE_DELTA` — incremental re-solve of a delta revision via the
+    /// ball-local dynamic solver. Bodies are bit-identical to `SOLVE`
+    /// of the same revision, but kept in a separate cache namespace so
+    /// the two paths stay independently verifiable.
+    SolveDelta,
 }
 
 impl Op {
@@ -48,18 +60,22 @@ impl Op {
             Op::Optimum => "optimum",
             Op::Safe => "safe",
             Op::Info => "info",
+            Op::SolveDelta => "solve_delta",
         }
     }
 
     /// Stable byte used as the `op` namespace of persisted result
-    /// records (`mmlp_store::ResultKey`). Codes 1–4 belong to the
-    /// service; other producers (the lab spiller) use disjoint ranges.
+    /// records (`mmlp_store::ResultKey`). Codes 1–4 and 6 belong to the
+    /// service's reply bodies, and [`LINEAGE_OP_CODE`] (5) to its delta
+    /// lineage records; other producers (the lab spiller) use disjoint
+    /// ranges.
     pub fn code(&self) -> u8 {
         match self {
             Op::Solve => 1,
             Op::Optimum => 2,
             Op::Safe => 3,
             Op::Info => 4,
+            Op::SolveDelta => 6,
         }
     }
 
@@ -70,10 +86,17 @@ impl Op {
             2 => Op::Optimum,
             3 => Op::Safe,
             4 => Op::Info,
+            6 => Op::SolveDelta,
             _ => return None,
         })
     }
 }
+
+/// The `op` namespace byte of persisted **lineage** records: one result
+/// record per registered delta, keyed by the *new* revision hash with
+/// the canonical delta text as body, so a restarted node can replay its
+/// revision graph from segments.
+pub const LINEAGE_OP_CODE: u8 = 5;
 
 /// Where the request's instance comes from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +112,9 @@ pub enum Source {
 pub enum Command {
     /// Upload an instance; body of `nbytes` follows.
     Put { nbytes: usize },
+    /// Register an edit delta (canonical delta text body of `nbytes`)
+    /// against its base revision; replies with the lineage triple.
+    PutDelta { nbytes: usize },
     /// Run a solver [`Op`] against a [`Source`].
     Run {
         op: Op,
@@ -129,6 +155,11 @@ pub enum ErrorCode {
     Panic,
     /// The server is draining and accepts no new work.
     Shutdown,
+    /// A delta names a base revision hash the server does not hold.
+    NoBase,
+    /// A delta is malformed or cannot be applied to its base (unknown
+    /// row/agent, bad coefficient, would leave the special form, …).
+    BadDelta,
     /// Anything else.
     Internal,
 }
@@ -143,6 +174,8 @@ impl ErrorCode {
             ErrorCode::Timeout => "TIMEOUT",
             ErrorCode::Panic => "PANIC",
             ErrorCode::Shutdown => "SHUTDOWN",
+            ErrorCode::NoBase => "NOBASE",
+            ErrorCode::BadDelta => "BADDELTA",
             ErrorCode::Internal => "INTERNAL",
         }
     }
@@ -156,6 +189,8 @@ impl ErrorCode {
             "TIMEOUT" => ErrorCode::Timeout,
             "PANIC" => ErrorCode::Panic,
             "SHUTDOWN" => ErrorCode::Shutdown,
+            "NOBASE" => ErrorCode::NoBase,
+            "BADDELTA" => ErrorCode::BadDelta,
             "INTERNAL" => ErrorCode::Internal,
             _ => return None,
         })
@@ -213,9 +248,18 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 .map_err(|_| "bad PUT byte count".to_string())?;
             Command::Put { nbytes: n }
         }
-        "SOLVE" | "OPTIMUM" | "SAFE" | "INFO" => {
+        "PUT_DELTA" => {
+            let n: usize = tokens
+                .next()
+                .ok_or("PUT_DELTA needs a byte count")?
+                .parse()
+                .map_err(|_| "bad PUT_DELTA byte count".to_string())?;
+            Command::PutDelta { nbytes: n }
+        }
+        "SOLVE" | "SOLVE_DELTA" | "OPTIMUM" | "SAFE" | "INFO" => {
             let op = match verb {
                 "SOLVE" => Op::Solve,
+                "SOLVE_DELTA" => Op::SolveDelta,
                 "OPTIMUM" => Op::Optimum,
                 "SAFE" => Op::Safe,
                 _ => Op::Info,
@@ -280,6 +324,27 @@ mod tests {
     fn parses_the_full_command_surface() {
         assert_eq!(parse_command("PUT 120"), Ok(Command::Put { nbytes: 120 }));
         assert_eq!(
+            parse_command("PUT_DELTA 64"),
+            Ok(Command::PutDelta { nbytes: 64 })
+        );
+        assert_eq!(
+            parse_command("SOLVE_DELTA hash:00deadbeef001122 R=4 THREADS=2"),
+            Ok(Command::Run {
+                op: Op::SolveDelta,
+                src: Source::Hash(0x00de_adbe_ef00_1122),
+                big_r: 4,
+                threads: 2,
+            })
+        );
+        assert!(matches!(
+            parse_command("SOLVE_DELTA inline:33"),
+            Ok(Command::Run {
+                op: Op::SolveDelta,
+                src: Source::Inline(33),
+                ..
+            })
+        ));
+        assert_eq!(
             parse_command("SOLVE hash:00deadbeef001122 R=4 THREADS=2"),
             Ok(Command::Run {
                 op: Op::Solve,
@@ -319,6 +384,10 @@ mod tests {
             "FROBNICATE",
             "PUT",
             "PUT x",
+            "PUT_DELTA",
+            "PUT_DELTA x",
+            "SOLVE_DELTA",
+            "SOLVE_DELTA inline:3 R=1",
             "SOLVE",
             "SOLVE nope",
             "SOLVE hash:123",              // not 16 hex digits
@@ -353,10 +422,21 @@ mod tests {
             ErrorCode::Timeout,
             ErrorCode::Panic,
             ErrorCode::Shutdown,
+            ErrorCode::NoBase,
+            ErrorCode::BadDelta,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_token(c.as_str()), Some(c));
         }
         assert_eq!(ErrorCode::from_token("NOPE"), None);
+    }
+
+    #[test]
+    fn op_codes_round_trip_and_avoid_the_lineage_namespace() {
+        for op in [Op::Solve, Op::Optimum, Op::Safe, Op::Info, Op::SolveDelta] {
+            assert_eq!(Op::from_code(op.code()), Some(op));
+            assert_ne!(op.code(), LINEAGE_OP_CODE, "{op:?} collides with lineage");
+        }
+        assert_eq!(Op::from_code(LINEAGE_OP_CODE), None);
     }
 }

@@ -22,8 +22,9 @@
 //! pool drains every accepted task; then [`Server::run`] returns a
 //! final [`ServerSummary`]. In-flight work is never dropped.
 
-use crate::engine::{self, CacheKey, Engine};
-use crate::protocol::{parse_command, Command, ErrorCode, Reply, Source};
+use crate::delta::DeltaMode;
+use crate::engine::{self, CacheKey, Engine, EngineError};
+use crate::protocol::{parse_command, Command, ErrorCode, Op, Reply, Source};
 use crate::stats::ServeMetrics;
 use mmlp_instance::hash::hash_hex;
 use mmlp_lab::pool::{Outcome, SubmitError, TaskPool, TaskPoolConfig};
@@ -204,10 +205,10 @@ impl Server {
                 continue;
             }
             shared.live_connections.fetch_add(1, Ordering::SeqCst);
-            let shared = Arc::clone(&shared);
+            let conn_shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || {
-                let _ = handle_connection(stream, &shared);
-                shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+                let _ = handle_connection(stream, &conn_shared);
+                conn_shared.live_connections.fetch_sub(1, Ordering::SeqCst);
             }));
         }
         drop(listener);
@@ -324,7 +325,7 @@ fn read_body(
     Ok(buf)
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL_TICK))?;
     stream.set_nodelay(true).ok();
     let mut writer = stream.try_clone()?;
@@ -373,7 +374,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
 /// the command), solver work goes through the pool. The second element
 /// is `true` when the connection must be closed afterwards because the
 /// stream can no longer be trusted to be request-aligned.
-fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) -> (Reply, bool) {
+fn dispatch(
+    cmd: Command,
+    reader: &mut BufReader<TcpStream>,
+    shared: &Arc<Shared>,
+) -> (Reply, bool) {
     match cmd {
         Command::Ping => (Reply::Ok("pong\n".into()), false),
         Command::Stats => (Reply::Ok(render_stats(shared)), false),
@@ -413,6 +418,27 @@ fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) ->
                 Err((code, msg)) => (Reply::Err(code, msg), false),
             }
         }
+        Command::PutDelta { nbytes } => {
+            let body = match checked_body(reader, nbytes, shared) {
+                Ok(b) => b,
+                Err(fatal) => return fatal,
+            };
+            match shared.engine.put_delta(&body) {
+                Ok(lin) => {
+                    shared.metrics.delta_puts.inc();
+                    (
+                        Reply::Ok(format!(
+                            "base {}\ndelta {}\nnew {}\n",
+                            hash_hex(lin.base),
+                            hash_hex(lin.delta),
+                            hash_hex(lin.new)
+                        )),
+                        false,
+                    )
+                }
+                Err((code, msg)) => (Reply::Err(code, msg), false),
+            }
+        }
         Command::Run {
             op,
             src,
@@ -423,6 +449,9 @@ fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) ->
             // usage: clamp THREADS to the worker count (results are
             // bit-identical across thread counts anyway).
             let threads = threads.min(shared.cfg.workers.max(1));
+            if op == Op::SolveDelta {
+                return solve_delta(src, big_r, threads, reader, shared);
+            }
             let (hash, inst) = match src {
                 Source::Hash(h) => match shared.engine.fetch(h) {
                     Ok(i) => (h, i),
@@ -454,7 +483,8 @@ fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) ->
             let ring = Arc::clone(&shared.ring);
             let label = format!("{} {} R={big_r}", op.tag(), hash_hex(hash));
             let reply = run_pooled(shared, move || {
-                let (body, info) = engine::execute_traced(op, &inst, big_r, threads)?;
+                let (body, info) = engine::execute_traced(op, &inst, big_r, threads)
+                    .map_err(|msg| (ErrorCode::Internal, msg))?;
                 if let Some(i) = info {
                     metrics.observe_solve(&i);
                     let t = i.trace;
@@ -486,14 +516,67 @@ fn dispatch(cmd: Command, reader: &mut BufReader<TcpStream>, shared: &Shared) ->
     }
 }
 
+/// The `SOLVE_DELTA` half of the run path. `hash:` names a registered
+/// revision; `inline:` carries a delta text body, registered exactly
+/// like `PUT_DELTA` before solving — one round trip for the common
+/// edit-then-resolve loop. The incremental solve itself runs on the
+/// worker pool and is cached under `SOLVE_DELTA`'s own namespace, so a
+/// repeat of the same revision is a hit without touching a solver.
+fn solve_delta(
+    src: Source,
+    big_r: usize,
+    threads: usize,
+    reader: &mut BufReader<TcpStream>,
+    shared: &Arc<Shared>,
+) -> (Reply, bool) {
+    let revision = match src {
+        Source::Hash(h) => h,
+        Source::Inline(nbytes) => {
+            let body = match checked_body(reader, nbytes, shared) {
+                Ok(b) => b,
+                Err(fatal) => return fatal,
+            };
+            match shared.engine.put_delta(&body) {
+                Ok(lin) => {
+                    shared.metrics.delta_puts.inc();
+                    lin.new
+                }
+                Err((code, msg)) => return (Reply::Err(code, msg), false),
+            }
+        }
+    };
+    let key = CacheKey::new(revision, Op::SolveDelta, big_r, threads);
+    if let Some(body) = shared.engine.cached(&key) {
+        shared.metrics.cache_hit(Op::SolveDelta);
+        return (Reply::Ok(body.as_ref().clone()), false);
+    }
+    let metrics = shared.metrics.clone();
+    let worker_shared = Arc::clone(shared);
+    let reply = run_pooled(shared, move || {
+        let (body, info) = worker_shared.engine.solve_delta(revision, big_r, threads)?;
+        metrics.observe_delta(&info);
+        Ok(body)
+    });
+    if !matches!(reply, Reply::Err(ErrorCode::Busy | ErrorCode::Shutdown, _)) {
+        shared.metrics.cache_miss(Op::SolveDelta);
+    }
+    if let Reply::Ok(body) = &reply {
+        shared.engine.insert(key, Arc::new(body.clone()));
+    }
+    (reply, false)
+}
+
 /// Submits a closure to the worker pool and maps its outcome onto the
 /// wire. This is where backpressure (`BUSY`), per-request timeouts and
 /// panic isolation all become protocol-visible — and where the
 /// queue-wait vs execute split is measured: the submit instant is
 /// captured here, the pickup instant inside the task on its worker.
+/// The closure returns typed [`EngineError`]s so pooled work can
+/// surface precise codes (e.g. `NOBASE` from a delta solve), not just
+/// `INTERNAL`.
 fn run_pooled<F>(shared: &Shared, f: F) -> Reply
 where
-    F: FnOnce() -> Result<String, String> + Send + 'static,
+    F: FnOnce() -> Result<String, EngineError> + Send + 'static,
 {
     if shared.shutting_down.load(Ordering::SeqCst) {
         return Reply::Err(ErrorCode::Shutdown, "server is draining".into());
@@ -516,7 +599,7 @@ where
         Err(SubmitError::Closed) => Reply::Err(ErrorCode::Shutdown, "server is draining".into()),
         Ok(ticket) => match ticket.wait() {
             Outcome::Done(Ok(body)) => Reply::Ok(body),
-            Outcome::Done(Err(msg)) => Reply::Err(ErrorCode::Internal, msg),
+            Outcome::Done(Err((code, msg))) => Reply::Err(code, msg),
             Outcome::Panicked(msg) => Reply::Err(ErrorCode::Panic, msg),
             Outcome::TimedOut => Reply::Err(
                 ErrorCode::Timeout,
@@ -652,5 +735,29 @@ fn render_stats(shared: &Shared) -> String {
         m.execute.snapshot().percentile(0.95)
     );
     let _ = writeln!(out, "traces_recorded {}", shared.ring.recorded());
+    // The delta workload surface (appended keys, older parsers keep
+    // working).
+    let (lineage_entries, delta_solvers, delta_solver_bytes) = shared.engine.delta_stats();
+    let _ = writeln!(out, "delta_puts {}", m.delta_puts.get());
+    let _ = writeln!(out, "delta_solves_warm {}", m.delta_solves(DeltaMode::Warm));
+    let _ = writeln!(
+        out,
+        "delta_solves_advanced {}",
+        m.delta_solves(DeltaMode::Advanced)
+    );
+    let _ = writeln!(
+        out,
+        "delta_solves_booted {}",
+        m.delta_solves(DeltaMode::Booted)
+    );
+    let _ = writeln!(out, "delta_replayed {}", m.delta_replayed.get());
+    let _ = writeln!(out, "delta_recomputed_x {}", m.delta_recomputed_x.get());
+    let _ = writeln!(out, "delta_agents {}", m.delta_agents.get());
+    let _ = writeln!(out, "delta_arena_added {}", m.delta_arena_added.get());
+    let _ = writeln!(out, "delta_roots_reused {}", m.delta_roots_reused.get());
+    let _ = writeln!(out, "lineage_entries {lineage_entries}");
+    let _ = writeln!(out, "delta_solvers {delta_solvers}");
+    let _ = writeln!(out, "delta_solver_bytes {delta_solver_bytes}");
+    let _ = writeln!(out, "warm_lineage {}", warm.lineage);
     out
 }

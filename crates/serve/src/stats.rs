@@ -15,6 +15,7 @@
 
 pub use mmlp_obs::Histogram;
 
+use crate::delta::{DeltaMode, DeltaSolveInfo};
 use crate::engine::SolveInfo;
 use crate::protocol::Op;
 use mmlp_obs::{Counter, Gauge, HistogramHandle, Registry};
@@ -40,9 +41,9 @@ pub struct ServeMetrics {
     pub timeouts: Counter,
 
     /// Result-cache hits, one counter per cacheable [`Op`].
-    cache_hits: [Counter; 4],
+    cache_hits: [Counter; 5],
     /// Result-cache misses (cold solves), one counter per [`Op`].
-    cache_misses: [Counter; 4],
+    cache_misses: [Counter; 5],
 
     /// End-to-end request latency (parse → reply written), µs.
     pub latency: HistogramHandle,
@@ -69,6 +70,25 @@ pub struct ServeMetrics {
     /// Memo-table lookups by outcome (`hit`, `miss`, `skip`).
     memo: [Counter; 3],
 
+    /// `PUT_DELTA` registrations accepted.
+    pub delta_puts: Counter,
+    /// `SOLVE_DELTA` solves by resolution mode (`warm`, `advanced`,
+    /// `booted`).
+    delta_solves: [Counter; 3],
+    /// Lineage deltas replayed while advancing/booting solvers.
+    pub delta_replayed: Counter,
+    /// Agents whose x was recomputed across delta solves (the dirty
+    /// balls — compare against `delta_agents` for the locality win).
+    pub delta_recomputed_x: Counter,
+    /// Agents in the instances those solves covered (the denominator).
+    pub delta_agents: Counter,
+    /// View-arena nodes added across delta solves.
+    pub delta_arena_added: Counter,
+    /// Agent view roots reused unchanged across delta solves.
+    pub delta_roots_reused: Counter,
+    /// Dirty-ball size per delta solve (recomputed x per request).
+    pub delta_dirty_x: HistogramHandle,
+
     /// Server uptime (set at scrape time), milliseconds.
     pub uptime_ms: Gauge,
     /// Tasks waiting in the pool queue (scrape-time).
@@ -92,10 +112,29 @@ pub struct ServeMetrics {
 /// Phase names, in [`mmlp_core::distributed::FlatSolveTrace`] order.
 pub const PHASES: [&str; 4] = ["gather", "t_eval", "flood", "g"];
 
-const OPS: [Op; 4] = [Op::Solve, Op::Optimum, Op::Safe, Op::Info];
+const OPS: [Op; 5] = [Op::Solve, Op::Optimum, Op::Safe, Op::Info, Op::SolveDelta];
 
+/// Dense slot for the per-op counter arrays. Not `code() - 1`: op codes
+/// skip 5 (the persisted-lineage namespace), so `SOLVE_DELTA` is 6.
 fn op_slot(op: Op) -> usize {
-    op.code() as usize - 1
+    match op {
+        Op::Solve => 0,
+        Op::Optimum => 1,
+        Op::Safe => 2,
+        Op::Info => 3,
+        Op::SolveDelta => 4,
+    }
+}
+
+/// Resolution-mode tags, in counter-slot order.
+const DELTA_MODES: [DeltaMode; 3] = [DeltaMode::Warm, DeltaMode::Advanced, DeltaMode::Booted];
+
+fn mode_slot(mode: DeltaMode) -> usize {
+    match mode {
+        DeltaMode::Warm => 0,
+        DeltaMode::Advanced => 1,
+        DeltaMode::Booted => 2,
+    }
 }
 
 impl ServeMetrics {
@@ -130,6 +169,13 @@ impl ServeMetrics {
                 "mmlp_solver_memo_lookups_total",
                 &[("result", r)],
                 "Flat-solve memo-table lookups by outcome",
+            )
+        });
+        let delta_solves = DELTA_MODES.map(|m| {
+            reg.counter_with(
+                "mmlp_serve_delta_solves_total",
+                &[("mode", m.tag())],
+                "SOLVE_DELTA requests by resolution mode",
             )
         });
         ServeMetrics {
@@ -180,6 +226,35 @@ impl ServeMetrics {
             ),
             phase_ns,
             memo,
+            delta_puts: reg.counter(
+                "mmlp_serve_delta_puts_total",
+                "PUT_DELTA registrations accepted",
+            ),
+            delta_solves,
+            delta_replayed: reg.counter(
+                "mmlp_serve_delta_replayed_total",
+                "Lineage deltas replayed while advancing or booting solvers",
+            ),
+            delta_recomputed_x: reg.counter(
+                "mmlp_serve_delta_recomputed_x_total",
+                "Agents whose x was recomputed across delta solves",
+            ),
+            delta_agents: reg.counter(
+                "mmlp_serve_delta_agents_total",
+                "Agents in the instances delta solves covered",
+            ),
+            delta_arena_added: reg.counter(
+                "mmlp_serve_delta_arena_added_total",
+                "View-arena nodes added across delta solves",
+            ),
+            delta_roots_reused: reg.counter(
+                "mmlp_serve_delta_roots_reused_total",
+                "Agent view roots reused unchanged across delta solves",
+            ),
+            delta_dirty_x: reg.histogram(
+                "mmlp_serve_delta_dirty_x",
+                "Recomputed x per SOLVE_DELTA request (dirty-ball size)",
+            ),
             uptime_ms: reg.gauge("mmlp_serve_uptime_ms", "Server uptime in milliseconds"),
             queue_depth: reg.gauge("mmlp_serve_queue_depth", "Tasks waiting in the pool queue"),
             in_flight: reg.gauge("mmlp_serve_in_flight", "Tasks executing on workers"),
@@ -246,6 +321,28 @@ impl ServeMetrics {
         {
             c.add(n);
         }
+    }
+
+    /// Folds one delta solve's report into the per-mode counters and
+    /// the dirty-ball histogram.
+    pub fn observe_delta(&self, info: &DeltaSolveInfo) {
+        self.delta_solves[mode_slot(info.mode)].inc();
+        self.delta_replayed.add(info.replayed);
+        self.delta_recomputed_x.add(info.recomputed_x);
+        self.delta_agents.add(info.n_agents);
+        self.delta_arena_added.add(info.arena_added);
+        self.delta_roots_reused.add(info.roots_reused);
+        self.delta_dirty_x.record(info.recomputed_x);
+    }
+
+    /// `SOLVE_DELTA` requests answered in the given mode.
+    pub fn delta_solves(&self, mode: DeltaMode) -> u64 {
+        self.delta_solves[mode_slot(mode)].get()
+    }
+
+    /// `SOLVE_DELTA` requests answered, all modes.
+    pub fn delta_solves_total(&self) -> u64 {
+        self.delta_solves.iter().map(Counter::get).sum()
     }
 
     /// Aggregate dedup ratio: logical bytes per arena byte (0 before
@@ -338,6 +435,54 @@ mod tests {
         );
         assert!(
             text.contains("mmlp_solver_view_peak_arena_bytes 64"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn observe_delta_feeds_mode_and_dirty_series() {
+        let m = ServeMetrics::new();
+        m.observe_delta(&DeltaSolveInfo {
+            mode: DeltaMode::Booted,
+            replayed: 2,
+            recomputed_x: 9,
+            arena_added: 4,
+            roots_reused: 3,
+            n_agents: 100,
+        });
+        m.observe_delta(&DeltaSolveInfo {
+            mode: DeltaMode::Warm,
+            replayed: 0,
+            recomputed_x: 5,
+            arena_added: 0,
+            roots_reused: 10,
+            n_agents: 100,
+        });
+        assert_eq!(m.delta_solves_total(), 2);
+        assert_eq!(m.delta_solves(DeltaMode::Warm), 1);
+        assert_eq!(m.delta_solves(DeltaMode::Advanced), 0);
+        assert_eq!(m.delta_replayed.get(), 2);
+        assert_eq!(m.delta_recomputed_x.get(), 14);
+        assert_eq!(m.delta_agents.get(), 200);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("mmlp_serve_delta_solves_total{mode=\"booted\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("mmlp_serve_delta_dirty_x"), "{text}");
+    }
+
+    #[test]
+    fn solve_delta_has_its_own_cache_series() {
+        let m = ServeMetrics::new();
+        m.cache_hit(Op::SolveDelta);
+        m.cache_miss(Op::SolveDelta);
+        m.cache_miss(Op::Solve);
+        assert_eq!(m.cache_hits_total(), 1);
+        assert_eq!(m.cache_misses_total(), 2);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("mmlp_serve_cache_hits_total{op=\"solve_delta\"} 1"),
             "{text}"
         );
     }

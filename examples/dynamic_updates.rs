@@ -31,7 +31,7 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let mut dynamic = DynamicSolver::new(sf.clone(), big_r);
+    let mut dynamic = DynamicSolver::new(sf.clone(), big_r, 1);
     let full_solve = t0.elapsed();
     println!("initial full solve: {full_solve:?}");
     println!(

@@ -18,7 +18,7 @@
 //!                 [--store-dir <dir>]                    solver service
 //! maxmin-lp loadgen --instance <f> [--addr <a>] [--clients <n>]
 //!                 [--requests <n>] [-R <R>] [--op <op>] [--inline]
-//!                 [--shutdown]                           drive the service
+//!                 [--shutdown] [--mutate] [--seed <n>]   drive the service
 //! maxmin-lp store import <dir> <file>... | --catalog <size> <seed>
 //! maxmin-lp store export <dir> <hash> [--out <file>]
 //! maxmin-lp store convert <in> <out>                     text ↔ binary
@@ -62,7 +62,8 @@ fn usage() -> ExitCode {
          maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>] \
          [--queue <n>] [--timeout-ms <t>] [--store-dir <dir>]\n  \
          maxmin-lp loadgen --instance <file> [--addr <a>] [--clients <n>] \
-         [--requests <n>] [-R <R>] [--op solve|optimum|safe|info] [--inline] [--shutdown]\n  \
+         [--requests <n>] [-R <R>] [--op solve|optimum|safe|info] [--inline] [--shutdown] \
+         [--mutate] [--seed <n>]\n  \
          maxmin-lp store import <dir> <file>... | --catalog <size> <seed>\n  \
          maxmin-lp store export <dir> <hash> [--out <file>]\n  \
          maxmin-lp store convert <in> <out>\n  \
@@ -469,10 +470,16 @@ fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
 }
 
 /// `maxmin-lp loadgen --instance <file> [--addr <a>] [--clients <n>]
-/// [--requests <n>] [-R <R>] [--op <op>] [--inline] [--shutdown]`.
+/// [--requests <n>] [-R <R>] [--op <op>] [--inline] [--shutdown]
+/// [--mutate] [--seed <n>]`.
 ///
-/// Exit code 1 when any request failed (transport error or a non-BUSY
-/// `ERR` reply), so CI can assert a clean run.
+/// `--mutate` streams random single-coefficient edits as `SOLVE_DELTA`
+/// and byte-compares each incremental body against a from-scratch
+/// `SOLVE` of the same revision; a mismatch counts as an error.
+///
+/// Exit code 1 when any request failed (transport error, a non-BUSY
+/// `ERR` reply, or a mutate-mode bit-identity mismatch), so CI can
+/// assert a clean run.
 fn loadgen_cmd(rest: &[String]) -> Result<(), UsageError> {
     let mut cfg = LoadConfig::default();
     let mut instance_path: Option<PathBuf> = None;
@@ -515,6 +522,13 @@ fn loadgen_cmd(rest: &[String]) -> Result<(), UsageError> {
             }
             "--inline" => cfg.by_hash = false,
             "--shutdown" => cfg.shutdown_after = true,
+            "--mutate" => cfg.mutate = true,
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(UsageError::Usage)?;
+            }
             _ => return Err(UsageError::Usage),
         }
     }
