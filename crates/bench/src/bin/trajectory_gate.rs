@@ -16,9 +16,17 @@
 //! 3. `distributed-solve/flat/R` < `distributed-solve/legacy/R` at
 //!    every benchmarked `R` — the arena path must stay ahead of the
 //!    legacy tree protocol;
-//! 4. `obs-overhead/traced/R` ≤ 1.03 × `obs-overhead/plain/R` at
-//!    R ∈ {3, 4} — instrumenting the flat hot path must cost at most
-//!    3% end to end (the `specs/OBSERVABILITY.md` overhead contract).
+//! 4. `obs-overhead/traced/R` ≤ 1.03 × `obs-overhead/plain/R` and
+//!    `obs-overhead/journaled/R` ≤ 1.03 × `obs-overhead/plain/R` at
+//!    R ∈ {3, 4} — instrumenting the flat hot path, and additionally
+//!    building + journaling the per-request span tree, must cost at
+//!    most 3% end to end (the `specs/OBSERVABILITY.md` overhead
+//!    contract). These two are compared on **min** per-iteration time
+//!    rather than median: scheduler noise is one-sided (it only ever
+//!    inflates a sample), and a 3% margin is far below the median
+//!    jitter of a shared machine, so the minimum — the least-disturbed
+//!    iteration of each variant — is the honest basis for a tight
+//!    same-workload ratio.
 //!
 //! `BENCH_serve.json`:
 //!
@@ -46,9 +54,18 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Extracts `"name" → median_ns` from an mmlp-bench-json-v1 document
-/// (the shim's line-per-entry layout; no JSON dependency needed).
-fn parse_medians(doc: &str) -> BTreeMap<String, u64> {
+/// Extracts `"name" → (median_ns, min_ns)` from an mmlp-bench-json-v1
+/// document (the shim's line-per-entry layout; no JSON dependency
+/// needed).
+fn parse_entries(doc: &str) -> BTreeMap<String, (u64, u64)> {
+    let field = |rest: &str, key: &str| -> Option<u64> {
+        let at = rest.find(key)?;
+        let digits: String = rest[at + key.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        digits.parse().ok()
+    };
     let mut out = BTreeMap::new();
     for line in doc.lines() {
         let t = line.trim();
@@ -59,23 +76,20 @@ fn parse_medians(doc: &str) -> BTreeMap<String, u64> {
             continue;
         };
         let name = &rest[..name_end];
-        let Some(median_at) = rest.find("\"median_ns\": ") else {
+        let Some(median) = field(rest, "\"median_ns\": ") else {
             continue;
         };
-        let digits: String = rest[median_at + "\"median_ns\": ".len()..]
-            .chars()
-            .take_while(|c| c.is_ascii_digit())
-            .collect();
-        if let Ok(median) = digits.parse() {
-            out.insert(name.to_string(), median);
-        }
+        let min = field(rest, "\"min_ns\": ").unwrap_or(median);
+        out.insert(name.to_string(), (median, min));
     }
     out
 }
 
-/// Rule helpers over one file's medians, accumulating failures.
+/// Rule helpers over one file's medians (and minima, for the tight
+/// ratio contracts), accumulating failures.
 struct Gate<'a> {
     medians: &'a BTreeMap<String, u64>,
+    mins: &'a BTreeMap<String, u64>,
     failures: &'a mut Vec<String>,
 }
 
@@ -117,6 +131,23 @@ impl Gate<'_> {
                 .push(format!("missing entries: need both {name} and {base}")),
         }
     }
+
+    /// Like [`Gate::check_ratio`], but over **min** per-iteration time
+    /// — the basis for margins tighter than median machine jitter.
+    fn check_ratio_min(&mut self, name: &str, base: &str, num: u64, den: u64) {
+        match (self.mins.get(name), self.mins.get(base)) {
+            (Some(&n), Some(&b)) => {
+                if n * den > b * num {
+                    self.failures.push(format!(
+                        "{name} (min {n} ns) must be ≤ {num}/{den} × {base} (min {b} ns)"
+                    ));
+                }
+            }
+            _ => self
+                .failures
+                .push(format!("missing entries: need both {name} and {base}")),
+        }
+    }
 }
 
 fn gate_core(g: &mut Gate) {
@@ -140,14 +171,18 @@ fn gate_core(g: &mut Gate) {
             big_r == 3 || big_r == 4,
         );
     }
-    // The 3% observability-overhead contract: traced·100 ≤ plain·103.
+    // The 3% observability-overhead contract: traced·100 ≤ plain·103,
+    // and the full per-request span-tree + journal-emit path stays
+    // inside the same envelope.
     for big_r in [3u32, 4] {
-        g.check_ratio(
-            &format!("obs-overhead/traced/{big_r}"),
-            &format!("obs-overhead/plain/{big_r}"),
-            103,
-            100,
-        );
+        for variant in ["traced", "journaled"] {
+            g.check_ratio_min(
+                &format!("obs-overhead/{variant}/{big_r}"),
+                &format!("obs-overhead/plain/{big_r}"),
+                103,
+                100,
+            );
+        }
     }
 }
 
@@ -230,14 +265,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let medians = parse_medians(&doc);
-        if medians.is_empty() {
+        let parsed = parse_entries(&doc);
+        if parsed.is_empty() {
             eprintln!("trajectory-gate: no benchmark entries in {path}");
             return ExitCode::FAILURE;
         }
-        entries += medians.len();
+        entries += parsed.len();
+        let medians: BTreeMap<String, u64> = parsed.iter().map(|(k, v)| (k.clone(), v.0)).collect();
+        let mins: BTreeMap<String, u64> = parsed.iter().map(|(k, v)| (k.clone(), v.1)).collect();
         let mut g = Gate {
             medians: &medians,
+            mins: &mins,
             failures: &mut failures,
         };
         let stem = path.rsplit('/').next().unwrap_or(path);

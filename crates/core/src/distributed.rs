@@ -1094,6 +1094,21 @@ pub struct FlatSolveTrace {
     pub batch: BatchTelemetry,
 }
 
+impl FlatSolveTrace {
+    /// The phase breakdown as `(name, nanoseconds)` pairs in execution
+    /// order — the span hook the observability layer hangs child spans
+    /// off (phases run back-to-back, so cumulative offsets position
+    /// them inside the enclosing `execute` span).
+    pub fn phase_spans(&self) -> [(&'static str, u64); 4] {
+        [
+            ("gather", self.gather_ns),
+            ("t_eval", self.t_eval_ns),
+            ("flood", self.flood_ns),
+            ("g", self.g_ns),
+        ]
+    }
+}
+
 fn solve_special_flat_impl(
     sf: &SpecialForm,
     big_r: usize,

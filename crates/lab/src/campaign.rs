@@ -28,12 +28,17 @@ pub const RESULTS_FILE: &str = "results.jsonl";
 pub const SPEC_FILE: &str = "spec.lab";
 
 /// Options for one `run_campaign` invocation.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct RunOptions {
     /// Overrides the spec's worker count.
     pub workers: Option<usize>,
     /// Prints one progress line per job to stderr.
     pub progress: bool,
+    /// When set, append one `lab` record per finished job to the
+    /// crash-safe event journal at this directory (the same format the
+    /// server writes; see `specs/OBSERVABILITY.md`), so campaign
+    /// lifecycles land in the same audit stream as serve traffic.
+    pub journal_dir: Option<std::path::PathBuf>,
 }
 
 /// What one run did.
@@ -190,6 +195,10 @@ pub fn run_campaign(
     let progress = opts.progress;
     let n_run = to_run.len();
     let mut io_error: Option<std::io::Error> = None;
+    let journal = match &opts.journal_dir {
+        None => None,
+        Some(dir) => Some(mmlp_obs::Journal::open(mmlp_obs::JournalConfig::new(dir))?.0),
+    };
 
     run_jobs(&to_run, workers, timeout_of(spec), |job, record| {
         match record.status {
@@ -217,6 +226,22 @@ pub fn run_campaign(
                 r_col,
                 job.solver.name(),
             );
+        }
+        if let Some(j) = &journal {
+            j.emit(mmlp_obs::JournalRecord {
+                kind: mmlp_obs::journal::EV_LAB,
+                trace_id: 0,
+                text: format!(
+                    "lab job {}: family={} size={} seed={} solver={} R={} wall_ms={:.1}",
+                    record.status.name(),
+                    job.family,
+                    job.size,
+                    job.seed,
+                    job.solver.name(),
+                    job.big_r,
+                    record.wall_ms
+                ),
+            });
         }
         let line = record.to_json_line();
         if let Err(e) = writeln!(log, "{line}").and_then(|()| log.flush()) {
@@ -351,6 +376,26 @@ mod tests {
         assert_eq!(resumed.skipped, 20, "completed jobs are not redone");
         assert_eq!(resumed.executed, 16);
         assert!(status(&dir).unwrap().is_complete());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journaled_run_records_every_job_lifecycle() {
+        let spec = tiny_spec();
+        let dir = temp_dir("journal");
+        let jdir = dir.join("journal");
+        let opts = RunOptions {
+            journal_dir: Some(jdir.clone()),
+            ..RunOptions::default()
+        };
+        let run = run_campaign(&spec, &dir, &opts).unwrap();
+        assert_eq!(run.executed, 36);
+        let (records, report) = mmlp_obs::journal::read_journal_dir(&jdir).unwrap();
+        assert_eq!(report.corrupt, 0);
+        assert_eq!(records.len(), 36, "one lab record per executed job");
+        assert!(records
+            .iter()
+            .all(|r| r.kind == mmlp_obs::journal::EV_LAB && r.text.starts_with("lab job ok:")));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -196,6 +196,11 @@ pub struct AtomicHistogram {
     total: AtomicU64,
     sum_us: AtomicU64,
     max_us: AtomicU64,
+    // Exemplar: the largest traced observation since the last scrape,
+    // as a (value, trace id) pair. Best-effort under races — an
+    // exemplar is a debugging hint, not an accounting cell.
+    ex_us: AtomicU64,
+    ex_trace: AtomicU64,
 }
 
 impl AtomicHistogram {
@@ -206,6 +211,8 @@ impl AtomicHistogram {
             total: AtomicU64::new(0),
             sum_us: AtomicU64::new(0),
             max_us: AtomicU64::new(0),
+            ex_us: AtomicU64::new(0),
+            ex_trace: AtomicU64::new(0),
         }
     }
 
@@ -216,6 +223,29 @@ impl AtomicHistogram {
         self.total.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// [`Self::record`] plus exemplar capture: when `trace_id` is
+    /// nonzero and this is the largest traced sample since the last
+    /// [`Self::take_exemplar`], the pair is kept so the scrape can
+    /// point at the request behind the max bucket. Untraced callers
+    /// keep using `record` — this variant costs one extra relaxed
+    /// load on the traced path only.
+    pub fn record_traced(&self, us: u64, trace_id: u64) {
+        self.record(us);
+        if trace_id != 0 && us >= self.ex_us.load(Ordering::Relaxed) {
+            self.ex_us.store(us, Ordering::Relaxed);
+            self.ex_trace.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes the current exemplar as `(us, trace_id)` and resets it —
+    /// "since last scrape" semantics. `None` when nothing traced was
+    /// recorded since the previous take.
+    pub fn take_exemplar(&self) -> Option<(u64, u64)> {
+        let trace = self.ex_trace.swap(0, Ordering::Relaxed);
+        let us = self.ex_us.swap(0, Ordering::Relaxed);
+        (trace != 0).then_some((us, trace))
     }
 
     /// Number of recorded samples.
@@ -389,6 +419,24 @@ mod tests {
         }
         // Every recorded value is strictly below its bucket's edge.
         assert!(edges.iter().any(|&(e, _)| e > 5000));
+    }
+
+    #[test]
+    fn exemplar_tracks_the_max_traced_sample_since_last_take() {
+        let h = AtomicHistogram::new();
+        assert_eq!(h.take_exemplar(), None);
+        h.record(9999); // untraced: never an exemplar
+        h.record_traced(10, 0xa);
+        h.record_traced(500, 0xb);
+        h.record_traced(200, 0xc);
+        assert_eq!(h.take_exemplar(), Some((500, 0xb)));
+        assert_eq!(h.take_exemplar(), None, "take resets");
+        h.record_traced(7, 0xd);
+        assert_eq!(h.take_exemplar(), Some((7, 0xd)));
+        // trace_id 0 means untraced even via record_traced.
+        h.record_traced(1000, 0);
+        assert_eq!(h.take_exemplar(), None);
+        assert_eq!(h.total(), 6);
     }
 
     #[test]

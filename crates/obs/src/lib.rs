@@ -18,20 +18,44 @@
 //!   [`TraceRing`] that can always dump the N slowest recent solves.
 //! - [`report`] — renders ring contents as a flamegraph-style text
 //!   phase timeline (the `maxmin-lp obs` report).
+//! - [`span`] — request-scoped span trees: a `trace_id` minted by the
+//!   client (or sampled server-side) is threaded queue → cache →
+//!   execute → store, recorded through a [`SpanRecorder`] and kept in
+//!   a bounded [`SpanRing`] plus the journal.
+//! - [`journal`] — a crash-safe append-only event journal:
+//!   length-framed, FNV-checksummed records written by a dedicated
+//!   drainer thread (the hot path pays one bounded-queue push), with
+//!   torn-tail truncation on recovery, rotation, and a byte budget.
+//! - [`lint`] — Prometheus text-exposition parsing and linting
+//!   (missing `HELP`/`TYPE`, unregistered-name drift, counters going
+//!   backwards across scrapes); also the scrape reader for SLOs.
+//! - [`slo`] — declarative service-level objectives (`p99(...)`,
+//!   `ratio(...)`) evaluated against a scrape with burn-rate output.
 //!
 //! The overhead contract (enforced by `trajectory_gate` over
 //! `BENCH_core.json` and by the catalog-wide bit-identity tests): a
-//! traced solve stays within 3% of the untraced one and produces
-//! bit-identical outputs. See `specs/OBSERVABILITY.md`.
+//! traced — and now journaled — solve stays within 3% of the untraced
+//! one and produces bit-identical outputs. See
+//! `specs/OBSERVABILITY.md`.
 
 #![deny(missing_docs)]
 
 pub mod hist;
+pub mod journal;
+pub mod lint;
 pub mod registry;
 pub mod report;
+pub mod slo;
+pub mod span;
 pub mod trace;
 
 pub use hist::{AtomicHistogram, Histogram};
+pub use journal::{Journal, JournalConfig, JournalRecord};
+pub use lint::{lint_pair, parse_exposition, Exposition};
 pub use registry::{Counter, Gauge, HistogramHandle, Registry};
 pub use report::render_timeline;
+pub use slo::{evaluate_slos, parse_slo_specs, render_slo_report, SloSpec};
+pub use span::{
+    format_trace_id, parse_trace_id, render_span_tree, SpanRecorder, SpanRing, SpanTree,
+};
 pub use trace::{next_trace_id, SolveTrace, TraceRing};

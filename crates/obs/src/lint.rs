@@ -1,0 +1,339 @@
+//! Prometheus text-exposition parsing and linting.
+//!
+//! The `METRICS` wire op promises a well-formed scrape: every sample
+//! preceded by its `# HELP`/`# TYPE` header, names matching the
+//! registry's charset, counters that never go backwards. This module
+//! checks those promises — CI scrapes a server twice after load and
+//! fails on drift ([`lint_pair`]), and `maxmin-lp obs --addr`
+//! validates a body before printing it ([`parse_exposition`]).
+//!
+//! The parser also powers the [`crate::slo`] evaluator: it keeps
+//! per-sample values and reconstructs histogram quantiles from
+//! `_bucket` series, so SLO specs can be evaluated offline from a
+//! captured scrape file.
+
+use std::collections::BTreeMap;
+
+/// One metric family: its declared type, help text, and samples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricFamily {
+    /// Declared `# TYPE`: `counter`, `gauge`, or `histogram`.
+    pub kind: String,
+    /// Declared `# HELP` text.
+    pub help: String,
+    /// Samples as `(full sample key incl. labels, value)`, in order.
+    pub samples: Vec<(String, f64)>,
+}
+
+/// A parsed scrape: base metric name → family.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Exposition {
+    /// Families keyed by base name (histogram suffixes folded in).
+    pub families: BTreeMap<String, MetricFamily>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Resolves a sample name to its family base name: exact match first,
+/// then the histogram suffixes.
+fn base_name<'a>(sample: &'a str, families: &BTreeMap<String, MetricFamily>) -> Option<&'a str> {
+    if families.contains_key(sample) {
+        return Some(sample);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample.strip_suffix(suffix) {
+            if families.get(base).is_some_and(|f| f.kind == "histogram") {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+/// Parses a text exposition, enforcing the lint rules as it goes:
+///
+/// * every sample's name must be valid and covered by a preceding
+///   `# TYPE` (histogram `_bucket`/`_sum`/`_count` fold into their
+///   base family) — an uncovered sample is *unregistered-name drift*;
+/// * every `# TYPE`d family must also carry a `# HELP`;
+/// * sample values must parse as numbers.
+///
+/// `# EXEMPLAR` lines and other comments are ignored. Returns the
+/// parsed exposition or every violation found.
+pub fn parse_exposition(text: &str) -> Result<Exposition, Vec<String>> {
+    let mut exp = Exposition::default();
+    let mut errors = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if let Some((name, help)) = rest.split_once(' ') {
+                let fam = exp.families.entry(name.to_string()).or_default();
+                fam.help = help.to_string();
+            } else {
+                exp.families.entry(rest.to_string()).or_default();
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some(name), Some(kind)) => {
+                    let fam = exp.families.entry(name.to_string()).or_default();
+                    fam.kind = kind.to_string();
+                }
+                _ => errors.push(format!("line {}: malformed TYPE: {line}", ln + 1)),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments, incl. # EXEMPLAR
+        }
+        // A sample: name[{labels}] value
+        let (key, value_str) = match line.rsplit_once(' ') {
+            Some(kv) => kv,
+            None => {
+                errors.push(format!("line {}: malformed sample: {line}", ln + 1));
+                continue;
+            }
+        };
+        let name = key.split('{').next().unwrap_or(key);
+        if !valid_name(name) {
+            errors.push(format!("line {}: invalid metric name {name:?}", ln + 1));
+            continue;
+        }
+        let value: f64 = match value_str.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                errors.push(format!(
+                    "line {}: unparseable value {value_str:?} for {name}",
+                    ln + 1
+                ));
+                continue;
+            }
+        };
+        match base_name(name, &exp.families) {
+            Some(base) => {
+                let base = base.to_string();
+                let fam = exp.families.get_mut(&base).expect("resolved base");
+                fam.samples.push((key.to_string(), value));
+            }
+            None => errors.push(format!(
+                "line {}: sample {name} has no preceding # TYPE (unregistered-name drift)",
+                ln + 1
+            )),
+        }
+    }
+    for (name, fam) in &exp.families {
+        if fam.kind.is_empty() {
+            errors.push(format!("family {name} has HELP but no TYPE"));
+        }
+        if fam.help.is_empty() {
+            errors.push(format!("family {name} has no HELP"));
+        }
+    }
+    if errors.is_empty() {
+        Ok(exp)
+    } else {
+        Err(errors)
+    }
+}
+
+impl Exposition {
+    /// Sum of all samples of the *exact* name (across label sets),
+    /// `None` when the family is absent. For histograms, pass the
+    /// `_count`/`_sum` suffix explicitly.
+    pub fn sample_sum(&self, name: &str) -> Option<f64> {
+        let fam = self
+            .families
+            .get(name)
+            .or_else(|| base_name(name, &self.families).and_then(|b| self.families.get(b)))?;
+        let vals: Vec<f64> = fam
+            .samples
+            .iter()
+            .filter(|(k, _)| k.split('{').next() == Some(name))
+            .map(|(_, v)| *v)
+            .collect();
+        (!vals.is_empty()).then(|| vals.iter().sum())
+    }
+
+    /// Reconstructs a quantile (0 < q ≤ 1) from a histogram family's
+    /// cumulative `_bucket` samples, merging label sets by summing
+    /// per-`le` counts. Returns the upper edge of the bucket holding
+    /// the rank, `None` when the family is missing, empty, or not a
+    /// histogram.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let fam = self.families.get(name)?;
+        if fam.kind != "histogram" {
+            return None;
+        }
+        let bucket_prefix = format!("{name}_bucket");
+        let mut by_le: BTreeMap<String, f64> = BTreeMap::new();
+        for (key, v) in &fam.samples {
+            if key.split('{').next() != Some(bucket_prefix.as_str()) {
+                continue;
+            }
+            let le = key
+                .split("le=\"")
+                .nth(1)
+                .and_then(|r| r.split('"').next())?
+                .to_string();
+            *by_le.entry(le).or_insert(0.0) += v;
+        }
+        let mut edges: Vec<(f64, f64)> = Vec::new();
+        let mut inf_count = 0.0;
+        for (le, count) in by_le {
+            if le == "+Inf" {
+                inf_count = count;
+            } else {
+                edges.push((le.parse().ok()?, count));
+            }
+        }
+        edges.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite edges"));
+        let total = edges
+            .last()
+            .map(|&(_, c)| c.max(inf_count))
+            .unwrap_or(inf_count);
+        if total <= 0.0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total).ceil().max(1.0);
+        for (edge, cum) in &edges {
+            if *cum >= rank {
+                return Some(*edge);
+            }
+        }
+        // Rank falls in the +Inf bucket: report the largest finite edge.
+        edges.last().map(|&(e, _)| e)
+    }
+}
+
+/// Lints a pair of scrapes taken from the same server, first scrape
+/// then second: every family present in the first must survive into
+/// the second (name drift), and counter/histogram-count samples must
+/// be non-decreasing. Returns all violations.
+pub fn lint_pair(prev: &Exposition, next: &Exposition) -> Vec<String> {
+    let mut errors = Vec::new();
+    for (name, fam) in &prev.families {
+        let Some(nfam) = next.families.get(name) else {
+            errors.push(format!("family {name} disappeared between scrapes"));
+            continue;
+        };
+        if fam.kind != nfam.kind {
+            errors.push(format!(
+                "family {name} changed type: {} -> {}",
+                fam.kind, nfam.kind
+            ));
+            continue;
+        }
+        let monotone = fam.kind == "counter" || fam.kind == "histogram";
+        if !monotone {
+            continue;
+        }
+        let next_vals: BTreeMap<&str, f64> =
+            nfam.samples.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        for (key, v) in &fam.samples {
+            match next_vals.get(key.as_str()) {
+                None => errors.push(format!("sample {key} disappeared between scrapes")),
+                Some(nv) if *nv < *v => errors.push(format!(
+                    "sample {key} went backwards: {v} -> {nv} (counters are monotonic)"
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# HELP mmlp_requests_total Requests accepted.
+# TYPE mmlp_requests_total counter
+mmlp_requests_total 42
+# HELP mmlp_latency_us Request latency.
+# TYPE mmlp_latency_us histogram
+mmlp_latency_us_bucket{le=\"10\"} 1
+mmlp_latency_us_bucket{le=\"100\"} 9
+mmlp_latency_us_bucket{le=\"+Inf\"} 10
+# EXEMPLAR mmlp_latency_us trace_id=\"00000000000000ab\" value=250
+mmlp_latency_us_sum 500
+mmlp_latency_us_count 10
+";
+
+    #[test]
+    fn well_formed_scrape_parses() {
+        let exp = parse_exposition(GOOD).unwrap();
+        assert_eq!(exp.families.len(), 2);
+        assert_eq!(exp.sample_sum("mmlp_requests_total"), Some(42.0));
+        assert_eq!(exp.sample_sum("mmlp_latency_us_count"), Some(10.0));
+        assert_eq!(exp.sample_sum("missing"), None);
+    }
+
+    #[test]
+    fn quantiles_come_from_cumulative_buckets() {
+        let exp = parse_exposition(GOOD).unwrap();
+        assert_eq!(exp.quantile("mmlp_latency_us", 0.05), Some(10.0));
+        assert_eq!(exp.quantile("mmlp_latency_us", 0.9), Some(100.0));
+        // Rank 10 sits in +Inf: largest finite edge is reported.
+        assert_eq!(exp.quantile("mmlp_latency_us", 1.0), Some(100.0));
+        assert_eq!(exp.quantile("mmlp_requests_total", 0.5), None);
+    }
+
+    #[test]
+    fn unregistered_sample_is_flagged() {
+        let errs = parse_exposition("stray_metric 1\n").unwrap_err();
+        assert!(errs[0].contains("unregistered-name drift"), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_help_or_type_is_flagged() {
+        let errs = parse_exposition("# TYPE only_type counter\nonly_type 1\n").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("no HELP")), "{errs:?}");
+        let errs2 = parse_exposition("# HELP only_help h\n").unwrap_err();
+        assert!(errs2.iter().any(|e| e.contains("no TYPE")), "{errs2:?}");
+    }
+
+    #[test]
+    fn bad_names_and_values_are_flagged() {
+        let text = "# HELP 9bad h\n# TYPE 9bad counter\n9bad 1\n";
+        let errs = parse_exposition(text).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("invalid metric name")));
+        let text2 = "# HELP ok h\n# TYPE ok counter\nok pizza\n";
+        let errs2 = parse_exposition(text2).unwrap_err();
+        assert!(errs2.iter().any(|e| e.contains("unparseable value")));
+    }
+
+    #[test]
+    fn pair_lint_catches_regressions_and_drift() {
+        let a = parse_exposition(GOOD).unwrap();
+        let shrunk = GOOD.replace("mmlp_requests_total 42", "mmlp_requests_total 41");
+        let b = parse_exposition(&shrunk).unwrap();
+        let errs = lint_pair(&a, &b);
+        assert!(
+            errs.iter().any(|e| e.contains("went backwards")),
+            "{errs:?}"
+        );
+
+        let gone = parse_exposition(
+            "# HELP mmlp_requests_total Requests accepted.\n\
+             # TYPE mmlp_requests_total counter\nmmlp_requests_total 50\n",
+        )
+        .unwrap();
+        let errs2 = lint_pair(&a, &gone);
+        assert!(errs2.iter().any(|e| e.contains("disappeared")), "{errs2:?}");
+
+        assert!(lint_pair(&a, &a).is_empty());
+    }
+}

@@ -122,6 +122,13 @@ impl HistogramHandle {
         self.0.record(us);
     }
 
+    /// Records one sample and, when `trace_id` is nonzero, offers it
+    /// as the exemplar candidate (the scrape exposes the trace id of
+    /// the largest traced sample since the last scrape).
+    pub fn record_traced(&self, us: u64, trace_id: u64) {
+        self.0.record_traced(us, trace_id);
+    }
+
     /// Number of recorded samples.
     pub fn total(&self) -> u64 {
         self.0.total()
@@ -377,6 +384,17 @@ fn render_sample(out: &mut String, e: &Entry) {
                 label_block(&e.labels, None),
                 snap.total()
             ));
+            // Exemplar: a comment line (classic text exposition has no
+            // exemplar syntax; OpenMetrics-style consumers and our own
+            // lint treat comments as inert). Taking it resets the
+            // "since last scrape" window.
+            if let Some((us, trace)) = h.take_exemplar() {
+                out.push_str(&format!(
+                    "# EXEMPLAR {}{} trace_id=\"{trace:016x}\" value={us}\n",
+                    e.name,
+                    label_block(&e.labels, None),
+                ));
+            }
         }
     }
 }
@@ -490,5 +508,25 @@ mod tests {
             assert!(v >= prev, "{text}");
             prev = v;
         }
+    }
+
+    #[test]
+    fn exemplars_render_once_per_scrape_window() {
+        let reg = Registry::new();
+        let h = reg.histogram("mmlp_latency_us", "latency");
+        h.record(5);
+        h.record_traced(900, 0xbeef);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# EXEMPLAR mmlp_latency_us trace_id=\"000000000000beef\" value=900"),
+            "{text}"
+        );
+        // The take reset the window: a second scrape has no exemplar…
+        assert!(!reg.render_prometheus().contains("# EXEMPLAR"));
+        // …until the next traced observation arrives.
+        h.record_traced(7, 0xcafe);
+        assert!(reg
+            .render_prometheus()
+            .contains("trace_id=\"000000000000cafe\""));
     }
 }

@@ -9,7 +9,7 @@ use crate::trace::SolveTrace;
 /// Bar width of a phase taking 100% of the span.
 const BAR: u64 = 32;
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2} s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {

@@ -1,0 +1,298 @@
+//! Declarative SLO specs with burn-rate evaluation.
+//!
+//! A spec file is line-oriented (`#` comments, blank lines ignored):
+//!
+//! ```text
+//! slo <name> <expr> <= <threshold>
+//! expr := p<digits>(<histogram>)          # quantile, e.g. p99(...)
+//!       | ratio(<numerator>, <denominator>)
+//! ```
+//!
+//! `p99(mmlp_serve_request_latency_us)` reads a quantile off the
+//! scrape's cumulative buckets; `ratio(a, b)` divides two counter
+//! sums (a `0/0` ratio evaluates to 0 — a target with no traffic is
+//! vacuously met). Evaluation reports a **burn rate** per objective:
+//! `value / threshold`, i.e. the fraction of the budget currently
+//! consumed — above 1.0 the objective is violated. The delta-serving
+//! objective `ratio(mmlp_serve_delta_recomputed_x_total,
+//! mmlp_serve_delta_agents_total)` turns the paper's locality theorem
+//! (a `SOLVE_DELTA` touches a radius-O(r) dirty ball, not the whole
+//! instance) into a continuously monitored target.
+//!
+//! `maxmin-lp obs slo <spec> (--scrape <file> | --addr <host:port>)`
+//! evaluates a spec against a scrape and exits nonzero on violation —
+//! CI runs it over the loadgen smoke scrapes.
+
+use crate::lint::Exposition;
+
+/// The measurable expression of one SLO line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SloExpr {
+    /// `p<digits>(<histogram>)` — a quantile of a histogram family.
+    Quantile {
+        /// Base name of the histogram family.
+        hist: String,
+        /// Quantile in (0, 1), e.g. 0.99 for `p99`.
+        q: f64,
+    },
+    /// `ratio(<num>, <den>)` — quotient of two counter sums.
+    Ratio {
+        /// Numerator counter name.
+        num: String,
+        /// Denominator counter name.
+        den: String,
+    },
+}
+
+/// One parsed `slo` line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Objective name (reported in the evaluation table).
+    pub name: String,
+    /// What to measure.
+    pub expr: SloExpr,
+    /// Upper bound the measurement must not exceed.
+    pub threshold: f64,
+}
+
+/// One evaluated objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloResult {
+    /// Objective name.
+    pub name: String,
+    /// Measured value, `None` when the metric was absent.
+    pub value: Option<f64>,
+    /// The spec's threshold.
+    pub threshold: f64,
+    /// `value / threshold` — above 1.0 means violated.
+    pub burn: f64,
+    /// Whether the objective is met.
+    pub ok: bool,
+}
+
+fn parse_expr(s: &str) -> Result<SloExpr, String> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| format!("expr missing '(': {s}"))?;
+    let inner = s[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| format!("expr missing ')': {s}"))?;
+    let func = &s[..open];
+    if let Some(digits) = func.strip_prefix('p') {
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(format!("bad quantile function {func:?}"));
+        }
+        // p50 → 0.50, p99 → 0.99, p999 → 0.999.
+        let q = digits.parse::<f64>().expect("digits") / 10f64.powi(digits.len() as i32);
+        if !(0.0..1.0).contains(&q) || q == 0.0 {
+            return Err(format!("quantile out of range: {func}"));
+        }
+        return Ok(SloExpr::Quantile {
+            hist: inner.trim().to_string(),
+            q,
+        });
+    }
+    if func == "ratio" {
+        let (num, den) = inner
+            .split_once(',')
+            .ok_or_else(|| format!("ratio needs two arguments: {s}"))?;
+        return Ok(SloExpr::Ratio {
+            num: num.trim().to_string(),
+            den: den.trim().to_string(),
+        });
+    }
+    Err(format!("unknown expr function {func:?}"))
+}
+
+/// Parses a spec file. Returns the first malformed line's description.
+pub fn parse_slo_specs(text: &str) -> Result<Vec<SloSpec>, String> {
+    let mut specs = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rest = line.strip_prefix("slo ").ok_or_else(|| {
+            format!(
+                "line {}: expected `slo <name> <expr> <= <threshold>`",
+                ln + 1
+            )
+        })?;
+        let err = |what: &str| format!("line {}: missing {what}: {line}", ln + 1);
+        let (lhs, rhs) = rest.split_once("<=").ok_or_else(|| err("`<=`"))?;
+        if rhs.contains(">=") || lhs.contains('>') {
+            return Err(format!(
+                "line {}: only `<=` thresholds are supported",
+                ln + 1
+            ));
+        }
+        let (name, expr_text) = lhs.trim().split_once(' ').ok_or_else(|| err("expr"))?;
+        // The expr may contain spaces (`ratio(a, b)`) but nothing else
+        // may trail it before the `<=`.
+        let expr = parse_expr(expr_text.trim()).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        let mut rhs_it = rhs.split_whitespace();
+        let threshold: f64 = rhs_it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err("threshold"))?;
+        if threshold <= 0.0 {
+            return Err(format!("line {}: threshold must be positive", ln + 1));
+        }
+        if let Some(extra) = rhs_it.next() {
+            return Err(format!("line {}: trailing token {extra:?}", ln + 1));
+        }
+        let name = name.to_string();
+        specs.push(SloSpec {
+            name,
+            expr,
+            threshold,
+        });
+    }
+    Ok(specs)
+}
+
+/// Evaluates every spec against a parsed scrape. A missing metric
+/// yields `value: None` and fails the objective (absence of evidence
+/// is a violation — the gate should notice a renamed series).
+pub fn evaluate_slos(specs: &[SloSpec], exp: &Exposition) -> Vec<SloResult> {
+    specs
+        .iter()
+        .map(|spec| {
+            let value = match &spec.expr {
+                SloExpr::Quantile { hist, q } => exp.quantile(hist, *q),
+                SloExpr::Ratio { num, den } => {
+                    let n = exp.sample_sum(num);
+                    let d = exp.sample_sum(den);
+                    match (n, d) {
+                        (Some(n), Some(d)) if d > 0.0 => Some(n / d),
+                        // No denominator traffic: vacuously met.
+                        (Some(_), Some(_)) => Some(0.0),
+                        _ => None,
+                    }
+                }
+            };
+            let burn = value.map(|v| v / spec.threshold).unwrap_or(f64::INFINITY);
+            SloResult {
+                name: spec.name.clone(),
+                value,
+                threshold: spec.threshold,
+                burn,
+                ok: value.is_some_and(|v| v <= spec.threshold),
+            }
+        })
+        .collect()
+}
+
+/// Renders results as an aligned table, one objective per line:
+/// `<status> <name> value=<v> threshold=<t> burn=<b>`.
+pub fn render_slo_report(results: &[SloResult]) -> String {
+    let mut out = String::new();
+    let name_w = results
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    for r in results {
+        let status = if r.ok { "ok  " } else { "FAIL" };
+        let value = match r.value {
+            Some(v) => format!("{v:.6}"),
+            None => "absent".to_string(),
+        };
+        out.push_str(&format!(
+            "{status} {:<name_w$} value={value} threshold={} burn={:.3}\n",
+            r.name, r.threshold, r.burn,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::parse_exposition;
+
+    const SPEC: &str = "\
+# serve SLOs
+slo request_p99 p99(mmlp_latency_us) <= 150
+slo error_rate ratio(mmlp_errors_total, mmlp_requests_total) <= 0.01
+slo idle ratio(mmlp_errors_total, mmlp_nothing_total) <= 0.5
+";
+
+    const SCRAPE: &str = "\
+# HELP mmlp_requests_total r
+# TYPE mmlp_requests_total counter
+mmlp_requests_total 100
+# HELP mmlp_errors_total e
+# TYPE mmlp_errors_total counter
+mmlp_errors_total 2
+# HELP mmlp_nothing_total n
+# TYPE mmlp_nothing_total counter
+mmlp_nothing_total 0
+# HELP mmlp_latency_us l
+# TYPE mmlp_latency_us histogram
+mmlp_latency_us_bucket{le=\"10\"} 50
+mmlp_latency_us_bucket{le=\"100\"} 99
+mmlp_latency_us_bucket{le=\"1000\"} 100
+mmlp_latency_us_bucket{le=\"+Inf\"} 100
+mmlp_latency_us_sum 3000
+mmlp_latency_us_count 100
+";
+
+    #[test]
+    fn spec_grammar_parses() {
+        let specs = parse_slo_specs(SPEC).unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(
+            specs[0].expr,
+            SloExpr::Quantile {
+                hist: "mmlp_latency_us".into(),
+                q: 0.99
+            }
+        );
+        assert_eq!(specs[1].threshold, 0.01);
+    }
+
+    #[test]
+    fn spec_grammar_rejects_damage() {
+        assert!(parse_slo_specs("slo x p0(h) <= 1").is_err());
+        assert!(parse_slo_specs("slo x pxx(h) <= 1").is_err());
+        assert!(parse_slo_specs("slo x mean(h) <= 1").is_err());
+        assert!(parse_slo_specs("slo x p99(h) >= 1").is_err());
+        assert!(parse_slo_specs("slo x p99(h) <= -1").is_err());
+        assert!(parse_slo_specs("slo x p99(h) <= 1 extra").is_err());
+        assert!(parse_slo_specs("objective x p99(h) <= 1").is_err());
+        assert!(parse_slo_specs("slo x ratio(a) <= 1").is_err());
+    }
+
+    #[test]
+    fn evaluation_reports_burn_rates() {
+        let specs = parse_slo_specs(SPEC).unwrap();
+        let exp = parse_exposition(SCRAPE).unwrap();
+        let results = evaluate_slos(&specs, &exp);
+        // p99 rank 99 lands in the le=100 bucket: 100 ≤ 150.
+        assert!(results[0].ok);
+        assert_eq!(results[0].value, Some(100.0));
+        assert!((results[0].burn - 100.0 / 150.0).abs() < 1e-9);
+        // 2/100 = 0.02 > 0.01: violated, burn 2.0.
+        assert!(!results[1].ok);
+        assert!((results[1].burn - 2.0).abs() < 1e-9);
+        // 2/0 → vacuous 0.
+        assert!(results[2].ok);
+        assert_eq!(results[2].value, Some(0.0));
+        let report = render_slo_report(&results);
+        assert!(report.contains("FAIL error_rate"), "{report}");
+        assert!(report.contains("ok   request_p99"), "{report}");
+    }
+
+    #[test]
+    fn absent_metric_fails_the_objective() {
+        let specs = parse_slo_specs("slo gone p99(no_such_hist) <= 5\n").unwrap();
+        let exp = parse_exposition(SCRAPE).unwrap();
+        let r = &evaluate_slos(&specs, &exp)[0];
+        assert!(!r.ok);
+        assert_eq!(r.value, None);
+        assert!(r.burn.is_infinite());
+        assert!(render_slo_report(std::slice::from_ref(r)).contains("absent"));
+    }
+}

@@ -1,0 +1,454 @@
+//! Request-scoped span trees.
+//!
+//! One request = one [`SpanTree`]: a process-unique `trace_id`, a
+//! human-readable label (the command line that produced it), a total
+//! wall time, and a flat vector of [`Span`]s linked by parent ids.
+//! The serve layer records spans through a [`SpanRecorder`] as the
+//! request moves queue → cache → execute (solver phases) → store, then
+//! `finish()`es the tree into a bounded [`SpanRing`] and the event
+//! journal. Trace ids travel over the wire in the optional `TRACE
+//! <hex>` protocol line (`specs/PROTOCOL.md`), so a loadgen-minted id
+//! can be found again with `maxmin-lp obs trace <id>`.
+//!
+//! The text serialisation ([`SpanTree::to_text`] /
+//! [`SpanTree::parse_text`]) is what the journal stores: versioned,
+//! line-oriented, and parseable without this process's state.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Sentinel parent id meaning "child of the request root".
+pub const ROOT_SPAN: u32 = 0;
+
+/// First line of the span-tree text serialisation (format version 1).
+pub const SPAN_TEXT_MAGIC: &str = "mmlpspan 1";
+
+/// One timed interval inside a request, positioned relative to the
+/// request's start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Id unique within the tree (1-based; [`ROOT_SPAN`] is the root).
+    pub id: u32,
+    /// Parent span id, or [`ROOT_SPAN`] for top-level spans.
+    pub parent: u32,
+    /// Interval name (`queue`, `execute`, `gather`, `store`, …).
+    pub name: String,
+    /// Nanoseconds from request start to interval start.
+    pub start_ns: u64,
+    /// Interval length in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A finished request trace: the root interval plus its spans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanTree {
+    /// Trace id (nonzero; `0` means "untraced" everywhere else).
+    pub trace_id: u64,
+    /// Request label, e.g. the wire command line.
+    pub label: String,
+    /// Whole-request wall time in nanoseconds.
+    pub total_ns: u64,
+    /// All recorded spans, in recording order.
+    pub spans: Vec<Span>,
+}
+
+/// Formats a trace id the way the wire protocol and CLI expect it:
+/// 16 lowercase hex digits, zero-padded.
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a trace id as produced by [`format_trace_id`] (1–16 hex
+/// digits, any case). Returns `None` for empty, overlong, non-hex, or
+/// zero input — zero is the "untraced" sentinel and never a valid id.
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    let id = u64::from_str_radix(s, 16).ok()?;
+    (id != 0).then_some(id)
+}
+
+impl SpanTree {
+    /// Serialises the tree to the versioned line format stored in the
+    /// event journal:
+    ///
+    /// ```text
+    /// mmlpspan 1
+    /// trace <16-hex> <total_ns> <label…>
+    /// s <id> <parent> <start_ns> <dur_ns> <name…>
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(64 + self.spans.len() * 48);
+        out.push_str(SPAN_TEXT_MAGIC);
+        out.push('\n');
+        out.push_str(&format!(
+            "trace {} {} {}\n",
+            format_trace_id(self.trace_id),
+            self.total_ns,
+            self.label
+        ));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "s {} {} {} {} {}\n",
+                s.id, s.parent, s.start_ns, s.dur_ns, s.name
+            ));
+        }
+        out
+    }
+
+    /// Parses the [`Self::to_text`] format. Returns a description of
+    /// the first malformed line on failure.
+    pub fn parse_text(text: &str) -> Result<SpanTree, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l == SPAN_TEXT_MAGIC => {}
+            other => return Err(format!("bad span magic: {other:?}")),
+        }
+        let header = lines.next().ok_or("missing trace header")?;
+        let rest = header
+            .strip_prefix("trace ")
+            .ok_or_else(|| format!("bad trace header: {header}"))?;
+        let mut it = rest.splitn(3, ' ');
+        let trace_id = it
+            .next()
+            .and_then(parse_trace_id)
+            .ok_or_else(|| format!("bad trace id in: {header}"))?;
+        let total_ns: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad total_ns in: {header}"))?;
+        let label = it.next().unwrap_or("").to_string();
+        let mut spans = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let body = line
+                .strip_prefix("s ")
+                .ok_or_else(|| format!("bad span line: {line}"))?;
+            let mut f = body.splitn(5, ' ');
+            let mut num = |what: &str| -> Result<u64, String> {
+                f.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| format!("bad {what} in span line: {line}"))
+            };
+            let id = num("id")? as u32;
+            let parent = num("parent")? as u32;
+            let start_ns = num("start_ns")?;
+            let dur_ns = num("dur_ns")?;
+            let name = f.next().unwrap_or("").to_string();
+            spans.push(Span {
+                id,
+                parent,
+                name,
+                start_ns,
+                dur_ns,
+            });
+        }
+        Ok(SpanTree {
+            trace_id,
+            label,
+            total_ns,
+            spans,
+        })
+    }
+}
+
+/// Renders a span tree as an indented timeline, children under their
+/// parents, each line showing share-of-total and wall time.
+pub fn render_span_tree(tree: &SpanTree) -> String {
+    let mut out = format!(
+        "trace {}  {}  total {}\n",
+        format_trace_id(tree.trace_id),
+        tree.label,
+        crate::report::fmt_ns(tree.total_ns)
+    );
+    let total = tree.total_ns.max(1);
+    fn walk(out: &mut String, tree: &SpanTree, parent: u32, depth: usize, total: u64) {
+        for s in tree.spans.iter().filter(|s| s.parent == parent) {
+            let share = 100.0 * s.dur_ns as f64 / total as f64;
+            out.push_str(&format!(
+                "{:indent$}{:<24} {:>5.1}%  {}\n",
+                "",
+                s.name,
+                share,
+                crate::report::fmt_ns(s.dur_ns),
+                indent = 2 + depth * 2,
+            ));
+            if s.id != ROOT_SPAN {
+                walk(out, tree, s.id, depth + 1, total);
+            }
+        }
+    }
+    walk(&mut out, tree, ROOT_SPAN, 0, total);
+    out
+}
+
+/// Collects spans for one in-flight request.
+///
+/// Thread-safe: the serve layer hands an `Arc<SpanRecorder>` to the
+/// worker pool, so queue/execute spans are recorded off-thread while
+/// the connection thread records cache/store spans. All offsets are
+/// relative to the recorder's construction instant.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    trace_id: u64,
+    label: String,
+    t0: Instant,
+    spans: Mutex<Vec<Span>>,
+    next_id: AtomicU32,
+    /// A parent id "anchor" for callees that cannot see the span ids
+    /// their caller allocated: the pool sets it to the `execute` span
+    /// so the solver closure can nest its phase spans underneath.
+    anchor: AtomicU32,
+}
+
+impl SpanRecorder {
+    /// Starts recording; the construction instant is time zero.
+    pub fn new(trace_id: u64, label: impl Into<String>) -> SpanRecorder {
+        SpanRecorder {
+            trace_id,
+            label: label.into(),
+            t0: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            next_id: AtomicU32::new(1),
+            anchor: AtomicU32::new(ROOT_SPAN),
+        }
+    }
+
+    /// The trace id this recorder was minted with.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Records a span from explicit offsets. Returns its id.
+    pub fn add_ns(&self, parent: u32, name: &str, start_ns: u64, dur_ns: u64) -> u32 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.spans.lock().expect("span recorder").push(Span {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            dur_ns,
+        });
+        id
+    }
+
+    /// Records a span from an [`Instant`] + [`Duration`] pair; the
+    /// start is clamped to the recorder's time zero.
+    pub fn add(&self, parent: u32, name: &str, start: Instant, dur: Duration) -> u32 {
+        let start_ns = start.saturating_duration_since(self.t0).as_nanos() as u64;
+        self.add_ns(parent, name, start_ns, dur.as_nanos() as u64)
+    }
+
+    /// Opens a span starting now with zero length; pair with
+    /// [`Self::close`].
+    pub fn open(&self, parent: u32, name: &str) -> u32 {
+        let start_ns = self.t0.elapsed().as_nanos() as u64;
+        self.add_ns(parent, name, start_ns, 0)
+    }
+
+    /// Closes an [`Self::open`]ed span: its length becomes
+    /// now − start. Unknown ids are ignored.
+    pub fn close(&self, id: u32) {
+        let now_ns = self.t0.elapsed().as_nanos() as u64;
+        let mut spans = self.spans.lock().expect("span recorder");
+        if let Some(s) = spans.iter_mut().find(|s| s.id == id) {
+            s.dur_ns = now_ns.saturating_sub(s.start_ns);
+        }
+    }
+
+    /// Publishes a parent id for callees that record under it (see the
+    /// field docs); [`ROOT_SPAN`] clears it.
+    pub fn set_anchor(&self, id: u32) {
+        self.anchor.store(id, Ordering::Release);
+    }
+
+    /// The currently published anchor, or [`ROOT_SPAN`].
+    pub fn anchor(&self) -> u32 {
+        self.anchor.load(Ordering::Acquire)
+    }
+
+    /// Finishes the tree: total = time since construction.
+    pub fn finish(&self) -> SpanTree {
+        SpanTree {
+            trace_id: self.trace_id,
+            label: self.label.clone(),
+            total_ns: self.t0.elapsed().as_nanos() as u64,
+            spans: self.spans.lock().expect("span recorder").clone(),
+        }
+    }
+}
+
+/// A bounded ring of finished span trees (newest evicts oldest), the
+/// in-memory half of "ring or journal" that `obs trace` reads.
+#[derive(Debug)]
+pub struct SpanRing {
+    cap: usize,
+    inner: Mutex<SpanRingInner>,
+}
+
+#[derive(Debug, Default)]
+struct SpanRingInner {
+    buf: std::collections::VecDeque<SpanTree>,
+    recorded: u64,
+}
+
+impl SpanRing {
+    /// An empty ring holding at most `cap` trees (`cap = 0` keeps 1).
+    pub fn new(cap: usize) -> SpanRing {
+        SpanRing {
+            cap: cap.max(1),
+            inner: Mutex::new(SpanRingInner::default()),
+        }
+    }
+
+    /// Appends a tree, evicting the oldest when full.
+    pub fn push(&self, tree: SpanTree) {
+        let mut inner = self.inner.lock().expect("span ring");
+        if inner.buf.len() == self.cap {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(tree);
+        inner.recorded += 1;
+    }
+
+    /// Total trees ever pushed (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("span ring").recorded
+    }
+
+    /// The most recent tree with this trace id, if still in the ring.
+    pub fn find(&self, trace_id: u64) -> Option<SpanTree> {
+        let inner = self.inner.lock().expect("span ring");
+        inner
+            .buf
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Trees currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("span ring").buf.len()
+    }
+
+    /// True when nothing has been pushed (or everything was evicted…
+    /// which cannot happen: eviction implies a newer entry).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_formatting_round_trips() {
+        for id in [1u64, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_trace_id(&format_trace_id(id)), Some(id));
+        }
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("0"), None, "zero is the untraced sentinel");
+        assert_eq!(parse_trace_id("00000000000000000"), None, "17 digits");
+        assert_eq!(parse_trace_id("xyz"), None);
+        assert_eq!(parse_trace_id("ABC"), Some(0xabc), "case-insensitive");
+    }
+
+    fn sample_tree() -> SpanTree {
+        SpanTree {
+            trace_id: 0xabc,
+            label: "SOLVE hash:12 R=3".into(),
+            total_ns: 10_000,
+            spans: vec![
+                Span {
+                    id: 1,
+                    parent: ROOT_SPAN,
+                    name: "queue".into(),
+                    start_ns: 0,
+                    dur_ns: 1_000,
+                },
+                Span {
+                    id: 2,
+                    parent: ROOT_SPAN,
+                    name: "execute".into(),
+                    start_ns: 1_000,
+                    dur_ns: 8_000,
+                },
+                Span {
+                    id: 3,
+                    parent: 2,
+                    name: "gather views".into(),
+                    start_ns: 1_100,
+                    dur_ns: 4_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_serialisation_round_trips() {
+        let tree = sample_tree();
+        let text = tree.to_text();
+        assert!(text.starts_with(SPAN_TEXT_MAGIC));
+        assert_eq!(SpanTree::parse_text(&text).unwrap(), tree);
+    }
+
+    #[test]
+    fn parse_rejects_damage() {
+        assert!(SpanTree::parse_text("").is_err());
+        assert!(SpanTree::parse_text("mmlpspan 2\ntrace 1 0 x\n").is_err());
+        assert!(SpanTree::parse_text("mmlpspan 1\n").is_err());
+        assert!(SpanTree::parse_text("mmlpspan 1\ntrace zz 0 x\n").is_err());
+        assert!(SpanTree::parse_text("mmlpspan 1\ntrace 1 5 l\nbogus\n").is_err());
+    }
+
+    #[test]
+    fn render_nests_children_and_keeps_names_with_spaces() {
+        let r = render_span_tree(&sample_tree());
+        assert!(r.contains("trace 0000000000000abc"), "{r}");
+        assert!(r.contains("queue"), "{r}");
+        assert!(r.contains("gather views"), "{r}");
+        // The child is indented two levels (2 + 2 spaces).
+        assert!(r.contains("\n    gather views"), "{r}");
+        assert!(r.contains("80.0%"), "{r}");
+    }
+
+    #[test]
+    fn recorder_tracks_offsets_and_anchor() {
+        let rec = SpanRecorder::new(7, "req");
+        let a = rec.add_ns(ROOT_SPAN, "cache", 10, 20);
+        rec.set_anchor(a);
+        assert_eq!(rec.anchor(), a);
+        let b = rec.add_ns(rec.anchor(), "gather", 12, 5);
+        let opened = rec.open(ROOT_SPAN, "store");
+        rec.close(opened);
+        let tree = rec.finish();
+        assert_eq!(tree.trace_id, 7);
+        assert_eq!(tree.spans.len(), 3);
+        assert_eq!(tree.spans[1].id, b);
+        assert_eq!(tree.spans[1].parent, a);
+        assert!(tree.total_ns > 0);
+        let store = &tree.spans[2];
+        assert!(store.start_ns <= tree.total_ns);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_finds_by_id() {
+        let ring = SpanRing::new(2);
+        assert!(ring.is_empty());
+        for id in 1..=3u64 {
+            let mut t = sample_tree();
+            t.trace_id = id;
+            ring.push(t);
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.recorded(), 3);
+        assert!(ring.find(1).is_none(), "evicted");
+        assert_eq!(ring.find(3).unwrap().trace_id, 3);
+    }
+}

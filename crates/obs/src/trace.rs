@@ -156,4 +156,98 @@ mod tests {
         assert!(tr.phase_sum_ns() <= tr.total_ns);
         assert_eq!(tr.phase_sum_ns(), 750);
     }
+
+    /// Hammer the ring from many writer threads while readers pull
+    /// `slowest(n)` snapshots: every observed trace must be internally
+    /// consistent (no torn reads — label, total and phases are all
+    /// derived from the trace id, so any mix-up is detectable),
+    /// `slowest` must stay sorted, and after the dust settles the
+    /// wraparound accounting must be exact.
+    #[test]
+    fn concurrent_writers_never_tear_traces() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        const WRITERS: u64 = 8;
+        const PER_WRITER: u64 = 500;
+        const CAP: usize = 64;
+
+        // A trace whose every field is a function of its id.
+        fn derived(id: u64) -> SolveTrace {
+            SolveTrace {
+                trace_id: id,
+                label: format!("derived #{id}"),
+                total_ns: id * 10,
+                phases: vec![("gather".into(), id * 10 / 2), ("g".into(), id * 10 / 4)],
+            }
+        }
+        fn check(tr: &SolveTrace) {
+            let id = tr.trace_id;
+            assert_eq!(tr.label, format!("derived #{id}"), "torn label");
+            assert_eq!(tr.total_ns, id * 10, "torn total");
+            assert_eq!(tr.phases.len(), 2, "torn phases");
+            assert_eq!(tr.phases[0].1, id * 10 / 2, "torn phase ns");
+        }
+
+        let ring = Arc::new(TraceRing::new(CAP));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let slow = ring.slowest(16);
+                        for w in slow.windows(2) {
+                            assert!(w[0].total_ns >= w[1].total_ns, "slowest(n) out of order");
+                        }
+                        for tr in &slow {
+                            check(tr);
+                            seen += 1;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        ring.push(derived(w * PER_WRITER + i + 1));
+                    }
+                })
+            })
+            .collect();
+        for t in writers {
+            t.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        for r in readers {
+            r.join().unwrap();
+        }
+
+        // Wraparound accounting: every push counted, only CAP retained.
+        assert_eq!(ring.recorded(), WRITERS * PER_WRITER);
+        assert_eq!(ring.len(), CAP);
+        let survivors = ring.slowest(CAP);
+        assert_eq!(survivors.len(), CAP);
+        for tr in &survivors {
+            check(tr);
+        }
+        // Ties on total_ns break towards the smaller trace id.
+        let tied = TraceRing::new(4);
+        for id in [3u64, 1, 2] {
+            tied.push(SolveTrace {
+                trace_id: id,
+                label: "tie".into(),
+                total_ns: 100,
+                phases: vec![],
+            });
+        }
+        let order: Vec<u64> = tied.slowest(4).iter().map(|t| t.trace_id).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
 }

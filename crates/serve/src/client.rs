@@ -34,6 +34,7 @@ impl ClientReply {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    pending_trace: Option<u64>,
 }
 
 impl Client {
@@ -45,11 +46,27 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            pending_trace: None,
         })
+    }
+
+    /// Attaches a client-minted trace id to the **next** request: it
+    /// is sent ahead of the command as a `TRACE <hex>` protocol line
+    /// (`specs/PROTOCOL.md`), making the request traced end-to-end and
+    /// findable later with `maxmin-lp obs trace <id>`. Ids must be
+    /// nonzero; zero is the untraced sentinel and is ignored.
+    pub fn trace_next(&mut self, trace_id: u64) {
+        if trace_id != 0 {
+            self.pending_trace = Some(trace_id);
+        }
     }
 
     /// Sends one command line (and optional body), reads one reply.
     pub fn request(&mut self, line: &str, body: Option<&[u8]>) -> std::io::Result<ClientReply> {
+        if let Some(id) = self.pending_trace.take() {
+            self.writer
+                .write_all(format!("TRACE {id:016x}\n").as_bytes())?;
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         if let Some(b) = body {

@@ -57,6 +57,10 @@ pub struct LoadConfig {
     pub mutate: bool,
     /// PRNG seed for mutate mode (each client derives its own stream).
     pub seed: u64,
+    /// Mint a deterministic client-side trace id per request and send
+    /// it ahead of the command as a `TRACE <hex>` line, making every
+    /// request traced end-to-end (`specs/OBSERVABILITY.md`).
+    pub trace: bool,
 }
 
 impl Default for LoadConfig {
@@ -72,6 +76,7 @@ impl Default for LoadConfig {
             shutdown_after: false,
             mutate: false,
             seed: 1,
+            trace: false,
         }
     }
 }
@@ -103,6 +108,15 @@ pub struct LoadReport {
     pub delta_checks: u64,
     /// Mutate mode: probes where the bytes differed (must be 0).
     pub delta_mismatches: u64,
+    /// Requests sent with a client-minted `TRACE` line.
+    pub traced: u64,
+    /// The last trace id minted, so smoke scripts can `obs trace` it.
+    pub last_trace_id: Option<u64>,
+    /// Mutate mode: server-side `SOLVE_DELTA` latency quantiles
+    /// `(p50, p95, p99)` in µs, read from `STATS` after the run —
+    /// closed-loop client timing hides server-side tail latency, these
+    /// do not.
+    pub server_delta_us: Option<(u64, u64, u64)>,
 }
 
 impl LoadReport {
@@ -125,6 +139,8 @@ struct ClientTally {
     first_error: Option<String>,
     delta_checks: u64,
     delta_mismatches: u64,
+    traced: u64,
+    last_trace_id: Option<u64>,
 }
 
 impl ClientTally {
@@ -139,7 +155,15 @@ impl ClientTally {
             first_error: None,
             delta_checks: 0,
             delta_mismatches: 0,
+            traced: 0,
+            last_trace_id: None,
         }
+    }
+
+    /// Notes a minted trace id about to be sent.
+    fn note_trace(&mut self, id: u64) {
+        self.traced += 1;
+        self.last_trace_id = Some(id);
     }
 
     fn note_err(&mut self, msg: String) {
@@ -154,12 +178,30 @@ impl ClientTally {
 /// request is abandoned and counted under `busy`.
 const BUSY_RETRIES: usize = 20;
 
+/// Deterministic nonzero trace id for `(seed, client, request)` — a
+/// SplitMix64 fold, so reruns of the same config mint the same ids and
+/// a failing request can be looked up again by trace.
+fn mint_trace_id(seed: u64, client_id: usize, idx: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((client_id as u64) << 32)
+        .wrapping_add(idx)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) | 1 // nonzero: zero is the untraced sentinel
+}
+
 fn drive_one(
     client: &mut Client,
     cfg: &LoadConfig,
     hash: Option<&str>,
+    trace_id: Option<u64>,
 ) -> std::io::Result<ClientReply> {
     for attempt in 0..=BUSY_RETRIES {
+        if let Some(id) = trace_id {
+            client.trace_next(id);
+        }
         let reply = match hash {
             Some(h) => client.run_hash(cfg.op, h, cfg.big_r, 1)?,
             None => client.run_inline(cfg.op, &cfg.instance_text, cfg.big_r, 1)?,
@@ -174,7 +216,7 @@ fn drive_one(
     unreachable!("loop returns on the last attempt")
 }
 
-fn client_loop(cfg: &LoadConfig, n_requests: usize) -> ClientTally {
+fn client_loop(cfg: &LoadConfig, n_requests: usize, client_id: usize) -> ClientTally {
     let mut tally = ClientTally::new();
     let mut client = match Client::connect(&cfg.addr) {
         Ok(c) => c,
@@ -200,10 +242,16 @@ fn client_loop(cfg: &LoadConfig, n_requests: usize) -> ClientTally {
     } else {
         None
     };
-    for _ in 0..n_requests {
+    for i in 0..n_requests {
         tally.sent += 1;
+        let trace_id = cfg
+            .trace
+            .then(|| mint_trace_id(cfg.seed, client_id, i as u64));
+        if let Some(id) = trace_id {
+            tally.note_trace(id);
+        }
         let started = Instant::now();
-        match drive_one(&mut client, cfg, hash.as_deref()) {
+        match drive_one(&mut client, cfg, hash.as_deref(), trace_id) {
             Ok(ClientReply::Ok(body)) => {
                 tally.histogram.record(started.elapsed().as_micros() as u64);
                 tally.ok += 1;
@@ -293,8 +341,14 @@ fn mutate_loop(cfg: &LoadConfig, n_requests: usize, client_id: usize) -> ClientT
         }
     }
     let mut rng = Rng::new(cfg.seed, client_id);
-    for _ in 0..n_requests {
+    for i in 0..n_requests {
         tally.sent += 1;
+        let trace_id = cfg
+            .trace
+            .then(|| mint_trace_id(cfg.seed, client_id, i as u64));
+        if let Some(id) = trace_id {
+            tally.note_trace(id);
+        }
         // A random single edit: scale one existing constraint
         // coefficient. This keeps the instance in special form, so the
         // server repairs it in place instead of rebuilding.
@@ -319,7 +373,12 @@ fn mutate_loop(cfg: &LoadConfig, n_requests: usize, client_id: usize) -> ClientT
         };
         let revision = hash_hex(instance_hash(&next));
         let started = Instant::now();
-        let incr = retry_busy(|| client.solve_delta_inline(&delta.to_text(), cfg.big_r, 1));
+        let incr = retry_busy(|| {
+            if let Some(id) = trace_id {
+                client.trace_next(id);
+            }
+            client.solve_delta_inline(&delta.to_text(), cfg.big_r, 1)
+        });
         let incr = match incr {
             Ok(ClientReply::Ok(body)) => {
                 tally.histogram.record(started.elapsed().as_micros() as u64);
@@ -397,7 +456,7 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
                 if cfg.mutate {
                     mutate_loop(cfg, share, c)
                 } else {
-                    client_loop(cfg, share)
+                    client_loop(cfg, share, c)
                 }
             }));
         }
@@ -420,6 +479,9 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
         first_error: None,
         delta_checks: 0,
         delta_mismatches: 0,
+        traced: 0,
+        last_trace_id: None,
+        server_delta_us: None,
     };
     let mut bodies = BTreeSet::new();
     for t in tallies {
@@ -429,15 +491,37 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
         report.errors += t.errors;
         report.delta_checks += t.delta_checks;
         report.delta_mismatches += t.delta_mismatches;
+        report.traced += t.traced;
         report.histogram.merge(&t.histogram);
         bodies.extend(t.bodies);
         if report.first_error.is_none() {
             report.first_error = t.first_error;
         }
+        if t.last_trace_id.is_some() {
+            report.last_trace_id = t.last_trace_id;
+        }
     }
     report.distinct_bodies = bodies.len();
     if bodies.len() == 1 {
         report.body_fnv = bodies.first().copied();
+    }
+
+    // Mutate mode pulls the server's own SOLVE_DELTA quantiles before
+    // any shutdown: the closed loop only times round trips it waited
+    // for, while the server-side histogram sees every solve.
+    if cfg.mutate {
+        if let Ok(mut c) = Client::connect(&cfg.addr) {
+            if let Ok(stats) = c.stats() {
+                let get = |key: &str| stats.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+                if let (Some(p50), Some(p95), Some(p99)) = (
+                    get("delta_latency_p50_us"),
+                    get("delta_latency_p95_us"),
+                    get("delta_latency_p99_us"),
+                ) {
+                    report.server_delta_us = Some((p50, p95, p99));
+                }
+            }
+        }
     }
 
     if cfg.shutdown_after {
@@ -477,6 +561,17 @@ pub fn render_report(cfg: &LoadConfig, r: &LoadReport) -> String {
     if cfg.mutate {
         let _ = writeln!(out, "delta_checks {}", r.delta_checks);
         let _ = writeln!(out, "delta_mismatches {}", r.delta_mismatches);
+        if let Some((p50, p95, p99)) = r.server_delta_us {
+            let _ = writeln!(out, "server_delta_p50_us {p50}");
+            let _ = writeln!(out, "server_delta_p95_us {p95}");
+            let _ = writeln!(out, "server_delta_p99_us {p99}");
+        }
+    }
+    if cfg.trace {
+        let _ = writeln!(out, "traced {}", r.traced);
+        if let Some(id) = r.last_trace_id {
+            let _ = writeln!(out, "last_trace_id {id:016x}");
+        }
     }
     let _ = writeln!(out, "distinct_bodies {}", r.distinct_bodies);
     if let Some(h) = r.body_fnv {

@@ -3,6 +3,13 @@
 //!
 //! ```text
 //! client → server   one command per line (LF; CRLF tolerated)
+//!   TRACE <hex>                        optional prefix line: attaches a
+//!                                      client-minted trace id (1–16 hex
+//!                                      digits, nonzero) to the NEXT
+//!                                      command; no reply of its own.
+//!                                      Absent ⇒ the server samples by
+//!                                      rate. Backward compatible: old
+//!                                      clients never send it.
 //!   PUT <nbytes>                       upload instance (body follows)
 //!   PUT_DELTA <nbytes>                 register an edit delta (body:
 //!                                      canonical delta text) against a
@@ -220,6 +227,33 @@ impl Reply {
     }
 }
 
+/// The verb of the optional trace-context prefix line.
+pub const TRACE_PREFIX: &str = "TRACE";
+
+/// Recognises a `TRACE <hex>` prefix line. Returns `None` when the
+/// line is not a trace line at all (it should be parsed as a command),
+/// `Some(Ok(id))` for a well-formed one, and `Some(Err(msg))` for a
+/// malformed one (a `BADREQ` reply — the verb was clearly `TRACE`, so
+/// falling through to command parsing would mask the mistake).
+pub fn parse_trace_line(line: &str) -> Option<Result<u64, String>> {
+    let mut tokens = line.split_ascii_whitespace();
+    if tokens.next() != Some(TRACE_PREFIX) {
+        return None;
+    }
+    let Some(hex) = tokens.next() else {
+        return Some(Err("TRACE needs a hex trace id".into()));
+    };
+    if tokens.next().is_some() {
+        return Some(Err("TRACE takes exactly one argument".into()));
+    }
+    match mmlp_obs::parse_trace_id(hex) {
+        Some(id) => Some(Ok(id)),
+        None => Some(Err(format!(
+            "bad trace id '{hex}' (need 1–16 hex digits, nonzero)"
+        ))),
+    }
+}
+
 fn parse_source(tok: &str) -> Result<Source, String> {
     if let Some(hex) = tok.strip_prefix("hash:") {
         let h = parse_hash_hex(hex).ok_or_else(|| format!("bad hash '{hex}'"))?;
@@ -401,6 +435,28 @@ mod tests {
             "SLEEP soon",
         ] {
             assert!(parse_command(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_prefix_lines_parse_and_fail_loudly() {
+        assert_eq!(
+            parse_trace_line("TRACE 00deadbeef001122"),
+            Some(Ok(0x00de_adbe_ef00_1122))
+        );
+        assert_eq!(parse_trace_line("TRACE f"), Some(Ok(0xf)));
+        // Not a trace line at all: commands fall through untouched.
+        assert_eq!(parse_trace_line("SOLVE hash:0"), None);
+        assert_eq!(parse_trace_line("PING"), None);
+        // Clearly TRACE, clearly wrong: a typed error, not fallthrough.
+        for bad in [
+            "TRACE",
+            "TRACE 0",
+            "TRACE zz",
+            "TRACE 1 2",
+            "TRACE 00000000000000000",
+        ] {
+            assert!(matches!(parse_trace_line(bad), Some(Err(_))), "{bad:?}");
         }
     }
 

@@ -24,14 +24,19 @@
 
 use crate::delta::DeltaMode;
 use crate::engine::{self, CacheKey, Engine, EngineError};
-use crate::protocol::{parse_command, Command, ErrorCode, Op, Reply, Source};
+use crate::protocol::{parse_command, parse_trace_line, Command, ErrorCode, Op, Reply, Source};
 use crate::stats::ServeMetrics;
 use mmlp_instance::hash::hash_hex;
 use mmlp_lab::pool::{Outcome, SubmitError, TaskPool, TaskPoolConfig};
-use mmlp_obs::{next_trace_id, SolveTrace, TraceRing};
+use mmlp_obs::journal::{EV_BUSY, EV_CACHE, EV_DELTA, EV_SPAN, EV_STORE};
+use mmlp_obs::span::ROOT_SPAN;
+use mmlp_obs::{
+    next_trace_id, Journal, JournalConfig, JournalRecord, SolveTrace, SpanRecorder, SpanRing,
+    TraceRing,
+};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -59,6 +64,12 @@ pub struct ServeConfig {
     /// `PUT` instances and solved results are appended to disk, and a
     /// restart warm-starts the caches from it (`specs/STORAGE.md`).
     pub store_dir: Option<std::path::PathBuf>,
+    /// When set, mount the crash-safe event journal at this directory:
+    /// span trees, cache evictions, BUSY rejections, delta resolutions
+    /// and store reports are appended as checksummed records
+    /// (`specs/OBSERVABILITY.md`), readable with `maxmin-lp obs
+    /// journal` / `obs trace` even after a kill -9.
+    pub journal_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +84,7 @@ impl Default for ServeConfig {
             max_connections: 256,
             max_body_bytes: 16 << 20,
             store_dir: None,
+            journal_dir: None,
         }
     }
 }
@@ -105,12 +117,20 @@ pub struct ServerSummary {
 const TRACE_RING_CAP: usize = 64;
 /// How many of those the final [`ServerSummary`] carries.
 const SUMMARY_SLOWEST: usize = 8;
+/// Finished request span trees kept in memory ([`SpanRing`]).
+const SPAN_RING_CAP: usize = 256;
+/// Without a client-supplied `TRACE` line, one request in this many is
+/// traced server-side (the first request always is).
+const TRACE_SAMPLE_EVERY: u64 = 64;
 
 struct Shared {
     engine: Engine,
     pool: TaskPool,
     metrics: ServeMetrics,
     ring: Arc<TraceRing>,
+    spans: Arc<SpanRing>,
+    journal: Option<Arc<Journal>>,
+    trace_counter: AtomicU64,
     shutting_down: AtomicBool,
     live_connections: AtomicUsize,
     cfg: ServeConfig,
@@ -143,18 +163,39 @@ impl Server {
             queue_cap: cfg.queue_cap,
             timeout: cfg.timeout,
         });
+        let mut store_note = None;
         let engine = match &cfg.store_dir {
             None => Engine::new(cfg.cache_bytes, cfg.store_bytes),
             Some(dir) => {
-                let (store, _report) = mmlp_store::Store::open(dir)?;
+                let (store, report) = mmlp_store::Store::open(dir)?;
+                store_note = Some(report.summary_line());
                 Engine::with_store(cfg.cache_bytes, cfg.store_bytes, store)?
             }
         };
+        let journal = match &cfg.journal_dir {
+            None => None,
+            Some(dir) => {
+                let (j, _report) = Journal::open(JournalConfig::new(dir))?;
+                Some(Arc::new(j))
+            }
+        };
+        // The store's recovery outcome is itself an event worth keeping
+        // across restarts: journal it at bind time.
+        if let (Some(j), Some(note)) = (&journal, store_note) {
+            j.emit(JournalRecord {
+                kind: EV_STORE,
+                trace_id: 0,
+                text: note,
+            });
+        }
         let shared = Arc::new(Shared {
             engine,
             pool,
             metrics: ServeMetrics::new(),
             ring: Arc::new(TraceRing::new(TRACE_RING_CAP)),
+            spans: Arc::new(SpanRing::new(SPAN_RING_CAP)),
+            journal,
+            trace_counter: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             live_connections: AtomicUsize::new(0),
             cfg,
@@ -325,11 +366,41 @@ fn read_body(
     Ok(buf)
 }
 
+/// The `op` label a parsed command's latency is recorded under (see
+/// [`crate::stats::OP_LABELS`]).
+fn command_label(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Ping => "ping",
+        Command::Stats => "stats",
+        Command::Metrics => "metrics",
+        Command::Shutdown => "shutdown",
+        Command::Sleep { .. } => "sleep",
+        Command::Put { .. } => "put",
+        Command::PutDelta { .. } => "put_delta",
+        Command::Run { op, .. } => op.tag(),
+    }
+}
+
+/// Server-side sampling for requests that carried no `TRACE` line:
+/// every [`TRACE_SAMPLE_EVERY`]-th request gets a fresh trace id, the
+/// rest stay untraced (id 0).
+fn sample_trace_id(shared: &Shared) -> u64 {
+    let n = shared.trace_counter.fetch_add(1, Ordering::Relaxed);
+    if n.is_multiple_of(TRACE_SAMPLE_EVERY) {
+        next_trace_id()
+    } else {
+        0
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL_TICK))?;
     stream.set_nodelay(true).ok();
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // A `TRACE <hex>` prefix line applies to the next command on this
+    // connection (specs/PROTOCOL.md); it gets no reply of its own.
+    let mut pending_trace: Option<u64> = None;
 
     loop {
         let Some(line) = read_command_line(&mut reader, shared)? else {
@@ -338,16 +409,44 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result
         if line.trim().is_empty() {
             continue;
         }
+        match parse_trace_line(&line) {
+            Some(Ok(id)) => {
+                pending_trace = Some(id);
+                continue;
+            }
+            Some(Err(msg)) => {
+                shared.metrics.requests.inc();
+                shared.metrics.errors.inc();
+                writer.write_all(Reply::Err(ErrorCode::BadReq, msg).to_wire().as_bytes())?;
+                writer.flush()?;
+                continue;
+            }
+            None => {}
+        }
         let started = Instant::now();
         shared.metrics.requests.inc();
+        let trace_id = pending_trace
+            .take()
+            .unwrap_or_else(|| sample_trace_id(shared));
+        let span = (trace_id != 0).then(|| Arc::new(SpanRecorder::new(trace_id, line.clone())));
         let parsed = parse_command(&line);
+        let op_label = parsed.as_ref().ok().map(command_label);
         let is_shutdown = matches!(parsed, Ok(Command::Shutdown));
         let (reply, close_after) = match parsed {
             Err(msg) => (Reply::Err(ErrorCode::BadReq, msg), false),
-            Ok(cmd) => dispatch(cmd, &mut reader, shared),
+            Ok(cmd) => dispatch(cmd, &mut reader, shared, span.as_ref()),
         };
         match &reply {
-            Reply::Err(ErrorCode::Busy, _) => shared.metrics.busy.inc(),
+            Reply::Err(ErrorCode::Busy, msg) => {
+                shared.metrics.busy.inc();
+                if let Some(j) = &shared.journal {
+                    j.emit(JournalRecord {
+                        kind: EV_BUSY,
+                        trace_id,
+                        text: format!("busy: {line}: {msg}"),
+                    });
+                }
+            }
             Reply::Err(ErrorCode::Timeout, _) => {
                 shared.metrics.timeouts.inc();
                 shared.metrics.errors.inc();
@@ -356,10 +455,24 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result
             Reply::Ok(_) => {}
         }
         // The request span, parse → reply framed: one lock-free record.
-        shared
-            .metrics
-            .latency
-            .record(started.elapsed().as_micros() as u64);
+        // Traced requests stamp the latency exemplar too, so a slow
+        // scrape bucket names a findable trace.
+        let us = started.elapsed().as_micros() as u64;
+        shared.metrics.latency.record_traced(us, trace_id);
+        if let Some(label) = op_label {
+            shared.metrics.observe_op_latency(label, us, trace_id);
+        }
+        if let Some(rec) = &span {
+            let tree = rec.finish();
+            if let Some(j) = &shared.journal {
+                j.emit(JournalRecord {
+                    kind: EV_SPAN,
+                    trace_id,
+                    text: tree.to_text(),
+                });
+            }
+            shared.spans.push(tree);
+        }
         writer.write_all(reply.to_wire().as_bytes())?;
         writer.flush()?;
         // One reply per SHUTDOWN, then stop reading from this client;
@@ -378,6 +491,7 @@ fn dispatch(
     cmd: Command,
     reader: &mut BufReader<TcpStream>,
     shared: &Arc<Shared>,
+    span: Option<&Arc<SpanRecorder>>,
 ) -> (Reply, bool) {
     match cmd {
         Command::Ping => (Reply::Ok("pong\n".into()), false),
@@ -402,7 +516,7 @@ fn dispatch(
             (Reply::Ok("bye\n".into()), false)
         }
         Command::Sleep { ms } => (
-            run_pooled(shared, move || {
+            run_pooled(shared, span.cloned(), move || {
                 std::thread::sleep(Duration::from_millis(ms));
                 Ok(format!("slept {ms}\n"))
             }),
@@ -450,7 +564,7 @@ fn dispatch(
             // bit-identical across thread counts anyway).
             let threads = threads.min(shared.cfg.workers.max(1));
             if op == Op::SolveDelta {
-                return solve_delta(src, big_r, threads, reader, shared);
+                return solve_delta(src, big_r, threads, reader, shared, span);
             }
             let (hash, inst) = match src {
                 Source::Hash(h) => match shared.engine.fetch(h) {
@@ -475,21 +589,37 @@ fn dispatch(
                 }
             };
             let key = CacheKey::new(hash, op, big_r, threads);
+            let probe = Instant::now();
             if let Some(body) = shared.engine.cached(&key) {
+                if let Some(rec) = span {
+                    rec.add(ROOT_SPAN, "cache:hit", probe, probe.elapsed());
+                }
                 shared.metrics.cache_hit(op);
                 return (Reply::Ok(body.as_ref().clone()), false);
+            }
+            if let Some(rec) = span {
+                rec.add(ROOT_SPAN, "cache:miss", probe, probe.elapsed());
             }
             let metrics = shared.metrics.clone();
             let ring = Arc::clone(&shared.ring);
             let label = format!("{} {} R={big_r}", op.tag(), hash_hex(hash));
-            let reply = run_pooled(shared, move || {
+            let span_rec = span.cloned();
+            let reply = run_pooled(shared, span.cloned(), move || {
                 let (body, info) = engine::execute_traced(op, &inst, big_r, threads)
                     .map_err(|msg| (ErrorCode::Internal, msg))?;
                 if let Some(i) = info {
                     metrics.observe_solve(&i);
                     let t = i.trace;
+                    if let Some(rec) = &span_rec {
+                        record_phase_spans(rec, &t);
+                    }
                     ring.push(SolveTrace {
-                        trace_id: next_trace_id(),
+                        // A traced request keeps its wire trace id so
+                        // the slowest-solves ring and `obs trace` agree
+                        // on names.
+                        trace_id: span_rec
+                            .as_ref()
+                            .map_or_else(next_trace_id, |rec| rec.trace_id()),
                         label,
                         total_ns: t.total_ns,
                         phases: vec![
@@ -509,9 +639,50 @@ fn dispatch(
                 shared.metrics.cache_miss(op);
             }
             if let Reply::Ok(body) = &reply {
-                shared.engine.insert(key, Arc::new(body.clone()));
+                insert_cached(shared, key, body, span);
             }
             (reply, false)
+        }
+    }
+}
+
+/// Nests the solver's sequential phase spans under the recorder's
+/// published anchor (the `execute` span). The phases just finished, so
+/// their shared timeline ends "now"; offsets are reconstructed
+/// backwards from their summed lengths.
+fn record_phase_spans(rec: &SpanRecorder, t: &mmlp_core::distributed::FlatSolveTrace) {
+    let phases = t.phase_spans();
+    let total: u64 = phases.iter().map(|(_, ns)| *ns).sum();
+    let now = Instant::now();
+    let base = now.checked_sub(Duration::from_nanos(total)).unwrap_or(now);
+    let parent = rec.anchor();
+    let mut off = Duration::ZERO;
+    for (name, ns) in phases {
+        rec.add(parent, name, base + off, Duration::from_nanos(ns));
+        off += Duration::from_nanos(ns);
+    }
+}
+
+/// Inserts a reply body into the result cache under a `store` span and
+/// journals any LRU evictions the insert caused.
+fn insert_cached(shared: &Shared, key: CacheKey, body: &str, span: Option<&Arc<SpanRecorder>>) {
+    let evictions_before = shared.engine.cache_stats().2;
+    let t = Instant::now();
+    shared.engine.insert(key, Arc::new(body.to_string()));
+    if let Some(rec) = span {
+        rec.add(ROOT_SPAN, "store", t, t.elapsed());
+    }
+    if let Some(j) = &shared.journal {
+        let (entries, bytes, evictions_after) = shared.engine.cache_stats();
+        if evictions_after > evictions_before {
+            j.emit(JournalRecord {
+                kind: EV_CACHE,
+                trace_id: span.map_or(0, |rec| rec.trace_id()),
+                text: format!(
+                    "cache evicted {} result(s): entries={entries} bytes={bytes}",
+                    evictions_after - evictions_before
+                ),
+            });
         }
     }
 }
@@ -528,6 +699,7 @@ fn solve_delta(
     threads: usize,
     reader: &mut BufReader<TcpStream>,
     shared: &Arc<Shared>,
+    span: Option<&Arc<SpanRecorder>>,
 ) -> (Reply, bool) {
     let revision = match src {
         Source::Hash(h) => h,
@@ -546,22 +718,53 @@ fn solve_delta(
         }
     };
     let key = CacheKey::new(revision, Op::SolveDelta, big_r, threads);
+    let probe = Instant::now();
     if let Some(body) = shared.engine.cached(&key) {
+        if let Some(rec) = span {
+            rec.add(ROOT_SPAN, "cache:hit", probe, probe.elapsed());
+        }
         shared.metrics.cache_hit(Op::SolveDelta);
         return (Reply::Ok(body.as_ref().clone()), false);
     }
+    if let Some(rec) = span {
+        rec.add(ROOT_SPAN, "cache:miss", probe, probe.elapsed());
+    }
     let metrics = shared.metrics.clone();
     let worker_shared = Arc::clone(shared);
-    let reply = run_pooled(shared, move || {
+    let span_rec = span.cloned();
+    let reply = run_pooled(shared, span.cloned(), move || {
         let (body, info) = worker_shared.engine.solve_delta(revision, big_r, threads)?;
         metrics.observe_delta(&info);
+        if let Some(rec) = &span_rec {
+            // Zero-length marker naming the resolution path taken.
+            rec.open(rec.anchor(), info.mode.tag());
+        }
+        // The lineage resolution is the delta workload's key event:
+        // which path ran, and how local the dirty ball actually was.
+        if let Some(j) = &worker_shared.journal {
+            j.emit(JournalRecord {
+                kind: EV_DELTA,
+                trace_id: span_rec.as_ref().map_or(0, |rec| rec.trace_id()),
+                text: format!(
+                    "delta {} revision={} replayed={} recomputed_x={} agents={} \
+                     arena_added={} roots_reused={}",
+                    info.mode.tag(),
+                    hash_hex(revision),
+                    info.replayed,
+                    info.recomputed_x,
+                    info.n_agents,
+                    info.arena_added,
+                    info.roots_reused
+                ),
+            });
+        }
         Ok(body)
     });
     if !matches!(reply, Reply::Err(ErrorCode::Busy | ErrorCode::Shutdown, _)) {
         shared.metrics.cache_miss(Op::SolveDelta);
     }
     if let Reply::Ok(body) = &reply {
-        shared.engine.insert(key, Arc::new(body.clone()));
+        insert_cached(shared, key, body, span);
     }
     (reply, false)
 }
@@ -574,7 +777,7 @@ fn solve_delta(
 /// The closure returns typed [`EngineError`]s so pooled work can
 /// surface precise codes (e.g. `NOBASE` from a delta solve), not just
 /// `INTERNAL`.
-fn run_pooled<F>(shared: &Shared, f: F) -> Reply
+fn run_pooled<F>(shared: &Shared, span: Option<Arc<SpanRecorder>>, f: F) -> Reply
 where
     F: FnOnce() -> Result<String, EngineError> + Send + 'static,
 {
@@ -587,7 +790,26 @@ where
     let task = move || {
         let picked_up = Instant::now();
         queue_wait.record(picked_up.duration_since(submitted).as_micros() as u64);
+        // Traced requests get the same split as spans: `queue` from
+        // submit to pickup, `execute` around the closure, with the
+        // execute id published as the anchor so the closure can nest
+        // solver-phase spans underneath it.
+        let exec_id = span.as_ref().map(|rec| {
+            rec.add(
+                ROOT_SPAN,
+                "queue",
+                submitted,
+                picked_up.duration_since(submitted),
+            );
+            let id = rec.open(ROOT_SPAN, "execute");
+            rec.set_anchor(id);
+            id
+        });
         let result = f();
+        if let (Some(rec), Some(id)) = (span.as_ref(), exec_id) {
+            rec.close(id);
+            rec.set_anchor(ROOT_SPAN);
+        }
         execute.record(picked_up.elapsed().as_micros() as u64);
         result
     };
@@ -759,5 +981,26 @@ fn render_stats(shared: &Shared) -> String {
     let _ = writeln!(out, "delta_solvers {delta_solvers}");
     let _ = writeln!(out, "delta_solver_bytes {delta_solver_bytes}");
     let _ = writeln!(out, "warm_lineage {}", warm.lineage);
+    // Tracing + journal surface (appended keys, older parsers keep
+    // working). STATS is rare enough to afford a journal flush, which
+    // makes `journal_records` deterministic for scripts and tests.
+    if let Some(j) = &shared.journal {
+        j.flush();
+    }
+    let (journal_records, journal_dropped) = shared
+        .journal
+        .as_ref()
+        .map_or((0, 0), |j| (j.appended(), j.dropped()));
+    let _ = writeln!(out, "spans_recorded {}", shared.spans.recorded());
+    let _ = writeln!(out, "journal_records {journal_records}");
+    let _ = writeln!(out, "journal_dropped {journal_dropped}");
+    // The mutating-loadgen SLO reads these: server-side SOLVE_DELTA
+    // latency quantiles, end-to-end per op.
+    let delta_lat = m
+        .op_latency_snapshot("solve_delta")
+        .expect("solve_delta is a registered op label");
+    let _ = writeln!(out, "delta_latency_p50_us {}", delta_lat.percentile(0.50));
+    let _ = writeln!(out, "delta_latency_p95_us {}", delta_lat.percentile(0.95));
+    let _ = writeln!(out, "delta_latency_p99_us {}", delta_lat.percentile(0.99));
     out
 }

@@ -47,6 +47,9 @@ pub struct ServeMetrics {
 
     /// End-to-end request latency (parse → reply written), µs.
     pub latency: HistogramHandle,
+    /// Per-op end-to-end latency, one histogram per command verb —
+    /// including `stats` and `metrics`, so scrape cost is visible.
+    op_latency: [HistogramHandle; 12],
     /// Time a pooled task waited in the queue before a worker picked it
     /// up, µs.
     pub queue_wait: HistogramHandle,
@@ -126,6 +129,29 @@ fn op_slot(op: Op) -> usize {
     }
 }
 
+/// Per-op latency labels, in `ServeMetrics::op_latency` slot order:
+/// every command verb the dispatcher replies to, as a lowercase tag.
+pub const OP_LABELS: [&str; 12] = [
+    "solve",
+    "optimum",
+    "safe",
+    "info",
+    "solve_delta",
+    "put",
+    "put_delta",
+    "stats",
+    "metrics",
+    "sleep",
+    "ping",
+    "shutdown",
+];
+
+/// Slot of a command verb in [`OP_LABELS`] (`None` for unknown tags —
+/// unparseable commands have no verb to attribute).
+fn op_label_slot(label: &str) -> Option<usize> {
+    OP_LABELS.iter().position(|&l| l == label)
+}
+
 /// Resolution-mode tags, in counter-slot order.
 const DELTA_MODES: [DeltaMode; 3] = [DeltaMode::Warm, DeltaMode::Advanced, DeltaMode::Booted];
 
@@ -171,6 +197,13 @@ impl ServeMetrics {
                 "Flat-solve memo-table lookups by outcome",
             )
         });
+        let op_latency = OP_LABELS.map(|l| {
+            reg.histogram_with(
+                "mmlp_serve_op_latency_us",
+                &[("op", l)],
+                "End-to-end request latency by command verb, microseconds",
+            )
+        });
         let delta_solves = DELTA_MODES.map(|m| {
             reg.counter_with(
                 "mmlp_serve_delta_solves_total",
@@ -196,6 +229,7 @@ impl ServeMetrics {
                 "mmlp_serve_request_latency_us",
                 "End-to-end request latency in microseconds",
             ),
+            op_latency,
             queue_wait: reg.histogram(
                 "mmlp_serve_queue_wait_us",
                 "Queue wait before a worker picked the task up, microseconds",
@@ -276,6 +310,23 @@ impl ServeMetrics {
     /// Renders every instrument as Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
         self.registry.render_prometheus()
+    }
+
+    /// Records one request's end-to-end latency under its command
+    /// verb's label (see [`OP_LABELS`] — `stats` and `metrics` are
+    /// first-class here, so scrape cost shows up in its own series).
+    /// The trace id feeds the exemplar when nonzero. Unknown labels
+    /// (unparseable commands) are dropped silently.
+    pub fn observe_op_latency(&self, label: &str, us: u64, trace_id: u64) {
+        if let Some(slot) = op_label_slot(label) {
+            self.op_latency[slot].record_traced(us, trace_id);
+        }
+    }
+
+    /// Snapshot of one verb's latency histogram (`None` for unknown
+    /// labels). `STATS` derives the delta percentiles from this.
+    pub fn op_latency_snapshot(&self, label: &str) -> Option<Histogram> {
+        op_label_slot(label).map(|slot| self.op_latency[slot].snapshot())
     }
 
     /// One result-cache hit for `op`.
@@ -483,6 +534,35 @@ mod tests {
         let text = m.render_prometheus();
         assert!(
             text.contains("mmlp_serve_cache_hits_total{op=\"solve_delta\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn op_latency_covers_every_verb_including_scrapes() {
+        let m = ServeMetrics::new();
+        m.observe_op_latency("solve", 100, 0);
+        m.observe_op_latency("stats", 5, 0);
+        m.observe_op_latency("metrics", 7, 0xfeed);
+        m.observe_op_latency("not_a_verb", 1, 0);
+        assert_eq!(m.op_latency_snapshot("solve").unwrap().total(), 1);
+        assert_eq!(m.op_latency_snapshot("stats").unwrap().total(), 1);
+        assert_eq!(m.op_latency_snapshot("solve_delta").unwrap().total(), 0);
+        assert!(m.op_latency_snapshot("not_a_verb").is_none());
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("mmlp_serve_op_latency_us_count{op=\"stats\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mmlp_serve_op_latency_us_count{op=\"metrics\"} 1"),
+            "{text}"
+        );
+        // The traced metrics scrape left its exemplar behind.
+        assert!(
+            text.contains(
+                "# EXEMPLAR mmlp_serve_op_latency_us{op=\"metrics\"} trace_id=\"000000000000feed\""
+            ),
             "{text}"
         );
     }

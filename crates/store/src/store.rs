@@ -63,6 +63,17 @@ pub struct OpenReport {
     pub torn_bytes: u64,
 }
 
+impl OpenReport {
+    /// One-line `key=value` summary — the body the serve layer writes
+    /// into the observability event journal at mount time.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "store open: instances={} results={} superseded={} corrupt={} torn_bytes={}",
+            self.instances, self.results, self.superseded, self.corrupt, self.torn_bytes
+        )
+    }
+}
+
 /// What one [`Store::gc`] reclaimed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GcReport {
@@ -108,6 +119,20 @@ impl VerifyReport {
             self.corrupt,
             self.torn_segments,
             self.bytes,
+            self.clean()
+        )
+    }
+
+    /// One-line `key=value` summary for the observability event
+    /// journal (`maxmin-lp store verify --journal`).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "store verify: segments={} records={} live={} corrupt={} torn_segments={} clean={}",
+            self.segments,
+            self.records,
+            self.live,
+            self.corrupt,
+            self.torn_segments,
             self.clean()
         )
     }

@@ -8,17 +8,23 @@
 //! maxmin-lp info <instance.mmlp>                         sizes, degrees, paper bound
 //! maxmin-lp obs [--file <f>] [--size <n>] [--seed <s>] [-R <R>]
 //!               [--threads <n>] [--slowest <n>]        phase timelines
-//! maxmin-lp obs --addr <a>                             scrape METRICS
+//! maxmin-lp obs --addr <a>                             scrape + lint METRICS
+//! maxmin-lp obs trace <id> --journal <dir>             render a span tree
+//! maxmin-lp obs journal --journal <dir> [--tail <n>]   dump the event journal
+//! maxmin-lp obs lint <scrape> [<scrape2>]              lint exposition files
+//! maxmin-lp obs slo <spec> (--scrape <f> | --addr <a>) evaluate SLOs
 //! maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet]
+//!                 [--journal-dir <dir>]
 //! maxmin-lp campaign report <dir> [--csv]
 //! maxmin-lp campaign status <dir>
 //! maxmin-lp campaign spill <dir> --store <store-dir>     persist results
 //! maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>]
 //!                 [--queue <n>] [--timeout-ms <t>]
-//!                 [--store-dir <dir>]                    solver service
+//!                 [--store-dir <dir>] [--journal-dir <dir>]  solver service
 //! maxmin-lp loadgen --instance <f> [--addr <a>] [--clients <n>]
 //!                 [--requests <n>] [-R <R>] [--op <op>] [--inline]
-//!                 [--shutdown] [--mutate] [--seed <n>]   drive the service
+//!                 [--shutdown] [--mutate] [--seed <n>]
+//!                 [--trace]                              drive the service
 //! maxmin-lp store import <dir> <file>... | --catalog <size> <seed>
 //! maxmin-lp store export <dir> <hash> [--out <file>]
 //! maxmin-lp store convert <in> <out>                     text ↔ binary
@@ -55,15 +61,20 @@ fn usage() -> ExitCode {
          maxmin-lp info <file>\n  \
          maxmin-lp obs [--file <f>] [--size <n>] [--seed <s>] [-R <R>] [--threads <n>] \
          [--slowest <n>] | --addr <a>\n  \
-         maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet]\n  \
+         maxmin-lp obs trace <id> --journal <dir>\n  \
+         maxmin-lp obs journal --journal <dir> [--tail <n>]\n  \
+         maxmin-lp obs lint <scrape> [<scrape2>]\n  \
+         maxmin-lp obs slo <spec> (--scrape <file> | --addr <a>)\n  \
+         maxmin-lp campaign run <spec.lab> [--out <dir>] [--workers <n>] [--quiet] \
+         [--journal-dir <dir>]\n  \
          maxmin-lp campaign report <dir> [--csv]\n  \
          maxmin-lp campaign status <dir>\n  \
          maxmin-lp campaign spill <dir> --store <store-dir>\n  \
          maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>] \
-         [--queue <n>] [--timeout-ms <t>] [--store-dir <dir>]\n  \
+         [--queue <n>] [--timeout-ms <t>] [--store-dir <dir>] [--journal-dir <dir>]\n  \
          maxmin-lp loadgen --instance <file> [--addr <a>] [--clients <n>] \
          [--requests <n>] [-R <R>] [--op solve|optimum|safe|info] [--inline] [--shutdown] \
-         [--mutate] [--seed <n>]\n  \
+         [--mutate] [--seed <n>] [--trace]\n  \
          maxmin-lp store import <dir> <file>... | --catalog <size> <seed>\n  \
          maxmin-lp store export <dir> <hash> [--out <file>]\n  \
          maxmin-lp store convert <in> <out>\n  \
@@ -284,6 +295,14 @@ fn obs_cmd(rest: &[String]) -> Result<(), UsageError> {
     use maxmin_lp::core::SpecialForm;
     use maxmin_lp::obs::{next_trace_id, render_timeline, SolveTrace, TraceRing};
 
+    match rest.first().map(String::as_str) {
+        Some("trace") => return obs_trace_cmd(&rest[1..]),
+        Some("journal") => return obs_journal_cmd(&rest[1..]),
+        Some("lint") => return obs_lint_cmd(&rest[1..]),
+        Some("slo") => return obs_slo_cmd(&rest[1..]),
+        _ => {}
+    }
+
     let mut addr: Option<String> = None;
     let mut file: Option<String> = None;
     let mut size = 16usize;
@@ -335,10 +354,16 @@ fn obs_cmd(rest: &[String]) -> Result<(), UsageError> {
     }
 
     if let Some(addr) = addr {
-        // Scrape mode: print the server's registry verbatim.
-        let mut client = maxmin_lp::serve::client::Client::connect(&addr)
-            .map_err(|e| format!("connect {addr}: {e}"))?;
-        let body = client.metrics().map_err(|e| e.to_string())?;
+        // Scrape mode: print the server's registry verbatim — after
+        // linting it, so a malformed exposition is a typed error (exit
+        // 1), not something silently passed downstream.
+        let body = fetch_metrics(&addr)?;
+        if let Err(errors) = maxmin_lp::obs::parse_exposition(&body) {
+            return Err(UsageError::Message(format!(
+                "scrape from {addr} failed lint:\n  {}",
+                errors.join("\n  ")
+            )));
+        }
         print!("{body}");
         return Ok(());
     }
@@ -395,8 +420,200 @@ fn obs_cmd(rest: &[String]) -> Result<(), UsageError> {
     Ok(())
 }
 
+/// Scrapes `METRICS` from a running server, with connection and
+/// protocol failures surfaced as typed errors (exit code 1), never a
+/// panic.
+fn fetch_metrics(addr: &str) -> Result<String, UsageError> {
+    let mut client = maxmin_lp::serve::client::Client::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    client
+        .metrics()
+        .map_err(|e| UsageError::Message(format!("METRICS from {addr}: {e}")))
+}
+
+/// `maxmin-lp obs trace <id> --journal <dir>` — renders the span tree
+/// of one traced request out of the crash-safe event journal, plus any
+/// other journal events carrying the same trace id.
+fn obs_trace_cmd(rest: &[String]) -> Result<(), UsageError> {
+    use maxmin_lp::obs::journal::{kind_name, read_journal_dir, EV_SPAN};
+    use maxmin_lp::obs::{format_trace_id, parse_trace_id, render_span_tree, SpanTree};
+
+    let id_text = rest.first().ok_or(UsageError::Usage)?;
+    let trace_id = parse_trace_id(id_text)
+        .ok_or_else(|| format!("bad trace id '{id_text}' (1-16 hex digits, nonzero)"))?;
+    let mut journal_dir: Option<PathBuf> = None;
+    let mut it = rest[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--journal" => journal_dir = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?)),
+            _ => return Err(UsageError::Usage),
+        }
+    }
+    let dir = journal_dir.ok_or(UsageError::Usage)?;
+    let (records, report) =
+        read_journal_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let tree = records
+        .iter()
+        .rev()
+        .filter(|r| r.kind == EV_SPAN && r.trace_id == trace_id)
+        .find_map(|r| SpanTree::parse_text(&r.text).ok())
+        .ok_or_else(|| {
+            format!(
+                "no span tree for trace {} in {} ({} journal record(s) scanned)",
+                format_trace_id(trace_id),
+                dir.display(),
+                records.len()
+            )
+        })?;
+    print!("{}", render_span_tree(&tree));
+    for r in records
+        .iter()
+        .filter(|r| r.trace_id == trace_id && r.kind != EV_SPAN)
+    {
+        println!("event {}: {}", kind_name(r.kind), r.text);
+    }
+    if report.corrupt > 0 || report.torn_files > 0 {
+        eprintln!(
+            "# journal damage skipped: {} corrupt record(s), {} torn file(s)",
+            report.corrupt, report.torn_files
+        );
+    }
+    Ok(())
+}
+
+/// `maxmin-lp obs journal --journal <dir> [--tail <n>]` — dumps the
+/// event journal, one line per record (span trees are summarised).
+fn obs_journal_cmd(rest: &[String]) -> Result<(), UsageError> {
+    use maxmin_lp::obs::journal::{kind_name, read_journal_dir, EV_SPAN};
+    use maxmin_lp::obs::{format_trace_id, SpanTree};
+
+    let mut journal_dir: Option<PathBuf> = None;
+    let mut tail: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--journal" => journal_dir = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?)),
+            "--tail" => {
+                tail = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .ok_or(UsageError::Usage)?,
+                );
+            }
+            _ => return Err(UsageError::Usage),
+        }
+    }
+    let dir = journal_dir.ok_or(UsageError::Usage)?;
+    let (records, report) =
+        read_journal_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let skip = records.len().saturating_sub(tail.unwrap_or(records.len()));
+    for r in &records[skip..] {
+        let id = format_trace_id(r.trace_id);
+        if r.kind == EV_SPAN {
+            match SpanTree::parse_text(&r.text) {
+                Ok(t) => println!(
+                    "span  {id}  {}  total {} ns  ({} span(s))",
+                    t.label,
+                    t.total_ns,
+                    t.spans.len()
+                ),
+                Err(e) => println!("span  {id}  <unparseable: {e}>"),
+            }
+        } else {
+            println!("{:<5} {id}  {}", kind_name(r.kind), r.text);
+        }
+    }
+    println!(
+        "# {} record(s) in {} file(s), {} torn, {} corrupt",
+        records.len(),
+        report.files,
+        report.torn_files,
+        report.corrupt
+    );
+    Ok(())
+}
+
+/// `maxmin-lp obs lint <scrape> [<scrape2>]` — parses Prometheus text
+/// exposition file(s) and fails on format damage; with two scrapes of
+/// the same server it also fails on drift between them (series that
+/// disappeared, counters or histograms that went backwards).
+fn obs_lint_cmd(rest: &[String]) -> Result<(), UsageError> {
+    use maxmin_lp::obs::{lint_pair, parse_exposition};
+
+    let (first, second) = match rest {
+        [f] => (f, None),
+        [f, s] => (f, Some(s)),
+        _ => return Err(UsageError::Usage),
+    };
+    let parse = |path: &str| -> Result<maxmin_lp::obs::Exposition, UsageError> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parse_exposition(&text).map_err(|errors| {
+            UsageError::Message(format!("{path} failed lint:\n  {}", errors.join("\n  ")))
+        })
+    };
+    let prev = parse(first)?;
+    let mut checked = format!("{first}: {} metric families ok", prev.families.len());
+    if let Some(second) = second {
+        let next = parse(second)?;
+        let drift = lint_pair(&prev, &next);
+        if !drift.is_empty() {
+            return Err(UsageError::Message(format!(
+                "drift between {first} and {second}:\n  {}",
+                drift.join("\n  ")
+            )));
+        }
+        checked.push_str(&format!(
+            "\n{second}: {} metric families ok, no drift",
+            next.families.len()
+        ));
+    }
+    println!("{checked}");
+    Ok(())
+}
+
+/// `maxmin-lp obs slo <spec> (--scrape <file> | --addr <a>)` —
+/// evaluates declarative SLOs against a scrape and exits nonzero on
+/// any violated objective (CI's SLO gate).
+fn obs_slo_cmd(rest: &[String]) -> Result<(), UsageError> {
+    use maxmin_lp::obs::{evaluate_slos, parse_exposition, parse_slo_specs, render_slo_report};
+
+    let spec_path = rest.first().ok_or(UsageError::Usage)?;
+    let mut scrape_file: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut it = rest[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scrape" => scrape_file = Some(it.next().ok_or(UsageError::Usage)?.clone()),
+            "--addr" => addr = Some(it.next().ok_or(UsageError::Usage)?.clone()),
+            _ => return Err(UsageError::Usage),
+        }
+    }
+    let spec_text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let specs = parse_slo_specs(&spec_text).map_err(|e| format!("{spec_path}: {e}"))?;
+    let body = match (scrape_file, addr) {
+        (Some(path), None) => std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?,
+        (None, Some(addr)) => fetch_metrics(&addr)?,
+        _ => return Err(UsageError::Usage),
+    };
+    let exp = parse_exposition(&body).map_err(|errors| {
+        UsageError::Message(format!("scrape failed lint:\n  {}", errors.join("\n  ")))
+    })?;
+    let results = evaluate_slos(&specs, &exp);
+    print!("{}", render_slo_report(&results));
+    let violated = results.iter().filter(|r| !r.ok).count();
+    if violated > 0 {
+        return Err(UsageError::Message(format!(
+            "{violated} of {} objective(s) violated",
+            results.len()
+        )));
+    }
+    Ok(())
+}
+
 /// `maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>]
-/// [--queue <n>] [--timeout-ms <t>] [--store-dir <dir>]`.
+/// [--queue <n>] [--timeout-ms <t>] [--store-dir <dir>]
+/// [--journal-dir <dir>]`.
 fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
     let mut cfg = ServeConfig::default();
     let mut it = rest.iter();
@@ -405,6 +622,9 @@ fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
             "--addr" => cfg.addr = it.next().ok_or(UsageError::Usage)?.clone(),
             "--store-dir" => {
                 cfg.store_dir = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?))
+            }
+            "--journal-dir" => {
+                cfg.journal_dir = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?))
             }
             "--workers" => {
                 cfg.workers = it
@@ -449,6 +669,9 @@ fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
     );
     if let Some(dir) = &cfg.store_dir {
         println!("store_dir {}", dir.display());
+    }
+    if let Some(dir) = &cfg.journal_dir {
+        println!("journal_dir {}", dir.display());
     }
     // The CI smoke (and any supervisor) waits for the "listening" line.
     use std::io::Write as _;
@@ -523,6 +746,7 @@ fn loadgen_cmd(rest: &[String]) -> Result<(), UsageError> {
             "--inline" => cfg.by_hash = false,
             "--shutdown" => cfg.shutdown_after = true,
             "--mutate" => cfg.mutate = true,
+            "--trace" => cfg.trace = true,
             "--seed" => {
                 cfg.seed = it
                     .next()
@@ -565,6 +789,7 @@ fn campaign_cmd(sub: &str, rest: &[String]) -> Result<(), UsageError> {
             let mut out_dir: Option<PathBuf> = None;
             let mut workers: Option<usize> = None;
             let mut progress = true;
+            let mut journal_dir: Option<PathBuf> = None;
             let mut it = rest[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -578,6 +803,9 @@ fn campaign_cmd(sub: &str, rest: &[String]) -> Result<(), UsageError> {
                         );
                     }
                     "--quiet" => progress = false,
+                    "--journal-dir" => {
+                        journal_dir = Some(PathBuf::from(it.next().ok_or(UsageError::Usage)?))
+                    }
                     _ => return Err(UsageError::Usage),
                 }
             }
@@ -589,8 +817,12 @@ fn campaign_cmd(sub: &str, rest: &[String]) -> Result<(), UsageError> {
             spec.validate(&known).map_err(|e| e.to_string())?;
             let dir = out_dir
                 .unwrap_or_else(|| PathBuf::from(format!("{}.campaign", spec_path.as_str())));
-            let summary = campaign::run_campaign(&spec, &dir, &RunOptions { workers, progress })
-                .map_err(|e| e.to_string())?;
+            let opts = RunOptions {
+                workers,
+                progress,
+                journal_dir,
+            };
+            let summary = campaign::run_campaign(&spec, &dir, &opts).map_err(|e| e.to_string())?;
             println!("# campaign run {}", dir.display());
             println!("total {}", summary.total);
             println!("skipped {}", summary.skipped);

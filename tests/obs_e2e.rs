@@ -64,6 +64,15 @@ fn parse_prometheus(body: &str) -> BTreeMap<String, f64> {
                     );
                     typed.push(name);
                 }
+                // Latency exemplar: the trace id of the largest
+                // observation since the last scrape.
+                "EXEMPLAR" => {
+                    let rest = parts.next().unwrap_or_default();
+                    assert!(
+                        rest.contains("trace_id=\"") && rest.contains("value="),
+                        "malformed EXEMPLAR: {line:?}"
+                    );
+                }
                 other => panic!("unknown comment kind {other:?} in {line:?}"),
             }
             continue;
