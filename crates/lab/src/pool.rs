@@ -293,9 +293,30 @@ impl TaskPool {
         F: FnOnce() -> T + Send + 'static,
     {
         let (tx, rx) = mpsc::channel();
+        self.submit_with(f, move |outcome| {
+            let _ = tx.send(outcome);
+        })?;
+        Ok(TaskTicket { rx })
+    }
+
+    /// Submits one task with a completion callback instead of a ticket.
+    ///
+    /// `complete` runs on the worker thread with the task's [`Outcome`]
+    /// (exactly once per accepted task, including during shutdown drain),
+    /// so a nonblocking caller — e.g. an event loop — can hand off work
+    /// and be notified without parking a thread on a ticket. Panics in
+    /// the callback are caught so they cannot take down the worker.
+    /// Backpressure is identical to [`TaskPool::submit`].
+    pub fn submit_with<T, F, C>(&self, f: F, complete: C) -> Result<(), SubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        C: FnOnce(Outcome<T>) + Send + 'static,
+    {
         let timeout = self.timeout;
         let task: Task = Box::new(move || {
-            let _ = tx.send(run_isolated(f, timeout));
+            let outcome = run_isolated(f, timeout);
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(move || complete(outcome)));
         });
         {
             let mut st = self.shared.state.lock().expect("pool lock");
@@ -308,7 +329,7 @@ impl TaskPool {
             st.queue.push_back(task);
         }
         self.shared.work_ready.notify_one();
-        Ok(TaskTicket { rx })
+        Ok(())
     }
 
     /// Number of tasks accepted but not yet picked up by a worker.
@@ -534,6 +555,53 @@ mod tests {
         for (x, t) in tickets.into_iter().enumerate() {
             assert_eq!(t.wait(), Outcome::Done(x as u64));
         }
+    }
+
+    #[test]
+    fn task_pool_submit_with_delivers_outcomes_via_callback() {
+        let pool = TaskPool::new(TaskPoolConfig {
+            workers: 2,
+            queue_cap: 16,
+            timeout: Some(Duration::from_millis(40)),
+        });
+        let (tx, rx) = mpsc::channel();
+        for x in 0..4u64 {
+            let tx = tx.clone();
+            pool.submit_with(
+                move || {
+                    if x == 2 {
+                        panic!("cb boom");
+                    }
+                    x * 10
+                },
+                move |o| {
+                    tx.send((x, o)).unwrap();
+                },
+            )
+            .unwrap();
+        }
+        let mut got: Vec<_> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_by_key(|(x, _)| *x);
+        assert_eq!(got[0].1, Outcome::Done(0));
+        assert_eq!(got[1].1, Outcome::Done(10));
+        assert!(matches!(got[2].1, Outcome::Panicked(_)));
+        assert_eq!(got[3].1, Outcome::Done(30));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn task_pool_submit_with_callback_panic_does_not_kill_worker() {
+        let pool = TaskPool::new(TaskPoolConfig {
+            workers: 1,
+            queue_cap: 8,
+            timeout: None,
+        });
+        pool.submit_with(|| 1u32, |_| panic!("callback exploded"))
+            .unwrap();
+        // The single worker must survive to run the next task.
+        let ticket = pool.submit(|| 2u32).unwrap();
+        assert_eq!(ticket.wait(), Outcome::Done(2));
+        pool.shutdown();
     }
 
     #[test]

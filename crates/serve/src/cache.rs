@@ -12,10 +12,20 @@
 //! `get`/`insert`/eviction are all O(1) (amortised, modulo the hash
 //! map) — no scan, no allocation churn on hits.
 
+//! [`ShardedLru`] wraps 16 independently locked [`Lru`] shards selected
+//! by the low bits of the key's hash (the same scheme `mmlp-store` uses
+//! for its segment files), so concurrent probes from the serve front-end
+//! contend only when they land on the same shard.
+
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Mutex;
 
 const NIL: usize = usize::MAX;
+
+/// Number of shards in a [`ShardedLru`]. Kept in sync with the
+/// `mmlp-store` segment count so one hash distributes both.
+pub const SHARDS: usize = 16;
 
 struct Slot<K, V> {
     key: K,
@@ -200,6 +210,113 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     }
 }
 
+/// Maps a key to its shard index (must be `< SHARDS`).
+///
+/// Implementations use the key's *low bits* so content hashes spread
+/// uniformly — `fnv1a64` already mixes well in the low nibble.
+pub trait ShardKey {
+    /// The shard this key lives in.
+    fn shard(&self) -> usize;
+}
+
+impl ShardKey for u64 {
+    fn shard(&self) -> usize {
+        (*self & (SHARDS as u64 - 1)) as usize
+    }
+}
+
+/// A 16-way sharded [`Lru`]: each shard has its own lock and a slice of
+/// the total byte budget, so probes on different shards never contend.
+///
+/// The budget is split evenly across shards (remainder bytes go to the
+/// lowest shards), which preserves the total-budget bound exactly:
+/// the sum of shard budgets equals the configured total. The one
+/// observable difference from a single LRU is that an entry larger
+/// than its *shard's* slice (≈ total/16) is refused rather than
+/// evicting everything else, and a hot shard evicts locally while cold
+/// shards keep their entries — recency is per-shard, not global.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Lru<K, V>>>,
+    budget: u64,
+}
+
+impl<K: Eq + Hash + Clone + ShardKey, V: Clone> ShardedLru<K, V> {
+    /// An empty sharded cache with the given *total* cost budget.
+    pub fn new(budget: u64) -> Self {
+        let base = budget / SHARDS as u64;
+        let extra = budget % SHARDS as u64;
+        let shards = (0..SHARDS)
+            .map(|i| Mutex::new(Lru::new(base + u64::from((i as u64) < extra))))
+            .collect();
+        ShardedLru { shards, budget }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Lru<K, V>> {
+        &self.shards[key.shard() % SHARDS]
+    }
+
+    /// Looks up `key`, marking it most recently used within its shard.
+    /// Returns a clone, so the shard lock is held only for the probe.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("lru shard lock")
+            .get(key)
+            .cloned()
+    }
+
+    /// Whether `key` is present, *without* touching recency.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard(key)
+            .lock()
+            .expect("lru shard lock")
+            .contains(key)
+    }
+
+    /// Inserts `key → value` into its shard, evicting LRU entries there
+    /// until it fits. Returns `false` when the cost alone exceeds the
+    /// shard's budget slice.
+    pub fn insert(&self, key: K, value: V, cost: u64) -> bool {
+        self.shard(&key)
+            .lock()
+            .expect("lru shard lock")
+            .insert(key, value, cost)
+    }
+
+    /// Removes `key` from its shard, returning its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().expect("lru shard lock").remove(key)
+    }
+
+    /// The configured *total* budget (sum of all shard slices).
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Aggregated `(entries, used bytes, evictions)` across all shards.
+    pub fn stats(&self) -> (usize, u64, u64) {
+        let mut len = 0;
+        let mut used = 0;
+        let mut ev = 0;
+        for s in &self.shards {
+            let g = s.lock().expect("lru shard lock");
+            len += g.len();
+            used += g.used();
+            ev += g.evictions();
+        }
+        (len, used, ev)
+    }
+
+    /// Per-shard eviction counters, indexed by shard.
+    pub fn shard_evictions(&self) -> [u64; SHARDS] {
+        let mut out = [0u64; SHARDS];
+        for (i, s) in self.shards.iter().enumerate() {
+            out[i] = s.lock().expect("lru shard lock").evictions();
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,5 +411,58 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.used(), 0);
         assert!(c.insert(1, 1, 50));
+    }
+
+    // -- ShardedLru --------------------------------------------------------
+
+    #[test]
+    fn sharded_budget_slices_sum_to_total() {
+        // 100 = 16*6 + 4: four shards get 7, twelve get 6.
+        let c: ShardedLru<u64, u32> = ShardedLru::new(100);
+        let per_shard: u64 = c.shards.iter().map(|s| s.lock().unwrap().budget()).sum();
+        assert_eq!(per_shard, 100);
+        assert_eq!(c.budget(), 100);
+    }
+
+    #[test]
+    fn sharded_keys_land_in_low_bit_shards() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(16 * 100);
+        for k in 0..64u64 {
+            assert!(c.insert(k, k, 1));
+        }
+        for (i, s) in c.shards.iter().enumerate() {
+            let g = s.lock().unwrap();
+            assert_eq!(g.len(), 4, "shard {i} holds exactly the keys ≡ {i} mod 16");
+        }
+        for k in 0..64u64 {
+            assert_eq!(c.get(&k), Some(k));
+        }
+        let (len, used, ev) = c.stats();
+        assert_eq!((len, used, ev), (64, 64, 0));
+    }
+
+    #[test]
+    fn sharded_evictions_are_per_shard_and_counted() {
+        // Each shard gets a budget of 2; three same-shard inserts evict one.
+        let c: ShardedLru<u64, u32> = ShardedLru::new(32);
+        assert!(c.insert(0x10, 1, 1));
+        assert!(c.insert(0x20, 2, 1));
+        assert!(c.insert(0x30, 3, 1)); // shard 0 overflows
+        assert!(c.insert(0x01, 4, 1)); // shard 1 untouched by shard 0 pressure
+        let ev = c.shard_evictions();
+        assert_eq!(ev[0], 1);
+        assert_eq!(ev[1..].iter().sum::<u64>(), 0);
+        assert!(!c.contains(&0x10), "0x10 was shard 0's LRU");
+        assert!(c.contains(&0x01));
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn sharded_refuses_entries_beyond_shard_slice() {
+        let c: ShardedLru<u64, u32> = ShardedLru::new(160); // 10 per shard
+        assert!(!c.insert(5, 1, 11), "bigger than the shard slice");
+        assert!(c.insert(5, 1, 10));
+        assert_eq!(c.remove(&5), Some(1));
+        assert_eq!(c.remove(&5), None);
     }
 }

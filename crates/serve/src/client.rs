@@ -2,7 +2,7 @@
 //! generator, the e2e suite and anyone scripting against the server.
 
 use crate::protocol::{ErrorCode, Op};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
 
 /// One framed server reply, as seen by a client.
@@ -77,43 +77,7 @@ impl Client {
     }
 
     fn read_reply(&mut self) -> std::io::Result<ClientReply> {
-        let mut header = String::new();
-        let n = self.reader.read_line(&mut header)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        let header = header.trim_end();
-        if let Some(rest) = header.strip_prefix("OK ") {
-            let nbytes: usize = rest.trim().parse().map_err(|_| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("bad OK length in '{header}'"),
-                )
-            })?;
-            let mut body = vec![0u8; nbytes];
-            self.reader.read_exact(&mut body)?;
-            let body = String::from_utf8(body).map_err(|_| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body")
-            })?;
-            Ok(ClientReply::Ok(body))
-        } else if let Some(rest) = header.strip_prefix("ERR ") {
-            let (code, msg) = rest.split_once(' ').unwrap_or((rest, ""));
-            let code = ErrorCode::from_token(code).ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("unknown error code in '{header}'"),
-                )
-            })?;
-            Ok(ClientReply::Err(code, msg.to_string()))
-        } else {
-            Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unparseable reply header '{header}'"),
-            ))
-        }
+        read_reply_from(&mut self.reader)
     }
 
     /// `PUT`s instance text; returns the server-assigned content hash
@@ -234,7 +198,130 @@ impl Client {
     }
 }
 
-fn run_line(op: Op, src: &str, big_r: usize, threads: usize) -> String {
+/// Parses one framed reply (`OK {len}\n{body}` / `ERR {CODE} {msg}\n`)
+/// off a buffered stream. Shared by the one-at-a-time [`Client`] and
+/// the [`PipelinedClient`].
+fn read_reply_from(reader: &mut BufReader<TcpStream>) -> std::io::Result<ClientReply> {
+    let mut header = String::new();
+    let n = reader.read_line(&mut header)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ));
+    }
+    let header = header.trim_end();
+    if let Some(rest) = header.strip_prefix("OK ") {
+        let nbytes: usize = rest.trim().parse().map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad OK length in '{header}'"),
+            )
+        })?;
+        let mut body = vec![0u8; nbytes];
+        reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        Ok(ClientReply::Ok(body))
+    } else if let Some(rest) = header.strip_prefix("ERR ") {
+        let (code, msg) = rest.split_once(' ').unwrap_or((rest, ""));
+        let code = ErrorCode::from_token(code).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown error code in '{header}'"),
+            )
+        })?;
+        Ok(ClientReply::Err(code, msg.to_string()))
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unparseable reply header '{header}'"),
+        ))
+    }
+}
+
+/// A connection that keeps several requests in flight: `send_*` queues
+/// a command without waiting, [`recv`](PipelinedClient::recv) collects
+/// the oldest outstanding reply. The server answers strictly in request
+/// order (`specs/PROTOCOL.md`), so replies match sends FIFO. Used by
+/// the load generator's open-pipeline mode, where per-connection
+/// throughput is no longer bounded by one round trip per request.
+pub struct PipelinedClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    in_flight: usize,
+}
+
+impl PipelinedClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:7979`).
+    pub fn connect(addr: &str) -> std::io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(PipelinedClient {
+            reader: BufReader::new(stream),
+            writer,
+            in_flight: 0,
+        })
+    }
+
+    /// Queues one command line (and optional body). Buffered: nothing
+    /// may reach the wire until [`flush`](Self::flush) or
+    /// [`recv`](Self::recv).
+    pub fn send(&mut self, line: &str, body: Option<&[u8]>) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        if let Some(b) = body {
+            self.writer.write_all(b)?;
+        }
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Queues a `TRACE <hex>` protocol line ahead of the next queued
+    /// command. Trace lines get no reply of their own, so this does not
+    /// count toward [`in_flight`](Self::in_flight). Zero (the untraced
+    /// sentinel) is ignored.
+    pub fn send_trace(&mut self, trace_id: u64) -> std::io::Result<()> {
+        if trace_id != 0 {
+            self.writer
+                .write_all(format!("TRACE {trace_id:016x}\n").as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Queues `op` against a previously `PUT` instance.
+    pub fn send_run_hash(
+        &mut self,
+        op: Op,
+        hash: &str,
+        big_r: usize,
+        threads: usize,
+    ) -> std::io::Result<()> {
+        self.send(&run_line(op, &format!("hash:{hash}"), big_r, threads), None)
+    }
+
+    /// Pushes everything queued onto the wire.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Flushes, then reads the reply to the oldest outstanding request.
+    pub fn recv(&mut self) -> std::io::Result<ClientReply> {
+        assert!(self.in_flight > 0, "recv with no request in flight");
+        self.writer.flush()?;
+        let reply = read_reply_from(&mut self.reader)?;
+        self.in_flight -= 1;
+        Ok(reply)
+    }
+
+    /// Requests sent but not yet `recv`'d.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+}
+
+pub(crate) fn run_line(op: Op, src: &str, big_r: usize, threads: usize) -> String {
     let verb = match op {
         Op::Solve => "SOLVE",
         Op::Optimum => "OPTIMUM",

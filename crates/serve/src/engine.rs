@@ -15,7 +15,7 @@
 //! **bit-identical** to the cold solve it replaces; the e2e suite
 //! asserts exactly that over real sockets.
 
-use crate::cache::Lru;
+use crate::cache::{ShardKey, ShardedLru, SHARDS};
 use crate::delta::{DeltaCoordinator, DeltaSolveInfo};
 use crate::protocol::{ErrorCode, Op, LINEAGE_OP_CODE};
 use mmlp_core::safe::safe_solution;
@@ -27,7 +27,7 @@ use mmlp_lp::solve_maxmin;
 use mmlp_store::{ResultKey, Store};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The result-cache key: everything that determines a reply body.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -42,6 +42,15 @@ pub struct CacheKey {
     /// counts, but the key keeps the service honest rather than
     /// assuming it).
     pub threads: usize,
+}
+
+impl ShardKey for CacheKey {
+    /// Result-cache entries shard by the *instance* hash's low bits, so
+    /// all ops on one instance colocate and a STATS aggregation over
+    /// shards sees each instance's footprint in one place.
+    fn shard(&self) -> usize {
+        (self.instance & (SHARDS as u64 - 1)) as usize
+    }
 }
 
 impl CacheKey {
@@ -83,8 +92,8 @@ pub struct WarmStart {
 /// construction — so a restart turns previously-solved requests back
 /// into bit-identical cache hits.
 pub struct Engine {
-    results: Mutex<Lru<CacheKey, Arc<String>>>,
-    store: Mutex<Lru<u64, Arc<Instance>>>,
+    results: ShardedLru<CacheKey, Arc<String>>,
+    store: ShardedLru<u64, Arc<Instance>>,
     delta: DeltaCoordinator,
     persist: Option<Store>,
     persist_errors: AtomicU64,
@@ -96,8 +105,8 @@ impl Engine {
     /// instance-store budgets, both in bytes.
     pub fn new(cache_bytes: u64, store_bytes: u64) -> Self {
         Engine {
-            results: Mutex::new(Lru::new(cache_bytes)),
-            store: Mutex::new(Lru::new(store_bytes)),
+            results: ShardedLru::new(cache_bytes),
+            store: ShardedLru::new(store_bytes),
             // Parked delta solvers share the instance-store budget: both
             // hold O(instance) state, so one knob bounds both.
             delta: DeltaCoordinator::new(store_bytes),
@@ -114,32 +123,38 @@ impl Engine {
         let engine = Engine::new(cache_bytes, store_bytes);
         let mut warm = WarmStart::default();
         {
-            // Loading stops once the LRU budget is reached: decoding a
+            // Loading stops once the total budget is reached: decoding a
             // record only to evict an earlier one would make boot time
             // O(store size) for a budget-bounded benefit, and would
             // inflate the warm counters with entries that are already
-            // gone. What's loaded is therefore exactly what's resident.
-            let mut store = engine.store.lock().expect("store lock");
+            // gone. The running totals track successful inserts, so
+            // what's loaded is exactly what's resident (an insert can
+            // also be refused by a full *shard* before the total is hit).
+            let mut store_used = 0u64;
             for (hash, disk_len) in persist.instance_records() {
                 // Cost proxy: the framed on-disk length (the binary
                 // blob is within ~2× of the canonical text `put` uses,
                 // and reading it off the index avoids re-rendering
                 // every instance at boot).
-                if store.used() + u64::from(disk_len) > store.budget() {
+                if store_used + u64::from(disk_len) > engine.store.budget() {
                     break;
                 }
                 if let Some(inst) = persist.get_instance(hash)? {
-                    if store.insert(hash, Arc::new(inst), u64::from(disk_len)) {
+                    if engine
+                        .store
+                        .insert(hash, Arc::new(inst), u64::from(disk_len))
+                    {
                         warm.instances += 1;
+                        store_used += u64::from(disk_len);
                     }
                 }
             }
-            let mut results = engine.results.lock().expect("cache lock");
+            let mut results_used = 0u64;
             for (rkey, disk_len) in persist.result_records() {
                 let Some(op) = Op::from_code(rkey.op) else {
                     continue; // a foreign producer's namespace
                 };
-                if results.used() + u64::from(disk_len) > results.budget() {
+                if results_used + u64::from(disk_len) > engine.results.budget() {
                     break;
                 }
                 if let Some(body) = persist.get_result(&rkey)? {
@@ -150,8 +165,9 @@ impl Engine {
                         threads: rkey.threads as usize,
                     };
                     let cost = body.len() as u64;
-                    if results.insert(key, Arc::new(body), cost) {
+                    if engine.results.insert(key, Arc::new(body), cost) {
                         warm.results += 1;
+                        results_used += cost;
                     }
                 }
             }
@@ -213,14 +229,11 @@ impl Engine {
         let h = mmlp_instance::hash::fnv1a64(canonical.as_bytes());
         let cost = canonical.len() as u64;
         let inst = Arc::new(inst);
-        {
-            let mut store = self.store.lock().expect("store lock");
-            if store.get(&h).is_none() && !store.insert(h, Arc::clone(&inst), cost) {
-                return Err((
-                    ErrorCode::BadReq,
-                    format!("instance ({cost} bytes) exceeds the store budget"),
-                ));
-            }
+        if self.store.get(&h).is_none() && !self.store.insert(h, Arc::clone(&inst), cost) {
+            return Err((
+                ErrorCode::BadReq,
+                format!("instance ({cost} bytes) exceeds the store budget"),
+            ));
         }
         // Persist outside the LRU lock; `put_instance` dedupes on hash.
         if let Some(p) = &self.persist {
@@ -231,32 +244,24 @@ impl Engine {
 
     /// Fetches a previously stored instance by content hash.
     pub fn fetch(&self, hash: u64) -> Result<Arc<Instance>, EngineError> {
-        self.store
-            .lock()
-            .expect("store lock")
-            .get(&hash)
-            .cloned()
-            .ok_or_else(|| {
-                (
-                    ErrorCode::NotFound,
-                    format!("no instance {} (PUT it first)", hash_hex(hash)),
-                )
-            })
+        self.store.get(&hash).ok_or_else(|| {
+            (
+                ErrorCode::NotFound,
+                format!("no instance {} (PUT it first)", hash_hex(hash)),
+            )
+        })
     }
 
     /// Probes the result cache.
     pub fn cached(&self, key: &CacheKey) -> Option<Arc<String>> {
-        self.results.lock().expect("cache lock").get(key).cloned()
+        self.results.get(key)
     }
 
     /// Inserts a computed reply body (and appends it to the persistent
     /// store when one is mounted).
     pub fn insert(&self, key: CacheKey, body: Arc<String>) {
         let cost = body.len() as u64;
-        self.results
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(&body), cost);
+        self.results.insert(key, Arc::clone(&body), cost);
         if let Some(p) = &self.persist {
             let rkey = ResultKey {
                 instance: key.instance,
@@ -268,16 +273,25 @@ impl Engine {
         }
     }
 
-    /// `(entries, used bytes, evictions)` of the result cache.
+    /// `(entries, used bytes, evictions)` of the result cache,
+    /// aggregated across all shards.
     pub fn cache_stats(&self) -> (usize, u64, u64) {
-        let c = self.results.lock().expect("cache lock");
-        (c.len(), c.used(), c.evictions())
+        self.results.stats()
     }
 
-    /// `(entries, used bytes)` of the instance store.
+    /// Per-shard eviction counters of the result cache, indexed by
+    /// shard (instance-hash low bits). Exposed as the
+    /// `cache_shard_evictions` metric so a skewed workload that
+    /// hammers one shard's budget slice is visible.
+    pub fn cache_shard_evictions(&self) -> [u64; SHARDS] {
+        self.results.shard_evictions()
+    }
+
+    /// `(entries, used bytes)` of the instance store, aggregated
+    /// across all shards.
     pub fn store_stats(&self) -> (usize, u64) {
-        let s = self.store.lock().expect("store lock");
-        (s.len(), s.used())
+        let (len, used, _) = self.store.stats();
+        (len, used)
     }
 
     /// Registers an edit delta (canonical or liberal text) against its
@@ -287,12 +301,7 @@ impl Engine {
     pub fn put_delta(&self, text: &str) -> Result<Lineage, EngineError> {
         let delta = Delta::parse_text(text)
             .map_err(|e| (ErrorCode::BadDelta, format!("delta parse: {e}")))?;
-        let base = self
-            .store
-            .lock()
-            .expect("store lock")
-            .get(&delta.base)
-            .cloned();
+        let base = self.store.get(&delta.base);
         let base = base.ok_or_else(|| {
             (
                 ErrorCode::NoBase,
@@ -310,16 +319,13 @@ impl Engine {
         let canonical = textfmt::write_instance(&new_inst);
         let cost = canonical.len() as u64;
         let new_inst = Arc::new(new_inst);
+        if self.store.get(&lineage.new).is_none()
+            && !self.store.insert(lineage.new, Arc::clone(&new_inst), cost)
         {
-            let mut store = self.store.lock().expect("store lock");
-            if store.get(&lineage.new).is_none()
-                && !store.insert(lineage.new, Arc::clone(&new_inst), cost)
-            {
-                return Err((
-                    ErrorCode::BadReq,
-                    format!("revision ({cost} bytes) exceeds the store budget"),
-                ));
-            }
+            return Err((
+                ErrorCode::BadReq,
+                format!("revision ({cost} bytes) exceeds the store budget"),
+            ));
         }
         let canonical_delta = delta.to_text();
         self.delta
@@ -348,9 +354,8 @@ impl Engine {
         big_r: usize,
         threads: usize,
     ) -> Result<(String, DeltaSolveInfo), EngineError> {
-        self.delta.solve(revision, big_r, threads, |h| {
-            self.store.lock().expect("store lock").get(&h).cloned()
-        })
+        self.delta
+            .solve(revision, big_r, threads, |h| self.store.get(&h))
     }
 
     /// `(lineage edges, parked solvers, parked solver bytes)`.
@@ -727,6 +732,21 @@ mod tests {
         assert_eq!(after, before);
         assert_eq!(info.replayed, 1, "restart chain is re-derived, not warm");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_shard_evictions_start_at_zero_and_count_locally() {
+        let e = Engine::new(16 * 8, 1 << 20); // 8 bytes per result shard
+        assert_eq!(e.cache_shard_evictions(), [0u64; SHARDS]);
+        // Two bodies on the same shard (same instance hash) overflow it.
+        let k1 = CacheKey::new(0x20, Op::Solve, 2, 1);
+        let k2 = CacheKey::new(0x20, Op::Solve, 3, 1);
+        e.insert(k1, Arc::new("x".repeat(6)));
+        e.insert(k2, Arc::new("y".repeat(6)));
+        let ev = e.cache_shard_evictions();
+        assert_eq!(ev[0], 1, "shard 0 evicted its LRU entry");
+        assert_eq!(ev[1..].iter().sum::<u64>(), 0);
+        assert_eq!(e.cache_stats().2, 1, "aggregate matches the shard sum");
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! standard shape for latency benchmarking without coordinated
 //! omission on saturated servers.
 //!
+//! `--pipeline D` (with `D > 1`) switches to an **open pipeline**:
+//! each connection keeps a window of `D` requests outstanding,
+//! exercising the server's incremental parser and in-order reply queue
+//! and measuring throughput past the one-round-trip-per-request bound.
+//!
 //! The generator also doubles as a correctness probe: every `OK` body
 //! for the same `(op, R)` must be byte-identical (cache hits included),
 //! so a cache-corruption bug shows up as `distinct_bodies > 1` rather
@@ -21,14 +26,14 @@
 //! exactly. Requires a special-form instance (that is what the
 //! incremental solver repairs).
 
-use crate::client::{Client, ClientReply};
+use crate::client::{Client, ClientReply, PipelinedClient};
 use crate::protocol::{ErrorCode, Op};
 use crate::stats::Histogram;
 use mmlp_instance::delta::{Delta, Edit, RowKind};
 use mmlp_instance::hash::{hash_hex, instance_hash};
 use mmlp_instance::ids::ConstraintId;
 use mmlp_instance::{textfmt, Instance};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Load-generator configuration.
@@ -61,6 +66,14 @@ pub struct LoadConfig {
     /// it ahead of the command as a `TRACE <hex>` line, making every
     /// request traced end-to-end (`specs/OBSERVABILITY.md`).
     pub trace: bool,
+    /// Requests each connection keeps in flight. `1` is the classic
+    /// closed loop (write, wait, repeat). `>1` switches to **open
+    /// pipeline** mode: each connection keeps a window of this many
+    /// requests outstanding, exercising the server's pipelined parsing
+    /// and in-order reply queue — per-connection throughput is then no
+    /// longer bounded by one round trip per request. Incompatible with
+    /// `mutate` (whose probe is inherently request-then-check).
+    pub pipeline: usize,
 }
 
 impl Default for LoadConfig {
@@ -77,6 +90,7 @@ impl Default for LoadConfig {
             mutate: false,
             seed: 1,
             trace: false,
+            pipeline: 1,
         }
     }
 }
@@ -269,6 +283,116 @@ fn client_loop(cfg: &LoadConfig, n_requests: usize, client_id: usize) -> ClientT
     tally
 }
 
+/// One open-pipeline client: keeps up to `cfg.pipeline` requests in
+/// flight on a single connection, collecting replies in FIFO order (the
+/// server guarantees reply order matches request order). Per-request
+/// latency is measured from enqueue to reply, so it includes the time a
+/// request spends behind its window-mates — the honest number for an
+/// open load model. `BUSY` replies are counted, not retried: an open
+/// window has no natural point to park and back off, and the point of
+/// this mode is measuring the server under sustained offered load.
+fn pipeline_loop(cfg: &LoadConfig, n_requests: usize, client_id: usize) -> ClientTally {
+    let mut tally = ClientTally::new();
+    let fail_all = |tally: &mut ClientTally, n: usize, msg: String| {
+        tally.sent = n as u64;
+        tally.note_err(msg);
+        tally.errors = n as u64;
+    };
+    let mut pc = match PipelinedClient::connect(&cfg.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            fail_all(&mut tally, n_requests, format!("connect {}: {e}", cfg.addr));
+            return tally;
+        }
+    };
+    // The instance rides the same connection: PUT is just the first
+    // request through the pipeline.
+    let put_line = format!("PUT {}", cfg.instance_text.len());
+    let hash = match pc
+        .send(&put_line, Some(cfg.instance_text.as_bytes()))
+        .and_then(|()| pc.recv())
+    {
+        Ok(ClientReply::Ok(body)) => body
+            .trim()
+            .strip_prefix("hash ")
+            .unwrap_or(body.trim())
+            .to_string(),
+        Ok(ClientReply::Err(code, msg)) => {
+            fail_all(
+                &mut tally,
+                n_requests,
+                format!("PUT {}: {msg}", code.as_str()),
+            );
+            return tally;
+        }
+        Err(e) => {
+            fail_all(&mut tally, n_requests, format!("PUT transport: {e}"));
+            return tally;
+        }
+    };
+    let mut queued = 0usize;
+    let mut starts: VecDeque<Instant> = VecDeque::with_capacity(cfg.pipeline);
+    while tally.sent < n_requests as u64 || !starts.is_empty() {
+        // Top the window up...
+        while queued < n_requests && starts.len() < cfg.pipeline {
+            let trace_id = cfg
+                .trace
+                .then(|| mint_trace_id(cfg.seed, client_id, queued as u64));
+            let sent = (|| {
+                if let Some(id) = trace_id {
+                    pc.send_trace(id)?;
+                }
+                if cfg.by_hash {
+                    pc.send_run_hash(cfg.op, &hash, cfg.big_r, 1)
+                } else {
+                    let src = format!("inline:{}", cfg.instance_text.len());
+                    pc.send(
+                        &crate::client::run_line(cfg.op, &src, cfg.big_r, 1),
+                        Some(cfg.instance_text.as_bytes()),
+                    )
+                }
+            })();
+            queued += 1;
+            tally.sent += 1;
+            match sent {
+                Ok(()) => {
+                    if let Some(id) = trace_id {
+                        tally.note_trace(id);
+                    }
+                    starts.push_back(Instant::now());
+                }
+                Err(e) => tally.note_err(format!("send: {e}")),
+            }
+        }
+        // ...then drain the oldest reply.
+        let Some(started) = starts.pop_front() else {
+            break;
+        };
+        match pc.recv() {
+            Ok(ClientReply::Ok(body)) => {
+                tally.histogram.record(started.elapsed().as_micros() as u64);
+                tally.ok += 1;
+                tally
+                    .bodies
+                    .insert(mmlp_instance::hash::fnv1a64(body.as_bytes()));
+            }
+            Ok(ClientReply::Err(ErrorCode::Busy, _)) => tally.busy += 1,
+            Ok(ClientReply::Err(code, msg)) => {
+                tally.note_err(format!("{}: {msg}", code.as_str()));
+            }
+            Err(e) => {
+                // The connection is gone; everything still in flight
+                // (and everything unsent) is lost with it.
+                tally.note_err(format!("transport: {e}"));
+                tally.errors += starts.len() as u64 + (n_requests - queued) as u64;
+                tally.sent += (n_requests - queued) as u64;
+                break;
+            }
+        }
+    }
+    tally
+}
+
 /// A tiny xorshift64* stream — deterministic per `(seed, client)`, no
 /// dependency, good enough to scatter edits across constraints.
 struct Rng(u64);
@@ -446,6 +570,12 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
     if cfg.instance_text.is_empty() {
         return Err("no instance text to drive with".into());
     }
+    if cfg.pipeline == 0 {
+        return Err("pipeline depth must be at least 1".into());
+    }
+    if cfg.mutate && cfg.pipeline > 1 {
+        return Err("mutate mode is request-then-check; it cannot pipeline".into());
+    }
     let started = Instant::now();
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
         let mut joins = Vec::new();
@@ -455,6 +585,8 @@ pub fn run_loadgen(cfg: &LoadConfig) -> Result<LoadReport, String> {
             joins.push(scope.spawn(move || {
                 if cfg.mutate {
                     mutate_loop(cfg, share, c)
+                } else if cfg.pipeline > 1 {
+                    pipeline_loop(cfg, share, c)
                 } else {
                     client_loop(cfg, share, c)
                 }
@@ -551,6 +683,9 @@ pub fn render_report(cfg: &LoadConfig, r: &LoadReport) -> String {
             "inline"
         }
     );
+    if cfg.pipeline > 1 {
+        let _ = writeln!(out, "pipeline_depth {}", cfg.pipeline);
+    }
     let _ = writeln!(out, "sent {}", r.sent);
     let _ = writeln!(out, "ok {}", r.ok);
     let _ = writeln!(out, "busy {}", r.busy);

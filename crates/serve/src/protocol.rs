@@ -141,6 +141,24 @@ pub enum Command {
     Shutdown,
 }
 
+impl Command {
+    /// Length of the raw body that follows this command's line, if it
+    /// declares one (`PUT`, `PUT_DELTA`, and `inline:` run sources).
+    /// Commands pipeline: the body starts at the byte after the line's
+    /// `\n`, and the next command line starts at the byte after the
+    /// body — no separator, no padding.
+    pub fn body_len(&self) -> Option<usize> {
+        match self {
+            Command::Put { nbytes } | Command::PutDelta { nbytes } => Some(*nbytes),
+            Command::Run {
+                src: Source::Inline(nbytes),
+                ..
+            } => Some(*nbytes),
+            _ => None,
+        }
+    }
+}
+
 /// Default locality parameter when `R=` is omitted.
 pub const DEFAULT_R: usize = 3;
 /// Default solver thread count when `THREADS=` is omitted.

@@ -1,26 +1,37 @@
-//! The long-running TCP service: accept loop, per-connection handler
-//! threads, dispatch onto the bounded worker pool, and graceful drain.
+//! The long-running TCP service: an event-driven readiness front-end
+//! over the vendored [`reactor`] crate, dispatch onto the bounded
+//! worker pool, and graceful drain.
 //!
 //! Threading model:
 //!
-//! * one **acceptor** (the thread that called [`Server::run`]);
-//! * one **connection thread** per live client, bounded by
-//!   `max_connections` (beyond it, connections get one `ERR BUSY` and
-//!   are closed);
+//! * a small fixed pool of **event loops** (`event_loops`, default 4;
+//!   loop 0 runs on the thread that called [`Server::run`] and owns the
+//!   nonblocking listener). Accepted connections are handed round-robin
+//!   to a loop and stay there for life; each loop multiplexes its
+//!   connections with `epoll` readiness, so ten thousand idle clients
+//!   cost ten thousand fds, not ten thousand threads;
 //! * `workers` **solver threads** behind a bounded queue
 //!   (`mmlp_lab::pool::TaskPool`). A full queue surfaces as `ERR BUSY`
 //!   on the wire — the 503 of this protocol — so load spikes degrade
 //!   into fast rejections instead of unbounded memory growth.
 //!
-//! Cache hits bypass the pool entirely and are served on the
-//! connection thread; only cold solves consume a worker slot.
+//! Each connection is an incremental state machine over the line
+//! protocol: command lines (including the optional `TRACE` prefix) and
+//! length-prefixed bodies are parsed from whatever bytes the last
+//! readiness event delivered, so a request split at any byte boundary
+//! parses identically to one arriving whole. Requests **pipeline**: a
+//! client may write several commands back-to-back without waiting;
+//! replies are queued per connection and written back strictly in
+//! request order (`specs/PROTOCOL.md`). Cache hits and other cheap
+//! commands complete inline on the event loop; only cold solves (and
+//! `SLEEP`) consume a worker slot, completing back to their loop via a
+//! completion inbox and an `eventfd` waker.
 //!
-//! **Shutdown.** `SHUTDOWN` flips a flag and pokes the acceptor with a
-//! loopback connection. The acceptor stops accepting; connection
-//! threads notice the flag at their next read-poll tick (reads use a
-//! short `SO_RCVTIMEO`), finish the request in flight, and exit; the
-//! pool drains every accepted task; then [`Server::run`] returns a
-//! final [`ServerSummary`]. In-flight work is never dropped.
+//! **Shutdown.** `SHUTDOWN` flips a flag and wakes every loop. Loop 0
+//! drops the listener; idle connections are closed; connections with
+//! queued or in-flight requests are served until they drain; the pool
+//! runs every accepted task; then [`Server::run`] returns a final
+//! [`ServerSummary`]. In-flight work is never dropped.
 
 use crate::delta::DeltaMode;
 use crate::engine::{self, CacheKey, Engine, EngineError};
@@ -34,10 +45,12 @@ use mmlp_obs::{
     next_trace_id, Journal, JournalConfig, JournalRecord, SolveTrace, SpanRecorder, SpanRing,
     TraceRing,
 };
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use reactor::{Event, Events, Interest, Poll, Token, Waker};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Server configuration (see `maxmin-lp serve --help` for the CLI
@@ -60,6 +73,11 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Largest accepted `PUT`/`inline:` body, in bytes.
     pub max_body_bytes: usize,
+    /// Event-loop threads multiplexing client connections (loop 0 runs
+    /// on the caller of [`Server::run`]). Warm hits and protocol
+    /// chatter are served here; more loops help only when those inline
+    /// paths saturate a core (`specs/PERF.md`).
+    pub event_loops: usize,
     /// When set, mount a persistent `mmlp-store` at this directory:
     /// `PUT` instances and solved results are appended to disk, and a
     /// restart warm-starts the caches from it (`specs/STORAGE.md`).
@@ -83,6 +101,10 @@ impl Default for ServeConfig {
             timeout: Some(Duration::from_secs(30)),
             max_connections: 256,
             max_body_bytes: 16 << 20,
+            // One loop per core up to 4: on a single-core host extra
+            // loop threads only add scheduler churn, and past a few
+            // loops the worker pool is the bottleneck anyway.
+            event_loops: std::thread::available_parallelism().map_or(1, |n| n.get().min(4)),
             store_dir: None,
             journal_dir: None,
         }
@@ -123,6 +145,50 @@ const SPAN_RING_CAP: usize = 256;
 /// traced server-side (the first request always is).
 const TRACE_SAMPLE_EVERY: u64 = 64;
 
+/// The waker's registration token on every loop.
+const TOK_WAKER: usize = 0;
+/// The listener's registration token (loop 0 only).
+const TOK_LISTENER: usize = 1;
+/// First token handed to an accepted connection.
+const TOK_FIRST_CONN: usize = 2;
+
+/// Bytes read from one connection per readiness event before yielding
+/// to its loop-mates (level-triggered registrations re-fire while input
+/// remains, so nothing is lost).
+const READ_BUDGET_PER_EVENT: usize = 256 * 1024;
+/// Unwritten reply bytes beyond which a connection stops being read
+/// until the client drains its side (per-connection backpressure).
+const WRITE_BACKLOG_PAUSE: usize = 1 << 20;
+
+/// A stalled client may sit mid-command or mid-body forever; after
+/// this much wall time without completing the read, the connection is
+/// dropped so it cannot pin a connection slot indefinitely.
+const STALLED_READ_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Cross-thread mailbox of one event loop: freshly accepted
+/// connections handed over by the acceptor, and completions of pooled
+/// work owned by this loop's connections.
+#[derive(Default)]
+struct Inbox {
+    conns: Vec<TcpStream>,
+    completions: Vec<Completion>,
+}
+
+/// A finished pooled task, routed back to the loop that owns the
+/// connection so the reply lands in its pipeline slot.
+struct Completion {
+    token: usize,
+    seq: u64,
+    outcome: Outcome<Result<String, EngineError>>,
+}
+
+/// The shareable half of an event loop: anyone holding it can hand the
+/// loop work and wake it out of `epoll_wait`.
+struct LoopHandle {
+    waker: Waker,
+    inbox: Mutex<Inbox>,
+}
+
 struct Shared {
     engine: Engine,
     pool: TaskPool,
@@ -134,8 +200,10 @@ struct Shared {
     shutting_down: AtomicBool,
     live_connections: AtomicUsize,
     cfg: ServeConfig,
-    local_addr: SocketAddr,
     started: Instant,
+    /// Set once by [`Server::run`]; lets any connection (notably the
+    /// one carrying `SHUTDOWN`) wake every loop.
+    loops: OnceLock<Arc<Vec<Arc<LoopHandle>>>>,
 }
 
 /// A bound, not-yet-running server. Binding is separate from running
@@ -145,10 +213,6 @@ pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
 }
-
-/// How often idle connection threads and the acceptor re-check the
-/// shutdown flag.
-const POLL_TICK: Duration = Duration::from_millis(100);
 
 impl Server {
     /// Binds the listener and spawns the worker pool. With a
@@ -199,8 +263,8 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             live_connections: AtomicUsize::new(0),
             cfg,
-            local_addr,
             started: Instant::now(),
+            loops: OnceLock::new(),
         });
         Ok(Server {
             listener,
@@ -222,50 +286,58 @@ impl Server {
             local_addr: _,
             shared,
         } = self;
-        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        for conn in listener.incoming() {
-            if shared.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match conn {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            // Reap finished connection threads so the handle list stays
-            // proportional to *live* connections, not lifetime ones.
-            handles.retain(|h| !h.is_finished());
-            shared.metrics.connections.inc();
-            if shared.live_connections.load(Ordering::SeqCst) >= shared.cfg.max_connections {
-                shared.metrics.busy.inc();
-                let mut stream = stream;
-                let _ = stream.write_all(
-                    Reply::Err(ErrorCode::Busy, "connection limit reached".into())
-                        .to_wire()
-                        .as_bytes(),
-                );
-                continue;
-            }
-            shared.live_connections.fetch_add(1, Ordering::SeqCst);
-            let conn_shared = Arc::clone(&shared);
-            handles.push(std::thread::spawn(move || {
-                let _ = handle_connection(stream, &conn_shared);
-                conn_shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+        listener.set_nonblocking(true)?;
+        let n_loops = shared.cfg.event_loops.max(1);
+        let mut polls = Vec::with_capacity(n_loops);
+        let mut handles = Vec::with_capacity(n_loops);
+        for _ in 0..n_loops {
+            let poll = Poll::new()?;
+            let waker = Waker::new(&poll, Token(TOK_WAKER))?;
+            handles.push(Arc::new(LoopHandle {
+                waker,
+                inbox: Mutex::new(Inbox::default()),
+            }));
+            polls.push(poll);
+        }
+        let handles = Arc::new(handles);
+        let _ = shared.loops.set(Arc::clone(&handles));
+
+        let mut polls = polls.into_iter();
+        let poll0 = polls.next().expect("at least one event loop");
+        poll0.register(&listener, Token(TOK_LISTENER), Interest::READABLE)?;
+
+        let mut joins = Vec::new();
+        for (i, poll) in polls.enumerate() {
+            let shared = Arc::clone(&shared);
+            let handles = Arc::clone(&handles);
+            joins.push(std::thread::spawn(move || {
+                EventLoop::new(i + 1, poll, None, shared, handles).run()
             }));
         }
-        drop(listener);
-        // Drain: connection threads first (they may still submit their
-        // request in flight), then the pool (runs everything accepted).
-        for h in handles {
-            let _ = h.join();
+        let result = EventLoop::new(
+            0,
+            poll0,
+            Some(listener),
+            Arc::clone(&shared),
+            Arc::clone(&handles),
+        )
+        .run();
+        // Belt and braces: if loop 0 died on an epoll error rather than
+        // a drain, make sure the sibling loops can still exit.
+        shared.shutting_down.store(true, Ordering::SeqCst);
+        wake_all(&shared);
+        for j in joins {
+            let _ = j.join();
         }
+        result?;
         match Arc::try_unwrap(shared) {
             Ok(s) => {
                 s.pool.shutdown(); // blocks until accepted work ran
                 Ok(summary_of(&s.metrics, &s.ring))
             }
             Err(shared) => {
-                // A straggler still holds the Arc (should not happen
-                // after the joins); the pool drains when it drops.
+                // A straggler still holds the Arc (an abandoned
+                // timed-out task); the pool drains when it drops.
                 Ok(summary_of(&shared.metrics, &shared.ring))
             }
         }
@@ -285,273 +357,636 @@ fn summary_of(m: &ServeMetrics, ring: &TraceRing) -> ServerSummary {
     }
 }
 
-/// A stalled client may sit mid-command or mid-body forever; after
-/// this much wall time without completing the read, the connection is
-/// dropped so it cannot pin a connection slot indefinitely.
-const STALLED_READ_DEADLINE: Duration = Duration::from_secs(30);
+/// Wakes every event loop (shutdown broadcast).
+fn wake_all(shared: &Shared) {
+    if let Some(loops) = shared.loops.get() {
+        for h in loops.iter() {
+            let _ = h.waker.wake();
+        }
+    }
+}
 
-/// Reads one command line, tolerating the read-timeout poll. Returns
-/// `Ok(None)` on clean EOF, when shutdown interrupts the wait (a
-/// half-received command is not in-flight work — dropping it keeps the
-/// drain bounded), or when a mid-line read stalls past the deadline.
-fn read_command_line(
-    reader: &mut BufReader<TcpStream>,
-    shared: &Shared,
-) -> std::io::Result<Option<String>> {
-    let mut line = String::new();
-    let mut stalled_since: Option<Instant> = None;
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(None),
-            Ok(_) => {
-                let trimmed = line.trim_end_matches(['\n', '\r']).to_string();
-                return Ok(Some(trimmed));
+/// Longest accepted command line. Inline sources put the body *after*
+/// the line, so lines are short; anything past this bound is a framing
+/// error, not a slow sender.
+fn line_limit(cfg: &ServeConfig) -> usize {
+    cfg.max_body_bytes.max(64 * 1024)
+}
+
+/// Everything one request needs at finalisation time, captured when its
+/// command line was parsed: the latency clock, trace identity, span
+/// recorder, stats label and the raw line (for `EV_BUSY` journaling).
+struct RequestCtx {
+    started: Instant,
+    trace_id: u64,
+    span: Option<Arc<SpanRecorder>>,
+    op_label: Option<&'static str>,
+    line: String,
+}
+
+/// Where the connection's parser is between readiness events.
+enum ParseState {
+    /// Waiting for (the rest of) a command line.
+    Line,
+    /// A parsed command is waiting for `need` body bytes.
+    Body {
+        ctx: RequestCtx,
+        cmd: Command,
+        need: usize,
+    },
+}
+
+/// One slot in a connection's in-order reply pipeline.
+enum Slot {
+    /// Framed wire bytes, ready to flush (once every slot ahead is).
+    Ready(Vec<u8>),
+    /// A pooled request still running; its completion is matched by
+    /// `seq` and replaces the slot in place, preserving request order.
+    Pending {
+        seq: u64,
+        ctx: RequestCtx,
+        /// For `Run` requests: the result-cache key and op, so the
+        /// completion can record hit/miss stats and insert the body.
+        cache: Option<(CacheKey, Op)>,
+    },
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed input; `rpos` is the parse cursor (compacted after each
+    /// processing pass).
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Framed, unwritten output; `wpos` is the write cursor.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    parse: ParseState,
+    /// A `TRACE <hex>` prefix line applies to the next command on this
+    /// connection (specs/PROTOCOL.md); it gets no reply of its own.
+    pending_trace: Option<u64>,
+    replies: VecDeque<Slot>,
+    next_seq: u64,
+    /// Stop reading; close once every queued reply is flushed.
+    close_after_flush: bool,
+    /// Drop the connection now, without a reply (unrecoverable input).
+    hard_close: bool,
+    peer_eof: bool,
+    cur_interest: Interest,
+    /// Set while a command is partially received; the loop closes the
+    /// connection when it exceeds [`STALLED_READ_DEADLINE`].
+    stall_since: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            parse: ParseState::Line,
+            pending_trace: None,
+            replies: VecDeque::new(),
+            next_seq: 0,
+            close_after_flush: false,
+            hard_close: false,
+            peer_eof: false,
+            cur_interest: Interest::READABLE,
+            stall_since: None,
+        }
+    }
+
+    /// No queued replies and nothing buffered for the wire.
+    fn output_drained(&self) -> bool {
+        self.replies.is_empty() && self.wpos == self.wbuf.len()
+    }
+}
+
+/// One event loop: an `epoll` instance, the connections registered with
+/// it, and (on loop 0) the listener.
+struct EventLoop {
+    id: usize,
+    poll: Poll,
+    listener: Option<TcpListener>,
+    shared: Arc<Shared>,
+    loops: Arc<Vec<Arc<LoopHandle>>>,
+    me: Arc<LoopHandle>,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    accept_rr: usize,
+}
+
+impl EventLoop {
+    fn new(
+        id: usize,
+        poll: Poll,
+        listener: Option<TcpListener>,
+        shared: Arc<Shared>,
+        loops: Arc<Vec<Arc<LoopHandle>>>,
+    ) -> EventLoop {
+        let me = Arc::clone(&loops[id]);
+        EventLoop {
+            id,
+            poll,
+            listener,
+            shared,
+            loops,
+            me,
+            conns: HashMap::new(),
+            next_token: TOK_FIRST_CONN,
+            accept_rr: id,
+        }
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        let mut events = Events::with_capacity(256);
+        loop {
+            if self.shared.shutting_down.load(Ordering::SeqCst)
+                && self.conns.is_empty()
+                && self.listener.is_none()
+            {
+                return Ok(());
             }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                // Mid-line bytes stay buffered in `line`.
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return Ok(None);
-                }
-                if !line.is_empty() {
-                    let since = *stalled_since.get_or_insert_with(Instant::now);
-                    if since.elapsed() > STALLED_READ_DEADLINE {
-                        return Ok(None); // half a command, then silence
+            self.poll.poll(&mut events, self.poll_timeout())?;
+            // The batch is collected first: handling one event can
+            // close a connection another event in the batch names.
+            let batch: Vec<Event> = events.iter().collect();
+            for ev in batch {
+                self.handle_event(ev);
+            }
+            self.drain_inbox();
+            self.sweep();
+        }
+    }
+
+    /// Sleep until readiness — or until the earliest mid-command stall
+    /// deadline, so [`sweep`](Self::sweep) can drop the staller.
+    fn poll_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        self.conns
+            .values()
+            .filter_map(|c| c.stall_since)
+            .map(|since| (since + STALLED_READ_DEADLINE).saturating_duration_since(now))
+            .min()
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev.token().0 {
+            TOK_WAKER => self.me.waker.drain(),
+            TOK_LISTENER => self.accept_ready(),
+            token => {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return; // closed earlier in this batch
+                };
+                let mut dead = false;
+                if ev.is_readable() {
+                    match read_into(conn) {
+                        Ok(()) => process_input(&self.shared, &self.me, token, conn),
+                        Err(_) => dead = true,
                     }
+                }
+                if dead {
+                    self.close_conn(token);
                 } else {
-                    stalled_since = None; // idle between requests is fine
+                    self.service(token);
                 }
             }
-            Err(e) => return Err(e),
+        }
+    }
+
+    /// Accepts every pending connection, applies the connection limit,
+    /// and deals new connections round-robin across the loops.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared.metrics.connections.inc();
+                    if self.shared.live_connections.load(Ordering::SeqCst)
+                        >= self.shared.cfg.max_connections
+                    {
+                        self.shared.metrics.busy.inc();
+                        let mut stream = stream;
+                        let _ = stream.write_all(
+                            Reply::Err(ErrorCode::Busy, "connection limit reached".into())
+                                .to_wire()
+                                .as_bytes(),
+                        );
+                        continue;
+                    }
+                    self.shared.live_connections.fetch_add(1, Ordering::SeqCst);
+                    if stream.set_nonblocking(true).is_err() {
+                        self.shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let target = self.accept_rr % self.loops.len();
+                    self.accept_rr = self.accept_rr.wrapping_add(1);
+                    if target == self.id {
+                        self.register_conn(stream);
+                    } else {
+                        let h = &self.loops[target];
+                        h.inbox.lock().expect("loop inbox").conns.push(stream);
+                        let _ = h.waker.wake();
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient (e.g. the peer aborted before accept); the
+                // level-triggered listener re-fires if more are queued.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poll
+            .register(&stream, Token(token), Interest::READABLE)
+            .is_err()
+        {
+            self.shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.conns.insert(token, Conn::new(stream));
+    }
+
+    /// Hands the loop its cross-thread work: connections dealt by the
+    /// acceptor and completions of pooled requests.
+    fn drain_inbox(&mut self) {
+        let (new_conns, completions) = {
+            let mut ib = self.me.inbox.lock().expect("loop inbox");
+            (
+                std::mem::take(&mut ib.conns),
+                std::mem::take(&mut ib.completions),
+            )
+        };
+        for stream in new_conns {
+            self.register_conn(stream);
+        }
+        for Completion {
+            token,
+            seq,
+            outcome,
+        } in completions
+        {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                apply_completion(&self.shared, conn, seq, outcome);
+                self.service(token);
+            }
+            // else: the connection died while its request ran; the
+            // result is dropped, exactly like a thread writing to a
+            // closed socket would have been.
+        }
+    }
+
+    /// Flushes what can be flushed, updates epoll interest, and closes
+    /// the connection when it is finished (or broken).
+    fn service(&mut self, token: usize) {
+        let shutting_down = self.shared.shutting_down.load(Ordering::SeqCst);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let dead = conn.hard_close
+            || flush_conn(conn).is_err()
+            || update_interest(&self.poll, token, conn).is_err();
+        let drained = conn.output_drained();
+        let idle_parse = matches!(conn.parse, ParseState::Line);
+        let finished = conn.close_after_flush && drained;
+        // EOF: every buffered command has been processed (the parser
+        // runs to exhaustion), so an empty buffer means the
+        // conversation is over once the replies are out.
+        let eof_done = conn.peer_eof && drained && idle_parse && conn.rbuf.len() == conn.rpos;
+        // Drain: an idle connection (half-received commands included —
+        // they are not in-flight work) does not hold up shutdown.
+        let drain_done = shutting_down && drained && idle_parse;
+        if dead || finished || eof_done || drain_done {
+            self.close_conn(token);
+        }
+    }
+
+    /// Periodic pass: stalled-read deadlines, shutdown housekeeping.
+    fn sweep(&mut self) {
+        let shutting_down = self.shared.shutting_down.load(Ordering::SeqCst);
+        if shutting_down {
+            if let Some(listener) = self.listener.take() {
+                let _ = self.poll.deregister(&listener);
+            }
+        }
+        let now = Instant::now();
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            let stalled = conn
+                .stall_since
+                .is_some_and(|since| now.duration_since(since) > STALLED_READ_DEADLINE);
+            let mid_body = matches!(conn.parse, ParseState::Body { .. });
+            if mid_body && (shutting_down || stalled) {
+                // The command already exists; it gets an error reply
+                // (matching the old blocking read_body behaviour).
+                let msg = if shutting_down {
+                    "server draining during body read"
+                } else {
+                    "body read stalled"
+                };
+                let ParseState::Body { ctx, .. } =
+                    std::mem::replace(&mut conn.parse, ParseState::Line)
+                else {
+                    unreachable!("mid_body checked above")
+                };
+                conn.stall_since = None;
+                finalize_inline(
+                    &self.shared,
+                    conn,
+                    ctx,
+                    Reply::Err(ErrorCode::BadReq, format!("body read: {msg}")),
+                    true,
+                );
+            } else if stalled {
+                // Half a command line, then silence: drop it.
+                self.close_conn(token);
+                continue;
+            }
+            self.service(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poll.deregister(&conn.stream);
+            self.shared.live_connections.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
 
-/// Reads exactly `n` body bytes, tolerating the read-timeout poll but
-/// bailing on shutdown or a stalled sender (see
-/// [`STALLED_READ_DEADLINE`]).
-fn read_body(
-    reader: &mut BufReader<TcpStream>,
-    n: usize,
-    shared: &Shared,
-) -> std::io::Result<Vec<u8>> {
-    let mut buf = vec![0u8; n];
-    let mut filled = 0;
-    let started = Instant::now();
-    while filled < n {
-        match reader.read(&mut buf[filled..]) {
+/// Pulls whatever the socket has (bounded per event) into the
+/// connection's read buffer. `Err` means the connection is broken.
+fn read_into(conn: &mut Conn) -> io::Result<()> {
+    let mut budget = READ_BUDGET_PER_EVENT;
+    let mut chunk = [0u8; 16 * 1024];
+    while budget > 0 {
+        match conn.stream.read(&mut chunk) {
             Ok(0) => {
-                return Err(std::io::Error::new(
-                    ErrorKind::UnexpectedEof,
-                    "connection closed mid-body",
-                ))
+                conn.peer_eof = true;
+                return Ok(());
             }
-            Ok(k) => filled += k,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return Err(std::io::Error::new(
-                        ErrorKind::TimedOut,
-                        "server draining during body read",
-                    ));
-                }
-                if started.elapsed() > STALLED_READ_DEADLINE {
-                    return Err(std::io::Error::new(
-                        ErrorKind::TimedOut,
-                        "body read stalled",
-                    ));
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                budget = budget.saturating_sub(n);
+                // A short read almost always means the socket is drained;
+                // skip the WouldBlock round trip. If bytes do remain, the
+                // level-triggered registration re-fires immediately.
+                if n < chunk.len() {
+                    return Ok(());
                 }
             }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
     }
-    Ok(buf)
+    Ok(())
 }
 
-/// The `op` label a parsed command's latency is recorded under (see
-/// [`crate::stats::OP_LABELS`]).
-fn command_label(cmd: &Command) -> &'static str {
-    match cmd {
-        Command::Ping => "ping",
-        Command::Stats => "stats",
-        Command::Metrics => "metrics",
-        Command::Shutdown => "shutdown",
-        Command::Sleep { .. } => "sleep",
-        Command::Put { .. } => "put",
-        Command::PutDelta { .. } => "put_delta",
-        Command::Run { op, .. } => op.tag(),
-    }
-}
-
-/// Server-side sampling for requests that carried no `TRACE` line:
-/// every [`TRACE_SAMPLE_EVERY`]-th request gets a fresh trace id, the
-/// rest stay untraced (id 0).
-fn sample_trace_id(shared: &Shared) -> u64 {
-    let n = shared.trace_counter.fetch_add(1, Ordering::Relaxed);
-    if n.is_multiple_of(TRACE_SAMPLE_EVERY) {
-        next_trace_id()
-    } else {
-        0
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(POLL_TICK))?;
-    stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    // A `TRACE <hex>` prefix line applies to the next command on this
-    // connection (specs/PROTOCOL.md); it gets no reply of its own.
-    let mut pending_trace: Option<u64> = None;
-
+/// Runs the parser to exhaustion over the buffered input: every
+/// complete command is dispatched (pipelining), a trailing partial
+/// command is left buffered for the next readiness event, and the
+/// stalled-read clock is armed exactly while such a partial exists.
+fn process_input(shared: &Arc<Shared>, me: &Arc<LoopHandle>, token: usize, conn: &mut Conn) {
     loop {
-        let Some(line) = read_command_line(&mut reader, shared)? else {
-            return Ok(()); // EOF or idle at shutdown
-        };
-        if line.trim().is_empty() {
-            continue;
+        if conn.close_after_flush || conn.hard_close {
+            break;
         }
-        match parse_trace_line(&line) {
-            Some(Ok(id)) => {
-                pending_trace = Some(id);
-                continue;
+        match &conn.parse {
+            ParseState::Line => {
+                let rest = &conn.rbuf[conn.rpos..];
+                let (line_end, consumed) = match rest.iter().position(|&b| b == b'\n') {
+                    Some(i) => (i, i + 1),
+                    // A final unterminated line before EOF still parses
+                    // (BufRead::read_line behaved the same way).
+                    None if conn.peer_eof && !rest.is_empty() => (rest.len(), rest.len()),
+                    None => {
+                        if rest.len() > line_limit(&shared.cfg) {
+                            // No command line is this long; the stream
+                            // cannot be re-synchronised.
+                            shared.metrics.requests.inc();
+                            shared.metrics.errors.inc();
+                            push_ready(
+                                conn,
+                                &Reply::Err(
+                                    ErrorCode::BadReq,
+                                    format!(
+                                        "command line exceeds {} bytes",
+                                        line_limit(&shared.cfg)
+                                    ),
+                                ),
+                            );
+                            conn.close_after_flush = true;
+                        }
+                        break;
+                    }
+                };
+                let Ok(text) = std::str::from_utf8(&rest[..line_end]) else {
+                    conn.hard_close = true; // not even a BADREQ can be framed reliably
+                    break;
+                };
+                let line = text.trim_end_matches(['\n', '\r']).to_string();
+                conn.rpos += consumed;
+                handle_line(shared, me, token, conn, line);
             }
-            Some(Err(msg)) => {
-                shared.metrics.requests.inc();
-                shared.metrics.errors.inc();
-                writer.write_all(Reply::Err(ErrorCode::BadReq, msg).to_wire().as_bytes())?;
-                writer.flush()?;
-                continue;
-            }
-            None => {}
-        }
-        let started = Instant::now();
-        shared.metrics.requests.inc();
-        let trace_id = pending_trace
-            .take()
-            .unwrap_or_else(|| sample_trace_id(shared));
-        let span = (trace_id != 0).then(|| Arc::new(SpanRecorder::new(trace_id, line.clone())));
-        let parsed = parse_command(&line);
-        let op_label = parsed.as_ref().ok().map(command_label);
-        let is_shutdown = matches!(parsed, Ok(Command::Shutdown));
-        let (reply, close_after) = match parsed {
-            Err(msg) => (Reply::Err(ErrorCode::BadReq, msg), false),
-            Ok(cmd) => dispatch(cmd, &mut reader, shared, span.as_ref()),
-        };
-        match &reply {
-            Reply::Err(ErrorCode::Busy, msg) => {
-                shared.metrics.busy.inc();
-                if let Some(j) = &shared.journal {
-                    j.emit(JournalRecord {
-                        kind: EV_BUSY,
-                        trace_id,
-                        text: format!("busy: {line}: {msg}"),
-                    });
+            ParseState::Body { need, .. } => {
+                let need = *need;
+                if conn.rbuf.len() - conn.rpos < need {
+                    if conn.peer_eof {
+                        let ParseState::Body { ctx, .. } =
+                            std::mem::replace(&mut conn.parse, ParseState::Line)
+                        else {
+                            unreachable!("matched Body above")
+                        };
+                        finalize_inline(
+                            shared,
+                            conn,
+                            ctx,
+                            Reply::Err(
+                                ErrorCode::BadReq,
+                                "body read: connection closed mid-body".into(),
+                            ),
+                            true,
+                        );
+                    }
+                    break;
+                }
+                let raw = conn.rbuf[conn.rpos..conn.rpos + need].to_vec();
+                conn.rpos += need;
+                let ParseState::Body { ctx, cmd, .. } =
+                    std::mem::replace(&mut conn.parse, ParseState::Line)
+                else {
+                    unreachable!("matched Body above")
+                };
+                match String::from_utf8(raw) {
+                    Ok(body) => execute_command(shared, me, token, conn, ctx, cmd, Some(body)),
+                    Err(_) => finalize_inline(
+                        shared,
+                        conn,
+                        ctx,
+                        Reply::Err(ErrorCode::BadReq, "body is not UTF-8".into()),
+                        false,
+                    ),
                 }
             }
-            Reply::Err(ErrorCode::Timeout, _) => {
-                shared.metrics.timeouts.inc();
-                shared.metrics.errors.inc();
-            }
-            Reply::Err(..) => shared.metrics.errors.inc(),
-            Reply::Ok(_) => {}
         }
-        // The request span, parse → reply framed: one lock-free record.
-        // Traced requests stamp the latency exemplar too, so a slow
-        // scrape bucket names a findable trace.
-        let us = started.elapsed().as_micros() as u64;
-        shared.metrics.latency.record_traced(us, trace_id);
-        if let Some(label) = op_label {
-            shared.metrics.observe_op_latency(label, us, trace_id);
-        }
-        if let Some(rec) = &span {
-            let tree = rec.finish();
-            if let Some(j) = &shared.journal {
-                j.emit(JournalRecord {
-                    kind: EV_SPAN,
-                    trace_id,
-                    text: tree.to_text(),
-                });
-            }
-            shared.spans.push(tree);
-        }
-        writer.write_all(reply.to_wire().as_bytes())?;
-        writer.flush()?;
-        // One reply per SHUTDOWN, then stop reading from this client;
-        // likewise when the request left the stream unsynchronised.
-        if is_shutdown || close_after {
-            return Ok(());
-        }
+    }
+    if conn.rpos > 0 {
+        conn.rbuf.drain(..conn.rpos);
+        conn.rpos = 0;
+    }
+    let mid_command = matches!(conn.parse, ParseState::Body { .. }) || !conn.rbuf.is_empty();
+    if mid_command {
+        conn.stall_since.get_or_insert_with(Instant::now);
+    } else {
+        conn.stall_since = None;
     }
 }
 
-/// Executes one parsed command. Body reads happen here (they belong to
-/// the command), solver work goes through the pool. The second element
-/// is `true` when the connection must be closed afterwards because the
-/// stream can no longer be trusted to be request-aligned.
-fn dispatch(
-    cmd: Command,
-    reader: &mut BufReader<TcpStream>,
+/// One complete line: trace prefix, or command (inline, pooled, or
+/// waiting on a body).
+fn handle_line(
     shared: &Arc<Shared>,
-    span: Option<&Arc<SpanRecorder>>,
-) -> (Reply, bool) {
+    me: &Arc<LoopHandle>,
+    token: usize,
+    conn: &mut Conn,
+    line: String,
+) {
+    if line.trim().is_empty() {
+        return;
+    }
+    match parse_trace_line(&line) {
+        Some(Ok(id)) => {
+            conn.pending_trace = Some(id);
+            return;
+        }
+        Some(Err(msg)) => {
+            shared.metrics.requests.inc();
+            shared.metrics.errors.inc();
+            push_ready(conn, &Reply::Err(ErrorCode::BadReq, msg));
+            return;
+        }
+        None => {}
+    }
+    let started = Instant::now();
+    shared.metrics.requests.inc();
+    let trace_id = conn
+        .pending_trace
+        .take()
+        .unwrap_or_else(|| sample_trace_id(shared));
+    let span = (trace_id != 0).then(|| Arc::new(SpanRecorder::new(trace_id, line.clone())));
+    let parsed = parse_command(&line);
+    let op_label = parsed.as_ref().ok().map(command_label);
+    let ctx = RequestCtx {
+        started,
+        trace_id,
+        span,
+        op_label,
+        line,
+    };
+    match parsed {
+        Err(msg) => finalize_inline(shared, conn, ctx, Reply::Err(ErrorCode::BadReq, msg), false),
+        Ok(cmd) => match cmd.body_len() {
+            Some(nbytes) if nbytes > shared.cfg.max_body_bytes => {
+                // Rejected without consuming the body: the stream is no
+                // longer request-aligned, so close after the reply.
+                finalize_inline(
+                    shared,
+                    conn,
+                    ctx,
+                    Reply::Err(
+                        ErrorCode::BadReq,
+                        format!(
+                            "body of {nbytes} bytes exceeds the limit of {}",
+                            shared.cfg.max_body_bytes
+                        ),
+                    ),
+                    true,
+                );
+            }
+            Some(nbytes) => {
+                conn.parse = ParseState::Body {
+                    ctx,
+                    cmd,
+                    need: nbytes,
+                };
+            }
+            None => execute_command(shared, me, token, conn, ctx, cmd, None),
+        },
+    }
+}
+
+/// Executes one parsed command whose body (if any) has been read.
+/// Cheap commands and cache hits finalise inline on the event loop;
+/// solver work goes through the pool.
+fn execute_command(
+    shared: &Arc<Shared>,
+    me: &Arc<LoopHandle>,
+    token: usize,
+    conn: &mut Conn,
+    ctx: RequestCtx,
+    cmd: Command,
+    body: Option<String>,
+) {
     match cmd {
-        Command::Ping => (Reply::Ok("pong\n".into()), false),
-        Command::Stats => (Reply::Ok(render_stats(shared)), false),
+        Command::Ping => finalize_inline(shared, conn, ctx, Reply::Ok("pong\n".into()), false),
+        Command::Stats => {
+            let body = render_stats(shared);
+            finalize_inline(shared, conn, ctx, Reply::Ok(body), false)
+        }
         Command::Metrics => {
             set_scrape_gauges(shared);
-            (Reply::Ok(shared.metrics.render_prometheus()), false)
+            let body = shared.metrics.render_prometheus();
+            finalize_inline(shared, conn, ctx, Reply::Ok(body), false)
         }
         Command::Shutdown => {
             shared.shutting_down.store(true, Ordering::SeqCst);
-            // Poke the acceptor out of `accept()`. A wildcard bind
-            // (0.0.0.0 / ::) is not connectable everywhere, so aim the
-            // poke at loopback on the bound port.
-            let mut poke = shared.local_addr;
-            if poke.ip().is_unspecified() {
-                poke.set_ip(match poke {
-                    SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
-                    SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
-                });
-            }
-            drop(TcpStream::connect(poke));
-            (Reply::Ok("bye\n".into()), false)
+            wake_all(shared);
+            // One reply per SHUTDOWN, then stop reading from this
+            // client; earlier pipelined replies still flush first.
+            conn.close_after_flush = true;
+            finalize_inline(shared, conn, ctx, Reply::Ok("bye\n".into()), false)
         }
-        Command::Sleep { ms } => (
-            run_pooled(shared, span.cloned(), move || {
-                std::thread::sleep(Duration::from_millis(ms));
-                Ok(format!("slept {ms}\n"))
-            }),
-            false,
-        ),
-        Command::Put { nbytes } => {
-            let body = match checked_body(reader, nbytes, shared) {
-                Ok(b) => b,
-                Err(fatal) => return fatal,
+        Command::Sleep { ms } => submit_pooled(shared, me, token, conn, ctx, None, move || {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(format!("slept {ms}\n"))
+        }),
+        Command::Put { .. } => {
+            let body = body.expect("PUT body read by the state machine");
+            let reply = match shared.engine.put(&body) {
+                Ok(h) => Reply::Ok(format!("hash {}\n", hash_hex(h))),
+                Err((code, msg)) => Reply::Err(code, msg),
             };
-            match shared.engine.put(&body) {
-                Ok(h) => (Reply::Ok(format!("hash {}\n", hash_hex(h))), false),
-                Err((code, msg)) => (Reply::Err(code, msg), false),
-            }
+            finalize_inline(shared, conn, ctx, reply, false)
         }
-        Command::PutDelta { nbytes } => {
-            let body = match checked_body(reader, nbytes, shared) {
-                Ok(b) => b,
-                Err(fatal) => return fatal,
-            };
-            match shared.engine.put_delta(&body) {
+        Command::PutDelta { .. } => {
+            let body = body.expect("PUT_DELTA body read by the state machine");
+            let reply = match shared.engine.put_delta(&body) {
                 Ok(lin) => {
                     shared.metrics.delta_puts.inc();
-                    (
-                        Reply::Ok(format!(
-                            "base {}\ndelta {}\nnew {}\n",
-                            hash_hex(lin.base),
-                            hash_hex(lin.delta),
-                            hash_hex(lin.new)
-                        )),
-                        false,
-                    )
+                    Reply::Ok(format!(
+                        "base {}\ndelta {}\nnew {}\n",
+                        hash_hex(lin.base),
+                        hash_hex(lin.delta),
+                        hash_hex(lin.new)
+                    ))
                 }
-                Err((code, msg)) => (Reply::Err(code, msg), false),
-            }
+                Err((code, msg)) => Reply::Err(code, msg),
+            };
+            finalize_inline(shared, conn, ctx, reply, false)
         }
         Command::Run {
             op,
@@ -564,47 +999,44 @@ fn dispatch(
             // bit-identical across thread counts anyway).
             let threads = threads.min(shared.cfg.workers.max(1));
             if op == Op::SolveDelta {
-                return solve_delta(src, big_r, threads, reader, shared, span);
+                return solve_delta(shared, me, token, conn, ctx, src, big_r, threads, body);
             }
-            let (hash, inst) = match src {
-                Source::Hash(h) => match shared.engine.fetch(h) {
-                    Ok(i) => (h, i),
-                    Err((code, msg)) => return (Reply::Err(code, msg), false),
-                },
-                Source::Inline(nbytes) => {
-                    let body = match checked_body(reader, nbytes, shared) {
-                        Ok(b) => b,
-                        Err(fatal) => return fatal,
-                    };
+            let resolved = match src {
+                Source::Hash(h) => shared.engine.fetch(h).map(|i| (h, i)),
+                Source::Inline(_) => {
                     // Inline uploads land in the store too, so the
                     // result cache is shared across inline and hash
                     // requests for the same content.
-                    match shared.engine.put(&body) {
-                        Ok(h) => match shared.engine.fetch(h) {
-                            Ok(i) => (h, i),
-                            Err((code, msg)) => return (Reply::Err(code, msg), false),
-                        },
-                        Err((code, msg)) => return (Reply::Err(code, msg), false),
-                    }
+                    let body = body.expect("inline body read by the state machine");
+                    shared
+                        .engine
+                        .put(&body)
+                        .and_then(|h| shared.engine.fetch(h).map(|i| (h, i)))
+                }
+            };
+            let (hash, inst) = match resolved {
+                Ok(v) => v,
+                Err((code, msg)) => {
+                    return finalize_inline(shared, conn, ctx, Reply::Err(code, msg), false)
                 }
             };
             let key = CacheKey::new(hash, op, big_r, threads);
             let probe = Instant::now();
             if let Some(body) = shared.engine.cached(&key) {
-                if let Some(rec) = span {
+                if let Some(rec) = &ctx.span {
                     rec.add(ROOT_SPAN, "cache:hit", probe, probe.elapsed());
                 }
                 shared.metrics.cache_hit(op);
-                return (Reply::Ok(body.as_ref().clone()), false);
+                return finalize_inline(shared, conn, ctx, Reply::Ok(body.as_ref().clone()), false);
             }
-            if let Some(rec) = span {
+            if let Some(rec) = &ctx.span {
                 rec.add(ROOT_SPAN, "cache:miss", probe, probe.elapsed());
             }
             let metrics = shared.metrics.clone();
             let ring = Arc::clone(&shared.ring);
             let label = format!("{} {} R={big_r}", op.tag(), hash_hex(hash));
-            let span_rec = span.cloned();
-            let reply = run_pooled(shared, span.cloned(), move || {
+            let span_rec = ctx.span.clone();
+            submit_pooled(shared, me, token, conn, ctx, Some((key, op)), move || {
                 let (body, info) = engine::execute_traced(op, &inst, big_r, threads)
                     .map_err(|msg| (ErrorCode::Internal, msg))?;
                 if let Some(i) = info {
@@ -631,18 +1063,381 @@ fn dispatch(
                     });
                 }
                 Ok(body)
-            });
-            // A miss is a solve that actually ran (or tried to): BUSY
-            // and drain rejections never reached a worker, so they are
-            // neither hits nor misses.
-            if !matches!(reply, Reply::Err(ErrorCode::Busy | ErrorCode::Shutdown, _)) {
-                shared.metrics.cache_miss(op);
-            }
-            if let Reply::Ok(body) = &reply {
-                insert_cached(shared, key, body, span);
-            }
-            (reply, false)
+            })
         }
+    }
+}
+
+/// The `SOLVE_DELTA` half of the run path. `hash:` names a registered
+/// revision; `inline:` carries a delta text body, registered exactly
+/// like `PUT_DELTA` before solving — one round trip for the common
+/// edit-then-resolve loop. The incremental solve itself runs on the
+/// worker pool and is cached under `SOLVE_DELTA`'s own namespace, so a
+/// repeat of the same revision is a hit without touching a solver.
+#[allow(clippy::too_many_arguments)]
+fn solve_delta(
+    shared: &Arc<Shared>,
+    me: &Arc<LoopHandle>,
+    token: usize,
+    conn: &mut Conn,
+    ctx: RequestCtx,
+    src: Source,
+    big_r: usize,
+    threads: usize,
+    body: Option<String>,
+) {
+    let revision = match src {
+        Source::Hash(h) => h,
+        Source::Inline(_) => {
+            let body = body.expect("inline delta body read by the state machine");
+            match shared.engine.put_delta(&body) {
+                Ok(lin) => {
+                    shared.metrics.delta_puts.inc();
+                    lin.new
+                }
+                Err((code, msg)) => {
+                    return finalize_inline(shared, conn, ctx, Reply::Err(code, msg), false)
+                }
+            }
+        }
+    };
+    let key = CacheKey::new(revision, Op::SolveDelta, big_r, threads);
+    let probe = Instant::now();
+    if let Some(body) = shared.engine.cached(&key) {
+        if let Some(rec) = &ctx.span {
+            rec.add(ROOT_SPAN, "cache:hit", probe, probe.elapsed());
+        }
+        shared.metrics.cache_hit(Op::SolveDelta);
+        return finalize_inline(shared, conn, ctx, Reply::Ok(body.as_ref().clone()), false);
+    }
+    if let Some(rec) = &ctx.span {
+        rec.add(ROOT_SPAN, "cache:miss", probe, probe.elapsed());
+    }
+    let metrics = shared.metrics.clone();
+    let worker_shared = Arc::clone(shared);
+    let span_rec = ctx.span.clone();
+    submit_pooled(
+        shared,
+        me,
+        token,
+        conn,
+        ctx,
+        Some((key, Op::SolveDelta)),
+        move || {
+            let (body, info) = worker_shared.engine.solve_delta(revision, big_r, threads)?;
+            metrics.observe_delta(&info);
+            if let Some(rec) = &span_rec {
+                // Zero-length marker naming the resolution path taken.
+                rec.open(rec.anchor(), info.mode.tag());
+            }
+            // The lineage resolution is the delta workload's key event:
+            // which path ran, and how local the dirty ball actually was.
+            if let Some(j) = &worker_shared.journal {
+                j.emit(JournalRecord {
+                    kind: EV_DELTA,
+                    trace_id: span_rec.as_ref().map_or(0, |rec| rec.trace_id()),
+                    text: format!(
+                        "delta {} revision={} replayed={} recomputed_x={} agents={} \
+                         arena_added={} roots_reused={}",
+                        info.mode.tag(),
+                        hash_hex(revision),
+                        info.replayed,
+                        info.recomputed_x,
+                        info.n_agents,
+                        info.arena_added,
+                        info.roots_reused
+                    ),
+                });
+            }
+            Ok(body)
+        },
+    )
+}
+
+/// Submits a closure to the worker pool and parks a [`Slot::Pending`]
+/// in the connection's reply pipeline. This is where backpressure
+/// (`BUSY`) and drain rejections become protocol-visible — and where
+/// the queue-wait vs execute split is measured: the submit instant is
+/// captured here, the pickup instant inside the task on its worker.
+/// The closure returns typed [`EngineError`]s so pooled work can
+/// surface precise codes (e.g. `NOBASE` from a delta solve), not just
+/// `INTERNAL`. The completion is routed back to the owning loop's
+/// inbox; timeouts and panics are mapped at that point.
+fn submit_pooled<F>(
+    shared: &Arc<Shared>,
+    me: &Arc<LoopHandle>,
+    token: usize,
+    conn: &mut Conn,
+    ctx: RequestCtx,
+    cache: Option<(CacheKey, Op)>,
+    f: F,
+) where
+    F: FnOnce() -> Result<String, EngineError> + Send + 'static,
+{
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return finalize_inline(
+            shared,
+            conn,
+            ctx,
+            Reply::Err(ErrorCode::Shutdown, "server is draining".into()),
+            false,
+        );
+    }
+    let queue_wait = shared.metrics.queue_wait.clone();
+    let execute = shared.metrics.execute.clone();
+    let submitted = Instant::now();
+    let span = ctx.span.clone();
+    let task = move || {
+        let picked_up = Instant::now();
+        queue_wait.record(picked_up.duration_since(submitted).as_micros() as u64);
+        // Traced requests get the same split as spans: `queue` from
+        // submit to pickup, `execute` around the closure, with the
+        // execute id published as the anchor so the closure can nest
+        // solver-phase spans underneath it.
+        let exec_id = span.as_ref().map(|rec| {
+            rec.add(
+                ROOT_SPAN,
+                "queue",
+                submitted,
+                picked_up.duration_since(submitted),
+            );
+            let id = rec.open(ROOT_SPAN, "execute");
+            rec.set_anchor(id);
+            id
+        });
+        let result = f();
+        if let (Some(rec), Some(id)) = (span.as_ref(), exec_id) {
+            rec.close(id);
+            rec.set_anchor(ROOT_SPAN);
+        }
+        execute.record(picked_up.elapsed().as_micros() as u64);
+        result
+    };
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let loop_handle = Arc::clone(me);
+    let complete = move |outcome| {
+        {
+            let mut ib = loop_handle.inbox.lock().expect("loop inbox");
+            ib.completions.push(Completion {
+                token,
+                seq,
+                outcome,
+            });
+        }
+        let _ = loop_handle.waker.wake();
+    };
+    match shared.pool.submit_with(task, complete) {
+        Ok(()) => conn.replies.push_back(Slot::Pending { seq, ctx, cache }),
+        Err(SubmitError::Busy) => finalize_inline(
+            shared,
+            conn,
+            ctx,
+            Reply::Err(
+                ErrorCode::Busy,
+                format!("queue full ({} deep); retry", shared.cfg.queue_cap),
+            ),
+            false,
+        ),
+        Err(SubmitError::Closed) => finalize_inline(
+            shared,
+            conn,
+            ctx,
+            Reply::Err(ErrorCode::Shutdown, "server is draining".into()),
+            false,
+        ),
+    }
+}
+
+/// Lands a pooled outcome in its pipeline slot: maps it onto the wire,
+/// records hit/miss + cache-insert effects for `Run` requests, and
+/// finalises metrics/spans, all while preserving reply order.
+fn apply_completion(
+    shared: &Shared,
+    conn: &mut Conn,
+    seq: u64,
+    outcome: Outcome<Result<String, EngineError>>,
+) {
+    let Some(idx) = conn
+        .replies
+        .iter()
+        .position(|s| matches!(s, Slot::Pending { seq: got, .. } if *got == seq))
+    else {
+        return;
+    };
+    let Slot::Pending { ctx, cache, .. } =
+        std::mem::replace(&mut conn.replies[idx], Slot::Ready(Vec::new()))
+    else {
+        unreachable!("position matched a Pending slot")
+    };
+    let reply = match outcome {
+        Outcome::Done(Ok(body)) => Reply::Ok(body),
+        Outcome::Done(Err((code, msg))) => Reply::Err(code, msg),
+        Outcome::Panicked(msg) => Reply::Err(ErrorCode::Panic, msg),
+        Outcome::TimedOut => Reply::Err(
+            ErrorCode::Timeout,
+            format!(
+                "request exceeded {} ms",
+                shared.cfg.timeout.map_or(0, |d| d.as_millis())
+            ),
+        ),
+    };
+    if let Some((key, op)) = cache {
+        // A miss is a solve that actually ran (or tried to): BUSY and
+        // drain rejections never reached a worker, so they are neither
+        // hits nor misses (those finalise before submission).
+        if !matches!(reply, Reply::Err(ErrorCode::Busy | ErrorCode::Shutdown, _)) {
+            shared.metrics.cache_miss(op);
+        }
+        if let Reply::Ok(body) = &reply {
+            insert_cached(shared, key, body, ctx.span.as_ref());
+        }
+    }
+    let bytes = finalize_record(shared, &ctx, &reply);
+    conn.replies[idx] = Slot::Ready(bytes);
+}
+
+/// Books a finished request: error/busy/timeout classification, the
+/// latency histograms, and the span tree (journaled and ringed). The
+/// returned bytes are the framed wire reply.
+fn finalize_record(shared: &Shared, ctx: &RequestCtx, reply: &Reply) -> Vec<u8> {
+    match reply {
+        Reply::Err(ErrorCode::Busy, msg) => {
+            shared.metrics.busy.inc();
+            if let Some(j) = &shared.journal {
+                j.emit(JournalRecord {
+                    kind: EV_BUSY,
+                    trace_id: ctx.trace_id,
+                    text: format!("busy: {}: {msg}", ctx.line),
+                });
+            }
+        }
+        Reply::Err(ErrorCode::Timeout, _) => {
+            shared.metrics.timeouts.inc();
+            shared.metrics.errors.inc();
+        }
+        Reply::Err(..) => shared.metrics.errors.inc(),
+        Reply::Ok(_) => {}
+    }
+    // The request span, parse → reply framed: one lock-free record.
+    // Traced requests stamp the latency exemplar too, so a slow
+    // scrape bucket names a findable trace.
+    let us = ctx.started.elapsed().as_micros() as u64;
+    shared.metrics.latency.record_traced(us, ctx.trace_id);
+    if let Some(label) = ctx.op_label {
+        shared.metrics.observe_op_latency(label, us, ctx.trace_id);
+    }
+    if let Some(rec) = &ctx.span {
+        let tree = rec.finish();
+        if let Some(j) = &shared.journal {
+            j.emit(JournalRecord {
+                kind: EV_SPAN,
+                trace_id: ctx.trace_id,
+                text: tree.to_text(),
+            });
+        }
+        shared.spans.push(tree);
+    }
+    reply.to_wire().into_bytes()
+}
+
+/// Finalises a request that completed on the event loop and queues its
+/// framed reply; `close` marks the stream unsynchronised (the
+/// connection closes once everything queued has flushed).
+fn finalize_inline(shared: &Shared, conn: &mut Conn, ctx: RequestCtx, reply: Reply, close: bool) {
+    let bytes = finalize_record(shared, &ctx, &reply);
+    conn.replies.push_back(Slot::Ready(bytes));
+    if close {
+        conn.close_after_flush = true;
+    }
+}
+
+/// Queues a reply that belongs to no request context (malformed TRACE
+/// lines, oversize command lines): framed bytes only, no latency or
+/// span bookkeeping — matching the historical behaviour.
+fn push_ready(conn: &mut Conn, reply: &Reply) {
+    conn.replies
+        .push_back(Slot::Ready(reply.to_wire().into_bytes()));
+}
+
+/// Moves contiguous ready replies into the write buffer and writes as
+/// much as the socket accepts. `Err` means the connection is broken.
+fn flush_conn(conn: &mut Conn) -> io::Result<()> {
+    while matches!(conn.replies.front(), Some(Slot::Ready(_))) {
+        let Some(Slot::Ready(bytes)) = conn.replies.pop_front() else {
+            unreachable!("front matched Ready")
+        };
+        if conn.wbuf.is_empty() {
+            conn.wbuf = bytes;
+        } else {
+            conn.wbuf.extend_from_slice(&bytes);
+        }
+    }
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    ErrorKind::WriteZero,
+                    "peer stopped accepting",
+                ))
+            }
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if conn.wpos > 0 && conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    Ok(())
+}
+
+/// Reconciles the connection's epoll interest with its state: read
+/// while accepting input (and under the write-backlog pause), write
+/// exactly while flushable bytes remain.
+fn update_interest(poll: &Poll, token: usize, conn: &mut Conn) -> io::Result<()> {
+    let backlog = conn.wbuf.len() - conn.wpos;
+    let want_read = !conn.close_after_flush && !conn.peer_eof && backlog < WRITE_BACKLOG_PAUSE;
+    let want_write = backlog > 0;
+    let desired = match (want_read, want_write) {
+        (true, true) => Interest::READABLE | Interest::WRITABLE,
+        (true, false) => Interest::READABLE,
+        (false, true) => Interest::WRITABLE,
+        (false, false) => Interest::NONE,
+    };
+    if desired != conn.cur_interest {
+        poll.reregister(&conn.stream, Token(token), desired)?;
+        conn.cur_interest = desired;
+    }
+    Ok(())
+}
+
+/// The `op` label a parsed command's latency is recorded under (see
+/// [`crate::stats::OP_LABELS`]).
+fn command_label(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Ping => "ping",
+        Command::Stats => "stats",
+        Command::Metrics => "metrics",
+        Command::Shutdown => "shutdown",
+        Command::Sleep { .. } => "sleep",
+        Command::Put { .. } => "put",
+        Command::PutDelta { .. } => "put_delta",
+        Command::Run { op, .. } => op.tag(),
+    }
+}
+
+/// Server-side sampling for requests that carried no `TRACE` line:
+/// every [`TRACE_SAMPLE_EVERY`]-th request gets a fresh trace id, the
+/// rest stay untraced (id 0).
+fn sample_trace_id(shared: &Shared) -> u64 {
+    let n = shared.trace_counter.fetch_add(1, Ordering::Relaxed);
+    if n.is_multiple_of(TRACE_SAMPLE_EVERY) {
+        next_trace_id()
+    } else {
+        0
     }
 }
 
@@ -687,190 +1482,6 @@ fn insert_cached(shared: &Shared, key: CacheKey, body: &str, span: Option<&Arc<S
     }
 }
 
-/// The `SOLVE_DELTA` half of the run path. `hash:` names a registered
-/// revision; `inline:` carries a delta text body, registered exactly
-/// like `PUT_DELTA` before solving — one round trip for the common
-/// edit-then-resolve loop. The incremental solve itself runs on the
-/// worker pool and is cached under `SOLVE_DELTA`'s own namespace, so a
-/// repeat of the same revision is a hit without touching a solver.
-fn solve_delta(
-    src: Source,
-    big_r: usize,
-    threads: usize,
-    reader: &mut BufReader<TcpStream>,
-    shared: &Arc<Shared>,
-    span: Option<&Arc<SpanRecorder>>,
-) -> (Reply, bool) {
-    let revision = match src {
-        Source::Hash(h) => h,
-        Source::Inline(nbytes) => {
-            let body = match checked_body(reader, nbytes, shared) {
-                Ok(b) => b,
-                Err(fatal) => return fatal,
-            };
-            match shared.engine.put_delta(&body) {
-                Ok(lin) => {
-                    shared.metrics.delta_puts.inc();
-                    lin.new
-                }
-                Err((code, msg)) => return (Reply::Err(code, msg), false),
-            }
-        }
-    };
-    let key = CacheKey::new(revision, Op::SolveDelta, big_r, threads);
-    let probe = Instant::now();
-    if let Some(body) = shared.engine.cached(&key) {
-        if let Some(rec) = span {
-            rec.add(ROOT_SPAN, "cache:hit", probe, probe.elapsed());
-        }
-        shared.metrics.cache_hit(Op::SolveDelta);
-        return (Reply::Ok(body.as_ref().clone()), false);
-    }
-    if let Some(rec) = span {
-        rec.add(ROOT_SPAN, "cache:miss", probe, probe.elapsed());
-    }
-    let metrics = shared.metrics.clone();
-    let worker_shared = Arc::clone(shared);
-    let span_rec = span.cloned();
-    let reply = run_pooled(shared, span.cloned(), move || {
-        let (body, info) = worker_shared.engine.solve_delta(revision, big_r, threads)?;
-        metrics.observe_delta(&info);
-        if let Some(rec) = &span_rec {
-            // Zero-length marker naming the resolution path taken.
-            rec.open(rec.anchor(), info.mode.tag());
-        }
-        // The lineage resolution is the delta workload's key event:
-        // which path ran, and how local the dirty ball actually was.
-        if let Some(j) = &worker_shared.journal {
-            j.emit(JournalRecord {
-                kind: EV_DELTA,
-                trace_id: span_rec.as_ref().map_or(0, |rec| rec.trace_id()),
-                text: format!(
-                    "delta {} revision={} replayed={} recomputed_x={} agents={} \
-                     arena_added={} roots_reused={}",
-                    info.mode.tag(),
-                    hash_hex(revision),
-                    info.replayed,
-                    info.recomputed_x,
-                    info.n_agents,
-                    info.arena_added,
-                    info.roots_reused
-                ),
-            });
-        }
-        Ok(body)
-    });
-    if !matches!(reply, Reply::Err(ErrorCode::Busy | ErrorCode::Shutdown, _)) {
-        shared.metrics.cache_miss(Op::SolveDelta);
-    }
-    if let Reply::Ok(body) = &reply {
-        insert_cached(shared, key, body, span);
-    }
-    (reply, false)
-}
-
-/// Submits a closure to the worker pool and maps its outcome onto the
-/// wire. This is where backpressure (`BUSY`), per-request timeouts and
-/// panic isolation all become protocol-visible — and where the
-/// queue-wait vs execute split is measured: the submit instant is
-/// captured here, the pickup instant inside the task on its worker.
-/// The closure returns typed [`EngineError`]s so pooled work can
-/// surface precise codes (e.g. `NOBASE` from a delta solve), not just
-/// `INTERNAL`.
-fn run_pooled<F>(shared: &Shared, span: Option<Arc<SpanRecorder>>, f: F) -> Reply
-where
-    F: FnOnce() -> Result<String, EngineError> + Send + 'static,
-{
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        return Reply::Err(ErrorCode::Shutdown, "server is draining".into());
-    }
-    let queue_wait = shared.metrics.queue_wait.clone();
-    let execute = shared.metrics.execute.clone();
-    let submitted = Instant::now();
-    let task = move || {
-        let picked_up = Instant::now();
-        queue_wait.record(picked_up.duration_since(submitted).as_micros() as u64);
-        // Traced requests get the same split as spans: `queue` from
-        // submit to pickup, `execute` around the closure, with the
-        // execute id published as the anchor so the closure can nest
-        // solver-phase spans underneath it.
-        let exec_id = span.as_ref().map(|rec| {
-            rec.add(
-                ROOT_SPAN,
-                "queue",
-                submitted,
-                picked_up.duration_since(submitted),
-            );
-            let id = rec.open(ROOT_SPAN, "execute");
-            rec.set_anchor(id);
-            id
-        });
-        let result = f();
-        if let (Some(rec), Some(id)) = (span.as_ref(), exec_id) {
-            rec.close(id);
-            rec.set_anchor(ROOT_SPAN);
-        }
-        execute.record(picked_up.elapsed().as_micros() as u64);
-        result
-    };
-    match shared.pool.submit(task) {
-        Err(SubmitError::Busy) => Reply::Err(
-            ErrorCode::Busy,
-            format!("queue full ({} deep); retry", shared.cfg.queue_cap),
-        ),
-        Err(SubmitError::Closed) => Reply::Err(ErrorCode::Shutdown, "server is draining".into()),
-        Ok(ticket) => match ticket.wait() {
-            Outcome::Done(Ok(body)) => Reply::Ok(body),
-            Outcome::Done(Err((code, msg))) => Reply::Err(code, msg),
-            Outcome::Panicked(msg) => Reply::Err(ErrorCode::Panic, msg),
-            Outcome::TimedOut => Reply::Err(
-                ErrorCode::Timeout,
-                format!(
-                    "request exceeded {} ms",
-                    shared.cfg.timeout.map_or(0, |d| d.as_millis())
-                ),
-            ),
-        },
-    }
-}
-
-/// Reads a declared body. `Err` carries the reply *and* whether the
-/// connection must close: an oversize declaration is rejected without
-/// consuming the body, and a failed read leaves an unknown amount
-/// consumed — in both cases the stream is no longer request-aligned,
-/// so the connection is closed after the error reply. A non-UTF-8 body
-/// was fully consumed and keeps the connection usable.
-fn checked_body(
-    reader: &mut BufReader<TcpStream>,
-    nbytes: usize,
-    shared: &Shared,
-) -> Result<String, (Reply, bool)> {
-    if nbytes > shared.cfg.max_body_bytes {
-        return Err((
-            Reply::Err(
-                ErrorCode::BadReq,
-                format!(
-                    "body of {nbytes} bytes exceeds the limit of {}",
-                    shared.cfg.max_body_bytes
-                ),
-            ),
-            true,
-        ));
-    }
-    let raw = read_body(reader, nbytes, shared).map_err(|e| {
-        (
-            Reply::Err(ErrorCode::BadReq, format!("body read: {e}")),
-            true,
-        )
-    })?;
-    String::from_utf8(raw).map_err(|_| {
-        (
-            Reply::Err(ErrorCode::BadReq, "body is not UTF-8".into()),
-            false,
-        )
-    })
-}
-
 /// Refreshes the point-in-time gauges before a `METRICS` scrape.
 /// Counters and histograms are live at all times; only these
 /// snapshot-style values need a read at exposition.
@@ -885,6 +1496,7 @@ fn set_scrape_gauges(shared: &Shared) {
     m.cache_entries.set(cache_entries as u64);
     m.cache_bytes.set(cache_bytes);
     m.cache_evictions.set(cache_evictions);
+    m.set_cache_shard_evictions(&shared.engine.cache_shard_evictions());
     let (store_entries, store_bytes) = shared.engine.store_stats();
     m.store_entries.set(store_entries as u64);
     m.store_bytes.set(store_bytes);

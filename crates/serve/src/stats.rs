@@ -15,6 +15,7 @@
 
 pub use mmlp_obs::Histogram;
 
+use crate::cache::SHARDS;
 use crate::delta::{DeltaMode, DeltaSolveInfo};
 use crate::engine::SolveInfo;
 use crate::protocol::Op;
@@ -106,6 +107,10 @@ pub struct ServeMetrics {
     pub cache_bytes: Gauge,
     /// Result-cache evictions so far (scrape-time).
     pub cache_evictions: Gauge,
+    /// Per-shard result-cache evictions (scrape-time), one gauge per
+    /// LRU shard — a skewed workload overflowing one shard's budget
+    /// slice shows up here while the aggregate stays quiet.
+    cache_shard_evictions: [Gauge; SHARDS],
     /// Instance-store entries (scrape-time).
     pub store_entries: Gauge,
     /// Instance-store resident bytes (scrape-time).
@@ -204,6 +209,13 @@ impl ServeMetrics {
                 "End-to-end request latency by command verb, microseconds",
             )
         });
+        let cache_shard_evictions = std::array::from_fn(|i| {
+            reg.gauge_with(
+                "mmlp_serve_cache_shard_evictions",
+                &[("shard", &i.to_string())],
+                "Result-cache evictions per LRU shard",
+            )
+        });
         let delta_solves = DELTA_MODES.map(|m| {
             reg.counter_with(
                 "mmlp_serve_delta_solves_total",
@@ -296,6 +308,7 @@ impl ServeMetrics {
             cache_entries: reg.gauge("mmlp_serve_cache_entries", "Result-cache entries"),
             cache_bytes: reg.gauge("mmlp_serve_cache_bytes", "Result-cache resident bytes"),
             cache_evictions: reg.gauge("mmlp_serve_cache_evictions", "Result-cache evictions"),
+            cache_shard_evictions,
             store_entries: reg.gauge("mmlp_serve_store_entries", "Instance-store entries"),
             store_bytes: reg.gauge("mmlp_serve_store_bytes", "Instance-store resident bytes"),
             registry: reg,
@@ -327,6 +340,14 @@ impl ServeMetrics {
     /// labels). `STATS` derives the delta percentiles from this.
     pub fn op_latency_snapshot(&self, label: &str) -> Option<Histogram> {
         op_label_slot(label).map(|slot| self.op_latency[slot].snapshot())
+    }
+
+    /// Publishes the per-shard eviction counters (scrape-time, like the
+    /// other cache gauges).
+    pub fn set_cache_shard_evictions(&self, evictions: &[u64; SHARDS]) {
+        for (g, &n) in self.cache_shard_evictions.iter().zip(evictions) {
+            g.set(n);
+        }
     }
 
     /// One result-cache hit for `op`.
@@ -563,6 +584,28 @@ mod tests {
             text.contains(
                 "# EXEMPLAR mmlp_serve_op_latency_us{op=\"metrics\"} trace_id=\"000000000000feed\""
             ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn cache_shard_evictions_render_one_series_per_shard() {
+        let m = ServeMetrics::new();
+        let mut ev = [0u64; SHARDS];
+        ev[3] = 7;
+        ev[15] = 2;
+        m.set_cache_shard_evictions(&ev);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("mmlp_serve_cache_shard_evictions{shard=\"3\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mmlp_serve_cache_shard_evictions{shard=\"15\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mmlp_serve_cache_shard_evictions{shard=\"0\"} 0"),
             "{text}"
         );
     }

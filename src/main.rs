@@ -19,12 +19,12 @@
 //! maxmin-lp campaign status <dir>
 //! maxmin-lp campaign spill <dir> --store <store-dir>     persist results
 //! maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>]
-//!                 [--queue <n>] [--timeout-ms <t>]
+//!                 [--queue <n>] [--timeout-ms <t>] [--event-loops <n>]
 //!                 [--store-dir <dir>] [--journal-dir <dir>]  solver service
 //! maxmin-lp loadgen --instance <f> [--addr <a>] [--clients <n>]
 //!                 [--requests <n>] [-R <R>] [--op <op>] [--inline]
-//!                 [--shutdown] [--mutate] [--seed <n>]
-//!                 [--trace]                              drive the service
+//!                 [--shutdown] [--mutate] [--seed <n>] [--trace]
+//!                 [--connections <n>] [--pipeline <d>]   drive the service
 //! maxmin-lp store import <dir> <file>... | --catalog <size> <seed>
 //! maxmin-lp store export <dir> <hash> [--out <file>]
 //! maxmin-lp store convert <in> <out>                     text ↔ binary
@@ -71,10 +71,11 @@ fn usage() -> ExitCode {
          maxmin-lp campaign status <dir>\n  \
          maxmin-lp campaign spill <dir> --store <store-dir>\n  \
          maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>] \
-         [--queue <n>] [--timeout-ms <t>] [--store-dir <dir>] [--journal-dir <dir>]\n  \
+         [--queue <n>] [--timeout-ms <t>] [--event-loops <n>] [--store-dir <dir>] \
+         [--journal-dir <dir>]\n  \
          maxmin-lp loadgen --instance <file> [--addr <a>] [--clients <n>] \
          [--requests <n>] [-R <R>] [--op solve|optimum|safe|info] [--inline] [--shutdown] \
-         [--mutate] [--seed <n>] [--trace]\n  \
+         [--mutate] [--seed <n>] [--trace] [--connections <n>] [--pipeline <d>]\n  \
          maxmin-lp store import <dir> <file>... | --catalog <size> <seed>\n  \
          maxmin-lp store export <dir> <hash> [--out <file>]\n  \
          maxmin-lp store convert <in> <out>\n  \
@@ -612,8 +613,8 @@ fn obs_slo_cmd(rest: &[String]) -> Result<(), UsageError> {
 }
 
 /// `maxmin-lp serve [--addr <a>] [--workers <n>] [--cache-mb <m>]
-/// [--queue <n>] [--timeout-ms <t>] [--store-dir <dir>]
-/// [--journal-dir <dir>]`.
+/// [--queue <n>] [--timeout-ms <t>] [--event-loops <n>]
+/// [--store-dir <dir>] [--journal-dir <dir>]`.
 fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
     let mut cfg = ServeConfig::default();
     let mut it = rest.iter();
@@ -655,6 +656,13 @@ fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
                     .ok_or(UsageError::Usage)?;
                 cfg.timeout = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--event-loops" => {
+                cfg.event_loops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .ok_or(UsageError::Usage)?;
+            }
             _ => return Err(UsageError::Usage),
         }
     }
@@ -673,6 +681,7 @@ fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
     if let Some(dir) = &cfg.journal_dir {
         println!("journal_dir {}", dir.display());
     }
+    println!("event_loops {}", cfg.event_loops.max(1));
     // The CI smoke (and any supervisor) waits for the "listening" line.
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -694,11 +703,15 @@ fn serve_cmd(rest: &[String]) -> Result<(), UsageError> {
 
 /// `maxmin-lp loadgen --instance <file> [--addr <a>] [--clients <n>]
 /// [--requests <n>] [-R <R>] [--op <op>] [--inline] [--shutdown]
-/// [--mutate] [--seed <n>]`.
+/// [--mutate] [--seed <n>] [--connections <n>] [--pipeline <d>]`.
 ///
 /// `--mutate` streams random single-coefficient edits as `SOLVE_DELTA`
 /// and byte-compares each incremental body against a from-scratch
 /// `SOLVE` of the same revision; a mismatch counts as an error.
+///
+/// `--pipeline <d>` with `d > 1` switches to open-pipeline mode: each
+/// connection (`--connections`, a synonym for `--clients`) keeps `d`
+/// requests in flight, exercising the server's pipelined parsing.
 ///
 /// Exit code 1 when any request failed (transport error, a non-BUSY
 /// `ERR` reply, or a mutate-mode bit-identity mismatch), so CI can
@@ -747,6 +760,22 @@ fn loadgen_cmd(rest: &[String]) -> Result<(), UsageError> {
             "--shutdown" => cfg.shutdown_after = true,
             "--mutate" => cfg.mutate = true,
             "--trace" => cfg.trace = true,
+            // --connections is the open-pipeline-mode spelling of
+            // --clients (each connection is one pipelined stream).
+            "--connections" => {
+                cfg.clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|c| *c >= 1)
+                    .ok_or(UsageError::Usage)?;
+            }
+            "--pipeline" => {
+                cfg.pipeline = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|d| *d >= 1)
+                    .ok_or(UsageError::Usage)?;
+            }
             "--seed" => {
                 cfg.seed = it
                     .next()

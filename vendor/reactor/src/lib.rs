@@ -1,0 +1,489 @@
+//! Minimal mio-style readiness reactor over Linux `epoll`.
+//!
+//! The crates.io registry is unreachable from the build environment, so this
+//! crate vendors the tiny subset of a readiness API the serve front-end needs:
+//!
+//! - [`Poll`] — an `epoll` instance; register file descriptors with a
+//!   [`Token`] and an [`Interest`] set, then block in [`Poll::poll`] until
+//!   one of them becomes ready (or a timeout expires).
+//! - [`Events`] — a reusable buffer of readiness [`Event`]s.
+//! - [`Waker`] — an `eventfd`-backed handle that wakes a sleeping [`Poll`]
+//!   from any thread; used for cross-thread work injection.
+//!
+//! Registrations are level-triggered: an fd with unread input (or writable
+//! space while write interest is registered) keeps reporting ready, so event
+//! loops may do bounded work per event without losing edges. No `libc` crate
+//! is available either — the handful of syscalls are declared directly; the
+//! Rust standard library already links the C runtime that provides them.
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
+
+const EPOLLIN: u32 = 0x1;
+const EPOLLOUT: u32 = 0x4;
+const EPOLLERR: u32 = 0x8;
+const EPOLLHUP: u32 = 0x10;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0x80000;
+
+const EFD_CLOEXEC: i32 = 0x80000;
+const EFD_NONBLOCK: i32 = 0x800;
+
+const EINTR: i32 = 4;
+
+/// Mirrors the kernel's `struct epoll_event`. On x86-64 the kernel ABI packs
+/// the struct (no padding between `events` and `data`); other architectures
+/// use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn last_errno() -> i32 {
+    io::Error::last_os_error().raw_os_error().unwrap_or(0)
+}
+
+/// Opaque per-registration identifier echoed back on every [`Event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest set for a registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Interest in the fd becoming readable (or the peer closing).
+    pub const READABLE: Interest = Interest(EPOLLIN | EPOLLRDHUP);
+    /// Interest in the fd becoming writable.
+    pub const WRITABLE: Interest = Interest(EPOLLOUT);
+    /// No readiness interest. The registration stays; `epoll` still
+    /// delivers hangup/error conditions, which it always reports.
+    pub const NONE: Interest = Interest(0);
+
+    /// Combine two interest sets (also available as `|`).
+    #[must_use]
+    pub fn with(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// True if this set includes read interest.
+    pub fn is_readable(self) -> bool {
+        self.0 & EPOLLIN != 0
+    }
+
+    /// True if this set includes write interest.
+    pub fn is_writable(self) -> bool {
+        self.0 & EPOLLOUT != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.with(rhs)
+    }
+}
+
+/// A single readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: usize,
+    flags: u32,
+}
+
+impl Event {
+    /// The token supplied when the fd was registered.
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// The fd has input available (or the peer shut down its write side).
+    pub fn is_readable(&self) -> bool {
+        self.flags & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0
+    }
+
+    /// The fd can accept more output.
+    pub fn is_writable(&self) -> bool {
+        self.flags & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The peer closed its end (hangup or read-side shutdown).
+    pub fn is_closed(&self) -> bool {
+        self.flags & (EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// The fd is in an error state.
+    pub fn is_error(&self) -> bool {
+        self.flags & EPOLLERR != 0
+    }
+}
+
+/// Reusable buffer that [`Poll::poll`] fills with readiness [`Event`]s.
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// Allocate a buffer that can hold up to `cap` events per poll call.
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; cap.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Number of events delivered by the last poll.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the last poll delivered no events (timeout or wake race).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the events delivered by the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            let copied = *raw;
+            Event {
+                token: copied.data as usize,
+                flags: copied.events,
+            }
+        })
+    }
+}
+
+/// An `epoll` instance plus the registration API.
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Create a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poll> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest.0,
+            data: token.0 as u64,
+        };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `source` for level-triggered readiness under `token`.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), token, interest)
+    }
+
+    /// Replace the interest set of an existing registration.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), token, interest)
+    }
+
+    /// Remove a registration. The fd stops producing events immediately.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), Token(0), Interest(0))
+    }
+
+    /// Block until at least one registered fd is ready or `timeout` expires.
+    ///
+    /// `None` sleeps until readiness; `Some(d)` sleeps at most `d` (rounded up
+    /// to a millisecond so a short positive timeout never busy-spins). Fills
+    /// `events` and returns the number delivered; `Ok(0)` means timeout.
+    /// `EINTR` is retried internally.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                if ms == 0 && d.as_nanos() > 0 {
+                    1
+                } else {
+                    i32::try_from(ms).unwrap_or(i32::MAX)
+                }
+            }
+        };
+        loop {
+            let rc = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if rc < 0 {
+                if last_errno() == EINTR {
+                    continue;
+                }
+                return Err(io::Error::last_os_error());
+            }
+            events.len = rc as usize;
+            return Ok(rc as usize);
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+/// Wakes a sleeping [`Poll`] from any thread via an `eventfd`.
+///
+/// The waker registers itself level-triggered under the supplied token; the
+/// owning event loop must call [`Waker::drain`] when it sees that token, or
+/// the poll keeps reporting the waker ready.
+pub struct Waker {
+    efd: RawFd,
+}
+
+impl Waker {
+    /// Create an eventfd and register it with `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let efd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if efd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let waker = Waker { efd };
+        poll.register(&waker, token, Interest::READABLE)?;
+        Ok(waker)
+    }
+
+    /// Make the associated poll return. Callable from any thread; coalesces —
+    /// many wakes before a drain deliver one readiness event.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let rc = unsafe { write(self.efd, (&one as *const u64).cast(), 8) };
+        // EAGAIN means the counter is saturated — the poll is already awake.
+        if rc < 0 && io::Error::last_os_error().kind() != io::ErrorKind::WouldBlock {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Clear pending wakeups so the poll can sleep again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe {
+            // Nonblocking read; ignore the result — an empty counter is fine.
+            let _ = read(self.efd, buf.as_mut_ptr(), 8);
+        }
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.efd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.efd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn poll_times_out_when_idle() {
+        let poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn readable_event_fires_for_pending_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poll = Poll::new().unwrap();
+        poll.register(&server, Token(7), Interest::READABLE)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        // Nothing to read yet.
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+
+        client.write_all(b"hello").unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+
+        // Level-triggered: unread data keeps the fd ready.
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+
+        let mut buf = [0u8; 16];
+        let got = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"hello");
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn write_interest_toggles_via_reregister() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poll = Poll::new().unwrap();
+        poll.register(&server, Token(1), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+
+        // An idle socket is immediately writable once we ask for it.
+        poll.reregister(&server, Token(1), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().is_writable());
+
+        poll.reregister(&server, Token(1), Interest::READABLE)
+            .unwrap();
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn peer_close_reports_readable_and_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poll = Poll::new().unwrap();
+        poll.register(&server, Token(3), Interest::READABLE)
+            .unwrap();
+        drop(client);
+
+        let mut events = Events::with_capacity(8);
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.is_readable());
+        assert!(ev.is_closed());
+    }
+
+    #[test]
+    fn waker_wakes_poll_from_another_thread() {
+        let poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new(&poll, Token(0)).unwrap());
+        let remote = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake().unwrap();
+        });
+
+        let mut events = Events::with_capacity(8);
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events.iter().next().unwrap().token(), Token(0));
+
+        // Drain clears readiness; coalesced wakes deliver a single event.
+        waker.wake().unwrap();
+        waker.wake().unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        waker.drain();
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0
+        );
+        handle.join().unwrap();
+    }
+}
